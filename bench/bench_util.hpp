@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// \brief Shared helpers for the figure-reproduction binaries.
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace mrlc::bench {
+
+/// Shared CLI convention for the figure binaries: pass `--csv` to emit
+/// machine-readable tables (for plotting) instead of aligned text.
+struct BenchArgs {
+  bool csv = false;
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
+  }
+  return args;
+}
+
+inline void emit(const Table& table, const BenchArgs& args) {
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// The paper reports tree costs in what works out to be millibits:
+/// cost_paper = 1000 * log2(ETX product) = 1000 * C_nats / ln 2.
+/// (Fig. 7's MST row — cost 55, reliability 0.963 — pins this down:
+/// -1000*log2(0.963) = 54.4.)  All bench tables print this unit so the
+/// numbers are directly comparable to the published figures.
+inline double to_millibits(double cost_nats) {
+  return 1000.0 * cost_nats / std::log(2.0);
+}
+
+inline void print_header(const std::string& figure, const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << figure << " — " << title << '\n'
+            << "================================================================\n";
+}
+
+inline void print_note(const std::string& note) {
+  std::cout << "note: " << note << '\n';
+}
+
+}  // namespace mrlc::bench

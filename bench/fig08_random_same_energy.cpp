@@ -1,0 +1,27 @@
+/// \file fig08_random_same_energy.cpp
+/// \brief Reproduces Fig. 8: cost of AAML / IRA / MST on 100 random graphs
+/// with uniform initial energy (3000 J).
+///
+/// Paper setup: 16 nodes, each link present with probability 0.7, link
+/// quality uniform in (0.95, 1), LC = L_AAML.  Paper's shape: AAML costs
+/// 400-800+ (reliability 57-75%), IRA ~30% of AAML (reliability 85-95%),
+/// and IRA within ~20 millibits of the MST lower bound.
+
+#include <iostream>
+#include <vector>
+
+#include "random_sweep.hpp"
+
+int main(int argc, char** argv) {
+  const mrlc::bench::BenchArgs bench_args = mrlc::bench::parse_bench_args(argc, argv);
+  using namespace mrlc;
+  bench::print_header("Fig. 8", "random graphs, same initial energy (3000 J)");
+
+  const scenario::RandomNetworkConfig config;  // paper defaults
+  const std::vector<bench::SweepRow> rows = bench::run_sweep(config, 100, 8);
+  bench::print_sweep(rows, bench_args);
+
+  std::cout << "\nexpected shape: AAML several times costlier and unstable; "
+               "IRA tracks MST within a small additive gap\n";
+  return 0;
+}

@@ -1,0 +1,30 @@
+/// \file fig09_random_diff_energy.cpp
+/// \brief Reproduces Fig. 9: cost of AAML / IRA / MST on 100 random graphs
+/// with heterogeneous initial energy (uniform in [1500 J, 5000 J]).
+///
+/// Paper's shape: the IRA and MST curves get even closer than in Fig. 8
+/// (nodes with little energy end up as leaves, leaving high-energy nodes
+/// free to take cheap links), while AAML remains unstable with cost spikes
+/// at least 50% above IRA in most cases.
+
+#include <iostream>
+#include <vector>
+
+#include "random_sweep.hpp"
+
+int main(int argc, char** argv) {
+  const mrlc::bench::BenchArgs bench_args = mrlc::bench::parse_bench_args(argc, argv);
+  using namespace mrlc;
+  bench::print_header("Fig. 9",
+                      "random graphs, heterogeneous energy [1500 J, 5000 J]");
+
+  scenario::RandomNetworkConfig config;
+  config.energy_min_j = 1500.0;
+  config.energy_max_j = 5000.0;
+  const std::vector<bench::SweepRow> rows = bench::run_sweep(config, 100, 9);
+  bench::print_sweep(rows, bench_args);
+
+  std::cout << "\nexpected shape: IRA-MST gap narrows vs Fig. 8; AAML unstable "
+               "with large spikes\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file random_sweep.hpp
+/// \brief Shared driver for the random-graph experiments (Figs. 8-10):
+/// per-instance cost of AAML, IRA at LC = L_AAML, and MST.
+
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "baselines/aaml.hpp"
+#include "baselines/mst_baseline.hpp"
+#include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/statistics.hpp"
+#include "common/table.hpp"
+#include "core/ira.hpp"
+#include "scenario/random_net.hpp"
+
+namespace mrlc::bench {
+
+struct SweepRow {
+  double aaml_cost = 0.0;
+  double aaml_reliability = 0.0;
+  double ira_cost = 0.0;
+  double ira_reliability = 0.0;
+  bool ira_meets = false;
+  double mst_cost = 0.0;
+  double mst_reliability = 0.0;
+  double lifetime_constraint = 0.0;
+};
+
+/// Runs one instance: AAML fixes the lifetime constraint, IRA (direct
+/// mode, as in the paper's evaluation) and MST compete on cost.
+inline SweepRow run_instance(const wsn::Network& net) {
+  SweepRow row;
+  const baselines::AamlResult aaml = baselines::aaml(net);
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult ira =
+      core::IterativeRelaxation(options).solve(net, aaml.lifetime);
+  const baselines::MstResult mst = baselines::mst_baseline(net);
+  row.aaml_cost = aaml.cost;
+  row.aaml_reliability = aaml.reliability;
+  row.ira_cost = ira.cost;
+  row.ira_reliability = ira.reliability;
+  row.ira_meets = ira.meets_bound;
+  row.mst_cost = mst.cost;
+  row.mst_reliability = mst.reliability;
+  row.lifetime_constraint = aaml.lifetime;
+  return row;
+}
+
+/// Runs `count` independent instances in parallel (one RNG stream each).
+inline std::vector<SweepRow> run_sweep(const scenario::RandomNetworkConfig& config,
+                                       int count, std::uint64_t base_seed) {
+  std::vector<SweepRow> rows(static_cast<std::size_t>(count));
+  Rng base(base_seed);
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
+  for (auto& s : seeds) s = base();
+  parallel_for(count, [&](int i) {
+    Rng rng(seeds[static_cast<std::size_t>(i)]);
+    rows[static_cast<std::size_t>(i)] =
+        run_instance(scenario::make_random_network(config, rng));
+  });
+  return rows;
+}
+
+/// Prints the per-instance series (the paper plots one curve per
+/// algorithm over 100 instances) followed by summary statistics.
+inline void print_sweep(const std::vector<SweepRow>& rows,
+                        const BenchArgs& args = {}) {
+  Table table({"instance", "AAML_cost_mb", "IRA_cost_mb", "MST_cost_mb",
+               "AAML_rel", "IRA_rel", "MST_rel", "IRA_meets_LC"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    table.begin_row()
+        .add(static_cast<long long>(i))
+        .add(to_millibits(r.aaml_cost), 1)
+        .add(to_millibits(r.ira_cost), 1)
+        .add(to_millibits(r.mst_cost), 1)
+        .add(r.aaml_reliability, 3)
+        .add(r.ira_reliability, 3)
+        .add(r.mst_reliability, 3)
+        .add(r.ira_meets ? "yes" : "violated");
+  }
+  emit(table, args);
+
+  std::vector<double> aaml_costs, ira_costs, mst_costs, gaps;
+  int meets = 0;
+  for (const SweepRow& r : rows) {
+    aaml_costs.push_back(to_millibits(r.aaml_cost));
+    ira_costs.push_back(to_millibits(r.ira_cost));
+    mst_costs.push_back(to_millibits(r.mst_cost));
+    gaps.push_back(to_millibits(r.ira_cost - r.mst_cost));
+    meets += r.ira_meets ? 1 : 0;
+  }
+  const Summary a = summarize(aaml_costs);
+  const Summary i = summarize(ira_costs);
+  const Summary m = summarize(mst_costs);
+  const Summary g = summarize(gaps);
+
+  std::cout << "\nsummary over " << rows.size() << " instances (cost in millibits):\n";
+  Table summary({"algorithm", "mean", "stddev", "min", "median", "max"});
+  auto srow = [&](const char* name, const Summary& s) {
+    summary.begin_row().add(std::string(name)).add(s.mean, 1).add(s.stddev, 1)
+        .add(s.min, 1).add(s.median, 1).add(s.max, 1);
+  };
+  srow("AAML", a);
+  srow("IRA@L_AAML", i);
+  srow("MST (lower bound)", m);
+  srow("IRA - MST gap", g);
+  emit(summary, args);
+  std::cout << "IRA met the lifetime constraint on " << meets << "/" << rows.size()
+            << " instances\n";
+}
+
+}  // namespace mrlc::bench

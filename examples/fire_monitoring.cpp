@@ -1,0 +1,87 @@
+/// \file fire_monitoring.cpp
+/// \brief Time-critical monitoring scenario from the paper's introduction:
+/// fire monitoring disables retransmissions and ACKs (stale data is
+/// useless), so per-round delivery probability is exactly the tree
+/// reliability Q(T) — and the deployment still has to survive a whole dry
+/// season on one battery set.
+///
+/// This example sizes the lifetime constraint from mission requirements,
+/// solves MRLC on a 32-node random deployment, and quantifies what the
+/// reliability gain means in missed-alarm terms.
+
+#include <cmath>
+#include <iostream>
+
+#include "baselines/aaml.hpp"
+#include "baselines/mst_baseline.hpp"
+#include "common/rng.hpp"
+#include "core/ira.hpp"
+#include "scenario/random_net.hpp"
+#include "wsn/metrics.hpp"
+
+int main() {
+  using namespace mrlc;
+
+  // --- Deployment: 32 sensors, mixed-quality links. ---------------------
+  Rng rng(2026);
+  scenario::RandomNetworkConfig config;
+  config.node_count = 32;
+  config.link_probability = 0.3;
+  config.prr_min = 0.7;       // forest links are worse than testbed links
+  config.prr_max = 1.0;
+  config.energy_min_j = 800;  // the deployment is half-depleted and uneven
+  config.energy_max_j = 3000;
+  const wsn::Network net = scenario::make_random_network(config, rng);
+
+  // --- Mission: 9 months of sensing at one reading per 10 seconds. ------
+  const double rounds_per_day = 24.0 * 3600.0 / 10.0;
+  const double mission_rounds = rounds_per_day * 274.0;
+  std::cout << "fire-monitoring mission: 9 months at 0.1 Hz = " << mission_rounds
+            << " aggregation rounds\n\n";
+
+  // --- Solve. ------------------------------------------------------------
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult ira =
+      core::IterativeRelaxation(options).solve(net, mission_rounds);
+  const baselines::AamlResult aaml = baselines::aaml(net);
+  const baselines::MstResult mst = baselines::mst_baseline(net);
+
+  auto report = [&](const char* name, double reliability, double lifetime) {
+    // With no retransmissions, a reading is seen within k rounds with
+    // probability 1 - (1 - Q)^k; report rounds-to-99% as detection latency.
+    const double rounds_to_99 =
+        std::log(0.01) / std::log(std::max(1e-12, 1.0 - reliability));
+    std::cout << "  " << name << ": Q(T) = " << reliability
+              << ", lifetime = " << lifetime / rounds_per_day << " days"
+              << ", rounds until a fire is seen w.p. 99%: " << rounds_to_99 << '\n';
+  };
+  std::cout << "candidate trees:\n";
+  report("IRA  (mission-constrained)", ira.reliability, ira.lifetime);
+  report("AAML (lifetime only)      ", aaml.reliability, aaml.lifetime);
+  report("MST  (reliability only)   ", mst.reliability, mst.lifetime);
+
+  std::cout << "\nmission check for IRA: lifetime covers "
+            << ira.lifetime / mission_rounds << "x the mission ("
+            << (ira.meets_bound ? "constraint met" : "constraint violated") << ")\n";
+
+  // --- Stretch mission: what if command extends the deployment? ---------
+  // Beyond the achievable lifetime the solver degrades predictably: the
+  // direct relaxation reports how far the best tree falls short (never
+  // more than two children per node beyond the cap), instead of silently
+  // shipping a tree that dies early.
+  const double stretch_rounds = rounds_per_day * 420.0;
+  std::cout << "\nstretch mission (14 months = " << stretch_rounds << " rounds):\n";
+  try {
+    const core::IraResult stretch =
+        core::IterativeRelaxation(options).solve(net, stretch_rounds);
+    std::cout << "  best tree survives " << stretch.lifetime / rounds_per_day
+              << " days (" << (stretch.meets_bound
+                                   ? "mission met"
+                                   : "short of the mission — reported, not hidden")
+              << "), Q(T) = " << stretch.reliability << "\n";
+  } catch (const InfeasibleError& e) {
+    std::cout << "  solver proved it impossible: " << e.what() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,140 @@
+#include "baselines/aaml.hpp"
+
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "graph/traversal.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::baselines {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Ascending per-node lifetime profile — the lexicographic objective.
+/// It takes finitely many values over spanning trees and strictly
+/// increases at every accepted lexicographic step, so AAML terminates.
+std::vector<double> lifetime_profile(const wsn::Network& net,
+                                     const wsn::AggregationTree& tree) {
+  std::vector<double> profile(static_cast<std::size_t>(net.node_count()));
+  for (wsn::VertexId v = 0; v < net.node_count(); ++v) {
+    profile[static_cast<std::size_t>(v)] = wsn::node_lifetime(net, tree, v);
+  }
+  std::sort(profile.begin(), profile.end());
+  return profile;
+}
+
+/// Tolerant lexicographic comparison: near-equal entries count as equal so
+/// floating-point noise cannot masquerade as progress.
+bool lex_greater(const std::vector<double>& a, const std::vector<double>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i] + kTol) return true;
+    if (a[i] < b[i] - kTol) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+AamlResult aaml(const wsn::Network& net, const AamlOptions& options) {
+  net.validate();
+  MRLC_REQUIRE(options.max_steps >= 0, "step cap must be non-negative");
+
+  // "Starts from an arbitrary tree": either a random spanning tree
+  // (randomized frontier growth from the sink) or the BFS tree.
+  std::vector<wsn::VertexId> parents;
+  if (options.initial == AamlInitialTree::kBfs) {
+    const graph::BfsTree bfs = graph::bfs_tree(net.topology(), net.sink());
+    parents = bfs.parent_vertex;
+  } else {
+    // Randomized Prim: repeatedly attach a uniformly random frontier edge.
+    Rng rng(options.seed);
+    const int n = net.node_count();
+    parents.assign(static_cast<std::size_t>(n), -1);
+    std::vector<bool> attached(static_cast<std::size_t>(n), false);
+    attached[static_cast<std::size_t>(net.sink())] = true;
+    std::vector<graph::EdgeId> frontier(net.topology().incident(net.sink()).begin(),
+                                        net.topology().incident(net.sink()).end());
+    while (!frontier.empty()) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(frontier.size()) - 1));
+      const graph::EdgeId id = frontier[pick];
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      const graph::Edge& e = net.topology().edge(id);
+      const wsn::VertexId parent = attached[static_cast<std::size_t>(e.u)] ? e.u : e.v;
+      const wsn::VertexId child = e.u == parent ? e.v : e.u;
+      if (attached[static_cast<std::size_t>(child)]) continue;  // stale edge
+      attached[static_cast<std::size_t>(child)] = true;
+      parents[static_cast<std::size_t>(child)] = parent;
+      for (graph::EdgeId next : net.topology().incident(child)) {
+        const wsn::VertexId other = net.topology().edge(next).other(child);
+        if (!attached[static_cast<std::size_t>(other)]) frontier.push_back(next);
+      }
+    }
+  }
+  parents[static_cast<std::size_t>(net.sink())] = -1;
+  wsn::AggregationTree tree = wsn::AggregationTree::from_parents(net, parents);
+
+  std::vector<double> profile = lifetime_profile(net, tree);
+  int steps = 0;
+
+  while (steps < options.max_steps) {
+    const double bottleneck_lifetime = profile.front();
+
+    // Candidate moves: re-parent a child of any bottleneck-level node.
+    struct Move {
+      wsn::VertexId child = -1;
+      wsn::VertexId new_parent = -1;
+      wsn::EdgeId via = -1;
+      std::vector<double> profile;
+    };
+    std::optional<Move> best;
+
+    const auto children = tree.children_lists();
+    for (wsn::VertexId b = 0; b < net.node_count(); ++b) {
+      if (wsn::node_lifetime(net, tree, b) > bottleneck_lifetime + kTol) continue;
+      for (wsn::VertexId c : children[static_cast<std::size_t>(b)]) {
+        for (graph::EdgeId id : net.topology().incident(c)) {
+          const wsn::VertexId p = net.topology().edge(id).other(c);
+          if (p == b || tree.in_subtree(c, p)) continue;
+
+          wsn::AggregationTree trial = tree;
+          trial.reparent(net, c, p, id);
+          std::vector<double> trial_profile = lifetime_profile(net, trial);
+
+          const bool improves =
+              options.mode == AamlSearchMode::kStrictMinImprovement
+                  ? trial_profile.front() > profile.front() + kTol
+                  : lex_greater(trial_profile, profile);
+          if (!improves) continue;
+          const bool better_than_best =
+              !best.has_value() ||
+              (options.mode == AamlSearchMode::kStrictMinImprovement
+                   ? trial_profile.front() > best->profile.front() + kTol
+                   : lex_greater(trial_profile, best->profile));
+          if (better_than_best) {
+            best = Move{c, p, id, std::move(trial_profile)};
+          }
+        }
+      }
+    }
+
+    if (!best.has_value()) break;  // local optimum
+    tree.reparent(net, best->child, best->new_parent, best->via);
+    profile = std::move(best->profile);
+    ++steps;
+  }
+
+  AamlResult out{std::move(tree), 0.0, 0.0, 0.0, steps};
+  out.lifetime = wsn::network_lifetime(net, out.tree);
+  out.cost = wsn::tree_cost(net, out.tree);
+  out.reliability = wsn::tree_reliability(net, out.tree);
+  return out;
+}
+
+}  // namespace mrlc::baselines

@@ -1,0 +1,27 @@
+#include "baselines/etx_spt.hpp"
+
+#include <algorithm>
+
+#include "graph/shortest_path.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::baselines {
+
+EtxSptResult etx_spt(const wsn::Network& net) {
+  net.validate();
+  const graph::ShortestPaths paths = graph::dijkstra(
+      net.topology(), net.sink(),
+      [&](graph::EdgeId id) { return 1.0 / net.link_prr(id); });
+
+  std::vector<wsn::VertexId> parents(paths.parent_vertex);
+  parents[static_cast<std::size_t>(net.sink())] = -1;
+  EtxSptResult out;
+  out.tree = wsn::AggregationTree::from_parents(net, std::move(parents));
+  out.cost = wsn::tree_cost(net, out.tree);
+  out.reliability = wsn::tree_reliability(net, out.tree);
+  out.lifetime = wsn::network_lifetime(net, out.tree);
+  out.max_path_etx = *std::max_element(paths.distance.begin(), paths.distance.end());
+  return out;
+}
+
+}  // namespace mrlc::baselines

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file etx_spt.hpp
+/// \brief ETX shortest-path-tree baseline (Couto et al. [10] / CTP [7]).
+///
+/// Link-quality routing as deployed in practice: every node routes to the
+/// sink along the path minimizing the total *expected transmission count*
+/// ETX(e) = 1/q_e.  The union of those paths is a shortest-path tree —
+/// a natural third point of comparison between the paper's extremes:
+///
+/// * vs MST: the SPT optimizes per-node end-to-end delivery, not the
+///   all-or-nothing round reliability Q(T), so its product-of-PRR can be
+///   worse than the MST's even though each node's own path looks good;
+/// * vs AAML: it is quality-aware but completely lifetime-blind — popular
+///   next-hops collect many children and die early.
+///
+/// The paper argues ETX-style forwarding is the wrong tool for
+/// aggregation trees (Section III-A); this baseline quantifies that.
+
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::baselines {
+
+struct EtxSptResult {
+  wsn::AggregationTree tree;
+  double cost = 0.0;
+  double reliability = 0.0;
+  double lifetime = 0.0;
+  double max_path_etx = 0.0;  ///< worst node's expected transmissions to sink
+};
+
+/// Builds the ETX shortest-path tree rooted at the sink.
+/// Throws InfeasibleError if the topology is disconnected.
+EtxSptResult etx_spt(const wsn::Network& net);
+
+}  // namespace mrlc::baselines

@@ -1,0 +1,71 @@
+#include "baselines/greedy_mrlc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/dsu.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::baselines {
+
+GreedyMrlcResult greedy_mrlc(const wsn::Network& net, double lifetime_bound,
+                             const GreedyMrlcOptions& options) {
+  net.validate();
+  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
+  MRLC_REQUIRE(options.max_cap_relaxations >= 0, "relaxation budget >= 0");
+
+  const int n = net.node_count();
+  const auto& g = net.topology();
+
+  // Integer degree budgets implied by the children caps at LC.
+  std::vector<int> base_budget(static_cast<std::size_t>(n));
+  for (wsn::VertexId v = 0; v < n; ++v) {
+    const double children = net.max_children_real(v, lifetime_bound);
+    const double degree = v == net.sink() ? children : children + 1.0;
+    base_budget[static_cast<std::size_t>(v)] =
+        std::max(0, static_cast<int>(std::floor(degree + 1e-9)));
+  }
+
+  std::vector<graph::EdgeId> ids = g.alive_edge_ids();
+  std::sort(ids.begin(), ids.end(), [&](graph::EdgeId a, graph::EdgeId b) {
+    return g.edge(a).weight < g.edge(b).weight;
+  });
+
+  for (int relax = 0; relax <= options.max_cap_relaxations; ++relax) {
+    graph::DisjointSetUnion dsu(n);
+    std::vector<int> degree(static_cast<std::size_t>(n), 0);
+    std::vector<graph::EdgeId> chosen;
+    chosen.reserve(static_cast<std::size_t>(n - 1));
+
+    for (graph::EdgeId id : ids) {
+      const graph::Edge& e = g.edge(id);
+      if (degree[static_cast<std::size_t>(e.u)] >=
+              base_budget[static_cast<std::size_t>(e.u)] + relax ||
+          degree[static_cast<std::size_t>(e.v)] >=
+              base_budget[static_cast<std::size_t>(e.v)] + relax) {
+        continue;
+      }
+      if (!dsu.unite(e.u, e.v)) continue;
+      ++degree[static_cast<std::size_t>(e.u)];
+      ++degree[static_cast<std::size_t>(e.v)];
+      chosen.push_back(id);
+      if (static_cast<int>(chosen.size()) == n - 1) break;
+    }
+    if (static_cast<int>(chosen.size()) != n - 1) continue;  // stuck; relax
+
+    GreedyMrlcResult out;
+    out.tree = wsn::AggregationTree::from_edges(net, chosen);
+    out.cost = wsn::tree_cost(net, out.tree);
+    out.reliability = wsn::tree_reliability(net, out.tree);
+    out.lifetime = wsn::network_lifetime(net, out.tree);
+    out.meets_bound = out.lifetime >= lifetime_bound * (1.0 - 1e-12);
+    out.cap_relaxations = relax;
+    return out;
+  }
+  throw InfeasibleError(
+      "degree-capped Kruskal could not span the network within the cap "
+      "relaxation budget");
+}
+
+}  // namespace mrlc::baselines

@@ -1,0 +1,19 @@
+#include "baselines/mst_baseline.hpp"
+
+#include "graph/mst.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::baselines {
+
+MstResult mst_baseline(const wsn::Network& net) {
+  net.validate();
+  const auto mst = graph::prim_mst(net.topology(), net.sink());
+  MRLC_ENSURE(mst.has_value(), "validate() guarantees connectivity");
+  MstResult out{wsn::AggregationTree::from_edges(net, mst->edges), 0.0, 0.0, 0.0};
+  out.cost = wsn::tree_cost(net, out.tree);
+  out.reliability = wsn::tree_reliability(net, out.tree);
+  out.lifetime = wsn::network_lifetime(net, out.tree);
+  return out;
+}
+
+}  // namespace mrlc::baselines

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file mst_baseline.hpp
+/// \brief The MST baseline: Prim's algorithm on link costs (Section VII).
+///
+/// The minimum-cost spanning tree ignores the lifetime constraint entirely;
+/// since the MRLC optimum can never cost less, the paper uses it as the
+/// lower bound on achievable cost (equivalently, the upper bound on
+/// reliability).
+
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::baselines {
+
+struct MstResult {
+  wsn::AggregationTree tree;
+  double cost = 0.0;
+  double reliability = 0.0;
+  double lifetime = 0.0;
+};
+
+/// Minimum-cost aggregation tree via Prim from the sink.
+/// Throws InfeasibleError if the topology is disconnected.
+MstResult mst_baseline(const wsn::Network& net);
+
+}  // namespace mrlc::baselines

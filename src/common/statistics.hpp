@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file statistics.hpp
+/// \brief Small online/offline statistics helpers used by simulations and
+/// benchmark harnesses to summarize Monte-Carlo runs.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mrlc {
+
+/// Welford online accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a sample: n, mean, stddev, min, percentiles, max.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+/// Linear-interpolated percentile of a sample; `q` in [0, 1].
+/// Returns 0 for an empty sample.
+double percentile(std::span<const double> sorted_values, double q);
+
+/// Computes the full summary (copies + sorts internally).
+Summary summarize(std::span<const double> values);
+
+/// Convenience: arithmetic mean (0 for empty input).
+double mean_of(std::span<const double> values);
+
+}  // namespace mrlc

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief Column-aligned plain-text tables and CSV output.
+///
+/// The benchmark binaries print the same rows/series the paper's figures
+/// report; this helper keeps that output readable and machine-parsable
+/// (every table can also be emitted as CSV).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mrlc {
+
+/// A simple row/column table.  Cells are strings; numeric convenience
+/// overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row.  Cells are appended with `add`.
+  Table& begin_row();
+  Table& add(std::string cell);
+  Table& add(double value, int precision = 4);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long long>(value)); }
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Renders with aligned columns and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (RFC-4180-ish quoting for commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision (helper shared with Table).
+std::string format_double(double value, int precision);
+
+}  // namespace mrlc

@@ -1,0 +1,69 @@
+#include "core/exact.hpp"
+
+#include <limits>
+
+#include "graph/enumeration.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::core {
+
+namespace {
+
+/// Shared enumeration: keeps the best tree under `better`, where `better`
+/// sees (candidate tree, candidate cost, candidate lifetime).
+template <typename Better>
+std::optional<ExactResult> enumerate_best(const wsn::Network& net,
+                                          std::uint64_t max_trees, Better better) {
+  net.validate();
+  std::optional<ExactResult> best;
+  std::uint64_t examined = 0;
+  bool budget_exceeded = false;
+
+  graph::for_each_spanning_tree(net.topology(), [&](const graph::SpanningTree& st) {
+    if (++examined > max_trees) {
+      budget_exceeded = true;
+      return false;
+    }
+    auto tree = wsn::AggregationTree::from_edges(net, st.edges);
+    const double cost = st.total_weight;
+    const double lifetime = wsn::network_lifetime(net, tree);
+    if (better(cost, lifetime, best)) {
+      best = ExactResult{std::move(tree), cost, 0.0, lifetime, 0};
+    }
+    return true;
+  });
+
+  MRLC_REQUIRE(!budget_exceeded,
+               "instance has too many spanning trees for exhaustive search");
+  if (best.has_value()) {
+    best->trees_examined = examined;
+    best->reliability = wsn::tree_reliability(net, best->tree);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<ExactResult> exact_mrlc(const wsn::Network& net, double lifetime_bound,
+                                      std::uint64_t max_trees) {
+  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
+  return enumerate_best(
+      net, max_trees,
+      [&](double cost, double lifetime, const std::optional<ExactResult>& best) {
+        if (lifetime < lifetime_bound) return false;
+        return !best.has_value() || cost < best->cost;
+      });
+}
+
+std::optional<ExactResult> exact_max_lifetime(const wsn::Network& net,
+                                              std::uint64_t max_trees) {
+  return enumerate_best(
+      net, max_trees,
+      [&](double cost, double lifetime, const std::optional<ExactResult>& best) {
+        if (!best.has_value()) return true;
+        if (lifetime != best->lifetime) return lifetime > best->lifetime;
+        return cost < best->cost;  // tie-break toward cheaper trees
+      });
+}
+
+}  // namespace mrlc::core

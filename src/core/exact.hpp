@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file exact.hpp
+/// \brief Exact MRLC solver by exhaustive spanning-tree enumeration.
+///
+/// MRLC is NP-complete, so this is only usable for small instances; it
+/// exists as ground truth for tests (IRA's cost must be sandwiched between
+/// the LC-optimal and the L'-optimal cost) and for the ablation benches.
+
+#include <cstdint>
+#include <optional>
+
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::core {
+
+struct ExactResult {
+  wsn::AggregationTree tree;
+  double cost = 0.0;
+  double reliability = 0.0;
+  double lifetime = 0.0;
+  std::uint64_t trees_examined = 0;
+};
+
+/// Minimum-cost aggregation tree with lifetime >= `lifetime_bound`.
+/// Returns nullopt when no spanning tree satisfies the bound.
+/// \throws std::invalid_argument when the instance exceeds `max_trees`
+///         spanning trees (refuses to silently run forever).
+std::optional<ExactResult> exact_mrlc(const wsn::Network& net, double lifetime_bound,
+                                      std::uint64_t max_trees = 50'000'000);
+
+/// Maximum achievable network lifetime over all spanning trees (ground
+/// truth for the AAML baseline tests).
+std::optional<ExactResult> exact_max_lifetime(const wsn::Network& net,
+                                              std::uint64_t max_trees = 50'000'000);
+
+}  // namespace mrlc::core

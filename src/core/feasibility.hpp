@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file feasibility.hpp
+/// \brief Lifetime feasibility probing: "what is the longest lifetime any
+/// aggregation tree of this network can guarantee?"
+///
+/// Deployments need this before picking an LC for the MRLC solve: asking
+/// IRA for an unachievable bound just returns InfeasibleError.  Because the
+/// exact question (does a spanning tree with the per-node children caps
+/// exist?) is itself NP-hard in general, the module brackets the answer:
+///
+/// * `lp_lifetime_upper_bound` — binary search over the LP relaxation
+///   LP(G, LC, V).  If the LP is infeasible at LC, no tree achieves LC
+///   (the LP is a relaxation), so the search limit is a true upper bound.
+/// * `achievable_lifetime_lower_bound` — the lifetime of a concrete tree
+///   built by the strongest AAML variant (lexicographic balancing), which
+///   any caller can actually deploy.
+///
+/// The true maximum lies in [lower, upper]; on the instances in this
+/// repository the bracket is tight (see tests/feasibility_test.cpp).
+
+#include "core/ira.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::core {
+
+/// True iff LP(G, bound, V) — degree caps taken directly at `bound` — has
+/// a fractional solution.  A `false` answer proves no aggregation tree of
+/// lifetime >= `bound` exists.
+bool lp_lifetime_feasible(const wsn::Network& net, double bound,
+                          const IraOptions& options = {});
+
+struct LifetimeBracket {
+  double lower = 0.0;   ///< achieved by a concrete tree (deployable now)
+  double upper = 0.0;   ///< LP-certified: nothing above this is possible
+  int probes = 0;       ///< LP feasibility solves spent
+};
+
+/// Brackets the maximum achievable network lifetime.
+/// \param relative_tolerance stop when (upper-lower)/upper of the *search
+///        interval* falls below this (the returned bracket may still be
+///        wider if the LP bound and the constructive bound disagree).
+LifetimeBracket bracket_max_lifetime(const wsn::Network& net,
+                                     double relative_tolerance = 1e-4,
+                                     const IraOptions& options = {});
+
+/// Upper bound alone (binary search over the LP relaxation).
+double lp_lifetime_upper_bound(const wsn::Network& net,
+                               double relative_tolerance = 1e-4,
+                               const IraOptions& options = {});
+
+/// Lower bound alone (lifetime of the lexicographic-AAML tree).
+double achievable_lifetime_lower_bound(const wsn::Network& net);
+
+}  // namespace mrlc::core

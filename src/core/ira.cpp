@@ -1,0 +1,165 @@
+#include "core/ira.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "core/lp_formulation.hpp"
+#include "graph/mst.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::core {
+
+double IterativeRelaxation::strict_bound(const wsn::Network& net,
+                                         double lifetime_bound) {
+  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
+  const double i_min = net.min_initial_energy();
+  const double rx = net.energy_model().rx_joules;
+  const double denom = i_min - 2.0 * rx * lifetime_bound;
+  if (denom <= 0.0) {
+    std::ostringstream os;
+    os << "lifetime bound " << lifetime_bound
+       << " leaves no relaxation headroom: I_min - 2*Rx*LC = " << denom
+       << " <= 0, so the strict bound L' of Algorithm 1 is undefined";
+    throw InfeasibleError(os.str());
+  }
+  return i_min * lifetime_bound / denom;
+}
+
+namespace {
+
+/// Lifetime of v if EVERY remaining support edge incident to it became a
+/// tree edge — the paper's E*(L(v)) of Line 8.  Non-sink vertices spend one
+/// incident edge on their parent.
+double worst_case_lifetime(const wsn::Network& net, const graph::Graph& working,
+                           graph::VertexId v) {
+  const int support_degree = working.degree(v);
+  const int children =
+      v == net.sink() ? support_degree : std::max(0, support_degree - 1);
+  return net.energy_model().node_lifetime(net.initial_energy(v), children);
+}
+
+/// Mode-dependent Line-8 test: may v's lifetime row be dropped?
+///
+/// * Paper-strict mode: drop when even taking every support edge keeps the
+///   lifetime at LC — sound because the LP ran with the stricter L'.
+/// * Direct mode: the Singh–Lau rule — drop when the support degree is
+///   within 2 of the LC degree cap.  Theorem 2's token argument guarantees
+///   such a vertex exists at a fractional extreme point, and it bounds the
+///   final violation by two children per node.
+bool constraint_removable(const wsn::Network& net, const graph::Graph& working,
+                          graph::VertexId v, double lifetime_bound,
+                          BoundMode mode) {
+  if (mode == BoundMode::kPaperStrict) {
+    return worst_case_lifetime(net, working, v) >= lifetime_bound;
+  }
+  const double children_cap = net.max_children_real(v, lifetime_bound);
+  const double degree_cap =
+      v == net.sink() ? children_cap : children_cap + 1.0;
+  return static_cast<double>(working.degree(v)) <= degree_cap + 2.0 + 1e-9;
+}
+
+}  // namespace
+
+IraResult IterativeRelaxation::solve(const wsn::Network& net,
+                                     double lifetime_bound) const {
+  net.validate();
+  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
+  const double strict = options_.bound_mode == BoundMode::kPaperStrict
+                            ? strict_bound(net, lifetime_bound)
+                            : lifetime_bound;
+  const int n = net.node_count();
+
+  graph::Graph working = net.topology();  // IRA mutates a working copy
+  std::vector<bool> constrained(static_cast<std::size_t>(n), true);
+  int constrained_count = n;
+
+  IraStats stats;
+  const lp::SimplexSolver solver(options_.simplex);
+
+  while (constrained_count > 0) {
+    ++stats.outer_iterations;
+
+    MrlcLpFormulation formulation(
+        working, lifetime_degree_caps(net, constrained, strict));
+    const CutLpResult lp_result =
+        solve_with_subtour_cuts(formulation, solver, options_.max_cut_rounds);
+    stats.lp_solves += lp_result.lp_solves;
+    stats.simplex_iterations += lp_result.simplex_iterations;
+    stats.cuts_added += lp_result.cuts_added;
+
+    if (lp_result.status == lp::SolveStatus::kInfeasible) {
+      std::ostringstream os;
+      os << "no data aggregation tree with lifetime >= " << lifetime_bound
+         << " exists (LP(G, L', W) infeasible with L' = " << strict << ")";
+      throw InfeasibleError(os.str());
+    }
+    MRLC_ENSURE(lp_result.status == lp::SolveStatus::kOptimal,
+                "LP solve failed to converge");
+
+    // Line 6: drop edges outside the support of the extreme point.
+    for (graph::EdgeId id : working.alive_edge_ids()) {
+      if (lp_result.edge_values[static_cast<std::size_t>(id)] <=
+          options_.zero_tolerance) {
+        working.remove_edge(id);
+        ++stats.edges_removed;
+      }
+    }
+
+    // Line 8: relax every vertex whose constraint can no longer bind.
+    int removed_this_round = 0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (!constrained[static_cast<std::size_t>(v)]) continue;
+      if (constraint_removable(net, working, v, lifetime_bound,
+                               options_.bound_mode)) {
+        constrained[static_cast<std::size_t>(v)] = false;
+        --constrained_count;
+        ++removed_this_round;
+        ++stats.constraints_removed;
+      }
+    }
+
+    if (removed_this_round == 0) {
+      // Theorem 2 rules this out at exact extreme points; floating-point
+      // cuts can produce it.  Either fall back (remove the slackest vertex)
+      // or give up loudly.
+      MRLC_ENSURE(options_.allow_slack_fallback,
+                  "no removable lifetime constraint found (numerical "
+                  "degeneracy) and the slack fallback is disabled");
+      stats.used_fallback = true;
+      graph::VertexId best = -1;
+      double best_slack = -std::numeric_limits<double>::infinity();
+      for (graph::VertexId v = 0; v < n; ++v) {
+        if (!constrained[static_cast<std::size_t>(v)]) continue;
+        const double slack = worst_case_lifetime(net, working, v) - lifetime_bound;
+        if (slack > best_slack) {
+          best_slack = slack;
+          best = v;
+        }
+      }
+      MRLC_ENSURE(best != -1, "constrained set empty despite counter");
+      constrained[static_cast<std::size_t>(best)] = false;
+      --constrained_count;
+      ++stats.constraints_removed;
+    }
+  }
+
+  // W = ∅: LP(G, L', ∅) is the Subtour LP, whose extreme points are
+  // integral (Lemma 1) — equivalently, the MST of the surviving edges.
+  const auto mst = graph::prim_mst(working, net.sink());
+  if (!mst.has_value()) {
+    throw InfeasibleError(
+        "edge pruning disconnected the working graph (should not happen: the "
+        "LP keeps x(E(V)) = n-1 over the support)");
+  }
+
+  IraResult out{wsn::AggregationTree::from_edges(net, mst->edges),
+                0.0, 0.0, 0.0, strict, false, stats};
+  out.cost = wsn::tree_cost(net, out.tree);
+  out.reliability = wsn::tree_reliability(net, out.tree);
+  out.lifetime = wsn::network_lifetime(net, out.tree);
+  out.meets_bound = out.lifetime >= lifetime_bound * (1.0 - 1e-12);
+  return out;
+}
+
+}  // namespace mrlc::core

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file ira.hpp
+/// \brief The Iterative Relaxation Algorithm (Algorithm 1 of the paper) —
+/// the centralized solution to the MRLC problem.
+///
+/// IRA keeps a working copy of the topology and a shrinking set W of
+/// lifetime-constrained vertices.  Each iteration solves the LP relaxation
+/// LP(G, L', W) to an extreme point, deletes edges whose x_e is zero, and
+/// removes from W any vertex whose lifetime constraint can no longer be
+/// violated (its support degree is already low enough, Line 8).  Theorem 2
+/// guarantees such a vertex exists at a true extreme point; once W is
+/// empty the LP degenerates to the Subtour LP, whose extreme points are
+/// integral (Lemma 1) — i.e. the answer is the minimum spanning tree of the
+/// surviving edges.
+///
+/// L' = I_min * LC / (I_min - 2 * Rx * LC) is deliberately stricter than LC
+/// (about two children of headroom per node), so the relaxation steps never
+/// push a node's lifetime below LC.  IRA therefore either (a) proves no
+/// aggregation tree with lifetime >= LC exists, or (b) returns one whose
+/// cost is at most OPT(L').
+
+#include <optional>
+
+#include "lp/simplex.hpp"
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::core {
+
+/// Which internal bound the LP's degree rows encode.
+enum class BoundMode {
+  /// The paper's Line 3: L' = I_min*LC / (I_min - 2*Rx*LC), about two
+  /// children of headroom stricter than LC.  Guarantees the returned tree
+  /// meets LC, but is undefined/infeasible for aggressive LC (any bound
+  /// within two children of the maximum achievable lifetime).  This is the
+  /// regime where Theorem 2's token argument holds unconditionally.
+  kPaperStrict,
+  /// L' = LC: the Singh–Lau-style relaxation.  Cost is at most OPT(LC) and
+  /// the lifetime constraint may be violated by up to two children per node
+  /// in theory (check `IraResult::meets_bound`; violations are rare in
+  /// practice because the extreme points are near-integral).  The paper's
+  /// own Fig. 7 constraint levels (up to 2.5x L_AAML) are only expressible
+  /// in this mode — see EXPERIMENTS.md.
+  kDirect,
+};
+
+struct IraOptions {
+  BoundMode bound_mode = BoundMode::kPaperStrict;
+  /// x_e values at or below this are treated as zero when pruning edges.
+  double zero_tolerance = 1e-7;
+  /// Cutting-plane rounds per LP solve.
+  int max_cut_rounds = 200;
+  /// Numerical safety net: when no vertex passes the strict Line-8 test
+  /// (cannot happen at an exact extreme point, but can after floating-point
+  /// cuts), remove the vertex with the largest lifetime slack instead of
+  /// failing.  The result still gets a final lifetime check.
+  bool allow_slack_fallback = true;
+  lp::SimplexOptions simplex;
+};
+
+struct IraStats {
+  int outer_iterations = 0;
+  int lp_solves = 0;
+  long long simplex_iterations = 0;
+  int cuts_added = 0;
+  int edges_removed = 0;
+  int constraints_removed = 0;
+  bool used_fallback = false;
+};
+
+struct IraResult {
+  wsn::AggregationTree tree;
+  double cost = 0.0;
+  double reliability = 0.0;
+  double lifetime = 0.0;           ///< achieved network lifetime (rounds)
+  double strict_bound = 0.0;       ///< the L' used internally
+  bool meets_bound = false;        ///< lifetime >= LC (always true unless the
+                                   ///< numerical fallback fired)
+  IraStats stats;
+};
+
+class IterativeRelaxation {
+ public:
+  explicit IterativeRelaxation(IraOptions options = {}) : options_(options) {}
+
+  /// Solves MRLC on `net` with lifetime threshold `lifetime_bound` (LC).
+  /// \throws InfeasibleError when no aggregation tree with lifetime >= LC
+  ///         exists (LP infeasible), when the topology is disconnected, or
+  ///         when LC is too aggressive for the paper's L' construction
+  ///         (I_min - 2*Rx*LC <= 0, which makes L' meaningless).
+  IraResult solve(const wsn::Network& net, double lifetime_bound) const;
+
+  /// The strict internal bound L' (Line 3 of Algorithm 1); exposed for
+  /// tests and benchmarks.  Throws InfeasibleError when undefined.
+  static double strict_bound(const wsn::Network& net, double lifetime_bound);
+
+ private:
+  IraOptions options_;
+};
+
+}  // namespace mrlc::core

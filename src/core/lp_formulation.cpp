@@ -1,0 +1,121 @@
+#include "core/lp_formulation.hpp"
+
+#include <string>
+
+#include "core/separation.hpp"
+
+namespace mrlc::core {
+
+MrlcLpFormulation::MrlcLpFormulation(const graph::Graph& working,
+                                     std::vector<std::optional<double>> degree_caps,
+                                     RowWeight row_weight)
+    : working_(working) {
+  const int n = working.vertex_count();
+  MRLC_REQUIRE(static_cast<int>(degree_caps.size()) == n,
+               "one (optional) degree cap per vertex");
+
+  variable_of_edge_.assign(static_cast<std::size_t>(working.edge_count()), -1);
+  for (graph::EdgeId id : working.alive_edge_ids()) {
+    const int var = model_.add_variable(working.edge(id).weight, 0.0, 1.0,
+                                        "x_e" + std::to_string(id));
+    variable_of_edge_[static_cast<std::size_t>(id)] = var;
+    variables_.push_back(id);
+  }
+
+  // (14): x(E(V)) = |V| - 1.
+  const lp::RowId total = model_.add_constraint(lp::Relation::kEqual,
+                                                static_cast<double>(n - 1), "span");
+  for (int var = 0; var < variable_count(); ++var) model_.add_term(total, var, 1.0);
+
+  // (15) as (possibly weighted) degree rows: sum_e w(v,e) x_e <= cap(v).
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const auto& cap = degree_caps[static_cast<std::size_t>(v)];
+    if (!cap.has_value()) continue;
+    // With unit weights a cap of n-1 can never bind; weighted rows have no
+    // such shortcut.
+    if (!row_weight && *cap >= static_cast<double>(n - 1)) continue;
+    const lp::RowId row = model_.add_constraint(lp::Relation::kLessEqual, *cap,
+                                                "deg_v" + std::to_string(v));
+    for (graph::EdgeId id : working.incident(v)) {
+      const int var = variable_of_edge_[static_cast<std::size_t>(id)];
+      MRLC_ENSURE(var != -1, "incident edge of an alive vertex must be alive");
+      model_.add_term(row, var, row_weight ? row_weight(v, id) : 1.0);
+    }
+  }
+}
+
+void MrlcLpFormulation::add_subtour_row(const std::vector<graph::VertexId>& subset) {
+  MRLC_REQUIRE(subset.size() >= 2, "subtour rows need |S| >= 2");
+  std::vector<bool> in_set(static_cast<std::size_t>(working_.vertex_count()), false);
+  for (graph::VertexId v : subset) {
+    MRLC_REQUIRE(v >= 0 && v < working_.vertex_count(), "subset vertex out of range");
+    MRLC_REQUIRE(!in_set[static_cast<std::size_t>(v)], "subset has duplicates");
+    in_set[static_cast<std::size_t>(v)] = true;
+  }
+  const lp::RowId row = model_.add_constraint(
+      lp::Relation::kLessEqual, static_cast<double>(subset.size()) - 1.0, "subtour");
+  for (int var = 0; var < variable_count(); ++var) {
+    const graph::Edge& e = working_.edge(variables_[static_cast<std::size_t>(var)]);
+    if (in_set[static_cast<std::size_t>(e.u)] && in_set[static_cast<std::size_t>(e.v)]) {
+      model_.add_term(row, var, 1.0);
+    }
+  }
+}
+
+std::vector<double> MrlcLpFormulation::edge_values(
+    const std::vector<double>& variable_values) const {
+  MRLC_REQUIRE(static_cast<int>(variable_values.size()) == variable_count(),
+               "value vector has wrong dimension");
+  std::vector<double> out(static_cast<std::size_t>(working_.edge_count()), 0.0);
+  for (int var = 0; var < variable_count(); ++var) {
+    out[static_cast<std::size_t>(variables_[static_cast<std::size_t>(var)])] =
+        variable_values[static_cast<std::size_t>(var)];
+  }
+  return out;
+}
+
+CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
+                                    const lp::SimplexSolver& solver, int max_rounds,
+                                    SeparationMode separation_mode) {
+  MRLC_REQUIRE(max_rounds >= 1, "need at least one round");
+  CutLpResult out;
+  for (int round = 0; round < max_rounds; ++round) {
+    const lp::Solution sol = solver.solve(formulation.model());
+    ++out.lp_solves;
+    out.simplex_iterations += sol.iterations;
+    out.status = sol.status;
+    if (sol.status != lp::SolveStatus::kOptimal) return out;
+
+    out.objective = sol.objective;
+    out.edge_values = formulation.edge_values(sol.values);
+
+    const auto violated = find_violated_subtours(
+        formulation.working_graph(), out.edge_values, 1e-6, separation_mode);
+    if (violated.empty()) return out;
+    for (const auto& subset : violated) {
+      formulation.add_subtour_row(subset);
+      ++out.cuts_added;
+    }
+  }
+  // Separation did not converge within the round budget — report as an
+  // iteration limit so the caller can distinguish it from infeasibility.
+  out.status = lp::SolveStatus::kIterationLimit;
+  return out;
+}
+
+std::vector<std::optional<double>> lifetime_degree_caps(
+    const wsn::Network& net, const std::vector<bool>& constrained, double bound) {
+  MRLC_REQUIRE(static_cast<int>(constrained.size()) == net.node_count(),
+               "one flag per node");
+  MRLC_REQUIRE(bound > 0.0, "lifetime bound must be positive");
+  std::vector<std::optional<double>> caps(static_cast<std::size_t>(net.node_count()));
+  for (graph::VertexId v = 0; v < net.node_count(); ++v) {
+    if (!constrained[static_cast<std::size_t>(v)]) continue;
+    const double children = net.max_children_real(v, bound);
+    const double cap = v == net.sink() ? children : children + 1.0;
+    caps[static_cast<std::size_t>(v)] = cap;
+  }
+  return caps;
+}
+
+}  // namespace mrlc::core

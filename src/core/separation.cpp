@@ -1,0 +1,132 @@
+#include "core/separation.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/maxflow.hpp"
+#include "graph/traversal.hpp"
+
+namespace mrlc::core {
+
+double subset_internal_weight(const graph::Graph& g,
+                              const std::vector<double>& edge_values,
+                              const std::vector<graph::VertexId>& subset) {
+  std::vector<bool> in_set(static_cast<std::size_t>(g.vertex_count()), false);
+  for (graph::VertexId v : subset) in_set[static_cast<std::size_t>(v)] = true;
+  double total = 0.0;
+  for (graph::EdgeId id : g.alive_edge_ids()) {
+    const graph::Edge& e = g.edge(id);
+    if (in_set[static_cast<std::size_t>(e.u)] && in_set[static_cast<std::size_t>(e.v)]) {
+      total += edge_values[static_cast<std::size_t>(id)];
+    }
+  }
+  return total;
+}
+
+SeparationCut min_subtour_cut(const graph::Graph& g,
+                              const std::vector<double>& edge_values,
+                              graph::VertexId forced_in, graph::VertexId forced_out) {
+  MRLC_REQUIRE(forced_in != forced_out, "forced vertices must differ");
+  const int n = g.vertex_count();
+  MRLC_REQUIRE(static_cast<int>(edge_values.size()) == g.edge_count(),
+               "one value per edge");
+
+  // Fractional degree d_v = x(δ(v)); node weight w_v = d_v - 2.
+  std::vector<double> degree(static_cast<std::size_t>(n), 0.0);
+  for (graph::EdgeId id : g.alive_edge_ids()) {
+    const graph::Edge& e = g.edge(id);
+    degree[static_cast<std::size_t>(e.u)] += edge_values[static_cast<std::size_t>(id)];
+    degree[static_cast<std::size_t>(e.v)] += edge_values[static_cast<std::size_t>(id)];
+  }
+
+  // Auxiliary network: nodes 0..n-1 plus source n, sink n+1.
+  const int source = n;
+  const int sink = n + 1;
+  graph::MaxFlow flow(n + 2);
+  constexpr double kForce = 1e12;
+  double positive_weight_total = 0.0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    const double w = degree[static_cast<std::size_t>(v)] - 2.0;
+    if (w > 0.0) {
+      flow.add_arc(source, v, w);
+      positive_weight_total += w;
+    } else if (w < 0.0) {
+      flow.add_arc(v, sink, -w);
+    }
+  }
+  flow.add_arc(source, forced_in, kForce);
+  flow.add_arc(forced_out, sink, kForce);
+  for (graph::EdgeId id : g.alive_edge_ids()) {
+    const graph::Edge& e = g.edge(id);
+    const double x = edge_values[static_cast<std::size_t>(id)];
+    if (x > 0.0) flow.add_undirected(e.u, e.v, x);
+  }
+
+  const double cut = flow.max_flow(source, sink);
+  SeparationCut out;
+  // min over S (u in, r out) of f(S) = cut - sum_v max(w_v, 0).
+  out.f_value = cut - positive_weight_total;
+  for (int v : flow.min_cut_source_side(source)) {
+    if (v < n) out.subset.push_back(v);
+  }
+  std::sort(out.subset.begin(), out.subset.end());
+  return out;
+}
+
+std::vector<std::vector<graph::VertexId>> find_violated_subtours(
+    const graph::Graph& g, const std::vector<double>& edge_values, double tolerance,
+    SeparationMode mode) {
+  const int n = g.vertex_count();
+  std::vector<std::vector<graph::VertexId>> result;
+  if (n < 3) return result;  // |S| = 2 rows are the x_e <= 1 bounds
+
+  std::set<std::vector<graph::VertexId>> seen;
+  auto consider = [&](std::vector<graph::VertexId> subset) {
+    if (subset.size() < 2 || static_cast<int>(subset.size()) >= n) return;
+    const double internal = subset_internal_weight(g, edge_values, subset);
+    if (internal <= static_cast<double>(subset.size()) - 1.0 + tolerance) return;
+    std::sort(subset.begin(), subset.end());
+    if (seen.insert(subset).second) result.push_back(subset);
+  };
+
+  // Stage 1: connected components of the fractional support.
+  {
+    std::vector<bool> keep(static_cast<std::size_t>(g.edge_count()), false);
+    for (graph::EdgeId id : g.alive_edge_ids()) {
+      keep[static_cast<std::size_t>(id)] =
+          edge_values[static_cast<std::size_t>(id)] > tolerance;
+    }
+    const graph::Graph support = g.filtered(keep);
+    const graph::Components comps = graph::connected_components(support);
+    if (comps.count > 1) {
+      std::vector<std::vector<graph::VertexId>> members(
+          static_cast<std::size_t>(comps.count));
+      for (graph::VertexId v = 0; v < n; ++v) {
+        members[static_cast<std::size_t>(comps.label[static_cast<std::size_t>(v)])]
+            .push_back(v);
+      }
+      for (auto& subset : members) consider(std::move(subset));
+    }
+    if (!result.empty()) return result;
+  }
+  if (mode == SeparationMode::kHeuristicOnly) return result;
+
+  // Stage 2: exact Padberg–Wolsey sweep.  Fix r = 0; any proper nonempty S
+  // either avoids r (forced_in = u, forced_out = r) or contains it
+  // (forced_in = r, forced_out = u).
+  const graph::VertexId r = 0;
+  for (graph::VertexId u = 1; u < n; ++u) {
+    for (const bool u_inside : {true, false}) {
+      const SeparationCut cut =
+          u_inside ? min_subtour_cut(g, edge_values, u, r)
+                   : min_subtour_cut(g, edge_values, r, u);
+      if (cut.f_value < 2.0 - tolerance) consider(cut.subset);
+    }
+    // A couple of cuts per round is enough to make progress; adding every
+    // violated set found by the sweep bloats the LP with near-duplicates.
+    if (result.size() >= 4) break;
+  }
+  return result;
+}
+
+}  // namespace mrlc::core

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file separation.hpp
+/// \brief Separation oracle for the subtour constraints x(E(S)) <= |S| - 1.
+///
+/// Theorem 1 (Grötschel–Lovász–Schrijver) reduces optimizing over the
+/// subtour polytope to a polynomial separation oracle; the paper cites the
+/// min-cut based oracle of [12].  We implement it in two stages:
+///
+/// 1. A cheap heuristic: connected components of the fractional support —
+///    if a proper component S already carries more than |S| - 1 total
+///    weight, its subtour row is violated (this catches the common case of
+///    a fractional cycle split off from the rest).
+/// 2. The exact Padberg–Wolsey reduction.  Using
+///    x(E(S)) = 1/2 (sum_{v in S} x(δ(v)) - x(δ(S))),
+///    the row for S is violated iff
+///    f(S) = x(δ(S)) - sum_{v in S} (x(δ(v)) - 2)  <  2.
+///    Minimizing f over all S with a fixed vertex u inside and r outside is
+///    a minimum s-t cut on an auxiliary network (node weights hung off the
+///    source/sink, edge capacities x_e); sweeping u over V \ {r} in both
+///    orientations covers every nonempty proper S.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mrlc::core {
+
+/// Which machinery the oracle may use.  `kExact` (default) runs the cheap
+/// component heuristic first and falls through to the Padberg–Wolsey
+/// max-flow sweep, so "no violation found" is a proof.  `kHeuristicOnly`
+/// skips the flow sweep — much cheaper per call, but it can miss violated
+/// sets, so a cutting-plane loop driven by it may terminate on a point
+/// outside the subtour polytope (measured in bench/micro_ablations.cpp).
+enum class SeparationMode { kExact, kHeuristicOnly };
+
+/// Finds vertex sets whose subtour rows are violated by `edge_values`
+/// (per edge id; dead edges must be 0).  Returns at most a handful of the
+/// most useful sets per call (deduplicated); empty means x satisfies all
+/// subtour constraints within `tolerance` (only under kExact).
+std::vector<std::vector<graph::VertexId>> find_violated_subtours(
+    const graph::Graph& g, const std::vector<double>& edge_values,
+    double tolerance = 1e-6, SeparationMode mode = SeparationMode::kExact);
+
+/// Exact minimizer of f(S) (see file comment) with u forced inside and r
+/// forced outside.  Exposed for tests.
+struct SeparationCut {
+  std::vector<graph::VertexId> subset;
+  double f_value = 0.0;
+};
+SeparationCut min_subtour_cut(const graph::Graph& g,
+                              const std::vector<double>& edge_values,
+                              graph::VertexId forced_in, graph::VertexId forced_out);
+
+/// x(E(S)) for a vertex subset (helper shared with tests).
+double subset_internal_weight(const graph::Graph& g,
+                              const std::vector<double>& edge_values,
+                              const std::vector<graph::VertexId>& subset);
+
+}  // namespace mrlc::core

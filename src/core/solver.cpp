@@ -1,0 +1,77 @@
+#include "core/solver.hpp"
+
+#include <sstream>
+
+namespace mrlc::core {
+
+SolveReport MrlcSolver::solve(const wsn::Network& net, double lifetime_bound) const {
+  net.validate();
+  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
+
+  SolveReport report;
+
+  // --- 1. Strict mode first: the paper's guarantee. ----------------------
+  IraOptions strict_options = options_.ira;
+  strict_options.bound_mode = BoundMode::kPaperStrict;
+  bool strict_failed = false;
+  try {
+    report.result = IterativeRelaxation(strict_options).solve(net, lifetime_bound);
+    report.mode = SolveMode::kStrict;
+  } catch (const InfeasibleError&) {
+    strict_failed = true;
+  }
+
+  // --- 2. Fall back to the direct relaxation when allowed. ---------------
+  if (strict_failed) {
+    if (!lp_lifetime_feasible(net, lifetime_bound, options_.ira)) {
+      // Truly unachievable: attach the achievable bracket to the error.
+      const LifetimeBracket bracket = bracket_max_lifetime(net, 1e-4, options_.ira);
+      std::ostringstream os;
+      os << "no aggregation tree reaches lifetime " << lifetime_bound
+         << "; achievable lifetime is in [" << bracket.lower << ", "
+         << bracket.upper << "] rounds";
+      throw InfeasibleError(os.str());
+    }
+    MRLC_ENSURE(options_.allow_direct_fallback,
+                "strict mode infeasible, the bound is LP-achievable, and the "
+                "direct fallback is disabled");
+    IraOptions direct_options = options_.ira;
+    direct_options.bound_mode = BoundMode::kDirect;
+    report.result = IterativeRelaxation(direct_options).solve(net, lifetime_bound);
+    report.mode = SolveMode::kDirectFallback;
+  }
+
+  // --- 3. Optional exact certification. -----------------------------------
+  // Only meaningful when the returned tree actually meets the bound: a
+  // direct-mode tree that violates by up to two children competes in a
+  // larger feasible set and can (legitimately) cost less than OPT(LC).
+  if (options_.certify_with_exact && report.result.meets_bound) {
+    BranchBoundOptions bb;
+    bb.max_nodes_explored = options_.certify_node_budget;
+    try {
+      const auto exact = branch_bound_mrlc(net, lifetime_bound, bb);
+      if (exact.has_value()) {
+        report.exact_cost = exact->cost;
+        report.optimality_gap = report.result.cost - exact->cost;
+      }
+    } catch (const std::invalid_argument&) {
+      // Budget exceeded: leave certification fields empty.
+    }
+  }
+
+  std::ostringstream os;
+  os << (report.mode == SolveMode::kStrict ? "strict Algorithm 1"
+                                           : "direct relaxation (fallback)")
+     << ": reliability " << report.result.reliability << ", lifetime "
+     << report.result.lifetime << " rounds ("
+     << (report.result.meets_bound ? "bound met"
+                                   : "bound violated within +2 children/node")
+     << ")";
+  if (report.optimality_gap.has_value()) {
+    os << ", optimality gap " << *report.optimality_gap << " nats";
+  }
+  report.narrative = os.str();
+  return report;
+}
+
+}  // namespace mrlc::core

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file solver.hpp
+/// \brief `MrlcSolver` — the one-call front door to the library.
+///
+/// The lower-level pieces each expose one trade-off: `IterativeRelaxation`
+/// wants a bound-mode decision, `bracket_max_lifetime` probes what is
+/// achievable, the exact solvers trade time for certainty.  This facade
+/// packages the workflow a deployment actually wants:
+///
+/// 1. Probe feasibility first, so an unachievable request fails with the
+///    achievable bracket attached instead of a bare "infeasible".
+/// 2. Try the paper's strict mode (hard lifetime guarantee).  If its
+///    inflated L' is undefined or infeasible while the request itself is
+///    achievable, fall back to the direct relaxation and report the
+///    (bounded) violation honestly.
+/// 3. Optionally certify the result against branch-and-bound when the
+///    instance is small enough to afford it.
+
+#include <optional>
+#include <string>
+
+#include "core/branch_bound.hpp"
+#include "core/feasibility.hpp"
+#include "core/ira.hpp"
+
+namespace mrlc::core {
+
+struct SolverOptions {
+  IraOptions ira;            ///< bound_mode is managed by the facade
+  bool allow_direct_fallback = true;
+  /// When true and the instance is small, run branch-and-bound afterwards
+  /// and report the optimality gap.
+  bool certify_with_exact = false;
+  std::uint64_t certify_node_budget = 2'000'000;
+};
+
+/// How the returned tree was obtained.
+enum class SolveMode {
+  kStrict,          ///< paper Algorithm 1 (L'); lifetime guaranteed
+  kDirectFallback,  ///< direct relaxation; violation <= 2 children/node
+};
+
+struct SolveReport {
+  IraResult result;
+  SolveMode mode = SolveMode::kStrict;
+  /// Filled when the requested bound was proven unachievable: what IS
+  /// achievable on this network.
+  std::optional<LifetimeBracket> achievable;
+  /// Filled when certification ran and succeeded.
+  std::optional<double> exact_cost;
+  /// result.cost - exact_cost (0 when IRA was optimal); nullopt when not
+  /// certified.
+  std::optional<double> optimality_gap;
+  std::string narrative;  ///< one-line human-readable outcome summary
+};
+
+class MrlcSolver {
+ public:
+  explicit MrlcSolver(SolverOptions options = {}) : options_(options) {}
+
+  /// Solves MRLC with automatic mode selection (see file comment).
+  /// \throws InfeasibleError when no aggregation tree of lifetime >=
+  ///         `lifetime_bound` exists; the message includes the achievable
+  ///         lifetime bracket.
+  SolveReport solve(const wsn::Network& net, double lifetime_bound) const;
+
+ private:
+  SolverOptions options_;
+};
+
+}  // namespace mrlc::core

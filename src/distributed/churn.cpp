@@ -1,0 +1,57 @@
+#include "distributed/churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrlc::dist {
+
+ChurnProcess::ChurnProcess(const wsn::Network& net, ChurnOptions options)
+    : options_(options) {
+  MRLC_REQUIRE(options_.mean_reversion >= 0.0 && options_.mean_reversion <= 1.0,
+               "mean reversion must lie in [0, 1]");
+  MRLC_REQUIRE(options_.cost_noise_sigma >= 0.0, "noise sigma must be >= 0");
+  MRLC_REQUIRE(options_.min_prr > 0.0 && options_.min_prr < options_.max_prr &&
+                   options_.max_prr <= 1.0,
+               "PRR clamps must satisfy 0 < min < max <= 1");
+  MRLC_REQUIRE(options_.event_threshold > 0.0, "event threshold must be positive");
+
+  anchor_cost_.reserve(static_cast<std::size_t>(net.link_count()));
+  reported_prr_.reserve(static_cast<std::size_t>(net.link_count()));
+  for (wsn::EdgeId id = 0; id < net.link_count(); ++id) {
+    anchor_cost_.push_back(net.link_cost(id));
+    reported_prr_.push_back(net.link_prr(id));
+  }
+}
+
+std::vector<LinkEvent> ChurnProcess::step(wsn::Network& net, Rng& rng) {
+  MRLC_REQUIRE(static_cast<std::size_t>(net.link_count()) == anchor_cost_.size(),
+               "network does not match the anchored process");
+  ++steps_;
+
+  std::vector<LinkEvent> events;
+  const double min_cost = wsn::Network::prr_to_cost(options_.max_prr);
+  const double max_cost = wsn::Network::prr_to_cost(options_.min_prr);
+  for (wsn::EdgeId id = 0; id < net.link_count(); ++id) {
+    const double old_prr = net.link_prr(id);
+    const double cost = net.link_cost(id);
+    const double anchor = anchor_cost_[static_cast<std::size_t>(id)];
+    const double next_cost =
+        std::clamp(cost + options_.mean_reversion * (anchor - cost) +
+                       rng.normal(0.0, options_.cost_noise_sigma),
+                   min_cost, max_cost);
+    const double next_prr = wsn::Network::cost_to_prr(next_cost);
+    net.set_link_prr(id, next_prr);
+
+    double& reported = reported_prr_[static_cast<std::size_t>(id)];
+    const double relative_change = std::abs(next_prr - reported) / reported;
+    if (relative_change < options_.event_threshold) continue;
+    events.push_back(LinkEvent{
+        id,
+        next_prr < reported ? LinkEvent::Kind::kDegraded : LinkEvent::Kind::kImproved,
+        old_prr, next_prr});
+    reported = next_prr;
+  }
+  return events;
+}
+
+}  // namespace mrlc::dist

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file churn.hpp
+/// \brief Stochastic link-quality drift driving the distributed protocol.
+///
+/// Real deployments see link qualities wander (people moving through the
+/// DFL hall, humidity, interference).  This module models each link's cost
+/// as a mean-reverting Gauss-Markov process in cost (-log PRR) space:
+///
+///     cost' = cost + theta * (anchor - cost) + sigma * N(0, 1)
+///
+/// clamped to the valid PRR domain.  `anchor` is the link's cost at
+/// deployment, so qualities fluctuate around what the site survey measured
+/// rather than drifting without bound.
+///
+/// After each step the process classifies links whose quality moved past a
+/// relative threshold as *degraded* or *improved* events — exactly the two
+/// triggers of the paper's Section VI protocol — so a simulation loop is:
+///
+///     for (auto& event : churn.step(net, rng))
+///       event.kind == LinkEvent::kDegraded
+///           ? maintainer.on_link_degraded(net, event.link)
+///           : maintainer.on_link_improved(net, event.link);
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::dist {
+
+struct LinkEvent {
+  enum class Kind { kDegraded, kImproved };
+  wsn::EdgeId link = -1;
+  Kind kind = Kind::kDegraded;
+  double old_prr = 0.0;
+  double new_prr = 0.0;
+};
+
+struct ChurnOptions {
+  double mean_reversion = 0.05;      ///< theta: pull toward the anchor cost
+  double cost_noise_sigma = 0.01;    ///< sigma of the per-step cost shock
+  double min_prr = 0.01;             ///< clamp floor
+  double max_prr = 0.999;            ///< clamp ceiling
+  /// Relative PRR change (vs the value at the last *reported* event) that
+  /// qualifies as an event; smaller changes stay silent, as a real
+  /// link-estimator would not re-broadcast noise.
+  double event_threshold = 0.05;
+};
+
+/// Mutates a network's link qualities over time and reports events.
+class ChurnProcess {
+ public:
+  /// Anchors the process at the network's current link qualities.
+  ChurnProcess(const wsn::Network& net, ChurnOptions options = {});
+
+  /// Advances every link one step, writes the new qualities into `net`,
+  /// and returns the links whose change crossed the event threshold.
+  /// `net` must be the network the process was anchored to (same link
+  /// count).
+  std::vector<LinkEvent> step(wsn::Network& net, Rng& rng);
+
+  const ChurnOptions& options() const noexcept { return options_; }
+  int steps_taken() const noexcept { return steps_; }
+
+ private:
+  ChurnOptions options_;
+  std::vector<double> anchor_cost_;    ///< deployment-time cost per link
+  std::vector<double> reported_prr_;   ///< PRR at the last reported event
+  int steps_ = 0;
+};
+
+}  // namespace mrlc::dist

@@ -1,0 +1,177 @@
+#include "distributed/maintainer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "prufer/updates.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::dist {
+
+DistributedMaintainer::DistributedMaintainer(const wsn::Network& net,
+                                             wsn::AggregationTree initial,
+                                             double lifetime_bound,
+                                             MaintainerOptions options)
+    : tree_(std::move(initial)), lifetime_bound_(lifetime_bound), options_(options) {
+  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
+  MRLC_REQUIRE(net.sink() == 0,
+               "the Prüfer protocol requires the sink to carry label 0");
+  MRLC_REQUIRE(tree_.node_count() == net.node_count(), "tree/network size mismatch");
+  refresh_code();
+}
+
+void DistributedMaintainer::refresh_code() {
+  if (tree_.node_count() >= 2) code_ = prufer::encode(tree_.parents());
+}
+
+bool DistributedMaintainer::can_accept_child(const wsn::Network& net,
+                                             wsn::VertexId v) const {
+  return net.energy_model().node_lifetime(net.initial_energy(v),
+                                          tree_.children_count(v) + 1) >=
+         lifetime_bound_;
+}
+
+int DistributedMaintainer::broadcast_cost() const {
+  // Flooding an update down the tree: every non-leaf node transmits once.
+  int transmitting = 0;
+  for (wsn::VertexId v = 0; v < tree_.node_count(); ++v) {
+    if (tree_.children_count(v) > 0) ++transmitting;
+  }
+  return transmitting;
+}
+
+bool DistributedMaintainer::on_link_degraded(const wsn::Network& net,
+                                             wsn::EdgeId link) {
+  ++stats_.degradation_events;
+  int event_messages = 0;
+
+  // Identify the tree child below the degraded link (no-op for non-tree
+  // links; the tree does not use them).
+  const graph::Edge& bad = net.topology().edge(link);
+  wsn::VertexId child = -1;
+  if (tree_.parent(bad.u) == bad.v && tree_.parent_edge(bad.u) == link) {
+    child = bad.u;
+  } else if (tree_.parent(bad.v) == bad.u && tree_.parent_edge(bad.v) == link) {
+    child = bad.v;
+  }
+  if (child == -1) {
+    stats_.messages_per_event.push_back(0);
+    return false;
+  }
+
+  // The component that would be cut off is exactly child's subtree.
+  std::vector<bool> in_component(static_cast<std::size_t>(net.node_count()), false);
+  for (int v : prufer::subtree_members(tree_.parents(), child)) {
+    in_component[static_cast<std::size_t>(v)] = true;
+  }
+
+  // Scan crossing links.  Candidates incident to the child itself follow
+  // the paper's scheme exactly; other crossing links require re-rooting the
+  // component and are considered only if no child-incident link is viable.
+  struct Candidate {
+    wsn::EdgeId link = -1;
+    wsn::VertexId inside = -1;   // endpoint inside the component
+    wsn::VertexId outside = -1;  // new parent
+    double cost = std::numeric_limits<double>::infinity();
+  };
+  std::optional<Candidate> best_simple;
+  std::optional<Candidate> best_evert;
+  for (graph::EdgeId id : net.topology().alive_edge_ids()) {
+    if (id == link) continue;
+    const graph::Edge& e = net.topology().edge(id);
+    const bool u_in = in_component[static_cast<std::size_t>(e.u)];
+    const bool v_in = in_component[static_cast<std::size_t>(e.v)];
+    if (u_in == v_in) continue;
+    Candidate cand;
+    cand.link = id;
+    cand.inside = u_in ? e.u : e.v;
+    cand.outside = u_in ? e.v : e.u;
+    cand.cost = net.link_cost(id);
+    if (!can_accept_child(net, cand.outside)) continue;
+    auto& slot = cand.inside == child ? best_simple : best_evert;
+    if (!slot.has_value() || cand.cost < slot->cost) slot = cand;
+  }
+
+  // Only switch if the replacement actually beats the degraded link.
+  const double bad_cost = net.link_cost(link);
+  auto beats = [&](const std::optional<Candidate>& c) {
+    return c.has_value() && c->cost < bad_cost;
+  };
+
+  if (beats(best_simple)) {
+    tree_.reparent(net, child, best_simple->outside, best_simple->link);
+  } else if (beats(best_evert)) {
+    // Generalized repair: re-root the component at the inside endpoint.
+    prufer::ParentArray parents = tree_.parents();
+    prufer::evert_and_attach(parents, child, best_evert->inside,
+                             best_evert->outside);
+    wsn::AggregationTree candidate = wsn::AggregationTree::from_parents(net, parents);
+    // Eversion shifts children along the reversed path; accept only if the
+    // lifetime bound still holds everywhere.
+    if (wsn::network_lifetime(net, candidate) < lifetime_bound_) {
+      stats_.messages_per_event.push_back(0);
+      return false;
+    }
+    tree_ = std::move(candidate);
+  } else {
+    stats_.messages_per_event.push_back(0);
+    return false;
+  }
+
+  refresh_code();
+  ++stats_.updates_applied;
+  event_messages += broadcast_cost();
+  stats_.total_messages += event_messages;
+  stats_.messages_per_event.push_back(event_messages);
+  return true;
+}
+
+bool DistributedMaintainer::on_link_improved(const wsn::Network& net,
+                                             wsn::EdgeId link) {
+  ++stats_.improvement_events;
+  int event_messages = 0;
+  bool changed = false;
+
+  // ILU (Algorithm 4): let the improved link displace the costlier of the
+  // two parent links it can replace, then chase the displaced link.
+  wsn::EdgeId current = link;
+  for (int step = 0; step < options_.max_chain_length; ++step) {
+    const graph::Edge& e = net.topology().edge(current);
+    const double link_cost = net.link_cost(current);
+
+    struct Move {
+      wsn::VertexId child = -1;
+      wsn::VertexId new_parent = -1;
+      double gain = 0.0;
+      wsn::EdgeId displaced = -1;
+    };
+    std::optional<Move> best;
+    for (const auto& [x, y] : {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
+      if (x == tree_.root()) continue;
+      if (tree_.parent(x) == y) continue;        // link already in the tree
+      if (tree_.in_subtree(x, y)) continue;      // would create a cycle
+      if (!can_accept_child(net, y)) continue;   // lifetime constraint on y
+      const wsn::EdgeId old_edge = tree_.parent_edge(x);
+      const double gain = net.link_cost(old_edge) - link_cost;
+      if (gain <= options_.improvement_tolerance) continue;
+      if (!best.has_value() || gain > best->gain) {
+        best = Move{x, y, gain, old_edge};
+      }
+    }
+    if (!best.has_value()) break;
+
+    tree_.reparent(net, best->child, best->new_parent, current);
+    refresh_code();
+    changed = true;
+    ++stats_.updates_applied;
+    event_messages += broadcast_cost();
+    current = best->displaced;  // recurse: the displaced link "got better"
+  }
+
+  stats_.total_messages += event_messages;
+  stats_.messages_per_event.push_back(event_messages);
+  return changed;
+}
+
+}  // namespace mrlc::dist

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file maintainer.hpp
+/// \brief The distributed updating protocol (Section VI-B).
+///
+/// After IRA builds the initial aggregation tree, the sink broadcasts its
+/// Prüfer code and every sensor keeps a replica.  Two kinds of events then
+/// trigger local repairs:
+///
+/// * **Link getting worse** — the child below the degraded tree link looks
+///   for the best replacement link that reconnects its component, subject
+///   to the new parent still meeting the lifetime bound with one more
+///   child.  (The paper's example always finds a replacement incident to
+///   the child itself; when the best crossing link touches another node of
+///   the component we re-root the component there — a strict generalization
+///   that reduces to the paper's scheme whenever its candidate exists.)
+/// * **Link getting better** — ILU (Algorithm 4): the improved link
+///   displaces the costlier of the two parent links it could replace, and
+///   the displaced link is recursively treated as a new "getting better"
+///   event, chasing the improvement around the induced cycle.
+///
+/// Every accepted parent change is one broadcast flooded down the tree;
+/// its message cost is the number of transmitting (non-leaf) nodes, which
+/// is what Fig. 13 counts.
+///
+/// The class simulates the *global outcome* of the message exchange (all
+/// replicas apply identical deterministic updates, so simulating one
+/// replica plus the message counters is exact).
+
+#include <vector>
+
+#include "prufer/codec.hpp"
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::dist {
+
+struct MaintainerStats {
+  int degradation_events = 0;
+  int improvement_events = 0;
+  int updates_applied = 0;          ///< accepted parent-change broadcasts
+  long long total_messages = 0;
+  std::vector<int> messages_per_event;  ///< one entry per *event* (possibly 0)
+};
+
+struct MaintainerOptions {
+  /// Minimum cost improvement for ILU to keep chasing the cycle.
+  double improvement_tolerance = 1e-12;
+  /// Safety cap on ILU chain length per event.
+  int max_chain_length = 256;
+};
+
+class DistributedMaintainer {
+ public:
+  /// \param lifetime_bound the LC every repair must preserve.
+  DistributedMaintainer(const wsn::Network& net, wsn::AggregationTree initial,
+                        double lifetime_bound, MaintainerOptions options = {});
+
+  /// Handles a "tree link got worse" event.  `net` carries the updated link
+  /// qualities.  Returns true if the tree changed.
+  bool on_link_degraded(const wsn::Network& net, wsn::EdgeId link);
+
+  /// Handles a "non-tree link got better" event (ILU).  Returns true if the
+  /// tree changed.
+  bool on_link_improved(const wsn::Network& net, wsn::EdgeId link);
+
+  const wsn::AggregationTree& tree() const noexcept { return tree_; }
+  const prufer::Code& code() const noexcept { return code_; }
+  const MaintainerStats& stats() const noexcept { return stats_; }
+  double lifetime_bound() const noexcept { return lifetime_bound_; }
+
+ private:
+  bool can_accept_child(const wsn::Network& net, wsn::VertexId v) const;
+  /// Broadcast cost of one update on the current tree (transmitting nodes).
+  int broadcast_cost() const;
+  void refresh_code();
+
+  wsn::AggregationTree tree_;
+  prufer::Code code_;
+  double lifetime_bound_;
+  MaintainerOptions options_;
+  MaintainerStats stats_;
+};
+
+}  // namespace mrlc::dist

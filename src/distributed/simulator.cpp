@@ -1,0 +1,136 @@
+#include "distributed/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "prufer/updates.hpp"
+
+namespace mrlc::dist {
+
+bool SensorReplica::apply(const UpdateRecord& record) {
+  if (record.sequence <= last_applied_) return false;
+  last_applied_ = record.sequence;
+  prufer::ParentArray parents = prufer::decode(code_, node_count_);
+  for (const auto& [child, parent] : record.changes) {
+    MRLC_REQUIRE(child > 0 && child < node_count_, "record child out of range");
+    MRLC_REQUIRE(parent >= 0 && parent < node_count_, "record parent out of range");
+    parents[static_cast<std::size_t>(child)] = parent;
+  }
+  prufer::validate_parent_array(parents);
+  code_ = prufer::encode(parents);
+  return true;
+}
+
+ProtocolSimulator::ProtocolSimulator(const wsn::Network& net,
+                                     wsn::AggregationTree initial,
+                                     double lifetime_bound, MaintainerOptions options)
+    : maintainer_(net, std::move(initial), lifetime_bound, options) {
+  replicas_.reserve(static_cast<std::size_t>(net.node_count()));
+  for (wsn::VertexId v = 0; v < net.node_count(); ++v) {
+    // The sink computes the initial code and broadcasts it once; we charge
+    // that startup flood to the stats.
+    replicas_.emplace_back(v, maintainer_.code(), net.node_count());
+  }
+  UpdateRecord bootstrap;
+  bootstrap.sequence = 0;  // replicas already hold it; count the radio cost only
+  bootstrap.initiator = 0;
+  stats_.flood_transmissions += flood(bootstrap);
+  stats_.records_disseminated = 0;  // the bootstrap is not an update record
+  stats_.transmissions_per_event.clear();
+}
+
+const SensorReplica& ProtocolSimulator::replica(wsn::VertexId v) const {
+  MRLC_REQUIRE(v >= 0 && v < static_cast<int>(replicas_.size()), "node out of range");
+  return replicas_[static_cast<std::size_t>(v)];
+}
+
+int ProtocolSimulator::flood(const UpdateRecord& record) {
+  // Broadcast flood over the *current* tree: each transmission reaches all
+  // tree neighbours; nodes forward once if they have anywhere to forward.
+  const wsn::AggregationTree& tree = maintainer_.tree();
+  const int n = tree.node_count();
+
+  // Tree adjacency.
+  std::vector<std::vector<wsn::VertexId>> adjacent(static_cast<std::size_t>(n));
+  for (wsn::VertexId v = 0; v < n; ++v) {
+    const wsn::VertexId p = tree.parent(v);
+    if (p != -1) {
+      adjacent[static_cast<std::size_t>(v)].push_back(p);
+      adjacent[static_cast<std::size_t>(p)].push_back(v);
+    }
+  }
+
+  const wsn::VertexId initiator = record.initiator == -1 ? 0 : record.initiator;
+  std::vector<bool> heard(static_cast<std::size_t>(n), false);
+  std::queue<wsn::VertexId> to_transmit;
+  int transmissions = 0;
+
+  heard[static_cast<std::size_t>(initiator)] = true;
+  to_transmit.push(initiator);
+  while (!to_transmit.empty()) {
+    const wsn::VertexId sender = to_transmit.front();
+    to_transmit.pop();
+    ++transmissions;  // one radio broadcast reaches all tree neighbours
+    for (wsn::VertexId neighbour : adjacent[static_cast<std::size_t>(sender)]) {
+      if (heard[static_cast<std::size_t>(neighbour)]) continue;
+      heard[static_cast<std::size_t>(neighbour)] = true;
+      if (record.sequence > 0) {
+        replicas_[static_cast<std::size_t>(neighbour)].apply(record);
+      }
+      // Forward only if the node has neighbours that have not heard yet
+      // (a leaf's only neighbour is its sender).
+      if (adjacent[static_cast<std::size_t>(neighbour)].size() > 1) {
+        to_transmit.push(neighbour);
+      }
+    }
+  }
+  MRLC_ENSURE(static_cast<int>(std::count(heard.begin(), heard.end(), true)) == n,
+              "flood failed to reach every node of a spanning tree");
+  return transmissions;
+}
+
+int ProtocolSimulator::disseminate(const std::vector<wsn::VertexId>& before,
+                                   const std::vector<wsn::VertexId>& after) {
+  UpdateRecord record;
+  record.sequence = next_sequence_++;
+  for (std::size_t v = 0; v < before.size(); ++v) {
+    if (before[v] != after[v]) {
+      record.changes.emplace_back(static_cast<wsn::VertexId>(v), after[v]);
+      if (record.initiator == -1) record.initiator = static_cast<wsn::VertexId>(v);
+    }
+  }
+  MRLC_ENSURE(!record.changes.empty(), "disseminate called without a change");
+  // The initiator applies locally, then floods.
+  replicas_[static_cast<std::size_t>(record.initiator)].apply(record);
+  const int transmissions = flood(record);
+  ++stats_.records_disseminated;
+  stats_.flood_transmissions += transmissions;
+  return transmissions;
+}
+
+bool ProtocolSimulator::on_link_degraded(const wsn::Network& net, wsn::EdgeId link) {
+  const std::vector<wsn::VertexId> before = maintainer_.tree().parents();
+  const bool changed = maintainer_.on_link_degraded(net, link);
+  int transmissions = 0;
+  if (changed) transmissions = disseminate(before, maintainer_.tree().parents());
+  stats_.transmissions_per_event.push_back(transmissions);
+  return changed;
+}
+
+bool ProtocolSimulator::on_link_improved(const wsn::Network& net, wsn::EdgeId link) {
+  const std::vector<wsn::VertexId> before = maintainer_.tree().parents();
+  const bool changed = maintainer_.on_link_improved(net, link);
+  int transmissions = 0;
+  if (changed) transmissions = disseminate(before, maintainer_.tree().parents());
+  stats_.transmissions_per_event.push_back(transmissions);
+  return changed;
+}
+
+bool ProtocolSimulator::replicas_consistent() const {
+  for (const SensorReplica& replica : replicas_) {
+    if (replica.code() != maintainer_.code()) return false;
+  }
+  return true;
+}
+
+}  // namespace mrlc::dist

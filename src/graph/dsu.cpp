@@ -1,0 +1,42 @@
+#include "graph/dsu.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mrlc::graph {
+
+DisjointSetUnion::DisjointSetUnion(int element_count)
+    : parent_(static_cast<std::size_t>(element_count)),
+      size_(static_cast<std::size_t>(element_count), 1),
+      set_count_(element_count) {
+  MRLC_REQUIRE(element_count >= 0, "element count must be non-negative");
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int DisjointSetUnion::find(int x) {
+  MRLC_REQUIRE(x >= 0 && x < static_cast<int>(parent_.size()), "element out of range");
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    auto& p = parent_[static_cast<std::size_t>(x)];
+    p = parent_[static_cast<std::size_t>(p)];  // path halving
+    x = p;
+  }
+  return x;
+}
+
+bool DisjointSetUnion::unite(int a, int b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[static_cast<std::size_t>(a)] < size_[static_cast<std::size_t>(b)]) {
+    std::swap(a, b);
+  }
+  parent_[static_cast<std::size_t>(b)] = a;
+  size_[static_cast<std::size_t>(a)] += size_[static_cast<std::size_t>(b)];
+  --set_count_;
+  return true;
+}
+
+int DisjointSetUnion::set_size(int x) { return size_[static_cast<std::size_t>(find(x))]; }
+
+}  // namespace mrlc::graph

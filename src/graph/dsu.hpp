@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file dsu.hpp
+/// \brief Disjoint-set union (union-find) with path halving + union by size.
+
+#include <vector>
+
+namespace mrlc::graph {
+
+class DisjointSetUnion {
+ public:
+  explicit DisjointSetUnion(int element_count);
+
+  /// Representative of the set containing `x`.
+  int find(int x);
+
+  /// Merges the sets containing `a` and `b`.
+  /// \return true if they were in different sets.
+  bool unite(int a, int b);
+
+  bool connected(int a, int b) { return find(a) == find(b); }
+
+  /// Number of disjoint sets currently represented.
+  int set_count() const noexcept { return set_count_; }
+
+  /// Size of the set containing `x`.
+  int set_size(int x);
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int set_count_ = 0;
+};
+
+}  // namespace mrlc::graph

@@ -1,0 +1,70 @@
+#include "graph/enumeration.hpp"
+
+#include "graph/dsu.hpp"
+
+namespace mrlc::graph {
+
+namespace {
+
+struct Enumerator {
+  const Graph& g;
+  const std::vector<EdgeId> ids;
+  const std::function<bool(const SpanningTree&)>& visit;
+  SpanningTree current;
+  bool stopped = false;
+
+  Enumerator(const Graph& graph, const std::function<bool(const SpanningTree&)>& v)
+      : g(graph), ids(graph.alive_edge_ids()), visit(v) {}
+
+  void recurse(std::size_t index, const DisjointSetUnion& dsu) {
+    if (stopped) return;
+    const int needed = g.vertex_count() - 1;
+    if (static_cast<int>(current.edges.size()) == needed) {
+      if (!visit(current)) stopped = true;
+      return;
+    }
+    // Prune: not enough edges left to finish a spanning tree.
+    const int remaining = static_cast<int>(ids.size() - index);
+    if (static_cast<int>(current.edges.size()) + remaining < needed) return;
+    if (index >= ids.size()) return;
+
+    const EdgeId id = ids[index];
+    const Edge& e = g.edge(id);
+
+    // Branch 1: take the edge if it joins two components.
+    DisjointSetUnion with_edge = dsu;
+    if (with_edge.unite(e.u, e.v)) {
+      current.edges.push_back(id);
+      current.total_weight += e.weight;
+      recurse(index + 1, with_edge);
+      current.edges.pop_back();
+      current.total_weight -= e.weight;
+    }
+    // Branch 2: skip the edge.
+    recurse(index + 1, dsu);
+  }
+};
+
+}  // namespace
+
+void for_each_spanning_tree(const Graph& g,
+                            const std::function<bool(const SpanningTree&)>& visit) {
+  if (g.vertex_count() <= 1) {
+    // The empty tree spans a 0/1-vertex graph.
+    visit(SpanningTree{});
+    return;
+  }
+  Enumerator en(g, visit);
+  en.recurse(0, DisjointSetUnion(g.vertex_count()));
+}
+
+std::uint64_t count_spanning_trees(const Graph& g, std::uint64_t limit) {
+  std::uint64_t count = 0;
+  for_each_spanning_tree(g, [&](const SpanningTree&) {
+    ++count;
+    return count < limit;
+  });
+  return count;
+}
+
+}  // namespace mrlc::graph

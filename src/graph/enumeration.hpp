@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file enumeration.hpp
+/// \brief Exhaustive spanning-tree enumeration for small graphs.
+///
+/// Used as ground truth in tests and by the exact MRLC solver
+/// (`core/exact.hpp`).  Complexity is combinatorial; callers must keep
+/// `edge_count` small (the exact solver guards this).
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "graph/mst.hpp"
+
+namespace mrlc::graph {
+
+/// Invokes `visit` once per spanning tree of `g` (alive edges only).
+/// Enumeration is by depth-first edge selection with connectivity pruning,
+/// which is far faster than testing all (n-1)-subsets on sparse graphs.
+/// `visit` may return false to stop early.
+void for_each_spanning_tree(const Graph& g,
+                            const std::function<bool(const SpanningTree&)>& visit);
+
+/// Number of spanning trees (stops counting at `limit` if given).
+std::uint64_t count_spanning_trees(const Graph& g,
+                                   std::uint64_t limit = UINT64_MAX);
+
+}  // namespace mrlc::graph

@@ -1,0 +1,54 @@
+#include "graph/kirchhoff.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace mrlc::graph {
+
+double count_spanning_trees_kirchhoff(const Graph& g) {
+  const int n = g.vertex_count();
+  if (n <= 1) return 1.0;
+
+  // Laplacian minor: drop the last row/column.
+  const int m = n - 1;
+  std::vector<double> a(static_cast<std::size_t>(m) * static_cast<std::size_t>(m),
+                        0.0);
+  auto at = [&](int r, int c) -> double& {
+    return a[static_cast<std::size_t>(r) * static_cast<std::size_t>(m) +
+             static_cast<std::size_t>(c)];
+  };
+  for (EdgeId id : g.alive_edge_ids()) {
+    const Edge& e = g.edge(id);
+    if (e.u < m) at(e.u, e.u) += 1.0;
+    if (e.v < m) at(e.v, e.v) += 1.0;
+    if (e.u < m && e.v < m) {
+      at(e.u, e.v) -= 1.0;
+      at(e.v, e.u) -= 1.0;
+    }
+  }
+
+  // Determinant by partial-pivot Gaussian elimination.
+  double det = 1.0;
+  for (int col = 0; col < m; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < m; ++r) {
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    }
+    if (std::abs(at(pivot, col)) < 1e-12) return 0.0;  // singular: disconnected
+    if (pivot != col) {
+      for (int c = col; c < m; ++c) std::swap(at(pivot, c), at(col, c));
+      det = -det;
+    }
+    det *= at(col, col);
+    const double inv = 1.0 / at(col, col);
+    for (int r = col + 1; r < m; ++r) {
+      const double factor = at(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (int c = col; c < m; ++c) at(r, c) -= factor * at(col, c);
+    }
+  }
+  // Counts are non-negative by construction; clamp the rounding fuzz.
+  return det < 0.0 ? 0.0 : det;
+}
+
+}  // namespace mrlc::graph

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file kirchhoff.hpp
+/// \brief Spanning-tree counting via the matrix-tree theorem.
+///
+/// Kirchhoff's theorem: the number of spanning trees of a multigraph
+/// equals any cofactor of its Laplacian.  This gives an O(n^3) count that
+/// is completely independent of the backtracking enumeration in
+/// `enumeration.hpp` — the two validate each other in the test suite — and
+/// it scales to graphs whose trees could never be enumerated (used to
+/// report the search-space size of the DFL instance: ~10^12 trees).
+///
+/// Computed with partial-pivot Gaussian elimination in doubles; exact for
+/// counts below ~2^52 and a tight floating-point estimate beyond.
+
+#include "graph/graph.hpp"
+
+namespace mrlc::graph {
+
+/// Number of spanning trees of `g` (alive edges; parallel edges count
+/// separately, as they do in enumeration).  Returns 0 for graphs with no
+/// spanning tree and 1 for the single-vertex graph.
+double count_spanning_trees_kirchhoff(const Graph& g);
+
+}  // namespace mrlc::graph

@@ -1,0 +1,120 @@
+#include "graph/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace mrlc::graph {
+
+MaxFlow::MaxFlow(int node_count, double epsilon)
+    : node_count_(node_count),
+      epsilon_(epsilon),
+      adj_(static_cast<std::size_t>(node_count)) {
+  MRLC_REQUIRE(node_count >= 0, "node count must be non-negative");
+  MRLC_REQUIRE(epsilon > 0.0, "epsilon must be positive");
+}
+
+int MaxFlow::add_arc(int from, int to, double capacity) {
+  MRLC_REQUIRE(from >= 0 && from < node_count_, "arc source out of range");
+  MRLC_REQUIRE(to >= 0 && to < node_count_, "arc target out of range");
+  MRLC_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
+  auto& fwd_list = adj_[static_cast<std::size_t>(from)];
+  auto& rev_list = adj_[static_cast<std::size_t>(to)];
+  const int fwd_index = static_cast<int>(fwd_list.size());
+  fwd_list.push_back(Arc{to, static_cast<int>(rev_list.size()), capacity, capacity});
+  rev_list.push_back(Arc{from, fwd_index, 0.0, 0.0});
+  return fwd_index;
+}
+
+void MaxFlow::add_undirected(int a, int b, double capacity) {
+  // Two opposing arcs; each residual pair shares capacity via the reverse
+  // entries created by add_arc, so this models an undirected edge exactly.
+  add_arc(a, b, capacity);
+  add_arc(b, a, capacity);
+}
+
+bool MaxFlow::build_levels(int source, int sink) {
+  level_.assign(static_cast<std::size_t>(node_count_), -1);
+  std::queue<int> frontier;
+  level_[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    for (const Arc& a : adj_[static_cast<std::size_t>(v)]) {
+      if (a.capacity > epsilon_ && level_[static_cast<std::size_t>(a.to)] == -1) {
+        level_[static_cast<std::size_t>(a.to)] = level_[static_cast<std::size_t>(v)] + 1;
+        frontier.push(a.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] != -1;
+}
+
+double MaxFlow::push(int v, int sink, double limit) {
+  if (v == sink || limit <= epsilon_) return limit;
+  double sent = 0.0;
+  for (auto& i = iter_[static_cast<std::size_t>(v)];
+       i < adj_[static_cast<std::size_t>(v)].size(); ++i) {
+    Arc& a = adj_[static_cast<std::size_t>(v)][i];
+    if (a.capacity <= epsilon_ ||
+        level_[static_cast<std::size_t>(a.to)] != level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const double pushed = push(a.to, sink, std::min(limit - sent, a.capacity));
+    if (pushed > epsilon_) {
+      a.capacity -= pushed;
+      adj_[static_cast<std::size_t>(a.to)][static_cast<std::size_t>(a.rev)].capacity +=
+          pushed;
+      sent += pushed;
+      if (limit - sent <= epsilon_) break;
+    }
+  }
+  return sent;
+}
+
+double MaxFlow::max_flow(int source, int sink) {
+  MRLC_REQUIRE(source >= 0 && source < node_count_, "source out of range");
+  MRLC_REQUIRE(sink >= 0 && sink < node_count_, "sink out of range");
+  MRLC_REQUIRE(source != sink, "source and sink must differ");
+  double total = 0.0;
+  while (build_levels(source, sink)) {
+    iter_.assign(static_cast<std::size_t>(node_count_), 0);
+    double pushed = 0.0;
+    do {
+      pushed = push(source, sink, std::numeric_limits<double>::infinity());
+      total += pushed;
+    } while (pushed > epsilon_);
+  }
+  return total;
+}
+
+std::vector<int> MaxFlow::min_cut_source_side(int source) const {
+  std::vector<bool> seen(static_cast<std::size_t>(node_count_), false);
+  std::vector<int> side;
+  std::queue<int> frontier;
+  seen[static_cast<std::size_t>(source)] = true;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop();
+    side.push_back(v);
+    for (const Arc& a : adj_[static_cast<std::size_t>(v)]) {
+      if (a.capacity > epsilon_ && !seen[static_cast<std::size_t>(a.to)]) {
+        seen[static_cast<std::size_t>(a.to)] = true;
+        frontier.push(a.to);
+      }
+    }
+  }
+  return side;
+}
+
+void MaxFlow::reset() {
+  for (auto& list : adj_) {
+    for (Arc& a : list) a.capacity = a.original;
+  }
+}
+
+}  // namespace mrlc::graph

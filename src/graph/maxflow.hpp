@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file maxflow.hpp
+/// \brief Dinic maximum-flow on real-valued capacities.
+///
+/// Used by the subtour-elimination separation oracle (Padberg–Wolsey
+/// construction) in `core/separation.hpp`.  Capacities are doubles; a small
+/// epsilon treats near-zero residuals as saturated.
+
+#include <vector>
+
+namespace mrlc::graph {
+
+/// Max-flow network builder + Dinic solver.
+class MaxFlow {
+ public:
+  /// \param node_count number of nodes (0-based ids).
+  /// \param epsilon residual capacities below this count as zero.
+  explicit MaxFlow(int node_count, double epsilon = 1e-9);
+
+  /// Adds a directed arc with the given capacity (>= 0); returns arc index.
+  int add_arc(int from, int to, double capacity);
+
+  /// Adds an undirected edge = two opposing arcs each with `capacity`.
+  void add_undirected(int a, int b, double capacity);
+
+  /// Computes the maximum flow from `source` to `sink` (destructive on
+  /// residual capacities; call once per instance or use `reset`).
+  double max_flow(int source, int sink);
+
+  /// After max_flow: vertices on the source side of a minimum cut.
+  std::vector<int> min_cut_source_side(int source) const;
+
+  /// Restores all residual capacities to the original values.
+  void reset();
+
+ private:
+  struct Arc {
+    int to;
+    int rev;           ///< index of the reverse arc in adj_[to]
+    double capacity;   ///< residual capacity
+    double original;   ///< capacity as added
+  };
+
+  bool build_levels(int source, int sink);
+  double push(int v, int sink, double limit);
+
+  int node_count_;
+  double epsilon_;
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace mrlc::graph

@@ -1,0 +1,73 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "graph/dsu.hpp"
+
+namespace mrlc::graph {
+
+std::optional<SpanningTree> prim_mst(const Graph& g, VertexId root) {
+  MRLC_REQUIRE(root >= 0 && root < g.vertex_count(), "root out of range");
+  const int n = g.vertex_count();
+  if (n == 0) return SpanningTree{};
+
+  SpanningTree tree;
+  tree.edges.reserve(static_cast<std::size_t>(n - 1));
+  std::vector<bool> in_tree(static_cast<std::size_t>(n), false);
+
+  // (weight, edge id, new vertex) min-heap.
+  using Item = std::tuple<double, EdgeId, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  auto push_incident = [&](VertexId v) {
+    for (EdgeId id : g.incident(v)) {
+      const VertexId w = g.edge(id).other(v);
+      if (!in_tree[static_cast<std::size_t>(w)]) {
+        heap.emplace(g.edge(id).weight, id, w);
+      }
+    }
+  };
+
+  in_tree[static_cast<std::size_t>(root)] = true;
+  push_incident(root);
+  int joined = 1;
+  while (!heap.empty() && joined < n) {
+    const auto [w, id, v] = heap.top();
+    heap.pop();
+    if (in_tree[static_cast<std::size_t>(v)]) continue;
+    in_tree[static_cast<std::size_t>(v)] = true;
+    tree.edges.push_back(id);
+    tree.total_weight += w;
+    ++joined;
+    push_incident(v);
+  }
+  if (joined != n) return std::nullopt;
+  return tree;
+}
+
+std::optional<SpanningTree> kruskal_mst(const Graph& g) {
+  const int n = g.vertex_count();
+  if (n == 0) return SpanningTree{};
+
+  std::vector<EdgeId> ids = g.alive_edge_ids();
+  std::sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge(a).weight < g.edge(b).weight;
+  });
+
+  SpanningTree tree;
+  DisjointSetUnion dsu(n);
+  for (EdgeId id : ids) {
+    const Edge& e = g.edge(id);
+    if (dsu.unite(e.u, e.v)) {
+      tree.edges.push_back(id);
+      tree.total_weight += e.weight;
+      if (static_cast<int>(tree.edges.size()) == n - 1) break;
+    }
+  }
+  if (static_cast<int>(tree.edges.size()) != n - 1) return std::nullopt;
+  return tree;
+}
+
+}  // namespace mrlc::graph

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file mst.hpp
+/// \brief Minimum spanning tree algorithms (Prim, Kruskal).
+///
+/// Prim's algorithm is also the paper's "MST" baseline (Section VII): the
+/// lower bound on the cost of any MRLC-feasible aggregation tree.
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mrlc::graph {
+
+/// A spanning tree given as the set of chosen edge ids plus total weight.
+struct SpanningTree {
+  std::vector<EdgeId> edges;
+  double total_weight = 0.0;
+};
+
+/// Prim's algorithm from `root` over alive edges.
+/// \return nullopt if the graph is disconnected.
+std::optional<SpanningTree> prim_mst(const Graph& g, VertexId root = 0);
+
+/// Kruskal's algorithm over alive edges.
+/// \return nullopt if the graph is disconnected.
+std::optional<SpanningTree> kruskal_mst(const Graph& g);
+
+}  // namespace mrlc::graph

@@ -1,0 +1,47 @@
+#include "graph/shortest_path.hpp"
+
+#include <limits>
+#include <queue>
+
+namespace mrlc::graph {
+
+ShortestPaths dijkstra(const Graph& g, VertexId source,
+                       const std::function<double(EdgeId)>& weight) {
+  MRLC_REQUIRE(source >= 0 && source < g.vertex_count(), "source out of range");
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+
+  ShortestPaths out;
+  out.distance.assign(n, std::numeric_limits<double>::infinity());
+  out.parent_vertex.assign(n, -1);
+  out.parent_edge.assign(n, -1);
+  out.distance[static_cast<std::size_t>(source)] = 0.0;
+  out.parent_vertex[static_cast<std::size_t>(source)] = source;
+
+  using Item = std::pair<double, VertexId>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [dist, v] = heap.top();
+    heap.pop();
+    if (dist > out.distance[static_cast<std::size_t>(v)] + 1e-15) continue;  // stale
+    for (EdgeId id : g.incident(v)) {
+      const double w = weight(id);
+      MRLC_REQUIRE(w >= 0.0, "Dijkstra requires non-negative edge lengths");
+      const VertexId u = g.edge(id).other(v);
+      const double candidate = dist + w;
+      if (candidate < out.distance[static_cast<std::size_t>(u)] - 1e-15) {
+        out.distance[static_cast<std::size_t>(u)] = candidate;
+        out.parent_vertex[static_cast<std::size_t>(u)] = v;
+        out.parent_edge[static_cast<std::size_t>(u)] = id;
+        heap.emplace(candidate, u);
+      }
+    }
+  }
+  return out;
+}
+
+ShortestPaths dijkstra(const Graph& g, VertexId source) {
+  return dijkstra(g, source, [&](EdgeId id) { return g.edge(id).weight; });
+}
+
+}  // namespace mrlc::graph

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file shortest_path.hpp
+/// \brief Dijkstra single-source shortest paths (non-negative weights).
+///
+/// Used by the ETX shortest-path-tree baseline (`baselines/etx_spt.hpp`):
+/// link-quality routing à la ETX/CTP picks, for every node, the path that
+/// minimizes the total expected transmission count to the sink.
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mrlc::graph {
+
+/// Shortest-path tree from `source`.
+/// `distance[v]` is +inf for unreachable vertices; `parent_vertex[source]`
+/// is `source` itself and -1 for unreachable vertices.
+struct ShortestPaths {
+  std::vector<double> distance;
+  std::vector<VertexId> parent_vertex;
+  std::vector<EdgeId> parent_edge;
+};
+
+/// Dijkstra over alive edges using `weight(edge_id)` as the length.
+/// \param weight must return a non-negative length for every alive edge
+///        (checked; negative lengths throw std::invalid_argument).
+ShortestPaths dijkstra(const Graph& g, VertexId source,
+                       const std::function<double(EdgeId)>& weight);
+
+/// Convenience overload using the stored edge weights.
+ShortestPaths dijkstra(const Graph& g, VertexId source);
+
+}  // namespace mrlc::graph

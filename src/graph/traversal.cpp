@@ -1,0 +1,86 @@
+#include "graph/traversal.hpp"
+
+#include <queue>
+
+namespace mrlc::graph {
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.label.assign(static_cast<std::size_t>(g.vertex_count()), -1);
+  for (VertexId start = 0; start < g.vertex_count(); ++start) {
+    if (out.label[static_cast<std::size_t>(start)] != -1) continue;
+    const int comp = out.count++;
+    std::queue<VertexId> frontier;
+    frontier.push(start);
+    out.label[static_cast<std::size_t>(start)] = comp;
+    while (!frontier.empty()) {
+      const VertexId v = frontier.front();
+      frontier.pop();
+      for (EdgeId id : g.incident(v)) {
+        const VertexId w = g.edge(id).other(v);
+        auto& lw = out.label[static_cast<std::size_t>(w)];
+        if (lw == -1) {
+          lw = comp;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  return g.vertex_count() <= 1 || connected_components(g).count == 1;
+}
+
+BfsTree bfs_tree(const Graph& g, VertexId root) {
+  MRLC_REQUIRE(root >= 0 && root < g.vertex_count(), "root out of range");
+  BfsTree t;
+  const auto n = static_cast<std::size_t>(g.vertex_count());
+  t.parent_vertex.assign(n, -1);
+  t.parent_edge.assign(n, -1);
+  t.depth.assign(n, -1);
+  t.parent_vertex[static_cast<std::size_t>(root)] = root;
+  t.depth[static_cast<std::size_t>(root)] = 0;
+  std::queue<VertexId> frontier;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (EdgeId id : g.incident(v)) {
+      const VertexId w = g.edge(id).other(v);
+      if (t.depth[static_cast<std::size_t>(w)] != -1) continue;
+      t.depth[static_cast<std::size_t>(w)] = t.depth[static_cast<std::size_t>(v)] + 1;
+      t.parent_vertex[static_cast<std::size_t>(w)] = v;
+      t.parent_edge[static_cast<std::size_t>(w)] = id;
+      frontier.push(w);
+    }
+  }
+  return t;
+}
+
+std::vector<VertexId> reachable_without_edge(const Graph& g, VertexId start,
+                                             EdgeId blocked_edge) {
+  MRLC_REQUIRE(start >= 0 && start < g.vertex_count(), "start out of range");
+  std::vector<bool> seen(static_cast<std::size_t>(g.vertex_count()), false);
+  std::vector<VertexId> order;
+  std::queue<VertexId> frontier;
+  frontier.push(start);
+  seen[static_cast<std::size_t>(start)] = true;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    order.push_back(v);
+    for (EdgeId id : g.incident(v)) {
+      if (id == blocked_edge) continue;
+      const VertexId w = g.edge(id).other(v);
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        frontier.push(w);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace mrlc::graph

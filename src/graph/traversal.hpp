@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file traversal.hpp
+/// \brief BFS/DFS based queries: connectivity, components, BFS trees.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mrlc::graph {
+
+/// Component label (0-based, dense) per vertex, plus component count.
+struct Components {
+  std::vector<int> label;
+  int count = 0;
+};
+
+/// Connected components over alive edges.
+Components connected_components(const Graph& g);
+
+/// True iff all vertices are in a single component (vacuously true for n<=1).
+bool is_connected(const Graph& g);
+
+/// BFS parent structure rooted at `root`.
+/// `parent_vertex[root] == root`; unreachable vertices get -1.
+/// `parent_edge[v]` is the edge id connecting v to its parent (-1 for root /
+/// unreachable).
+struct BfsTree {
+  std::vector<VertexId> parent_vertex;
+  std::vector<EdgeId> parent_edge;
+  std::vector<int> depth;  ///< -1 for unreachable
+};
+
+BfsTree bfs_tree(const Graph& g, VertexId root);
+
+/// Vertices reachable from `start` using alive edges, excluding edges for
+/// which `blocked_edge` is the id (pass -1 to block nothing).  Used by the
+/// distributed protocol to find the component on one side of a removed
+/// tree link.
+std::vector<VertexId> reachable_without_edge(const Graph& g, VertexId start,
+                                             EdgeId blocked_edge);
+
+}  // namespace mrlc::graph

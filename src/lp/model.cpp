@@ -1,0 +1,82 @@
+#include "lp/model.hpp"
+
+#include <cmath>
+
+namespace mrlc::lp {
+
+VarId Model::add_variable(double objective_coefficient, double lower, double upper,
+                          std::string name) {
+  MRLC_REQUIRE(std::isfinite(lower), "lower bound must be finite");
+  MRLC_REQUIRE(lower <= upper, "variable bounds must be ordered");
+  const auto id = static_cast<VarId>(vars_.size());
+  vars_.push_back(Variable{objective_coefficient, lower, upper, std::move(name)});
+  return id;
+}
+
+RowId Model::add_constraint(Relation relation, double rhs, std::string name) {
+  MRLC_REQUIRE(std::isfinite(rhs), "constraint rhs must be finite");
+  const auto id = static_cast<RowId>(rows_.size());
+  rows_.push_back(Row{relation, rhs, {}, std::move(name)});
+  return id;
+}
+
+RowId Model::add_row(Relation relation, double rhs, const std::vector<Term>& terms,
+                     std::string name) {
+  const RowId id = add_constraint(relation, rhs, std::move(name));
+  for (const Term& t : terms) add_term(id, t.var, t.coefficient);
+  return id;
+}
+
+void Model::add_term(RowId row, VarId var, double coefficient) {
+  MRLC_REQUIRE(row >= 0 && row < constraint_count(), "row id out of range");
+  MRLC_REQUIRE(var >= 0 && var < variable_count(), "variable id out of range");
+  MRLC_REQUIRE(std::isfinite(coefficient), "coefficient must be finite");
+  rows_[static_cast<std::size_t>(row)].terms.push_back(Term{var, coefficient});
+}
+
+double Model::evaluate_row(RowId r, const std::vector<double>& x) const {
+  MRLC_REQUIRE(static_cast<int>(x.size()) == variable_count(),
+               "candidate point has wrong dimension");
+  double lhs = 0.0;
+  for (const Term& t : row_at(r).terms) {
+    lhs += t.coefficient * x[static_cast<std::size_t>(t.var)];
+  }
+  return lhs;
+}
+
+double Model::evaluate_objective(const std::vector<double>& x) const {
+  MRLC_REQUIRE(static_cast<int>(x.size()) == variable_count(),
+               "candidate point has wrong dimension");
+  double obj = 0.0;
+  for (VarId v = 0; v < variable_count(); ++v) {
+    obj += vars_[static_cast<std::size_t>(v)].objective * x[static_cast<std::size_t>(v)];
+  }
+  return obj;
+}
+
+bool Model::is_feasible(const std::vector<double>& x, double tolerance) const {
+  if (static_cast<int>(x.size()) != variable_count()) return false;
+  for (VarId v = 0; v < variable_count(); ++v) {
+    const auto& var = vars_[static_cast<std::size_t>(v)];
+    const double value = x[static_cast<std::size_t>(v)];
+    if (value < var.lower - tolerance || value > var.upper + tolerance) return false;
+  }
+  for (RowId r = 0; r < constraint_count(); ++r) {
+    const double lhs = evaluate_row(r, x);
+    const auto& row = rows_[static_cast<std::size_t>(r)];
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        if (lhs > row.rhs + tolerance) return false;
+        break;
+      case Relation::kGreaterEqual:
+        if (lhs < row.rhs - tolerance) return false;
+        break;
+      case Relation::kEqual:
+        if (std::abs(lhs - row.rhs) > tolerance) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace mrlc::lp

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file model.hpp
+/// \brief Linear program description consumed by `SimplexSolver`.
+///
+/// The paper's formulation (Section IV-C) assumes an off-the-shelf LP
+/// solver; this module plus `simplex.hpp` is our from-scratch substitute.
+/// Only minimization is supported (MRLC minimizes tree cost); callers that
+/// need maximization negate the objective.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mrlc::lp {
+
+using VarId = int;
+using RowId = int;
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// One term `coefficient * variable` in a constraint row.
+struct Term {
+  VarId var = 0;
+  double coefficient = 0.0;
+};
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A linear program: min c'x  s.t.  row relations,  l <= x <= u.
+///
+/// Lower bounds must be finite (the MRLC LPs only need x >= 0); upper
+/// bounds may be +inf.  Duplicate terms on the same (row, var) pair are
+/// summed.
+class Model {
+ public:
+  /// Adds a variable and returns its id.
+  VarId add_variable(double objective_coefficient, double lower = 0.0,
+                     double upper = kInfinity, std::string name = {});
+
+  /// Adds an empty constraint row; populate with `add_term`.
+  RowId add_constraint(Relation relation, double rhs, std::string name = {});
+
+  /// Adds a constraint with its terms in one call.  (Named differently from
+  /// `add_constraint` because brace-initialized term lists would otherwise
+  /// be ambiguous with the `name` overload.)
+  RowId add_row(Relation relation, double rhs, const std::vector<Term>& terms,
+                std::string name = {});
+
+  void add_term(RowId row, VarId var, double coefficient);
+
+  int variable_count() const noexcept { return static_cast<int>(vars_.size()); }
+  int constraint_count() const noexcept { return static_cast<int>(rows_.size()); }
+
+  double objective_coefficient(VarId v) const { return var_at(v).objective; }
+  double lower_bound(VarId v) const { return var_at(v).lower; }
+  double upper_bound(VarId v) const { return var_at(v).upper; }
+  const std::string& variable_name(VarId v) const { return var_at(v).name; }
+
+  Relation relation(RowId r) const { return row_at(r).relation; }
+  double rhs(RowId r) const { return row_at(r).rhs; }
+  const std::vector<Term>& terms(RowId r) const { return row_at(r).terms; }
+  const std::string& constraint_name(RowId r) const { return row_at(r).name; }
+
+  /// Evaluates the left-hand side of a row at a candidate point.
+  double evaluate_row(RowId r, const std::vector<double>& x) const;
+
+  /// Evaluates the objective at a candidate point.
+  double evaluate_objective(const std::vector<double>& x) const;
+
+  /// True if `x` satisfies all rows and bounds within `tolerance`.
+  bool is_feasible(const std::vector<double>& x, double tolerance = 1e-7) const;
+
+ private:
+  struct Variable {
+    double objective = 0.0;
+    double lower = 0.0;
+    double upper = kInfinity;
+    std::string name;
+  };
+  struct Row {
+    Relation relation = Relation::kLessEqual;
+    double rhs = 0.0;
+    std::vector<Term> terms;
+    std::string name;
+  };
+
+  const Variable& var_at(VarId v) const {
+    MRLC_REQUIRE(v >= 0 && v < variable_count(), "variable id out of range");
+    return vars_[static_cast<std::size_t>(v)];
+  }
+  const Row& row_at(RowId r) const {
+    MRLC_REQUIRE(r >= 0 && r < constraint_count(), "row id out of range");
+    return rows_[static_cast<std::size_t>(r)];
+  }
+
+  std::vector<Variable> vars_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mrlc::lp

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file simplex.hpp
+/// \brief Dense two-phase primal simplex solver.
+///
+/// Returns *basic feasible* optima, i.e. extreme points of the feasible
+/// polytope — exactly what the Iterative Relaxation Algorithm needs
+/// (Algorithm 1, Line 5 asks for "an extreme point solution of
+/// LP(G, L', W)").  Dantzig pricing with an automatic switch to Bland's
+/// rule guards against cycling on the degenerate spanning-tree polytopes
+/// these LPs produce.
+///
+/// Scale: the MRLC LPs have O(|E|) variables and O(|V| + cuts) rows with
+/// |V| <= a few hundred, so a dense tableau is simple, robust, and fast
+/// enough (milliseconds per solve at the paper's n = 16).
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace mrlc::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+/// Result of a solve.  `values` / `is_basic` are indexed by the model's
+/// variable ids.  `is_basic` marks variables that are basic in the final
+/// tableau; nonbasic variables sit exactly at a bound.
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+  std::vector<bool> is_basic;
+  int iterations = 0;
+};
+
+/// Solver options.
+struct SimplexOptions {
+  double pivot_tolerance = 1e-9;      ///< entries smaller than this can't pivot
+  double cost_tolerance = 1e-9;       ///< reduced costs above -tol are optimal
+  int max_iterations = 200000;        ///< hard cap across both phases
+  int bland_after = 5000;             ///< switch to Bland's rule after this many
+                                      ///< pivots without objective progress
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves `model` (minimization).  Never throws on infeasible/unbounded
+  /// inputs — that is reported via `Solution::status`.
+  Solution solve(const Model& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace mrlc::lp

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file codec.hpp
+/// \brief Prüfer code for rooted aggregation trees (Section VI-A,
+/// Algorithms 2 and 3).
+///
+/// The paper extends the classic Prüfer sequence to aggregation trees: the
+/// sink is node 0 (the smallest label), every non-sink node knows its
+/// parent, and the code is built by repeatedly stripping the largest-label
+/// leaf and appending its parent.  A tree on n nodes costs only n-2
+/// integers, and the number of children of any non-sink node can be read
+/// off the code without decoding (Eq. 23) — which is exactly what the
+/// lifetime formula needs.
+///
+/// Implementation note: Algorithm 3's final step appends `p_{n-2}` as
+/// `d_{n-1}`.  That is only correct when the last code entry is not the
+/// sink (it happens to hold in the paper's example); for a star centered at
+/// the sink it would emit a self-loop.  We use the generally correct rule —
+/// `d_{n-1}` is the largest label never assigned during the main loop — and
+/// verify round-trips in the test suite (including stars).
+///
+/// Both encode and decode run in O(n log n), as stated in the paper.
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mrlc::prufer {
+
+/// A rooted labeled tree as a parent array: parent[0] == -1 (node 0 is the
+/// sink/root, per the paper's convention), parent[v] in [0, n) otherwise.
+using ParentArray = std::vector<int>;
+
+/// A Prüfer code; length n-2 for a tree on n >= 2 nodes (empty for n == 2).
+using Code = std::vector<int>;
+
+/// Validates shape (root 0, in-range parents, acyclic); throws on failure.
+void validate_parent_array(const ParentArray& parent);
+
+/// Algorithm 2.  Requires n >= 2.
+Code encode(const ParentArray& parent);
+
+/// Algorithm 3's removal sequence D = (d_1, ..., d_n); the tree's edges are
+/// {(d_i, code_i)} for i < n-1 plus (d_{n-1}, d_n) with d_n = 0.
+std::vector<int> decode_sequence(const Code& code, int node_count);
+
+/// Decodes straight to a parent array (parent[d_i] = code_i; the node
+/// paired with the sink in the final edge gets parent 0).
+ParentArray decode(const Code& code, int node_count);
+
+/// Eq. 23: children count of `v` read directly from the code — the number
+/// of occurrences of v, plus one if v is the sink.
+int children_from_code(const Code& code, int node_count, int v);
+
+}  // namespace mrlc::prufer

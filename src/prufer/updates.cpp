@@ -1,0 +1,72 @@
+#include "prufer/updates.hpp"
+
+#include <algorithm>
+
+namespace mrlc::prufer {
+
+std::vector<int> subtree_members(const ParentArray& parent, int root) {
+  const int n = static_cast<int>(parent.size());
+  MRLC_REQUIRE(root >= 0 && root < n, "root out of range");
+  std::vector<int> members;
+  for (int v = 0; v < n; ++v) {
+    for (int w = v; w != -1; w = parent[static_cast<std::size_t>(w)]) {
+      if (w == root) {
+        members.push_back(v);
+        break;
+      }
+    }
+  }
+  return members;
+}
+
+Code apply_parent_change(const Code& code, int node_count, int child,
+                         int new_parent) {
+  MRLC_REQUIRE(child > 0 && child < node_count, "child must be a non-sink node");
+  MRLC_REQUIRE(new_parent >= 0 && new_parent < node_count, "new parent out of range");
+  MRLC_REQUIRE(child != new_parent, "node cannot parent itself");
+
+  ParentArray parent = decode(code, node_count);
+  // Cycle guard: the new parent must not live under the child.
+  for (int w = new_parent; w != -1; w = parent[static_cast<std::size_t>(w)]) {
+    if (w == child) {
+      throw InfeasibleError(
+          "parent change would create a cycle (new parent is in the child's subtree)");
+    }
+  }
+  parent[static_cast<std::size_t>(child)] = new_parent;
+  return encode(parent);
+}
+
+ParentArray& evert_and_attach(ParentArray& parent, int subtree_root,
+                              int new_local_root, int attach_to) {
+  const int n = static_cast<int>(parent.size());
+  MRLC_REQUIRE(subtree_root > 0 && subtree_root < n, "subtree root must be non-sink");
+  MRLC_REQUIRE(new_local_root >= 0 && new_local_root < n, "new local root out of range");
+  MRLC_REQUIRE(attach_to >= 0 && attach_to < n, "attach target out of range");
+
+  // Collect the path new_local_root -> subtree_root; it must exist (the new
+  // local root is inside the subtree) and must not contain attach_to.
+  std::vector<int> path;
+  bool found = false;
+  for (int w = new_local_root; w != -1; w = parent[static_cast<std::size_t>(w)]) {
+    path.push_back(w);
+    if (w == subtree_root) {
+      found = true;
+      break;
+    }
+  }
+  MRLC_REQUIRE(found, "new local root is not inside the subtree");
+  const std::vector<int> members = subtree_members(parent, subtree_root);
+  MRLC_REQUIRE(std::find(members.begin(), members.end(), attach_to) == members.end(),
+               "attach target lies inside the subtree being re-rooted");
+
+  // Reverse parent pointers along the path, then hang the new root outside.
+  for (std::size_t i = path.size(); i-- > 1;) {
+    parent[static_cast<std::size_t>(path[i])] = path[i - 1];
+  }
+  parent[static_cast<std::size_t>(new_local_root)] = attach_to;
+  validate_parent_array(parent);
+  return parent;
+}
+
+}  // namespace mrlc::prufer

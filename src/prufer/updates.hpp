@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file updates.hpp
+/// \brief Tree-update operations on Prüfer-coded trees (Section VI-B).
+///
+/// Every sensor replicates (P, D); an update is a small record ("child c
+/// now has parent p") that each node applies locally to derive the same new
+/// (P', D').  The paper performs an in-place splice of P and D; we obtain
+/// the identical result by decode -> mutate -> encode, which is the same
+/// O(n log n) and trivially deterministic across replicas.
+
+#include "prufer/codec.hpp"
+
+namespace mrlc::prufer {
+
+/// Members of the subtree rooted at `root` (inclusive) — the "connected
+/// component without (child, parent)" of the Link-Getting-Worse scheme.
+std::vector<int> subtree_members(const ParentArray& parent, int root);
+
+/// Applies a parent change to a coded tree and returns the new code.
+/// \throws InfeasibleError if `new_parent` lies inside `child`'s subtree
+///         (the change would create a cycle) or `child` is the sink.
+Code apply_parent_change(const Code& code, int node_count, int child, int new_parent);
+
+/// Re-roots the subtree that currently hangs below `subtree_root` so that
+/// `new_local_root` (a member of that subtree) becomes its top: parent
+/// pointers along the path new_local_root -> subtree_root are reversed,
+/// and new_local_root's parent is set to `attach_to` (a node outside the
+/// subtree).  This is the general form of the Link-Getting-Worse repair
+/// when the best replacement link is not incident to the detached child
+/// itself.  Mutates and returns the array.
+ParentArray& evert_and_attach(ParentArray& parent, int subtree_root,
+                              int new_local_root, int attach_to);
+
+}  // namespace mrlc::prufer

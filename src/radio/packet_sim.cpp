@@ -1,0 +1,74 @@
+#include "radio/packet_sim.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mrlc::radio {
+
+RoundResult simulate_round(const wsn::Network& net, const wsn::AggregationTree& tree,
+                           const RetxPolicy& policy, Rng& rng) {
+  MRLC_REQUIRE(policy.max_attempts_per_link >= 1, "need at least one attempt");
+  const int n = net.node_count();
+
+  // Post-order: process children before parents.  Sorting vertices by
+  // decreasing depth gives a valid order in O(n log n).
+  std::vector<int> depth(static_cast<std::size_t>(n), 0);
+  std::vector<wsn::VertexId> order(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  for (int v = 0; v < n; ++v) {
+    int d = 0;
+    for (wsn::VertexId w = v; tree.parent(w) != -1; w = tree.parent(w)) ++d;
+    depth[static_cast<std::size_t>(v)] = d;
+  }
+  std::sort(order.begin(), order.end(), [&](wsn::VertexId a, wsn::VertexId b) {
+    return depth[static_cast<std::size_t>(a)] > depth[static_cast<std::size_t>(b)];
+  });
+
+  // readings[v]: sensor readings currently aggregated at v (own + received).
+  std::vector<int> readings(static_cast<std::size_t>(n), 1);
+  RoundResult out;
+  for (wsn::VertexId v : order) {
+    if (v == tree.root()) continue;
+    const wsn::EdgeId link = tree.parent_edge(v);
+    const double q = net.link_prr(link);
+    bool delivered = false;
+    for (int attempt = 0; attempt < policy.max_attempts_per_link; ++attempt) {
+      ++out.packets_sent;
+      if (rng.bernoulli(q)) {
+        delivered = true;
+        break;
+      }
+      if (!policy.enabled) break;  // no retransmissions: lose the packet
+    }
+    if (delivered) {
+      readings[static_cast<std::size_t>(tree.parent(v))] +=
+          readings[static_cast<std::size_t>(v)];
+    }
+  }
+  out.readings_delivered = readings[static_cast<std::size_t>(tree.root())];
+  out.round_complete = out.readings_delivered == n;
+  return out;
+}
+
+AggregateResult simulate_rounds(const wsn::Network& net,
+                                const wsn::AggregationTree& tree,
+                                const RetxPolicy& policy, int rounds, Rng& rng) {
+  MRLC_REQUIRE(rounds >= 1, "need at least one round");
+  AggregateResult agg;
+  std::uint64_t packets = 0;
+  std::uint64_t delivered = 0;
+  int complete = 0;
+  for (int r = 0; r < rounds; ++r) {
+    const RoundResult res = simulate_round(net, tree, policy, rng);
+    packets += res.packets_sent;
+    delivered += static_cast<std::uint64_t>(res.readings_delivered);
+    complete += res.round_complete ? 1 : 0;
+  }
+  const auto denom = static_cast<double>(rounds);
+  agg.avg_packets_per_round = static_cast<double>(packets) / denom;
+  agg.avg_readings_delivered = static_cast<double>(delivered) / denom;
+  agg.round_success_ratio = static_cast<double>(complete) / denom;
+  return agg;
+}
+
+}  // namespace mrlc::radio

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file packet_sim.hpp
+/// \brief Packet-level Monte-Carlo simulation of data aggregation rounds.
+///
+/// Reproduces the paper's motivation experiment (Fig. 1): with an ETX-style
+/// retransmit-until-received policy, the number of packets per aggregation
+/// round explodes as link quality drops — the energy argument for selecting
+/// reliable trees instead of retransmitting.  The no-retransmission mode
+/// implements the paper's delivery semantics (a reading reaches the sink iff
+/// every link on its path succeeds).
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::radio {
+
+/// Outcome of simulating one aggregation round.
+struct RoundResult {
+  std::uint64_t packets_sent = 0;   ///< total transmissions incl. retries
+  int readings_delivered = 0;       ///< sensor readings that reached the sink
+  bool round_complete = false;      ///< every reading was delivered
+};
+
+/// Retransmission policy for `simulate_round`.
+struct RetxPolicy {
+  bool enabled = false;
+  /// Safety valve so a near-dead link cannot stall the simulation; the
+  /// packet is dropped after this many failed attempts.
+  int max_attempts_per_link = 10000;
+};
+
+/// Simulates a single aggregation round on `tree`.
+///
+/// Processing is bottom-up (post-order): each node aggregates whatever
+/// arrived from its children with its own reading into one packet and
+/// transmits it to the parent.  Link successes are Bernoulli(q_e) draws.
+/// With retransmissions enabled, a failed transmission is retried (each
+/// retry is a new packet); without, the packet is simply lost and the
+/// readings it carried never reach the sink.
+RoundResult simulate_round(const wsn::Network& net, const wsn::AggregationTree& tree,
+                           const RetxPolicy& policy, Rng& rng);
+
+/// Aggregate statistics over `rounds` simulated rounds.
+struct AggregateResult {
+  double avg_packets_per_round = 0.0;
+  double avg_readings_delivered = 0.0;
+  double round_success_ratio = 0.0;  ///< empirical estimate of Q(T)
+};
+
+AggregateResult simulate_rounds(const wsn::Network& net,
+                                const wsn::AggregationTree& tree,
+                                const RetxPolicy& policy, int rounds, Rng& rng);
+
+}  // namespace mrlc::radio

@@ -1,0 +1,63 @@
+#include "radio/power_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mrlc::radio {
+
+double PowerTrace::average_mw() const {
+  if (samples_mw.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : samples_mw) total += s;
+  return total / static_cast<double>(samples_mw.size());
+}
+
+double PowerTrace::energy_mj() const {
+  // mW * ms = uJ; convert to mJ.
+  return average_mw() * duration_ms() * 1e-3;
+}
+
+PowerTrace synthesize_trace(RadioState state, double duration_ms,
+                            const PowerTraceParams& params, Rng& rng) {
+  MRLC_REQUIRE(duration_ms > 0.0, "duration must be positive");
+  MRLC_REQUIRE(params.sample_period_ms > 0.0, "sample period must be positive");
+
+  PowerTrace trace;
+  trace.state = state;
+  trace.sample_period_ms = params.sample_period_ms;
+  const auto count = static_cast<std::size_t>(duration_ms / params.sample_period_ms);
+  trace.samples_mw.reserve(count);
+
+  const bool active = state != RadioState::kIdle;
+  const double mean = state == RadioState::kSending  ? params.send_mean_mw
+                      : state == RadioState::kReceiving ? params.receive_mean_mw
+                                                        : params.idle_mean_mw;
+  const double noise_sigma =
+      active ? params.noise_sigma_mw : params.idle_noise_sigma_mw;
+
+  // During a packet burst the radio draws above the between-packet level;
+  // the duty cycle is chosen so the long-run average equals `mean`.
+  const double duty = std::clamp(params.packet_duration_ms / params.packet_period_ms,
+                                 1e-6, 1.0 - 1e-6);
+  const double burst_level = mean + params.burst_amplitude_mw * (1.0 - duty);
+  const double floor_level = mean - params.burst_amplitude_mw * duty;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t_ms = static_cast<double>(i) * params.sample_period_ms;
+    double level = mean;
+    if (active) {
+      const double phase = std::fmod(t_ms, params.packet_period_ms);
+      level = phase < params.packet_duration_ms ? burst_level : floor_level;
+    }
+    trace.samples_mw.push_back(std::max(0.0, level + rng.normal(0.0, noise_sigma)));
+  }
+  return trace;
+}
+
+Summary summarize_trace(const PowerTrace& trace) {
+  return summarize(trace.samples_mw);
+}
+
+}  // namespace mrlc::radio

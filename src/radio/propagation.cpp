@@ -1,0 +1,81 @@
+#include "radio/propagation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mrlc::radio {
+
+void PropagationParams::validate() const {
+  MRLC_REQUIRE(path_loss_exponent > 0.0, "path loss exponent must be positive");
+  MRLC_REQUIRE(shadowing_sigma_db >= 0.0, "shadowing sigma must be non-negative");
+  MRLC_REQUIRE(frame_bytes > 0.0, "frame size must be positive");
+  MRLC_REQUIRE(min_prr > 0.0 && min_prr < 1.0, "min PRR must lie in (0, 1)");
+  MRLC_REQUIRE(max_prr > min_prr && max_prr <= 1.0,
+               "max PRR must lie in (min_prr, 1]");
+}
+
+double telosb_tx_power_dbm(int level) {
+  MRLC_REQUIRE(level >= 3 && level <= 31, "TelosB power level must lie in [3, 31]");
+  // CC2420 datasheet operating points (register PA_LEVEL -> dBm).
+  struct Point {
+    int level;
+    double dbm;
+  };
+  static constexpr Point kPoints[] = {
+      {3, -25.0}, {7, -15.0}, {11, -10.0}, {15, -7.0},
+      {19, -5.0}, {23, -3.0}, {27, -1.0},  {31, 0.0},
+  };
+  const Point* hi = kPoints;
+  while (hi->level < level) ++hi;
+  if (hi->level == level) return hi->dbm;
+  const Point* lo = hi - 1;
+  const double t = static_cast<double>(level - lo->level) /
+                   static_cast<double>(hi->level - lo->level);
+  return lo->dbm + t * (hi->dbm - lo->dbm);
+}
+
+double mean_path_loss_db(const PropagationParams& params, double meters) {
+  MRLC_REQUIRE(meters > 0.0, "distance must be positive");
+  return params.reference_path_loss_db +
+         10.0 * params.path_loss_exponent * std::log10(meters);
+}
+
+double prr_from_snr_db(double snr_db, double frame_bytes) {
+  MRLC_REQUIRE(frame_bytes > 0.0, "frame size must be positive");
+  // Zuniga & Krishnamachari, "Analyzing the transitional region in low power
+  // wireless links": NC-FSK bit error with CC2420-style processing gain,
+  //   Pe = 0.5 * exp(-gamma / 2 * 1 / 0.64),
+  // frame success = (1 - Pe)^(8 * frame_bytes).
+  const double gamma = std::pow(10.0, snr_db / 10.0);
+  const double bit_error = 0.5 * std::exp(-gamma / 2.0 / 0.64);
+  const double bits = 8.0 * frame_bytes;
+  return std::pow(1.0 - bit_error, bits);
+}
+
+namespace {
+
+double clamp_prr(const PropagationParams& params, double prr) {
+  return std::clamp(prr, params.min_prr, params.max_prr);
+}
+
+}  // namespace
+
+double expected_prr(const PropagationParams& params, double tx_dbm, double meters) {
+  params.validate();
+  const double rx_dbm = tx_dbm - mean_path_loss_db(params, meters);
+  return clamp_prr(params, prr_from_snr_db(rx_dbm - params.noise_floor_dbm,
+                                           params.frame_bytes));
+}
+
+double sample_prr(const PropagationParams& params, double tx_dbm, double meters,
+                  Rng& rng) {
+  params.validate();
+  const double shadowing = rng.normal(0.0, params.shadowing_sigma_db);
+  const double rx_dbm = tx_dbm - mean_path_loss_db(params, meters) + shadowing;
+  return clamp_prr(params, prr_from_snr_db(rx_dbm - params.noise_floor_dbm,
+                                           params.frame_bytes));
+}
+
+}  // namespace mrlc::radio

@@ -1,0 +1,81 @@
+#include "scenario/dfl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace mrlc::scenario {
+
+int dfl_node_count(const DflConfig& config) {
+  MRLC_REQUIRE(config.side_m > 0.0 && config.spacing_m > 0.0,
+               "geometry must be positive");
+  const double per_side = config.side_m / config.spacing_m;
+  const int steps = static_cast<int>(std::lround(per_side));
+  MRLC_REQUIRE(std::abs(per_side - steps) < 1e-9,
+               "side length must be a multiple of the spacing");
+  return 4 * steps;  // corners are shared between sides
+}
+
+namespace {
+
+std::vector<std::pair<double, double>> perimeter_positions(const DflConfig& config,
+                                                           int node_count) {
+  std::vector<std::pair<double, double>> pos;
+  pos.reserve(static_cast<std::size_t>(node_count));
+  const int per_side = node_count / 4;
+  const double s = config.spacing_m;
+  const double side = config.side_m;
+  for (int i = 0; i < per_side; ++i) pos.emplace_back(s * i, 0.0);          // bottom
+  for (int i = 0; i < per_side; ++i) pos.emplace_back(side, s * i);        // right
+  for (int i = 0; i < per_side; ++i) pos.emplace_back(side - s * i, side); // top
+  for (int i = 0; i < per_side; ++i) pos.emplace_back(0.0, side - s * i);  // left
+  return pos;
+}
+
+/// Beacon-based PRR estimation (paper Eq. 2): q̂ = received / sent over
+/// `rounds` broadcast beacons.
+double estimate_prr(double true_prr, int rounds, Rng& rng) {
+  int received = 0;
+  for (int r = 0; r < rounds; ++r) received += rng.bernoulli(true_prr) ? 1 : 0;
+  return static_cast<double>(received) / static_cast<double>(rounds);
+}
+
+}  // namespace
+
+DflSystem make_dfl_system(const DflConfig& config) {
+  MRLC_REQUIRE(config.beacon_rounds >= 1, "need at least one beacon round");
+  MRLC_REQUIRE(config.min_link_prr > 0.0 && config.min_link_prr < 1.0,
+               "link PRR floor must lie in (0, 1)");
+  config.propagation.validate();
+
+  const int n = dfl_node_count(config);
+  Rng rng(config.seed);
+
+  DflSystem system{wsn::Network(n, /*sink=*/0), perimeter_positions(config, n), {}};
+  for (wsn::VertexId v = 0; v < n; ++v) {
+    system.network.set_initial_energy(v, config.initial_energy_j);
+  }
+
+  const double tx_dbm = radio::telosb_tx_power_dbm(config.tx_power_level);
+  for (wsn::VertexId u = 0; u < n; ++u) {
+    for (wsn::VertexId v = u + 1; v < n; ++v) {
+      const auto& [ux, uy] = system.positions_m[static_cast<std::size_t>(u)];
+      const auto& [vx, vy] = system.positions_m[static_cast<std::size_t>(v)];
+      const double dist = std::hypot(ux - vx, uy - vy);
+      // A fixed shadowing draw per link: deployed links have a static
+      // quality, randomized across links by the environment.
+      const double truth = radio::sample_prr(config.propagation, tx_dbm, dist, rng);
+      const double estimate = std::min(
+          estimate_prr(truth, config.beacon_rounds, rng), config.estimate_cap);
+      if (estimate < config.min_link_prr) continue;  // unusable pair
+      system.network.add_link(u, v, estimate);
+      system.true_prr.push_back(truth);
+    }
+  }
+
+  system.network.validate();  // throws InfeasibleError if disconnected
+  return system;
+}
+
+}  // namespace mrlc::scenario

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file dfl.hpp
+/// \brief Synthetic Device-Free-Localization testbed (Section VII, Fig. 6).
+///
+/// The paper evaluates on trace data from a DFL system: 16 TelosB motes on
+/// 0.9 m tripods along the perimeter of a 3.6 m x 3.6 m square, 0.9 m
+/// apart, node 0 the sink, 3000 J batteries, and link qualities estimated
+/// from 1000 broadcast beacon rounds.  We do not have that trace; this
+/// module regenerates an equivalent instance from the published geometry:
+/// true PRRs come from the calibrated radio model (`radio/propagation.hpp`)
+/// at the actual pairwise distances, and the *network* sees only the
+/// beacon-estimated PRRs — the same estimator the real system used (Eq. 2).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "radio/propagation.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::scenario {
+
+/// Default radio model for the DFL hall: the Fig. 2 calibration plus a
+/// higher shadowing sigma (4.5 dB vs the open-space 3.2 dB) — the testbed
+/// room's multipath is what gives the paper's trace its wide quality
+/// spread (their Fig. 7 AAML/MST cost ratio of ~7 requires mid-quality
+/// links well below the short-distance mean).
+inline radio::PropagationParams dfl_default_propagation() {
+  radio::PropagationParams params;
+  params.shadowing_sigma_db = 4.5;
+  return params;
+}
+
+struct DflConfig {
+  double side_m = 3.6;           ///< square side
+  double spacing_m = 0.9;        ///< distance between adjacent tripods
+  int tx_power_level = 19;       ///< TelosB power register (paper Fig. 2)
+  radio::PropagationParams propagation = dfl_default_propagation();
+  int beacon_rounds = 1000;      ///< beacons used to estimate each link PRR
+  double min_link_prr = 0.05;    ///< estimated-PRR floor below which a pair
+                                 ///< is not registered as a link
+  /// Cap on the *estimated* PRR: a finite beacon sample cannot certify a
+  /// perfect link, so "1000 of 1000 received" is recorded as this value
+  /// (just under 1 - 1/(2*rounds)) rather than exactly 1.0.
+  double estimate_cap = 0.9995;
+  double initial_energy_j = 3000.0;  ///< two AA batteries
+  /// Default instance chosen (by scanning seeds) to be structurally
+  /// representative of the paper's trace: AAML/MST cost ratio ~7, a real
+  /// cost/lifetime tension at LC = L_AAML (IRA@L_AAML strictly above the
+  /// MST cost), and the >= 0.95 filtered graph connected.
+  std::uint64_t seed = 23;
+};
+
+/// One generated testbed instance.
+struct DflSystem {
+  wsn::Network network;
+  std::vector<std::pair<double, double>> positions_m;  ///< per node (x, y)
+  /// Ground-truth PRR per registered link (the network itself stores the
+  /// beacon *estimates*, as the real deployment would).
+  std::vector<double> true_prr;
+};
+
+/// Node count implied by the geometry (16 for the paper's defaults).
+int dfl_node_count(const DflConfig& config);
+
+/// Generates the testbed.  Node 0 (the sink) sits at a corner and the rest
+/// follow the perimeter clockwise.  Throws InfeasibleError if the generated
+/// link set is disconnected (cannot happen with the default radio model:
+/// adjacent tripods are 0.9 m apart and essentially loss-free).
+DflSystem make_dfl_system(const DflConfig& config = {});
+
+}  // namespace mrlc::scenario

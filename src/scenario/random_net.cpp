@@ -1,0 +1,48 @@
+#include "scenario/random_net.hpp"
+
+#include "graph/traversal.hpp"
+
+namespace mrlc::scenario {
+
+wsn::Network make_random_network(const RandomNetworkConfig& config, Rng& rng) {
+  MRLC_REQUIRE(config.node_count >= 2, "need at least two nodes");
+  MRLC_REQUIRE(config.link_probability > 0.0 && config.link_probability <= 1.0,
+               "link probability must lie in (0, 1]");
+  MRLC_REQUIRE(config.prr_min > 0.0 && config.prr_min <= config.prr_max &&
+                   config.prr_max <= 1.0,
+               "PRR range must lie in (0, 1] and be ordered");
+  MRLC_REQUIRE(config.energy_min_j > 0.0 && config.energy_min_j <= config.energy_max_j,
+               "energy range must be positive and ordered");
+
+  for (int attempt = 0; attempt < config.max_redraws; ++attempt) {
+    wsn::Network net(config.node_count, /*sink=*/0);
+    for (wsn::VertexId v = 0; v < config.node_count; ++v) {
+      net.set_initial_energy(v, rng.uniform(config.energy_min_j, config.energy_max_j));
+    }
+    for (wsn::VertexId u = 0; u < config.node_count; ++u) {
+      for (wsn::VertexId v = u + 1; v < config.node_count; ++v) {
+        if (!rng.bernoulli(config.link_probability)) continue;
+        net.add_link(u, v, rng.uniform(config.prr_min, config.prr_max));
+      }
+    }
+    if (graph::is_connected(net.topology())) return net;
+  }
+  throw InfeasibleError("failed to draw a connected random network");
+}
+
+wsn::Network filter_links(const wsn::Network& net, double min_prr) {
+  MRLC_REQUIRE(min_prr > 0.0 && min_prr <= 1.0, "PRR floor must lie in (0, 1]");
+  wsn::Network out(net.node_count(), net.sink(), net.energy_model());
+  for (wsn::VertexId v = 0; v < net.node_count(); ++v) {
+    out.set_initial_energy(v, net.initial_energy(v));
+  }
+  for (wsn::EdgeId id = 0; id < net.link_count(); ++id) {
+    if (net.link_prr(id) < min_prr) continue;
+    const graph::Edge& e = net.topology().edge(id);
+    out.add_link(e.u, e.v, net.link_prr(id));
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace mrlc::scenario

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file random_net.hpp
+/// \brief Random G(n, p) network instances (Section VII-B).
+///
+/// The paper's random-graph experiments: 16 nodes, each possible link
+/// present independently with probability 70%, link quality uniform in
+/// (0.95, 1), initial energy either fixed at 3000 J or uniform in
+/// [1500 J, 5000 J].  Disconnected draws are re-rolled (a disconnected
+/// instance has no aggregation tree at all).
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::scenario {
+
+struct RandomNetworkConfig {
+  int node_count = 16;
+  double link_probability = 0.7;
+  double prr_min = 0.95;
+  double prr_max = 1.0;
+  double energy_min_j = 3000.0;
+  double energy_max_j = 3000.0;
+  int max_redraws = 1000;  ///< connectivity retries before giving up
+};
+
+/// Draws one connected random instance using `rng`.
+/// \throws InfeasibleError if no connected draw is found within
+///         `max_redraws` attempts (pathologically low link probability).
+wsn::Network make_random_network(const RandomNetworkConfig& config, Rng& rng);
+
+/// Copy of `net` with every link of PRR < `min_prr` removed — the paper's
+/// preprocessing for AAML ("we ignore unreliable links with the packet
+/// reception ratio lower than 0.95").
+/// \throws InfeasibleError if the filtered topology is disconnected.
+wsn::Network filter_links(const wsn::Network& net, double min_prr);
+
+}  // namespace mrlc::scenario

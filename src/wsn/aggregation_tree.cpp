@@ -1,0 +1,139 @@
+#include "wsn/aggregation_tree.hpp"
+
+#include <queue>
+
+#include "graph/dsu.hpp"
+
+namespace mrlc::wsn {
+
+AggregationTree AggregationTree::from_edges(const Network& net,
+                                            std::span<const EdgeId> edges) {
+  const int n = net.node_count();
+  MRLC_REQUIRE(static_cast<int>(edges.size()) == n - 1,
+               "a spanning tree of n nodes has n-1 edges");
+
+  // Adjacency restricted to the chosen edges.
+  std::vector<std::vector<std::pair<VertexId, EdgeId>>> adj(static_cast<std::size_t>(n));
+  graph::DisjointSetUnion dsu(n);
+  for (EdgeId id : edges) {
+    const graph::Edge& e = net.topology().edge(id);
+    if (!dsu.unite(e.u, e.v)) {
+      throw InfeasibleError("edge set contains a cycle; not a spanning tree");
+    }
+    adj[static_cast<std::size_t>(e.u)].emplace_back(e.v, id);
+    adj[static_cast<std::size_t>(e.v)].emplace_back(e.u, id);
+  }
+  if (dsu.set_count() != 1) {
+    throw InfeasibleError("edge set does not connect all nodes");
+  }
+
+  AggregationTree t;
+  t.root_ = net.sink();
+  t.parent_.assign(static_cast<std::size_t>(n), -1);
+  t.parent_edge_.assign(static_cast<std::size_t>(n), -1);
+
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::queue<VertexId> frontier;
+  frontier.push(t.root_);
+  seen[static_cast<std::size_t>(t.root_)] = true;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (const auto& [w, id] : adj[static_cast<std::size_t>(v)]) {
+      if (seen[static_cast<std::size_t>(w)]) continue;
+      seen[static_cast<std::size_t>(w)] = true;
+      t.parent_[static_cast<std::size_t>(w)] = v;
+      t.parent_edge_[static_cast<std::size_t>(w)] = id;
+      frontier.push(w);
+    }
+  }
+  t.recount_children();
+  return t;
+}
+
+AggregationTree AggregationTree::from_parents(const Network& net,
+                                              std::vector<VertexId> parents) {
+  const int n = net.node_count();
+  MRLC_REQUIRE(static_cast<int>(parents.size()) == n, "parent array has wrong size");
+  MRLC_REQUIRE(parents[static_cast<std::size_t>(net.sink())] == -1,
+               "sink must have parent -1");
+
+  AggregationTree t;
+  t.root_ = net.sink();
+  t.parent_ = std::move(parents);
+  t.parent_edge_.assign(static_cast<std::size_t>(n), -1);
+
+  graph::DisjointSetUnion dsu(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId p = t.parent_[static_cast<std::size_t>(v)];
+    if (v == t.root_) continue;
+    MRLC_REQUIRE(p >= 0 && p < n && p != v, "non-sink node needs a valid parent");
+    const EdgeId id = net.topology().find_edge(v, p);
+    if (id == -1) {
+      throw InfeasibleError("parent array uses a link that is not in the network");
+    }
+    if (!dsu.unite(v, p)) {
+      throw InfeasibleError("parent array contains a cycle");
+    }
+    t.parent_edge_[static_cast<std::size_t>(v)] = id;
+  }
+  MRLC_ENSURE(dsu.set_count() == 1, "parent array must connect all nodes");
+  t.recount_children();
+  return t;
+}
+
+void AggregationTree::recount_children() {
+  children_count_.assign(parent_.size(), 0);
+  for (VertexId v = 0; v < node_count(); ++v) {
+    const VertexId p = parent_[static_cast<std::size_t>(v)];
+    if (p != -1) ++children_count_[static_cast<std::size_t>(p)];
+  }
+}
+
+std::vector<EdgeId> AggregationTree::edge_ids() const {
+  std::vector<EdgeId> out;
+  out.reserve(parent_.size() - 1);
+  for (VertexId v = 0; v < node_count(); ++v) {
+    if (v != root_) out.push_back(parent_edge_[static_cast<std::size_t>(v)]);
+  }
+  return out;
+}
+
+std::vector<std::vector<VertexId>> AggregationTree::children_lists() const {
+  std::vector<std::vector<VertexId>> lists(parent_.size());
+  for (VertexId v = 0; v < node_count(); ++v) {
+    const VertexId p = parent_[static_cast<std::size_t>(v)];
+    if (p != -1) lists[static_cast<std::size_t>(p)].push_back(v);
+  }
+  return lists;
+}
+
+bool AggregationTree::in_subtree(VertexId subtree_root, VertexId query) const {
+  MRLC_REQUIRE(subtree_root >= 0 && subtree_root < node_count(), "vertex out of range");
+  MRLC_REQUIRE(query >= 0 && query < node_count(), "vertex out of range");
+  // Walk up from `query`; the walk terminates because parents form a tree.
+  for (VertexId v = query; v != -1; v = parent_[static_cast<std::size_t>(v)]) {
+    if (v == subtree_root) return true;
+  }
+  return false;
+}
+
+void AggregationTree::reparent(const Network& net, VertexId child, VertexId new_parent,
+                               EdgeId via_edge) {
+  MRLC_REQUIRE(child >= 0 && child < node_count(), "child out of range");
+  MRLC_REQUIRE(child != root_, "the sink cannot be re-parented");
+  MRLC_REQUIRE(new_parent >= 0 && new_parent < node_count(), "new parent out of range");
+  const graph::Edge& e = net.topology().edge(via_edge);
+  MRLC_REQUIRE((e.u == child && e.v == new_parent) || (e.v == child && e.u == new_parent),
+               "via_edge must join child and new parent");
+  MRLC_REQUIRE(!in_subtree(child, new_parent),
+               "re-parenting into the child's own subtree would create a cycle");
+
+  const VertexId old_parent = parent_[static_cast<std::size_t>(child)];
+  if (old_parent != -1) --children_count_[static_cast<std::size_t>(old_parent)];
+  parent_[static_cast<std::size_t>(child)] = new_parent;
+  parent_edge_[static_cast<std::size_t>(child)] = via_edge;
+  ++children_count_[static_cast<std::size_t>(new_parent)];
+}
+
+}  // namespace mrlc::wsn

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file aggregation_tree.hpp
+/// \brief A data aggregation tree: a spanning tree rooted at the sink where
+/// every non-sink node knows its parent (Section III-B).
+///
+/// Stored as a parent array plus the edge id connecting each node to its
+/// parent, which makes the lifetime formula (children counts), the
+/// distributed re-parenting operations, and Prüfer encoding all O(1)/O(n).
+
+#include <span>
+#include <vector>
+
+#include "wsn/network.hpp"
+
+namespace mrlc::wsn {
+
+class AggregationTree {
+ public:
+  /// An empty tree (0 nodes); useful as a placeholder in result structs.
+  /// Every factory below returns a validated non-empty tree.
+  AggregationTree() = default;
+
+  /// Builds a tree by orienting the given spanning edge set away from the
+  /// network's sink (BFS).  Throws InfeasibleError if the edges do not form
+  /// a spanning tree of the network.
+  static AggregationTree from_edges(const Network& net, std::span<const EdgeId> edges);
+
+  /// Builds from an explicit parent array (`parent[sink] == -1`).  Each
+  /// (child, parent) pair must be an existing network link.  Throws on
+  /// malformed input (cycles, missing links, wrong root).
+  static AggregationTree from_parents(const Network& net,
+                                      std::vector<VertexId> parents);
+
+  int node_count() const noexcept { return static_cast<int>(parent_.size()); }
+  VertexId root() const noexcept { return root_; }
+
+  /// Parent vertex; -1 for the root.
+  VertexId parent(VertexId v) const {
+    MRLC_REQUIRE(v >= 0 && v < node_count(), "vertex out of range");
+    return parent_[static_cast<std::size_t>(v)];
+  }
+
+  /// Network edge id to the parent; -1 for the root.
+  EdgeId parent_edge(VertexId v) const {
+    MRLC_REQUIRE(v >= 0 && v < node_count(), "vertex out of range");
+    return parent_edge_[static_cast<std::size_t>(v)];
+  }
+
+  int children_count(VertexId v) const {
+    MRLC_REQUIRE(v >= 0 && v < node_count(), "vertex out of range");
+    return children_count_[static_cast<std::size_t>(v)];
+  }
+
+  /// All (n-1) tree edge ids, in child order (skipping the root).
+  std::vector<EdgeId> edge_ids() const;
+
+  const std::vector<VertexId>& parents() const noexcept { return parent_; }
+
+  /// Children lists (computed on demand; O(n)).
+  std::vector<std::vector<VertexId>> children_lists() const;
+
+  /// True iff `query` lies in the subtree rooted at `subtree_root`
+  /// (inclusive).  O(depth).
+  bool in_subtree(VertexId subtree_root, VertexId query) const;
+
+  /// Re-attaches `child` (which must not be the root) to `new_parent` via
+  /// network link `via_edge`.  Rejects moves that would create a cycle
+  /// (new_parent inside child's subtree) or use a link that does not join
+  /// the two vertices.
+  void reparent(const Network& net, VertexId child, VertexId new_parent,
+                EdgeId via_edge);
+
+ private:
+  void recount_children();
+
+  VertexId root_ = 0;
+  std::vector<VertexId> parent_;
+  std::vector<EdgeId> parent_edge_;
+  std::vector<int> children_count_;
+};
+
+}  // namespace mrlc::wsn

@@ -1,0 +1,194 @@
+#include "wsn/io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace mrlc::wsn {
+
+namespace {
+
+[[noreturn]] void parse_fail(int line, const std::string& message) {
+  std::ostringstream os;
+  os << "parse error at line " << line << ": " << message;
+  throw std::invalid_argument(os.str());
+}
+
+/// Splits the stream into (line number, significant line) pairs.
+std::vector<std::pair<int, std::string>> significant_lines(std::istream& is) {
+  std::vector<std::pair<int, std::string>> lines;
+  std::string raw;
+  int number = 0;
+  while (std::getline(is, raw)) {
+    ++number;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    // Trim.
+    const auto begin = raw.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = raw.find_last_not_of(" \t\r");
+    lines.emplace_back(number, raw.substr(begin, end - begin + 1));
+  }
+  return lines;
+}
+
+}  // namespace
+
+void write_network(std::ostream& os, const Network& net) {
+  os << "mrlc-network v1\n";
+  os << "nodes " << net.node_count() << " sink " << net.sink() << '\n';
+  os << std::setprecision(17);
+  for (VertexId v = 0; v < net.node_count(); ++v) {
+    os << "energy " << v << ' ' << net.initial_energy(v) << '\n';
+  }
+  for (EdgeId id = 0; id < net.link_count(); ++id) {
+    const graph::Edge& e = net.topology().edge(id);
+    os << "link " << e.u << ' ' << e.v << ' ' << net.link_prr(id) << '\n';
+  }
+}
+
+Network read_network(std::istream& is) {
+  const auto lines = significant_lines(is);
+  if (lines.empty()) parse_fail(0, "empty input");
+  if (lines[0].second != "mrlc-network v1") {
+    parse_fail(lines[0].first, "expected header 'mrlc-network v1'");
+  }
+  if (lines.size() < 2) parse_fail(lines[0].first, "missing 'nodes' line");
+
+  int node_count = 0;
+  VertexId sink = 0;
+  {
+    std::istringstream ls(lines[1].second);
+    std::string kw_nodes, kw_sink;
+    if (!(ls >> kw_nodes >> node_count >> kw_sink >> sink) || kw_nodes != "nodes" ||
+        kw_sink != "sink") {
+      parse_fail(lines[1].first, "expected 'nodes <n> sink <s>'");
+    }
+    if (node_count < 1) parse_fail(lines[1].first, "need at least one node");
+    if (sink < 0 || sink >= node_count) parse_fail(lines[1].first, "sink out of range");
+  }
+
+  Network net(node_count, sink);
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    const auto& [number, text] = lines[i];
+    std::istringstream ls(text);
+    std::string keyword;
+    ls >> keyword;
+    if (keyword == "energy") {
+      int v = -1;
+      double joules = 0.0;
+      if (!(ls >> v >> joules)) parse_fail(number, "expected 'energy <node> <joules>'");
+      if (v < 0 || v >= node_count) parse_fail(number, "energy node out of range");
+      try {
+        net.set_initial_energy(v, joules);
+      } catch (const std::invalid_argument& e) {
+        parse_fail(number, e.what());
+      }
+    } else if (keyword == "link") {
+      int u = -1;
+      int v = -1;
+      double prr = 0.0;
+      if (!(ls >> u >> v >> prr)) parse_fail(number, "expected 'link <u> <v> <prr>'");
+      if (u < 0 || u >= node_count || v < 0 || v >= node_count) {
+        parse_fail(number, "link endpoint out of range");
+      }
+      try {
+        net.add_link(u, v, prr);
+      } catch (const std::invalid_argument& e) {
+        parse_fail(number, e.what());
+      }
+    } else {
+      parse_fail(number, "unknown keyword '" + keyword + "'");
+    }
+  }
+  return net;
+}
+
+void write_tree(std::ostream& os, const AggregationTree& tree) {
+  os << "mrlc-tree v1\n";
+  os << "nodes " << tree.node_count() << '\n';
+  for (VertexId v = 0; v < tree.node_count(); ++v) {
+    if (v == tree.root()) continue;
+    os << "parent " << v << ' ' << tree.parent(v) << '\n';
+  }
+}
+
+AggregationTree read_tree(std::istream& is, const Network& net) {
+  const auto lines = significant_lines(is);
+  if (lines.empty()) parse_fail(0, "empty input");
+  if (lines[0].second != "mrlc-tree v1") {
+    parse_fail(lines[0].first, "expected header 'mrlc-tree v1'");
+  }
+  if (lines.size() < 2) parse_fail(lines[0].first, "missing 'nodes' line");
+
+  int node_count = 0;
+  {
+    std::istringstream ls(lines[1].second);
+    std::string kw;
+    if (!(ls >> kw >> node_count) || kw != "nodes") {
+      parse_fail(lines[1].first, "expected 'nodes <n>'");
+    }
+    if (node_count != net.node_count()) {
+      parse_fail(lines[1].first, "tree node count does not match the network");
+    }
+  }
+
+  std::vector<VertexId> parents(static_cast<std::size_t>(node_count), -1);
+  std::vector<bool> seen(static_cast<std::size_t>(node_count), false);
+  for (std::size_t i = 2; i < lines.size(); ++i) {
+    const auto& [number, text] = lines[i];
+    std::istringstream ls(text);
+    std::string kw;
+    int child = -1;
+    int parent = -1;
+    if (!(ls >> kw >> child >> parent) || kw != "parent") {
+      parse_fail(number, "expected 'parent <child> <parent>'");
+    }
+    if (child < 0 || child >= node_count || parent < 0 || parent >= node_count) {
+      parse_fail(number, "parent entry out of range");
+    }
+    if (child == net.sink()) parse_fail(number, "the sink has no parent");
+    if (seen[static_cast<std::size_t>(child)]) {
+      parse_fail(number, "duplicate parent entry for a node");
+    }
+    seen[static_cast<std::size_t>(child)] = true;
+    parents[static_cast<std::size_t>(child)] = parent;
+  }
+  for (VertexId v = 0; v < node_count; ++v) {
+    if (v != net.sink() && parents[static_cast<std::size_t>(v)] == -1) {
+      parse_fail(lines.back().first, "missing parent entry for node " +
+                                         std::to_string(v));
+    }
+  }
+  try {
+    return AggregationTree::from_parents(net, std::move(parents));
+  } catch (const std::exception& e) {
+    parse_fail(lines.back().first, e.what());
+  }
+}
+
+std::string network_to_string(const Network& net) {
+  std::ostringstream os;
+  write_network(os, net);
+  return os.str();
+}
+
+Network network_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_network(is);
+}
+
+std::string tree_to_string(const AggregationTree& tree) {
+  std::ostringstream os;
+  write_tree(os, tree);
+  return os.str();
+}
+
+AggregationTree tree_from_string(const std::string& text, const Network& net) {
+  std::istringstream is(text);
+  return read_tree(is, net);
+}
+
+}  // namespace mrlc::wsn

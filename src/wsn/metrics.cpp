@@ -1,0 +1,79 @@
+#include "wsn/metrics.hpp"
+
+#include <limits>
+
+namespace mrlc::wsn {
+
+double node_lifetime(const Network& net, const AggregationTree& tree, VertexId v) {
+  return net.energy_model().node_lifetime(net.initial_energy(v),
+                                          tree.children_count(v));
+}
+
+double network_lifetime(const Network& net, const AggregationTree& tree) {
+  double min_lifetime = std::numeric_limits<double>::infinity();
+  for (VertexId v = 0; v < net.node_count(); ++v) {
+    min_lifetime = std::min(min_lifetime, node_lifetime(net, tree, v));
+  }
+  return min_lifetime;
+}
+
+VertexId bottleneck_node(const Network& net, const AggregationTree& tree) {
+  VertexId best = 0;
+  double best_lifetime = std::numeric_limits<double>::infinity();
+  for (VertexId v = 0; v < net.node_count(); ++v) {
+    const double life = node_lifetime(net, tree, v);
+    if (life < best_lifetime) {
+      best_lifetime = life;
+      best = v;
+    }
+  }
+  return best;
+}
+
+double tree_reliability(const Network& net, const AggregationTree& tree) {
+  double q = 1.0;
+  for (EdgeId id : tree.edge_ids()) q *= net.link_prr(id);
+  return q;
+}
+
+double tree_cost(const Network& net, const AggregationTree& tree) {
+  double c = 0.0;
+  for (EdgeId id : tree.edge_ids()) c += net.link_cost(id);
+  return c;
+}
+
+bool meets_lifetime(const Network& net, const AggregationTree& tree, double bound) {
+  return network_lifetime(net, tree) >= bound;
+}
+
+}  // namespace mrlc::wsn
+
+namespace mrlc::wsn {
+
+double node_lifetime_retx(const Network& net, const AggregationTree& tree,
+                          VertexId v) {
+  const EnergyModel& energy = net.energy_model();
+  double joules_per_round = 0.0;
+  if (tree.parent(v) != -1) {
+    joules_per_round += energy.tx_joules / net.link_prr(tree.parent_edge(v));
+  }
+  for (VertexId child = 0; child < tree.node_count(); ++child) {
+    if (tree.parent(child) == v) {
+      joules_per_round += energy.rx_joules / net.link_prr(tree.parent_edge(child));
+    }
+  }
+  if (joules_per_round <= 0.0) {
+    return std::numeric_limits<double>::infinity();  // isolated sink
+  }
+  return net.initial_energy(v) / joules_per_round;
+}
+
+double network_lifetime_retx(const Network& net, const AggregationTree& tree) {
+  double min_lifetime = std::numeric_limits<double>::infinity();
+  for (VertexId v = 0; v < net.node_count(); ++v) {
+    min_lifetime = std::min(min_lifetime, node_lifetime_retx(net, tree, v));
+  }
+  return min_lifetime;
+}
+
+}  // namespace mrlc::wsn

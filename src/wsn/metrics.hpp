@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Lifetime / reliability / cost of an aggregation tree
+/// (Section III-B, Eqs. 1, 2, and the definitions of L and Q(T)).
+
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::wsn {
+
+/// L(v) = I(v) / (Tx + Rx * Ch_T(v))  (paper Eq. 1).  The sink is treated
+/// like every other node, as in the paper's formula.
+double node_lifetime(const Network& net, const AggregationTree& tree, VertexId v);
+
+/// L = min_v L(v): rounds until the first node dies.
+double network_lifetime(const Network& net, const AggregationTree& tree);
+
+/// The node attaining the minimum lifetime (smallest id on ties).
+VertexId bottleneck_node(const Network& net, const AggregationTree& tree);
+
+/// Q(T) = prod of tree-link PRRs: probability that one full aggregation
+/// round delivers every node's reading (no retransmissions).
+double tree_reliability(const Network& net, const AggregationTree& tree);
+
+/// C(T) = sum of tree-link costs = -log Q(T)  (paper Lemma 3).
+double tree_cost(const Network& net, const AggregationTree& tree);
+
+/// True iff every node's lifetime is >= `bound` (the MRLC constraint).
+bool meets_lifetime(const Network& net, const AggregationTree& tree, double bound);
+
+}  // namespace mrlc::wsn
+
+namespace mrlc::wsn {
+
+/// Retransmission-aware lifetime (extension; see core/retx_ira.hpp).
+/// When a deployment *does* retransmit until delivery (ETX policy), a
+/// node's per-round energy becomes
+///   Tx / q(parent edge)  +  sum_children Rx / q(child edge):
+/// every send is retried 1/q times in expectation, and the parent's radio
+/// spends Rx per arriving (re)transmission.  The sink has no parent term.
+double node_lifetime_retx(const Network& net, const AggregationTree& tree,
+                          VertexId v);
+
+/// min_v node_lifetime_retx — rounds until the first battery dies under
+/// the ETX retransmission policy.
+double network_lifetime_retx(const Network& net, const AggregationTree& tree);
+
+}  // namespace mrlc::wsn

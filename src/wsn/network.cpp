@@ -1,0 +1,60 @@
+#include "wsn/network.hpp"
+
+#include <algorithm>
+
+#include "graph/traversal.hpp"
+
+namespace mrlc::wsn {
+
+Network::Network(int node_count, VertexId sink, EnergyModel energy)
+    : topology_(node_count),
+      initial_energy_(static_cast<std::size_t>(node_count), 3000.0),
+      sink_(sink),
+      energy_(energy) {
+  MRLC_REQUIRE(node_count >= 1, "network needs at least one node");
+  MRLC_REQUIRE(sink >= 0 && sink < node_count, "sink out of range");
+  energy_.validate();
+}
+
+EdgeId Network::add_link(VertexId u, VertexId v, double prr) {
+  const double cost = prr_to_cost(prr);
+  const EdgeId id = topology_.add_edge(u, v, cost);
+  prr_.push_back(prr);
+  return id;
+}
+
+void Network::set_link_prr(EdgeId link, double prr) {
+  MRLC_REQUIRE(link >= 0 && link < static_cast<int>(prr_.size()), "link out of range");
+  const double cost = prr_to_cost(prr);
+  prr_[static_cast<std::size_t>(link)] = prr;
+  topology_.set_weight(link, cost);
+}
+
+void Network::set_initial_energy(VertexId v, double joules) {
+  MRLC_REQUIRE(v >= 0 && v < node_count(), "node out of range");
+  MRLC_REQUIRE(joules > 0.0, "initial energy must be positive");
+  initial_energy_[static_cast<std::size_t>(v)] = joules;
+}
+
+double Network::initial_energy(VertexId v) const {
+  MRLC_REQUIRE(v >= 0 && v < node_count(), "node out of range");
+  return initial_energy_[static_cast<std::size_t>(v)];
+}
+
+double Network::min_initial_energy() const {
+  return *std::min_element(initial_energy_.begin(), initial_energy_.end());
+}
+
+void Network::validate() const {
+  for (double e : initial_energy_) {
+    MRLC_REQUIRE(e > 0.0, "all nodes need positive initial energy");
+  }
+  for (double q : prr_) {
+    MRLC_REQUIRE(q > 0.0 && q <= 1.0, "all PRRs must lie in (0, 1]");
+  }
+  if (!graph::is_connected(topology_)) {
+    throw InfeasibleError("network topology is not connected: no spanning tree exists");
+  }
+}
+
+}  // namespace mrlc::wsn

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file network.hpp
+/// \brief The WSN instance: topology + per-link PRR + per-node energy.
+///
+/// Mirrors Section III-B of the paper: an undirected connected graph
+/// `G = (V, E)` with sink `v0`, link packet reception ratios
+/// `q_e ∈ (0, 1]`, per-node initial energies `I(v)`, and the per-packet
+/// energy model.  The underlying `graph::Graph` stores the link *cost*
+/// `c_e = -log q_e` (paper Eq. 9) as the edge weight, so graph algorithms
+/// (MST, LP objective) operate directly in cost space.
+
+#include <cmath>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "wsn/energy.hpp"
+
+namespace mrlc::wsn {
+
+using graph::EdgeId;
+using graph::VertexId;
+
+class Network {
+ public:
+  /// Creates a network of `node_count` nodes with the given sink, default
+  /// energy model, and no links.  Initial energies default to 3000 J (two
+  /// AA batteries, per the paper's evaluation setup).
+  explicit Network(int node_count, VertexId sink = 0,
+                   EnergyModel energy = EnergyModel{});
+
+  int node_count() const noexcept { return topology_.vertex_count(); }
+  VertexId sink() const noexcept { return sink_; }
+  const EnergyModel& energy_model() const noexcept { return energy_; }
+
+  /// Adds a bidirectional link with packet reception ratio `prr` in (0, 1].
+  EdgeId add_link(VertexId u, VertexId v, double prr);
+
+  /// Updates a link's PRR (the distributed protocol simulates quality
+  /// drift); keeps the cost weight in sync.
+  void set_link_prr(EdgeId link, double prr);
+
+  double link_prr(EdgeId link) const {
+    MRLC_REQUIRE(link >= 0 && link < static_cast<int>(prr_.size()), "link out of range");
+    return prr_[static_cast<std::size_t>(link)];
+  }
+
+  /// Link cost c_e = -log q_e (natural log; any fixed base only rescales
+  /// costs uniformly and the paper does not pin one down).
+  double link_cost(EdgeId link) const { return topology_.edge(link).weight; }
+
+  int link_count() const noexcept { return topology_.edge_count(); }
+
+  void set_initial_energy(VertexId v, double joules);
+  double initial_energy(VertexId v) const;
+
+  /// Minimum initial energy over all nodes (the paper's `I_min`).
+  double min_initial_energy() const;
+
+  const graph::Graph& topology() const noexcept { return topology_; }
+
+  /// Real-valued bound on how many children node `v` may have while its
+  /// lifetime stays >= `bound` (see EnergyModel::max_children_real).
+  double max_children_real(VertexId v, double bound) const {
+    return energy_.max_children_real(initial_energy(v), bound);
+  }
+
+  /// Throws InfeasibleError if the topology is not connected; throws
+  /// std::invalid_argument on broken per-element data.
+  void validate() const;
+
+  /// Converts a PRR to a cost.  PRR must lie in (0, 1].
+  static double prr_to_cost(double prr) {
+    MRLC_REQUIRE(prr > 0.0 && prr <= 1.0, "PRR must lie in (0, 1]");
+    return -std::log(prr);
+  }
+  static double cost_to_prr(double cost) {
+    MRLC_REQUIRE(cost >= 0.0, "cost must be non-negative");
+    return std::exp(-cost);
+  }
+
+ private:
+  graph::Graph topology_;
+  std::vector<double> prr_;
+  std::vector<double> initial_energy_;
+  VertexId sink_;
+  EnergyModel energy_;
+};
+
+}  // namespace mrlc::wsn

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "baselines/aaml.hpp"
+#include "baselines/mst_baseline.hpp"
+#include "common/rng.hpp"
+#include "core/exact.hpp"
+#include "graph/traversal.hpp"
+#include "helpers.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::baselines {
+namespace {
+
+using mrlc::testing::small_random_network;
+
+// ---------------------------------------------------------------- MST ----
+
+TEST(MstBaseline, PicksCheapestTreeOnToy) {
+  mrlc::testing::ToyNetwork toy;
+  const MstResult res = mst_baseline(toy.net);
+  // Fig. 4(b) is the minimum-cost tree: reliability 0.648.
+  EXPECT_NEAR(res.reliability, 0.648, 1e-12);
+  EXPECT_NEAR(res.cost, wsn::tree_cost(toy.net, res.tree), 1e-12);
+}
+
+TEST(MstBaseline, ThrowsOnDisconnected) {
+  wsn::Network net(3, 0);
+  net.add_link(0, 1, 0.9);
+  EXPECT_THROW(mst_baseline(net), InfeasibleError);
+}
+
+TEST(MstBaseline, IsCostLowerBoundOverAllTrees) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const wsn::Network net = small_random_network(7, 0.6, rng);
+    const MstResult mst = mst_baseline(net);
+    const auto exact = core::exact_mrlc(net, 1.0);  // unconstrained optimum
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_NEAR(mst.cost, exact->cost, 1e-9);
+  }
+}
+
+// --------------------------------------------------------------- AAML ----
+
+TEST(Aaml, ImprovesOrMatchesBfsTreeLifetime) {
+  Rng rng(22);
+  AamlOptions options;
+  options.initial = AamlInitialTree::kBfs;
+  for (int trial = 0; trial < 20; ++trial) {
+    const wsn::Network net = small_random_network(8, 0.6, rng);
+    const graph::BfsTree bfs = graph::bfs_tree(net.topology(), net.sink());
+    auto parents = bfs.parent_vertex;
+    parents[static_cast<std::size_t>(net.sink())] = -1;
+    const auto start = wsn::AggregationTree::from_parents(net, parents);
+    const AamlResult res = aaml(net, options);
+    EXPECT_GE(res.lifetime, wsn::network_lifetime(net, start) - 1e-9);
+  }
+}
+
+TEST(Aaml, LexicographicModeReachesNearOptimalLifetime) {
+  // The strongest configuration (lexicographic acceptance from a BFS
+  // start) should reach a large fraction of the exact maximum lifetime on
+  // small random instances.
+  Rng rng(23);
+  int hits = 0;
+  const int trials = 20;
+  AamlOptions options;
+  options.mode = AamlSearchMode::kLexicographic;
+  options.initial = AamlInitialTree::kBfs;
+  for (int trial = 0; trial < trials; ++trial) {
+    const wsn::Network net = small_random_network(7, 0.7, rng);
+    const AamlResult res = aaml(net, options);
+    const auto best = core::exact_max_lifetime(net);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_LE(res.lifetime, best->lifetime + 1e-6);
+    if (res.lifetime >= best->lifetime * 0.99) ++hits;
+  }
+  EXPECT_GE(hits, trials / 2) << "lexicographic AAML should often reach the optimum";
+}
+
+TEST(Aaml, StrictMinModeStopsAtTiedBottlenecks) {
+  // The paper-faithful configuration gets stuck once two nodes tie at the
+  // bottleneck lifetime, so it can never beat the lexicographic variant.
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net = small_random_network(8, 0.7, rng);
+    AamlOptions strict;  // defaults: strict-min from a random tree
+    AamlOptions lex;
+    lex.mode = AamlSearchMode::kLexicographic;
+    lex.initial = AamlInitialTree::kBfs;
+    EXPECT_LE(aaml(net, strict).lifetime, aaml(net, lex).lifetime + 1e-6);
+  }
+}
+
+TEST(Aaml, RandomInitialTreeIsSeeded) {
+  Rng rng(30);
+  const wsn::Network net = small_random_network(10, 0.6, rng);
+  AamlOptions a;
+  a.seed = 5;
+  AamlOptions b;
+  b.seed = 5;
+  EXPECT_EQ(aaml(net, a).tree.parents(), aaml(net, b).tree.parents());
+  AamlOptions c;
+  c.seed = 6;
+  // Different seeds normally give different trees (not guaranteed, but on a
+  // 10-node graph with many spanning trees a collision is vanishingly
+  // unlikely for these fixed seeds).
+  EXPECT_NE(aaml(net, a).tree.parents(), aaml(net, c).tree.parents());
+}
+
+TEST(Aaml, IgnoresLinkQuality) {
+  // Two networks identical except for PRRs must yield identical trees.
+  wsn::Network net1(4, 0), net2(4, 0);
+  const double q1[] = {0.99, 0.5, 0.7, 0.9, 0.6};
+  const double q2[] = {0.51, 0.96, 0.55, 0.98, 0.97};
+  const int us[] = {0, 0, 1, 1, 2};
+  const int vs[] = {1, 2, 2, 3, 3};
+  for (int i = 0; i < 5; ++i) {
+    net1.add_link(us[i], vs[i], q1[i]);
+    net2.add_link(us[i], vs[i], q2[i]);
+  }
+  EXPECT_EQ(aaml(net1).tree.parents(), aaml(net2).tree.parents());
+}
+
+TEST(Aaml, BalancesStarWhenPossible) {
+  // Sink with 3 spokes plus chords: starting from the BFS star, AAML
+  // should offload the sink.
+  wsn::Network net(4, 0);
+  net.add_link(0, 1, 0.9);
+  net.add_link(0, 2, 0.9);
+  net.add_link(0, 3, 0.9);
+  net.add_link(1, 2, 0.9);
+  net.add_link(2, 3, 0.9);
+  AamlOptions options;
+  options.initial = AamlInitialTree::kBfs;
+  const AamlResult res = aaml(net, options);
+  const auto best = core::exact_max_lifetime(net);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NEAR(res.lifetime, best->lifetime, best->lifetime * 0.01);
+  EXPECT_GT(res.steps, 0);
+}
+
+TEST(Aaml, RespectsStepCap) {
+  Rng rng(24);
+  const wsn::Network net = small_random_network(8, 0.7, rng);
+  AamlOptions options;
+  options.max_steps = 0;
+  const AamlResult res = aaml(net, options);
+  EXPECT_EQ(res.steps, 0);  // must return the BFS tree untouched
+}
+
+TEST(Aaml, HeterogeneousEnergyShiftsLoadToRichNodes) {
+  // A poor node should not end up as a heavy internal node.
+  Rng rng(25);
+  for (int trial = 0; trial < 10; ++trial) {
+    wsn::Network net = small_random_network(8, 0.8, rng);
+    net.set_initial_energy(3, 500.0);  // starving node 3
+    const AamlResult res = aaml(net);
+    // Node 3's lifetime must not be the unique bottleneck if it can be a
+    // leaf: verify AAML never leaves it with more children than needed.
+    const auto best = core::exact_max_lifetime(net);
+    ASSERT_TRUE(best.has_value());
+    EXPECT_GE(res.lifetime, best->lifetime * 0.6);
+  }
+}
+
+TEST(Aaml, ThrowsOnDisconnected) {
+  wsn::Network net(3, 0);
+  net.add_link(0, 1, 0.9);
+  EXPECT_THROW(aaml(net), InfeasibleError);
+}
+
+TEST(Aaml, ResultMetricsAreConsistent) {
+  Rng rng(26);
+  const wsn::Network net = small_random_network(8, 0.7, rng);
+  const AamlResult res = aaml(net);
+  EXPECT_NEAR(res.cost, wsn::tree_cost(net, res.tree), 1e-9);
+  EXPECT_NEAR(res.reliability, wsn::tree_reliability(net, res.tree), 1e-12);
+  EXPECT_NEAR(res.lifetime, wsn::network_lifetime(net, res.tree), 1e-6);
+}
+
+}  // namespace
+}  // namespace mrlc::baselines
+
+// -------------------------------------------------------------- ETX SPT --
+
+#include "baselines/etx_spt.hpp"
+
+namespace mrlc::baselines {
+namespace {
+
+TEST(EtxSpt, PrefersReliableMultiHopOverLossyDirect) {
+  // Direct link 2->0 has ETX 1/0.5 = 2; the two-hop route via 1 has
+  // ETX 1/0.95 + 1/0.95 ~ 2.1 > 2, so ETX keeps the direct lossy link —
+  // exactly the failure mode the paper criticizes.
+  wsn::Network net(3, 0);
+  net.add_link(0, 1, 0.95);
+  net.add_link(1, 2, 0.95);
+  net.add_link(0, 2, 0.5);
+  const EtxSptResult res = etx_spt(net);
+  EXPECT_EQ(res.tree.parent(2), 0);
+  EXPECT_NEAR(res.max_path_etx, 2.0, 1e-9);
+  // The MST (cost space) would have chosen the reliable two-hop route.
+  const MstResult mst = mst_baseline(net);
+  EXPECT_GT(mst.reliability, res.reliability);
+}
+
+TEST(EtxSpt, EqualsBfsOnUniformLinks) {
+  // With identical link qualities, minimizing hop-count == minimizing ETX.
+  Rng rng(91);
+  for (int trial = 0; trial < 10; ++trial) {
+    wsn::Network net = mrlc::testing::small_random_network(9, 0.5, rng, 0.8, 0.8001);
+    const EtxSptResult res = etx_spt(net);
+    const graph::BfsTree bfs = graph::bfs_tree(net.topology(), net.sink());
+    for (int v = 0; v < net.node_count(); ++v) {
+      if (v == net.sink()) continue;
+      // Same depth (paths may differ among equal-ETX ties).
+      int spt_depth = 0;
+      for (wsn::VertexId w = v; res.tree.parent(w) != -1; w = res.tree.parent(w)) {
+        ++spt_depth;
+      }
+      EXPECT_EQ(spt_depth, bfs.depth[static_cast<std::size_t>(v)]) << "node " << v;
+    }
+  }
+}
+
+TEST(EtxSpt, LifetimeBlindHubFormation) {
+  // A perfect hub next to the sink: every node's best ETX path goes
+  // through it, so it collects all children and bottlenecks the lifetime.
+  wsn::Network net(6, 0);
+  net.add_link(0, 1, 0.99);          // the hub
+  for (int v = 2; v < 6; ++v) {
+    net.add_link(1, v, 0.99);        // hub to leaves
+    net.add_link(0, v, 0.30);        // lossy direct links
+  }
+  const EtxSptResult res = etx_spt(net);
+  EXPECT_EQ(res.tree.children_count(1), 4);
+  // Compare against the exact max-lifetime tree: the hub formation costs
+  // lifetime.
+  const auto best = core::exact_max_lifetime(net);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_LT(res.lifetime, best->lifetime);
+}
+
+TEST(EtxSpt, MetricsConsistentAndThrowsOnDisconnected) {
+  Rng rng(92);
+  const wsn::Network net = mrlc::testing::small_random_network(10, 0.5, rng);
+  const EtxSptResult res = etx_spt(net);
+  EXPECT_NEAR(res.cost, wsn::tree_cost(net, res.tree), 1e-9);
+  EXPECT_NEAR(res.reliability, wsn::tree_reliability(net, res.tree), 1e-12);
+  EXPECT_GE(res.max_path_etx, 1.0);
+
+  wsn::Network disconnected(3, 0);
+  disconnected.add_link(0, 1, 0.9);
+  EXPECT_THROW(etx_spt(disconnected), InfeasibleError);
+}
+
+}  // namespace
+}  // namespace mrlc::baselines

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/ira.hpp"
+#include "distributed/churn.hpp"
+#include "distributed/maintainer.hpp"
+#include "helpers.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::dist {
+namespace {
+
+using mrlc::testing::small_random_network;
+
+TEST(Churn, QualitiesStayInClampedDomain) {
+  Rng rng(71);
+  wsn::Network net = small_random_network(10, 0.6, rng, 0.3, 0.99);
+  ChurnOptions options;
+  options.cost_noise_sigma = 0.5;  // violent churn
+  ChurnProcess churn(net, options);
+  for (int step = 0; step < 200; ++step) {
+    churn.step(net, rng);
+    for (wsn::EdgeId id = 0; id < net.link_count(); ++id) {
+      EXPECT_GE(net.link_prr(id), options.min_prr - 1e-12);
+      EXPECT_LE(net.link_prr(id), options.max_prr + 1e-12);
+    }
+  }
+  EXPECT_EQ(churn.steps_taken(), 200);
+}
+
+TEST(Churn, DeterministicForSameSeed) {
+  Rng build_rng(72);
+  const wsn::Network base = small_random_network(8, 0.6, build_rng);
+  wsn::Network a = base;
+  wsn::Network b = base;
+  ChurnProcess churn_a(a);
+  ChurnProcess churn_b(b);
+  Rng rng_a(5), rng_b(5);
+  for (int step = 0; step < 50; ++step) {
+    const auto ea = churn_a.step(a, rng_a);
+    const auto eb = churn_b.step(b, rng_b);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (wsn::EdgeId id = 0; id < a.link_count(); ++id) {
+      EXPECT_DOUBLE_EQ(a.link_prr(id), b.link_prr(id));
+    }
+  }
+}
+
+TEST(Churn, EventsClassifyDirectionCorrectly) {
+  Rng rng(73);
+  wsn::Network net = small_random_network(10, 0.6, rng, 0.4, 0.95);
+  ChurnOptions options;
+  options.cost_noise_sigma = 0.2;
+  options.event_threshold = 0.02;
+  ChurnProcess churn(net, options);
+  int events_seen = 0;
+  for (int step = 0; step < 100; ++step) {
+    for (const LinkEvent& event : churn.step(net, rng)) {
+      ++events_seen;
+      EXPECT_GE(event.link, 0);
+      EXPECT_LT(event.link, net.link_count());
+      if (event.kind == LinkEvent::Kind::kDegraded) {
+        EXPECT_LT(event.new_prr, event.old_prr + 1e-12);
+      } else {
+        EXPECT_GT(event.new_prr, event.old_prr - 1e-12);
+      }
+      EXPECT_DOUBLE_EQ(event.new_prr, net.link_prr(event.link));
+    }
+  }
+  EXPECT_GT(events_seen, 10) << "violent churn must produce events";
+}
+
+TEST(Churn, SilentBelowThreshold) {
+  Rng rng(74);
+  wsn::Network net = small_random_network(8, 0.6, rng, 0.5, 0.9);
+  ChurnOptions options;
+  options.cost_noise_sigma = 1e-6;  // negligible noise
+  options.mean_reversion = 0.0;
+  ChurnProcess churn(net, options);
+  for (int step = 0; step < 50; ++step) {
+    EXPECT_TRUE(churn.step(net, rng).empty());
+  }
+}
+
+TEST(Churn, MeanReversionPullsBackToAnchor) {
+  Rng rng(75);
+  wsn::Network net(2, 0);
+  const wsn::EdgeId link = net.add_link(0, 1, 0.9);
+  ChurnOptions options;
+  options.cost_noise_sigma = 0.0;  // pure reversion
+  options.mean_reversion = 0.3;
+  ChurnProcess churn(net, options);
+  net.set_link_prr(link, 0.4);  // perturb far from the anchor
+  for (int step = 0; step < 60; ++step) churn.step(net, rng);
+  EXPECT_NEAR(net.link_prr(link), 0.9, 0.01);
+}
+
+TEST(Churn, RejectsBadOptions) {
+  Rng rng(76);
+  const wsn::Network net = small_random_network(6, 0.7, rng);
+  ChurnOptions bad;
+  bad.mean_reversion = 1.5;
+  EXPECT_THROW(ChurnProcess(net, bad), std::invalid_argument);
+  bad = ChurnOptions{};
+  bad.min_prr = 0.9;
+  bad.max_prr = 0.5;
+  EXPECT_THROW(ChurnProcess(net, bad), std::invalid_argument);
+  bad = ChurnOptions{};
+  bad.event_threshold = 0.0;
+  EXPECT_THROW(ChurnProcess(net, bad), std::invalid_argument);
+}
+
+TEST(Churn, MismatchedNetworkRejected) {
+  Rng rng(77);
+  wsn::Network a = small_random_network(6, 0.9, rng);
+  wsn::Network b = small_random_network(9, 0.9, rng);
+  ChurnProcess churn(a);
+  EXPECT_THROW(churn.step(b, rng), std::invalid_argument);
+}
+
+/// End-to-end: churn drives the maintainer; the tree stays a valid
+/// spanning tree satisfying the lifetime bound throughout.
+TEST(Churn, DrivesMaintainerSafely) {
+  Rng rng(78);
+  wsn::Network net = small_random_network(12, 0.6, rng, 0.5, 0.99);
+  const double bound = net.energy_model().node_lifetime(3000.0, 6);
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult initial = core::IterativeRelaxation(options).solve(net, bound);
+  if (!initial.meets_bound) GTEST_SKIP() << "instance too tight for the driver";
+
+  DistributedMaintainer maintainer(net, initial.tree, bound);
+  ChurnOptions churn_options;
+  churn_options.cost_noise_sigma = 0.05;
+  ChurnProcess churn(net, churn_options);
+  for (int step = 0; step < 100; ++step) {
+    for (const LinkEvent& event : churn.step(net, rng)) {
+      if (event.kind == LinkEvent::Kind::kDegraded) {
+        maintainer.on_link_degraded(net, event.link);
+      } else {
+        maintainer.on_link_improved(net, event.link);
+      }
+    }
+    EXPECT_EQ(maintainer.tree().edge_ids().size(),
+              static_cast<std::size_t>(net.node_count() - 1));
+    EXPECT_GE(wsn::network_lifetime(net, maintainer.tree()), bound * (1 - 1e-12))
+        << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace mrlc::dist

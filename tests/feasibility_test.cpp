@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/exact.hpp"
+#include "core/feasibility.hpp"
+#include "core/ira.hpp"
+#include "helpers.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::core {
+namespace {
+
+using mrlc::testing::small_random_network;
+
+TEST(LpFeasible, MonotoneInBound) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net = small_random_network(8, 0.6, rng);
+    double previous_feasible = true;
+    for (const int children : {8, 6, 4, 2, 1}) {
+      // Decreasing children = increasing bound = harder.
+      const double bound = net.energy_model().node_lifetime(3000.0, children);
+      const bool feasible = lp_lifetime_feasible(net, bound);
+      // Once infeasible at a loose bound, must stay infeasible when tighter.
+      if (!previous_feasible) {
+        EXPECT_FALSE(feasible) << "children " << children;
+      }
+      previous_feasible = feasible;
+    }
+  }
+}
+
+TEST(LpFeasible, FalseIsAProofOfInfeasibility) {
+  // LP infeasibility must imply exact infeasibility (LP is a relaxation).
+  Rng rng(42);
+  for (int trial = 0; trial < 15; ++trial) {
+    const wsn::Network net = small_random_network(7, 0.5, rng);
+    for (const int children : {1, 2, 3}) {
+      const double bound = net.energy_model().node_lifetime(3000.0, children) * 1.001;
+      if (!lp_lifetime_feasible(net, bound)) {
+        EXPECT_FALSE(exact_mrlc(net, bound).has_value())
+            << "trial " << trial << " children " << children;
+      }
+    }
+  }
+}
+
+TEST(LpFeasible, TrueOnAnyTreeLifetime) {
+  // The bound achieved by a concrete tree is always LP-feasible.
+  Rng rng(43);
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net = small_random_network(8, 0.6, rng);
+    const auto tree = mrlc::testing::random_tree(net, rng);
+    const double achieved = wsn::network_lifetime(net, tree);
+    EXPECT_TRUE(lp_lifetime_feasible(net, achieved * 0.999)) << "trial " << trial;
+  }
+}
+
+TEST(Bracket, ContainsExactOptimum) {
+  Rng rng(44);
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net = small_random_network(7, 0.6, rng);
+    const auto best = exact_max_lifetime(net);
+    ASSERT_TRUE(best.has_value());
+    const LifetimeBracket bracket = bracket_max_lifetime(net);
+    EXPECT_LE(bracket.lower, best->lifetime * (1.0 + 1e-9)) << "trial " << trial;
+    EXPECT_GE(bracket.upper, best->lifetime * (1.0 - 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(Bracket, LowerIsConstructive) {
+  Rng rng(45);
+  const wsn::Network net = small_random_network(10, 0.6, rng);
+  const LifetimeBracket bracket = bracket_max_lifetime(net);
+  EXPECT_GT(bracket.lower, 0.0);
+  EXPECT_GE(bracket.upper, bracket.lower * (1.0 - 1e-9));
+}
+
+TEST(Bracket, TightOnPathNetworks) {
+  // On a path there is exactly one spanning tree; both bounds must land on
+  // its lifetime (up to search tolerance).
+  wsn::Network net(5, 0);
+  for (int v = 1; v < 5; ++v) net.add_link(v - 1, v, 0.9);
+  const LifetimeBracket bracket = bracket_max_lifetime(net, 1e-6);
+  const double path_lifetime = net.energy_model().node_lifetime(3000.0, 1);
+  EXPECT_NEAR(bracket.lower, path_lifetime, path_lifetime * 1e-9);
+  EXPECT_NEAR(bracket.upper, path_lifetime, path_lifetime * 1e-4);
+}
+
+TEST(Bracket, StarNetworkIsHubLimited) {
+  // Star around the sink: the sink must keep n-1 children.
+  wsn::Network net(6, 0);
+  for (int v = 1; v < 6; ++v) net.add_link(0, v, 0.9);
+  const LifetimeBracket bracket = bracket_max_lifetime(net, 1e-6);
+  const double hub_lifetime = net.energy_model().node_lifetime(3000.0, 5);
+  EXPECT_NEAR(bracket.lower, hub_lifetime, hub_lifetime * 1e-9);
+  EXPECT_NEAR(bracket.upper, hub_lifetime, hub_lifetime * 1e-3);
+}
+
+TEST(Bracket, GuardsBadInput) {
+  mrlc::testing::ToyNetwork toy;
+  EXPECT_THROW(bracket_max_lifetime(toy.net, 0.0), std::invalid_argument);
+  EXPECT_THROW(bracket_max_lifetime(toy.net, 1.5), std::invalid_argument);
+  EXPECT_THROW(lp_lifetime_feasible(toy.net, -1.0), std::invalid_argument);
+  wsn::Network disconnected(3, 0);
+  disconnected.add_link(0, 1, 0.9);
+  EXPECT_THROW(bracket_max_lifetime(disconnected), InfeasibleError);
+}
+
+TEST(Bracket, IraSucceedsWithinTheBracket) {
+  // The bracket is actionable: IRA (direct) must solve at the lower bound.
+  Rng rng(46);
+  for (int trial = 0; trial < 8; ++trial) {
+    const wsn::Network net = small_random_network(9, 0.6, rng);
+    const LifetimeBracket bracket = bracket_max_lifetime(net);
+    IraOptions options;
+    options.bound_mode = BoundMode::kDirect;
+    EXPECT_NO_THROW({
+      const IraResult res = IterativeRelaxation(options).solve(net, bracket.lower);
+      EXPECT_GT(res.reliability, 0.0);
+    }) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mrlc::core

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_mrlc.hpp"
+#include "baselines/mst_baseline.hpp"
+#include "common/rng.hpp"
+#include "core/exact.hpp"
+#include "core/ira.hpp"
+#include "helpers.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::baselines {
+namespace {
+
+using mrlc::testing::small_random_network;
+
+TEST(GreedyMrlc, EqualsMstWhenBoundIsLoose) {
+  Rng rng(51);
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net = small_random_network(8, 0.7, rng);
+    const GreedyMrlcResult greedy = greedy_mrlc(net, 1.0);  // trivial bound
+    const MstResult mst = mst_baseline(net);
+    EXPECT_NEAR(greedy.cost, mst.cost, 1e-9);
+    EXPECT_EQ(greedy.cap_relaxations, 0);
+    EXPECT_TRUE(greedy.meets_bound);
+  }
+}
+
+TEST(GreedyMrlc, RespectsChildrenCapsWhenUnrelaxed) {
+  Rng rng(52);
+  for (int trial = 0; trial < 15; ++trial) {
+    const wsn::Network net = small_random_network(8, 0.7, rng);
+    const double bound = net.energy_model().node_lifetime(3000.0, 3);
+    const GreedyMrlcResult res = greedy_mrlc(net, bound);
+    if (res.cap_relaxations == 0) {
+      EXPECT_TRUE(res.meets_bound) << "trial " << trial;
+      for (int v = 0; v < net.node_count(); ++v) {
+        EXPECT_LE(static_cast<double>(res.tree.children_count(v)),
+                  net.max_children_real(v, bound) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(GreedyMrlc, NeverBeatsExactOptimum) {
+  Rng rng(53);
+  for (int trial = 0; trial < 15; ++trial) {
+    const wsn::Network net = small_random_network(7, 0.7, rng);
+    const double bound = net.energy_model().node_lifetime(3000.0, 3);
+    const GreedyMrlcResult res = greedy_mrlc(net, bound);
+    if (!res.meets_bound) continue;
+    const auto exact = core::exact_mrlc(net, bound);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_GE(res.cost, exact->cost - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(GreedyMrlc, IraIsAtLeastAsGoodOnAverage) {
+  // The ablation claim: across instances, IRA's LP machinery never loses
+  // to the greedy sweep on cost (both in direct-bound mode).
+  Rng rng(54);
+  double greedy_total = 0.0;
+  double ira_total = 0.0;
+  int compared = 0;
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  for (int trial = 0; trial < 20; ++trial) {
+    const wsn::Network net = small_random_network(9, 0.6, rng);
+    const double bound = net.energy_model().node_lifetime(3000.0, 4);
+    const GreedyMrlcResult greedy = greedy_mrlc(net, bound);
+    const core::IraResult ira = core::IterativeRelaxation(options).solve(net, bound);
+    greedy_total += greedy.cost;
+    ira_total += ira.cost;
+    ++compared;
+  }
+  ASSERT_GT(compared, 0);
+  EXPECT_LE(ira_total, greedy_total + 1e-9);
+}
+
+TEST(GreedyMrlc, GetsStuckAndRelaxesOnAdversarialInstance) {
+  // Gadget: the two cheapest edges saturate the hub under a 1-child cap,
+  // after which the leaves are unreachable within the caps — greedy must
+  // relax, while an exact tree within the caps does not exist either
+  // (every spanning tree of a star violates a 1-child cap), so relaxation
+  // is the correct outcome.
+  wsn::Network net(4, 0);
+  net.add_link(0, 1, 0.99);
+  net.add_link(0, 2, 0.98);
+  net.add_link(0, 3, 0.97);
+  const double bound = net.energy_model().node_lifetime(3000.0, 1);  // <= 1 child
+  const GreedyMrlcResult res = greedy_mrlc(net, bound);
+  EXPECT_GT(res.cap_relaxations, 0);
+  EXPECT_FALSE(res.meets_bound);
+  EXPECT_EQ(res.tree.children_count(0), 3);  // star is the only tree
+}
+
+TEST(GreedyMrlc, RelaxationBudgetIsEnforced) {
+  wsn::Network net(4, 0);
+  net.add_link(0, 1, 0.99);
+  net.add_link(0, 2, 0.98);
+  net.add_link(0, 3, 0.97);
+  GreedyMrlcOptions options;
+  options.max_cap_relaxations = 0;
+  const double bound = net.energy_model().node_lifetime(3000.0, 1);
+  EXPECT_THROW(greedy_mrlc(net, bound, options), InfeasibleError);
+}
+
+TEST(GreedyMrlc, GuardsBadInput) {
+  mrlc::testing::ToyNetwork toy;
+  EXPECT_THROW(greedy_mrlc(toy.net, 0.0), std::invalid_argument);
+  GreedyMrlcOptions options;
+  options.max_cap_relaxations = -1;
+  EXPECT_THROW(greedy_mrlc(toy.net, 1.0, options), std::invalid_argument);
+  wsn::Network disconnected(3, 0);
+  disconnected.add_link(0, 1, 0.9);
+  EXPECT_THROW(greedy_mrlc(disconnected, 1.0), InfeasibleError);
+}
+
+TEST(GreedyMrlc, MetricsAreConsistent) {
+  Rng rng(55);
+  const wsn::Network net = small_random_network(8, 0.7, rng);
+  const double bound = net.energy_model().node_lifetime(3000.0, 4);
+  const GreedyMrlcResult res = greedy_mrlc(net, bound);
+  EXPECT_NEAR(res.cost, wsn::tree_cost(net, res.tree), 1e-9);
+  EXPECT_NEAR(res.reliability, wsn::tree_reliability(net, res.tree), 1e-12);
+  EXPECT_NEAR(res.lifetime, wsn::network_lifetime(net, res.tree), 1e-6);
+}
+
+}  // namespace
+}  // namespace mrlc::baselines

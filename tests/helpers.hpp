@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file helpers.hpp
+/// \brief Shared fixtures: the paper's toy instances and small generators.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::testing {
+
+/// The toy network of Fig. 4: sink 0 plus nodes 1..5.  Links (with PRR):
+///   (1,0): 1.0   (4,0): 0.8   (5,0): 1.0
+///   (2,4): 0.5   (3,4): 0.9   (2,3): 0.9
+/// Fig. 4(a) uses {1-0, 4-0, 5-0, 2-4, 3-4}: reliability 0.36.
+/// Fig. 4(b) uses {1-0, 4-0, 5-0, 2-3, 3-4}: reliability 0.648.
+struct ToyNetwork {
+  wsn::Network net{6, 0};
+  wsn::EdgeId e10, e40, e50, e24, e34, e23;
+
+  ToyNetwork() {
+    e10 = net.add_link(1, 0, 1.0);
+    e40 = net.add_link(4, 0, 0.8);
+    e50 = net.add_link(5, 0, 1.0);
+    e24 = net.add_link(2, 4, 0.5);
+    e34 = net.add_link(3, 4, 0.9);
+    e23 = net.add_link(2, 3, 0.9);
+  }
+
+  wsn::AggregationTree tree_a() const {
+    return wsn::AggregationTree::from_edges(
+        net, std::vector<wsn::EdgeId>{e10, e40, e50, e24, e34});
+  }
+  wsn::AggregationTree tree_b() const {
+    return wsn::AggregationTree::from_edges(
+        net, std::vector<wsn::EdgeId>{e10, e40, e50, e23, e34});
+  }
+};
+
+/// Dense random connected network for property tests: all-pairs candidate
+/// links kept with probability `p`, redrawn until connected.
+inline wsn::Network small_random_network(int n, double p, Rng& rng,
+                                         double prr_lo = 0.5, double prr_hi = 1.0) {
+  for (;;) {
+    wsn::Network net(n, 0);
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        if (rng.bernoulli(p)) net.add_link(u, v, rng.uniform(prr_lo, prr_hi));
+      }
+    }
+    try {
+      net.validate();
+      return net;
+    } catch (const InfeasibleError&) {
+      continue;  // disconnected draw; retry
+    }
+  }
+}
+
+/// Uniform random spanning tree-ish: random parent assignment by random
+/// BFS order over a connected network (not uniform over trees, but varied).
+inline wsn::AggregationTree random_tree(const wsn::Network& net, Rng& rng) {
+  const int n = net.node_count();
+  std::vector<int> order;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  std::vector<int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<int> frontier{net.sink()};
+  seen[static_cast<std::size_t>(net.sink())] = true;
+  while (!frontier.empty()) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frontier.size()) - 1));
+    const int v = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+    order.push_back(v);
+    for (graph::EdgeId id : net.topology().incident(v)) {
+      const int w = net.topology().edge(id).other(v);
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        parent[static_cast<std::size_t>(w)] = v;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return wsn::AggregationTree::from_parents(net, parent);
+}
+
+}  // namespace mrlc::testing

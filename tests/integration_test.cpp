@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "baselines/aaml.hpp"
+#include "baselines/mst_baseline.hpp"
+#include "common/rng.hpp"
+#include "core/ira.hpp"
+#include "distributed/maintainer.hpp"
+#include "radio/packet_sim.hpp"
+#include "scenario/dfl.hpp"
+#include "scenario/random_net.hpp"
+#include "wsn/metrics.hpp"
+
+/// End-to-end flows mirroring the paper's evaluation pipeline
+/// (Section VII): scenario -> algorithms -> metrics -> protocol.
+
+namespace mrlc {
+namespace {
+
+/// The qualitative Fig. 7 pipeline: on the DFL system, IRA at LC = L_AAML
+/// must dominate AAML on cost/reliability and approach MST as the bound
+/// loosens.
+TEST(EndToEnd, DflSystemRankingMatchesFig7) {
+  const scenario::DflSystem sys = scenario::make_dfl_system();
+
+  // AAML runs on the >= 0.95-PRR-filtered graph, as in the paper.
+  const wsn::Network filtered = scenario::filter_links(sys.network, 0.95);
+  const baselines::AamlResult aaml = baselines::aaml(filtered);
+  const baselines::MstResult mst = baselines::mst_baseline(sys.network);
+
+  // IRA in the paper's evaluation regime (direct bound; see ira.hpp).
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IterativeRelaxation ira_solver(options);
+  const core::IraResult ira1 = ira_solver.solve(sys.network, aaml.lifetime);
+  const core::IraResult ira_tight =
+      ira_solver.solve(sys.network, 0.5 * aaml.lifetime);
+
+  // Lifetime guarantee at LC = L_AAML (the bound is loose enough here that
+  // the direct relaxation meets it exactly).
+  EXPECT_GE(ira1.lifetime, aaml.lifetime * (1.0 - 1e-12));
+
+  // Cost ordering: MST <= IRA(0.5 LC) <= IRA(LC) << AAML.
+  EXPECT_LE(mst.cost, ira_tight.cost + 1e-9);
+  EXPECT_LE(ira_tight.cost, ira1.cost + 1e-9);
+  EXPECT_LT(ira1.cost, aaml.cost);
+
+  // Reliability ordering mirrors cost.
+  EXPECT_GT(ira1.reliability, aaml.reliability);
+  EXPECT_GE(mst.reliability, ira1.reliability - 1e-12);
+}
+
+TEST(EndToEnd, RandomGraphSweepIraBeatsAamlOnCost) {
+  // Fig. 8 in miniature: 10 random instances, same energy.
+  Rng rng(42);
+  int ira_wins = 0;
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IterativeRelaxation solver(options);
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net =
+        scenario::make_random_network(scenario::RandomNetworkConfig{}, rng);
+    const baselines::AamlResult aaml = baselines::aaml(net);
+    const core::IraResult ira = solver.solve(net, aaml.lifetime);
+    const baselines::MstResult mst = baselines::mst_baseline(net);
+    EXPECT_GE(ira.lifetime, aaml.lifetime * (1.0 - 1e-12));
+    EXPECT_GE(ira.cost, mst.cost - 1e-9);
+    if (ira.cost < aaml.cost) ++ira_wins;
+  }
+  EXPECT_GE(ira_wins, 8) << "IRA should almost always beat AAML on cost";
+}
+
+TEST(EndToEnd, SimulatedDeliveryMatchesAnalyticReliability) {
+  // Packet-level simulation agrees with Q(T) for the IRA tree on the DFL
+  // system — the reliability metric is not just a formula.
+  const scenario::DflSystem sys = scenario::make_dfl_system();
+  const baselines::AamlResult aaml = baselines::aaml(sys.network);
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult ira =
+      core::IterativeRelaxation(options).solve(sys.network, aaml.lifetime);
+  Rng rng(7);
+  const radio::AggregateResult agg =
+      radio::simulate_rounds(sys.network, ira.tree, radio::RetxPolicy{}, 20000, rng);
+  EXPECT_NEAR(agg.round_success_ratio, ira.reliability, 0.02);
+}
+
+TEST(EndToEnd, MaintainerTracksDegradingDflSystem) {
+  // Figs. 11-13 in miniature: 20 degradation rounds on the DFL instance.
+  scenario::DflSystem sys = scenario::make_dfl_system();
+  const baselines::AamlResult aaml = baselines::aaml(sys.network);
+  const double bound = aaml.lifetime;
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IterativeRelaxation solver(options);
+  const core::IraResult ira = solver.solve(sys.network, bound);
+  dist::DistributedMaintainer maintainer(sys.network, ira.tree, bound);
+
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const auto edges = maintainer.tree().edge_ids();
+    const wsn::EdgeId victim = edges[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(edges.size()) - 1))];
+    sys.network.set_link_prr(victim,
+                             std::max(0.3, sys.network.link_prr(victim) * 0.7));
+    maintainer.on_link_degraded(sys.network, victim);
+
+    // Invariants after every event.
+    EXPECT_GE(wsn::network_lifetime(sys.network, maintainer.tree()), bound);
+    EXPECT_EQ(maintainer.tree().edge_ids().size(), 15u);
+  }
+
+  // The distributed tree should stay within a reasonable factor of a fresh
+  // centralized IRA solution on the final state.
+  const core::IraResult fresh = solver.solve(sys.network, bound);
+  const double distributed_cost = wsn::tree_cost(sys.network, maintainer.tree());
+  EXPECT_GE(distributed_cost, fresh.cost - 1e-9);  // centralized is a lower bound
+
+  // Message accounting sane: fewer than n messages per event on average.
+  const auto& stats = maintainer.stats();
+  EXPECT_EQ(stats.degradation_events, 20);
+  if (stats.updates_applied > 0) {
+    EXPECT_LT(static_cast<double>(stats.total_messages) /
+                  static_cast<double>(stats.updates_applied),
+              static_cast<double>(sys.network.node_count()));
+  }
+}
+
+TEST(EndToEnd, HeterogeneousEnergyPipeline) {
+  // Fig. 9 in miniature.
+  Rng rng(13);
+  scenario::RandomNetworkConfig config;
+  config.energy_min_j = 1500.0;
+  config.energy_max_j = 5000.0;
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IterativeRelaxation solver(options);
+  for (int trial = 0; trial < 5; ++trial) {
+    const wsn::Network net = scenario::make_random_network(config, rng);
+    const baselines::AamlResult aaml = baselines::aaml(net);
+    const core::IraResult ira = solver.solve(net, aaml.lifetime);
+    const baselines::MstResult mst = baselines::mst_baseline(net);
+    EXPECT_GE(ira.cost, mst.cost - 1e-9);
+    // Direct-mode contract: the children bound may be exceeded by at most
+    // two per node (Singh–Lau-style additive violation).  With energies as
+    // heterogeneous as [1500 J, 5000 J] that can be a large *lifetime*
+    // ratio on low-energy nodes, so the guarantee is stated in children.
+    for (wsn::VertexId v = 0; v < net.node_count(); ++v) {
+      const double cap = net.max_children_real(v, aaml.lifetime);
+      EXPECT_LE(static_cast<double>(ira.tree.children_count(v)), cap + 2.0 + 1e-6)
+          << "trial " << trial << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrlc

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "wsn/io.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::wsn {
+namespace {
+
+TEST(NetworkIo, RoundTripPreservesEverything) {
+  Rng rng(61);
+  for (int trial = 0; trial < 25; ++trial) {
+    wsn::Network original = mrlc::testing::small_random_network(10, 0.5, rng);
+    for (int v = 0; v < original.node_count(); ++v) {
+      original.set_initial_energy(v, rng.uniform(1000.0, 5000.0));
+    }
+    const Network parsed = network_from_string(network_to_string(original));
+    ASSERT_EQ(parsed.node_count(), original.node_count());
+    ASSERT_EQ(parsed.sink(), original.sink());
+    ASSERT_EQ(parsed.link_count(), original.link_count());
+    for (int v = 0; v < original.node_count(); ++v) {
+      EXPECT_DOUBLE_EQ(parsed.initial_energy(v), original.initial_energy(v));
+    }
+    for (EdgeId id = 0; id < original.link_count(); ++id) {
+      const graph::Edge& a = original.topology().edge(id);
+      const graph::Edge& b = parsed.topology().edge(id);
+      EXPECT_EQ(a.u, b.u);
+      EXPECT_EQ(a.v, b.v);
+      EXPECT_DOUBLE_EQ(parsed.link_prr(id), original.link_prr(id));
+    }
+  }
+}
+
+TEST(NetworkIo, CommentsAndBlanksIgnored) {
+  const std::string text =
+      "# a network\n"
+      "mrlc-network v1\n"
+      "\n"
+      "nodes 3 sink 0   # three nodes\n"
+      "link 0 1 0.9\n"
+      "   link 1 2 0.8  \n";
+  const Network net = network_from_string(text);
+  EXPECT_EQ(net.node_count(), 3);
+  EXPECT_EQ(net.link_count(), 2);
+  EXPECT_DOUBLE_EQ(net.initial_energy(1), 3000.0);  // default
+}
+
+TEST(NetworkIo, MalformedInputsRejectedWithLineNumbers) {
+  const struct {
+    const char* text;
+    const char* needle;
+  } kCases[] = {
+      {"", "empty"},
+      {"wrong header\n", "header"},
+      {"mrlc-network v1\n", "nodes"},
+      {"mrlc-network v1\nnodes 0 sink 0\n", "at least one"},
+      {"mrlc-network v1\nnodes 3 sink 9\n", "sink"},
+      {"mrlc-network v1\nnodes 3 sink 0\nlink 0 5 0.9\n", "out of range"},
+      {"mrlc-network v1\nnodes 3 sink 0\nlink 0 1 1.5\n", "PRR"},
+      {"mrlc-network v1\nnodes 3 sink 0\nlink 0 1\n", "expected"},
+      {"mrlc-network v1\nnodes 3 sink 0\nenergy 0 -5\n", "energy"},
+      {"mrlc-network v1\nnodes 3 sink 0\nbogus 1 2 3\n", "unknown keyword"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_THROW(network_from_string(c.text), std::invalid_argument) << c.text;
+    try {
+      network_from_string(c.text);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << c.needle << "'";
+    }
+  }
+}
+
+TEST(NetworkIo, LineNumbersAreReported) {
+  try {
+    network_from_string("mrlc-network v1\nnodes 3 sink 0\nlink 0 1 0.9\nlink 9 9 0.9\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TreeIo, RoundTripPreservesParents) {
+  Rng rng(62);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Network net = mrlc::testing::small_random_network(9, 0.6, rng);
+    const AggregationTree tree = mrlc::testing::random_tree(net, rng);
+    const AggregationTree parsed = tree_from_string(tree_to_string(tree), net);
+    EXPECT_EQ(parsed.parents(), tree.parents());
+  }
+}
+
+TEST(TreeIo, MalformedTreesRejected) {
+  mrlc::testing::ToyNetwork toy;
+  const struct {
+    const char* text;
+    const char* needle;
+  } kCases[] = {
+      {"", "empty"},
+      {"mrlc-tree v1\nnodes 9\n", "does not match"},
+      {"mrlc-tree v1\nnodes 6\nparent 0 4\n", "sink has no parent"},
+      {"mrlc-tree v1\nnodes 6\nparent 1 0\nparent 1 0\n", "duplicate"},
+      {"mrlc-tree v1\nnodes 6\nparent 1 0\n", "missing parent"},
+      // 2 -> 0 is not a network link in the toy instance.
+      {"mrlc-tree v1\nnodes 6\nparent 1 0\nparent 2 0\nparent 3 4\nparent 4 0\n"
+       "parent 5 0\n",
+       "not in the network"},
+  };
+  for (const auto& c : kCases) {
+    EXPECT_THROW(tree_from_string(c.text, toy.net), std::invalid_argument) << c.text;
+    try {
+      tree_from_string(c.text, toy.net);
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << c.needle << "'";
+    }
+  }
+}
+
+TEST(TreeIo, ParsedTreeSupportsMetrics) {
+  mrlc::testing::ToyNetwork toy;
+  const AggregationTree original = toy.tree_b();
+  const AggregationTree parsed = tree_from_string(tree_to_string(original), toy.net);
+  EXPECT_NEAR(tree_reliability(toy.net, parsed), 0.648, 1e-12);
+}
+
+}  // namespace
+}  // namespace mrlc::wsn

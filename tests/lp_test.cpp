@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace mrlc::lp {
+namespace {
+
+constexpr double kTol = 1e-7;
+
+// ---------------------------------------------------------------- model --
+
+TEST(Model, VariableAndRowBookkeeping) {
+  Model m;
+  const VarId x = m.add_variable(2.0, 0.0, 5.0, "x");
+  const VarId y = m.add_variable(-1.0);
+  EXPECT_EQ(m.variable_count(), 2);
+  EXPECT_DOUBLE_EQ(m.objective_coefficient(x), 2.0);
+  EXPECT_DOUBLE_EQ(m.upper_bound(x), 5.0);
+  EXPECT_EQ(m.variable_name(x), "x");
+  EXPECT_EQ(m.upper_bound(y), kInfinity);
+
+  const RowId r = m.add_row(Relation::kLessEqual, 4.0, {{x, 1.0}, {y, 2.0}});
+  EXPECT_EQ(m.constraint_count(), 1);
+  EXPECT_EQ(m.terms(r).size(), 2u);
+}
+
+TEST(Model, RejectsBadInput) {
+  Model m;
+  EXPECT_THROW(m.add_variable(0.0, 2.0, 1.0), std::invalid_argument);  // l > u
+  EXPECT_THROW(m.add_variable(0.0, -kInfinity, 0.0), std::invalid_argument);
+  const VarId x = m.add_variable(1.0);
+  const RowId r = m.add_constraint(Relation::kEqual, 1.0);
+  EXPECT_THROW(m.add_term(r, x + 5, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.add_term(r + 5, x, 1.0), std::invalid_argument);
+}
+
+TEST(Model, EvaluateAndFeasibility) {
+  Model m;
+  const VarId x = m.add_variable(1.0, 0.0, 10.0);
+  const VarId y = m.add_variable(1.0, 0.0, 10.0);
+  m.add_row(Relation::kLessEqual, 5.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row(Relation::kGreaterEqual, 1.0, {{x, 1.0}});
+  EXPECT_TRUE(m.is_feasible({2.0, 3.0}));
+  EXPECT_FALSE(m.is_feasible({3.0, 3.0}));  // row 0 violated
+  EXPECT_FALSE(m.is_feasible({0.0, 1.0}));  // row 1 violated
+  EXPECT_FALSE(m.is_feasible({2.0, 11.0}));  // bound violated
+  EXPECT_DOUBLE_EQ(m.evaluate_objective({2.0, 3.0}), 5.0);
+}
+
+TEST(Model, DuplicateTermsAccumulate) {
+  Model m;
+  const VarId x = m.add_variable(1.0);
+  const RowId r = m.add_constraint(Relation::kLessEqual, 4.0);
+  m.add_term(r, x, 1.0);
+  m.add_term(r, x, 2.0);
+  EXPECT_DOUBLE_EQ(m.evaluate_row(r, {1.0}), 3.0);
+}
+
+// -------------------------------------------------------------- simplex --
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  (2, 6), obj 36.
+  Model m;
+  const VarId x = m.add_variable(-3.0);
+  const VarId y = m.add_variable(-5.0);
+  m.add_row(Relation::kLessEqual, 4.0, {{x, 1.0}});
+  m.add_row(Relation::kLessEqual, 12.0, {{y, 2.0}});
+  m.add_row(Relation::kLessEqual, 18.0, {{x, 3.0}, {y, 2.0}});
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, kTol);
+  EXPECT_NEAR(s.values[0], 2.0, kTol);
+  EXPECT_NEAR(s.values[1], 6.0, kTol);
+}
+
+TEST(Simplex, EqualityConstraintNeedsPhase1) {
+  // min x + y  s.t. x + y = 3, x - y >= 1  ->  x=2, y=1 ... any point on the
+  // segment has objective 3; check objective and feasibility.
+  Model m;
+  const VarId x = m.add_variable(1.0);
+  const VarId y = m.add_variable(1.0);
+  m.add_row(Relation::kEqual, 3.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row(Relation::kGreaterEqual, 1.0, {{x, 1.0}, {y, -1.0}});
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, kTol);
+  EXPECT_TRUE(m.is_feasible(s.values));
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  Model m;
+  const VarId x = m.add_variable(1.0);
+  m.add_row(Relation::kLessEqual, 1.0, {{x, 1.0}});
+  m.add_row(Relation::kGreaterEqual, 2.0, {{x, 1.0}});
+  EXPECT_EQ(SimplexSolver().solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsInfeasibleEqualities) {
+  Model m;
+  const VarId x = m.add_variable(0.0);
+  const VarId y = m.add_variable(0.0);
+  m.add_row(Relation::kEqual, 1.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row(Relation::kEqual, 3.0, {{x, 1.0}, {y, 1.0}});
+  EXPECT_EQ(SimplexSolver().solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  Model m;
+  const VarId x = m.add_variable(-1.0);  // min -x with x free upward
+  m.add_row(Relation::kGreaterEqual, 0.0, {{x, 1.0}});
+  EXPECT_EQ(SimplexSolver().solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, UpperBoundsAreRespected) {
+  Model m;
+  m.add_variable(-1.0, 0.0, 2.5);
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 2.5, kTol);
+}
+
+TEST(Simplex, NonzeroLowerBoundsShiftCorrectly) {
+  // min x + y  s.t. x + y >= 5, x >= 2, y in [1, 3].
+  Model m;
+  const VarId x = m.add_variable(1.0, 2.0);
+  const VarId y = m.add_variable(1.0, 1.0, 3.0);
+  m.add_row(Relation::kGreaterEqual, 5.0, {{x, 1.0}, {y, 1.0}});
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, kTol);
+  EXPECT_GE(s.values[0], 2.0 - kTol);
+  EXPECT_GE(s.values[1], 1.0 - kTol);
+  EXPECT_LE(s.values[1], 3.0 + kTol);
+}
+
+TEST(Simplex, NegativeRhsRowsAreNormalized) {
+  // min x  s.t. -x <= -3  (i.e. x >= 3).
+  Model m;
+  const VarId x = m.add_variable(1.0);
+  m.add_row(Relation::kLessEqual, -3.0, {{x, -1.0}});
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 3.0, kTol);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic degenerate vertex: multiple tight constraints at the optimum.
+  Model m;
+  const VarId x = m.add_variable(-1.0);
+  const VarId y = m.add_variable(-1.0);
+  m.add_row(Relation::kLessEqual, 1.0, {{x, 1.0}});
+  m.add_row(Relation::kLessEqual, 1.0, {{y, 1.0}});
+  m.add_row(Relation::kLessEqual, 2.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row(Relation::kLessEqual, 2.0, {{x, 2.0}, {y, 1.0} , {x, -1.0}});
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, kTol);
+}
+
+TEST(Simplex, EmptyModelIsFeasible) {
+  Model m;
+  EXPECT_EQ(SimplexSolver().solve(m).status, SolveStatus::kOptimal);
+}
+
+TEST(Simplex, RedundantEqualityRowsHandled) {
+  // Duplicate equality rows leave a redundant artificial basic at zero.
+  Model m;
+  const VarId x = m.add_variable(1.0);
+  const VarId y = m.add_variable(2.0);
+  m.add_row(Relation::kEqual, 2.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row(Relation::kEqual, 2.0, {{x, 1.0}, {y, 1.0}});
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, kTol);
+  EXPECT_NEAR(s.values[0], 2.0, kTol);
+}
+
+TEST(Simplex, SolutionIsBasic) {
+  Model m;
+  const VarId x = m.add_variable(-3.0);
+  const VarId y = m.add_variable(-5.0);
+  m.add_row(Relation::kLessEqual, 4.0, {{x, 1.0}});
+  m.add_row(Relation::kLessEqual, 12.0, {{y, 2.0}});
+  m.add_row(Relation::kLessEqual, 18.0, {{x, 3.0}, {y, 2.0}});
+  const Solution s = SimplexSolver().solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_EQ(s.is_basic.size(), 2u);
+  // At the optimal vertex both structurals are strictly positive => basic.
+  EXPECT_TRUE(s.is_basic[0]);
+  EXPECT_TRUE(s.is_basic[1]);
+}
+
+/// Brute-force LP check on random small instances: enumerate all vertices
+/// of {x in [0,u]^2 : rows} by intersecting constraint pairs and compare.
+TEST(Simplex, MatchesVertexEnumerationOnRandom2D) {
+  Rng rng(31);
+  int solved = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Model m;
+    const double c0 = rng.uniform(-5.0, 5.0);
+    const double c1 = rng.uniform(-5.0, 5.0);
+    const double u0 = rng.uniform(1.0, 5.0);
+    const double u1 = rng.uniform(1.0, 5.0);
+    m.add_variable(c0, 0.0, u0);
+    m.add_variable(c1, 0.0, u1);
+    // Two random <= rows with positive rhs keep the problem feasible
+    // (origin always works) and bounded (boxed variables).
+    struct Row {
+      double a0, a1, b;
+    };
+    Row rows[2];
+    for (auto& row : rows) {
+      row = {rng.uniform(-2.0, 3.0), rng.uniform(-2.0, 3.0), rng.uniform(0.5, 6.0)};
+      m.add_row(Relation::kLessEqual, row.b, {{0, row.a0}, {1, row.a1}});
+    }
+    const Solution s = SimplexSolver().solve(m);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    ASSERT_TRUE(m.is_feasible(s.values, 1e-6));
+
+    // Enumerate candidate vertices: intersections of all boundary pairs.
+    std::vector<std::array<double, 2>> candidates;
+    std::vector<std::array<double, 3>> lines = {
+        {1.0, 0.0, 0.0},  {0.0, 1.0, 0.0},  {1.0, 0.0, u0},  {0.0, 1.0, u1},
+        {rows[0].a0, rows[0].a1, rows[0].b}, {rows[1].a0, rows[1].a1, rows[1].b}};
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      for (std::size_t j = i + 1; j < lines.size(); ++j) {
+        const double det = lines[i][0] * lines[j][1] - lines[j][0] * lines[i][1];
+        if (std::abs(det) < 1e-9) continue;
+        const double px = (lines[i][2] * lines[j][1] - lines[j][2] * lines[i][1]) / det;
+        const double py = (lines[i][0] * lines[j][2] - lines[j][0] * lines[i][2]) / det;
+        candidates.push_back({px, py});
+      }
+    }
+    double best = 0.0;  // origin is feasible with objective 0
+    for (const auto& c : candidates) {
+      if (m.is_feasible({c[0], c[1]}, 1e-9)) {
+        best = std::min(best, c0 * c[0] + c1 * c[1]);
+      }
+    }
+    EXPECT_NEAR(s.objective, best, 1e-5) << "trial " << trial;
+    ++solved;
+  }
+  EXPECT_EQ(solved, 200);
+}
+
+}  // namespace
+}  // namespace mrlc::lp

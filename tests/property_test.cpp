@@ -1,0 +1,250 @@
+/// \file property_test.cpp
+/// \brief Parameterized property sweeps across the whole stack
+/// (TEST_P / INSTANTIATE_TEST_SUITE_P): each property is checked over a
+/// grid of instance shapes rather than a single hand-picked case.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/greedy_mrlc.hpp"
+#include "baselines/mst_baseline.hpp"
+#include "common/rng.hpp"
+#include "core/exact.hpp"
+#include "core/feasibility.hpp"
+#include "core/ira.hpp"
+#include "core/lp_formulation.hpp"
+#include "core/separation.hpp"
+#include "graph/enumeration.hpp"
+#include "graph/mst.hpp"
+#include "helpers.hpp"
+#include "lp/simplex.hpp"
+#include "prufer/codec.hpp"
+#include "radio/packet_sim.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc {
+namespace {
+
+using mrlc::testing::random_tree;
+using mrlc::testing::small_random_network;
+
+// ------------------------------------------------------ Prüfer sweeps --
+
+class PruferSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruferSizeSweep, RoundTripManyRandomTrees) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 101);
+  for (int trial = 0; trial < 40; ++trial) {
+    const wsn::Network net = small_random_network(n, 0.8, rng);
+    const wsn::AggregationTree tree = random_tree(net, rng);
+    const prufer::Code code = prufer::encode(tree.parents());
+    EXPECT_EQ(static_cast<int>(code.size()), n - 2);
+    EXPECT_EQ(prufer::decode(code, n), tree.parents());
+    // Eq. 23 on the same tree.
+    for (int v = 0; v < n; ++v) {
+      EXPECT_EQ(prufer::children_from_code(code, n, v), tree.children_count(v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PruferSizeSweep,
+                         ::testing::Values(3, 4, 5, 8, 13, 21, 34, 55));
+
+// ----------------------------------------------- MST vs enumeration ----
+
+struct GraphShape {
+  int nodes;
+  double density;
+};
+
+class MstAgreementSweep : public ::testing::TestWithParam<GraphShape> {};
+
+TEST_P(MstAgreementSweep, PrimKruskalAndEnumerationAgree) {
+  const auto [n, p] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 1000) + static_cast<std::uint64_t>(p * 100));
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net = small_random_network(n, p, rng, 0.3, 1.0);
+    const auto prim = graph::prim_mst(net.topology(), 0);
+    const auto kruskal = graph::kruskal_mst(net.topology());
+    ASSERT_TRUE(prim.has_value());
+    ASSERT_TRUE(kruskal.has_value());
+    EXPECT_NEAR(prim->total_weight, kruskal->total_weight, 1e-9);
+
+    double enumerated_best = 1e300;
+    graph::for_each_spanning_tree(net.topology(), [&](const graph::SpanningTree& t) {
+      enumerated_best = std::min(enumerated_best, t.total_weight);
+      return true;
+    });
+    EXPECT_NEAR(enumerated_best, prim->total_weight, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MstAgreementSweep,
+                         ::testing::Values(GraphShape{5, 0.5}, GraphShape{5, 0.9},
+                                           GraphShape{6, 0.6}, GraphShape{7, 0.45},
+                                           GraphShape{7, 0.8}, GraphShape{8, 0.4}));
+
+// ------------------------------------------------- IRA contract sweep --
+
+struct IraCase {
+  int nodes;
+  double density;
+  int bound_children;  ///< LC = lifetime at this children count
+};
+
+class IraContractSweep : public ::testing::TestWithParam<IraCase> {};
+
+TEST_P(IraContractSweep, DirectModeContractHolds) {
+  const auto [n, p, children] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 7919 + children));
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IterativeRelaxation solver(options);
+  for (int trial = 0; trial < 8; ++trial) {
+    const wsn::Network net = small_random_network(n, p, rng, 0.5, 1.0);
+    const double bound =
+        net.energy_model().node_lifetime(3000.0, children) * 0.99;
+    core::IraResult res;
+    try {
+      res = solver.solve(net, bound);
+    } catch (const InfeasibleError&) {
+      // Direct-mode infeasibility must be a real proof.
+      EXPECT_FALSE(core::lp_lifetime_feasible(net, bound)) << "trial " << trial;
+      continue;
+    }
+    // Spanning tree with consistent metrics...
+    EXPECT_EQ(res.tree.edge_ids().size(), static_cast<std::size_t>(n - 1));
+    EXPECT_NEAR(res.cost, wsn::tree_cost(net, res.tree), 1e-9);
+    // ...children violation bounded by +2...
+    for (int v = 0; v < n; ++v) {
+      EXPECT_LE(static_cast<double>(res.tree.children_count(v)),
+                net.max_children_real(v, bound) + 2.0 + 1e-6)
+          << "trial " << trial << " node " << v;
+    }
+    // ...and cost never above the unconstrained-tree cost ceiling is not
+    // meaningful; instead: cost at least the MST lower bound.
+    const auto mst = graph::prim_mst(net.topology(), 0);
+    ASSERT_TRUE(mst.has_value());
+    EXPECT_GE(res.cost, mst->total_weight - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, IraContractSweep,
+    ::testing::Values(IraCase{6, 0.7, 2}, IraCase{6, 0.7, 4}, IraCase{8, 0.5, 3},
+                      IraCase{8, 0.8, 5}, IraCase{10, 0.4, 4}, IraCase{10, 0.7, 6},
+                      IraCase{12, 0.5, 5}));
+
+class IraExactSweep : public ::testing::TestWithParam<IraCase> {};
+
+TEST_P(IraExactSweep, DirectModeCostAtMostExactOptimum) {
+  const auto [n, p, children] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 104729 + children));
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IterativeRelaxation solver(options);
+  for (int trial = 0; trial < 6; ++trial) {
+    const wsn::Network net = small_random_network(n, p, rng, 0.5, 1.0);
+    const double bound = net.energy_model().node_lifetime(3000.0, children) * 0.99;
+    const auto exact = core::exact_mrlc(net, bound);
+    if (!exact.has_value()) continue;
+    core::IraResult res;
+    try {
+      res = solver.solve(net, bound);
+    } catch (const InfeasibleError&) {
+      ADD_FAILURE() << "IRA infeasible though the exact solver found a tree";
+      continue;
+    }
+    // Relaxing the bound can only help: cost(IRA, +2 slack) <= OPT(LC).
+    EXPECT_LE(res.cost, exact->cost + 1e-6) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, IraExactSweep,
+                         ::testing::Values(IraCase{6, 0.7, 2}, IraCase{7, 0.6, 3},
+                                           IraCase{7, 0.9, 4}, IraCase{8, 0.5, 3}));
+
+// ------------------------------------------- subtour LP integrality ----
+
+class SubtourIntegralitySweep : public ::testing::TestWithParam<GraphShape> {};
+
+TEST_P(SubtourIntegralitySweep, ExtremePointsAreIntegral) {
+  const auto [n, p] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 31 + 7);
+  const lp::SimplexSolver solver;
+  for (int trial = 0; trial < 6; ++trial) {
+    const wsn::Network net = small_random_network(n, p, rng, 0.3, 1.0);
+    core::MrlcLpFormulation formulation(
+        net.topology(),
+        std::vector<std::optional<double>>(static_cast<std::size_t>(n)));
+    const core::CutLpResult res = core::solve_with_subtour_cuts(formulation, solver);
+    ASSERT_EQ(res.status, lp::SolveStatus::kOptimal);
+    for (double x : res.edge_values) {
+      EXPECT_TRUE(x < 1e-6 || x > 1.0 - 1e-6) << "fractional extreme point";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SubtourIntegralitySweep,
+                         ::testing::Values(GraphShape{5, 0.8}, GraphShape{7, 0.5},
+                                           GraphShape{9, 0.4}, GraphShape{11, 0.35},
+                                           GraphShape{13, 0.3}));
+
+// ------------------------------------------------ packet-sim physics ---
+
+class PacketQualitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PacketQualitySweep, RetxCostMatchesInverseQuality) {
+  const double q = GetParam();
+  wsn::Network net(8, 0);
+  for (int v = 1; v < 8; ++v) net.add_link(v - 1, v, q);
+  const auto tree = wsn::AggregationTree::from_parents(
+      net, std::vector<int>{-1, 0, 1, 2, 3, 4, 5, 6});
+  Rng rng(static_cast<std::uint64_t>(q * 1e6));
+  radio::RetxPolicy retx;
+  retx.enabled = true;
+  const radio::AggregateResult agg = radio::simulate_rounds(net, tree, retx, 4000, rng);
+  EXPECT_NEAR(agg.avg_packets_per_round, 7.0 / q, 7.0 / q * 0.08);
+}
+
+TEST_P(PacketQualitySweep, NoRetxSuccessMatchesReliabilityProduct) {
+  const double q = GetParam();
+  wsn::Network net(6, 0);
+  for (int v = 1; v < 6; ++v) net.add_link(v - 1, v, q);
+  const auto tree =
+      wsn::AggregationTree::from_parents(net, std::vector<int>{-1, 0, 1, 2, 3, 4});
+  Rng rng(static_cast<std::uint64_t>(q * 2e6) + 3);
+  const radio::AggregateResult agg =
+      radio::simulate_rounds(net, tree, radio::RetxPolicy{}, 30000, rng);
+  EXPECT_NEAR(agg.round_success_ratio, std::pow(q, 5), 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, PacketQualitySweep,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99));
+
+// ------------------------------------------------- greedy sanity sweep --
+
+class GreedySweep : public ::testing::TestWithParam<IraCase> {};
+
+TEST_P(GreedySweep, GreedyWithinCapsIsValid) {
+  const auto [n, p, children] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 613 + children));
+  for (int trial = 0; trial < 8; ++trial) {
+    const wsn::Network net = small_random_network(n, p, rng, 0.5, 1.0);
+    const double bound = net.energy_model().node_lifetime(3000.0, children);
+    const baselines::GreedyMrlcResult res = baselines::greedy_mrlc(net, bound);
+    EXPECT_EQ(res.tree.edge_ids().size(), static_cast<std::size_t>(n - 1));
+    if (res.cap_relaxations == 0) {
+      EXPECT_TRUE(res.meets_bound);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, GreedySweep,
+                         ::testing::Values(IraCase{8, 0.6, 3}, IraCase{10, 0.5, 4},
+                                           IraCase{12, 0.4, 5}, IraCase{16, 0.7, 6}));
+
+}  // namespace
+}  // namespace mrlc

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "graph/traversal.hpp"
+#include "scenario/dfl.hpp"
+#include "scenario/random_net.hpp"
+
+namespace mrlc::scenario {
+namespace {
+
+// ------------------------------------------------------------------ DFL --
+
+TEST(Dfl, DefaultGeometryHas16Nodes) {
+  EXPECT_EQ(dfl_node_count(DflConfig{}), 16);
+}
+
+TEST(Dfl, GeometryValidation) {
+  DflConfig config;
+  config.side_m = 3.5;  // not a multiple of 0.9
+  EXPECT_THROW(dfl_node_count(config), std::invalid_argument);
+  config = DflConfig{};
+  config.spacing_m = -1.0;
+  EXPECT_THROW(dfl_node_count(config), std::invalid_argument);
+}
+
+TEST(Dfl, PositionsSitOnThePerimeter) {
+  const DflSystem sys = make_dfl_system();
+  ASSERT_EQ(sys.positions_m.size(), 16u);
+  for (const auto& [x, y] : sys.positions_m) {
+    const bool on_edge = std::abs(x) < 1e-9 || std::abs(x - 3.6) < 1e-9 ||
+                         std::abs(y) < 1e-9 || std::abs(y - 3.6) < 1e-9;
+    EXPECT_TRUE(on_edge) << "(" << x << ", " << y << ")";
+    EXPECT_GE(x, -1e-9);
+    EXPECT_LE(x, 3.6 + 1e-9);
+  }
+  // Adjacent nodes are 0.9 m apart.
+  for (std::size_t i = 0; i + 1 < sys.positions_m.size(); ++i) {
+    const double dx = sys.positions_m[i].first - sys.positions_m[i + 1].first;
+    const double dy = sys.positions_m[i].second - sys.positions_m[i + 1].second;
+    EXPECT_NEAR(std::hypot(dx, dy), 0.9, 1e-9);
+  }
+}
+
+TEST(Dfl, NetworkIsConnectedAndConfigured) {
+  const DflSystem sys = make_dfl_system();
+  EXPECT_EQ(sys.network.node_count(), 16);
+  EXPECT_EQ(sys.network.sink(), 0);
+  EXPECT_TRUE(graph::is_connected(sys.network.topology()));
+  for (int v = 0; v < 16; ++v) {
+    EXPECT_DOUBLE_EQ(sys.network.initial_energy(v), 3000.0);
+  }
+  EXPECT_EQ(static_cast<std::size_t>(sys.network.link_count()),
+            sys.true_prr.size());
+}
+
+TEST(Dfl, NeighboringLinksAreNearPerfect) {
+  const DflSystem sys = make_dfl_system();
+  // 0.9 m at any calibrated power level is essentially loss-free.
+  for (int v = 0; v + 1 < 16; ++v) {
+    const wsn::EdgeId link = sys.network.topology().find_edge(v, v + 1);
+    ASSERT_NE(link, -1) << "adjacent pair " << v;
+    EXPECT_GT(sys.network.link_prr(link), 0.9);
+  }
+}
+
+TEST(Dfl, LinkQualityDiversityExists) {
+  // The instance must be non-trivial: a mix of strong and weak links.
+  const DflSystem sys = make_dfl_system();
+  int strong = 0;
+  int weak = 0;
+  for (wsn::EdgeId id = 0; id < sys.network.link_count(); ++id) {
+    if (sys.network.link_prr(id) > 0.95) ++strong;
+    if (sys.network.link_prr(id) < 0.8) ++weak;
+  }
+  EXPECT_GT(strong, 10);
+  EXPECT_GT(weak, 3);
+}
+
+TEST(Dfl, BeaconEstimatesTrackTruth) {
+  const DflSystem sys = make_dfl_system();
+  for (wsn::EdgeId id = 0; id < sys.network.link_count(); ++id) {
+    const double estimate = sys.network.link_prr(id);
+    const double truth = sys.true_prr[static_cast<std::size_t>(id)];
+    // 1000 Bernoulli trials: the estimate is within a few std-devs.
+    const double sigma = std::sqrt(truth * (1.0 - truth) / 1000.0);
+    EXPECT_NEAR(estimate, truth, 5.0 * sigma + 1e-3) << "link " << id;
+  }
+}
+
+TEST(Dfl, DeterministicPerSeed) {
+  const DflSystem a = make_dfl_system();
+  const DflSystem b = make_dfl_system();
+  ASSERT_EQ(a.network.link_count(), b.network.link_count());
+  for (wsn::EdgeId id = 0; id < a.network.link_count(); ++id) {
+    EXPECT_DOUBLE_EQ(a.network.link_prr(id), b.network.link_prr(id));
+  }
+  DflConfig other;
+  other.seed = 777;
+  const DflSystem c = make_dfl_system(other);
+  bool any_difference = c.network.link_count() != a.network.link_count();
+  for (wsn::EdgeId id = 0;
+       !any_difference && id < std::min(a.network.link_count(), c.network.link_count());
+       ++id) {
+    any_difference = a.network.link_prr(id) != c.network.link_prr(id);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Dfl, ScalesToLargerSquares) {
+  DflConfig config;
+  config.side_m = 7.2;  // 32 nodes
+  EXPECT_EQ(dfl_node_count(config), 32);
+  const DflSystem sys = make_dfl_system(config);
+  EXPECT_EQ(sys.network.node_count(), 32);
+  EXPECT_TRUE(graph::is_connected(sys.network.topology()));
+}
+
+TEST(Dfl, ConfigValidation) {
+  DflConfig config;
+  config.beacon_rounds = 0;
+  EXPECT_THROW(make_dfl_system(config), std::invalid_argument);
+  config = DflConfig{};
+  config.min_link_prr = 0.0;
+  EXPECT_THROW(make_dfl_system(config), std::invalid_argument);
+}
+
+// --------------------------------------------------------- random nets --
+
+TEST(RandomNet, MatchesPaperParameters) {
+  Rng rng(1);
+  const RandomNetworkConfig config;  // paper defaults
+  const wsn::Network net = make_random_network(config, rng);
+  EXPECT_EQ(net.node_count(), 16);
+  EXPECT_TRUE(graph::is_connected(net.topology()));
+  for (wsn::EdgeId id = 0; id < net.link_count(); ++id) {
+    EXPECT_GE(net.link_prr(id), 0.95);
+    EXPECT_LE(net.link_prr(id), 1.0);
+  }
+  for (int v = 0; v < 16; ++v) EXPECT_DOUBLE_EQ(net.initial_energy(v), 3000.0);
+}
+
+TEST(RandomNet, LinkDensityNearP) {
+  Rng rng(2);
+  double total_links = 0.0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    total_links += make_random_network(RandomNetworkConfig{}, rng).link_count();
+  }
+  const double expected = 0.7 * 16 * 15 / 2;
+  EXPECT_NEAR(total_links / trials, expected, expected * 0.08);
+}
+
+TEST(RandomNet, HeterogeneousEnergyRange) {
+  Rng rng(3);
+  RandomNetworkConfig config;
+  config.energy_min_j = 1500.0;
+  config.energy_max_j = 5000.0;
+  const wsn::Network net = make_random_network(config, rng);
+  double lo = 1e18;
+  double hi = 0.0;
+  for (int v = 0; v < net.node_count(); ++v) {
+    lo = std::min(lo, net.initial_energy(v));
+    hi = std::max(hi, net.initial_energy(v));
+  }
+  EXPECT_GE(lo, 1500.0);
+  EXPECT_LE(hi, 5000.0);
+  EXPECT_GT(hi - lo, 500.0);  // actually heterogeneous
+}
+
+TEST(RandomNet, RejectsBadConfig) {
+  Rng rng(4);
+  RandomNetworkConfig config;
+  config.node_count = 1;
+  EXPECT_THROW(make_random_network(config, rng), std::invalid_argument);
+  config = RandomNetworkConfig{};
+  config.link_probability = 0.0;
+  EXPECT_THROW(make_random_network(config, rng), std::invalid_argument);
+  config = RandomNetworkConfig{};
+  config.prr_min = 0.9;
+  config.prr_max = 0.5;
+  EXPECT_THROW(make_random_network(config, rng), std::invalid_argument);
+}
+
+TEST(RandomNet, SparseDrawsEventuallyConnect) {
+  Rng rng(5);
+  RandomNetworkConfig config;
+  config.node_count = 8;
+  config.link_probability = 0.25;  // often disconnected, must retry
+  for (int t = 0; t < 10; ++t) {
+    const wsn::Network net = make_random_network(config, rng);
+    EXPECT_TRUE(graph::is_connected(net.topology()));
+  }
+}
+
+}  // namespace
+}  // namespace mrlc::scenario

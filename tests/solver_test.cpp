@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/solver.hpp"
+#include "helpers.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::core {
+namespace {
+
+using mrlc::testing::small_random_network;
+
+TEST(MrlcSolver, UsesStrictModeWhenItWorks) {
+  mrlc::testing::ToyNetwork toy;
+  const SolveReport report = MrlcSolver().solve(toy.net, 1.0e6);
+  EXPECT_EQ(report.mode, SolveMode::kStrict);
+  EXPECT_TRUE(report.result.meets_bound);
+  EXPECT_FALSE(report.achievable.has_value());
+  EXPECT_NE(report.narrative.find("strict"), std::string::npos);
+}
+
+TEST(MrlcSolver, FallsBackToDirectWhenStrictIsInfeasible) {
+  // A bound near the max achievable: strict L' explodes, direct works.
+  Rng rng(201);
+  int fallbacks = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net = small_random_network(9, 0.7, rng, 0.6, 1.0);
+    const LifetimeBracket bracket = bracket_max_lifetime(net);
+    try {
+      const SolveReport report = MrlcSolver().solve(net, bracket.lower * 0.999);
+      if (report.mode == SolveMode::kDirectFallback) ++fallbacks;
+      // Either way the result is a valid spanning tree.
+      EXPECT_EQ(report.result.tree.edge_ids().size(),
+                static_cast<std::size_t>(net.node_count() - 1));
+    } catch (const InfeasibleError&) {
+      // LP-infeasible at the constructive bound cannot happen.
+      ADD_FAILURE() << "bound below the constructive optimum must be solvable";
+    }
+  }
+  EXPECT_GT(fallbacks, 5) << "near-max bounds should usually need the fallback";
+}
+
+TEST(MrlcSolver, InfeasibleErrorCarriesAchievableBracket) {
+  wsn::Network net(3, 0);
+  net.add_link(0, 1, 0.9);
+  net.add_link(1, 2, 0.9);
+  const double unachievable =
+      net.energy_model().node_lifetime(3000.0, 1) * 1.05;
+  try {
+    MrlcSolver().solve(net, unachievable);
+    FAIL() << "expected InfeasibleError";
+  } catch (const InfeasibleError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("achievable lifetime is in ["), std::string::npos) << what;
+  }
+}
+
+TEST(MrlcSolver, FallbackCanBeDisabled) {
+  Rng rng(202);
+  SolverOptions options;
+  options.allow_direct_fallback = false;
+  const MrlcSolver solver(options);
+  int logic_errors = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net = small_random_network(9, 0.7, rng, 0.6, 1.0);
+    const LifetimeBracket bracket = bracket_max_lifetime(net);
+    try {
+      solver.solve(net, bracket.lower * 0.999);
+    } catch (const std::logic_error&) {
+      ++logic_errors;  // strict failed, LP feasible, fallback forbidden
+    } catch (const InfeasibleError&) {
+    }
+  }
+  EXPECT_GT(logic_errors, 0);
+}
+
+TEST(MrlcSolver, CertificationReportsGap) {
+  Rng rng(203);
+  SolverOptions options;
+  options.certify_with_exact = true;
+  const MrlcSolver solver(options);
+  for (int trial = 0; trial < 5; ++trial) {
+    const wsn::Network net = small_random_network(8, 0.7, rng, 0.6, 1.0);
+    const double bound = net.energy_model().node_lifetime(3000.0, 6);
+    const SolveReport report = solver.solve(net, bound);
+    ASSERT_TRUE(report.exact_cost.has_value());
+    ASSERT_TRUE(report.optimality_gap.has_value());
+    // Strict-mode result can exceed the LC-optimum (it solves at L'), but
+    // never undercut it.
+    EXPECT_GE(*report.optimality_gap, -1e-9);
+    EXPECT_NE(report.narrative.find("optimality gap"), std::string::npos);
+  }
+}
+
+TEST(MrlcSolver, RejectsBadInput) {
+  mrlc::testing::ToyNetwork toy;
+  EXPECT_THROW(MrlcSolver().solve(toy.net, 0.0), std::invalid_argument);
+  wsn::Network disconnected(3, 0);
+  disconnected.add_link(0, 1, 0.9);
+  EXPECT_THROW(MrlcSolver().solve(disconnected, 1.0), InfeasibleError);
+}
+
+}  // namespace
+}  // namespace mrlc::core

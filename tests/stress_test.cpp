@@ -1,0 +1,248 @@
+/// \file stress_test.cpp
+/// \brief Adversarial and long-running consistency checks: pivot-rule
+/// agreement on random LPs, parser fuzzing, long churn runs, and
+/// mutation-sequence invariants.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/ira.hpp"
+#include "distributed/churn.hpp"
+#include "distributed/simulator.hpp"
+#include "helpers.hpp"
+#include "lp/simplex.hpp"
+#include "radio/depletion_sim.hpp"
+#include "wsn/io.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc {
+namespace {
+
+using mrlc::testing::small_random_network;
+
+// ------------------------------------------ simplex pivot-rule agreement --
+
+class SimplexPivotAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexPivotAgreement, DantzigAndBlandFindTheSameOptimum) {
+  const int vars = GetParam();
+  Rng rng(static_cast<std::uint64_t>(vars) * 13 + 7);
+  for (int trial = 0; trial < 25; ++trial) {
+    lp::Model model;
+    for (int v = 0; v < vars; ++v) {
+      model.add_variable(rng.uniform(-2.0, 2.0), 0.0, rng.uniform(0.5, 3.0));
+    }
+    const int rows = vars / 2 + 1;
+    for (int r = 0; r < rows; ++r) {
+      // Mixed relations with rhs that keeps the origin feasible for <=
+      // rows; >= rows get rhs 0 so the origin satisfies them too, keeping
+      // the instance feasible while still exercising phase 1.
+      const bool ge = rng.bernoulli(0.3);
+      const lp::RowId row = model.add_constraint(
+          ge ? lp::Relation::kGreaterEqual : lp::Relation::kLessEqual,
+          ge ? 0.0 : rng.uniform(0.5, 4.0));
+      for (int t = 0; t < 4; ++t) {
+        model.add_term(row, static_cast<int>(rng.uniform_int(0, vars - 1)),
+                       rng.uniform(ge ? 0.0 : -1.0, 2.0));
+      }
+    }
+
+    lp::SimplexOptions dantzig;  // default: Dantzig with Bland fallback
+    lp::SimplexOptions bland;
+    bland.bland_after = 0;  // Bland from the first pivot
+    const lp::Solution a = lp::SimplexSolver(dantzig).solve(model);
+    const lp::Solution b = lp::SimplexSolver(bland).solve(model);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.status == lp::SolveStatus::kOptimal) {
+      EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+      EXPECT_TRUE(model.is_feasible(a.values, 1e-6));
+      EXPECT_TRUE(model.is_feasible(b.values, 1e-6));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SimplexPivotAgreement,
+                         ::testing::Values(4, 8, 16, 32));
+
+// -------------------------------------------------------- parser fuzzing --
+
+TEST(IoFuzz, RandomTokenSoupNeverCrashes) {
+  // Any byte soup must either parse (valid) or throw invalid_argument —
+  // never crash, hang, or return a half-built network.
+  Rng rng(9090);
+  const char* tokens[] = {"mrlc-network", "v1",   "nodes", "sink", "link",
+                          "energy",       "0",    "1",     "2",    "16",
+                          "-3",           "0.5",  "1.5",   "nan",  "#x",
+                          "bogus",        "\t",   "9e999", "-1e9", "v2"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    const int lines = static_cast<int>(rng.uniform_int(0, 12));
+    for (int l = 0; l < lines; ++l) {
+      const int words = static_cast<int>(rng.uniform_int(1, 6));
+      for (int w = 0; w < words; ++w) {
+        text += tokens[rng.uniform_int(0, 19)];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      const wsn::Network net = wsn::network_from_string(text);
+      EXPECT_GE(net.node_count(), 1);  // parsed => structurally valid
+    } catch (const std::invalid_argument&) {
+      // expected for almost every draw
+    }
+  }
+}
+
+TEST(IoFuzz, TreeParserRejectsGarbageAgainstRealNetwork) {
+  mrlc::testing::ToyNetwork toy;
+  Rng rng(9191);
+  const char* tokens[] = {"mrlc-tree", "v1", "nodes", "parent",
+                          "0",         "1",  "5",     "6",
+                          "-1",        "#",  "x",     "parent parent"};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text = rng.bernoulli(0.7) ? "mrlc-tree v1\n" : "";
+    const int lines = static_cast<int>(rng.uniform_int(0, 8));
+    for (int l = 0; l < lines; ++l) {
+      const int words = static_cast<int>(rng.uniform_int(1, 4));
+      for (int w = 0; w < words; ++w) {
+        text += tokens[rng.uniform_int(0, 11)];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      const wsn::AggregationTree tree = wsn::tree_from_string(text, toy.net);
+      EXPECT_EQ(tree.node_count(), toy.net.node_count());
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+// ------------------------------------------------ tree mutation sequences --
+
+TEST(TreeMutation, RandomReparentSequencePreservesInvariants) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net = small_random_network(12, 0.6, rng);
+    wsn::AggregationTree tree = mrlc::testing::random_tree(net, rng);
+    for (int step = 0; step < 200; ++step) {
+      // Pick a random legal reparent and apply it.
+      const wsn::VertexId child =
+          static_cast<wsn::VertexId>(rng.uniform_int(1, net.node_count() - 1));
+      const auto incident = net.topology().incident(child);
+      const graph::EdgeId via =
+          incident[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(incident.size()) - 1))];
+      const wsn::VertexId parent = net.topology().edge(via).other(child);
+      if (tree.in_subtree(child, parent)) continue;
+      tree.reparent(net, child, parent, via);
+
+      // Children counts always equal a from-scratch recount.
+      const wsn::AggregationTree rebuilt =
+          wsn::AggregationTree::from_parents(net, tree.parents());
+      for (int v = 0; v < net.node_count(); ++v) {
+        ASSERT_EQ(tree.children_count(v), rebuilt.children_count(v))
+            << "trial " << trial << " step " << step;
+      }
+      // Still a spanning tree reachable from the sink.
+      ASSERT_EQ(tree.edge_ids().size(),
+                static_cast<std::size_t>(net.node_count() - 1));
+    }
+  }
+}
+
+// ----------------------------------------------------- long churn stress --
+
+TEST(LongChurn, FiveHundredEventsKeepEveryInvariant) {
+  Rng rng(555);
+  wsn::Network net = small_random_network(16, 0.5, rng, 0.5, 0.99);
+  const double bound = net.energy_model().node_lifetime(3000.0, 8);
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult initial = core::IterativeRelaxation(options).solve(net, bound);
+  dist::ProtocolSimulator sim(net, initial.tree, bound);
+
+  dist::ChurnOptions churn_options;
+  churn_options.cost_noise_sigma = 0.08;
+  dist::ChurnProcess churn(net, churn_options);
+  int events = 0;
+  for (int step = 0; step < 500; ++step) {
+    for (const dist::LinkEvent& event : churn.step(net, rng)) {
+      ++events;
+      if (event.kind == dist::LinkEvent::Kind::kDegraded) {
+        sim.on_link_degraded(net, event.link);
+      } else {
+        sim.on_link_improved(net, event.link);
+      }
+    }
+    if (step % 50 == 0) {
+      ASSERT_TRUE(sim.replicas_consistent()) << "step " << step;
+      ASSERT_GE(wsn::network_lifetime(net, sim.tree()), bound * (1 - 1e-12));
+    }
+  }
+  EXPECT_GT(events, 100) << "the churn settings must actually produce events";
+  EXPECT_TRUE(sim.replicas_consistent());
+}
+
+// ------------------------------------------------ depletion param sweeps --
+
+class DepletionQualitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DepletionQualitySweep, RetxLifetimeScalesWithQuality) {
+  const double q = GetParam();
+  wsn::Network net(5, 0);
+  for (int v = 1; v < 5; ++v) net.add_link(v - 1, v, q);
+  const auto tree = wsn::AggregationTree::from_parents(
+      net, std::vector<int>{-1, 0, 1, 2, 3});
+  Rng rng(static_cast<std::uint64_t>(q * 1e5) + 1);
+  radio::RetxPolicy retx;
+  retx.enabled = true;
+  const radio::DepletionResult res =
+      radio::simulate_depletion(net, tree, retx, 3000, rng);
+  // Middle nodes burn ~(Tx + Rx)/q; the bottleneck lifetime follows.
+  const double expected_rate =
+      (net.energy_model().tx_joules + net.energy_model().rx_joules) / q;
+  const double expected_lifetime = 3000.0 / expected_rate;
+  EXPECT_NEAR(res.rounds_survived, expected_lifetime, expected_lifetime * 0.06)
+      << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, DepletionQualitySweep,
+                         ::testing::Values(0.4, 0.6, 0.8, 0.95));
+
+// ------------------------------------------------------ parallel solving --
+
+TEST(ParallelStress, ConcurrentIraSolvesAreIndependent) {
+  // The solver objects are const-callable and share no mutable state:
+  // 32 concurrent solves must reproduce the serial results bit-for-bit.
+  Rng rng(31337);
+  std::vector<wsn::Network> nets;
+  for (int i = 0; i < 32; ++i) nets.push_back(small_random_network(10, 0.6, rng));
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IterativeRelaxation solver(options);
+  auto bound_of = [](const wsn::Network& net) {
+    return net.energy_model().node_lifetime(3000.0, 6);
+  };
+
+  std::vector<double> serial(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    serial[i] = solver.solve(nets[i], bound_of(nets[i])).cost;
+  }
+  std::vector<double> parallel(nets.size());
+  parallel_for(static_cast<int>(nets.size()), [&](int i) {
+    parallel[static_cast<std::size_t>(i)] =
+        solver
+            .solve(nets[static_cast<std::size_t>(i)],
+                   bound_of(nets[static_cast<std::size_t>(i)]))
+            .cost;
+  });
+  EXPECT_EQ(parallel, serial);
+}
+
+}  // namespace
+}  // namespace mrlc

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "helpers.hpp"
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/energy.hpp"
+#include "wsn/metrics.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::wsn {
+namespace {
+
+// --------------------------------------------------------------- energy --
+
+TEST(EnergyModel, DefaultsMatchPaper) {
+  const EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.tx_joules, 1.6e-4);
+  EXPECT_DOUBLE_EQ(m.rx_joules, 1.2e-4);
+}
+
+TEST(EnergyModel, LifetimeFormulaEq1) {
+  const EnergyModel m;
+  // L(v) = I / (Tx + Rx * c)
+  EXPECT_DOUBLE_EQ(m.node_lifetime(3000.0, 0), 3000.0 / 1.6e-4);
+  EXPECT_DOUBLE_EQ(m.node_lifetime(3000.0, 2), 3000.0 / (1.6e-4 + 2 * 1.2e-4));
+  EXPECT_THROW(m.node_lifetime(-1.0, 0), std::invalid_argument);
+  EXPECT_THROW(m.node_lifetime(1.0, -1), std::invalid_argument);
+}
+
+TEST(EnergyModel, MaxChildrenInvertsLifetime) {
+  const EnergyModel m;
+  // Lifetime at the bound's children count equals the bound exactly.
+  const double bound = 5e6;
+  const double c = m.max_children_real(3000.0, bound);
+  EXPECT_NEAR(3000.0 / (m.tx_joules + m.rx_joules * c), bound, 1e-3);
+}
+
+TEST(EnergyModel, MaxChildrenCanBeNegative) {
+  const EnergyModel m;
+  // A bound above the leaf lifetime is unattainable even with 0 children.
+  const double leaf = m.node_lifetime(3000.0, 0);
+  EXPECT_LT(m.max_children_real(3000.0, leaf * 2.0), 0.0);
+}
+
+TEST(EnergyModel, ValidationRejectsNonPositive) {
+  EnergyModel m;
+  m.tx_joules = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- network --
+
+TEST(Network, CostIsNegLogPrr) {
+  Network net(2, 0);
+  const EdgeId e = net.add_link(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(net.link_prr(e), 0.5);
+  EXPECT_DOUBLE_EQ(net.link_cost(e), -std::log(0.5));
+  EXPECT_DOUBLE_EQ(Network::cost_to_prr(net.link_cost(e)), 0.5);
+}
+
+TEST(Network, PerfectLinkHasZeroCost) {
+  Network net(2, 0);
+  const EdgeId e = net.add_link(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(net.link_cost(e), 0.0);
+}
+
+TEST(Network, RejectsBadPrr) {
+  Network net(2, 0);
+  EXPECT_THROW(net.add_link(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 1, 1.5), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 1, -0.2), std::invalid_argument);
+}
+
+TEST(Network, SetPrrKeepsCostInSync) {
+  Network net(2, 0);
+  const EdgeId e = net.add_link(0, 1, 0.9);
+  net.set_link_prr(e, 0.6);
+  EXPECT_DOUBLE_EQ(net.link_prr(e), 0.6);
+  EXPECT_DOUBLE_EQ(net.link_cost(e), -std::log(0.6));
+  EXPECT_DOUBLE_EQ(net.topology().edge(e).weight, -std::log(0.6));
+}
+
+TEST(Network, EnergyAccessors) {
+  Network net(3, 0);
+  net.set_initial_energy(1, 1500.0);
+  EXPECT_DOUBLE_EQ(net.initial_energy(0), 3000.0);  // default
+  EXPECT_DOUBLE_EQ(net.initial_energy(1), 1500.0);
+  EXPECT_DOUBLE_EQ(net.min_initial_energy(), 1500.0);
+  EXPECT_THROW(net.set_initial_energy(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.set_initial_energy(5, 1.0), std::invalid_argument);
+}
+
+TEST(Network, ValidateDetectsDisconnection) {
+  Network net(3, 0);
+  net.add_link(0, 1, 0.9);
+  EXPECT_THROW(net.validate(), InfeasibleError);
+  net.add_link(1, 2, 0.9);
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(Network, ConstructionGuards) {
+  EXPECT_THROW(Network(0, 0), std::invalid_argument);
+  EXPECT_THROW(Network(3, 5), std::invalid_argument);
+}
+
+// ----------------------------------------------------- aggregation tree --
+
+TEST(AggregationTree, FromEdgesOrientsAwayFromSink) {
+  mrlc::testing::ToyNetwork toy;
+  const AggregationTree t = toy.tree_a();
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.parent(0), -1);
+  EXPECT_EQ(t.parent(2), 4);
+  EXPECT_EQ(t.parent(3), 4);
+  EXPECT_EQ(t.parent(4), 0);
+  EXPECT_EQ(t.children_count(4), 2);
+  EXPECT_EQ(t.children_count(0), 3);
+  EXPECT_EQ(t.children_count(2), 0);
+}
+
+TEST(AggregationTree, FromEdgesRejectsNonTrees) {
+  mrlc::testing::ToyNetwork toy;
+  // Too few edges.
+  EXPECT_THROW(AggregationTree::from_edges(
+                   toy.net, std::vector<EdgeId>{toy.e10, toy.e40}),
+               std::invalid_argument);
+  // Cycle: 2-4, 3-4, 2-3 plus fillers.
+  EXPECT_THROW(AggregationTree::from_edges(
+                   toy.net, std::vector<EdgeId>{toy.e24, toy.e34, toy.e23,
+                                                toy.e10, toy.e50}),
+               InfeasibleError);
+}
+
+TEST(AggregationTree, FromParentsValidates) {
+  mrlc::testing::ToyNetwork toy;
+  // Valid: 1->0, 4->0, 5->0, 2->4, 3->4.
+  const AggregationTree t =
+      AggregationTree::from_parents(toy.net, {-1, 0, 4, 4, 0, 0});
+  EXPECT_EQ(t.children_count(4), 2);
+  // Link (2,0) does not exist in the network.
+  EXPECT_THROW(AggregationTree::from_parents(toy.net, {-1, 0, 0, 4, 0, 0}),
+               InfeasibleError);
+  // Wrong root marker.
+  EXPECT_THROW(AggregationTree::from_parents(toy.net, {1, -1, 4, 4, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(AggregationTree, EdgeIdsRoundTrip) {
+  mrlc::testing::ToyNetwork toy;
+  const AggregationTree t = toy.tree_b();
+  const auto ids = t.edge_ids();
+  EXPECT_EQ(ids.size(), 5u);
+  const AggregationTree t2 = AggregationTree::from_edges(toy.net, ids);
+  EXPECT_EQ(t2.parents(), t.parents());
+}
+
+TEST(AggregationTree, InSubtree) {
+  mrlc::testing::ToyNetwork toy;
+  const AggregationTree t = toy.tree_a();  // 2,3 under 4
+  EXPECT_TRUE(t.in_subtree(4, 2));
+  EXPECT_TRUE(t.in_subtree(4, 4));
+  EXPECT_TRUE(t.in_subtree(0, 5));
+  EXPECT_FALSE(t.in_subtree(4, 5));
+  EXPECT_FALSE(t.in_subtree(2, 4));
+}
+
+TEST(AggregationTree, ReparentMovesSubtree) {
+  mrlc::testing::ToyNetwork toy;
+  AggregationTree t = toy.tree_a();
+  // Fig. 4(a) -> Fig. 4(b): node 2 moves from parent 4 to parent 3.
+  t.reparent(toy.net, 2, 3, toy.e23);
+  EXPECT_EQ(t.parent(2), 3);
+  EXPECT_EQ(t.children_count(4), 1);
+  EXPECT_EQ(t.children_count(3), 1);
+  EXPECT_NEAR(tree_reliability(toy.net, t), 0.648, 1e-12);
+}
+
+TEST(AggregationTree, ReparentRejectsCycles) {
+  mrlc::testing::ToyNetwork toy;
+  AggregationTree t = toy.tree_a();
+  // 4 -> 2 would put 4 under its own subtree.
+  EXPECT_THROW(t.reparent(toy.net, 4, 2, toy.e24), std::invalid_argument);
+  // The sink cannot be re-parented.
+  EXPECT_THROW(t.reparent(toy.net, 0, 4, toy.e40), std::invalid_argument);
+  // via edge must join the two endpoints.
+  EXPECT_THROW(t.reparent(toy.net, 2, 3, toy.e10), std::invalid_argument);
+}
+
+TEST(AggregationTree, ChildrenListsMatchCounts) {
+  mrlc::testing::ToyNetwork toy;
+  const AggregationTree t = toy.tree_a();
+  const auto lists = t.children_lists();
+  for (int v = 0; v < t.node_count(); ++v) {
+    EXPECT_EQ(static_cast<int>(lists[static_cast<std::size_t>(v)].size()),
+              t.children_count(v));
+  }
+}
+
+// -------------------------------------------------------------- metrics --
+
+TEST(Metrics, ToyExampleFig4Reliability) {
+  mrlc::testing::ToyNetwork toy;
+  // The paper's toy numbers: 0.36 for tree (a), 0.648 for tree (b).
+  EXPECT_NEAR(tree_reliability(toy.net, toy.tree_a()), 0.36, 1e-12);
+  EXPECT_NEAR(tree_reliability(toy.net, toy.tree_b()), 0.648, 1e-12);
+}
+
+TEST(Metrics, CostIsNegLogReliability) {
+  mrlc::testing::ToyNetwork toy;
+  const AggregationTree t = toy.tree_a();
+  EXPECT_NEAR(tree_cost(toy.net, t), -std::log(tree_reliability(toy.net, t)),
+              1e-12);
+}
+
+TEST(Metrics, LifetimeIsMinOverNodes) {
+  mrlc::testing::ToyNetwork toy;
+  const AggregationTree t = toy.tree_a();
+  double min_lifetime = 1e300;
+  for (VertexId v = 0; v < toy.net.node_count(); ++v) {
+    min_lifetime = std::min(min_lifetime, node_lifetime(toy.net, t, v));
+  }
+  EXPECT_DOUBLE_EQ(network_lifetime(toy.net, t), min_lifetime);
+  // Sink has 3 children — it is the bottleneck with uniform energy.
+  EXPECT_EQ(bottleneck_node(toy.net, t), 0);
+}
+
+TEST(Metrics, MeetsLifetime) {
+  mrlc::testing::ToyNetwork toy;
+  const AggregationTree t = toy.tree_a();
+  const double l = network_lifetime(toy.net, t);
+  EXPECT_TRUE(meets_lifetime(toy.net, t, l));
+  EXPECT_TRUE(meets_lifetime(toy.net, t, l * 0.5));
+  EXPECT_FALSE(meets_lifetime(toy.net, t, l * 1.01));
+}
+
+TEST(Metrics, HeterogeneousEnergyShiftsBottleneck) {
+  mrlc::testing::ToyNetwork toy;
+  const AggregationTree t = toy.tree_a();
+  // Starve node 3 (a leaf): it becomes the bottleneck despite 0 children.
+  toy.net.set_initial_energy(3, 1.0);
+  EXPECT_EQ(bottleneck_node(toy.net, t), 3);
+}
+
+}  // namespace
+}  // namespace mrlc::wsn

@@ -1,0 +1,134 @@
+/// \file mrlc_solve.cpp
+/// \brief MRLC solver CLI: reads an mrlc-network file from stdin, builds an
+/// aggregation tree with the requested algorithm, reports metrics on
+/// stderr, and writes the mrlc-tree file to stdout.
+///
+/// Usage:
+///   mrlc_solve ira    --lifetime ROUNDS [--strict] < net.txt > tree.txt
+///   mrlc_solve greedy --lifetime ROUNDS            < net.txt > tree.txt
+///   mrlc_solve mst                                  < net.txt > tree.txt
+///   mrlc_solve aaml   [--lex]                       < net.txt > tree.txt
+///   mrlc_solve probe                                < net.txt
+///
+/// `probe` brackets the maximum achievable lifetime instead of solving.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "baselines/aaml.hpp"
+#include "baselines/greedy_mrlc.hpp"
+#include "baselines/mst_baseline.hpp"
+#include "core/feasibility.hpp"
+#include "core/solver.hpp"
+#include "core/ira.hpp"
+#include "wsn/io.hpp"
+#include "wsn/metrics.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage:\n"
+               "  mrlc_solve auto   --lifetime ROUNDS [--certify] < net > tree\n"
+               "  mrlc_solve ira    --lifetime ROUNDS [--strict]  < net > tree\n"
+               "  mrlc_solve greedy --lifetime ROUNDS             < net > tree\n"
+               "  mrlc_solve mst                                  < net > tree\n"
+               "  mrlc_solve aaml   [--lex]                       < net > tree\n"
+               "  mrlc_solve probe                                < net\n";
+  std::exit(2);
+}
+
+void report(const mrlc::wsn::Network& net, const mrlc::wsn::AggregationTree& tree,
+            const std::string& name) {
+  using namespace mrlc;
+  std::cerr << name << ": reliability " << wsn::tree_reliability(net, tree)
+            << ", cost " << wsn::tree_cost(net, tree) << " (-ln Q)"
+            << ", lifetime " << wsn::network_lifetime(net, tree) << " rounds\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrlc;
+  if (argc < 2) usage();
+  const std::string mode = argv[1];
+
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage();
+    key = key.substr(2);
+    if (key == "strict" || key == "lex" || key == "certify") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    } else {
+      usage();
+    }
+  }
+
+  try {
+    const wsn::Network net = wsn::read_network(std::cin);
+    net.validate();
+
+    if (mode == "probe") {
+      const core::LifetimeBracket bracket = core::bracket_max_lifetime(net);
+      std::cout << "achievable-lifetime lower bound: " << bracket.lower
+                << " rounds (constructive)\n"
+                << "LP-certified upper bound:        " << bracket.upper
+                << " rounds (" << bracket.probes << " LP probes)\n";
+      return 0;
+    }
+
+    wsn::AggregationTree tree;
+    if (mode == "auto") {
+      if (!flags.count("lifetime")) usage();
+      core::SolverOptions options;
+      options.certify_with_exact = flags.count("certify") > 0;
+      const core::SolveReport rep =
+          core::MrlcSolver(options).solve(net, std::stod(flags["lifetime"]));
+      tree = rep.result.tree;
+      std::cerr << rep.narrative << '\n';
+    } else if (mode == "ira" || mode == "greedy") {
+      if (!flags.count("lifetime")) usage();
+      const double bound = std::stod(flags["lifetime"]);
+      if (mode == "ira") {
+        core::IraOptions options;
+        options.bound_mode = flags.count("strict") ? core::BoundMode::kPaperStrict
+                                                   : core::BoundMode::kDirect;
+        const core::IraResult res = core::IterativeRelaxation(options).solve(net, bound);
+        tree = res.tree;
+        std::cerr << "bound " << bound << ": "
+                  << (res.meets_bound ? "met" : "VIOLATED (within +2 children/node)")
+                  << '\n';
+      } else {
+        const baselines::GreedyMrlcResult res = baselines::greedy_mrlc(net, bound);
+        tree = res.tree;
+        std::cerr << "bound " << bound << ": " << (res.meets_bound ? "met" : "VIOLATED")
+                  << " (cap relaxations: " << res.cap_relaxations << ")\n";
+      }
+    } else if (mode == "mst") {
+      tree = baselines::mst_baseline(net).tree;
+    } else if (mode == "aaml") {
+      baselines::AamlOptions options;
+      if (flags.count("lex")) {
+        options.mode = baselines::AamlSearchMode::kLexicographic;
+        options.initial = baselines::AamlInitialTree::kBfs;
+      }
+      tree = baselines::aaml(net, options).tree;
+    } else {
+      usage();
+    }
+
+    report(net, tree, mode);
+    wsn::write_tree(std::cout, tree);
+  } catch (const InfeasibleError& e) {
+    std::cerr << "infeasible: " << e.what() << '\n';
+    return 3;
+  } catch (const std::exception& e) {
+    std::cerr << "mrlc_solve: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
