@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_retx_lifetime.dir/extra_retx_lifetime.cpp.o"
+  "CMakeFiles/extra_retx_lifetime.dir/extra_retx_lifetime.cpp.o.d"
+  "extra_retx_lifetime"
+  "extra_retx_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_retx_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

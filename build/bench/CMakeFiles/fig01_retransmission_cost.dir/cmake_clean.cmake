@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_retransmission_cost.dir/fig01_retransmission_cost.cpp.o"
+  "CMakeFiles/fig01_retransmission_cost.dir/fig01_retransmission_cost.cpp.o.d"
+  "fig01_retransmission_cost"
+  "fig01_retransmission_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_retransmission_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_distance_prr.dir/fig02_distance_prr.cpp.o"
+  "CMakeFiles/fig02_distance_prr.dir/fig02_distance_prr.cpp.o.d"
+  "fig02_distance_prr"
+  "fig02_distance_prr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_distance_prr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

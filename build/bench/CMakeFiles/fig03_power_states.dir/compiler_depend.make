@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_power_states.
+# This may be replaced when dependencies are built.

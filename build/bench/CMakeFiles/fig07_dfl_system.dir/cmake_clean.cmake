@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_dfl_system.dir/fig07_dfl_system.cpp.o"
+  "CMakeFiles/fig07_dfl_system.dir/fig07_dfl_system.cpp.o.d"
+  "fig07_dfl_system"
+  "fig07_dfl_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_dfl_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_random_same_energy.dir/fig08_random_same_energy.cpp.o"
+  "CMakeFiles/fig08_random_same_energy.dir/fig08_random_same_energy.cpp.o.d"
+  "fig08_random_same_energy"
+  "fig08_random_same_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_random_same_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

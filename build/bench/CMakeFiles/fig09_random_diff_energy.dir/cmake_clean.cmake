@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_random_diff_energy.dir/fig09_random_diff_energy.cpp.o"
+  "CMakeFiles/fig09_random_diff_energy.dir/fig09_random_diff_energy.cpp.o.d"
+  "fig09_random_diff_energy"
+  "fig09_random_diff_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_random_diff_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_link_probability.cpp" "bench/CMakeFiles/fig10_link_probability.dir/fig10_link_probability.cpp.o" "gcc" "bench/CMakeFiles/fig10_link_probability.dir/fig10_link_probability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrlc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrlc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mrlc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/mrlc_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/mrlc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrlc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mrlc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/prufer/CMakeFiles/mrlc_prufer.dir/DependInfo.cmake"
+  "/root/repo/build/src/distributed/CMakeFiles/mrlc_distributed.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/mrlc_scenario.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

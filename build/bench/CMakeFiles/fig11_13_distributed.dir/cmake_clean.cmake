@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_13_distributed.dir/fig11_13_distributed.cpp.o"
+  "CMakeFiles/fig11_13_distributed.dir/fig11_13_distributed.cpp.o.d"
+  "fig11_13_distributed"
+  "fig11_13_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_13_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

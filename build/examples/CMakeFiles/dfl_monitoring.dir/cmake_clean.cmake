@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfl_monitoring.dir/dfl_monitoring.cpp.o"
+  "CMakeFiles/dfl_monitoring.dir/dfl_monitoring.cpp.o.d"
+  "dfl_monitoring"
+  "dfl_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfl_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

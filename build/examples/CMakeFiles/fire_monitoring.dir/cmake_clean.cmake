@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fire_monitoring.dir/fire_monitoring.cpp.o"
+  "CMakeFiles/fire_monitoring.dir/fire_monitoring.cpp.o.d"
+  "fire_monitoring"
+  "fire_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fire_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

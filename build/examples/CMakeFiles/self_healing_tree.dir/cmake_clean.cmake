@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_healing_tree.dir/self_healing_tree.cpp.o"
+  "CMakeFiles/self_healing_tree.dir/self_healing_tree.cpp.o.d"
+  "self_healing_tree"
+  "self_healing_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_healing_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

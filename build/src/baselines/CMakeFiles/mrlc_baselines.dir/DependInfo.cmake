@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aaml.cpp" "src/baselines/CMakeFiles/mrlc_baselines.dir/aaml.cpp.o" "gcc" "src/baselines/CMakeFiles/mrlc_baselines.dir/aaml.cpp.o.d"
+  "/root/repo/src/baselines/etx_spt.cpp" "src/baselines/CMakeFiles/mrlc_baselines.dir/etx_spt.cpp.o" "gcc" "src/baselines/CMakeFiles/mrlc_baselines.dir/etx_spt.cpp.o.d"
+  "/root/repo/src/baselines/greedy_mrlc.cpp" "src/baselines/CMakeFiles/mrlc_baselines.dir/greedy_mrlc.cpp.o" "gcc" "src/baselines/CMakeFiles/mrlc_baselines.dir/greedy_mrlc.cpp.o.d"
+  "/root/repo/src/baselines/mst_baseline.cpp" "src/baselines/CMakeFiles/mrlc_baselines.dir/mst_baseline.cpp.o" "gcc" "src/baselines/CMakeFiles/mrlc_baselines.dir/mst_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrlc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrlc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/mrlc_wsn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

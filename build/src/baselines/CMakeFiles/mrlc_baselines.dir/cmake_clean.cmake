@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_baselines.dir/aaml.cpp.o"
+  "CMakeFiles/mrlc_baselines.dir/aaml.cpp.o.d"
+  "CMakeFiles/mrlc_baselines.dir/etx_spt.cpp.o"
+  "CMakeFiles/mrlc_baselines.dir/etx_spt.cpp.o.d"
+  "CMakeFiles/mrlc_baselines.dir/greedy_mrlc.cpp.o"
+  "CMakeFiles/mrlc_baselines.dir/greedy_mrlc.cpp.o.d"
+  "CMakeFiles/mrlc_baselines.dir/mst_baseline.cpp.o"
+  "CMakeFiles/mrlc_baselines.dir/mst_baseline.cpp.o.d"
+  "libmrlc_baselines.a"
+  "libmrlc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

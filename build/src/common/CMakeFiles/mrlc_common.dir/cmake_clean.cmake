@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_common.dir/rng.cpp.o"
+  "CMakeFiles/mrlc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mrlc_common.dir/statistics.cpp.o"
+  "CMakeFiles/mrlc_common.dir/statistics.cpp.o.d"
+  "CMakeFiles/mrlc_common.dir/table.cpp.o"
+  "CMakeFiles/mrlc_common.dir/table.cpp.o.d"
+  "libmrlc_common.a"
+  "libmrlc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/branch_bound.cpp" "src/core/CMakeFiles/mrlc_core.dir/branch_bound.cpp.o" "gcc" "src/core/CMakeFiles/mrlc_core.dir/branch_bound.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/mrlc_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/mrlc_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/feasibility.cpp" "src/core/CMakeFiles/mrlc_core.dir/feasibility.cpp.o" "gcc" "src/core/CMakeFiles/mrlc_core.dir/feasibility.cpp.o.d"
+  "/root/repo/src/core/ira.cpp" "src/core/CMakeFiles/mrlc_core.dir/ira.cpp.o" "gcc" "src/core/CMakeFiles/mrlc_core.dir/ira.cpp.o.d"
+  "/root/repo/src/core/lp_formulation.cpp" "src/core/CMakeFiles/mrlc_core.dir/lp_formulation.cpp.o" "gcc" "src/core/CMakeFiles/mrlc_core.dir/lp_formulation.cpp.o.d"
+  "/root/repo/src/core/retx_ira.cpp" "src/core/CMakeFiles/mrlc_core.dir/retx_ira.cpp.o" "gcc" "src/core/CMakeFiles/mrlc_core.dir/retx_ira.cpp.o.d"
+  "/root/repo/src/core/separation.cpp" "src/core/CMakeFiles/mrlc_core.dir/separation.cpp.o" "gcc" "src/core/CMakeFiles/mrlc_core.dir/separation.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/mrlc_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/mrlc_core.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrlc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrlc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mrlc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/mrlc_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mrlc_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

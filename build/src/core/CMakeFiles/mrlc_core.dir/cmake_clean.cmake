@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_core.dir/branch_bound.cpp.o"
+  "CMakeFiles/mrlc_core.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/mrlc_core.dir/exact.cpp.o"
+  "CMakeFiles/mrlc_core.dir/exact.cpp.o.d"
+  "CMakeFiles/mrlc_core.dir/feasibility.cpp.o"
+  "CMakeFiles/mrlc_core.dir/feasibility.cpp.o.d"
+  "CMakeFiles/mrlc_core.dir/ira.cpp.o"
+  "CMakeFiles/mrlc_core.dir/ira.cpp.o.d"
+  "CMakeFiles/mrlc_core.dir/lp_formulation.cpp.o"
+  "CMakeFiles/mrlc_core.dir/lp_formulation.cpp.o.d"
+  "CMakeFiles/mrlc_core.dir/retx_ira.cpp.o"
+  "CMakeFiles/mrlc_core.dir/retx_ira.cpp.o.d"
+  "CMakeFiles/mrlc_core.dir/separation.cpp.o"
+  "CMakeFiles/mrlc_core.dir/separation.cpp.o.d"
+  "CMakeFiles/mrlc_core.dir/solver.cpp.o"
+  "CMakeFiles/mrlc_core.dir/solver.cpp.o.d"
+  "libmrlc_core.a"
+  "libmrlc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

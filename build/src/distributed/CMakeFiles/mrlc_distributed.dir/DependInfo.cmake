@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distributed/churn.cpp" "src/distributed/CMakeFiles/mrlc_distributed.dir/churn.cpp.o" "gcc" "src/distributed/CMakeFiles/mrlc_distributed.dir/churn.cpp.o.d"
+  "/root/repo/src/distributed/maintainer.cpp" "src/distributed/CMakeFiles/mrlc_distributed.dir/maintainer.cpp.o" "gcc" "src/distributed/CMakeFiles/mrlc_distributed.dir/maintainer.cpp.o.d"
+  "/root/repo/src/distributed/simulator.cpp" "src/distributed/CMakeFiles/mrlc_distributed.dir/simulator.cpp.o" "gcc" "src/distributed/CMakeFiles/mrlc_distributed.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrlc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/mrlc_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/prufer/CMakeFiles/mrlc_prufer.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrlc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

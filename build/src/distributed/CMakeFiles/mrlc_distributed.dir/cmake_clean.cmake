@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_distributed.dir/churn.cpp.o"
+  "CMakeFiles/mrlc_distributed.dir/churn.cpp.o.d"
+  "CMakeFiles/mrlc_distributed.dir/maintainer.cpp.o"
+  "CMakeFiles/mrlc_distributed.dir/maintainer.cpp.o.d"
+  "CMakeFiles/mrlc_distributed.dir/simulator.cpp.o"
+  "CMakeFiles/mrlc_distributed.dir/simulator.cpp.o.d"
+  "libmrlc_distributed.a"
+  "libmrlc_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

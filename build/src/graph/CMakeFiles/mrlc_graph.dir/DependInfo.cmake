@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dsu.cpp" "src/graph/CMakeFiles/mrlc_graph.dir/dsu.cpp.o" "gcc" "src/graph/CMakeFiles/mrlc_graph.dir/dsu.cpp.o.d"
+  "/root/repo/src/graph/enumeration.cpp" "src/graph/CMakeFiles/mrlc_graph.dir/enumeration.cpp.o" "gcc" "src/graph/CMakeFiles/mrlc_graph.dir/enumeration.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/mrlc_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/mrlc_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/kirchhoff.cpp" "src/graph/CMakeFiles/mrlc_graph.dir/kirchhoff.cpp.o" "gcc" "src/graph/CMakeFiles/mrlc_graph.dir/kirchhoff.cpp.o.d"
+  "/root/repo/src/graph/maxflow.cpp" "src/graph/CMakeFiles/mrlc_graph.dir/maxflow.cpp.o" "gcc" "src/graph/CMakeFiles/mrlc_graph.dir/maxflow.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/graph/CMakeFiles/mrlc_graph.dir/mst.cpp.o" "gcc" "src/graph/CMakeFiles/mrlc_graph.dir/mst.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/graph/CMakeFiles/mrlc_graph.dir/shortest_path.cpp.o" "gcc" "src/graph/CMakeFiles/mrlc_graph.dir/shortest_path.cpp.o.d"
+  "/root/repo/src/graph/traversal.cpp" "src/graph/CMakeFiles/mrlc_graph.dir/traversal.cpp.o" "gcc" "src/graph/CMakeFiles/mrlc_graph.dir/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrlc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

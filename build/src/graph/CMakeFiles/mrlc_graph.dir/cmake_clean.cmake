@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_graph.dir/dsu.cpp.o"
+  "CMakeFiles/mrlc_graph.dir/dsu.cpp.o.d"
+  "CMakeFiles/mrlc_graph.dir/enumeration.cpp.o"
+  "CMakeFiles/mrlc_graph.dir/enumeration.cpp.o.d"
+  "CMakeFiles/mrlc_graph.dir/graph.cpp.o"
+  "CMakeFiles/mrlc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/mrlc_graph.dir/kirchhoff.cpp.o"
+  "CMakeFiles/mrlc_graph.dir/kirchhoff.cpp.o.d"
+  "CMakeFiles/mrlc_graph.dir/maxflow.cpp.o"
+  "CMakeFiles/mrlc_graph.dir/maxflow.cpp.o.d"
+  "CMakeFiles/mrlc_graph.dir/mst.cpp.o"
+  "CMakeFiles/mrlc_graph.dir/mst.cpp.o.d"
+  "CMakeFiles/mrlc_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/mrlc_graph.dir/shortest_path.cpp.o.d"
+  "CMakeFiles/mrlc_graph.dir/traversal.cpp.o"
+  "CMakeFiles/mrlc_graph.dir/traversal.cpp.o.d"
+  "libmrlc_graph.a"
+  "libmrlc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_lp.dir/model.cpp.o"
+  "CMakeFiles/mrlc_lp.dir/model.cpp.o.d"
+  "CMakeFiles/mrlc_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mrlc_lp.dir/simplex.cpp.o.d"
+  "libmrlc_lp.a"
+  "libmrlc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

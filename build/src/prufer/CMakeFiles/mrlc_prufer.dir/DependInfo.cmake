@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prufer/codec.cpp" "src/prufer/CMakeFiles/mrlc_prufer.dir/codec.cpp.o" "gcc" "src/prufer/CMakeFiles/mrlc_prufer.dir/codec.cpp.o.d"
+  "/root/repo/src/prufer/updates.cpp" "src/prufer/CMakeFiles/mrlc_prufer.dir/updates.cpp.o" "gcc" "src/prufer/CMakeFiles/mrlc_prufer.dir/updates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrlc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/mrlc_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrlc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_prufer.dir/codec.cpp.o"
+  "CMakeFiles/mrlc_prufer.dir/codec.cpp.o.d"
+  "CMakeFiles/mrlc_prufer.dir/updates.cpp.o"
+  "CMakeFiles/mrlc_prufer.dir/updates.cpp.o.d"
+  "libmrlc_prufer.a"
+  "libmrlc_prufer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_prufer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/depletion_sim.cpp" "src/radio/CMakeFiles/mrlc_radio.dir/depletion_sim.cpp.o" "gcc" "src/radio/CMakeFiles/mrlc_radio.dir/depletion_sim.cpp.o.d"
+  "/root/repo/src/radio/packet_sim.cpp" "src/radio/CMakeFiles/mrlc_radio.dir/packet_sim.cpp.o" "gcc" "src/radio/CMakeFiles/mrlc_radio.dir/packet_sim.cpp.o.d"
+  "/root/repo/src/radio/power_trace.cpp" "src/radio/CMakeFiles/mrlc_radio.dir/power_trace.cpp.o" "gcc" "src/radio/CMakeFiles/mrlc_radio.dir/power_trace.cpp.o.d"
+  "/root/repo/src/radio/propagation.cpp" "src/radio/CMakeFiles/mrlc_radio.dir/propagation.cpp.o" "gcc" "src/radio/CMakeFiles/mrlc_radio.dir/propagation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrlc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/mrlc_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrlc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_radio.dir/depletion_sim.cpp.o"
+  "CMakeFiles/mrlc_radio.dir/depletion_sim.cpp.o.d"
+  "CMakeFiles/mrlc_radio.dir/packet_sim.cpp.o"
+  "CMakeFiles/mrlc_radio.dir/packet_sim.cpp.o.d"
+  "CMakeFiles/mrlc_radio.dir/power_trace.cpp.o"
+  "CMakeFiles/mrlc_radio.dir/power_trace.cpp.o.d"
+  "CMakeFiles/mrlc_radio.dir/propagation.cpp.o"
+  "CMakeFiles/mrlc_radio.dir/propagation.cpp.o.d"
+  "libmrlc_radio.a"
+  "libmrlc_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

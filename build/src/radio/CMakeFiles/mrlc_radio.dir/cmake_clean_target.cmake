@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrlc_radio.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenario/dfl.cpp" "src/scenario/CMakeFiles/mrlc_scenario.dir/dfl.cpp.o" "gcc" "src/scenario/CMakeFiles/mrlc_scenario.dir/dfl.cpp.o.d"
+  "/root/repo/src/scenario/random_net.cpp" "src/scenario/CMakeFiles/mrlc_scenario.dir/random_net.cpp.o" "gcc" "src/scenario/CMakeFiles/mrlc_scenario.dir/random_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrlc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/mrlc_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/mrlc_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrlc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

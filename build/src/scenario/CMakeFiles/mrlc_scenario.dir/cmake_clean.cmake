@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_scenario.dir/dfl.cpp.o"
+  "CMakeFiles/mrlc_scenario.dir/dfl.cpp.o.d"
+  "CMakeFiles/mrlc_scenario.dir/random_net.cpp.o"
+  "CMakeFiles/mrlc_scenario.dir/random_net.cpp.o.d"
+  "libmrlc_scenario.a"
+  "libmrlc_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

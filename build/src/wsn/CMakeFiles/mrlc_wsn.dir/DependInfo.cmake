@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsn/aggregation_tree.cpp" "src/wsn/CMakeFiles/mrlc_wsn.dir/aggregation_tree.cpp.o" "gcc" "src/wsn/CMakeFiles/mrlc_wsn.dir/aggregation_tree.cpp.o.d"
+  "/root/repo/src/wsn/io.cpp" "src/wsn/CMakeFiles/mrlc_wsn.dir/io.cpp.o" "gcc" "src/wsn/CMakeFiles/mrlc_wsn.dir/io.cpp.o.d"
+  "/root/repo/src/wsn/metrics.cpp" "src/wsn/CMakeFiles/mrlc_wsn.dir/metrics.cpp.o" "gcc" "src/wsn/CMakeFiles/mrlc_wsn.dir/metrics.cpp.o.d"
+  "/root/repo/src/wsn/network.cpp" "src/wsn/CMakeFiles/mrlc_wsn.dir/network.cpp.o" "gcc" "src/wsn/CMakeFiles/mrlc_wsn.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrlc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrlc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

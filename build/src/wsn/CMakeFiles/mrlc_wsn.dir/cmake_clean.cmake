@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_wsn.dir/aggregation_tree.cpp.o"
+  "CMakeFiles/mrlc_wsn.dir/aggregation_tree.cpp.o.d"
+  "CMakeFiles/mrlc_wsn.dir/io.cpp.o"
+  "CMakeFiles/mrlc_wsn.dir/io.cpp.o.d"
+  "CMakeFiles/mrlc_wsn.dir/metrics.cpp.o"
+  "CMakeFiles/mrlc_wsn.dir/metrics.cpp.o.d"
+  "CMakeFiles/mrlc_wsn.dir/network.cpp.o"
+  "CMakeFiles/mrlc_wsn.dir/network.cpp.o.d"
+  "libmrlc_wsn.a"
+  "libmrlc_wsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_wsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

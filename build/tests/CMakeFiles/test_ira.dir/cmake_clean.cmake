@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ira.dir/ira_test.cpp.o"
+  "CMakeFiles/test_ira.dir/ira_test.cpp.o.d"
+  "test_ira"
+  "test_ira.pdb"
+  "test_ira[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ira.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

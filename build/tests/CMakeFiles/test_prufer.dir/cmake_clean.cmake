@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prufer.dir/prufer_test.cpp.o"
+  "CMakeFiles/test_prufer.dir/prufer_test.cpp.o.d"
+  "test_prufer"
+  "test_prufer.pdb"
+  "test_prufer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prufer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

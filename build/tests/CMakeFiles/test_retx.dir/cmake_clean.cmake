@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retx.dir/retx_test.cpp.o"
+  "CMakeFiles/test_retx.dir/retx_test.cpp.o.d"
+  "test_retx"
+  "test_retx.pdb"
+  "test_retx[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

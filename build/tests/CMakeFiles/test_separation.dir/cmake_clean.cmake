@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_separation.dir/separation_test.cpp.o"
+  "CMakeFiles/test_separation.dir/separation_test.cpp.o.d"
+  "test_separation"
+  "test_separation.pdb"
+  "test_separation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wsn.dir/wsn_test.cpp.o"
+  "CMakeFiles/test_wsn.dir/wsn_test.cpp.o.d"
+  "test_wsn"
+  "test_wsn.pdb"
+  "test_wsn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

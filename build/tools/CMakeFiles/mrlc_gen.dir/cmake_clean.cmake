@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_gen.dir/mrlc_gen.cpp.o"
+  "CMakeFiles/mrlc_gen.dir/mrlc_gen.cpp.o.d"
+  "mrlc_gen"
+  "mrlc_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

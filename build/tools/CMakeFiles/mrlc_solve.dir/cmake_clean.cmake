@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrlc_solve.dir/mrlc_solve.cpp.o"
+  "CMakeFiles/mrlc_solve.dir/mrlc_solve.cpp.o.d"
+  "mrlc_solve"
+  "mrlc_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrlc_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
