@@ -1,0 +1,142 @@
+#include "distributed/failure.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "radio/depletion_sim.hpp"
+
+namespace mrlc::dist {
+
+FailureSchedule random_crash_schedule(const wsn::Network& net, int count,
+                                      double horizon, Rng& rng) {
+  MRLC_REQUIRE(count >= 0, "crash count must be non-negative");
+  MRLC_REQUIRE(count <= net.node_count() - 1,
+               "cannot crash more nodes than the network has (sink excluded)");
+  MRLC_REQUIRE(horizon > 0.0, "horizon must be positive");
+
+  // Partial Fisher-Yates over the non-sink nodes picks distinct victims.
+  std::vector<wsn::VertexId> pool;
+  pool.reserve(static_cast<std::size_t>(net.node_count() - 1));
+  for (wsn::VertexId v = 0; v < net.node_count(); ++v) {
+    if (v != net.sink()) pool.push_back(v);
+  }
+  FailureSchedule schedule;
+  schedule.events.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(i, static_cast<std::int64_t>(pool.size()) - 1));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+    FailureEvent event;
+    event.time = rng.uniform(0.0, horizon);
+    event.node = pool[static_cast<std::size_t>(i)];
+    event.kind = FailureKind::kCrash;
+    schedule.events.push_back(event);
+  }
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const FailureEvent& a, const FailureEvent& b) { return a.time < b.time; });
+  return schedule;
+}
+
+FailureSchedule depletion_schedule(const wsn::Network& net,
+                                   const wsn::AggregationTree& tree,
+                                   const radio::RetxPolicy& policy, int deaths,
+                                   int sample_rounds, Rng& rng) {
+  MRLC_REQUIRE(deaths >= 0, "death count must be non-negative");
+  MRLC_REQUIRE(deaths <= net.node_count() - 1,
+               "cannot deplete more nodes than the network has (sink excluded)");
+
+  const radio::DepletionResult depletion =
+      radio::simulate_depletion(net, tree, policy, sample_rounds, rng);
+
+  FailureSchedule schedule;
+  for (wsn::VertexId v = 0; v < net.node_count(); ++v) {
+    if (v == net.sink()) continue;  // the sink is mains-powered by convention
+    const double rate = depletion.joules_per_round[static_cast<std::size_t>(v)];
+    if (rate <= 0.0) continue;  // idle leaf of a detached subtree: never dies
+    FailureEvent event;
+    event.time = net.initial_energy(v) / rate;
+    event.node = v;
+    event.kind = FailureKind::kDepletion;
+    schedule.events.push_back(event);
+  }
+  std::sort(schedule.events.begin(), schedule.events.end(),
+            [](const FailureEvent& a, const FailureEvent& b) { return a.time < b.time; });
+  if (static_cast<int>(schedule.events.size()) > deaths) {
+    schedule.events.resize(static_cast<std::size_t>(deaths));
+  }
+  return schedule;
+}
+
+CompactNetwork compact_alive_network(const wsn::Network& net) {
+  const int n = net.node_count();
+  std::vector<wsn::VertexId> compact_of(static_cast<std::size_t>(n), -1);
+  CompactNetwork out{wsn::Network(std::max(net.alive_node_count(), 1),
+                                  /*sink=*/0, net.energy_model()),
+                     {}};
+  // The sink maps to compact id 0 so downstream solvers keep their default.
+  out.original.reserve(static_cast<std::size_t>(net.alive_node_count()));
+  out.original.push_back(net.sink());
+  compact_of[static_cast<std::size_t>(net.sink())] = 0;
+  for (wsn::VertexId v = 0; v < n; ++v) {
+    if (v == net.sink() || !net.node_alive(v)) continue;
+    compact_of[static_cast<std::size_t>(v)] =
+        static_cast<wsn::VertexId>(out.original.size());
+    out.original.push_back(v);
+  }
+  for (std::size_t c = 0; c < out.original.size(); ++c) {
+    out.net.set_initial_energy(static_cast<wsn::VertexId>(c),
+                               net.initial_energy(out.original[c]));
+  }
+  for (wsn::EdgeId id : net.topology().alive_edge_ids()) {
+    const graph::Edge& e = net.topology().edge(id);
+    out.net.add_link(compact_of[static_cast<std::size_t>(e.u)],
+                     compact_of[static_cast<std::size_t>(e.v)], net.link_prr(id));
+  }
+  return out;
+}
+
+void write_fault_schedule(std::ostream& out, const FailureSchedule& schedule) {
+  out << "fault-schedule v1 " << schedule.size() << "\n";
+  for (const FailureEvent& event : schedule.events) {
+    out << "fault " << event.time << ' ' << event.node << ' '
+        << (event.kind == FailureKind::kCrash ? "crash" : "depletion") << "\n";
+  }
+}
+
+FailureSchedule read_fault_schedule(std::istream& in) {
+  FailureSchedule schedule;
+  std::string line;
+  int declared = -1;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword)) continue;
+    if (declared < 0) {
+      if (keyword != "fault-schedule") continue;  // skip the network block
+      std::string version;
+      MRLC_REQUIRE(fields >> version && version == "v1",
+                   "unsupported fault-schedule version");
+      MRLC_REQUIRE(fields >> declared && declared >= 0,
+                   "fault-schedule needs an event count");
+      continue;
+    }
+    MRLC_REQUIRE(keyword == "fault", "expected a fault line");
+    FailureEvent event;
+    std::string kind;
+    MRLC_REQUIRE(fields >> event.time >> event.node >> kind,
+                 "malformed fault line");
+    MRLC_REQUIRE(kind == "crash" || kind == "depletion", "unknown fault kind");
+    event.kind = kind == "crash" ? FailureKind::kCrash : FailureKind::kDepletion;
+    schedule.events.push_back(event);
+    if (schedule.size() == declared) break;
+  }
+  MRLC_REQUIRE(declared < 0 || schedule.size() == declared,
+               "fault-schedule ended before the declared event count");
+  return schedule;
+}
+
+}  // namespace mrlc::dist

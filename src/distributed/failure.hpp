@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file failure.hpp
+/// \brief Node-failure injection for the fault-tolerance experiments.
+///
+/// The paper's protocol (Section VI) handles link-quality drift; this
+/// module supplies the *node death* side of the robustness story: crash
+/// faults at scheduled times, and battery-depletion deaths whose times come
+/// from the packet-level energy rates of `radio::simulate_depletion` (the
+/// node's initial energy divided by its measured joules-per-round).  A
+/// schedule is a reproducible artifact: it can be generated from a seed,
+/// serialized next to a network description (`tools/mrlc_gen --faults`),
+/// and replayed against a maintainer (`tools/mrlc_solve faults`,
+/// `bench/extra_fault_recovery`).
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "radio/packet_sim.hpp"
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::dist {
+
+enum class FailureKind {
+  kCrash,      ///< fail-stop at a scheduled time (software fault, damage)
+  kDepletion,  ///< battery exhausted (time derived from measured energy rates)
+};
+
+struct FailureEvent {
+  double time = 0.0;  ///< rounds since deployment
+  wsn::VertexId node = -1;
+  FailureKind kind = FailureKind::kCrash;
+};
+
+/// A time-ordered list of node deaths.
+struct FailureSchedule {
+  std::vector<FailureEvent> events;
+
+  bool empty() const noexcept { return events.empty(); }
+  int size() const noexcept { return static_cast<int>(events.size()); }
+};
+
+/// `count` distinct non-sink nodes crash at uniform times in (0, horizon).
+/// Deterministic in `rng`; events come back sorted by time.
+FailureSchedule random_crash_schedule(const wsn::Network& net, int count,
+                                      double horizon, Rng& rng);
+
+/// The `deaths` earliest battery deaths predicted by the packet-level
+/// depletion simulation of `tree` under `policy`: node v dies at
+/// I(v) / joules_per_round(v).  The sink (mains-powered by convention)
+/// never dies.  Deterministic in `rng`; events sorted by time.
+FailureSchedule depletion_schedule(const wsn::Network& net,
+                                   const wsn::AggregationTree& tree,
+                                   const radio::RetxPolicy& policy, int deaths,
+                                   int sample_rounds, Rng& rng);
+
+/// A dense re-labelling of the surviving subnetwork, for comparing repaired
+/// trees against a from-scratch rebuild (IRA and the LP baselines assume
+/// every node of the instance is alive).
+struct CompactNetwork {
+  wsn::Network net;                     ///< alive nodes only, dense ids
+  std::vector<wsn::VertexId> original;  ///< compact id -> original id
+};
+
+/// Copies the alive part of `net` (nodes, links, energies) into a fresh
+/// network with dense vertex ids.  The sink is always retained.
+CompactNetwork compact_alive_network(const wsn::Network& net);
+
+/// Serializes a schedule as a `fault-schedule v1` block of
+/// `fault <time> <node> crash|depletion` lines — appendable to a network
+/// file written by wsn::write_network (the reader there skips fault lines).
+void write_fault_schedule(std::ostream& out, const FailureSchedule& schedule);
+
+/// Parses the block written by write_fault_schedule.  Lines before the
+/// `fault-schedule` header (e.g. a network description) are skipped, so a
+/// combined file can be parsed by both readers.  Returns an empty schedule
+/// if no header is present.
+FailureSchedule read_fault_schedule(std::istream& in);
+
+}  // namespace mrlc::dist

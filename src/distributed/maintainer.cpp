@@ -22,7 +22,14 @@ DistributedMaintainer::DistributedMaintainer(const wsn::Network& net,
 }
 
 void DistributedMaintainer::refresh_code() {
-  if (tree_.node_count() >= 2) code_ = prufer::encode(tree_.parents());
+  if (tree_.node_count() < 2) return;
+  if (tree_.member_count() == tree_.node_count()) {
+    code_ = prufer::encode(tree_.parents());
+  } else {
+    // A partial tree (off-tree subtrees) has no Prüfer code; replicas
+    // exchange raw parent records until the tree is whole again.
+    code_.clear();
+  }
 }
 
 bool DistributedMaintainer::can_accept_child(const wsn::Network& net,
@@ -33,10 +40,11 @@ bool DistributedMaintainer::can_accept_child(const wsn::Network& net,
 }
 
 int DistributedMaintainer::broadcast_cost() const {
-  // Flooding an update down the tree: every non-leaf node transmits once.
+  // Flooding an update down the tree: every non-leaf member transmits once
+  // (off-tree subtrees cannot be reached and do not forward).
   int transmitting = 0;
   for (wsn::VertexId v = 0; v < tree_.node_count(); ++v) {
-    if (tree_.children_count(v) > 0) ++transmitting;
+    if (tree_.contains(v) && tree_.children_count(v) > 0) ++transmitting;
   }
   return transmitting;
 }
@@ -55,7 +63,9 @@ bool DistributedMaintainer::on_link_degraded(const wsn::Network& net,
   } else if (tree_.parent(bad.v) == bad.u && tree_.parent_edge(bad.v) == link) {
     child = bad.v;
   }
-  if (child == -1) {
+  if (child == -1 || !tree_.contains(child)) {
+    // Non-tree link, or an internal link of an off-tree subtree: nothing
+    // to repair on the live tree.
     stats_.messages_per_event.push_back(0);
     return false;
   }
@@ -88,6 +98,9 @@ bool DistributedMaintainer::on_link_degraded(const wsn::Network& net,
     cand.inside = u_in ? e.u : e.v;
     cand.outside = u_in ? e.v : e.u;
     cand.cost = net.link_cost(id);
+    // The new parent must be on the live tree: hanging the component off a
+    // partitioned subtree would not reconnect it to the sink.
+    if (!tree_.contains(cand.outside)) continue;
     if (!can_accept_child(net, cand.outside)) continue;
     auto& slot = cand.inside == child ? best_simple : best_evert;
     if (!slot.has_value() || cand.cost < slot->cost) slot = cand;
@@ -106,7 +119,9 @@ bool DistributedMaintainer::on_link_degraded(const wsn::Network& net,
     prufer::ParentArray parents = tree_.parents();
     prufer::evert_and_attach(parents, child, best_evert->inside,
                              best_evert->outside);
-    wsn::AggregationTree candidate = wsn::AggregationTree::from_parents(net, parents);
+    // from_forest, not from_parents: after node deaths the array may still
+    // hold detached subtrees (parent -1), which this repair must not touch.
+    wsn::AggregationTree candidate = wsn::AggregationTree::from_forest(net, parents);
     // Eversion shifts children along the reversed path; accept only if the
     // lifetime bound still holds everywhere.
     if (wsn::network_lifetime(net, candidate) < lifetime_bound_) {
@@ -149,6 +164,9 @@ bool DistributedMaintainer::on_link_improved(const wsn::Network& net,
     std::optional<Move> best;
     for (const auto& [x, y] : {std::pair{e.u, e.v}, std::pair{e.v, e.u}}) {
       if (x == tree_.root()) continue;
+      // ILU swaps are defined on the live tree; off-tree nodes rejoin via
+      // retry_detached, not via opportunistic swaps.
+      if (!tree_.contains(x) || !tree_.contains(y)) continue;
       if (tree_.parent(x) == y) continue;        // link already in the tree
       if (tree_.in_subtree(x, y)) continue;      // would create a cycle
       if (!can_accept_child(net, y)) continue;   // lifetime constraint on y
@@ -172,6 +190,329 @@ bool DistributedMaintainer::on_link_improved(const wsn::Network& net,
   stats_.total_messages += event_messages;
   stats_.messages_per_event.push_back(event_messages);
   return changed;
+}
+
+// ------------------------------------------------------ failure recovery --
+
+namespace {
+
+using Parents = std::vector<wsn::VertexId>;
+
+std::vector<int> count_children(const Parents& parents) {
+  std::vector<int> counts(parents.size(), 0);
+  for (wsn::VertexId p : parents) {
+    if (p != -1) ++counts[static_cast<std::size_t>(p)];
+  }
+  return counts;
+}
+
+std::vector<std::vector<wsn::VertexId>> children_adjacency(const Parents& parents) {
+  std::vector<std::vector<wsn::VertexId>> kids(parents.size());
+  for (std::size_t v = 0; v < parents.size(); ++v) {
+    if (parents[v] != -1) {
+      kids[static_cast<std::size_t>(parents[v])].push_back(
+          static_cast<wsn::VertexId>(v));
+    }
+  }
+  return kids;
+}
+
+std::vector<wsn::VertexId> subtree_of(
+    const std::vector<std::vector<wsn::VertexId>>& kids, wsn::VertexId root) {
+  std::vector<wsn::VertexId> members;
+  members.push_back(root);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    for (wsn::VertexId c : kids[static_cast<std::size_t>(members[i])]) {
+      members.push_back(c);
+    }
+  }
+  return members;
+}
+
+/// Membership mask of the component containing `root` (the live tree).
+std::vector<char> sink_component(const Parents& parents, wsn::VertexId root) {
+  const auto kids = children_adjacency(parents);
+  std::vector<char> member(parents.size(), 0);
+  for (wsn::VertexId v : subtree_of(kids, root)) {
+    member[static_cast<std::size_t>(v)] = 1;
+  }
+  return member;
+}
+
+double node_lifetime_with(const wsn::Network& net, wsn::VertexId v, int children) {
+  return net.energy_model().node_lifetime(net.initial_energy(v), children);
+}
+
+/// A candidate way to hang the subtree rooted at `root` back on the tree.
+struct AttachCandidate {
+  wsn::VertexId root = -1;     ///< orphaned subtree root
+  wsn::EdgeId link = -1;
+  wsn::VertexId inside = -1;   ///< endpoint inside the subtree
+  wsn::VertexId outside = -1;  ///< surviving parent on the live tree
+  double cost = 0.0;
+  /// min post-attach lifetime over the affected nodes (the adopting parent
+  /// and, on an eversion, every node of the reversed path).
+  double quality = 0.0;
+};
+
+/// Evaluates attaching `root`'s subtree through (inside, outside): returns
+/// the minimum post-attach lifetime over affected nodes.  Eversion shifts
+/// children along the reversed path, so those nodes are re-checked too.
+double attach_quality(const wsn::Network& net, const Parents& parents,
+                      const std::vector<int>& counts, wsn::VertexId root,
+                      wsn::VertexId inside, wsn::VertexId outside) {
+  double quality =
+      node_lifetime_with(net, outside, counts[static_cast<std::size_t>(outside)] + 1);
+  if (inside == root) return quality;
+  // Simulate the eversion on a scratch copy and re-check every node whose
+  // children count shifted (the reversed path root .. inside).
+  std::vector<wsn::VertexId> path;
+  for (wsn::VertexId v = inside;; v = parents[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+    if (v == root) break;
+  }
+  Parents scratch = parents;
+  prufer::evert_and_attach(scratch, root, inside, outside);
+  const std::vector<int> new_counts = count_children(scratch);
+  for (wsn::VertexId v : path) {
+    quality = std::min(
+        quality, node_lifetime_with(net, v, new_counts[static_cast<std::size_t>(v)]));
+  }
+  return quality;
+}
+
+}  // namespace
+
+DistributedMaintainer::ReattachReport DistributedMaintainer::reattach_subtrees(
+    const wsn::Network& net, Parents& parents, std::vector<wsn::VertexId> roots,
+    std::vector<wsn::VertexId>& failed_roots) {
+  ReattachReport report;
+  std::vector<int> counts = count_children(parents);
+  std::vector<char> live = sink_component(parents, tree_.root());
+
+  // Subtree membership per unplaced root, refreshed as roots are placed.
+  auto members_of = [&](wsn::VertexId root) {
+    return subtree_of(children_adjacency(parents), root);
+  };
+
+  auto apply_attach = [&](const AttachCandidate& c) {
+    if (c.inside == c.root) {
+      parents[static_cast<std::size_t>(c.root)] = c.outside;
+    } else {
+      prufer::evert_and_attach(parents, c.root, c.inside, c.outside);
+    }
+    counts = count_children(parents);
+    for (wsn::VertexId v : members_of(c.inside == c.root ? c.root : c.inside)) {
+      live[static_cast<std::size_t>(v)] = 1;
+    }
+  };
+
+  while (!roots.empty()) {
+    // Gather, over every still-unplaced subtree, all crossing links to the
+    // live tree; feasible ones (LC holds everywhere after the attach) are
+    // preferred by cost, exactly like the Link-Getting-Worse repair.
+    std::optional<AttachCandidate> best_feasible;
+    std::vector<AttachCandidate> infeasible;  // capacity-blocked fallbacks
+    for (wsn::VertexId root : roots) {
+      std::vector<char> in_subtree_mask(parents.size(), 0);
+      for (wsn::VertexId v : members_of(root)) {
+        in_subtree_mask[static_cast<std::size_t>(v)] = 1;
+      }
+      for (graph::EdgeId id : net.topology().alive_edge_ids()) {
+        const graph::Edge& e = net.topology().edge(id);
+        const bool u_in = in_subtree_mask[static_cast<std::size_t>(e.u)] != 0;
+        const bool v_in = in_subtree_mask[static_cast<std::size_t>(e.v)] != 0;
+        if (u_in == v_in) continue;
+        AttachCandidate cand;
+        cand.root = root;
+        cand.link = id;
+        cand.inside = u_in ? e.u : e.v;
+        cand.outside = u_in ? e.v : e.u;
+        if (!live[static_cast<std::size_t>(cand.outside)]) continue;
+        cand.cost = net.link_cost(id);
+        cand.quality =
+            attach_quality(net, parents, counts, root, cand.inside, cand.outside);
+        if (cand.quality >= lifetime_bound_) {
+          if (!best_feasible.has_value() || cand.cost < best_feasible->cost) {
+            best_feasible = cand;
+          }
+        } else {
+          infeasible.push_back(cand);
+        }
+      }
+    }
+
+    if (best_feasible.has_value()) {
+      apply_attach(*best_feasible);
+      roots.erase(std::find(roots.begin(), roots.end(), best_feasible->root));
+      ++report.reattached;
+      ++stats_.reattachments;
+      continue;
+    }
+
+    // Cascade: a capacity-blocked parent can adopt the subtree if one of
+    // its current children moves to another feasible parent first (the
+    // parent's children count is then unchanged by adopt-after-relocate).
+    std::sort(infeasible.begin(), infeasible.end(),
+              [](const AttachCandidate& a, const AttachCandidate& b) {
+                return a.cost < b.cost;
+              });
+    bool cascaded = false;
+    for (const AttachCandidate& cand : infeasible) {
+      if (cascaded) break;
+      const wsn::VertexId p = cand.outside;
+      // Only a plain capacity block is fixable by relocation; eversion
+      // infeasibility along the path is not helped by freeing p.
+      if (cand.inside != cand.root) continue;
+      for (wsn::VertexId m = 0; m < static_cast<wsn::VertexId>(parents.size());
+           ++m) {
+        if (parents[static_cast<std::size_t>(m)] != p || !live[static_cast<std::size_t>(m)]) {
+          continue;
+        }
+        // Cheapest feasible new home for m outside its own subtree.
+        std::vector<char> m_subtree(parents.size(), 0);
+        for (wsn::VertexId v : members_of(m)) {
+          m_subtree[static_cast<std::size_t>(v)] = 1;
+        }
+        wsn::EdgeId best_link = -1;
+        wsn::VertexId best_q = -1;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (graph::EdgeId id : net.topology().alive_edge_ids()) {
+          const graph::Edge& e = net.topology().edge(id);
+          wsn::VertexId q = -1;
+          if (e.u == m) q = e.v;
+          else if (e.v == m) q = e.u;
+          if (q == -1 || q == p) continue;
+          if (!live[static_cast<std::size_t>(q)]) continue;
+          if (m_subtree[static_cast<std::size_t>(q)]) continue;  // cycle
+          if (node_lifetime_with(net, q, counts[static_cast<std::size_t>(q)] + 1) <
+              lifetime_bound_) {
+            continue;
+          }
+          if (net.link_cost(id) < best_cost) {
+            best_cost = net.link_cost(id);
+            best_link = id;
+            best_q = q;
+          }
+        }
+        if (best_link == -1) continue;
+        parents[static_cast<std::size_t>(m)] = best_q;
+        counts = count_children(parents);
+        ++report.cascade_moves;
+        ++stats_.cascade_moves;
+        apply_attach(cand);
+        roots.erase(std::find(roots.begin(), roots.end(), cand.root));
+        ++report.reattached;
+        ++stats_.reattachments;
+        cascaded = true;
+        break;
+      }
+    }
+    if (cascaded) continue;
+
+    // Graceful degradation: relax LC minimally to admit the least-bad
+    // candidate (the one with the highest post-attach bottleneck lifetime).
+    if (options_.allow_lc_relaxation && !infeasible.empty()) {
+      const AttachCandidate* least_bad = &infeasible.front();
+      for (const AttachCandidate& cand : infeasible) {
+        if (cand.quality > least_bad->quality) least_bad = &cand;
+      }
+      lifetime_bound_ = least_bad->quality;
+      report.relaxed = true;
+      ++stats_.lc_relaxations;
+      apply_attach(*least_bad);
+      roots.erase(std::find(roots.begin(), roots.end(), least_bad->root));
+      ++report.reattached;
+      ++stats_.reattachments;
+      continue;
+    }
+
+    // No crossing link (or none admissible): the remaining subtrees are
+    // partitioned off.
+    for (wsn::VertexId root : roots) failed_roots.push_back(root);
+    break;
+  }
+  return report;
+}
+
+RepairOutcome DistributedMaintainer::on_node_failed(const wsn::Network& net,
+                                                    wsn::VertexId dead) {
+  MRLC_REQUIRE(dead >= 0 && dead < tree_.node_count(), "node out of range");
+  MRLC_REQUIRE(dead != tree_.root(), "the sink cannot fail");
+  MRLC_REQUIRE(!net.node_alive(dead),
+               "call net.fail_node(dead) before notifying the maintainer");
+  ++stats_.node_failures;
+
+  RepairOutcome outcome;
+  Parents parents = tree_.parents();
+  std::vector<wsn::VertexId> orphans;
+  for (wsn::VertexId v = 0; v < tree_.node_count(); ++v) {
+    if (parents[static_cast<std::size_t>(v)] == dead) {
+      orphans.push_back(v);
+      parents[static_cast<std::size_t>(v)] = -1;
+    }
+  }
+  const bool was_member = tree_.contains(dead);
+  parents[static_cast<std::size_t>(dead)] = -1;
+
+  std::vector<wsn::VertexId> failed_roots;
+  ReattachReport report;
+  if (was_member) {
+    report = reattach_subtrees(net, parents, std::move(orphans), failed_roots);
+  } else {
+    // The node died inside an already-partitioned component: its subtrees
+    // stay detached (they had no path to the sink before and still don't).
+    failed_roots = std::move(orphans);
+  }
+
+  const auto kids = children_adjacency(parents);
+  for (wsn::VertexId root : failed_roots) {
+    ++stats_.partitions;
+    for (wsn::VertexId v : subtree_of(kids, root)) outcome.detached.push_back(v);
+  }
+
+  tree_ = wsn::AggregationTree::from_forest(net, parents);
+  refresh_code();
+
+  outcome.status = !failed_roots.empty() ? RepairStatus::kPartitioned
+                   : report.relaxed      ? RepairStatus::kHealedDegraded
+                                         : RepairStatus::kHealed;
+  outcome.effective_bound = lifetime_bound_;
+  outcome.reattached_subtrees = report.reattached;
+  outcome.cascade_moves = report.cascade_moves;
+
+  ++stats_.updates_applied;
+  const int event_messages = broadcast_cost();
+  stats_.total_messages += event_messages;
+  stats_.messages_per_event.push_back(event_messages);
+  return outcome;
+}
+
+int DistributedMaintainer::retry_detached(const wsn::Network& net) {
+  std::vector<wsn::VertexId> roots;
+  for (wsn::VertexId v = 0; v < tree_.node_count(); ++v) {
+    if (v != tree_.root() && net.node_alive(v) && !tree_.contains(v) &&
+        tree_.parent(v) == -1) {
+      roots.push_back(v);
+    }
+  }
+  if (roots.empty()) return 0;
+
+  const int members_before = tree_.member_count();
+  Parents parents = tree_.parents();
+  std::vector<wsn::VertexId> still_failed;
+  reattach_subtrees(net, parents, std::move(roots), still_failed);
+  tree_ = wsn::AggregationTree::from_forest(net, parents);
+  refresh_code();
+
+  const int rejoined = tree_.member_count() - members_before;
+  if (rejoined > 0) {
+    ++stats_.updates_applied;
+    const int event_messages = broadcast_cost();
+    stats_.total_messages += event_messages;
+    stats_.messages_per_event.push_back(event_messages);
+  }
+  return rejoined;
 }
 
 }  // namespace mrlc::dist

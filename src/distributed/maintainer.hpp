@@ -41,6 +41,12 @@ struct MaintainerStats {
   int updates_applied = 0;          ///< accepted parent-change broadcasts
   long long total_messages = 0;
   std::vector<int> messages_per_event;  ///< one entry per *event* (possibly 0)
+  // Fault handling:
+  int node_failures = 0;      ///< on_node_failed calls
+  int reattachments = 0;      ///< orphaned subtrees reattached
+  int cascade_moves = 0;      ///< children relocated to free parent capacity
+  int partitions = 0;         ///< subtrees left off-tree (no feasible repair)
+  int lc_relaxations = 0;     ///< times the bound was lowered (opt-in policy)
 };
 
 struct MaintainerOptions {
@@ -48,6 +54,31 @@ struct MaintainerOptions {
   double improvement_tolerance = 1e-12;
   /// Safety cap on ILU chain length per event.
   int max_chain_length = 256;
+  /// Opt-in graceful degradation: when a node failure leaves a subtree with
+  /// no LC-feasible reattachment, lower the lifetime bound just enough to
+  /// admit the best available parent instead of declaring a partition.  The
+  /// relaxed bound is recorded in RepairOutcome::effective_bound.
+  bool allow_lc_relaxation = false;
+};
+
+/// How a node-failure repair ended.
+enum class RepairStatus {
+  kHealed,          ///< every orphaned subtree reattached; LC intact
+  kHealedDegraded,  ///< reattached, but only after relaxing LC (opt-in)
+  kPartitioned,     ///< some subtree has no physical path back to the sink
+                    ///< (or none meeting LC with relaxation disabled)
+};
+
+/// Result of DistributedMaintainer::on_node_failed / retry_detached.
+struct RepairOutcome {
+  RepairStatus status = RepairStatus::kHealed;
+  /// The lifetime bound in force after the repair (== the construction-time
+  /// LC unless a relaxation was applied, now or earlier).
+  double effective_bound = 0.0;
+  int reattached_subtrees = 0;
+  int cascade_moves = 0;
+  /// Nodes left off-tree by this event (empty unless kPartitioned).
+  std::vector<wsn::VertexId> detached;
 };
 
 class DistributedMaintainer {
@@ -64,9 +95,31 @@ class DistributedMaintainer {
   /// tree changed.
   bool on_link_improved(const wsn::Network& net, wsn::EdgeId link);
 
+  /// Handles a node death (crash or battery depletion).  `net` must already
+  /// reflect the failure (`net.fail_node(dead)` called), so the dead node's
+  /// links are gone.  Each subtree orphaned by the death is reattached to
+  /// the cheapest surviving parent that still meets the lifetime bound with
+  /// one more child, everting the subtree when the best crossing link is
+  /// not incident to its root.  When a candidate parent is at capacity, one
+  /// of its children may be relocated to make room (a cascade move).  When
+  /// no LC-feasible reattachment exists the outcome is either a recorded
+  /// partition or, under `MaintainerOptions::allow_lc_relaxation`, a
+  /// minimal LC relaxation.
+  RepairOutcome on_node_failed(const wsn::Network& net, wsn::VertexId dead);
+
+  /// Attempts to reattach subtrees left off-tree by earlier partitions
+  /// (links may have recovered since).  Returns the number of nodes that
+  /// rejoined the tree.
+  int retry_detached(const wsn::Network& net);
+
   const wsn::AggregationTree& tree() const noexcept { return tree_; }
+  /// Prüfer code of the current tree; empty while the tree is partial
+  /// (off-tree subtrees cannot be Prüfer-coded — replicas exchange parent
+  /// records directly in that regime).
   const prufer::Code& code() const noexcept { return code_; }
   const MaintainerStats& stats() const noexcept { return stats_; }
+  /// The construction-time LC, or the relaxed bound if degradation was
+  /// allowed and used.
   double lifetime_bound() const noexcept { return lifetime_bound_; }
 
  private:
@@ -74,6 +127,20 @@ class DistributedMaintainer {
   /// Broadcast cost of one update on the current tree (transmitting nodes).
   int broadcast_cost() const;
   void refresh_code();
+
+  /// Shared reattachment engine for on_node_failed / retry_detached: tries
+  /// to hang each parent-array subtree rooted in `roots` back onto the
+  /// sink component of `parents`.  Mutates `parents`, appends unplaced
+  /// roots to `failed_roots`.
+  struct ReattachReport {
+    int reattached = 0;
+    int cascade_moves = 0;
+    bool relaxed = false;
+  };
+  ReattachReport reattach_subtrees(const wsn::Network& net,
+                                   std::vector<wsn::VertexId>& parents,
+                                   std::vector<wsn::VertexId> roots,
+                                   std::vector<wsn::VertexId>& failed_roots);
 
   wsn::AggregationTree tree_;
   prufer::Code code_;

@@ -5,12 +5,12 @@
 ///
 /// `DistributedMaintainer` computes the protocol's *decisions* (which
 /// parent changes happen); this module simulates their *dissemination*:
-/// every sensor keeps an actual replica of the Prüfer code, updates are
-/// flooded hop by hop over the tree as radio broadcasts, and the simulator
-/// counts real transmissions and verifies that all replicas converge to
-/// identical codes after every event — the property the paper's protocol
-/// depends on ("as every node has the same information, 4 only needs to
-/// broadcast a Parent-Changing information").
+/// every sensor keeps an actual replica of the tree, updates are flooded
+/// hop by hop over the tree as radio broadcasts, and the simulator counts
+/// real transmissions and verifies that all replicas converge to identical
+/// state after every event — the property the paper's protocol depends on
+/// ("as every node has the same information, 4 only needs to broadcast a
+/// Parent-Changing information").
 ///
 /// Radio model for a flood: transmitting once reaches all tree neighbours
 /// (broadcast medium).  The initiator transmits its update record; every
@@ -19,49 +19,138 @@
 /// therefore |{initiator}| + |{nodes with tree degree >= 2 on the
 /// propagation paths}|, which for an n=16 tree is the "< 10 messages per
 /// update" of Fig. 13.
+///
+/// With `FloodOptions::lossy` set, each hop of the flood instead succeeds
+/// per-neighbour with the link's PRR (a Bernoulli draw); senders re-broadcast
+/// up to `control_retx` extra times while some neighbour has not heard the
+/// record.  Replicas then detect sequence gaps and recover through an
+/// anti-entropy protocol: periodic digest beacons advertise the highest
+/// applied sequence, and a replica that learns it is behind pulls the
+/// missing records from its best-informed tree neighbour.
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "distributed/maintainer.hpp"
 #include "prufer/codec.hpp"
 
 namespace mrlc::dist {
 
 /// One disseminated update: the parent changes an event produced.
+/// A parent of -1 detaches the child (node death or unhealed partition).
 /// (An ILU chain within one event is batched into a single record by the
 /// initiating region; the per-step message accounting of the paper is
 /// available separately from DistributedMaintainer::stats.)
 struct UpdateRecord {
-  std::uint64_t sequence = 0;  ///< replica-side dedup key
+  std::uint64_t sequence = 0;  ///< replica-side dedup / ordering key
   wsn::VertexId initiator = -1;
   std::vector<std::pair<wsn::VertexId, wsn::VertexId>> changes;  ///< (child, parent)
 };
 
-/// A sensor's replicated state: its copy of the code plus dedup cursor.
+/// A sensor's replicated state: its copy of the tree (parent array plus the
+/// Prüfer code while the tree is a full spanning tree) and the record log.
+///
+/// Two application paths coexist:
+/// * `apply()` — the legacy reliable-flood path: any record newer than the
+///   cursor is applied immediately (floods never lose or reorder records,
+///   so "newer" implies "next").
+/// * `integrate()` — the lossy-flood path: records are applied strictly in
+///   sequence order; a record that would leave a gap is buffered until the
+///   missing predecessors arrive (via retransmission or anti-entropy).
 class SensorReplica {
  public:
-  SensorReplica(wsn::VertexId id, prufer::Code code, int node_count)
-      : id_(id), code_(std::move(code)), node_count_(node_count) {}
+  SensorReplica(wsn::VertexId id, const prufer::Code& code, int node_count);
 
   wsn::VertexId id() const noexcept { return id_; }
+  /// Prüfer code of the replica's tree; empty while the replicated parent
+  /// array is partial (codes exist only for full spanning trees).
   const prufer::Code& code() const noexcept { return code_; }
+  /// The replicated parent array (parent -1 = root or detached).
+  const std::vector<wsn::VertexId>& parents() const noexcept { return parents_; }
 
   /// Applies a record exactly once (duplicates from multi-path floods are
   /// ignored).  Returns true if the record was new.
   bool apply(const UpdateRecord& record);
 
+  /// Outcome of integrate(): applied now, buffered behind a gap, or an
+  /// already-known duplicate.
+  enum class Integration { kApplied, kBuffered, kDuplicate };
+
+  /// Ordered application with gap detection.  Out-of-order records are
+  /// buffered; a record that fills the gap also drains the buffer.
+  Integration integrate(const UpdateRecord& record);
+
+  /// Digest beacon input: a neighbour advertised `sequence` as applied.
+  void observe_sequence(std::uint64_t sequence) noexcept {
+    if (sequence > known_latest_) known_latest_ = sequence;
+  }
+
+  /// Highest sequence applied to the parent array (gap-free prefix end).
+  std::uint64_t applied_sequence() const noexcept { return last_applied_; }
+  /// Highest sequence this replica has heard of (applied, buffered, or
+  /// advertised by a neighbour's digest).
+  std::uint64_t known_sequence() const noexcept { return known_latest_; }
+  /// Sequences known to exist but neither applied nor buffered — what an
+  /// anti-entropy request asks a neighbour for.
+  std::vector<std::uint64_t> missing_sequences() const;
+  /// True if the record is held (applied or buffered) and can be served.
+  bool has_record(std::uint64_t sequence) const;
+  /// The held record for `sequence` (has_record must be true).
+  const UpdateRecord& record(std::uint64_t sequence) const;
+
+  void mark_dead() noexcept { dead_ = true; }
+  bool dead() const noexcept { return dead_; }
+
  private:
+  /// Applies the record's changes to parents_ and refreshes the code.
+  void apply_changes(const UpdateRecord& record);
+
   wsn::VertexId id_;
-  prufer::Code code_;
   int node_count_;
+  std::vector<wsn::VertexId> parents_;
+  prufer::Code code_;
   std::uint64_t last_applied_ = 0;
+  std::uint64_t known_latest_ = 0;
+  bool dead_ = false;
+  std::map<std::uint64_t, UpdateRecord> buffered_;  ///< future records (gap)
+  std::map<std::uint64_t, UpdateRecord> log_;       ///< applied records
+};
+
+/// Knobs for the control-plane radio model.
+struct FloodOptions {
+  /// Per-hop Bernoulli(link PRR) reception draws instead of perfect floods.
+  bool lossy = false;
+  /// Extra broadcast attempts a flooding sender may spend while some tree
+  /// neighbour has not heard the record (0 = single attempt).  Also bounds
+  /// the retransmissions of each anti-entropy unicast.
+  int control_retx = 2;
+  /// Cap on anti-entropy rounds per resync() call; hitting it increments
+  /// SimulatorStats::resync_exhausted.
+  int max_resync_rounds = 256;
+  /// Seed for the control-plane loss draws (data-plane randomness, e.g.
+  /// ChurnProcess, is seeded separately).
+  std::uint64_t seed = 0xC0DEC0DEULL;
 };
 
 struct SimulatorStats {
   long long flood_transmissions = 0;  ///< radio transmissions across all floods
   long long records_disseminated = 0;
   std::vector<int> transmissions_per_event;
+  // Fault-tolerant control plane:
+  long long flood_deliveries_missed = 0;  ///< member replicas a flood left stale
+  long long digest_beacons = 0;           ///< anti-entropy digest broadcasts
+  long long resync_requests = 0;          ///< record pulls incl. retransmissions
+  long long resync_responses = 0;         ///< record batches served incl. retx
+  long long resync_rounds = 0;
+  int resync_exhausted = 0;  ///< resync() calls that hit max_resync_rounds
+
+  /// Total control-plane messages (what bench/extra_fault_recovery reports).
+  long long control_messages() const noexcept {
+    return flood_transmissions + digest_beacons + resync_requests +
+           resync_responses;
+  }
 };
 
 /// Wraps a DistributedMaintainer with per-node replicas and message-level
@@ -69,31 +158,62 @@ struct SimulatorStats {
 class ProtocolSimulator {
  public:
   ProtocolSimulator(const wsn::Network& net, wsn::AggregationTree initial,
-                    double lifetime_bound, MaintainerOptions options = {});
+                    double lifetime_bound, MaintainerOptions options = {},
+                    FloodOptions flood = {});
 
   /// Event entry points; identical semantics to DistributedMaintainer but
-  /// every accepted change is flooded to the replicas.
+  /// every accepted change is flooded to the replicas (and, in lossy mode,
+  /// followed by anti-entropy resync rounds).
   bool on_link_degraded(const wsn::Network& net, wsn::EdgeId link);
   bool on_link_improved(const wsn::Network& net, wsn::EdgeId link);
 
-  /// True iff every replica's code equals the maintainer's current code.
+  /// Kills `dead` (calls `net.fail_node`, which is idempotent), runs the
+  /// maintainer's repair, and floods the resulting parent changes from the
+  /// dead node's former parent — the node that detects the silence.
+  RepairOutcome on_node_failed(wsn::Network& net, wsn::VertexId dead);
+
+  /// Retries subtrees detached by earlier partitions; returns the number of
+  /// nodes that rejoined (their reattachment is flooded like any update).
+  int retry_detached(const wsn::Network& net);
+
+  /// Runs anti-entropy rounds until every live member replica has applied
+  /// every record (or max_resync_rounds is hit).  No-op unless lossy mode
+  /// is on.  Called automatically after each event; public so tests and
+  /// benchmarks can drive extra rounds.  Returns rounds used.
+  int resync(const wsn::Network& net);
+
+  /// True iff every live *member* replica agrees with the maintainer's
+  /// parent array.  Replicas of dead or partitioned nodes are excluded:
+  /// they are unreachable by floods and go stale by design.
   bool replicas_consistent() const;
 
   const wsn::AggregationTree& tree() const noexcept { return maintainer_.tree(); }
   const DistributedMaintainer& maintainer() const noexcept { return maintainer_; }
   const SimulatorStats& stats() const noexcept { return stats_; }
+  const FloodOptions& flood_options() const noexcept { return flood_; }
   const SensorReplica& replica(wsn::VertexId v) const;
 
  private:
   /// Diffs the maintainer's tree before/after an event into a record and
-  /// floods it; returns the transmissions used.
-  int disseminate(const std::vector<wsn::VertexId>& before,
-                  const std::vector<wsn::VertexId>& after);
-  int flood(const UpdateRecord& record);
+  /// floods it; returns the transmissions used.  `initiator_hint` names the
+  /// flood source when the first changed node is not a valid one (e.g. the
+  /// dead node itself); -1 = first changed node.
+  int disseminate(const wsn::Network& net,
+                  const std::vector<wsn::VertexId>& before,
+                  const std::vector<wsn::VertexId>& after,
+                  wsn::VertexId initiator_hint = -1);
+  int flood(const wsn::Network& net, const UpdateRecord& record);
+  int flood_reliable(const UpdateRecord& record);
+  int flood_lossy(const wsn::Network& net, const UpdateRecord& record);
+  /// Tree adjacency over current members: (neighbour, connecting edge).
+  std::vector<std::vector<std::pair<wsn::VertexId, wsn::EdgeId>>>
+  member_adjacency() const;
 
   DistributedMaintainer maintainer_;
   std::vector<SensorReplica> replicas_;
   SimulatorStats stats_;
+  FloodOptions flood_;
+  Rng rng_;
   std::uint64_t next_sequence_ = 1;
 };
 

@@ -23,6 +23,23 @@ void validate_parent_array(const ParentArray& parent) {
   }
 }
 
+void validate_forest(const ParentArray& parent) {
+  const int n = static_cast<int>(parent.size());
+  MRLC_REQUIRE(n >= 1, "tree needs at least one node");
+  MRLC_REQUIRE(parent[0] == -1, "node 0 must be the root (parent -1)");
+  for (int v = 1; v < n; ++v) {
+    const int p = parent[static_cast<std::size_t>(v)];
+    MRLC_REQUIRE(p >= -1 && p < n, "parent out of range");
+    MRLC_REQUIRE(p != v, "node cannot parent itself");
+  }
+  for (int v = 0; v < n; ++v) {
+    int steps = 0;
+    for (int w = v; w != -1; w = parent[static_cast<std::size_t>(w)]) {
+      MRLC_REQUIRE(++steps <= n, "parent array contains a cycle");
+    }
+  }
+}
+
 Code encode(const ParentArray& parent) {
   validate_parent_array(parent);
   const int n = static_cast<int>(parent.size());

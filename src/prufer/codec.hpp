@@ -37,6 +37,10 @@ using Code = std::vector<int>;
 /// Validates shape (root 0, in-range parents, acyclic); throws on failure.
 void validate_parent_array(const ParentArray& parent);
 
+/// Forest variant: non-root nodes may carry parent -1 (detached subtree
+/// roots after a node failure), but pointers must still be acyclic.
+void validate_forest(const ParentArray& parent);
+
 /// Algorithm 2.  Requires n >= 2.
 Code encode(const ParentArray& parent);
 

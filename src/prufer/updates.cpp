@@ -65,7 +65,9 @@ ParentArray& evert_and_attach(ParentArray& parent, int subtree_root,
     parent[static_cast<std::size_t>(path[i])] = path[i - 1];
   }
   parent[static_cast<std::size_t>(new_local_root)] = attach_to;
-  validate_parent_array(parent);
+  // Forest-tolerant check: during node-failure repair the array may still
+  // hold other detached subtrees (parent -1), which are fine here.
+  validate_forest(parent);
   return parent;
 }
 

@@ -82,6 +82,49 @@ AggregationTree AggregationTree::from_parents(const Network& net,
   return t;
 }
 
+AggregationTree AggregationTree::from_forest(const Network& net,
+                                             std::vector<VertexId> parents) {
+  const int n = net.node_count();
+  MRLC_REQUIRE(static_cast<int>(parents.size()) == n, "parent array has wrong size");
+  MRLC_REQUIRE(parents[static_cast<std::size_t>(net.sink())] == -1,
+               "sink must have parent -1");
+
+  AggregationTree t;
+  t.root_ = net.sink();
+  t.parent_ = std::move(parents);
+  t.parent_edge_.assign(static_cast<std::size_t>(n), -1);
+
+  graph::DisjointSetUnion dsu(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const VertexId p = t.parent_[static_cast<std::size_t>(v)];
+    if (p == -1) continue;  // root, or the root of an off-tree subtree
+    MRLC_REQUIRE(p >= 0 && p < n && p != v, "parent out of range");
+    const EdgeId id = net.topology().find_edge(v, p);
+    if (id == -1) {
+      throw InfeasibleError("parent array uses a link that is not in the network");
+    }
+    if (!dsu.unite(v, p)) {
+      throw InfeasibleError("parent array contains a cycle");
+    }
+    t.parent_edge_[static_cast<std::size_t>(v)] = id;
+  }
+
+  // Membership: nodes whose parent chain reaches the sink.
+  t.member_.assign(static_cast<std::size_t>(n), 0);
+  t.member_count_ = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (dsu.find(v) == dsu.find(t.root_)) {
+      t.member_[static_cast<std::size_t>(v)] = 1;
+      ++t.member_count_;
+    }
+  }
+  if (t.member_count_ == n) {
+    t.member_.clear();  // full spanning tree: keep the cheap representation
+  }
+  t.recount_children();
+  return t;
+}
+
 void AggregationTree::recount_children() {
   children_count_.assign(parent_.size(), 0);
   for (VertexId v = 0; v < node_count(); ++v) {
@@ -94,7 +137,9 @@ std::vector<EdgeId> AggregationTree::edge_ids() const {
   std::vector<EdgeId> out;
   out.reserve(parent_.size() - 1);
   for (VertexId v = 0; v < node_count(); ++v) {
-    if (v != root_) out.push_back(parent_edge_[static_cast<std::size_t>(v)]);
+    if (v != root_ && contains(v)) {
+      out.push_back(parent_edge_[static_cast<std::size_t>(v)]);
+    }
   }
   return out;
 }
@@ -128,6 +173,9 @@ void AggregationTree::reparent(const Network& net, VertexId child, VertexId new_
                "via_edge must join child and new parent");
   MRLC_REQUIRE(!in_subtree(child, new_parent),
                "re-parenting into the child's own subtree would create a cycle");
+  MRLC_REQUIRE(contains(child) && contains(new_parent),
+               "re-parenting is defined on tree members only; off-tree "
+               "subtrees reattach via from_forest");
 
   const VertexId old_parent = parent_[static_cast<std::size_t>(child)];
   if (old_parent != -1) --children_count_[static_cast<std::size_t>(old_parent)];

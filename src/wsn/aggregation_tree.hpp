@@ -32,6 +32,15 @@ class AggregationTree {
   static AggregationTree from_parents(const Network& net,
                                       std::vector<VertexId> parents);
 
+  /// Builds a *partial* tree (a forest) from a parent array where non-sink
+  /// nodes may carry parent -1.  Nodes reaching the sink through parent
+  /// pointers are tree *members*; every other node is off-tree (dead, or a
+  /// subtree cut off by a node failure the maintainer could not heal).
+  /// Off-tree subtrees keep their internal parent pointers so they can be
+  /// reattached later.  Throws on cycles or links absent from the network.
+  static AggregationTree from_forest(const Network& net,
+                                     std::vector<VertexId> parents);
+
   int node_count() const noexcept { return static_cast<int>(parent_.size()); }
   VertexId root() const noexcept { return root_; }
 
@@ -52,7 +61,21 @@ class AggregationTree {
     return children_count_[static_cast<std::size_t>(v)];
   }
 
-  /// All (n-1) tree edge ids, in child order (skipping the root).
+  /// True iff `v` is connected to the root through parent pointers.  Always
+  /// true for full spanning trees (the common case).
+  bool contains(VertexId v) const {
+    MRLC_REQUIRE(v >= 0 && v < node_count(), "vertex out of range");
+    return member_.empty() || member_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  /// Number of tree members (== node_count() for full spanning trees).
+  int member_count() const {
+    return member_.empty() ? node_count() : member_count_;
+  }
+
+  /// Tree edge ids of all *member* non-root nodes, in child order.  For a
+  /// full spanning tree this is the usual n-1 edges; off-tree subtrees'
+  /// internal edges are excluded.
   std::vector<EdgeId> edge_ids() const;
 
   const std::vector<VertexId>& parents() const noexcept { return parent_; }
@@ -78,6 +101,9 @@ class AggregationTree {
   std::vector<VertexId> parent_;
   std::vector<EdgeId> parent_edge_;
   std::vector<int> children_count_;
+  /// Empty for full spanning trees; else 1 for nodes reaching the root.
+  std::vector<char> member_;
+  int member_count_ = 0;
 };
 
 }  // namespace mrlc::wsn

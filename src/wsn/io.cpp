@@ -99,6 +99,10 @@ Network read_network(std::istream& is) {
       } catch (const std::invalid_argument& e) {
         parse_fail(number, e.what());
       }
+    } else if (keyword == "fault" || keyword == "fault-schedule") {
+      // A fault-schedule block may be appended to a network file (see
+      // dist::write_fault_schedule); it is parsed by a separate reader.
+      continue;
     } else {
       parse_fail(number, "unknown keyword '" + keyword + "'");
     }

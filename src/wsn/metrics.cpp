@@ -12,15 +12,17 @@ double node_lifetime(const Network& net, const AggregationTree& tree, VertexId v
 double network_lifetime(const Network& net, const AggregationTree& tree) {
   double min_lifetime = std::numeric_limits<double>::infinity();
   for (VertexId v = 0; v < net.node_count(); ++v) {
+    if (!tree.contains(v)) continue;  // off-tree nodes do not forward traffic
     min_lifetime = std::min(min_lifetime, node_lifetime(net, tree, v));
   }
   return min_lifetime;
 }
 
 VertexId bottleneck_node(const Network& net, const AggregationTree& tree) {
-  VertexId best = 0;
+  VertexId best = tree.root();
   double best_lifetime = std::numeric_limits<double>::infinity();
   for (VertexId v = 0; v < net.node_count(); ++v) {
+    if (!tree.contains(v)) continue;
     const double life = node_lifetime(net, tree, v);
     if (life < best_lifetime) {
       best_lifetime = life;
@@ -71,6 +73,7 @@ double node_lifetime_retx(const Network& net, const AggregationTree& tree,
 double network_lifetime_retx(const Network& net, const AggregationTree& tree) {
   double min_lifetime = std::numeric_limits<double>::infinity();
   for (VertexId v = 0; v < net.node_count(); ++v) {
+    if (!tree.contains(v)) continue;
     min_lifetime = std::min(min_lifetime, node_lifetime_retx(net, tree, v));
   }
   return min_lifetime;

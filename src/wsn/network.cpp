@@ -45,6 +45,26 @@ double Network::min_initial_energy() const {
   return *std::min_element(initial_energy_.begin(), initial_energy_.end());
 }
 
+void Network::fail_node(VertexId v) {
+  MRLC_REQUIRE(v >= 0 && v < node_count(), "node out of range");
+  MRLC_REQUIRE(v != sink_, "the sink cannot fail");
+  if (node_alive_.empty()) {
+    node_alive_.assign(static_cast<std::size_t>(node_count()), 1);
+  }
+  if (!node_alive_[static_cast<std::size_t>(v)]) return;
+  node_alive_[static_cast<std::size_t>(v)] = 0;
+  // Copy the incident list: remove_edge mutates it while we iterate.
+  const auto incident = topology_.incident(v);
+  const std::vector<EdgeId> links(incident.begin(), incident.end());
+  for (EdgeId id : links) topology_.remove_edge(id);
+}
+
+int Network::alive_node_count() const {
+  if (node_alive_.empty()) return node_count();
+  return static_cast<int>(
+      std::count(node_alive_.begin(), node_alive_.end(), 1));
+}
+
 void Network::validate() const {
   for (double e : initial_energy_) {
     MRLC_REQUIRE(e > 0.0, "all nodes need positive initial energy");
@@ -52,8 +72,24 @@ void Network::validate() const {
   for (double q : prr_) {
     MRLC_REQUIRE(q > 0.0 && q <= 1.0, "all PRRs must lie in (0, 1]");
   }
-  if (!graph::is_connected(topology_)) {
-    throw InfeasibleError("network topology is not connected: no spanning tree exists");
+  if (node_alive_.empty()) {
+    if (!graph::is_connected(topology_)) {
+      throw InfeasibleError(
+          "network topology is not connected: no spanning tree exists");
+    }
+    return;
+  }
+  // With failures injected, require connectivity of the surviving nodes
+  // only (dead nodes have no alive links and would otherwise always fail
+  // the plain check).
+  const graph::Components comps = graph::connected_components(topology_);
+  const int sink_label = comps.label[static_cast<std::size_t>(sink_)];
+  for (VertexId v = 0; v < node_count(); ++v) {
+    if (!node_alive(v)) continue;
+    if (comps.label[static_cast<std::size_t>(v)] != sink_label) {
+      throw InfeasibleError(
+          "surviving network is not connected: no spanning tree exists");
+    }
   }
 }
 

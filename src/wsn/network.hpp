@@ -40,6 +40,23 @@ class Network {
   /// drift); keeps the cost weight in sync.
   void set_link_prr(EdgeId link, double prr);
 
+  /// Soft-deletes a link (edge id stays valid, the link disappears from
+  /// adjacency and `alive_edge_ids`).  Models a permanent link loss.
+  void remove_link(EdgeId link) { topology_.remove_edge(link); }
+
+  /// Marks a node as dead (crash or battery depletion) and removes all of
+  /// its incident links.  The sink cannot fail.  Idempotent.
+  void fail_node(VertexId v);
+
+  /// False once `fail_node(v)` has been called.
+  bool node_alive(VertexId v) const {
+    MRLC_REQUIRE(v >= 0 && v < node_count(), "node out of range");
+    return node_alive_.empty() || node_alive_[static_cast<std::size_t>(v)];
+  }
+
+  /// Number of nodes that have not failed.
+  int alive_node_count() const;
+
   double link_prr(EdgeId link) const {
     MRLC_REQUIRE(link >= 0 && link < static_cast<int>(prr_.size()), "link out of range");
     return prr_[static_cast<std::size_t>(link)];
@@ -65,8 +82,9 @@ class Network {
     return energy_.max_children_real(initial_energy(v), bound);
   }
 
-  /// Throws InfeasibleError if the topology is not connected; throws
-  /// std::invalid_argument on broken per-element data.
+  /// Throws InfeasibleError if the topology restricted to alive nodes is
+  /// not connected; throws std::invalid_argument on broken per-element
+  /// data.  Dead nodes (see `fail_node`) are excluded from the check.
   void validate() const;
 
   /// Converts a PRR to a cost.  PRR must lie in (0, 1].
@@ -83,6 +101,9 @@ class Network {
   graph::Graph topology_;
   std::vector<double> prr_;
   std::vector<double> initial_energy_;
+  /// Empty while no node has failed (the common case); lazily sized by
+  /// `fail_node` so pre-failure networks pay nothing.
+  std::vector<char> node_alive_;
   VertexId sink_;
   EnergyModel energy_;
 };

@@ -1,0 +1,495 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <sstream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ira.hpp"
+#include "distributed/churn.hpp"
+#include "distributed/failure.hpp"
+#include "distributed/maintainer.hpp"
+#include "distributed/simulator.hpp"
+#include "prufer/codec.hpp"
+#include "helpers.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::dist {
+namespace {
+
+using mrlc::testing::small_random_network;
+
+constexpr double kSlack = 1.0 - 1e-12;
+
+/// True iff `v` reaches the sink over the alive topology.
+bool physically_connected(const wsn::Network& net, wsn::VertexId v) {
+  std::vector<bool> seen(static_cast<std::size_t>(net.node_count()), false);
+  std::queue<wsn::VertexId> frontier;
+  frontier.push(net.sink());
+  seen[static_cast<std::size_t>(net.sink())] = true;
+  while (!frontier.empty()) {
+    const wsn::VertexId u = frontier.front();
+    frontier.pop();
+    if (u == v) return true;
+    for (graph::EdgeId id : net.topology().incident(u)) {
+      const wsn::VertexId w = net.topology().edge(id).other(u);
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        frontier.push(w);
+      }
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------ maintainer repairs --
+
+TEST(FaultRecovery, LeafDeathHealsTrivially) {
+  // Path 0 <- 1 <- 2: losing leaf 2 orphans nobody.
+  wsn::Network net(3, 0);
+  net.add_link(0, 1, 0.9);
+  net.add_link(1, 2, 0.9);
+  auto tree = wsn::AggregationTree::from_parents(net, {-1, 0, 1});
+  const double bound = net.energy_model().node_lifetime(3000.0, 2);
+  DistributedMaintainer maintainer(net, tree, bound);
+
+  net.fail_node(2);
+  const RepairOutcome outcome = maintainer.on_node_failed(net, 2);
+  EXPECT_EQ(outcome.status, RepairStatus::kHealed);
+  EXPECT_EQ(outcome.reattached_subtrees, 0);
+  EXPECT_TRUE(outcome.detached.empty());
+  EXPECT_FALSE(maintainer.tree().contains(2));
+  EXPECT_EQ(maintainer.tree().member_count(), 2);
+  EXPECT_EQ(maintainer.tree().children_count(1), 0);
+  EXPECT_GE(wsn::network_lifetime(net, maintainer.tree()), bound * kSlack);
+  EXPECT_EQ(maintainer.stats().node_failures, 1);
+}
+
+TEST(FaultRecovery, OrphanedSubtreeReattaches) {
+  // 0 <- 2 <- 3 <- 4 with spare links (3,1) and (1,0): killing 2 orphans
+  // the subtree {3, 4}, which must re-hang off 1.
+  wsn::Network net(5, 0);
+  net.add_link(0, 2, 0.9);
+  net.add_link(2, 3, 0.9);
+  net.add_link(3, 4, 0.9);
+  net.add_link(3, 1, 0.8);
+  net.add_link(1, 0, 0.95);
+  auto tree = wsn::AggregationTree::from_parents(net, {-1, 0, 0, 2, 3});
+  const double bound = net.energy_model().node_lifetime(3000.0, 3);
+  DistributedMaintainer maintainer(net, tree, bound);
+
+  net.fail_node(2);
+  const RepairOutcome outcome = maintainer.on_node_failed(net, 2);
+  EXPECT_EQ(outcome.status, RepairStatus::kHealed);
+  EXPECT_EQ(outcome.reattached_subtrees, 1);
+  EXPECT_EQ(maintainer.tree().parent(3), 1);
+  EXPECT_EQ(maintainer.tree().parent(4), 3);
+  EXPECT_EQ(maintainer.tree().member_count(), 4);
+  EXPECT_GE(wsn::network_lifetime(net, maintainer.tree()), bound * kSlack);
+  EXPECT_EQ(maintainer.stats().reattachments, 1);
+  // The healed tree is whole again (minus the dead node), but it is not a
+  // spanning tree of all five labels, so no Prüfer code exists for it.
+  EXPECT_TRUE(maintainer.code().empty());
+}
+
+TEST(FaultRecovery, PartitionReportedAndRetriedLater) {
+  // 3 hangs off 2 and has no other link: killing 2 partitions {3}.
+  wsn::Network net(4, 0);
+  net.add_link(0, 1, 0.9);
+  net.add_link(0, 2, 0.9);
+  net.add_link(2, 3, 0.9);
+  auto tree = wsn::AggregationTree::from_parents(net, {-1, 0, 0, 2});
+  const double bound = net.energy_model().node_lifetime(3000.0, 3);
+  DistributedMaintainer maintainer(net, tree, bound);
+
+  net.fail_node(2);
+  const RepairOutcome outcome = maintainer.on_node_failed(net, 2);
+  EXPECT_EQ(outcome.status, RepairStatus::kPartitioned);
+  ASSERT_EQ(outcome.detached.size(), 1u);
+  EXPECT_EQ(outcome.detached[0], 3);
+  EXPECT_FALSE(maintainer.tree().contains(3));
+  EXPECT_EQ(maintainer.tree().member_count(), 2);
+  EXPECT_EQ(maintainer.stats().partitions, 1);
+  // Member-only metrics keep working on the partial tree.
+  EXPECT_GE(wsn::network_lifetime(net, maintainer.tree()), bound * kSlack);
+
+  // A new link restores physical connectivity; the retry re-admits node 3.
+  net.add_link(3, 1, 0.85);
+  EXPECT_EQ(maintainer.retry_detached(net), 1);
+  EXPECT_TRUE(maintainer.tree().contains(3));
+  EXPECT_EQ(maintainer.tree().parent(3), 1);
+  EXPECT_EQ(maintainer.tree().member_count(), 3);
+  EXPECT_GE(wsn::network_lifetime(net, maintainer.tree()), bound * kSlack);
+}
+
+TEST(FaultRecovery, LcRelaxationIsOptIn) {
+  // After 2 dies, orphan 3's only candidate parent is 1, whose battery is
+  // too small to take a child under LC.  Default policy: partition.
+  // With allow_lc_relaxation: heal, record the lowered bound.
+  const auto build = [] {
+    wsn::Network net(4, 0);
+    net.add_link(0, 1, 0.9);
+    net.add_link(0, 2, 0.9);
+    net.add_link(2, 3, 0.9);
+    net.add_link(1, 3, 0.9);
+    net.set_initial_energy(0, 1e6);  // mains-powered sink never bottlenecks
+    net.set_initial_energy(1, 2500.0);
+    return net;
+  };
+  const double bound = wsn::EnergyModel{}.node_lifetime(3000.0, 1);
+
+  {
+    wsn::Network net = build();
+    auto tree = wsn::AggregationTree::from_parents(net, {-1, 0, 0, 2});
+    ASSERT_GE(wsn::network_lifetime(net, tree), bound * kSlack);
+    DistributedMaintainer strict(net, tree, bound);
+    net.fail_node(2);
+    const RepairOutcome outcome = strict.on_node_failed(net, 2);
+    EXPECT_EQ(outcome.status, RepairStatus::kPartitioned);
+    EXPECT_EQ(outcome.detached, std::vector<wsn::VertexId>{3});
+    EXPECT_EQ(strict.lifetime_bound(), bound);
+  }
+  {
+    wsn::Network net = build();
+    auto tree = wsn::AggregationTree::from_parents(net, {-1, 0, 0, 2});
+    MaintainerOptions options;
+    options.allow_lc_relaxation = true;
+    DistributedMaintainer relaxed(net, tree, bound, options);
+    net.fail_node(2);
+    const RepairOutcome outcome = relaxed.on_node_failed(net, 2);
+    EXPECT_EQ(outcome.status, RepairStatus::kHealedDegraded);
+    EXPECT_TRUE(outcome.detached.empty());
+    EXPECT_EQ(relaxed.tree().parent(3), 1);
+    EXPECT_LT(outcome.effective_bound, bound);
+    EXPECT_EQ(relaxed.lifetime_bound(), outcome.effective_bound);
+    EXPECT_GE(wsn::network_lifetime(net, relaxed.tree()),
+              outcome.effective_bound * kSlack);
+    EXPECT_EQ(relaxed.stats().lc_relaxations, 1);
+  }
+}
+
+TEST(FaultRecovery, RandomNetworksHealOrPartitionCorrectly) {
+  Rng rng(501);
+  int healed = 0;
+  int partitioned = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    // Dense graphs exercise heals; sparse ones (average degree ~2.7) leave
+    // some victims' subtrees with no path home, exercising partitions.
+    const double density = trial < 3 ? 0.12 : 0.055;
+    wsn::Network net = small_random_network(50, density, rng, 0.6, 0.99);
+    const double bound = net.energy_model().node_lifetime(3000.0, 8);
+    core::IraOptions ira_options;
+    ira_options.bound_mode = core::BoundMode::kDirect;
+    const core::IraResult ira =
+        core::IterativeRelaxation(ira_options).solve(net, bound);
+    if (!ira.meets_bound) continue;
+    MaintainerOptions options;
+    options.allow_lc_relaxation = true;  // partitions then imply disconnection
+    DistributedMaintainer maintainer(net, ira.tree, bound, options);
+
+    const FailureSchedule schedule =
+        random_crash_schedule(net, 8, 1000.0, rng);
+    for (const FailureEvent& event : schedule.events) {
+      net.fail_node(event.node);
+      const RepairOutcome outcome = maintainer.on_node_failed(net, event.node);
+      const wsn::AggregationTree& tree = maintainer.tree();
+
+      // Members are exactly the alive nodes minus everything ever detached;
+      // no dead node may remain a member.
+      EXPECT_FALSE(tree.contains(event.node));
+      for (wsn::VertexId v = 0; v < net.node_count(); ++v) {
+        if (tree.contains(v)) EXPECT_TRUE(net.node_alive(v));
+      }
+      // Whatever remains on the tree satisfies the bound in force.
+      EXPECT_GE(wsn::network_lifetime(net, tree),
+                maintainer.lifetime_bound() * kSlack);
+      EXPECT_LE(maintainer.lifetime_bound(), bound);
+
+      switch (outcome.status) {
+        case RepairStatus::kHealed:
+          EXPECT_TRUE(outcome.detached.empty());
+          EXPECT_EQ(outcome.effective_bound, maintainer.lifetime_bound());
+          ++healed;
+          break;
+        case RepairStatus::kHealedDegraded:
+          EXPECT_TRUE(outcome.detached.empty());
+          EXPECT_LT(outcome.effective_bound, bound);
+          break;
+        case RepairStatus::kPartitioned:
+          ASSERT_FALSE(outcome.detached.empty());
+          // With relaxation on, a partition means physical disconnection.
+          for (wsn::VertexId v : outcome.detached) {
+            EXPECT_FALSE(physically_connected(net, v)) << "node " << v;
+          }
+          ++partitioned;
+          break;
+      }
+    }
+  }
+  EXPECT_GT(healed, 0) << "schedules never exercised a heal";
+  EXPECT_GT(partitioned, 0) << "schedules never exercised a partition";
+}
+
+// ------------------------------------------------------- failure schedules --
+
+TEST(FailureSchedule, CrashScheduleIsDistinctSortedAndSeeded) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  wsn::Network net(20, 0);  // topology irrelevant for crash scheduling
+  const FailureSchedule a = random_crash_schedule(net, 10, 500.0, rng_a);
+  const FailureSchedule b = random_crash_schedule(net, 10, 500.0, rng_b);
+  ASSERT_EQ(a.size(), 10);
+  std::vector<bool> seen(20, false);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events[i].node, b.events[i].node) << "not seed-deterministic";
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_NE(a.events[i].node, net.sink());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(a.events[i].node)]) << "duplicate victim";
+    seen[static_cast<std::size_t>(a.events[i].node)] = true;
+    if (i > 0) EXPECT_GE(a.events[i].time, a.events[i - 1].time);
+    EXPECT_GT(a.events[i].time, 0.0);
+    EXPECT_LT(a.events[i].time, 500.0);
+  }
+  EXPECT_THROW(random_crash_schedule(net, 20, 500.0, rng_a), std::invalid_argument);
+}
+
+TEST(FailureSchedule, DepletionDeathsFollowEnergyRates) {
+  // Star: every leaf sends to the sink; the leaf with the smallest battery
+  // dies first.
+  Rng rng(11);
+  wsn::Network net(4, 0);
+  net.add_link(0, 1, 1.0);
+  net.add_link(0, 2, 1.0);
+  net.add_link(0, 3, 1.0);
+  net.set_initial_energy(1, 1000.0);
+  net.set_initial_energy(2, 2000.0);
+  net.set_initial_energy(3, 3000.0);
+  auto tree = wsn::AggregationTree::from_parents(net, {-1, 0, 0, 0});
+  const FailureSchedule schedule =
+      depletion_schedule(net, tree, radio::RetxPolicy{}, 2, 50, rng);
+  ASSERT_EQ(schedule.size(), 2);
+  EXPECT_EQ(schedule.events[0].node, 1);
+  EXPECT_EQ(schedule.events[1].node, 2);
+  EXPECT_EQ(schedule.events[0].kind, FailureKind::kDepletion);
+  EXPECT_LT(schedule.events[0].time, schedule.events[1].time);
+}
+
+TEST(FailureSchedule, RoundTripsThroughText) {
+  FailureSchedule schedule;
+  schedule.events.push_back({12.5, 3, FailureKind::kCrash});
+  schedule.events.push_back({90.0, 7, FailureKind::kDepletion});
+  std::stringstream buffer;
+  buffer << "mrlc-network v1\nnodes 8 sink 0\n";  // a network block to skip
+  write_fault_schedule(buffer, schedule);
+  const FailureSchedule parsed = read_fault_schedule(buffer);
+  ASSERT_EQ(parsed.size(), 2);
+  EXPECT_EQ(parsed.events[0].time, 12.5);
+  EXPECT_EQ(parsed.events[0].node, 3);
+  EXPECT_EQ(parsed.events[0].kind, FailureKind::kCrash);
+  EXPECT_EQ(parsed.events[1].node, 7);
+  EXPECT_EQ(parsed.events[1].kind, FailureKind::kDepletion);
+
+  std::stringstream empty("mrlc-network v1\nnodes 2 sink 0\nlink 0 1 0.9\n");
+  EXPECT_TRUE(read_fault_schedule(empty).empty());
+}
+
+TEST(FailureSchedule, CompactNetworkKeepsSurvivors) {
+  Rng rng(13);
+  wsn::Network net = small_random_network(12, 0.5, rng, 0.6, 0.95);
+  net.set_initial_energy(5, 1234.0);
+  net.fail_node(3);
+  net.fail_node(7);
+  const CompactNetwork compact = compact_alive_network(net);
+  EXPECT_EQ(compact.net.node_count(), 10);
+  EXPECT_EQ(compact.net.sink(), 0);
+  EXPECT_EQ(compact.original[0], net.sink());
+  EXPECT_EQ(compact.net.link_count(), net.topology().alive_edge_count());
+  for (int c = 0; c < compact.net.node_count(); ++c) {
+    EXPECT_TRUE(net.node_alive(compact.original[static_cast<std::size_t>(c)]));
+    EXPECT_EQ(compact.net.initial_energy(c),
+              net.initial_energy(compact.original[static_cast<std::size_t>(c)]));
+  }
+}
+
+// --------------------------------------------------------- replica resync --
+
+prufer::Code path_code() {
+  // 0 <- 1 <- 2 <- 3
+  return prufer::encode({-1, 0, 1, 2});
+}
+
+TEST(SensorReplica, IntegrateBuffersOutOfOrderRecords) {
+  SensorReplica replica(/*id=*/2, path_code(), /*node_count=*/4);
+
+  UpdateRecord second;
+  second.sequence = 2;
+  second.changes.emplace_back(2, 0);
+  EXPECT_EQ(replica.integrate(second), SensorReplica::Integration::kBuffered);
+  EXPECT_EQ(replica.applied_sequence(), 0u);  // gap: record 1 missing
+  EXPECT_EQ(replica.known_sequence(), 2u);
+  EXPECT_EQ(replica.missing_sequences(), std::vector<std::uint64_t>{1});
+  EXPECT_EQ(replica.parents()[2], 1) << "buffered records must not apply";
+
+  EXPECT_EQ(replica.integrate(second), SensorReplica::Integration::kDuplicate);
+
+  UpdateRecord first;
+  first.sequence = 1;
+  first.changes.emplace_back(3, 1);
+  EXPECT_EQ(replica.integrate(first), SensorReplica::Integration::kApplied);
+  EXPECT_EQ(replica.applied_sequence(), 2u) << "gap fill must drain the buffer";
+  EXPECT_TRUE(replica.missing_sequences().empty());
+  EXPECT_EQ(replica.parents()[3], 1);
+  EXPECT_EQ(replica.parents()[2], 0);
+  EXPECT_TRUE(replica.has_record(1));
+  EXPECT_TRUE(replica.has_record(2));
+
+  EXPECT_EQ(replica.integrate(first), SensorReplica::Integration::kDuplicate);
+}
+
+TEST(SensorReplica, DigestsRevealGapsWithoutRecords) {
+  SensorReplica replica(/*id=*/1, path_code(), /*node_count=*/4);
+  replica.observe_sequence(3);
+  EXPECT_EQ(replica.known_sequence(), 3u);
+  EXPECT_EQ(replica.missing_sequences(),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_FALSE(replica.has_record(2));
+  // Digests never regress.
+  replica.observe_sequence(1);
+  EXPECT_EQ(replica.known_sequence(), 3u);
+}
+
+TEST(SensorReplica, DetachRecordsDropTheCodeUntilTheTreeIsWhole) {
+  SensorReplica replica(/*id=*/0, path_code(), /*node_count=*/4);
+  EXPECT_FALSE(replica.code().empty());
+
+  UpdateRecord detach;
+  detach.sequence = 1;
+  detach.changes.emplace_back(2, -1);  // subtree {2, 3} cut off
+  EXPECT_TRUE(replica.apply(detach));
+  EXPECT_TRUE(replica.code().empty()) << "partial trees have no Prüfer code";
+  EXPECT_EQ(replica.parents()[2], -1);
+  EXPECT_EQ(replica.parents()[3], 2) << "off-tree interior pointers survive";
+
+  UpdateRecord rejoin;
+  rejoin.sequence = 2;
+  rejoin.changes.emplace_back(2, 0);
+  EXPECT_TRUE(replica.apply(rejoin));
+  EXPECT_FALSE(replica.code().empty());
+  EXPECT_EQ(prufer::decode(replica.code(), 4),
+            (prufer::ParentArray{-1, 0, 0, 2}));
+}
+
+// ------------------------------------------------ lossy flood convergence --
+
+TEST(LossySimulator, ReplicasConvergeAfterEveryEvent) {
+  Rng rng(601);
+  long long missed_total = 0;
+  long long resync_rounds_total = 0;
+  int events_seen = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    wsn::Network net = small_random_network(12, 0.6, rng, 0.6, 0.95);
+    const double bound = net.energy_model().node_lifetime(3000.0, 6);
+    core::IraOptions ira_options;
+    ira_options.bound_mode = core::BoundMode::kDirect;
+    const core::IraResult ira =
+        core::IterativeRelaxation(ira_options).solve(net, bound);
+    if (!ira.meets_bound) continue;
+
+    FloodOptions flood;
+    flood.lossy = true;
+    flood.control_retx = 1;
+    flood.seed = 9000 + static_cast<std::uint64_t>(trial);
+    MaintainerOptions options;
+    options.allow_lc_relaxation = true;
+    ProtocolSimulator sim(net, ira.tree, bound, options, flood);
+    ASSERT_TRUE(sim.replicas_consistent());
+
+    ChurnOptions churn_options;
+    churn_options.cost_noise_sigma = 0.05;
+    ChurnProcess churn(net, churn_options);
+    for (int step = 0; step < 25; ++step) {
+      for (const LinkEvent& event : churn.step(net, rng)) {
+        if (event.kind == LinkEvent::Kind::kDegraded) {
+          sim.on_link_degraded(net, event.link);
+        } else {
+          sim.on_link_improved(net, event.link);
+        }
+        EXPECT_TRUE(sim.replicas_consistent())
+            << "trial " << trial << " step " << step;
+        ++events_seen;
+      }
+    }
+
+    // Two node deaths on top of the churn.
+    for (int death = 0; death < 2; ++death) {
+      wsn::VertexId victim = -1;
+      for (wsn::VertexId v = net.node_count() - 1; v > 0; --v) {
+        if (net.node_alive(v) && sim.tree().contains(v)) {
+          victim = v;
+          break;
+        }
+      }
+      ASSERT_NE(victim, -1);
+      sim.on_node_failed(net, victim);
+      EXPECT_TRUE(sim.replicas_consistent())
+          << "trial " << trial << " death " << death;
+      ++events_seen;
+    }
+
+    missed_total += sim.stats().flood_deliveries_missed;
+    resync_rounds_total += sim.stats().resync_rounds;
+    EXPECT_EQ(sim.stats().resync_exhausted, 0);
+  }
+  ASSERT_GT(events_seen, 0);
+  // The loss model must actually bite somewhere across the trials, and
+  // anti-entropy must be what repaired it.
+  EXPECT_GT(missed_total, 0);
+  EXPECT_GT(resync_rounds_total, 0);
+}
+
+TEST(LossySimulator, ReliableModeKeepsLegacyAccounting) {
+  Rng rng(77);
+  wsn::Network net = small_random_network(10, 0.6, rng, 0.6, 1.0);
+  const double bound = net.energy_model().node_lifetime(3000.0, 6);
+  core::IraOptions ira_options;
+  ira_options.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult ira =
+      core::IterativeRelaxation(ira_options).solve(net, bound);
+  if (!ira.meets_bound) GTEST_SKIP() << "instance too tight";
+  ProtocolSimulator sim(net, ira.tree, bound);
+  EXPECT_EQ(sim.stats().digest_beacons, 0);
+  EXPECT_EQ(sim.stats().resync_requests, 0);
+  EXPECT_EQ(sim.stats().flood_deliveries_missed, 0);
+  EXPECT_EQ(sim.resync(net), 0) << "resync is a no-op without lossy mode";
+}
+
+TEST(LossySimulator, NodeFailureFloodsReachSurvivors) {
+  // Deterministic line: 0 <- 1 <- 2 <- 3 <- 4 plus (1,4) backup; kill 2.
+  wsn::Network net(5, 0);
+  net.add_link(0, 1, 0.95);
+  net.add_link(1, 2, 0.95);
+  net.add_link(2, 3, 0.95);
+  net.add_link(3, 4, 0.95);
+  net.add_link(1, 4, 0.9);
+  auto tree = wsn::AggregationTree::from_parents(net, {-1, 0, 1, 2, 3});
+  const double bound = net.energy_model().node_lifetime(3000.0, 3);
+  FloodOptions flood;
+  flood.lossy = true;
+  flood.control_retx = 3;
+  flood.seed = 42;
+  ProtocolSimulator sim(net, tree, bound, MaintainerOptions{}, flood);
+
+  const RepairOutcome outcome = sim.on_node_failed(net, 2);
+  EXPECT_EQ(outcome.status, RepairStatus::kHealed);
+  EXPECT_TRUE(sim.replicas_consistent());
+  // Survivors agree that 3 now routes through 4 -> 1 (the only way home).
+  EXPECT_EQ(sim.tree().parent(4), 1);
+  EXPECT_EQ(sim.tree().parent(3), 4);
+  for (wsn::VertexId v : {0, 1, 3, 4}) {
+    EXPECT_EQ(sim.replica(v).parents(), sim.tree().parents()) << "node " << v;
+  }
+  EXPECT_TRUE(sim.replica(2).dead());
+}
+
+}  // namespace
+}  // namespace mrlc::dist

@@ -7,6 +7,10 @@
 ///   mrlc_gen random [--seed S] [--nodes N] [--p PROB]
 ///                   [--prr-min Q] [--prr-max Q]
 ///                   [--energy-min J] [--energy-max J] > net.txt
+///
+/// Either mode also takes [--faults K] [--horizon ROUNDS] [--fault-seed S]
+/// to append a reproducible crash schedule (a `fault-schedule v1` block) to
+/// the network file; `mrlc_solve faults` replays such combined files.
 
 #include <cstdlib>
 #include <iostream>
@@ -14,6 +18,7 @@
 #include <string>
 
 #include "common/rng.hpp"
+#include "distributed/failure.hpp"
 #include "scenario/dfl.hpp"
 #include "scenario/random_net.hpp"
 #include "wsn/io.hpp"
@@ -26,7 +31,9 @@ namespace {
                "  mrlc_gen random [--seed S] [--nodes N] [--p PROB]\n"
                "                  [--prr-min Q] [--prr-max Q]\n"
                "                  [--energy-min J] [--energy-max J]\n"
-               "writes an mrlc-network v1 file to stdout\n";
+               "both modes: [--faults K] [--horizon ROUNDS] [--fault-seed S]\n"
+               "writes an mrlc-network v1 file (plus an optional fault-schedule\n"
+               "block) to stdout\n";
   std::exit(2);
 }
 
@@ -44,6 +51,24 @@ double flag_or(const std::map<std::string, std::string>& flags,
                const std::string& name, double fallback) {
   const auto it = flags.find(name);
   return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+/// Appends a seeded crash schedule after the network block when --faults is
+/// given; the combined file stays readable by wsn::read_network (fault lines
+/// are skipped there) and by dist::read_fault_schedule.
+void emit_fault_schedule(const std::map<std::string, std::string>& flags,
+                         const mrlc::wsn::Network& net, std::uint64_t net_seed) {
+  const int faults = static_cast<int>(flag_or(flags, "faults", 0));
+  if (faults <= 0) return;
+  const double horizon = flag_or(flags, "horizon", 1000.0);
+  const auto fault_seed = static_cast<std::uint64_t>(
+      flag_or(flags, "fault-seed", static_cast<double>(net_seed + 1)));
+  mrlc::Rng rng(fault_seed);
+  const mrlc::dist::FailureSchedule schedule =
+      mrlc::dist::random_crash_schedule(net, faults, horizon, rng);
+  std::cout << "# " << faults << " crash faults over " << horizon
+            << " rounds, fault seed " << fault_seed << '\n';
+  mrlc::dist::write_fault_schedule(std::cout, schedule);
 }
 
 }  // namespace
@@ -64,6 +89,7 @@ int main(int argc, char** argv) {
       std::cout << "# DFL testbed, seed " << config.seed << ", tx level "
                 << config.tx_power_level << ", side " << config.side_m << " m\n";
       wsn::write_network(std::cout, sys.network);
+      emit_fault_schedule(flags, sys.network, config.seed);
     } else if (mode == "random") {
       const auto flags = parse_flags(argc, argv, 2);
       scenario::RandomNetworkConfig config;
@@ -73,11 +99,13 @@ int main(int argc, char** argv) {
       config.prr_max = flag_or(flags, "prr-max", 1.0);
       config.energy_min_j = flag_or(flags, "energy-min", 3000.0);
       config.energy_max_j = flag_or(flags, "energy-max", 3000.0);
-      Rng rng(static_cast<std::uint64_t>(flag_or(flags, "seed", 1)));
+      const auto seed = static_cast<std::uint64_t>(flag_or(flags, "seed", 1));
+      Rng rng(seed);
       const wsn::Network net = scenario::make_random_network(config, rng);
       std::cout << "# G(n, p) instance, n " << config.node_count << ", p "
                 << config.link_probability << '\n';
       wsn::write_network(std::cout, net);
+      emit_fault_schedule(flags, net, seed);
     } else {
       usage();
     }

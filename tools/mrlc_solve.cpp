@@ -9,12 +9,17 @@
 ///   mrlc_solve mst                                  < net.txt > tree.txt
 ///   mrlc_solve aaml   [--lex]                       < net.txt > tree.txt
 ///   mrlc_solve probe                                < net.txt
+///   mrlc_solve faults --lifetime ROUNDS [--relax] [--lossy] [--retx N]
+///                     [--seed S]                   < net+faults.txt
 ///
 /// `probe` brackets the maximum achievable lifetime instead of solving.
+/// `faults` replays the fault-schedule block appended by `mrlc_gen --faults`
+/// against the distributed maintainer and reports each repair outcome.
 
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "baselines/aaml.hpp"
@@ -23,6 +28,8 @@
 #include "core/feasibility.hpp"
 #include "core/solver.hpp"
 #include "core/ira.hpp"
+#include "distributed/failure.hpp"
+#include "distributed/simulator.hpp"
 #include "wsn/io.hpp"
 #include "wsn/metrics.hpp"
 
@@ -35,8 +42,88 @@ namespace {
                "  mrlc_solve greedy --lifetime ROUNDS             < net > tree\n"
                "  mrlc_solve mst                                  < net > tree\n"
                "  mrlc_solve aaml   [--lex]                       < net > tree\n"
-               "  mrlc_solve probe                                < net\n";
+               "  mrlc_solve probe                                < net\n"
+               "  mrlc_solve faults --lifetime ROUNDS [--relax] [--lossy]\n"
+               "                    [--retx N] [--seed S]         < net+faults\n";
   std::exit(2);
+}
+
+const char* status_name(mrlc::dist::RepairStatus status) {
+  switch (status) {
+    case mrlc::dist::RepairStatus::kHealed: return "healed";
+    case mrlc::dist::RepairStatus::kHealedDegraded: return "healed-degraded";
+    case mrlc::dist::RepairStatus::kPartitioned: return "partitioned";
+  }
+  return "?";
+}
+
+/// Replays a crash/depletion schedule through the message-level simulator.
+int replay_faults(mrlc::wsn::Network& net, const std::string& input,
+                  std::map<std::string, std::string>& flags) {
+  using namespace mrlc;
+  if (!flags.count("lifetime")) usage();
+  const double bound = std::stod(flags["lifetime"]);
+
+  std::istringstream schedule_in(input);
+  const dist::FailureSchedule schedule = dist::read_fault_schedule(schedule_in);
+  if (schedule.empty()) {
+    std::cerr << "mrlc_solve: input has no fault-schedule block "
+                 "(generate one with mrlc_gen --faults)\n";
+    return 2;
+  }
+
+  core::IraOptions ira_options;
+  ira_options.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult ira = core::IterativeRelaxation(ira_options).solve(net, bound);
+  std::cerr << "initial tree: reliability " << wsn::tree_reliability(net, ira.tree)
+            << ", lifetime " << wsn::network_lifetime(net, ira.tree)
+            << " rounds, bound " << (ira.meets_bound ? "met" : "VIOLATED") << '\n';
+
+  dist::MaintainerOptions maintainer_options;
+  maintainer_options.allow_lc_relaxation = flags.count("relax") > 0;
+  dist::FloodOptions flood;
+  flood.lossy = flags.count("lossy") > 0;
+  if (flags.count("retx")) flood.control_retx = std::stoi(flags["retx"]);
+  if (flags.count("seed")) flood.seed = std::stoull(flags["seed"]);
+  dist::ProtocolSimulator sim(net, ira.tree, bound, maintainer_options, flood);
+
+  std::cout << "# fault replay: " << schedule.size() << " scheduled deaths, "
+            << (flood.lossy ? "lossy" : "reliable") << " control floods\n";
+  for (const dist::FailureEvent& event : schedule.events) {
+    std::cout << "t=" << event.time << " node " << event.node << ' '
+              << (event.kind == dist::FailureKind::kCrash ? "crash" : "depletion");
+    if (!net.node_alive(event.node)) {
+      std::cout << ": already dead, skipped\n";
+      continue;
+    }
+    const long long messages_before = sim.stats().control_messages();
+    const dist::RepairOutcome outcome = sim.on_node_failed(net, event.node);
+    std::cout << ": " << status_name(outcome.status) << ", reattached "
+              << outcome.reattached_subtrees << " subtree(s), "
+              << outcome.cascade_moves << " cascade move(s), "
+              << outcome.detached.size() << " node(s) detached, "
+              << (sim.stats().control_messages() - messages_before)
+              << " control messages\n";
+  }
+
+  const dist::MaintainerStats& stats = sim.maintainer().stats();
+  const wsn::AggregationTree& tree = sim.tree();
+  std::cout << "summary: " << stats.node_failures << " deaths, "
+            << stats.reattachments << " reattachments, " << stats.cascade_moves
+            << " cascade moves, " << stats.partitions << " partitioned subtrees, "
+            << stats.lc_relaxations << " LC relaxations\n";
+  std::cout << "final tree: " << tree.member_count() << '/'
+            << net.alive_node_count() << " alive nodes attached, reliability "
+            << wsn::tree_reliability(net, tree) << ", lifetime "
+            << wsn::network_lifetime(net, tree) << " rounds (bound in force "
+            << sim.maintainer().lifetime_bound() << ")\n";
+  std::cout << "control plane: " << sim.stats().control_messages()
+            << " messages total (" << sim.stats().flood_transmissions
+            << " flood, " << sim.stats().digest_beacons << " digest, "
+            << sim.stats().resync_requests + sim.stats().resync_responses
+            << " resync), replicas "
+            << (sim.replicas_consistent() ? "consistent" : "INCONSISTENT") << '\n';
+  return 0;
 }
 
 void report(const mrlc::wsn::Network& net, const mrlc::wsn::AggregationTree& tree,
@@ -59,7 +146,8 @@ int main(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage();
     key = key.substr(2);
-    if (key == "strict" || key == "lex" || key == "certify") {
+    if (key == "strict" || key == "lex" || key == "certify" || key == "relax" ||
+        key == "lossy") {
       flags[key] = "1";
     } else if (i + 1 < argc) {
       flags[key] = argv[++i];
@@ -69,8 +157,17 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const wsn::Network net = wsn::read_network(std::cin);
+    // Slurp stdin once: the faults mode re-parses the same text for the
+    // appended fault-schedule block.
+    std::stringstream stdin_buffer;
+    stdin_buffer << std::cin.rdbuf();
+    const std::string input = stdin_buffer.str();
+    wsn::Network net = wsn::network_from_string(input);
     net.validate();
+
+    if (mode == "faults") {
+      return replay_faults(net, input, flags);
+    }
 
     if (mode == "probe") {
       const core::LifetimeBracket bracket = core::bracket_max_lifetime(net);
