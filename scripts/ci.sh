@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full verification pipeline, exactly as CI runs it:
+#
+#   1. tier-1: release configure + build + ctest (the gate every change
+#      must pass);
+#   2. sanitized: the same suite under ASan + UBSan, catching the memory
+#      and UB bugs a release run hides.
+#
+# Usage: scripts/ci.sh [--release-only|--asan-only]
+# Runs from any directory; build trees live in build-release/ and
+# build-asan/ next to the sources (both gitignored).
+set -euo pipefail
+
+repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_release=1
+run_asan=1
+case "${1:-}" in
+  --release-only) run_asan=0 ;;
+  --asan-only) run_release=0 ;;
+  "") ;;
+  *)
+    echo "usage: $0 [--release-only|--asan-only]" >&2
+    exit 2
+    ;;
+esac
+
+run_suite() {
+  local preset="$1"
+  (
+    cd "$repo"
+    echo "=== [$preset] configure ==="
+    cmake --preset "$preset"
+    echo "=== [$preset] build ==="
+    cmake --build --preset "$preset" -j "$jobs"
+    echo "=== [$preset] test ==="
+    ctest --preset "$preset"
+  )
+}
+
+[[ $run_release -eq 1 ]] && run_suite release
+[[ $run_asan -eq 1 ]] && run_suite asan
+
+echo "=== ci.sh: all requested suites passed ==="

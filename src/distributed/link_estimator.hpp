@@ -1,0 +1,117 @@
+#pragma once
+
+/// \file link_estimator.hpp
+/// \brief Online per-link PRR estimation from observed data-plane traffic.
+///
+/// `dist::churn` is an *oracle*: it mutates the true link qualities and
+/// tells the Section-VI protocol exactly which links crossed the event
+/// threshold.  Deployed sensors have no such oracle — they infer quality
+/// from what their radios actually observe: ARQ transaction outcomes on
+/// tree links (did the ACK come back?) and occasional probe beacons on
+/// idle links.  This module closes that loop.
+///
+/// Each link carries an EWMA success estimate seeded from the site-survey
+/// PRR (the deployment-time value):
+///
+///     est <- (1 - alpha) * est + alpha * outcome
+///
+/// After a warm-up of `min_samples` observations, hysteresis thresholds
+/// compare the estimate against the value at the last *reported* event:
+/// a relative drop beyond `degrade_threshold` emits a kDegraded
+/// `LinkEvent`, a relative rise beyond `improve_threshold` emits
+/// kImproved, and anything inside the deadband stays silent.  The
+/// thresholds are deliberately asymmetric (improve > degrade): flapping a
+/// tree rebuild costs a flood, so improvements must clear a higher bar —
+/// classic estimator hysteresis.
+///
+/// Because senders observe *ACK outcomes*, the estimate tracks
+/// q_data * q_ack rather than q_data alone — an honest bias every real
+/// convergecast stack shares (a lost ACK is indistinguishable from a lost
+/// frame).  `sample_compensation` optionally divides it back out using the
+/// ARQ policy's nominal ACK reliability.
+///
+/// Under burst loss the estimator will sometimes fire on a streak of bad
+/// luck rather than a genuine quality change; `bench/extra_arq_dataplane`
+/// counts those false-positive repairs.
+
+#include <vector>
+
+#include "distributed/churn.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::dist {
+
+struct EstimatorOptions {
+  double ewma_alpha = 0.08;        ///< weight of the newest sample
+  int min_samples = 10;            ///< warm-up before any event may fire
+  double degrade_threshold = 0.15; ///< relative drop vs last report
+  double improve_threshold = 0.25; ///< relative rise vs last report (hysteresis)
+  double min_prr = 0.01;           ///< estimate clamp floor (cost stays finite)
+  double max_prr = 0.999;          ///< estimate clamp ceiling
+  /// Divides ACK-based samples by this factor to undo the q_ack bias
+  /// (1 = no compensation).  Set to the ARQ policy's nominal ack_prr at the
+  /// survey PRR when the data plane reports ACK outcomes.
+  double sample_compensation = 1.0;
+
+  void validate() const {
+    MRLC_REQUIRE(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+                 "EWMA alpha must lie in (0, 1]");
+    MRLC_REQUIRE(min_samples >= 1, "need at least one warm-up sample");
+    MRLC_REQUIRE(degrade_threshold > 0.0 && improve_threshold > 0.0,
+                 "thresholds must be positive");
+    MRLC_REQUIRE(min_prr > 0.0 && min_prr < max_prr && max_prr <= 1.0,
+                 "PRR clamps must satisfy 0 < min < max <= 1");
+    MRLC_REQUIRE(sample_compensation > 0.0 && sample_compensation <= 1.0,
+                 "sample compensation must lie in (0, 1]");
+  }
+};
+
+/// One EWMA estimator per network link, plus the pending-event queue.
+class LinkEstimatorBank {
+ public:
+  /// Seeds every estimator at the network's current (site-survey) PRRs.
+  explicit LinkEstimatorBank(const wsn::Network& net,
+                             EstimatorOptions options = {});
+
+  /// Feeds one observed transaction outcome (true = success) into `link`'s
+  /// estimator; may queue a LinkEvent once warm.
+  void observe(wsn::EdgeId link, bool success);
+
+  /// Drains the events queued since the last poll (at most one per link per
+  /// poll; a later observation supersedes an earlier queued event on the
+  /// same link).
+  std::vector<LinkEvent> poll();
+
+  double estimate(wsn::EdgeId link) const;
+  long long sample_count(wsn::EdgeId link) const;
+  /// The estimate at the last reported event (== the deployment PRR until
+  /// the first event fires).
+  double reported(wsn::EdgeId link) const;
+
+  /// Writes the current estimates into `view`'s link PRRs — the "what the
+  /// nodes believe" network the maintainer repairs against.  `view` must
+  /// share the anchored network's topology.
+  void write_estimates(wsn::Network& view) const;
+
+  const EstimatorOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Raw estimates track the observed success indicator (q * q_ack for ACK
+  /// samples); `compensated` divides the bias back out for consumers.  The
+  /// hysteresis ratios are bias-invariant, so events fire identically
+  /// either way.
+  double compensated(double raw) const;
+
+  struct State {
+    double estimate = 1.0;  ///< raw EWMA of observed outcomes
+    double reported = 1.0;  ///< raw estimate at the last reported event
+    long long samples = 0;
+    int pending = -1;  ///< index into pending_ while an event is queued
+  };
+
+  EstimatorOptions options_;
+  std::vector<State> links_;
+  std::vector<LinkEvent> pending_;
+};
+
+}  // namespace mrlc::dist

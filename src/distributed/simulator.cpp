@@ -88,7 +88,8 @@ ProtocolSimulator::ProtocolSimulator(const wsn::Network& net,
                                      FloodOptions flood)
     : maintainer_(net, std::move(initial), lifetime_bound, options),
       flood_(flood),
-      rng_(flood.seed) {
+      rng_(flood.seed),
+      channels_(net, flood.channel, rng_) {
   replicas_.reserve(static_cast<std::size_t>(net.node_count()));
   for (wsn::VertexId v = 0; v < net.node_count(); ++v) {
     // The sink computes the initial code and broadcasts it once; we charge
@@ -173,6 +174,7 @@ int ProtocolSimulator::flood_lossy(const wsn::Network& net, const UpdateRecord& 
   // by anti-entropy) and counted in flood_deliveries_missed.
   const wsn::AggregationTree& tree = maintainer_.tree();
   const auto adjacent = member_adjacency();
+  channels_.sync(net);  // link qualities may have drifted since the last flood
 
   const wsn::VertexId initiator = record.initiator == -1 ? tree.root() : record.initiator;
   std::vector<bool> heard(adjacent.size(), false);
@@ -194,7 +196,7 @@ int ProtocolSimulator::flood_lossy(const wsn::Network& net, const UpdateRecord& 
       ++transmissions;
       for (const auto& [neighbour, link] : neighbours) {
         if (heard[static_cast<std::size_t>(neighbour)]) continue;
-        if (!rng_.bernoulli(net.link_prr(link))) continue;
+        if (!channels_.transmit(link, rng_)) continue;
         heard[static_cast<std::size_t>(neighbour)] = true;
         if (record.sequence > 0) {
           replicas_[static_cast<std::size_t>(neighbour)].integrate(record);
@@ -318,6 +320,7 @@ int ProtocolSimulator::resync(const wsn::Network& net) {
   if (latest == 0) return 0;
   const wsn::AggregationTree& tree = maintainer_.tree();
   const auto adjacent = member_adjacency();
+  channels_.sync(net);
 
   auto live_member = [&](wsn::VertexId v) {
     return tree.contains(v) && !replicas_[static_cast<std::size_t>(v)].dead();
@@ -350,7 +353,7 @@ int ProtocolSimulator::resync(const wsn::Network& net) {
       const std::uint64_t cursor =
           replicas_[static_cast<std::size_t>(v)].applied_sequence();
       for (const auto& [neighbour, link] : adjacent[static_cast<std::size_t>(v)]) {
-        if (rng_.bernoulli(net.link_prr(link))) {
+        if (channels_.transmit(link, rng_)) {
           replicas_[static_cast<std::size_t>(neighbour)].observe_sequence(cursor);
         }
       }
@@ -379,11 +382,10 @@ int ProtocolSimulator::resync(const wsn::Network& net) {
       }
       if (donor == -1) continue;  // nobody nearby is ahead yet
 
-      const double prr = net.link_prr(donor_link);
       bool delivered = false;
       for (int attempt = 0; attempt <= flood_.control_retx && !delivered; ++attempt) {
         ++stats_.resync_requests;
-        delivered = rng_.bernoulli(prr);
+        delivered = channels_.transmit(donor_link, rng_);
       }
       if (!delivered) continue;
 
@@ -396,7 +398,7 @@ int ProtocolSimulator::resync(const wsn::Network& net) {
       delivered = false;
       for (int attempt = 0; attempt <= flood_.control_retx && !delivered; ++attempt) {
         ++stats_.resync_responses;
-        delivered = rng_.bernoulli(prr);
+        delivered = channels_.transmit(donor_link, rng_);
       }
       if (!delivered) continue;
       for (const UpdateRecord* rec : batch) behind.integrate(*rec);

@@ -35,6 +35,7 @@
 #include "common/rng.hpp"
 #include "distributed/maintainer.hpp"
 #include "prufer/codec.hpp"
+#include "radio/channel.hpp"
 
 namespace mrlc::dist {
 
@@ -129,6 +130,11 @@ struct FloodOptions {
   /// Cap on anti-entropy rounds per resync() call; hitting it increments
   /// SimulatorStats::resync_exhausted.
   int max_resync_rounds = 256;
+  /// Per-link loss process for lossy-mode draws: i.i.d. Bernoulli (the
+  /// default) or a Gilbert–Elliott burst channel whose state persists
+  /// across floods — a burst then knocks out *consecutive* control
+  /// messages on a link, the hard case for anti-entropy.
+  radio::ChannelConfig channel;
   /// Seed for the control-plane loss draws (data-plane randomness, e.g.
   /// ChurnProcess, is seeded separately).
   std::uint64_t seed = 0xC0DEC0DEULL;
@@ -214,6 +220,9 @@ class ProtocolSimulator {
   SimulatorStats stats_;
   FloodOptions flood_;
   Rng rng_;
+  /// Loss processes for lossy control traffic (declared after rng_: the
+  /// constructor draws the initial burst states from it).
+  radio::ChannelSet channels_;
   std::uint64_t next_sequence_ = 1;
 };
 

@@ -1,0 +1,276 @@
+#include "radio/arq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace mrlc::radio {
+
+double ArqPolicy::ack_prr(double data_prr) const {
+  if (ack_prr_override >= 0.0) return ack_prr_override;
+  MRLC_REQUIRE(data_prr > 0.0 && data_prr <= 1.0, "PRR must lie in (0, 1]");
+  return std::pow(data_prr, ack_fraction);
+}
+
+std::uint64_t ArqPolicy::backoff_slots(int failures) const {
+  MRLC_REQUIRE(failures >= 1, "backoff needs at least one failure");
+  const int exponent = std::min(failures - 1, backoff_cap_exponent);
+  return static_cast<std::uint64_t>(backoff_base_slots) << exponent;
+}
+
+namespace {
+
+/// Children-before-parents order (decreasing depth), as in packet_sim.
+std::vector<wsn::VertexId> bottom_up_order(const wsn::AggregationTree& tree) {
+  const int n = tree.node_count();
+  std::vector<int> depth(static_cast<std::size_t>(n), 0);
+  std::vector<wsn::VertexId> order(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+    int d = 0;
+    for (wsn::VertexId w = v; tree.parent(w) != -1; w = tree.parent(w)) ++d;
+    depth[static_cast<std::size_t>(v)] = d;
+  }
+  std::sort(order.begin(), order.end(), [&](wsn::VertexId a, wsn::VertexId b) {
+    return depth[static_cast<std::size_t>(a)] > depth[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+ArqRoundResult simulate_arq_round(const wsn::Network& net,
+                                  const wsn::AggregationTree& tree,
+                                  const ArqPolicy& policy, ChannelSet& channels,
+                                  Rng& rng, std::vector<double>* consumed,
+                                  const ArqObserver& observer) {
+  policy.validate();
+  const int n = net.node_count();
+  MRLC_REQUIRE(consumed == nullptr ||
+                   static_cast<int>(consumed->size()) == n,
+               "consumed vector must have one entry per node");
+  const double tx = net.energy_model().tx_joules;
+  const double rx = net.energy_model().rx_joules;
+  const double ack_tx = policy.ack_fraction * tx;
+  const double ack_rx = policy.ack_fraction * rx;
+
+  auto charge = [&](wsn::VertexId v, double joules) {
+    if (consumed != nullptr) (*consumed)[static_cast<std::size_t>(v)] += joules;
+  };
+
+  // readings[v]: sensor readings currently aggregated at v (own + received).
+  std::vector<int> readings(static_cast<std::size_t>(n), 1);
+  ArqRoundResult out;
+  for (wsn::VertexId v : bottom_up_order(tree)) {
+    if (v == tree.root() || !tree.contains(v)) continue;
+    const wsn::EdgeId link = tree.parent_edge(v);
+    const wsn::VertexId parent = tree.parent(v);
+    const double q_ack = policy.ack_prr(net.link_prr(link));
+
+    bool data_held = false;  // the receiver holds this round's aggregate
+    bool acked = false;
+    int failures = 0;
+    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+      ++out.data_transmissions;
+      ++out.slots_elapsed;
+      charge(v, tx);
+      // The parent's radio listens through every attempt — a corrupt frame
+      // costs the receiver the same airtime as a good one.
+      charge(parent, rx);
+      if (channels.transmit(link, rng)) {
+        if (data_held) {
+          ++out.duplicates_suppressed;  // ACK was lost; receiver drops the copy
+        } else {
+          data_held = true;
+          readings[static_cast<std::size_t>(parent)] +=
+              readings[static_cast<std::size_t>(v)];
+        }
+        ++out.ack_transmissions;
+        charge(parent, ack_tx);
+        // The sender listens for the ACK whether or not it arrives.
+        charge(v, ack_rx);
+        if (rng.bernoulli(q_ack)) {
+          acked = true;
+          break;
+        }
+        ++out.ack_losses;
+      }
+      ++failures;
+      if (attempt + 1 < policy.max_attempts) {
+        out.slots_elapsed += policy.backoff_slots(failures);
+      }
+    }
+    if (!data_held) ++out.packets_dropped;
+    if (observer) observer(link, acked, failures + (acked ? 1 : 0));
+  }
+  out.readings_delivered = readings[static_cast<std::size_t>(tree.root())];
+  out.readings_lost = n - out.readings_delivered;
+  out.round_complete = out.readings_delivered == n;
+  return out;
+}
+
+ArqAggregateResult simulate_arq_rounds(const wsn::Network& net,
+                                       const wsn::AggregationTree& tree,
+                                       const ArqPolicy& policy,
+                                       const ChannelConfig& channel, int rounds,
+                                       Rng& rng) {
+  MRLC_REQUIRE(rounds >= 1, "need at least one round");
+  policy.validate();
+  const int n = net.node_count();
+  ChannelSet channels(net, channel, rng);
+
+  ArqAggregateResult agg;
+  agg.attempts_histogram.assign(static_cast<std::size_t>(policy.max_attempts), 0);
+  std::vector<double> consumed(static_cast<std::size_t>(n), 0.0);
+  const ArqObserver observer = [&](wsn::EdgeId, bool, int attempts) {
+    ++agg.attempts_histogram[static_cast<std::size_t>(attempts - 1)];
+  };
+
+  std::uint64_t delivered_total = 0;
+  std::uint64_t slots_total = 0;
+  int complete = 0;
+  ArqRoundResult sums;
+  for (int r = 0; r < rounds; ++r) {
+    const ArqRoundResult res =
+        simulate_arq_round(net, tree, policy, channels, rng, &consumed, observer);
+    sums.data_transmissions += res.data_transmissions;
+    sums.ack_transmissions += res.ack_transmissions;
+    sums.duplicates_suppressed += res.duplicates_suppressed;
+    sums.packets_dropped += res.packets_dropped;
+    slots_total += res.slots_elapsed;
+    delivered_total += static_cast<std::uint64_t>(res.readings_delivered - 1);
+    complete += res.round_complete ? 1 : 0;
+  }
+  const auto denom = static_cast<double>(rounds);
+  agg.avg_data_tx_per_round = static_cast<double>(sums.data_transmissions) / denom;
+  agg.avg_ack_tx_per_round = static_cast<double>(sums.ack_transmissions) / denom;
+  agg.avg_duplicates_per_round =
+      static_cast<double>(sums.duplicates_suppressed) / denom;
+  agg.avg_dropped_per_round = static_cast<double>(sums.packets_dropped) / denom;
+  agg.avg_slots_per_round = static_cast<double>(slots_total) / denom;
+  agg.delivery_ratio = n > 1 ? static_cast<double>(delivered_total) /
+                                   (denom * static_cast<double>(n - 1))
+                             : 1.0;
+  agg.round_success_ratio = static_cast<double>(complete) / denom;
+  double joules_total = 0.0;
+  for (double j : consumed) joules_total += j;
+  agg.joules_per_reading =
+      delivered_total > 0 ? joules_total / static_cast<double>(delivered_total)
+                          : std::numeric_limits<double>::infinity();
+  return agg;
+}
+
+ArqDepletionResult simulate_arq_depletion(const wsn::Network& net,
+                                          const wsn::AggregationTree& tree,
+                                          const ArqPolicy& policy,
+                                          const ChannelConfig& channel,
+                                          int sample_rounds, Rng& rng) {
+  MRLC_REQUIRE(sample_rounds >= 1, "need at least one sample round");
+  const int n = net.node_count();
+  ChannelSet channels(net, channel, rng);
+  std::vector<double> consumed(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < sample_rounds; ++r) {
+    simulate_arq_round(net, tree, policy, channels, rng, &consumed);
+  }
+
+  ArqDepletionResult out;
+  out.joules_per_round.assign(static_cast<std::size_t>(n), 0.0);
+  out.rounds_survived = std::numeric_limits<double>::infinity();
+  for (wsn::VertexId v = 0; v < n; ++v) {
+    const double rate =
+        consumed[static_cast<std::size_t>(v)] / static_cast<double>(sample_rounds);
+    out.joules_per_round[static_cast<std::size_t>(v)] = rate;
+    if (rate <= 0.0) continue;
+    const double rounds = net.initial_energy(v) / rate;
+    if (rounds < out.rounds_survived) {
+      out.rounds_survived = rounds;
+      out.first_dead = v;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- config io --
+
+void write_dataplane_config(std::ostream& os, const DataPlaneConfig& config) {
+  config.arq.validate();
+  config.channel.validate();
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "arq attempts " << config.arq.max_attempts << " backoff "
+     << config.arq.backoff_base_slots << " cap " << config.arq.backoff_cap_exponent
+     << " ack-fraction " << config.arq.ack_fraction << '\n';
+  os << "channel "
+     << (config.channel.model == ChannelModel::kGilbertElliott ? "gilbert-elliott"
+                                                               : "bernoulli")
+     << " burst " << config.channel.mean_bad_burst << '\n';
+}
+
+DataPlaneConfig read_dataplane_config(std::istream& is) {
+  DataPlaneConfig config;
+  std::string raw;
+  int number = 0;
+  auto fail = [&](const std::string& message) {
+    std::ostringstream os;
+    os << "parse error at line " << number << ": " << message;
+    throw std::invalid_argument(os.str());
+  };
+  while (std::getline(is, raw)) {
+    ++number;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls(raw);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+    if (keyword == "arq") {
+      config.has_arq = true;
+      std::string key;
+      while (ls >> key) {
+        std::string value;
+        if (!(ls >> value)) fail("arq key '" + key + "' has no value");
+        try {
+          if (key == "attempts") {
+            config.arq.max_attempts = std::stoi(value);
+          } else if (key == "backoff") {
+            config.arq.backoff_base_slots = std::stoi(value);
+          } else if (key == "cap") {
+            config.arq.backoff_cap_exponent = std::stoi(value);
+          } else if (key == "ack-fraction") {
+            config.arq.ack_fraction = std::stod(value);
+          }
+          // Unknown keys are skipped: the block is forward compatible.
+        } catch (const std::exception&) {
+          fail("bad value for arq key '" + key + "'");
+        }
+      }
+    } else if (keyword == "channel") {
+      config.has_channel = true;
+      std::string model;
+      if (!(ls >> model)) fail("channel line needs a model name");
+      if (model == "gilbert-elliott") {
+        config.channel.model = ChannelModel::kGilbertElliott;
+      } else if (model == "bernoulli") {
+        config.channel.model = ChannelModel::kBernoulli;
+      } else {
+        fail("unknown channel model '" + model + "'");
+      }
+      std::string key;
+      while (ls >> key) {
+        std::string value;
+        if (!(ls >> value)) fail("channel key '" + key + "' has no value");
+        try {
+          if (key == "burst") config.channel.mean_bad_burst = std::stod(value);
+        } catch (const std::exception&) {
+          fail("bad value for channel key '" + key + "'");
+        }
+      }
+    }
+  }
+  if (config.has_arq) config.arq.validate();
+  if (config.has_channel) config.channel.validate();
+  return config;
+}
+
+}  // namespace mrlc::radio

@@ -1,0 +1,165 @@
+#pragma once
+
+/// \file arq.hpp
+/// \brief Stop-and-wait ARQ data plane for aggregation rounds.
+///
+/// `packet_sim` grants senders free, infallible knowledge of whether a
+/// frame arrived.  This module drops that idealization: delivery is
+/// confirmed by an explicit ACK frame that can itself be lost, so a sender
+/// may retransmit a frame the receiver already holds (the receiver
+/// suppresses the duplicate), and a sender may give up on a reading that
+/// in fact arrived.  Per (child -> parent) transaction:
+///
+///     for attempt in 1 .. max_attempts:
+///         child sends DATA            (child pays Tx, parent pays Rx)
+///         if DATA survives the channel:
+///             parent accepts or suppresses duplicate, sends ACK
+///                                     (parent pays ack Tx, child pays ack Rx)
+///             if ACK survives:  transaction done (acked)
+///         child backs off base << min(failures - 1, cap) slots and retries
+///
+/// ACK frames are much shorter than data frames; with per-symbol error
+/// independence a frame of relative airtime `f` sees PRR q^f, so the ACK
+/// PRR is `link_prr ^ ack_fraction` and ACK energy is `ack_fraction` of
+/// the per-packet Tx/Rx costs.  Every energy term integrates with the
+/// depletion accounting so lifetime *under ARQ* is measurable and can be
+/// compared against `core::retx_ira`'s guaranteed bound.
+///
+/// Slot accounting (`slots_elapsed`) charges one slot per data attempt
+/// plus the backoff gaps — the per-round latency of a TDMA-style schedule
+/// that serializes the tree's transactions.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "radio/channel.hpp"
+#include "wsn/aggregation_tree.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::radio {
+
+/// Knobs of the stop-and-wait link layer.
+struct ArqPolicy {
+  int max_attempts = 8;        ///< data transmissions per transaction, incl. the first
+  int backoff_base_slots = 1;  ///< backoff after the k-th failure: base << min(k-1, cap)
+  int backoff_cap_exponent = 5;
+  /// ACK airtime relative to a data frame: scales both the ACK's PRR
+  /// (q^fraction) and its energy cost (fraction * Tx / Rx).
+  double ack_fraction = 0.1;
+  /// Test hook: fixed ACK PRR in [0, 1] when >= 0 (overrides derivation).
+  double ack_prr_override = -1.0;
+
+  void validate() const {
+    MRLC_REQUIRE(max_attempts >= 1, "need at least one attempt");
+    MRLC_REQUIRE(backoff_base_slots >= 0, "backoff base must be >= 0");
+    MRLC_REQUIRE(backoff_cap_exponent >= 0 && backoff_cap_exponent < 63,
+                 "backoff cap exponent out of range");
+    MRLC_REQUIRE(ack_fraction > 0.0 && ack_fraction <= 1.0,
+                 "ack fraction must lie in (0, 1]");
+    MRLC_REQUIRE(ack_prr_override <= 1.0, "ack PRR override must be <= 1");
+  }
+
+  /// ACK delivery probability given the link's data-frame PRR.
+  double ack_prr(double data_prr) const;
+  /// Backoff in slots after `failures` (>= 1) failed attempts.
+  std::uint64_t backoff_slots(int failures) const;
+};
+
+/// Outcome of one ARQ aggregation round.
+struct ArqRoundResult {
+  std::uint64_t data_transmissions = 0;
+  std::uint64_t ack_transmissions = 0;
+  std::uint64_t duplicates_suppressed = 0;  ///< retransmissions of already-held data
+  std::uint64_t ack_losses = 0;             ///< ACKs sent but not heard
+  std::uint64_t packets_dropped = 0;        ///< transactions whose data never arrived
+  std::uint64_t slots_elapsed = 0;          ///< attempts + backoff gaps (latency)
+  int readings_delivered = 0;               ///< incl. the sink's own reading
+  int readings_lost = 0;                    ///< == node_count - readings_delivered
+  bool round_complete = false;
+};
+
+/// Per-transaction sample for a link estimator: `acked` is what the
+/// *sender* observed — false covers both data loss and ACK loss, exactly
+/// the ambiguity a real estimator lives with.  `attempts` is the number of
+/// data transmissions the transaction used (1 .. max_attempts).
+using ArqObserver =
+    std::function<void(wsn::EdgeId link, bool acked, int attempts)>;
+
+/// Simulates one aggregation round under stop-and-wait ARQ.  `channels`
+/// supplies the per-link loss process (and persists burst state across
+/// rounds).  When `consumed` is non-null it must have node_count entries;
+/// per-node energy (data + ACK) is accumulated into it.  `observer`, when
+/// set, receives one sample per transaction.
+ArqRoundResult simulate_arq_round(const wsn::Network& net,
+                                  const wsn::AggregationTree& tree,
+                                  const ArqPolicy& policy, ChannelSet& channels,
+                                  Rng& rng, std::vector<double>* consumed = nullptr,
+                                  const ArqObserver& observer = {});
+
+/// Aggregate statistics over many ARQ rounds.
+struct ArqAggregateResult {
+  double avg_data_tx_per_round = 0.0;
+  double avg_ack_tx_per_round = 0.0;
+  double avg_duplicates_per_round = 0.0;
+  double avg_dropped_per_round = 0.0;
+  double avg_slots_per_round = 0.0;
+  double delivery_ratio = 0.0;       ///< delivered non-sink readings / (n-1)
+  double round_success_ratio = 0.0;  ///< rounds with every reading delivered
+  /// attempts_histogram[k] = transactions that used exactly k+1 data
+  /// attempts (acked or given up); size == policy.max_attempts.
+  std::vector<std::uint64_t> attempts_histogram;
+  /// Average joules spent network-wide per delivered non-sink reading.
+  double joules_per_reading = 0.0;
+};
+
+ArqAggregateResult simulate_arq_rounds(const wsn::Network& net,
+                                       const wsn::AggregationTree& tree,
+                                       const ArqPolicy& policy,
+                                       const ChannelConfig& channel, int rounds,
+                                       Rng& rng);
+
+/// Battery depletion under ARQ: measures per-node energy rates over
+/// `sample_rounds` and extrapolates to first-node-death, like
+/// `simulate_depletion` but with the full ARQ energy accounting.
+struct ArqDepletionResult {
+  double rounds_survived = 0.0;
+  wsn::VertexId first_dead = -1;
+  std::vector<double> joules_per_round;
+};
+
+ArqDepletionResult simulate_arq_depletion(const wsn::Network& net,
+                                          const wsn::AggregationTree& tree,
+                                          const ArqPolicy& policy,
+                                          const ChannelConfig& channel,
+                                          int sample_rounds, Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Data-plane configuration block (mrlc-network v1 extension)
+//
+//     arq attempts 8 backoff 1 cap 5 ack-fraction 0.1
+//     channel gilbert-elliott burst 8
+//
+// `wsn::read_network` skips these lines (like the fault-schedule block);
+// this reader picks them out of the same text.  Parsing is version
+// tolerant: unknown key/value pairs on either line are ignored, so future
+// fields do not break old readers.
+
+struct DataPlaneConfig {
+  ArqPolicy arq;
+  ChannelConfig channel;
+  bool has_arq = false;      ///< an `arq` line was present
+  bool has_channel = false;  ///< a `channel` line was present
+};
+
+/// Appends the config block (both lines) to a network file.
+void write_dataplane_config(std::ostream& os, const DataPlaneConfig& config);
+
+/// Extracts the config block from a (possibly combined) network file;
+/// returns defaults with has_* false when no block is present.
+/// \throws std::invalid_argument on malformed known fields.
+DataPlaneConfig read_dataplane_config(std::istream& is);
+
+}  // namespace mrlc::radio

@@ -1,0 +1,83 @@
+#include "radio/channel.hpp"
+
+namespace mrlc::radio {
+
+GilbertElliottParams derive_gilbert_elliott(double prr, double mean_bad_burst) {
+  MRLC_REQUIRE(prr > 0.0 && prr <= 1.0, "PRR must lie in (0, 1]");
+  MRLC_REQUIRE(mean_bad_burst >= 1.0, "mean bad burst must be >= 1 slot");
+  GilbertElliottParams p;
+  if (prr >= 1.0) {
+    // Perfect link: never leave Good (the Bad state is unreachable; p_bg
+    // stays 1 so a hypothetical Bad start exits immediately).
+    p.good_to_bad = 0.0;
+    p.bad_to_good = 1.0;
+    return p;
+  }
+  // pi_G = p_bg / (p_bg + p_gb) = q  =>  p_gb = p_bg * (1 - q) / q.
+  p.bad_to_good = 1.0 / mean_bad_burst;
+  p.good_to_bad = p.bad_to_good * (1.0 - prr) / prr;
+  if (p.good_to_bad > 1.0) {
+    // The requested burst is unreachable at this PRR (would need to leave
+    // Good with probability > 1).  Keep the stationary PRR exact and use
+    // the longest feasible burst instead: p_gb = 1, p_bg = q / (1 - q).
+    p.good_to_bad = 1.0;
+    p.bad_to_good = prr / (1.0 - prr);
+  }
+  return p;
+}
+
+ChannelSet::ChannelSet(const wsn::Network& net, ChannelConfig config, Rng& rng)
+    : config_(config) {
+  config_.validate();
+  const auto links = static_cast<std::size_t>(net.link_count());
+  prr_.reserve(links);
+  for (wsn::EdgeId id = 0; id < net.link_count(); ++id) {
+    prr_.push_back(net.link_prr(id));
+  }
+  if (config_.model == ChannelModel::kGilbertElliott) {
+    params_.reserve(links);
+    bad_.reserve(links);
+    for (double q : prr_) {
+      params_.push_back(derive_gilbert_elliott(q, config_.mean_bad_burst));
+      // Stationary start: Bad with probability 1 - q.
+      bad_.push_back(rng.bernoulli(1.0 - q) ? 1 : 0);
+    }
+  }
+}
+
+bool ChannelSet::transmit(wsn::EdgeId link, Rng& rng) {
+  MRLC_REQUIRE(link >= 0 && link < link_count(), "link out of range");
+  const auto i = static_cast<std::size_t>(link);
+  if (config_.model == ChannelModel::kBernoulli) {
+    return rng.bernoulli(prr_[i]);
+  }
+  const bool delivered = bad_[i] == 0;
+  const GilbertElliottParams& p = params_[i];
+  if (bad_[i] != 0) {
+    if (rng.bernoulli(p.bad_to_good)) bad_[i] = 0;
+  } else {
+    if (rng.bernoulli(p.good_to_bad)) bad_[i] = 1;
+  }
+  return delivered;
+}
+
+void ChannelSet::sync(const wsn::Network& net) {
+  MRLC_REQUIRE(net.link_count() == link_count(),
+               "network does not match the anchored channel set");
+  for (wsn::EdgeId id = 0; id < net.link_count(); ++id) {
+    const auto i = static_cast<std::size_t>(id);
+    const double q = net.link_prr(id);
+    if (q == prr_[i]) continue;
+    prr_[i] = q;
+    if (config_.model == ChannelModel::kGilbertElliott) {
+      params_[i] = derive_gilbert_elliott(q, config_.mean_bad_burst);
+    }
+  }
+}
+
+bool ChannelSet::in_bad_state(wsn::EdgeId link) const {
+  MRLC_REQUIRE(link >= 0 && link < link_count(), "link out of range");
+  return !bad_.empty() && bad_[static_cast<std::size_t>(link)] != 0;
+}
+
+}  // namespace mrlc::radio

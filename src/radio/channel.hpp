@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file channel.hpp
+/// \brief Per-link loss processes: i.i.d. Bernoulli and Gilbert–Elliott
+/// burst channels behind one slot-level `transmit` interface.
+///
+/// The paper (and `packet_sim`) draws every link success as an independent
+/// Bernoulli(q_e) trial.  Real 802.15.4 links fade in *bursts*: a link that
+/// just dropped a frame is much more likely to drop the next one.  The
+/// classic model is Gilbert–Elliott — a two-state Markov chain per link
+/// (Good: frames delivered; Bad: frames lost) advanced once per slot:
+///
+///     P(G -> B) = p_gb          P(B -> G) = p_bg
+///
+/// We parameterize each link so that
+///
+/// * the stationary delivery probability equals the link's nominal PRR:
+///       pi_G = p_bg / (p_bg + p_gb) = q_e,  and
+/// * the mean Bad-state sojourn is `ChannelConfig::mean_bad_burst` slots
+///   (p_bg = 1 / burst), matching the observed burstiness of indoor links.
+///
+/// When the requested burst length is unreachable for a very lossy link
+/// (the implied p_gb would exceed 1), the burst is shortened to the longest
+/// feasible value instead — the stationary PRR constraint always wins, so
+/// long-run loss rates match the Bernoulli model exactly and only the
+/// correlation structure differs.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "wsn/network.hpp"
+
+namespace mrlc::radio {
+
+enum class ChannelModel {
+  kBernoulli,       ///< i.i.d. per-slot draws (the paper's assumption)
+  kGilbertElliott,  ///< two-state burst-loss Markov chain per link
+};
+
+/// Selects and parameterizes the per-link loss process.
+struct ChannelConfig {
+  ChannelModel model = ChannelModel::kBernoulli;
+  /// Target mean Bad-state sojourn in slots (Gilbert–Elliott only); the
+  /// per-link value may be shorter when PRR is very low (see file comment).
+  double mean_bad_burst = 8.0;
+
+  void validate() const {
+    MRLC_REQUIRE(mean_bad_burst >= 1.0, "mean bad burst must be >= 1 slot");
+  }
+};
+
+/// Per-link Gilbert–Elliott transition probabilities.
+struct GilbertElliottParams {
+  double good_to_bad = 0.0;  ///< p_gb
+  double bad_to_good = 1.0;  ///< p_bg
+};
+
+/// Derives transition probabilities with stationary delivery ratio exactly
+/// `prr` and mean bad burst min(`mean_bad_burst`, longest feasible).
+/// `prr` must lie in (0, 1]; `prr == 1` yields an always-Good chain.
+GilbertElliottParams derive_gilbert_elliott(double prr, double mean_bad_burst);
+
+/// One loss process per network link, advanced by `transmit` draws.
+/// Deterministic given the Rng stream; Gilbert–Elliott state is seeded from
+/// each link's stationary distribution at construction.
+class ChannelSet {
+ public:
+  /// Anchors a process on every link of `net`; `rng` draws the initial
+  /// Gilbert–Elliott states (unused for Bernoulli).
+  ChannelSet(const wsn::Network& net, ChannelConfig config, Rng& rng);
+
+  /// Spends one slot transmitting on `link`; returns true when the frame is
+  /// delivered.  Gilbert–Elliott resolves the outcome in the current state,
+  /// then advances the chain.
+  bool transmit(wsn::EdgeId link, Rng& rng);
+
+  /// Re-derives per-link parameters after link qualities changed (churn).
+  /// Only changed links are touched; burst state carries over.  `net` must
+  /// be the network the set was anchored to (same link count).
+  void sync(const wsn::Network& net);
+
+  const ChannelConfig& config() const noexcept { return config_; }
+  int link_count() const noexcept { return static_cast<int>(prr_.size()); }
+
+  /// Test hook: current chain state (always false under Bernoulli).
+  bool in_bad_state(wsn::EdgeId link) const;
+
+ private:
+  ChannelConfig config_;
+  std::vector<double> prr_;
+  std::vector<GilbertElliottParams> params_;
+  std::vector<char> bad_;  ///< Gilbert–Elliott state; empty for Bernoulli
+};
+
+}  // namespace mrlc::radio

@@ -5,8 +5,22 @@
 
 namespace mrlc::radio {
 
-RoundResult simulate_round(const wsn::Network& net, const wsn::AggregationTree& tree,
-                           const RetxPolicy& policy, Rng& rng) {
+namespace {
+
+/// Histogram cap: buckets 1..31 attempts, bucket 32 collects every longer
+/// run (max_attempts_per_link defaults to 10000 — a full-size histogram
+/// would be pointlessly sparse).
+constexpr int kMaxHistogramBuckets = 32;
+
+int histogram_size(const RetxPolicy& policy) {
+  return std::min(policy.max_attempts_per_link, kMaxHistogramBuckets);
+}
+
+RoundResult simulate_round_impl(const wsn::Network& net,
+                                const wsn::AggregationTree& tree,
+                                const RetxPolicy& policy, ChannelSet* channels,
+                                Rng& rng,
+                                std::vector<std::uint64_t>* histogram) {
   MRLC_REQUIRE(policy.max_attempts_per_link >= 1, "need at least one attempt");
   const int n = net.node_count();
 
@@ -32,9 +46,13 @@ RoundResult simulate_round(const wsn::Network& net, const wsn::AggregationTree& 
     const wsn::EdgeId link = tree.parent_edge(v);
     const double q = net.link_prr(link);
     bool delivered = false;
+    int attempts = 0;
     for (int attempt = 0; attempt < policy.max_attempts_per_link; ++attempt) {
       ++out.packets_sent;
-      if (rng.bernoulli(q)) {
+      ++attempts;
+      const bool success =
+          channels != nullptr ? channels->transmit(link, rng) : rng.bernoulli(q);
+      if (success) {
         delivered = true;
         break;
       }
@@ -43,32 +61,74 @@ RoundResult simulate_round(const wsn::Network& net, const wsn::AggregationTree& 
     if (delivered) {
       readings[static_cast<std::size_t>(tree.parent(v))] +=
           readings[static_cast<std::size_t>(v)];
+    } else {
+      ++out.packets_dropped;
+    }
+    if (histogram != nullptr) {
+      const auto bucket = static_cast<std::size_t>(
+          std::min(attempts, static_cast<int>(histogram->size())) - 1);
+      ++(*histogram)[bucket];
     }
   }
   out.readings_delivered = readings[static_cast<std::size_t>(tree.root())];
+  out.readings_lost = n - out.readings_delivered;
   out.round_complete = out.readings_delivered == n;
   return out;
 }
 
-AggregateResult simulate_rounds(const wsn::Network& net,
-                                const wsn::AggregationTree& tree,
-                                const RetxPolicy& policy, int rounds, Rng& rng) {
+AggregateResult simulate_rounds_impl(const wsn::Network& net,
+                                     const wsn::AggregationTree& tree,
+                                     const RetxPolicy& policy,
+                                     ChannelSet* channels, int rounds, Rng& rng) {
   MRLC_REQUIRE(rounds >= 1, "need at least one round");
   AggregateResult agg;
+  agg.retry_histogram.assign(static_cast<std::size_t>(histogram_size(policy)), 0);
   std::uint64_t packets = 0;
+  std::uint64_t dropped = 0;
   std::uint64_t delivered = 0;
   int complete = 0;
   for (int r = 0; r < rounds; ++r) {
-    const RoundResult res = simulate_round(net, tree, policy, rng);
+    const RoundResult res = simulate_round_impl(net, tree, policy, channels, rng,
+                                                &agg.retry_histogram);
     packets += res.packets_sent;
+    dropped += res.packets_dropped;
     delivered += static_cast<std::uint64_t>(res.readings_delivered);
     complete += res.round_complete ? 1 : 0;
   }
   const auto denom = static_cast<double>(rounds);
   agg.avg_packets_per_round = static_cast<double>(packets) / denom;
+  agg.avg_packets_dropped_per_round = static_cast<double>(dropped) / denom;
   agg.avg_readings_delivered = static_cast<double>(delivered) / denom;
   agg.round_success_ratio = static_cast<double>(complete) / denom;
   return agg;
+}
+
+}  // namespace
+
+RoundResult simulate_round(const wsn::Network& net, const wsn::AggregationTree& tree,
+                           const RetxPolicy& policy, Rng& rng) {
+  return simulate_round_impl(net, tree, policy, nullptr, rng, nullptr);
+}
+
+RoundResult simulate_round(const wsn::Network& net, const wsn::AggregationTree& tree,
+                           const RetxPolicy& policy, ChannelSet& channels,
+                           Rng& rng) {
+  return simulate_round_impl(net, tree, policy, &channels, rng, nullptr);
+}
+
+AggregateResult simulate_rounds(const wsn::Network& net,
+                                const wsn::AggregationTree& tree,
+                                const RetxPolicy& policy, int rounds, Rng& rng) {
+  return simulate_rounds_impl(net, tree, policy, nullptr, rounds, rng);
+}
+
+AggregateResult simulate_rounds(const wsn::Network& net,
+                                const wsn::AggregationTree& tree,
+                                const RetxPolicy& policy,
+                                const ChannelConfig& channel, int rounds,
+                                Rng& rng) {
+  ChannelSet channels(net, channel, rng);
+  return simulate_rounds_impl(net, tree, policy, &channels, rounds, rng);
 }
 
 }  // namespace mrlc::radio

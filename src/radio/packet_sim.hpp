@@ -9,10 +9,17 @@
 /// reliable trees instead of retransmitting.  The no-retransmission mode
 /// implements the paper's delivery semantics (a reading reaches the sink iff
 /// every link on its path succeeds).
+///
+/// Link successes default to independent Bernoulli(q_e) draws; the
+/// overloads taking a `ChannelSet` run the same round logic over any
+/// configured loss process (e.g. Gilbert–Elliott burst channels, whose
+/// state persists across rounds).
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "radio/channel.hpp"
 #include "wsn/aggregation_tree.hpp"
 #include "wsn/network.hpp"
 
@@ -20,9 +27,11 @@ namespace mrlc::radio {
 
 /// Outcome of simulating one aggregation round.
 struct RoundResult {
-  std::uint64_t packets_sent = 0;   ///< total transmissions incl. retries
-  int readings_delivered = 0;       ///< sensor readings that reached the sink
-  bool round_complete = false;      ///< every reading was delivered
+  std::uint64_t packets_sent = 0;    ///< total transmissions incl. retries
+  std::uint64_t packets_dropped = 0; ///< packets that exhausted their attempts
+  int readings_delivered = 0;        ///< readings at the sink, incl. its own
+  int readings_lost = 0;             ///< == node_count - readings_delivered
+  bool round_complete = false;       ///< every reading was delivered
 };
 
 /// Retransmission policy for `simulate_round`.
@@ -44,15 +53,33 @@ struct RetxPolicy {
 RoundResult simulate_round(const wsn::Network& net, const wsn::AggregationTree& tree,
                            const RetxPolicy& policy, Rng& rng);
 
+/// Same round, but link successes come from `channels` (Bernoulli or
+/// Gilbert–Elliott; burst state persists across calls).
+RoundResult simulate_round(const wsn::Network& net, const wsn::AggregationTree& tree,
+                           const RetxPolicy& policy, ChannelSet& channels, Rng& rng);
+
 /// Aggregate statistics over `rounds` simulated rounds.
 struct AggregateResult {
   double avg_packets_per_round = 0.0;
+  double avg_packets_dropped_per_round = 0.0;
   double avg_readings_delivered = 0.0;
   double round_success_ratio = 0.0;  ///< empirical estimate of Q(T)
+  /// retry_histogram[k] = transmissions-per-packet count: packets that used
+  /// exactly k+1 attempts.  The last bucket also absorbs exhausted packets
+  /// (attempts == max); size == min(max_attempts_per_link, 32), where the
+  /// final bucket then collects every longer run.
+  std::vector<std::uint64_t> retry_histogram;
 };
 
 AggregateResult simulate_rounds(const wsn::Network& net,
                                 const wsn::AggregationTree& tree,
                                 const RetxPolicy& policy, int rounds, Rng& rng);
+
+/// Aggregate over a configured channel model (state persists across rounds).
+AggregateResult simulate_rounds(const wsn::Network& net,
+                                const wsn::AggregationTree& tree,
+                                const RetxPolicy& policy,
+                                const ChannelConfig& channel, int rounds,
+                                Rng& rng);
 
 }  // namespace mrlc::radio

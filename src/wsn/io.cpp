@@ -2,6 +2,7 @@
 
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -39,7 +40,8 @@ std::vector<std::pair<int, std::string>> significant_lines(std::istream& is) {
 void write_network(std::ostream& os, const Network& net) {
   os << "mrlc-network v1\n";
   os << "nodes " << net.node_count() << " sink " << net.sink() << '\n';
-  os << std::setprecision(17);
+  // max_digits10 guarantees a bit-exact double round-trip through text.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (VertexId v = 0; v < net.node_count(); ++v) {
     os << "energy " << v << ' ' << net.initial_energy(v) << '\n';
   }
@@ -99,9 +101,15 @@ Network read_network(std::istream& is) {
       } catch (const std::invalid_argument& e) {
         parse_fail(number, e.what());
       }
-    } else if (keyword == "fault" || keyword == "fault-schedule") {
-      // A fault-schedule block may be appended to a network file (see
-      // dist::write_fault_schedule); it is parsed by a separate reader.
+    } else if (keyword == "fault" || keyword == "fault-schedule" ||
+               keyword == "arq" || keyword == "channel") {
+      // Auxiliary blocks may be appended to a network file (the fault
+      // schedule of dist::write_fault_schedule, the ARQ/channel config of
+      // radio::write_dataplane_config); they are parsed by separate readers.
+      continue;
+    } else if (keyword.rfind("x-", 0) == 0) {
+      // Version tolerance: forward-compatible extension lines ("x-...")
+      // from newer writers are skipped rather than rejected.
       continue;
     } else {
       parse_fail(number, "unknown keyword '" + keyword + "'");

@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "radio/arq.hpp"
+#include "radio/channel.hpp"
+
+namespace mrlc::radio {
+namespace {
+
+// --------------------------------------------------------------- channel --
+
+TEST(Channel, DeriveMatchesStationaryPrrAndBurst) {
+  const GilbertElliottParams p = derive_gilbert_elliott(0.7, 8.0);
+  EXPECT_DOUBLE_EQ(p.bad_to_good, 1.0 / 8.0);
+  // pi_G = p_bg / (p_bg + p_gb) must equal the PRR exactly.
+  EXPECT_NEAR(p.bad_to_good / (p.bad_to_good + p.good_to_bad), 0.7, 1e-15);
+}
+
+TEST(Channel, DeriveFallsBackWhenBurstInfeasible) {
+  // At PRR 0.05 an 8-slot burst would need p_gb > 1; the fallback keeps the
+  // stationary PRR exact with the longest feasible burst (1 - q) / q slots.
+  const GilbertElliottParams p = derive_gilbert_elliott(0.05, 8.0);
+  EXPECT_DOUBLE_EQ(p.good_to_bad, 1.0);
+  EXPECT_NEAR(p.bad_to_good, 0.05 / 0.95, 1e-15);
+  EXPECT_NEAR(p.bad_to_good / (p.bad_to_good + p.good_to_bad), 0.05, 1e-15);
+}
+
+TEST(Channel, DerivePerfectLinkNeverLeavesGood) {
+  const GilbertElliottParams p = derive_gilbert_elliott(1.0, 8.0);
+  EXPECT_DOUBLE_EQ(p.good_to_bad, 0.0);
+  EXPECT_THROW(derive_gilbert_elliott(0.0, 8.0), std::invalid_argument);
+  EXPECT_THROW(derive_gilbert_elliott(0.5, 0.5), std::invalid_argument);
+}
+
+TEST(Channel, GilbertElliottLongRunLossMatchesStationaryPrr) {
+  // ~1e5 slots on one link: the empirical delivery ratio must match the
+  // nominal PRR (the parameterization's stationary guarantee).  Burst
+  // correlation inflates the variance, hence the loose 0.02 tolerance.
+  for (const double q : {0.9, 0.7, 0.3}) {
+    wsn::Network net(2, 0);
+    net.add_link(0, 1, q);
+    ChannelConfig config;
+    config.model = ChannelModel::kGilbertElliott;
+    config.mean_bad_burst = 8.0;
+    Rng rng(90);
+    ChannelSet channels(net, config, rng);
+    const int kSlots = 100000;
+    int delivered = 0;
+    for (int s = 0; s < kSlots; ++s) {
+      if (channels.transmit(0, rng)) ++delivered;
+    }
+    EXPECT_NEAR(static_cast<double>(delivered) / kSlots, q, 0.02) << "q " << q;
+  }
+}
+
+TEST(Channel, GilbertElliottMeanBurstLengthMatchesTarget) {
+  // Failure runs are exactly Bad-state sojourns (Good always delivers, Bad
+  // always drops), so their mean length must be ~ mean_bad_burst slots.
+  wsn::Network net(2, 0);
+  net.add_link(0, 1, 0.7);
+  ChannelConfig config;
+  config.model = ChannelModel::kGilbertElliott;
+  config.mean_bad_burst = 8.0;
+  Rng rng(91);
+  ChannelSet channels(net, config, rng);
+  const int kSlots = 200000;
+  long long runs = 0;
+  long long lost = 0;
+  bool in_run = false;
+  for (int s = 0; s < kSlots; ++s) {
+    if (!channels.transmit(0, rng)) {
+      ++lost;
+      if (!in_run) ++runs;
+      in_run = true;
+    } else {
+      in_run = false;
+    }
+  }
+  ASSERT_GT(runs, 1000);
+  EXPECT_NEAR(static_cast<double>(lost) / static_cast<double>(runs), 8.0, 0.5);
+}
+
+TEST(Channel, BernoulliDrawsAreIndependentOfHistory) {
+  // Under Bernoulli the mean run length is 1 / q regardless of history —
+  // distinguishing the two models at identical long-run loss.
+  wsn::Network net(2, 0);
+  net.add_link(0, 1, 0.7);
+  Rng rng(92);
+  ChannelSet channels(net, ChannelConfig{}, rng);
+  const int kSlots = 200000;
+  long long runs = 0;
+  long long lost = 0;
+  bool in_run = false;
+  for (int s = 0; s < kSlots; ++s) {
+    if (!channels.transmit(0, rng)) {
+      ++lost;
+      if (!in_run) ++runs;
+      in_run = true;
+    } else {
+      in_run = false;
+    }
+  }
+  // Mean failure-run length under i.i.d. loss: 1 / q ~ 1.43.
+  EXPECT_NEAR(static_cast<double>(lost) / static_cast<double>(runs),
+              1.0 / 0.7, 0.05);
+}
+
+TEST(Channel, SyncFollowsChangedQualities) {
+  wsn::Network net(2, 0);
+  net.add_link(0, 1, 0.9);
+  Rng rng(93);
+  ChannelSet channels(net, ChannelConfig{}, rng);
+  net.set_link_prr(0, 0.05);
+  channels.sync(net);
+  int delivered = 0;
+  for (int s = 0; s < 10000; ++s) {
+    if (channels.transmit(0, rng)) ++delivered;
+  }
+  EXPECT_NEAR(delivered / 10000.0, 0.05, 0.02);
+
+  wsn::Network other(3, 0);
+  other.add_link(0, 1, 0.5);
+  other.add_link(1, 2, 0.5);
+  EXPECT_THROW(channels.sync(other), std::invalid_argument);
+  EXPECT_THROW(channels.transmit(5, rng), std::invalid_argument);
+}
+
+TEST(Channel, DeterministicGivenSeed) {
+  wsn::Network net(2, 0);
+  net.add_link(0, 1, 0.6);
+  ChannelConfig config;
+  config.model = ChannelModel::kGilbertElliott;
+  Rng rng1(94), rng2(94);
+  ChannelSet a(net, config, rng1);
+  ChannelSet b(net, config, rng2);
+  for (int s = 0; s < 1000; ++s) {
+    EXPECT_EQ(a.transmit(0, rng1), b.transmit(0, rng2));
+  }
+}
+
+// ------------------------------------------------------------ ARQ policy --
+
+TEST(ArqPolicy, BackoffDoublesUpToCap) {
+  ArqPolicy policy;
+  policy.backoff_base_slots = 2;
+  policy.backoff_cap_exponent = 3;
+  EXPECT_EQ(policy.backoff_slots(1), 2u);
+  EXPECT_EQ(policy.backoff_slots(2), 4u);
+  EXPECT_EQ(policy.backoff_slots(3), 8u);
+  EXPECT_EQ(policy.backoff_slots(4), 16u);
+  EXPECT_EQ(policy.backoff_slots(5), 16u);   // capped
+  EXPECT_EQ(policy.backoff_slots(100), 16u); // stays capped
+  EXPECT_THROW(policy.backoff_slots(0), std::invalid_argument);
+
+  ArqPolicy zero;
+  zero.backoff_base_slots = 0;
+  EXPECT_EQ(zero.backoff_slots(7), 0u);
+}
+
+TEST(ArqPolicy, AckPrrDerivedFromAirtimeFraction) {
+  ArqPolicy policy;
+  policy.ack_fraction = 0.1;
+  EXPECT_NEAR(policy.ack_prr(0.5), std::pow(0.5, 0.1), 1e-15);
+  EXPECT_DOUBLE_EQ(policy.ack_prr(1.0), 1.0);
+  // ACKs are shorter, so always at least as reliable as the data frame.
+  for (const double q : {0.1, 0.5, 0.9}) EXPECT_GE(policy.ack_prr(q), q);
+  policy.ack_prr_override = 0.25;
+  EXPECT_DOUBLE_EQ(policy.ack_prr(0.9), 0.25);
+}
+
+TEST(ArqPolicy, Validation) {
+  ArqPolicy policy;
+  policy.max_attempts = 0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy = ArqPolicy{};
+  policy.ack_fraction = 0.0;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy = ArqPolicy{};
+  policy.ack_prr_override = 1.5;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+  policy = ArqPolicy{};
+  policy.backoff_cap_exponent = 63;
+  EXPECT_THROW(policy.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- ARQ round --
+
+TEST(ArqRound, PerfectLinksOneTransactionPerNode) {
+  wsn::Network net(4, 0);
+  net.add_link(0, 1, 1.0);
+  net.add_link(1, 2, 1.0);
+  net.add_link(2, 3, 1.0);
+  const auto tree = wsn::AggregationTree::from_parents(net, {-1, 0, 1, 2});
+  ArqPolicy policy;
+  Rng rng(95);
+  ChannelSet channels(net, ChannelConfig{}, rng);
+  std::vector<double> consumed(4, 0.0);
+  const ArqRoundResult res =
+      simulate_arq_round(net, tree, policy, channels, rng, &consumed);
+  EXPECT_EQ(res.data_transmissions, 3u);
+  EXPECT_EQ(res.ack_transmissions, 3u);
+  EXPECT_EQ(res.duplicates_suppressed, 0u);
+  EXPECT_EQ(res.ack_losses, 0u);
+  EXPECT_EQ(res.packets_dropped, 0u);
+  EXPECT_EQ(res.slots_elapsed, 3u);
+  EXPECT_EQ(res.readings_delivered, 4);
+  EXPECT_TRUE(res.round_complete);
+
+  // Exact energy: leaf 3 pays one data Tx + one ACK Rx; node 0 (sink) pays
+  // one data Rx + one ACK Tx; middle nodes pay both roles.
+  const double tx = net.energy_model().tx_joules;
+  const double rx = net.energy_model().rx_joules;
+  const double f = policy.ack_fraction;
+  EXPECT_NEAR(consumed[3], tx + f * rx, 1e-15);
+  EXPECT_NEAR(consumed[0], rx + f * tx, 1e-15);
+  EXPECT_NEAR(consumed[1], tx + f * rx + rx + f * tx, 1e-15);
+  EXPECT_NEAR(consumed[2], tx + f * rx + rx + f * tx, 1e-15);
+}
+
+TEST(ArqRound, LostAcksCauseDuplicatesNotDataLoss) {
+  // Perfect data links but every ACK lost: the sender burns all attempts
+  // and reports failure, yet the reading arrived on attempt 1 and the
+  // receiver suppressed the retransmitted copies.
+  wsn::Network net(2, 0);
+  net.add_link(0, 1, 1.0);
+  const auto tree = wsn::AggregationTree::from_parents(net, {-1, 0});
+  ArqPolicy policy;
+  policy.max_attempts = 3;
+  policy.ack_prr_override = 0.0;
+  Rng rng(96);
+  ChannelSet channels(net, ChannelConfig{}, rng);
+  bool observed_ack = true;
+  int observed_attempts = 0;
+  const ArqRoundResult res = simulate_arq_round(
+      net, tree, policy, channels, rng, nullptr,
+      [&](wsn::EdgeId, bool acked, int attempts) {
+        observed_ack = acked;
+        observed_attempts = attempts;
+      });
+  EXPECT_EQ(res.data_transmissions, 3u);
+  EXPECT_EQ(res.ack_transmissions, 3u);
+  EXPECT_EQ(res.ack_losses, 3u);
+  EXPECT_EQ(res.duplicates_suppressed, 2u);
+  EXPECT_EQ(res.packets_dropped, 0u);
+  EXPECT_EQ(res.readings_delivered, 2);  // the data did arrive
+  EXPECT_TRUE(res.round_complete);
+  // Sender view: transaction failed after all attempts.
+  EXPECT_FALSE(observed_ack);
+  EXPECT_EQ(observed_attempts, 3);
+  // Slots: 3 attempts + backoff after failures 1 and 2 (1 + 2 slots).
+  EXPECT_EQ(res.slots_elapsed, 3u + 1u + 2u);
+}
+
+TEST(ArqRound, ReadingsConservationHoldsOnRandomInstances) {
+  Rng rng(97);
+  for (int trial = 0; trial < 10; ++trial) {
+    const wsn::Network net =
+        mrlc::testing::small_random_network(12, 0.4, rng, 0.3, 0.95);
+    const auto tree = mrlc::testing::random_tree(net, rng);
+    ChannelConfig config;
+    config.model = trial % 2 == 0 ? ChannelModel::kBernoulli
+                                  : ChannelModel::kGilbertElliott;
+    ChannelSet channels(net, config, rng);
+    ArqPolicy policy;
+    policy.max_attempts = 2;
+    for (int round = 0; round < 20; ++round) {
+      const ArqRoundResult res =
+          simulate_arq_round(net, tree, policy, channels, rng);
+      EXPECT_EQ(res.readings_delivered + res.readings_lost, net.node_count());
+      EXPECT_GE(res.readings_delivered, 1);  // the sink always has its own
+      EXPECT_LE(res.data_transmissions,
+                static_cast<std::uint64_t>((net.node_count() - 1) *
+                                           policy.max_attempts));
+    }
+  }
+}
+
+TEST(ArqRounds, HistogramCountsEveryTransaction) {
+  mrlc::testing::ToyNetwork toy;
+  const auto tree = toy.tree_b();
+  ArqPolicy policy;
+  policy.max_attempts = 4;
+  Rng rng(98);
+  const int kRounds = 500;
+  const ArqAggregateResult agg =
+      simulate_arq_rounds(toy.net, tree, policy, ChannelConfig{}, kRounds, rng);
+  ASSERT_EQ(agg.attempts_histogram.size(), 4u);
+  std::uint64_t transactions = 0;
+  for (const std::uint64_t count : agg.attempts_histogram) transactions += count;
+  EXPECT_EQ(transactions, static_cast<std::uint64_t>(kRounds * 5));
+  EXPECT_GT(agg.delivery_ratio, 0.8);
+  EXPECT_LE(agg.delivery_ratio, 1.0);
+  EXPECT_GT(agg.joules_per_reading, 0.0);
+}
+
+TEST(ArqRounds, DeliveryBeatsNoRetxOnLossyLinks) {
+  // The whole point of ARQ: a mediocre chain delivers far more readings
+  // with 8 confirmed attempts than with a single unconfirmed shot.
+  wsn::Network net(5, 0);
+  for (int v = 1; v < 5; ++v) net.add_link(v - 1, v, 0.6);
+  const auto tree = wsn::AggregationTree::from_parents(net, {-1, 0, 1, 2, 3});
+  ArqPolicy one_shot;
+  one_shot.max_attempts = 1;
+  ArqPolicy arq;
+  arq.max_attempts = 8;
+  Rng rng1(99), rng2(99);
+  const ArqAggregateResult single =
+      simulate_arq_rounds(net, tree, one_shot, ChannelConfig{}, 2000, rng1);
+  const ArqAggregateResult retried =
+      simulate_arq_rounds(net, tree, arq, ChannelConfig{}, 2000, rng2);
+  EXPECT_GT(retried.delivery_ratio, single.delivery_ratio + 0.3);
+  EXPECT_GT(retried.round_success_ratio, 0.8);
+}
+
+TEST(ArqDepletion, ExtrapolatesFirstDeath) {
+  mrlc::testing::ToyNetwork toy;
+  const auto tree = toy.tree_b();
+  Rng rng(100);
+  const ArqDepletionResult res = simulate_arq_depletion(
+      toy.net, tree, ArqPolicy{}, ChannelConfig{}, 500, rng);
+  EXPECT_GT(res.rounds_survived, 0.0);
+  EXPECT_GE(res.first_dead, 0);
+  EXPECT_LT(res.first_dead, toy.net.node_count());
+  ASSERT_EQ(res.joules_per_round.size(), 6u);
+  for (const double rate : res.joules_per_round) EXPECT_GE(rate, 0.0);
+  EXPECT_THROW(simulate_arq_depletion(toy.net, tree, ArqPolicy{},
+                                      ChannelConfig{}, 0, rng),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- config io --
+
+TEST(DataPlaneConfig, RoundTripPreservesEverything) {
+  DataPlaneConfig original;
+  original.has_arq = true;
+  original.arq.max_attempts = 12;
+  original.arq.backoff_base_slots = 2;
+  original.arq.backoff_cap_exponent = 4;
+  original.arq.ack_fraction = 0.125;
+  original.has_channel = true;
+  original.channel.model = ChannelModel::kGilbertElliott;
+  original.channel.mean_bad_burst = 16.5;
+
+  std::ostringstream os;
+  write_dataplane_config(os, original);
+  std::istringstream is(os.str());
+  const DataPlaneConfig parsed = read_dataplane_config(is);
+  EXPECT_TRUE(parsed.has_arq);
+  EXPECT_TRUE(parsed.has_channel);
+  EXPECT_EQ(parsed.arq.max_attempts, 12);
+  EXPECT_EQ(parsed.arq.backoff_base_slots, 2);
+  EXPECT_EQ(parsed.arq.backoff_cap_exponent, 4);
+  EXPECT_DOUBLE_EQ(parsed.arq.ack_fraction, 0.125);
+  EXPECT_EQ(parsed.channel.model, ChannelModel::kGilbertElliott);
+  EXPECT_DOUBLE_EQ(parsed.channel.mean_bad_burst, 16.5);
+}
+
+TEST(DataPlaneConfig, AbsentBlockYieldsDefaults) {
+  std::istringstream is("mrlc-network v1\nnodes 2 sink 0\nlink 0 1 0.9\n");
+  const DataPlaneConfig parsed = read_dataplane_config(is);
+  EXPECT_FALSE(parsed.has_arq);
+  EXPECT_FALSE(parsed.has_channel);
+}
+
+TEST(DataPlaneConfig, UnknownKeysAreSkippedForForwardCompatibility) {
+  std::istringstream is(
+      "arq attempts 6 jitter-model gaussian ack-fraction 0.2\n"
+      "channel gilbert-elliott burst 4 fade-margin 3.0\n");
+  const DataPlaneConfig parsed = read_dataplane_config(is);
+  EXPECT_EQ(parsed.arq.max_attempts, 6);
+  EXPECT_DOUBLE_EQ(parsed.arq.ack_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(parsed.channel.mean_bad_burst, 4.0);
+}
+
+TEST(DataPlaneConfig, MalformedValuesRejected) {
+  {
+    std::istringstream is("arq attempts banana\n");
+    EXPECT_THROW(read_dataplane_config(is), std::invalid_argument);
+  }
+  {
+    std::istringstream is("arq attempts\n");
+    EXPECT_THROW(read_dataplane_config(is), std::invalid_argument);
+  }
+  {
+    std::istringstream is("channel rayleigh\n");
+    EXPECT_THROW(read_dataplane_config(is), std::invalid_argument);
+  }
+  {
+    std::istringstream is("arq attempts 0\n");  // fails validate()
+    EXPECT_THROW(read_dataplane_config(is), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace mrlc::radio

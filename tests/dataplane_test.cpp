@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "distributed/dataplane.hpp"
+#include "distributed/link_estimator.hpp"
+#include "helpers.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::dist {
+namespace {
+
+wsn::Network one_link_network(double prr) {
+  wsn::Network net(2, 0);
+  net.add_link(0, 1, prr);
+  return net;
+}
+
+// --------------------------------------------------------- link estimator --
+
+TEST(LinkEstimator, SeededAtSurveyPrr) {
+  const wsn::Network net = one_link_network(0.9);
+  LinkEstimatorBank bank(net);
+  EXPECT_NEAR(bank.estimate(0), 0.9, 1e-12);
+  EXPECT_NEAR(bank.reported(0), 0.9, 1e-12);
+  EXPECT_EQ(bank.sample_count(0), 0);
+  EXPECT_TRUE(bank.poll().empty());
+}
+
+TEST(LinkEstimator, NoEventBeforeWarmup) {
+  const wsn::Network net = one_link_network(0.9);
+  EstimatorOptions options;
+  options.min_samples = 10;
+  LinkEstimatorBank bank(net, options);
+  for (int i = 0; i < 9; ++i) bank.observe(0, false);
+  EXPECT_TRUE(bank.poll().empty());  // estimate collapsed but still warming up
+  EXPECT_LT(bank.estimate(0), 0.9);
+}
+
+TEST(LinkEstimator, FailureStreakEmitsDegradeEvent) {
+  const wsn::Network net = one_link_network(0.9);
+  LinkEstimatorBank bank(net);
+  for (int i = 0; i < 20; ++i) bank.observe(0, false);
+  const std::vector<LinkEvent> events = bank.poll();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].link, 0);
+  EXPECT_EQ(events[0].kind, LinkEvent::Kind::kDegraded);
+  EXPECT_NEAR(events[0].old_prr, 0.9, 1e-12);
+  EXPECT_LT(events[0].new_prr, 0.9 * (1.0 - bank.options().degrade_threshold));
+  // The event moved the reported anchor: no immediate re-report.
+  EXPECT_TRUE(bank.poll().empty());
+  EXPECT_NEAR(bank.reported(0), events[0].new_prr, 1e-12);
+}
+
+TEST(LinkEstimator, SuccessStreakEmitsImproveEventPastHysteresis) {
+  const wsn::Network net = one_link_network(0.5);
+  LinkEstimatorBank bank(net);
+  std::vector<LinkEvent> events;
+  for (int i = 0; i < 100 && events.empty(); ++i) {
+    bank.observe(0, true);
+    events = bank.poll();
+  }
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, LinkEvent::Kind::kImproved);
+  // Hysteresis: the improvement had to clear the higher bar.
+  EXPECT_GE(events[0].new_prr,
+            0.5 * (1.0 + bank.options().improve_threshold) - 1e-12);
+}
+
+TEST(LinkEstimator, LaterObservationSupersedesQueuedEvent) {
+  const wsn::Network net = one_link_network(0.9);
+  LinkEstimatorBank bank(net);
+  // Queue a degrade, then keep feeding before anyone polls: still exactly
+  // one event for the link, carrying the latest estimate.
+  for (int i = 0; i < 40; ++i) bank.observe(0, false);
+  const std::vector<LinkEvent> events = bank.poll();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(events[0].new_prr, bank.estimate(0), 1e-12);
+}
+
+TEST(LinkEstimator, EstimateClampedToFloor) {
+  const wsn::Network net = one_link_network(0.9);
+  LinkEstimatorBank bank(net);
+  for (int i = 0; i < 2000; ++i) bank.observe(0, false);
+  EXPECT_GE(bank.estimate(0), bank.options().min_prr - 1e-15);
+}
+
+TEST(LinkEstimator, CompensationDividesAckBiasOut) {
+  // Samples are ACK outcomes ~ q * q_ack; with compensation = q_ack the
+  // published estimate recovers q.
+  const double q = 0.81;
+  const double q_ack = 0.9;
+  const wsn::Network net = one_link_network(q);
+  EstimatorOptions options;
+  options.sample_compensation = q_ack;
+  options.ewma_alpha = 0.01;
+  LinkEstimatorBank bank(net, options);
+  EXPECT_NEAR(bank.estimate(0), q, 1e-12);  // seed is bias-consistent
+  Rng rng(110);
+  for (int i = 0; i < 20000; ++i) bank.observe(0, rng.bernoulli(q * q_ack));
+  EXPECT_NEAR(bank.estimate(0), q, 0.08);
+}
+
+TEST(LinkEstimator, WriteEstimatesUpdatesBelievedView) {
+  const wsn::Network net = one_link_network(0.9);
+  wsn::Network believed = net;
+  LinkEstimatorBank bank(net);
+  for (int i = 0; i < 20; ++i) bank.observe(0, false);
+  bank.write_estimates(believed);
+  EXPECT_NEAR(believed.link_prr(0), bank.estimate(0), 1e-12);
+  EXPECT_NEAR(net.link_prr(0), 0.9, 1e-12);  // the truth is untouched
+}
+
+TEST(LinkEstimator, Validation) {
+  EstimatorOptions options;
+  options.ewma_alpha = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = EstimatorOptions{};
+  options.min_samples = 0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  options = EstimatorOptions{};
+  options.sample_compensation = 0.0;
+  EXPECT_THROW(options.validate(), std::invalid_argument);
+  const wsn::Network net = one_link_network(0.9);
+  LinkEstimatorBank bank(net);
+  EXPECT_THROW(bank.observe(3, true), std::invalid_argument);
+  EXPECT_THROW(bank.estimate(-1), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- dataplane --
+
+struct Fixture {
+  wsn::Network net;
+  wsn::AggregationTree tree;
+  double bound = 0.0;
+};
+
+Fixture make_fixture(std::uint64_t seed) {
+  Rng rng(seed);
+  Fixture fx{mrlc::testing::small_random_network(10, 0.5, rng, 0.7, 0.99),
+             wsn::AggregationTree{}, 0.0};
+  fx.tree = mrlc::testing::random_tree(fx.net, rng);
+  // Half of the tree's own lifetime: comfortably met at construction, so
+  // the maintainer has room to repair without immediate LC pressure.
+  fx.bound = 0.5 * wsn::network_lifetime(fx.net, fx.tree);
+  return fx;
+}
+
+DataPlaneOptions small_options(RepairMode repair) {
+  DataPlaneOptions options;
+  options.rounds = 60;
+  options.repair = repair;
+  options.churn.cost_noise_sigma = 0.05;  // noisy enough to trigger events
+  return options;
+}
+
+TEST(DataPlane, RunsAllRepairModes) {
+  const Fixture fx = make_fixture(120);
+  for (const RepairMode mode :
+       {RepairMode::kNone, RepairMode::kOracle, RepairMode::kEstimator}) {
+    const DataPlaneResult res =
+        run_dataplane(fx.net, fx.tree, fx.bound, small_options(mode));
+    EXPECT_EQ(res.rounds, 60);
+    EXPECT_GE(res.delivery_ratio, 0.0);
+    EXPECT_LE(res.delivery_ratio, 1.0);
+    EXPECT_GE(res.round_success_ratio, 0.0);
+    EXPECT_LE(res.round_success_ratio, 1.0);
+    EXPECT_GT(res.avg_data_tx_per_round, 0.0);
+    EXPECT_GT(res.avg_ack_tx_per_round, 0.0);
+    EXPECT_GE(res.avg_slots_per_round, res.avg_data_tx_per_round);
+    EXPECT_GT(res.measured_lifetime_rounds, 0.0);
+    EXPECT_GT(res.joules_per_reading, 0.0);
+    EXPECT_GT(res.final_reliability, 0.0);
+    if (mode == RepairMode::kNone) {
+      EXPECT_EQ(res.repairs_applied, 0);
+      EXPECT_EQ(res.degraded_events, 0);
+      EXPECT_EQ(res.improved_events, 0);
+    }
+  }
+}
+
+TEST(DataPlane, DeterministicGivenSeed) {
+  const Fixture fx = make_fixture(121);
+  const DataPlaneOptions options = small_options(RepairMode::kEstimator);
+  const DataPlaneResult a = run_dataplane(fx.net, fx.tree, fx.bound, options);
+  const DataPlaneResult b = run_dataplane(fx.net, fx.tree, fx.bound, options);
+  EXPECT_DOUBLE_EQ(a.delivery_ratio, b.delivery_ratio);
+  EXPECT_EQ(a.repairs_applied, b.repairs_applied);
+  EXPECT_EQ(a.detections, b.detections);
+  EXPECT_EQ(a.false_positive_events, b.false_positive_events);
+  EXPECT_DOUBLE_EQ(a.measured_lifetime_rounds, b.measured_lifetime_rounds);
+}
+
+TEST(DataPlane, EstimatorModeAccountsDetections) {
+  const Fixture fx = make_fixture(122);
+  DataPlaneOptions options = small_options(RepairMode::kEstimator);
+  options.rounds = 200;
+  const DataPlaneResult res =
+      run_dataplane(fx.net, fx.tree, fx.bound, options);
+  // Every estimator event is classified exactly once.
+  EXPECT_EQ(res.degraded_events + res.improved_events,
+            res.detections + res.false_positive_events);
+  EXPECT_GE(res.missed_events, 0);
+  EXPECT_GE(res.estimate_mae, 0.0);
+  EXPECT_LE(res.estimate_mae, 1.0);
+  if (res.detections > 0) {
+    EXPECT_GE(res.mean_detection_lag_rounds, 0.0);
+  }
+}
+
+TEST(DataPlane, GilbertElliottChannelRunsAndDeliversLess) {
+  // Same instance and seed, bursty vs i.i.d. losses: with ARQ's few
+  // attempts, bursts that outlast the retry budget cost deliveries.
+  const Fixture fx = make_fixture(123);
+  DataPlaneOptions iid = small_options(RepairMode::kNone);
+  iid.rounds = 150;
+  iid.arq.max_attempts = 3;
+  DataPlaneOptions bursty = iid;
+  bursty.channel.model = radio::ChannelModel::kGilbertElliott;
+  bursty.channel.mean_bad_burst = 12.0;
+  const DataPlaneResult a = run_dataplane(fx.net, fx.tree, fx.bound, iid);
+  const DataPlaneResult b = run_dataplane(fx.net, fx.tree, fx.bound, bursty);
+  EXPECT_GT(a.delivery_ratio, 0.0);
+  EXPECT_GT(b.delivery_ratio, 0.0);
+  EXPECT_LT(b.delivery_ratio, a.delivery_ratio + 0.05);
+}
+
+TEST(DataPlane, Validation) {
+  const Fixture fx = make_fixture(124);
+  DataPlaneOptions options;
+  options.rounds = 0;
+  EXPECT_THROW(run_dataplane(fx.net, fx.tree, fx.bound, options),
+               std::invalid_argument);
+  options = DataPlaneOptions{};
+  options.probe_probability = 1.5;
+  EXPECT_THROW(run_dataplane(fx.net, fx.tree, fx.bound, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mrlc::dist

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -32,6 +34,51 @@ TEST(NetworkIo, RoundTripPreservesEverything) {
       EXPECT_DOUBLE_EQ(parsed.link_prr(id), original.link_prr(id));
     }
   }
+}
+
+TEST(NetworkIo, RoundTripIsBitExact) {
+  // max_digits10 output must reproduce the identical double, bit for bit,
+  // including adversarial values that 15-digit printing would corrupt.
+  Rng rng(63);
+  for (int trial = 0; trial < 50; ++trial) {
+    wsn::Network original(3, 0);
+    // PRRs with long binary expansions: irrational-ish draws plus values
+    // one ulp away from a short decimal.
+    const double q1 = std::nextafter(0.9, 1.0);
+    const double q2 = rng.uniform(1e-3, 1.0);
+    original.add_link(0, 1, q1);
+    original.add_link(1, 2, q2);
+    original.set_initial_energy(1, std::nextafter(3000.0, 0.0));
+    original.set_initial_energy(2, rng.uniform(1.0, 1e7));
+    const Network parsed = network_from_string(network_to_string(original));
+    for (EdgeId id = 0; id < original.link_count(); ++id) {
+      const double a = parsed.link_prr(id);
+      const double b = original.link_prr(id);
+      EXPECT_EQ(std::memcmp(&a, &b, sizeof(double)), 0);
+    }
+    for (int v = 0; v < original.node_count(); ++v) {
+      EXPECT_DOUBLE_EQ(parsed.initial_energy(v), original.initial_energy(v));
+    }
+  }
+}
+
+TEST(NetworkIo, AuxiliaryBlocksAndExtensionLinesSkipped) {
+  // Version tolerance: appended config blocks (fault schedules, ARQ/channel
+  // data-plane config) and forward-compatible "x-" lines must not break the
+  // network reader.
+  const std::string text =
+      "mrlc-network v1\n"
+      "nodes 3 sink 0\n"
+      "link 0 1 0.9\n"
+      "link 1 2 0.8\n"
+      "arq attempts 8 backoff 1 cap 5 ack-fraction 0.1\n"
+      "channel gilbert-elliott burst 8\n"
+      "fault-schedule v1\n"
+      "fault 10 2 crash\n"
+      "x-future-field 1 2 3\n";
+  const Network net = network_from_string(text);
+  EXPECT_EQ(net.node_count(), 3);
+  EXPECT_EQ(net.link_count(), 2);
 }
 
 TEST(NetworkIo, CommentsAndBlanksIgnored) {

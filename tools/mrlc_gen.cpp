@@ -11,6 +11,11 @@
 /// Either mode also takes [--faults K] [--horizon ROUNDS] [--fault-seed S]
 /// to append a reproducible crash schedule (a `fault-schedule v1` block) to
 /// the network file; `mrlc_solve faults` replays such combined files.
+///
+/// Either mode also takes [--arq ATTEMPTS] [--ack-fraction F]
+/// [--channel bernoulli|gilbert-elliott] [--burst B] to append an
+/// `arq`/`channel` data-plane config block; `mrlc_solve dataplane` picks it
+/// up as its defaults.
 
 #include <cstdlib>
 #include <iostream>
@@ -19,6 +24,7 @@
 
 #include "common/rng.hpp"
 #include "distributed/failure.hpp"
+#include "radio/arq.hpp"
 #include "scenario/dfl.hpp"
 #include "scenario/random_net.hpp"
 #include "wsn/io.hpp"
@@ -32,8 +38,10 @@ namespace {
                "                  [--prr-min Q] [--prr-max Q]\n"
                "                  [--energy-min J] [--energy-max J]\n"
                "both modes: [--faults K] [--horizon ROUNDS] [--fault-seed S]\n"
-               "writes an mrlc-network v1 file (plus an optional fault-schedule\n"
-               "block) to stdout\n";
+               "            [--arq ATTEMPTS] [--ack-fraction F]\n"
+               "            [--channel bernoulli|gilbert-elliott] [--burst B]\n"
+               "writes an mrlc-network v1 file (plus optional fault-schedule\n"
+               "and arq/channel config blocks) to stdout\n";
   std::exit(2);
 }
 
@@ -71,6 +79,40 @@ void emit_fault_schedule(const std::map<std::string, std::string>& flags,
   mrlc::dist::write_fault_schedule(std::cout, schedule);
 }
 
+/// Appends an `arq`/`channel` data-plane config block when any of the
+/// data-plane flags is given (mrlc_solve dataplane reads it as defaults).
+void emit_dataplane_config(const std::map<std::string, std::string>& flags) {
+  mrlc::radio::DataPlaneConfig config;
+  if (flags.count("arq")) {
+    config.has_arq = true;
+    config.arq.max_attempts = static_cast<int>(flag_or(flags, "arq", 8));
+  }
+  if (flags.count("ack-fraction")) {
+    config.has_arq = true;
+    config.arq.ack_fraction = flag_or(flags, "ack-fraction", 0.1);
+  }
+  const auto channel_it = flags.find("channel");
+  if (channel_it != flags.end()) {
+    config.has_channel = true;
+    if (channel_it->second == "bernoulli") {
+      config.channel.model = mrlc::radio::ChannelModel::kBernoulli;
+    } else if (channel_it->second == "gilbert-elliott" ||
+               channel_it->second == "ge") {
+      config.channel.model = mrlc::radio::ChannelModel::kGilbertElliott;
+    } else {
+      usage();
+    }
+  }
+  if (flags.count("burst")) {
+    config.has_channel = true;
+    config.channel.mean_bad_burst = flag_or(flags, "burst", 8.0);
+  }
+  if (!config.has_arq && !config.has_channel) return;
+  if (config.has_arq) config.arq.validate();
+  if (config.has_channel) config.channel.validate();
+  mrlc::radio::write_dataplane_config(std::cout, config);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,6 +132,7 @@ int main(int argc, char** argv) {
                 << config.tx_power_level << ", side " << config.side_m << " m\n";
       wsn::write_network(std::cout, sys.network);
       emit_fault_schedule(flags, sys.network, config.seed);
+      emit_dataplane_config(flags);
     } else if (mode == "random") {
       const auto flags = parse_flags(argc, argv, 2);
       scenario::RandomNetworkConfig config;
@@ -106,6 +149,7 @@ int main(int argc, char** argv) {
                 << config.link_probability << '\n';
       wsn::write_network(std::cout, net);
       emit_fault_schedule(flags, net, seed);
+      emit_dataplane_config(flags);
     } else {
       usage();
     }

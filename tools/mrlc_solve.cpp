@@ -11,10 +11,19 @@
 ///   mrlc_solve probe                                < net.txt
 ///   mrlc_solve faults --lifetime ROUNDS [--relax] [--lossy] [--retx N]
 ///                     [--seed S]                   < net+faults.txt
+///   mrlc_solve dataplane --lifetime ROUNDS [--rounds N]
+///                     [--repair none|oracle|estimator]
+///                     [--channel bernoulli|gilbert-elliott] [--burst B]
+///                     [--attempts N] [--ack-fraction F] [--probe P]
+///                     [--churn-sigma S] [--seed S]  < net.txt
 ///
 /// `probe` brackets the maximum achievable lifetime instead of solving.
 /// `faults` replays the fault-schedule block appended by `mrlc_gen --faults`
 /// against the distributed maintainer and reports each repair outcome.
+/// `dataplane` runs the closed loop of churn, ARQ convergecast, online link
+/// estimation and Section-VI repair; an `arq`/`channel` config block
+/// appended to the network file (see `mrlc_gen --arq`) supplies defaults
+/// that the flags override.
 
 #include <cstdlib>
 #include <iostream>
@@ -28,8 +37,10 @@
 #include "core/feasibility.hpp"
 #include "core/solver.hpp"
 #include "core/ira.hpp"
+#include "distributed/dataplane.hpp"
 #include "distributed/failure.hpp"
 #include "distributed/simulator.hpp"
+#include "radio/arq.hpp"
 #include "wsn/io.hpp"
 #include "wsn/metrics.hpp"
 
@@ -44,7 +55,13 @@ namespace {
                "  mrlc_solve aaml   [--lex]                       < net > tree\n"
                "  mrlc_solve probe                                < net\n"
                "  mrlc_solve faults --lifetime ROUNDS [--relax] [--lossy]\n"
-               "                    [--retx N] [--seed S]         < net+faults\n";
+               "                    [--retx N] [--seed S]         < net+faults\n"
+               "  mrlc_solve dataplane --lifetime ROUNDS [--rounds N]\n"
+               "                    [--repair none|oracle|estimator]\n"
+               "                    [--channel bernoulli|gilbert-elliott]\n"
+               "                    [--burst B] [--attempts N]\n"
+               "                    [--ack-fraction F] [--probe P]\n"
+               "                    [--churn-sigma S] [--seed S]  < net\n";
   std::exit(2);
 }
 
@@ -126,6 +143,101 @@ int replay_faults(mrlc::wsn::Network& net, const std::string& input,
   return 0;
 }
 
+/// Runs the closed-loop ARQ data plane (churn -> ARQ -> estimator -> repair).
+int run_dataplane_cmd(const mrlc::wsn::Network& net, const std::string& input,
+                      std::map<std::string, std::string>& flags) {
+  using namespace mrlc;
+  if (!flags.count("lifetime")) usage();
+  const double bound = std::stod(flags["lifetime"]);
+
+  dist::DataPlaneOptions options;
+  // Defaults from an appended `arq`/`channel` config block, if any.
+  {
+    std::istringstream config_in(input);
+    const radio::DataPlaneConfig config = radio::read_dataplane_config(config_in);
+    if (config.has_arq) options.arq = config.arq;
+    if (config.has_channel) options.channel = config.channel;
+  }
+  if (flags.count("rounds")) options.rounds = std::stoi(flags["rounds"]);
+  if (flags.count("repair")) {
+    const std::string& mode = flags["repair"];
+    if (mode == "none") {
+      options.repair = dist::RepairMode::kNone;
+    } else if (mode == "oracle") {
+      options.repair = dist::RepairMode::kOracle;
+    } else if (mode == "estimator") {
+      options.repair = dist::RepairMode::kEstimator;
+    } else {
+      usage();
+    }
+  }
+  if (flags.count("channel")) {
+    const std::string& model = flags["channel"];
+    if (model == "bernoulli") {
+      options.channel.model = radio::ChannelModel::kBernoulli;
+    } else if (model == "gilbert-elliott" || model == "ge") {
+      options.channel.model = radio::ChannelModel::kGilbertElliott;
+    } else {
+      usage();
+    }
+  }
+  if (flags.count("burst")) options.channel.mean_bad_burst = std::stod(flags["burst"]);
+  if (flags.count("attempts")) options.arq.max_attempts = std::stoi(flags["attempts"]);
+  if (flags.count("ack-fraction")) options.arq.ack_fraction = std::stod(flags["ack-fraction"]);
+  if (flags.count("probe")) options.probe_probability = std::stod(flags["probe"]);
+  if (flags.count("churn-sigma")) {
+    options.churn.cost_noise_sigma = std::stod(flags["churn-sigma"]);
+  }
+  if (flags.count("seed")) options.seed = std::stoull(flags["seed"]);
+  options.validate();
+  options.arq.validate();
+  options.channel.validate();
+  options.estimator.validate();
+
+  core::IraOptions ira_options;
+  ira_options.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult ira = core::IterativeRelaxation(ira_options).solve(net, bound);
+  std::cerr << "initial tree: reliability " << wsn::tree_reliability(net, ira.tree)
+            << ", lifetime " << wsn::network_lifetime(net, ira.tree)
+            << " rounds, bound " << (ira.meets_bound ? "met" : "VIOLATED") << '\n';
+
+  const dist::DataPlaneResult res = run_dataplane(net, ira.tree, bound, options);
+
+  const char* repair_name = options.repair == dist::RepairMode::kNone
+                                ? "none"
+                                : options.repair == dist::RepairMode::kOracle
+                                      ? "oracle"
+                                      : "estimator";
+  const char* channel_name =
+      options.channel.model == radio::ChannelModel::kBernoulli ? "bernoulli"
+                                                               : "gilbert-elliott";
+  std::cout << "# dataplane: " << res.rounds << " rounds, repair " << repair_name
+            << ", channel " << channel_name << '\n';
+  std::cout << "delivery ratio        " << res.delivery_ratio << '\n';
+  std::cout << "round success ratio   " << res.round_success_ratio << '\n';
+  std::cout << "data tx / round       " << res.avg_data_tx_per_round << '\n';
+  std::cout << "ack tx / round        " << res.avg_ack_tx_per_round << '\n';
+  std::cout << "slots / round         " << res.avg_slots_per_round << '\n';
+  std::cout << "duplicates suppressed " << res.duplicates_suppressed << '\n';
+  std::cout << "packets dropped       " << res.packets_dropped << '\n';
+  std::cout << "joules / reading      " << res.joules_per_reading << '\n';
+  std::cout << "measured lifetime     " << res.measured_lifetime_rounds
+            << " rounds (bound " << bound << ")\n";
+  std::cout << "repairs applied       " << res.repairs_applied << " ("
+            << res.degraded_events << " degraded, " << res.improved_events
+            << " improved events)\n";
+  if (options.repair == dist::RepairMode::kEstimator) {
+    std::cout << "estimator             " << res.detections << " detections (lag "
+              << res.mean_detection_lag_rounds << " rounds), "
+              << res.false_positive_events << " false positives, "
+              << res.missed_events << " missed, MAE " << res.estimate_mae << '\n';
+  }
+  std::cout << "final tree            reliability " << res.final_reliability
+            << ", lifetime " << res.final_lifetime << " rounds, bound "
+            << (res.bound_met ? "met" : "VIOLATED") << '\n';
+  return 0;
+}
+
 void report(const mrlc::wsn::Network& net, const mrlc::wsn::AggregationTree& tree,
             const std::string& name) {
   using namespace mrlc;
@@ -167,6 +279,10 @@ int main(int argc, char** argv) {
 
     if (mode == "faults") {
       return replay_faults(net, input, flags);
+    }
+
+    if (mode == "dataplane") {
+      return run_dataplane_cmd(net, input, flags);
     }
 
     if (mode == "probe") {
