@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare two mrlc-bench-v1 JSON files and flag regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10]
+
+Workloads are matched by name.  For each match the mean wall time and the
+total phase times are compared; anything more than ``threshold`` slower
+than the baseline is reported as a regression.  Counter drift (seeded
+workloads should be bit-identical) is reported as a warning, since a
+counter change usually means the algorithm itself changed.
+
+Exit codes:
+    0  no regressions
+    1  at least one wall-time regression (or a counter drifted)
+    2  usage / unreadable input
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+    if doc.get("schema") != "mrlc-bench-v1":
+        sys.exit(f"bench_compare: {path} is not an mrlc-bench-v1 file "
+                 f"(schema {doc.get('schema')!r})")
+    return doc
+
+
+def by_name(doc):
+    return {w["name"]: w for w in doc.get("workloads", [])}
+
+
+def relative_change(base, cur):
+    if base <= 0.0:
+        return 0.0
+    return (cur - base) / base
+
+
+def compare(baseline, current, threshold):
+    base_workloads = by_name(baseline)
+    cur_workloads = by_name(current)
+    regressions = []
+    warnings = []
+
+    for name in sorted(base_workloads.keys() | cur_workloads.keys()):
+        if name not in cur_workloads:
+            warnings.append(f"{name}: missing from current run")
+            continue
+        if name not in base_workloads:
+            warnings.append(f"{name}: new workload (no baseline)")
+            continue
+        base, cur = base_workloads[name], cur_workloads[name]
+
+        base_ms = base.get("wall_ms", {}).get("mean", 0.0)
+        cur_ms = cur.get("wall_ms", {}).get("mean", 0.0)
+        change = relative_change(base_ms, cur_ms)
+        if base_ms > 0.0 and change > threshold:
+            regressions.append(
+                f"{name}: mean wall time {base_ms:.3f} ms -> {cur_ms:.3f} ms "
+                f"({change:+.1%})")
+        else:
+            print(f"ok  {name}: {base_ms:.3f} ms -> {cur_ms:.3f} ms "
+                  f"({change:+.1%})")
+
+        base_counters = base.get("metrics", {}).get("counters", {})
+        cur_counters = cur.get("metrics", {}).get("counters", {})
+        for key in sorted(base_counters.keys() | cur_counters.keys()):
+            b, c = base_counters.get(key), cur_counters.get(key)
+            if b != c:
+                warnings.append(f"{name}: counter {key} drifted {b} -> {c}")
+
+    return regressions, warnings
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative slowdown that counts as a regression "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    regressions, warnings = compare(baseline, current, args.threshold)
+
+    for warning in warnings:
+        print(f"warn {warning}")
+    for regression in regressions:
+        print(f"REGRESSION {regression}")
+
+    if regressions or warnings:
+        print(f"bench_compare: {len(regressions)} regression(s), "
+              f"{len(warnings)} warning(s)")
+        return 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,11 @@
 #   1. tier-1: release configure + build + ctest (the gate every change
 #      must pass);
 #   2. sanitized: the same suite under ASan + UBSan, catching the memory
-#      and UB bugs a release run hides.
+#      and UB bugs a release run hides;
+#   3. docs: Doxygen with WARN_AS_ERROR (skipped when doxygen is absent);
+#   4. bench: mrlc_bench sweep, compared against the committed
+#      BENCH_solver.json baseline.  Timing deltas are a *report*, not a
+#      gate — shared CI machines are too noisy to fail on wall clock.
 #
 # Usage: scripts/ci.sh [--release-only|--asan-only]
 # Runs from any directory; build trees live in build-release/ and
@@ -41,5 +45,21 @@ run_suite() {
 
 [[ $run_release -eq 1 ]] && run_suite release
 [[ $run_asan -eq 1 ]] && run_suite asan
+
+echo "=== docs ==="
+"$repo/scripts/docs.sh"
+
+if [[ $run_release -eq 1 ]]; then
+  echo "=== bench (non-fatal report) ==="
+  bench_bin="$repo/build-release/tools/mrlc_bench"
+  if [[ -x "$bench_bin" && -f "$repo/BENCH_solver.json" ]]; then
+    "$bench_bin" --repeats 3 --out "$repo/build-release/BENCH_solver.json"
+    python3 "$repo/scripts/bench_compare.py" \
+      "$repo/BENCH_solver.json" "$repo/build-release/BENCH_solver.json" \
+      || echo "bench: regressions reported above (informational only)"
+  else
+    echo "bench: skipped (no bench binary or no committed baseline)"
+  fi
+fi
 
 echo "=== ci.sh: all requested suites passed ==="

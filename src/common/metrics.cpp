@@ -1,0 +1,364 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace mrlc::metrics {
+
+namespace {
+
+/// Reads the MRLC_METRICS environment variable once at startup.
+bool initial_enabled_state() {
+  const char* env = std::getenv("MRLC_METRICS");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  return !(value == "0" || value == "off" || value == "false" ||
+           value == "no");
+}
+
+/// The global instrument registry.  Instruments live in node-stable
+/// containers (std::map) so references handed out never move; the mutex
+/// guards registration and JSON emission only — mutation is atomic.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  PhaseNode phase_root;                      // name "", parent nullptr
+  std::deque<std::unique_ptr<PhaseNode>> phase_arena;
+
+  static Registry& instance() {
+    static Registry* r = new Registry();  // leaked: outlive static dtors
+    return *r;
+  }
+};
+
+void reset_phase_tree(PhaseNode& node, Registry& reg) {
+  node.count.store(0, std::memory_order_relaxed);
+  node.total_ns.store(0, std::memory_order_relaxed);
+  for (auto& child : reg.phase_arena) {
+    child->count.store(0, std::memory_order_relaxed);
+    child->total_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ----------------------------------------------------------- JSON helpers --
+
+void json_escape(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(std::numeric_limits<double>::max_digits10);
+  tmp << v;
+  os << tmp.str();
+}
+
+/// Children of `node`, name-sorted for stable output.  The arena is the
+/// only owner of interned nodes, so scanning it by parent is exact.
+std::vector<const PhaseNode*> phase_children(const PhaseNode* node,
+                                             const Registry& reg) {
+  std::vector<const PhaseNode*> out;
+  for (const auto& candidate : reg.phase_arena) {
+    if (candidate->parent == node) out.push_back(candidate.get());
+  }
+  std::sort(out.begin(), out.end(), [](const PhaseNode* a, const PhaseNode* b) {
+    return a->name < b->name;
+  });
+  return out;
+}
+
+void write_phase(std::ostream& os, const PhaseNode* node, const Registry& reg,
+                 int indent, bool zero_times) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "{\"name\": ";
+  json_escape(os, node->name);
+  os << ", \"path\": ";
+  json_escape(os, node->path());
+  os << ", \"count\": " << node->count.load(std::memory_order_relaxed)
+     << ", \"total_ms\": ";
+  json_number(os, zero_times
+                      ? 0.0
+                      : static_cast<double>(
+                            node->total_ns.load(std::memory_order_relaxed)) /
+                            1e6);
+  const auto children = phase_children(node, reg);
+  os << ", \"children\": [";
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_phase(os, children[i], reg, indent + 2, zero_times);
+  }
+  if (!children.empty()) os << '\n' << pad;
+  os << "]}";
+}
+
+}  // namespace
+
+#if !defined(MRLC_METRICS_DISABLED)
+namespace detail {
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{initial_enabled_state()};
+  return flag;
+}
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+#endif
+
+// --------------------------------------------------------------- Histogram --
+
+void Histogram::record(long long value) noexcept {
+  if (!enabled()) return;
+  if (value < 0) value = 0;
+  const int index = bucket_index(value);
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  const long long n = count_.fetch_add(1, std::memory_order_relaxed);
+  if (n == 0) {
+    // First sample seeds min/max; later samples CAS them tighter.
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+    return;
+  }
+  long long seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+long long Histogram::min() const noexcept {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+long long Histogram::max() const noexcept {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  const long long n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+int Histogram::bucket_index(long long value) noexcept {
+  const auto v = static_cast<unsigned long long>(value);
+  if (v < static_cast<unsigned long long>(kSubBuckets)) {
+    return static_cast<int>(v);  // exact unit buckets for small values
+  }
+  // major = floor(log2 v) >= kSubBucketBits; the top kSubBucketBits bits
+  // after the leading one select the linear sub-bucket.
+  const int major = std::bit_width(v) - 1;
+  const int shift = major - kSubBucketBits;
+  const auto minor =
+      static_cast<long long>((v >> shift) - kSubBuckets);  // in [0, kSubBuckets)
+  return static_cast<int>((major - kSubBucketBits + 1) * kSubBuckets + minor);
+}
+
+long long Histogram::bucket_representative(int index) noexcept {
+  if (index < kSubBuckets) return index;
+  const int major = index / kSubBuckets + kSubBucketBits - 1;
+  const int minor = index % kSubBuckets;
+  const int shift = major - kSubBucketBits;
+  // Midpoint of the bucket's value range [lo, lo + 2^shift).
+  const long long lo = ((static_cast<long long>(kSubBuckets) + minor) << shift);
+  return lo + ((1LL << shift) >> 1);
+}
+
+long long Histogram::percentile(double p) const noexcept {
+  const long long n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<long long>(std::ceil(p * static_cast<double>(n)));
+  long long seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Clamp to the exact extremes so p=0/p=1 are honest.
+      return std::clamp(bucket_representative(i), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------- PhaseNode --
+
+std::string PhaseNode::path() const {
+  if (parent == nullptr) return name;  // root ("" by construction)
+  const std::string prefix = parent->path();
+  return prefix.empty() ? name : prefix + "/" + name;
+}
+
+// ---------------------------------------------------------------- Registry --
+
+Counter& counter(std::string_view name) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.counters.find(name);
+  if (it != reg.counters.end()) return it->second;
+  return reg.counters.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& gauge(std::string_view name) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.gauges.find(name);
+  if (it != reg.gauges.end()) return it->second;
+  return reg.gauges.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& histogram(std::string_view name) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.histograms.find(name);
+  if (it == reg.histograms.end()) {
+    it = reg.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void reset() {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [name, c] : reg.counters) c.reset();
+  for (auto& [name, g] : reg.gauges) g.reset();
+  for (auto& [name, h] : reg.histograms) h->reset();
+  reset_phase_tree(reg.phase_root, reg);
+}
+
+namespace detail {
+
+PhaseNode* intern_phase(PhaseNode* parent, std::string_view name) {
+  Registry& reg = Registry::instance();
+  if (parent == nullptr) parent = &reg.phase_root;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& candidate : reg.phase_arena) {
+    if (candidate->parent == parent && candidate->name == name) {
+      return candidate.get();
+    }
+  }
+  auto node = std::make_unique<PhaseNode>();
+  node->name = std::string(name);
+  node->parent = parent;
+  reg.phase_arena.push_back(std::move(node));
+  return reg.phase_arena.back().get();
+}
+
+PhaseNode*& current_phase() noexcept {
+  thread_local PhaseNode* current = nullptr;
+  return current;
+}
+
+}  // namespace detail
+
+void write_json(std::ostream& os, bool zero_times) {
+  Registry& reg = Registry::instance();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+
+  os << "{\n";
+  os << "  \"schema\": \"mrlc-metrics-v1\",\n";
+  os << "  \"enabled\": " << (enabled() ? "true" : "false") << ",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : reg.counters) {
+    os << (first ? "\n" : ",\n") << "    ";
+    json_escape(os, name);
+    os << ": " << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : reg.gauges) {
+    os << (first ? "\n" : ",\n") << "    ";
+    json_escape(os, name);
+    os << ": ";
+    json_number(os, g.value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : reg.histograms) {
+    os << (first ? "\n" : ",\n") << "    ";
+    json_escape(os, name);
+    os << ": {\"count\": " << h->count() << ", \"sum\": " << h->sum()
+       << ", \"min\": " << h->min() << ", \"max\": " << h->max()
+       << ", \"mean\": ";
+    json_number(os, h->mean());
+    os << ", \"p50\": " << h->percentile(0.50)
+       << ", \"p90\": " << h->percentile(0.90)
+       << ", \"p99\": " << h->percentile(0.99) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  // Phases: the root is synthetic; emit its children as top-level phases.
+  os << "  \"phases\": [";
+  const auto roots = phase_children(&reg.phase_root, reg);
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_phase(os, roots[i], reg, 4, zero_times);
+  }
+  os << (roots.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+}
+
+std::string to_json_string(bool zero_times) {
+  std::ostringstream os;
+  write_json(os, zero_times);
+  return os.str();
+}
+
+}  // namespace mrlc::metrics

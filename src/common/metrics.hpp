@@ -1,0 +1,211 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Process-wide observability: cheap thread-safe counters, gauges,
+/// and histograms with a JSON emitter.
+///
+/// The solver's hot loops (IRA outer iterations, simplex pivots, separation
+/// cuts, branch-and-bound nodes, ARQ retransmissions) record into named
+/// instruments held by a global registry.  Design goals, in order:
+///
+/// 1. **Near-zero overhead when disabled.**  Every mutation first performs
+///    one relaxed atomic load of the global enable flag and branches away.
+///    Defining `MRLC_METRICS_DISABLED` at compile time replaces that check
+///    with `constexpr false`, so the mutation bodies (and, with them, the
+///    instrument lookups) are dead-code-eliminated entirely.
+/// 2. **Thread safety without locks on the hot path.**  Instruments are
+///    registered once under a mutex and then mutated with relaxed atomics
+///    only; `common/parallel.hpp` fan-outs may hammer the same counter from
+///    every hardware thread.
+/// 3. **Stable addresses.**  `metrics::counter("x")` returns a reference
+///    that remains valid for the life of the process, so call sites cache
+///    it in a function-local static and pay the registry lookup once.
+///
+/// The enable flag defaults to *on* and is initialized from the
+/// `MRLC_METRICS` environment variable (`0`, `off`, or `false` disable);
+/// `set_enabled()` overrides it programmatically.  See `docs/metrics.md`
+/// for the emitted JSON schema and the full instrument inventory.
+///
+/// Typical call site:
+///
+///     static metrics::Counter& pivots = metrics::counter("simplex.pivots");
+///     pivots.add(iterations);
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace mrlc::metrics {
+
+#if defined(MRLC_METRICS_DISABLED)
+/// Compile-time kill switch: everything below compiles to no-ops.
+constexpr bool enabled() noexcept { return false; }
+inline void set_enabled(bool) noexcept {}
+#else
+namespace detail {
+/// The runtime enable flag (relaxed loads only on hot paths).
+std::atomic<bool>& enabled_flag() noexcept;
+}  // namespace detail
+
+/// \brief True when instruments record; one relaxed atomic load.
+inline bool enabled() noexcept {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+/// \brief Turns recording on or off at runtime (overrides `MRLC_METRICS`).
+/// \param on  the new state; instruments keep their accumulated values.
+void set_enabled(bool on) noexcept;
+#endif
+
+/// \brief Monotonically increasing integer instrument.
+///
+/// `add` is a relaxed atomic fetch-add guarded by the enable flag; safe to
+/// call concurrently from any thread.
+class Counter {
+ public:
+  /// \brief Adds `delta` (no-op while metrics are disabled).
+  /// \param delta  amount to add; negative deltas are allowed for callers
+  ///        that reconcile overcounts, but the conventional use is >= 0.
+  void add(long long delta = 1) noexcept {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// \return the current accumulated value.
+  long long value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Resets the accumulated value to zero (registry `reset()` helper).
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// \brief Last-write-wins floating-point instrument (e.g. a ratio or the
+/// size of the active working set at the end of a phase).
+class Gauge {
+ public:
+  /// \brief Stores `value` (no-op while metrics are disabled).
+  void set(double value) noexcept {
+    if (!enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// \return the last stored value (0.0 if never set).
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Resets the stored value to zero.
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Lock-free histogram of non-negative integer samples with bounded
+/// relative error, in the style of HdrHistogram.
+///
+/// Values below `kSubBuckets` land in exact unit buckets; larger values are
+/// bucketed logarithmically with `kSubBuckets` linear sub-buckets per
+/// power of two, so any reconstructed value (and therefore any percentile)
+/// is within a relative error of `1 / kSubBuckets` (6.25%) of the true
+/// sample.  All mutation is relaxed atomics; `percentile()` may race with
+/// concurrent `record()` calls and then reports a slightly stale view,
+/// which is fine for monitoring.
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 4;                  ///< log2 resolution
+  static constexpr long long kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kBucketCount = 64 * kSubBuckets;     ///< covers all int64
+
+  /// \brief Records one sample (negative samples clamp to 0; no-op while
+  /// metrics are disabled).
+  void record(long long value) noexcept;
+
+  /// \return number of samples recorded.
+  long long count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// \return sum of all samples (exact, unlike the bucketed distribution).
+  long long sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// \return smallest sample recorded, or 0 when empty.
+  long long min() const noexcept;
+  /// \return largest sample recorded, or 0 when empty.
+  long long max() const noexcept;
+  /// \return exact mean of the samples, or 0.0 when empty.
+  double mean() const noexcept;
+
+  /// \brief Approximate quantile from the bucketed distribution.
+  /// \param p  quantile in [0, 1] (0.5 = median).
+  /// \return a value within 1/kSubBuckets relative error of the true
+  ///         p-quantile, or 0 when the histogram is empty.
+  long long percentile(double p) const noexcept;
+
+  /// \brief Clears all samples.
+  void reset() noexcept;
+
+ private:
+  static int bucket_index(long long value) noexcept;
+  static long long bucket_representative(int index) noexcept;
+
+  std::atomic<long long> buckets_[kBucketCount] = {};
+  std::atomic<long long> count_{0};
+  std::atomic<long long> sum_{0};
+  std::atomic<long long> min_{0};
+  std::atomic<long long> max_{0};
+};
+
+/// \brief One node of the scoped-phase timing tree (see `common/trace.hpp`).
+///
+/// Nodes are interned by (parent, name) in the registry and never freed, so
+/// raw pointers to them are stable.  Accumulators are relaxed atomics:
+/// multiple threads may time the same phase concurrently.
+struct PhaseNode {
+  std::string name;            ///< this segment ("lp", not "ira/lp")
+  PhaseNode* parent = nullptr; ///< nullptr for the synthetic root
+  std::atomic<long long> count{0};     ///< completed enters of this phase
+  std::atomic<long long> total_ns{0};  ///< inclusive wall time, steady clock
+
+  /// \return the full "a/b/c" path from the root to this node.
+  std::string path() const;
+};
+
+/// \brief Returns (registering on first use) the counter named `name`.
+/// The reference is process-lifetime stable; cache it in a static.
+Counter& counter(std::string_view name);
+
+/// \brief Returns (registering on first use) the gauge named `name`.
+Gauge& gauge(std::string_view name);
+
+/// \brief Returns (registering on first use) the histogram named `name`.
+Histogram& histogram(std::string_view name);
+
+/// \brief Zeroes every registered instrument and phase accumulator without
+/// unregistering anything (bench runners call this between workloads).
+void reset();
+
+/// \brief Emits the full registry as JSON (schema `mrlc-metrics-v1`,
+/// documented in docs/metrics.md): counters, gauges, histogram summaries,
+/// and the phase-timing tree, all sorted by name for stable diffs.
+/// \param os  destination stream; the document ends with a newline.
+/// \param zero_times  emit every phase `total_ms` as 0 — counters in this
+///        codebase are seeded-deterministic, so this makes the whole
+///        document bit-reproducible (used by `mrlc_bench --no-timings`).
+void write_json(std::ostream& os, bool zero_times = false);
+
+/// \return `write_json` output as a string (convenience for tests/tools).
+std::string to_json_string(bool zero_times = false);
+
+namespace detail {
+/// Interns a phase child under `parent` (nullptr = root); used by trace.hpp.
+PhaseNode* intern_phase(PhaseNode* parent, std::string_view name);
+/// Thread-local pointer to the currently open phase (nullptr = root scope).
+PhaseNode*& current_phase() noexcept;
+}  // namespace detail
+
+}  // namespace mrlc::metrics

@@ -1,0 +1,32 @@
+#include "common/trace.hpp"
+
+namespace mrlc::trace {
+
+ScopedPhase::ScopedPhase(std::string_view name) {
+  if (!metrics::enabled()) return;
+  metrics::PhaseNode*& current = metrics::detail::current_phase();
+  parent_ = current;
+  node_ = metrics::detail::intern_phase(parent_, name);
+  current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (node_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  node_->total_ns.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+      std::memory_order_relaxed);
+  node_->count.fetch_add(1, std::memory_order_relaxed);
+  metrics::detail::current_phase() = parent_;
+}
+
+double Stopwatch::elapsed_ms() const {
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         1e6;
+}
+
+}  // namespace mrlc::trace

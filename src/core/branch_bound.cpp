@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "baselines/greedy_mrlc.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "graph/dsu.hpp"
 #include "wsn/metrics.hpp"
 
@@ -20,6 +22,8 @@ struct Searcher {
   const BranchBoundOptions& options;
 
   std::uint64_t explored = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t incumbent_updates = 0;
   bool budget_exceeded = false;
   double best_cost = std::numeric_limits<double>::infinity();
   std::vector<graph::EdgeId> best_edges;
@@ -60,11 +64,15 @@ struct Searcher {
       if (cost < best_cost) {
         best_cost = cost;
         best_edges = current;
+        ++incumbent_updates;
       }
       return;
     }
     if (index >= sorted.size()) return;
-    if (cost + completion_lower_bound(index, dsu) >= best_cost - 1e-12) return;
+    if (cost + completion_lower_bound(index, dsu) >= best_cost - 1e-12) {
+      ++pruned;
+      return;
+    }
 
     const graph::EdgeId id = sorted[index];
     const graph::Edge& e = net.topology().edge(id);
@@ -94,6 +102,7 @@ struct Searcher {
 std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
                                                    double lifetime_bound,
                                                    const BranchBoundOptions& options) {
+  trace::ScopedPhase phase("branch_bound");
   net.validate();
   MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
 
@@ -127,6 +136,16 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
   }
 
   searcher.recurse(0, 0.0, graph::DisjointSetUnion(n));
+
+  static metrics::Counter& expanded =
+      metrics::counter("branch_bound.nodes_expanded");
+  static metrics::Counter& pruned = metrics::counter("branch_bound.nodes_pruned");
+  static metrics::Counter& incumbents =
+      metrics::counter("branch_bound.incumbent_updates");
+  expanded.add(static_cast<long long>(searcher.explored));
+  pruned.add(static_cast<long long>(searcher.pruned));
+  incumbents.add(static_cast<long long>(searcher.incumbent_updates));
+
   MRLC_REQUIRE(!searcher.budget_exceeded,
                "branch-and-bound exceeded its node budget on this instance");
   if (searcher.best_edges.empty()) return std::nullopt;

@@ -42,8 +42,12 @@ struct BranchBoundResult {
   std::uint64_t nodes_explored = 0;
 };
 
-/// Minimum-cost aggregation tree with lifetime >= `lifetime_bound`, or
-/// nullopt when no such tree exists.
+/// \brief Minimum-cost aggregation tree with lifetime >= `lifetime_bound`.
+/// \param net  the network instance (must be connected to have a solution).
+/// \param lifetime_bound  required network lifetime LC, in rounds.
+/// \param options  search budget knobs.
+/// \return the provably optimal tree, or nullopt when no spanning tree
+///         satisfies the bound.
 /// \throws std::invalid_argument when the search exceeds the node budget.
 std::optional<BranchBoundResult> branch_bound_mrlc(
     const wsn::Network& net, double lifetime_bound,

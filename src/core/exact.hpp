@@ -23,15 +23,25 @@ struct ExactResult {
   std::uint64_t trees_examined = 0;
 };
 
-/// Minimum-cost aggregation tree with lifetime >= `lifetime_bound`.
-/// Returns nullopt when no spanning tree satisfies the bound.
+/// \brief Minimum-cost aggregation tree with lifetime >= `lifetime_bound`,
+/// by enumerating every spanning tree.
+/// \param net  the network instance.
+/// \param lifetime_bound  required network lifetime LC, in rounds.
+/// \param max_trees  enumeration budget.
+/// \return the optimal tree, or nullopt when no spanning tree satisfies
+///         the bound.
 /// \throws std::invalid_argument when the instance exceeds `max_trees`
 ///         spanning trees (refuses to silently run forever).
 std::optional<ExactResult> exact_mrlc(const wsn::Network& net, double lifetime_bound,
                                       std::uint64_t max_trees = 50'000'000);
 
-/// Maximum achievable network lifetime over all spanning trees (ground
-/// truth for the AAML baseline tests).
+/// \brief Maximum achievable network lifetime over all spanning trees
+/// (ground truth for the AAML baseline tests).
+/// \param net  the network instance.
+/// \param max_trees  enumeration budget.
+/// \return the lifetime-maximizing tree, or nullopt for disconnected
+///         inputs.
+/// \throws std::invalid_argument when the instance exceeds `max_trees`.
 std::optional<ExactResult> exact_max_lifetime(const wsn::Network& net,
                                               std::uint64_t max_trees = 50'000'000);
 

@@ -24,9 +24,13 @@
 
 namespace mrlc::core {
 
-/// True iff LP(G, bound, V) — degree caps taken directly at `bound` — has
-/// a fractional solution.  A `false` answer proves no aggregation tree of
-/// lifetime >= `bound` exists.
+/// \brief LP feasibility of a lifetime bound.
+/// \param net  the network instance.
+/// \param bound  candidate lifetime, in rounds; degree caps are taken
+///        directly at `bound` (no L' tightening).
+/// \param options  simplex/cut settings forwarded to the LP solve.
+/// \return true iff LP(G, bound, V) has a fractional solution; a `false`
+///         answer proves no aggregation tree of lifetime >= `bound` exists.
 bool lp_lifetime_feasible(const wsn::Network& net, double bound,
                           const IraOptions& options = {});
 
@@ -36,20 +40,26 @@ struct LifetimeBracket {
   int probes = 0;       ///< LP feasibility solves spent
 };
 
-/// Brackets the maximum achievable network lifetime.
+/// \brief Brackets the maximum achievable network lifetime.
+/// \param net  the network instance.
 /// \param relative_tolerance stop when (upper-lower)/upper of the *search
 ///        interval* falls below this (the returned bracket may still be
 ///        wider if the LP bound and the constructive bound disagree).
+/// \param options  simplex/cut settings forwarded to the LP probes.
+/// \return [lower, upper] bracket plus the number of LP probes spent.
 LifetimeBracket bracket_max_lifetime(const wsn::Network& net,
                                      double relative_tolerance = 1e-4,
                                      const IraOptions& options = {});
 
-/// Upper bound alone (binary search over the LP relaxation).
+/// \brief Upper bound alone (binary search over the LP relaxation).
+/// \return an LP-certified lifetime no spanning tree can exceed.
 double lp_lifetime_upper_bound(const wsn::Network& net,
                                double relative_tolerance = 1e-4,
                                const IraOptions& options = {});
 
-/// Lower bound alone (lifetime of the lexicographic-AAML tree).
+/// \brief Lower bound alone.
+/// \return the lifetime of the lexicographic-AAML tree — achieved by a
+///         concrete, deployable tree.
 double achievable_lifetime_lower_bound(const wsn::Network& net);
 
 }  // namespace mrlc::core

@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "core/lp_formulation.hpp"
 #include "graph/mst.hpp"
 #include "wsn/metrics.hpp"
@@ -63,6 +65,9 @@ bool constraint_removable(const wsn::Network& net, const graph::Graph& working,
 
 IraResult IterativeRelaxation::solve(const wsn::Network& net,
                                      double lifetime_bound) const {
+  trace::ScopedPhase phase("ira");
+  static metrics::Counter& solves = metrics::counter("ira.solves");
+  solves.add();
   net.validate();
   MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
   const double strict = options_.bound_mode == BoundMode::kPaperStrict
@@ -143,6 +148,22 @@ IraResult IterativeRelaxation::solve(const wsn::Network& net,
       ++stats.constraints_removed;
     }
   }
+
+  static metrics::Counter& iterations = metrics::counter("ira.outer_iterations");
+  static metrics::Counter& lp_solves = metrics::counter("ira.lp_solves");
+  static metrics::Counter& cuts = metrics::counter("ira.cuts_added");
+  static metrics::Counter& edges = metrics::counter("ira.edges_removed");
+  static metrics::Counter& relaxed = metrics::counter("ira.constraints_relaxed");
+  static metrics::Counter& fallbacks = metrics::counter("ira.slack_fallbacks");
+  static metrics::Histogram& iter_hist =
+      metrics::histogram("ira.iterations_per_solve");
+  iterations.add(stats.outer_iterations);
+  lp_solves.add(stats.lp_solves);
+  cuts.add(stats.cuts_added);
+  edges.add(stats.edges_removed);
+  relaxed.add(stats.constraints_removed);
+  if (stats.used_fallback) fallbacks.add();
+  iter_hist.record(stats.outer_iterations);
 
   // W = ∅: LP(G, L', ∅) is the Subtour LP, whose extreme points are
   // integral (Lemma 1) — equivalently, the MST of the surviving edges.

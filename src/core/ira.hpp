@@ -84,15 +84,24 @@ class IterativeRelaxation {
  public:
   explicit IterativeRelaxation(IraOptions options = {}) : options_(options) {}
 
-  /// Solves MRLC on `net` with lifetime threshold `lifetime_bound` (LC).
+  /// \brief Solves MRLC on `net` with lifetime threshold `lifetime_bound`.
+  /// \param net  validated, connected network instance.
+  /// \param lifetime_bound  the required network lifetime LC, in rounds
+  ///        (> 0).
+  /// \return the constructed tree with its cost/reliability/lifetime and
+  ///         per-solve statistics; check `meets_bound` in kDirect mode.
   /// \throws InfeasibleError when no aggregation tree with lifetime >= LC
   ///         exists (LP infeasible), when the topology is disconnected, or
   ///         when LC is too aggressive for the paper's L' construction
   ///         (I_min - 2*Rx*LC <= 0, which makes L' meaningless).
   IraResult solve(const wsn::Network& net, double lifetime_bound) const;
 
-  /// The strict internal bound L' (Line 3 of Algorithm 1); exposed for
-  /// tests and benchmarks.  Throws InfeasibleError when undefined.
+  /// \brief The strict internal bound L' (Line 3 of Algorithm 1); exposed
+  /// for tests and benchmarks.
+  /// \param net  the network whose minimum initial energy defines I_min.
+  /// \param lifetime_bound  the user-facing LC, in rounds (> 0).
+  /// \return L' = I_min * LC / (I_min - 2 * Rx * LC), always > LC.
+  /// \throws InfeasibleError when I_min - 2*Rx*LC <= 0 (L' undefined).
   static double strict_bound(const wsn::Network& net, double lifetime_bound);
 
  private:

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/trace.hpp"
 #include "core/separation.hpp"
 
 namespace mrlc::core {
@@ -78,6 +79,7 @@ CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
                                     const lp::SimplexSolver& solver, int max_rounds,
                                     SeparationMode separation_mode) {
   MRLC_REQUIRE(max_rounds >= 1, "need at least one round");
+  trace::ScopedPhase phase("cut_lp");
   CutLpResult out;
   for (int round = 0; round < max_rounds; ++round) {
     const lp::Solution sol = solver.solve(formulation.model());

@@ -63,11 +63,14 @@ class MrlcLpFormulation {
     return variables_[static_cast<std::size_t>(var)];
   }
 
-  /// Adds the subtour row x(E(S)) <= |S| - 1 for vertex set `subset`.
+  /// \brief Adds the subtour row x(E(S)) <= |S| - 1 for vertex set
+  /// `subset` (2 <= |subset| < |V|, no duplicates).
   void add_subtour_row(const std::vector<graph::VertexId>& subset);
 
-  /// Expands an LP solution (dense per-variable) to per-edge-id values
-  /// (zero for dead edges).
+  /// \brief Expands an LP solution to per-edge values.
+  /// \param variable_values  dense per-variable solution from the simplex.
+  /// \return per-edge-id values (zero for dead edges), sized to the working
+  ///         graph's edge count.
   std::vector<double> edge_values(const std::vector<double>& variable_values) const;
 
   const graph::Graph& working_graph() const noexcept { return working_; }
@@ -90,20 +93,29 @@ struct CutLpResult {
   int simplex_iterations = 0;  ///< total pivots across all solves
 };
 
-/// Alternates simplex solves with subtour separation until the extreme
-/// point satisfies every subtour constraint (or infeasibility is proven).
-/// `separation_mode` kHeuristicOnly skips the exact max-flow sweep —
-/// cheaper rounds but possibly-subtour-violating results (ablation knob).
+/// \brief Alternates simplex solves with subtour separation until the
+/// extreme point satisfies every subtour constraint (or infeasibility is
+/// proven).
+/// \param formulation  the LP; violated subtour rows are appended to it.
+/// \param solver  the simplex instance (options fixed by the caller).
+/// \param max_rounds  cutting-plane round budget.
+/// \param separation_mode  kHeuristicOnly skips the exact max-flow sweep —
+///        cheaper rounds but possibly-subtour-violating results (ablation
+///        knob).
+/// \return status, objective, per-edge solution, and solve statistics.
 CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
                                     const lp::SimplexSolver& solver,
                                     int max_rounds = 200,
                                     SeparationMode separation_mode =
                                         SeparationMode::kExact);
 
-/// Computes the degree caps encoding "lifetime(v) >= bound" for every
-/// vertex in `constrained` (nullopt entries for unconstrained vertices).
-/// cap(v) = max_children(v, bound) + 1 for non-sink vertices, or
-/// max_children for the sink.
+/// \brief Computes the degree caps encoding "lifetime(v) >= bound".
+/// \param net  the network (supplies energies and the sink id).
+/// \param constrained  per-vertex membership in W; unconstrained vertices
+///        get nullopt entries.
+/// \param bound  the lifetime bound the caps must guarantee.
+/// \return per-vertex caps: cap(v) = max_children(v, bound) + 1 for
+///         non-sink vertices, or max_children for the sink.
 std::vector<std::optional<double>> lifetime_degree_caps(
     const wsn::Network& net, const std::vector<bool>& constrained, double bound);
 

@@ -41,8 +41,13 @@ struct RetxIraResult {
   IraStats stats;
 };
 
-/// Minimum-cost tree whose retransmission-aware lifetime is >= LC
+/// \brief Minimum-cost tree whose retransmission-aware lifetime is >= LC
 /// (conservative LP; see file comment).
+/// \param net  the network instance.
+/// \param lifetime_bound  required retransmission-aware lifetime, rounds.
+/// \param options  IRA knobs; bound_mode is ignored (caps are direct).
+/// \return the tree with its exact asymmetric retx lifetime; `meets_bound`
+///         records the final per-instance verification.
 /// \throws InfeasibleError when the conservative LP has no solution or the
 ///         topology is disconnected.
 RetxIraResult retx_aware_ira(const wsn::Network& net, double lifetime_bound,

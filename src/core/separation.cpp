@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "graph/maxflow.hpp"
 #include "graph/traversal.hpp"
 
@@ -62,6 +64,9 @@ SeparationCut min_subtour_cut(const graph::Graph& g,
     if (x > 0.0) flow.add_undirected(e.u, e.v, x);
   }
 
+  static metrics::Counter& maxflow_calls =
+      metrics::counter("separation.maxflow_calls");
+  maxflow_calls.add();
   const double cut = flow.max_flow(source, sink);
   SeparationCut out;
   // min over S (u in, r out) of f(S) = cut - sum_v max(w_v, 0).
@@ -76,6 +81,11 @@ SeparationCut min_subtour_cut(const graph::Graph& g,
 std::vector<std::vector<graph::VertexId>> find_violated_subtours(
     const graph::Graph& g, const std::vector<double>& edge_values, double tolerance,
     SeparationMode mode) {
+  trace::ScopedPhase phase("separation");
+  static metrics::Counter& calls = metrics::counter("separation.calls");
+  static metrics::Counter& violated_sets =
+      metrics::counter("separation.violated_sets");
+  calls.add();
   const int n = g.vertex_count();
   std::vector<std::vector<graph::VertexId>> result;
   if (n < 3) return result;  // |S| = 2 rows are the x_e <= 1 bounds
@@ -86,7 +96,10 @@ std::vector<std::vector<graph::VertexId>> find_violated_subtours(
     const double internal = subset_internal_weight(g, edge_values, subset);
     if (internal <= static_cast<double>(subset.size()) - 1.0 + tolerance) return;
     std::sort(subset.begin(), subset.end());
-    if (seen.insert(subset).second) result.push_back(subset);
+    if (seen.insert(subset).second) {
+      violated_sets.add();
+      result.push_back(subset);
+    }
   };
 
   // Stage 1: connected components of the fractional support.

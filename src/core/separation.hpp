@@ -34,25 +34,42 @@ namespace mrlc::core {
 /// outside the subtour polytope (measured in bench/micro_ablations.cpp).
 enum class SeparationMode { kExact, kHeuristicOnly };
 
-/// Finds vertex sets whose subtour rows are violated by `edge_values`
-/// (per edge id; dead edges must be 0).  Returns at most a handful of the
-/// most useful sets per call (deduplicated); empty means x satisfies all
-/// subtour constraints within `tolerance` (only under kExact).
+/// \brief Finds vertex sets whose subtour rows are violated by the given
+/// fractional point.
+/// \param g  the working graph (dead edges allowed).
+/// \param edge_values  x_e per edge id; dead edges must carry 0.
+/// \param tolerance  violation slack below which a row counts as satisfied.
+/// \param mode  kExact proves "no violation"; kHeuristicOnly is cheap but
+///        incomplete.
+/// \return at most a handful of the most useful violated sets per call
+///         (deduplicated, each sorted); empty means x satisfies every
+///         subtour constraint within `tolerance` (only under kExact).
 std::vector<std::vector<graph::VertexId>> find_violated_subtours(
     const graph::Graph& g, const std::vector<double>& edge_values,
     double tolerance = 1e-6, SeparationMode mode = SeparationMode::kExact);
 
-/// Exact minimizer of f(S) (see file comment) with u forced inside and r
-/// forced outside.  Exposed for tests.
+/// One Padberg–Wolsey minimizer result: the minimizing subset and its
+/// objective value f(S) (violated iff f < 2).
 struct SeparationCut {
-  std::vector<graph::VertexId> subset;
-  double f_value = 0.0;
+  std::vector<graph::VertexId> subset;  ///< the minimizing S, sorted
+  double f_value = 0.0;                 ///< min f(S); subtour violated iff < 2
 };
+
+/// \brief Exact minimizer of f(S) (see file comment) over all S containing
+/// `forced_in` and excluding `forced_out`.  Exposed for tests.
+/// \param g  the working graph.
+/// \param edge_values  x_e per edge id (one entry per edge, dead edges 0).
+/// \param forced_in  vertex that must be inside S.
+/// \param forced_out  vertex that must be outside S (!= forced_in).
+/// \return the minimizing subset and its f value (one max-flow solve).
 SeparationCut min_subtour_cut(const graph::Graph& g,
                               const std::vector<double>& edge_values,
                               graph::VertexId forced_in, graph::VertexId forced_out);
 
-/// x(E(S)) for a vertex subset (helper shared with tests).
+/// \brief x(E(S)): total edge value internal to a vertex subset.
+/// \param g  the graph; \param edge_values  x_e per edge id;
+/// \param subset  the vertex set S (no duplicates).
+/// \return sum of `edge_values` over alive edges with both ends in S.
 double subset_internal_weight(const graph::Graph& g,
                               const std::vector<double>& edge_values,
                               const std::vector<graph::VertexId>& subset);

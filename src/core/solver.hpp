@@ -59,7 +59,12 @@ class MrlcSolver {
  public:
   explicit MrlcSolver(SolverOptions options = {}) : options_(options) {}
 
-  /// Solves MRLC with automatic mode selection (see file comment).
+  /// \brief Solves MRLC with automatic mode selection (see file comment).
+  /// \param net  validated, connected network instance.
+  /// \param lifetime_bound  required network lifetime LC, in rounds.
+  /// \return the tree plus how it was obtained, the achievable bracket
+  ///         (when probed), optional certification, and a one-line
+  ///         narrative.
   /// \throws InfeasibleError when no aggregation tree of lifetime >=
   ///         `lifetime_bound` exists; the message includes the achievable
   ///         lifetime bracket.

@@ -51,13 +51,16 @@ struct ChurnOptions {
 /// Mutates a network's link qualities over time and reports events.
 class ChurnProcess {
  public:
-  /// Anchors the process at the network's current link qualities.
+  /// \brief Anchors the process at the network's current link qualities.
+  /// \param net  the deployed network; its PRRs become the anchors.
+  /// \param options  drift/noise/threshold knobs.
   ChurnProcess(const wsn::Network& net, ChurnOptions options = {});
 
-  /// Advances every link one step, writes the new qualities into `net`,
-  /// and returns the links whose change crossed the event threshold.
-  /// `net` must be the network the process was anchored to (same link
-  /// count).
+  /// \brief Advances every link one step.
+  /// \param net  must be the network the process was anchored to (same
+  ///        link count); the new qualities are written into it.
+  /// \param rng  randomness source for the Gaussian shocks.
+  /// \return the links whose change crossed the event threshold.
   std::vector<LinkEvent> step(wsn::Network& net, Rng& rng);
 
   const ChurnOptions& options() const noexcept { return options_; }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "wsn/metrics.hpp"
 
 namespace mrlc::dist {
@@ -11,6 +13,7 @@ namespace mrlc::dist {
 DataPlaneResult run_dataplane(wsn::Network net, wsn::AggregationTree tree,
                               double lifetime_bound,
                               const DataPlaneOptions& options) {
+  trace::ScopedPhase phase("dataplane");
   options.validate();
   options.arq.validate();
   const int n = net.node_count();
@@ -127,6 +130,9 @@ DataPlaneResult run_dataplane(wsn::Network net, wsn::AggregationTree tree,
       int& since = pending[static_cast<std::size_t>(event.link)];
       if (since >= 0) {
         ++out.detections;
+        static metrics::Histogram& lag_hist =
+            metrics::histogram("dataplane.detection_lag_rounds");
+        lag_hist.record(round - since);
         lag_sum += static_cast<double>(round - since);
         since = -1;
       } else {
@@ -180,6 +186,20 @@ DataPlaneResult run_dataplane(wsn::Network net, wsn::AggregationTree tree,
   out.final_lifetime = wsn::network_lifetime(net, maintainer.tree());
   out.bound_met =
       wsn::meets_lifetime(net, maintainer.tree(), maintainer.lifetime_bound());
+
+  static metrics::Counter& rounds_total = metrics::counter("dataplane.rounds");
+  static metrics::Counter& degraded = metrics::counter("dataplane.degraded_events");
+  static metrics::Counter& improved = metrics::counter("dataplane.improved_events");
+  static metrics::Counter& repairs = metrics::counter("dataplane.repairs_applied");
+  static metrics::Counter& detections = metrics::counter("dataplane.detections");
+  static metrics::Counter& false_positives =
+      metrics::counter("dataplane.false_positives");
+  rounds_total.add(out.rounds);
+  degraded.add(out.degraded_events);
+  improved.add(out.improved_events);
+  repairs.add(out.repairs_applied);
+  detections.add(out.detections);
+  false_positives.add(out.false_positive_events);
   return out;
 }
 

@@ -85,10 +85,15 @@ struct DataPlaneResult {
   bool bound_met = false;
 };
 
-/// Runs the closed loop for `options.rounds` rounds.  `net` is taken by
-/// value: churn mutates the link qualities as the run progresses.  `tree`
-/// is the construction-time aggregation tree (e.g. from IRA);
-/// `lifetime_bound` is the LC every repair must preserve.
+/// \brief Runs the closed loop for `options.rounds` rounds.
+/// \param net  taken by value: churn mutates the link qualities as the run
+///        progresses.
+/// \param tree  the construction-time aggregation tree (e.g. from IRA).
+/// \param lifetime_bound  the LC every repair must preserve.
+/// \param options  ARQ/channel/estimator/churn/repair configuration
+///        (validated on entry).
+/// \return delivery, energy, repair, and estimator-vs-oracle statistics
+///         plus the final true-network reliability and lifetime.
 DataPlaneResult run_dataplane(wsn::Network net, wsn::AggregationTree tree,
                               double lifetime_bound,
                               const DataPlaneOptions& options);

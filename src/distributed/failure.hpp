@@ -42,15 +42,28 @@ struct FailureSchedule {
   int size() const noexcept { return static_cast<int>(events.size()); }
 };
 
-/// `count` distinct non-sink nodes crash at uniform times in (0, horizon).
-/// Deterministic in `rng`; events come back sorted by time.
+/// \brief Random crash schedule: `count` distinct non-sink nodes crash at
+/// uniform times in (0, horizon).
+/// \param net  supplies the node population and sink id.
+/// \param count  number of crashes (0 <= count < node_count).
+/// \param horizon  end of the scheduling window, in rounds.
+/// \param rng  randomness source (schedule is deterministic in it).
+/// \return events sorted by time.
 FailureSchedule random_crash_schedule(const wsn::Network& net, int count,
                                       double horizon, Rng& rng);
 
-/// The `deaths` earliest battery deaths predicted by the packet-level
-/// depletion simulation of `tree` under `policy`: node v dies at
-/// I(v) / joules_per_round(v).  The sink (mains-powered by convention)
-/// never dies.  Deterministic in `rng`; events sorted by time.
+/// \brief The `deaths` earliest battery deaths predicted by the
+/// packet-level depletion simulation of `tree` under `policy`: node v dies
+/// at I(v) / joules_per_round(v).
+/// \param net  supplies energies; the sink (mains-powered by convention)
+///        never dies.
+/// \param tree  the aggregation tree whose traffic drains the batteries.
+/// \param policy  retransmission policy of the simulated data plane.
+/// \param deaths  number of earliest deaths to schedule.
+/// \param sample_rounds  rounds of packet simulation used to measure the
+///        per-node energy rates.
+/// \param rng  randomness source (schedule is deterministic in it).
+/// \return events sorted by time.
 FailureSchedule depletion_schedule(const wsn::Network& net,
                                    const wsn::AggregationTree& tree,
                                    const radio::RetxPolicy& policy, int deaths,
@@ -64,19 +77,22 @@ struct CompactNetwork {
   std::vector<wsn::VertexId> original;  ///< compact id -> original id
 };
 
-/// Copies the alive part of `net` (nodes, links, energies) into a fresh
-/// network with dense vertex ids.  The sink is always retained.
+/// \brief Copies the alive part of `net` (nodes, links, energies) into a
+/// fresh network with dense vertex ids.  The sink is always retained.
+/// \return the compact network plus the compact-to-original id map.
 CompactNetwork compact_alive_network(const wsn::Network& net);
 
-/// Serializes a schedule as a `fault-schedule v1` block of
+/// \brief Serializes a schedule as a `fault-schedule v1` block of
 /// `fault <time> <node> crash|depletion` lines — appendable to a network
-/// file written by wsn::write_network (the reader there skips fault lines).
+/// file written by wsn::write_network (the reader there skips fault
+/// lines).  Grammar: docs/file_formats.md.
 void write_fault_schedule(std::ostream& out, const FailureSchedule& schedule);
 
-/// Parses the block written by write_fault_schedule.  Lines before the
-/// `fault-schedule` header (e.g. a network description) are skipped, so a
-/// combined file can be parsed by both readers.  Returns an empty schedule
-/// if no header is present.
+/// \brief Parses the block written by write_fault_schedule.
+/// \param in  stream positioned anywhere before the block; lines before
+///        the `fault-schedule` header (e.g. a network description) are
+///        skipped, so a combined file can be parsed by both readers.
+/// \return the parsed schedule; empty if no header is present.
 FailureSchedule read_fault_schedule(std::istream& in);
 
 }  // namespace mrlc::dist

@@ -69,17 +69,22 @@ struct EstimatorOptions {
 /// One EWMA estimator per network link, plus the pending-event queue.
 class LinkEstimatorBank {
  public:
-  /// Seeds every estimator at the network's current (site-survey) PRRs.
+  /// \brief Seeds every estimator at the network's current (site-survey)
+  /// PRRs.
+  /// \param net  the deployed network (fixes the link-id space).
+  /// \param options  EWMA/hysteresis knobs (validated on entry).
   explicit LinkEstimatorBank(const wsn::Network& net,
                              EstimatorOptions options = {});
 
-  /// Feeds one observed transaction outcome (true = success) into `link`'s
-  /// estimator; may queue a LinkEvent once warm.
+  /// \brief Feeds one observed transaction outcome into a link's estimator;
+  /// may queue a LinkEvent once warm.
+  /// \param link  the observed link's edge id.
+  /// \param success  true when the transaction succeeded (ACK received).
   void observe(wsn::EdgeId link, bool success);
 
-  /// Drains the events queued since the last poll (at most one per link per
-  /// poll; a later observation supersedes an earlier queued event on the
-  /// same link).
+  /// \brief Drains the events queued since the last poll.
+  /// \return at most one event per link per poll; a later observation
+  ///         supersedes an earlier queued event on the same link.
   std::vector<LinkEvent> poll();
 
   double estimate(wsn::EdgeId link) const;

@@ -83,21 +83,33 @@ struct RepairOutcome {
 
 class DistributedMaintainer {
  public:
+  /// \brief Starts maintaining `initial` on topology `net`.
+  /// \param net  the network the tree was built on (validated here).
+  /// \param initial  the construction-time tree (e.g. from IRA).
   /// \param lifetime_bound the LC every repair must preserve.
+  /// \param options  ILU and fault-handling knobs.
   DistributedMaintainer(const wsn::Network& net, wsn::AggregationTree initial,
                         double lifetime_bound, MaintainerOptions options = {});
 
-  /// Handles a "tree link got worse" event.  `net` carries the updated link
-  /// qualities.  Returns true if the tree changed.
+  /// \brief Handles a "tree link got worse" event.
+  /// \param net  carries the updated link qualities.
+  /// \param link  the degraded link's edge id (must be a tree link).
+  /// \return true if the tree changed.
   bool on_link_degraded(const wsn::Network& net, wsn::EdgeId link);
 
-  /// Handles a "non-tree link got better" event (ILU).  Returns true if the
-  /// tree changed.
+  /// \brief Handles a "non-tree link got better" event (ILU).
+  /// \param net  carries the updated link qualities.
+  /// \param link  the improved link's edge id.
+  /// \return true if the tree changed.
   bool on_link_improved(const wsn::Network& net, wsn::EdgeId link);
 
-  /// Handles a node death (crash or battery depletion).  `net` must already
-  /// reflect the failure (`net.fail_node(dead)` called), so the dead node's
-  /// links are gone.  Each subtree orphaned by the death is reattached to
+  /// \brief Handles a node death (crash or battery depletion).
+  /// \param net  must already reflect the failure (`net.fail_node(dead)`
+  ///        called), so the dead node's links are gone.
+  /// \param dead  the failed vertex (must not be the sink).
+  /// \return how the repair ended (healed / degraded / partitioned).
+  ///
+  /// Each subtree orphaned by the death is reattached to
   /// the cheapest surviving parent that still meets the lifetime bound with
   /// one more child, everting the subtree when the best crossing link is
   /// not incident to its root.  When a candidate parent is at capacity, one
@@ -107,9 +119,10 @@ class DistributedMaintainer {
   /// minimal LC relaxation.
   RepairOutcome on_node_failed(const wsn::Network& net, wsn::VertexId dead);
 
-  /// Attempts to reattach subtrees left off-tree by earlier partitions
-  /// (links may have recovered since).  Returns the number of nodes that
-  /// rejoined the tree.
+  /// \brief Attempts to reattach subtrees left off-tree by earlier
+  /// partitions (links may have recovered since).
+  /// \param net  the current topology.
+  /// \return the number of nodes that rejoined the tree.
   int retry_detached(const wsn::Network& net);
 
   const wsn::AggregationTree& tree() const noexcept { return tree_; }

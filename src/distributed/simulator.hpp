@@ -163,6 +163,12 @@ struct SimulatorStats {
 /// dissemination.
 class ProtocolSimulator {
  public:
+  /// \param net  the network the tree was built on.
+  /// \param initial  the construction-time tree whose Prüfer code seeds
+  ///        every replica.
+  /// \param lifetime_bound  the LC every repair must preserve.
+  /// \param options  maintainer knobs (forwarded).
+  /// \param flood  control-plane radio model (reliable or lossy).
   ProtocolSimulator(const wsn::Network& net, wsn::AggregationTree initial,
                     double lifetime_bound, MaintainerOptions options = {},
                     FloodOptions flood = {});

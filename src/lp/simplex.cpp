@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
 namespace mrlc::lp {
 
 namespace {
@@ -17,6 +20,8 @@ class Tableau {
       : model_(model), options_(options) {
     build();
   }
+
+  long long degenerate_pivots() const noexcept { return degenerate_pivots_; }
 
   Solution run() {
     Solution out;
@@ -232,6 +237,7 @@ class Tableau {
       }
       if (leaving == -1) return SolveStatus::kUnbounded;
 
+      if (best_ratio <= 1e-12) ++degenerate_pivots_;
       pivot(leaving, entering);
 
       if (objective_ < last_objective - 1e-12) {
@@ -324,6 +330,7 @@ class Tableau {
   int row_count_ = 0;
   int column_count_ = 0;
   bool phase1_ = false;
+  long long degenerate_pivots_ = 0;  ///< pivots with a ~zero ratio (no progress)
 
   std::vector<double> shift_;
   std::vector<double> matrix_;
@@ -352,8 +359,21 @@ Solution SimplexSolver::solve(const Model& model) const {
     out.status = ok ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
     return out;
   }
+  trace::ScopedPhase phase("simplex");
   Tableau tableau(model, options_);
-  return tableau.run();
+  Solution solution = tableau.run();
+
+  static metrics::Counter& solves = metrics::counter("simplex.solves");
+  static metrics::Counter& pivots = metrics::counter("simplex.pivots");
+  static metrics::Counter& degenerate =
+      metrics::counter("simplex.degenerate_pivots");
+  static metrics::Histogram& per_solve =
+      metrics::histogram("simplex.pivots_per_solve");
+  solves.add();
+  pivots.add(solution.iterations);
+  degenerate.add(tableau.degenerate_pivots());
+  per_solve.record(solution.iterations);
+  return solution;
 }
 
 }  // namespace mrlc::lp

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "common/metrics.hpp"
+
 namespace mrlc::radio {
 
 double ArqPolicy::ack_prr(double data_prr) const {
@@ -63,6 +65,9 @@ ArqRoundResult simulate_arq_round(const wsn::Network& net,
 
   // readings[v]: sensor readings currently aggregated at v (own + received).
   std::vector<int> readings(static_cast<std::size_t>(n), 1);
+  static metrics::Histogram& attempts_hist =
+      metrics::histogram("arq.attempts_per_transaction");
+  long long transactions = 0;
   ArqRoundResult out;
   for (wsn::VertexId v : bottom_up_order(tree)) {
     if (v == tree.root() || !tree.contains(v)) continue;
@@ -104,11 +109,31 @@ ArqRoundResult simulate_arq_round(const wsn::Network& net,
       }
     }
     if (!data_held) ++out.packets_dropped;
+    ++transactions;
+    attempts_hist.record(failures + (acked ? 1 : 0));
     if (observer) observer(link, acked, failures + (acked ? 1 : 0));
   }
   out.readings_delivered = readings[static_cast<std::size_t>(tree.root())];
   out.readings_lost = n - out.readings_delivered;
   out.round_complete = out.readings_delivered == n;
+
+  static metrics::Counter& rounds = metrics::counter("arq.rounds");
+  static metrics::Counter& transactions_total = metrics::counter("arq.transactions");
+  static metrics::Counter& data_tx = metrics::counter("arq.data_tx");
+  static metrics::Counter& retx = metrics::counter("arq.retransmissions");
+  static metrics::Counter& ack_tx_count = metrics::counter("arq.ack_tx");
+  static metrics::Counter& ack_loss_count = metrics::counter("arq.ack_losses");
+  static metrics::Counter& duplicates =
+      metrics::counter("arq.duplicates_suppressed");
+  static metrics::Counter& dropped = metrics::counter("arq.packets_dropped");
+  rounds.add();
+  transactions_total.add(transactions);
+  data_tx.add(static_cast<long long>(out.data_transmissions));
+  retx.add(static_cast<long long>(out.data_transmissions) - transactions);
+  ack_tx_count.add(static_cast<long long>(out.ack_transmissions));
+  ack_loss_count.add(static_cast<long long>(out.ack_losses));
+  duplicates.add(static_cast<long long>(out.duplicates_suppressed));
+  dropped.add(static_cast<long long>(out.packets_dropped));
   return out;
 }
 

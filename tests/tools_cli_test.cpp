@@ -1,0 +1,243 @@
+/// \file tools_cli_test.cpp
+/// \brief End-to-end tests of the command-line tools: mrlc_gen piped into
+/// mrlc_solve, the --metrics-json contract (parseable JSON containing every
+/// key listed in tests/data/metrics_keys.golden, with nonzero core
+/// counters), and the mrlc_bench sweep in deterministic mode.
+///
+/// The tool binary paths arrive as compile definitions
+/// (MRLC_TOOL_GEN/MRLC_TOOL_SOLVE/MRLC_TOOL_BENCH), so the test always
+/// exercises the binaries built alongside it.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+#ifndef _WIN32
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#else
+  return status;
+#endif
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ------------------------------------------------------------ JSON parser --
+//
+// Minimal recursive-descent JSON reader: just enough to validate
+// well-formedness and pull out object keys and numeric values.  No JSON
+// library ships with the toolchain, and the metrics emitter is exactly the
+// kind of hand-rolled printer that deserves an independent parse.
+
+struct JsonParser {
+  const std::string& text;
+  std::size_t at = 0;
+  bool ok = true;
+  /// Flattened "a.b.c" key -> raw value token for numbers/strings/bools.
+  std::map<std::string, std::string> scalars;
+  std::vector<std::string> keys;  ///< every object key seen, bare
+
+  explicit JsonParser(const std::string& t) : text(t) {}
+
+  void skip_ws() {
+    while (at < text.size() && (text[at] == ' ' || text[at] == '\n' ||
+                                text[at] == '\t' || text[at] == '\r')) {
+      ++at;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (at < text.size() && text[at] == c) {
+      ++at;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    std::string out;
+    if (at >= text.size() || text[at] != '"') {
+      ok = false;
+      return out;
+    }
+    ++at;
+    while (at < text.size() && text[at] != '"') {
+      if (text[at] == '\\' && at + 1 < text.size()) ++at;
+      out += text[at++];
+    }
+    if (at >= text.size()) {
+      ok = false;
+      return out;
+    }
+    ++at;  // closing quote
+    return out;
+  }
+
+  void parse_value(const std::string& prefix) {
+    skip_ws();
+    if (at >= text.size()) {
+      ok = false;
+      return;
+    }
+    const char c = text[at];
+    if (c == '{') {
+      ++at;
+      skip_ws();
+      if (consume('}')) return;
+      do {
+        const std::string key = parse_string();
+        if (!ok || !consume(':')) {
+          ok = false;
+          return;
+        }
+        keys.push_back(key);
+        parse_value(prefix.empty() ? key : prefix + "." + key);
+        if (!ok) return;
+      } while (consume(','));
+      if (!consume('}')) ok = false;
+    } else if (c == '[') {
+      ++at;
+      skip_ws();
+      if (consume(']')) return;
+      int index = 0;
+      do {
+        parse_value(prefix + "[" + std::to_string(index++) + "]");
+        if (!ok) return;
+      } while (consume(','));
+      if (!consume(']')) ok = false;
+    } else if (c == '"') {
+      scalars[prefix] = parse_string();
+    } else {
+      std::string token;
+      while (at < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[at])) != 0 ||
+              text[at] == '-' || text[at] == '+' || text[at] == '.')) {
+        token += text[at++];
+      }
+      if (token.empty()) {
+        ok = false;
+        return;
+      }
+      scalars[prefix] = token;
+    }
+  }
+
+  bool parse() {
+    parse_value("");
+    skip_ws();
+    return ok && at == text.size();
+  }
+};
+
+/// Generates a 16-node network once and reuses it across tests.
+const std::string& network_path() {
+  static const std::string path = [] {
+    const std::string p = tmp_path("tools_cli_net.txt");
+    const int rc = run_command(std::string(MRLC_TOOL_GEN) +
+                               " dfl --nodes 16 --seed 7 > " + p);
+    EXPECT_EQ(rc, 0) << "mrlc_gen failed";
+    return p;
+  }();
+  return path;
+}
+
+TEST(ToolsCli, GenPipesIntoSolve) {
+  const std::string tree = tmp_path("tools_cli_tree.txt");
+  const int rc = run_command(std::string(MRLC_TOOL_SOLVE) +
+                             " mst < " + network_path() + " > " + tree +
+                             " 2> /dev/null");
+  ASSERT_EQ(rc, 0);
+  EXPECT_NE(read_file(tree).find("tree"), std::string::npos);
+}
+
+TEST(ToolsCli, MetricsJsonParsesAndHasDocumentedKeys) {
+  const std::string metrics_path = tmp_path("tools_cli_metrics.json");
+  const int rc = run_command(std::string(MRLC_TOOL_SOLVE) +
+                             " ira --lifetime 100 --metrics-json " +
+                             metrics_path + " < " + network_path() +
+                             " > /dev/null 2> /dev/null");
+  ASSERT_EQ(rc, 0);
+
+  const std::string json = read_file(metrics_path);
+  JsonParser parser(json);
+  ASSERT_TRUE(parser.parse()) << "metrics JSON failed to parse near byte "
+                              << parser.at << ":\n"
+                              << json;
+
+  EXPECT_EQ(parser.scalars["schema"], "mrlc-metrics-v1");
+
+  // Every key the documentation promises must be present.
+  std::ifstream golden(MRLC_METRICS_GOLDEN);
+  ASSERT_TRUE(golden.is_open()) << "cannot open " << MRLC_METRICS_GOLDEN;
+  std::string line;
+  while (std::getline(golden, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(std::find(parser.keys.begin(), parser.keys.end(), line),
+              parser.keys.end())
+        << "documented key missing from metrics JSON: " << line;
+  }
+
+  // The acceptance bar: a real solve records real work.
+  EXPECT_GT(std::stoll(parser.scalars["counters.ira.outer_iterations"]), 0);
+  EXPECT_GT(std::stoll(parser.scalars["counters.simplex.pivots"]), 0);
+  EXPECT_GT(std::stoll(parser.scalars["counters.separation.calls"]), 0);
+}
+
+TEST(ToolsCli, MetricsDisabledByEnvironment) {
+  const std::string metrics_path = tmp_path("tools_cli_metrics_off.json");
+  const int rc = run_command("MRLC_METRICS=0 " + std::string(MRLC_TOOL_SOLVE) +
+                             " ira --lifetime 100 --metrics-json " +
+                             metrics_path + " < " + network_path() +
+                             " > /dev/null 2> /dev/null");
+  ASSERT_EQ(rc, 0);
+  const std::string json = read_file(metrics_path);
+  JsonParser parser(json);
+  ASSERT_TRUE(parser.parse());
+  EXPECT_EQ(parser.scalars["enabled"], "false");
+  // Counters may be registered but must have recorded nothing.
+  const auto it = parser.scalars.find("counters.ira.outer_iterations");
+  if (it != parser.scalars.end()) EXPECT_EQ(std::stoll(it->second), 0);
+}
+
+TEST(ToolsCli, BenchDeterministicModeIsReproducible) {
+  const std::string first = tmp_path("tools_cli_bench1.json");
+  const std::string second = tmp_path("tools_cli_bench2.json");
+  const std::string base_cmd = std::string(MRLC_TOOL_BENCH) +
+                               " --repeats 1 --no-timings --workload "
+                               "ira_dfl_n16 --out ";
+  ASSERT_EQ(run_command(base_cmd + first + " 2> /dev/null"), 0);
+  ASSERT_EQ(run_command(base_cmd + second + " 2> /dev/null"), 0);
+  EXPECT_EQ(read_file(first), read_file(second));
+
+  const std::string json = read_file(first);
+  JsonParser parser(json);
+  ASSERT_TRUE(parser.parse()) << json;
+  EXPECT_EQ(parser.scalars["schema"], "mrlc-bench-v1");
+  EXPECT_EQ(parser.scalars["workloads[0].name"], "ira_dfl_n16");
+  EXPECT_GT(
+      std::stoll(parser.scalars["workloads[0].metrics.counters.ira.solves"]),
+      0);
+}
+
+}  // namespace

@@ -1,0 +1,284 @@
+/// \file mrlc_bench.cpp
+/// \brief Machine-readable solver benchmark sweep.
+///
+/// Runs a fixed set of named workloads (IRA on the DFL testbed and on
+/// random G(n, p) instances, branch-and-bound, the ARQ data plane), times
+/// each repeat with a steady-clock stopwatch, and snapshots the metrics
+/// registry per workload.  Output is one JSON document (schema
+/// "mrlc-bench-v1", documented in docs/metrics.md) suitable for diffing
+/// across commits with scripts/bench_compare.py.
+///
+/// Usage:
+///   mrlc_bench [--out PATH] [--repeats N] [--workload NAME] [--list]
+///              [--no-timings]
+///
+/// All workloads are seeded, so every counter in the output is
+/// bit-reproducible; only the wall-clock figures vary run to run.
+/// `--no-timings` zeroes them, making the whole file deterministic (used
+/// by the CI golden check).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <sys/utsname.h>
+#endif
+
+#include "baselines/mst_baseline.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "common/trace.hpp"
+#include "core/branch_bound.hpp"
+#include "core/ira.hpp"
+#include "distributed/dataplane.hpp"
+#include "scenario/dfl.hpp"
+#include "scenario/random_net.hpp"
+#include "wsn/metrics.hpp"
+
+namespace {
+
+using namespace mrlc;
+
+struct Workload {
+  std::string name;
+  std::string description;
+  /// One full repeat; must do all its work through seeded RNGs so the
+  /// metric counters are identical across repeats and machines.
+  std::function<void(int repeat)> run;
+};
+
+/// LC bound every workload uses: the MST's own lifetime.  The MST achieves
+/// it by construction, so IRA and branch-and-bound are always feasible and
+/// the bench never trips the infeasibility path.
+double mst_bound(const wsn::Network& net) {
+  return baselines::mst_baseline(net).lifetime;
+}
+
+wsn::Network random_net(int nodes, double p, std::uint64_t seed) {
+  scenario::RandomNetworkConfig config;
+  config.node_count = nodes;
+  config.link_probability = p;
+  Rng rng(seed);
+  return scenario::make_random_network(config, rng);
+}
+
+std::vector<Workload> make_workloads() {
+  std::vector<Workload> out;
+
+  out.push_back({"ira_dfl_n16", "IRA on the 16-node DFL testbed instance",
+                 [](int) {
+                   const wsn::Network net = scenario::make_dfl_system().network;
+                   core::IraOptions options;
+                   options.bound_mode = core::BoundMode::kDirect;
+                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                 }});
+
+  out.push_back({"ira_random_n16_p07",
+                 "IRA on G(16, 0.7) instances, one fresh draw per repeat",
+                 [](int repeat) {
+                   const wsn::Network net = random_net(
+                       16, 0.7, 1000 + static_cast<std::uint64_t>(repeat));
+                   core::IraOptions options;
+                   options.bound_mode = core::BoundMode::kDirect;
+                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                 }});
+
+  out.push_back({"ira_random_n24_p04",
+                 "IRA on sparser G(24, 0.4) instances (more cut rounds)",
+                 [](int repeat) {
+                   const wsn::Network net = random_net(
+                       24, 0.4, 2000 + static_cast<std::uint64_t>(repeat));
+                   core::IraOptions options;
+                   options.bound_mode = core::BoundMode::kDirect;
+                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                 }});
+
+  out.push_back({"bb_random_n14", "exact branch-and-bound on G(14, 0.5)",
+                 [](int repeat) {
+                   const wsn::Network net = random_net(
+                       14, 0.5, 3000 + static_cast<std::uint64_t>(repeat));
+                   core::branch_bound_mrlc(net, mst_bound(net), {});
+                 }});
+
+  out.push_back({"dataplane_n16",
+                 "200 ARQ convergecast rounds with estimator-driven repair",
+                 [](int repeat) {
+                   const wsn::Network net = scenario::make_dfl_system().network;
+                   const double bound = mst_bound(net);
+                   core::IraOptions ira_options;
+                   ira_options.bound_mode = core::BoundMode::kDirect;
+                   const core::IraResult ira =
+                       core::IterativeRelaxation(ira_options).solve(net, bound);
+                   dist::DataPlaneOptions options;
+                   options.rounds = 200;
+                   options.seed = 4000 + static_cast<std::uint64_t>(repeat);
+                   dist::run_dataplane(net, ira.tree, bound, options);
+                 }});
+
+  return out;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string git_revision() {
+#ifndef _WIN32
+  FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {};
+    const std::size_t got = std::fread(buf, 1, sizeof(buf) - 1, pipe);
+    ::pclose(pipe);
+    std::string rev(buf, got);
+    while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+      rev.pop_back();
+    }
+    if (!rev.empty()) return rev;
+  }
+#endif
+  return "unknown";
+}
+
+std::string machine_system() {
+#ifndef _WIN32
+  struct utsname info {};
+  if (::uname(&info) == 0) {
+    return std::string(info.sysname) + " " + info.release + " " + info.machine;
+  }
+#endif
+  return "unknown";
+}
+
+/// Re-indents an embedded JSON document so it nests readably.
+std::string indent_block(const std::string& json, const std::string& pad) {
+  std::string out;
+  for (char c : json) {
+    out += c;
+    if (c == '\n') out += pad;
+  }
+  while (!out.empty() && (out.back() == ' ' || out.back() == '\n')) out.pop_back();
+  return out;
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: mrlc_bench [--out PATH] [--repeats N] [--workload NAME]\n"
+               "                  [--list] [--no-timings]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_solver.json";
+  int repeats = 3;
+  std::string only;
+  bool list_only = false;
+  bool with_timings = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--no-timings") {
+      with_timings = false;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::stoi(argv[++i]);
+      if (repeats < 1) usage();
+    } else if (arg == "--workload" && i + 1 < argc) {
+      only = argv[++i];
+    } else {
+      usage();
+    }
+  }
+
+  const std::vector<Workload> workloads = make_workloads();
+  if (list_only) {
+    for (const Workload& w : workloads) {
+      std::cout << w.name << "  " << w.description << '\n';
+    }
+    return 0;
+  }
+  if (!only.empty() &&
+      std::none_of(workloads.begin(), workloads.end(),
+                   [&](const Workload& w) { return w.name == only; })) {
+    std::cerr << "mrlc_bench: unknown workload " << only << " (see --list)\n";
+    return 2;
+  }
+
+  metrics::set_enabled(true);
+
+  std::ostringstream body;
+  bool first = true;
+  for (const Workload& w : workloads) {
+    if (!only.empty() && w.name != only) continue;
+    std::cerr << "bench " << w.name << " (" << repeats << " repeats)...\n";
+    metrics::reset();
+
+    double min_ms = std::numeric_limits<double>::infinity();
+    double max_ms = 0.0;
+    double total_ms = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      const trace::Stopwatch watch;
+      w.run(r);
+      const double ms = watch.elapsed_ms();
+      min_ms = std::min(min_ms, ms);
+      max_ms = std::max(max_ms, ms);
+      total_ms += ms;
+    }
+    if (!with_timings) min_ms = max_ms = total_ms = 0.0;
+
+    body << (first ? "" : ",\n");
+    first = false;
+    body << "    {\n";
+    body << "      \"name\": " << json_escape(w.name) << ",\n";
+    body << "      \"description\": " << json_escape(w.description) << ",\n";
+    body << "      \"repeats\": " << repeats << ",\n";
+    body.precision(6);
+    body << "      \"wall_ms\": {\"min\": " << min_ms
+         << ", \"mean\": " << total_ms / repeats << ", \"max\": " << max_ms
+         << ", \"total\": " << total_ms << "},\n";
+    // The per-workload metrics snapshot is a full mrlc-metrics-v1 document
+    // (counters are summed over all repeats; phase times are wall time).
+    const std::string snapshot = metrics::to_json_string(!with_timings);
+    body << "      \"metrics\": " << indent_block(snapshot, "      ") << "\n";
+    body << "    }";
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "mrlc_bench: cannot open " << out_path << '\n';
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"mrlc-bench-v1\",\n";
+  out << "  \"git_rev\": " << json_escape(git_revision()) << ",\n";
+  out << "  \"machine\": {\"system\": " << json_escape(machine_system())
+      << ", \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << "},\n";
+  out << "  \"config\": {\"repeats\": " << repeats << ", \"timings\": "
+      << (with_timings ? "true" : "false") << "},\n";
+  out << "  \"workloads\": [\n" << body.str() << "\n  ]\n";
+  out << "}\n";
+  std::cerr << "wrote " << out_path << '\n';
+  return 0;
+}

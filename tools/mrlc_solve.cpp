@@ -26,12 +26,14 @@
 /// that the flags override.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 
 #include "baselines/aaml.hpp"
+#include "common/metrics.hpp"
 #include "baselines/greedy_mrlc.hpp"
 #include "baselines/mst_baseline.hpp"
 #include "core/feasibility.hpp"
@@ -61,7 +63,10 @@ namespace {
                "                    [--channel bernoulli|gilbert-elliott]\n"
                "                    [--burst B] [--attempts N]\n"
                "                    [--ack-fraction F] [--probe P]\n"
-               "                    [--churn-sigma S] [--seed S]  < net\n";
+               "                    [--churn-sigma S] [--seed S]  < net\n"
+               "global flags:\n"
+               "  --metrics-json PATH   write solver metrics (counters, phase\n"
+               "                        timings) as JSON after the run\n";
   std::exit(2);
 }
 
@@ -246,28 +251,19 @@ void report(const mrlc::wsn::Network& net, const mrlc::wsn::AggregationTree& tre
             << ", lifetime " << wsn::network_lifetime(net, tree) << " rounds\n";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace mrlc;
-  if (argc < 2) usage();
-  const std::string mode = argv[1];
-
-  std::map<std::string, std::string> flags;
-  for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) usage();
-    key = key.substr(2);
-    if (key == "strict" || key == "lex" || key == "certify" || key == "relax" ||
-        key == "lossy") {
-      flags[key] = "1";
-    } else if (i + 1 < argc) {
-      flags[key] = argv[++i];
-    } else {
-      usage();
-    }
+/// Writes the metrics registry to `path`; reports failure on stderr but
+/// never turns a successful solve into a nonzero exit.
+void emit_metrics(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "mrlc_solve: cannot open metrics file " << path << '\n';
+    return;
   }
+  mrlc::metrics::write_json(out);
+}
 
+int run(const std::string& mode, std::map<std::string, std::string>& flags) {
+  using namespace mrlc;
   try {
     // Slurp stdin once: the faults mode re-parses the same text for the
     // appended fault-schedule block.
@@ -344,4 +340,33 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string mode = argv[1];
+
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage();
+    key = key.substr(2);
+    if (key == "strict" || key == "lex" || key == "certify" || key == "relax" ||
+        key == "lossy") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    } else {
+      usage();
+    }
+  }
+
+  const int exit_code = run(mode, flags);
+  // Metrics are emitted even when the solve failed: the partial counters
+  // (LP solves before an infeasibility, say) are exactly what one wants
+  // when diagnosing the failure.
+  if (flags.count("metrics-json")) emit_metrics(flags["metrics-json"]);
+  return exit_code;
 }
