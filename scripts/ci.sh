@@ -47,7 +47,7 @@ run_suite() {
 [[ $run_asan -eq 1 ]] && run_suite asan
 
 echo "=== docs ==="
-"$repo/scripts/docs.sh"
+bash "$repo/scripts/docs.sh"
 
 if [[ $run_release -eq 1 ]]; then
   echo "=== bench (non-fatal report) ==="

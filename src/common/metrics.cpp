@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <limits>
@@ -149,13 +150,10 @@ void Histogram::record(long long value) noexcept {
   const int index = bucket_index(value);
   buckets_[index].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
-  const long long n = count_.fetch_add(1, std::memory_order_relaxed);
-  if (n == 0) {
-    // First sample seeds min/max; later samples CAS them tighter.
-    min_.store(value, std::memory_order_relaxed);
-    max_.store(value, std::memory_order_relaxed);
-    return;
-  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // min_/max_ start at the LLONG_MAX/LLONG_MIN sentinels, so the first
+  // sample tightens them via the same CAS loop as every other sample —
+  // no special case, hence no seeding race between concurrent recorders.
   long long seen = min_.load(std::memory_order_relaxed);
   while (value < seen &&
          !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
@@ -167,11 +165,13 @@ void Histogram::record(long long value) noexcept {
 }
 
 long long Histogram::min() const noexcept {
-  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  const long long v = min_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<long long>::max() ? 0 : v;  // still empty
 }
 
 long long Histogram::max() const noexcept {
-  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+  const long long v = max_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<long long>::min() ? 0 : v;  // still empty
 }
 
 double Histogram::mean() const noexcept {
@@ -212,8 +212,13 @@ long long Histogram::percentile(double p) const noexcept {
   for (int i = 0; i < kBucketCount; ++i) {
     seen += buckets_[i].load(std::memory_order_relaxed);
     if (seen >= rank) {
-      // Clamp to the exact extremes so p=0/p=1 are honest.
-      return std::clamp(bucket_representative(i), min(), max());
+      // Clamp to the exact extremes so p=0/p=1 are honest.  A racing
+      // first record() may have tightened only one extreme; skip the
+      // clamp then (std::clamp requires lo <= hi).
+      const long long lo = min();
+      const long long hi = max();
+      const long long rep = bucket_representative(i);
+      return hi < lo ? rep : std::clamp(rep, lo, hi);
     }
   }
   return max();
@@ -223,8 +228,8 @@ void Histogram::reset() noexcept {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
-  min_.store(0, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<long long>::max(), std::memory_order_relaxed);
+  max_.store(std::numeric_limits<long long>::min(), std::memory_order_relaxed);
 }
 
 // --------------------------------------------------------------- PhaseNode --

@@ -34,6 +34,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -153,11 +154,14 @@ class Histogram {
   static int bucket_index(long long value) noexcept;
   static long long bucket_representative(int index) noexcept;
 
+  // min_/max_ hold open-interval sentinels while empty so every record()
+  // can use the same CAS loop (no racy first-sample special case); the
+  // min()/max() accessors mask the sentinels back to 0 when count() == 0.
   std::atomic<long long> buckets_[kBucketCount] = {};
   std::atomic<long long> count_{0};
   std::atomic<long long> sum_{0};
-  std::atomic<long long> min_{0};
-  std::atomic<long long> max_{0};
+  std::atomic<long long> min_{std::numeric_limits<long long>::max()};
+  std::atomic<long long> max_{std::numeric_limits<long long>::min()};
 };
 
 /// \brief One node of the scoped-phase timing tree (see `common/trace.hpp`).
