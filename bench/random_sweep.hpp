@@ -52,14 +52,15 @@ inline SweepRow run_instance(const wsn::Network& net) {
   return row;
 }
 
-/// Runs `count` independent instances in parallel (one RNG stream each).
+/// Runs `count` independent instances on the default pool (one RNG stream
+/// each, so the rows are identical for every thread count).
 inline std::vector<SweepRow> run_sweep(const scenario::RandomNetworkConfig& config,
                                        int count, std::uint64_t base_seed) {
   std::vector<SweepRow> rows(static_cast<std::size_t>(count));
   Rng base(base_seed);
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
   for (auto& s : seeds) s = base();
-  parallel_for(count, [&](int i) {
+  default_pool().for_each(count, [&](int i) {
     Rng rng(seeds[static_cast<std::size_t>(i)]);
     rows[static_cast<std::size_t>(i)] =
         run_instance(scenario::make_random_network(config, rng));

@@ -11,6 +11,11 @@ workloads should be bit-identical), workloads missing from the current
 run, and workloads without a baseline are reported as warnings, since
 they usually mean the algorithm or the workload set changed on purpose.
 
+Runs made with different thread-pool widths (``config.threads``, default 1
+for files predating the field) are not wall-time comparable: timings are
+skipped with a warning and only the counters — which the solver guarantees
+are identical for every thread count — are diffed.
+
 Exit codes:
     0  no wall-time regressions (warnings alone do not fail)
     1  at least one wall-time regression
@@ -44,11 +49,23 @@ def relative_change(base, cur):
     return (cur - base) / base
 
 
+def thread_count(doc):
+    """Pool width the run used; files from before the field mean 1."""
+    return doc.get("config", {}).get("threads", 1)
+
+
 def compare(baseline, current, threshold):
     base_workloads = by_name(baseline)
     cur_workloads = by_name(current)
     regressions = []
     warnings = []
+
+    compare_times = thread_count(baseline) == thread_count(current)
+    if not compare_times:
+        warnings.append(
+            f"thread counts differ (baseline {thread_count(baseline)}, "
+            f"current {thread_count(current)}): wall times skipped, "
+            f"counters still compared")
 
     for name in sorted(base_workloads.keys() | cur_workloads.keys()):
         if name not in cur_workloads:
@@ -59,16 +76,19 @@ def compare(baseline, current, threshold):
             continue
         base, cur = base_workloads[name], cur_workloads[name]
 
-        base_ms = base.get("wall_ms", {}).get("mean", 0.0)
-        cur_ms = cur.get("wall_ms", {}).get("mean", 0.0)
-        change = relative_change(base_ms, cur_ms)
-        if base_ms > 0.0 and change > threshold:
-            regressions.append(
-                f"{name}: mean wall time {base_ms:.3f} ms -> {cur_ms:.3f} ms "
-                f"({change:+.1%})")
+        if compare_times:
+            base_ms = base.get("wall_ms", {}).get("mean", 0.0)
+            cur_ms = cur.get("wall_ms", {}).get("mean", 0.0)
+            change = relative_change(base_ms, cur_ms)
+            if base_ms > 0.0 and change > threshold:
+                regressions.append(
+                    f"{name}: mean wall time {base_ms:.3f} ms -> {cur_ms:.3f} ms "
+                    f"({change:+.1%})")
+            else:
+                print(f"ok  {name}: {base_ms:.3f} ms -> {cur_ms:.3f} ms "
+                      f"({change:+.1%})")
         else:
-            print(f"ok  {name}: {base_ms:.3f} ms -> {cur_ms:.3f} ms "
-                  f"({change:+.1%})")
+            print(f"ok  {name}: wall time not compared (thread counts differ)")
 
         base_counters = base.get("metrics", {}).get("counters", {})
         cur_counters = cur.get("metrics", {}).get("counters", {})

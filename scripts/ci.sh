@@ -5,14 +5,18 @@
 #      must pass);
 #   2. sanitized: the same suite under ASan + UBSan, catching the memory
 #      and UB bugs a release run hides;
-#   3. docs: Doxygen with WARN_AS_ERROR (skipped when doxygen is absent);
-#   4. bench: mrlc_bench sweep, compared against the committed
+#   3. tsan: the concurrency smoke suite (thread pool, sharded metrics,
+#      parallel separation) under ThreadSanitizer — TSan is incompatible
+#      with ASan, so it gets its own build tree and only runs the tests
+#      that exercise real multi-threading;
+#   4. docs: Doxygen with WARN_AS_ERROR (skipped when doxygen is absent);
+#   5. bench: mrlc_bench sweep, compared against the committed
 #      BENCH_solver.json baseline.  Timing deltas are a *report*, not a
 #      gate — shared CI machines are too noisy to fail on wall clock.
 #
-# Usage: scripts/ci.sh [--release-only|--asan-only]
-# Runs from any directory; build trees live in build-release/ and
-# build-asan/ next to the sources (both gitignored).
+# Usage: scripts/ci.sh [--release-only|--asan-only|--tsan-only]
+# Runs from any directory; build trees live in build-release/, build-asan/
+# and build-tsan/ next to the sources (all gitignored).
 set -euo pipefail
 
 repo="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -20,15 +24,38 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 run_release=1
 run_asan=1
+run_tsan=1
 case "${1:-}" in
-  --release-only) run_asan=0 ;;
-  --asan-only) run_release=0 ;;
+  --release-only) run_asan=0; run_tsan=0 ;;
+  --asan-only) run_release=0; run_tsan=0 ;;
+  --tsan-only) run_release=0; run_asan=0 ;;
   "") ;;
   *)
-    echo "usage: $0 [--release-only|--asan-only]" >&2
+    echo "usage: $0 [--release-only|--asan-only|--tsan-only]" >&2
     exit 2
     ;;
 esac
+
+# The concurrency-heavy binaries; everything else is single-threaded and
+# already covered by the release + ASan full suites.
+tsan_smoke_targets=(test_parallel test_metrics test_separation test_stress)
+
+run_tsan_suite() {
+  (
+    cd "$repo"
+    echo "=== [tsan] configure ==="
+    cmake --preset tsan
+    echo "=== [tsan] build (smoke targets) ==="
+    cmake --build --preset tsan -j "$jobs" \
+      $(printf -- '--target %s ' "${tsan_smoke_targets[@]}")
+    echo "=== [tsan] run concurrency smoke suite ==="
+    for t in "${tsan_smoke_targets[@]}"; do
+      echo "--- $t ---"
+      TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+        "$repo/build-tsan/tests/$t"
+    done
+  )
+}
 
 run_suite() {
   local preset="$1"
@@ -45,6 +72,7 @@ run_suite() {
 
 [[ $run_release -eq 1 ]] && run_suite release
 [[ $run_asan -eq 1 ]] && run_suite asan
+[[ $run_tsan -eq 1 ]] && run_tsan_suite
 
 echo "=== docs ==="
 bash "$repo/scripts/docs.sh"

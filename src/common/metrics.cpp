@@ -147,31 +147,57 @@ void set_enabled(bool on) noexcept {
 void Histogram::record(long long value) noexcept {
   if (!enabled()) return;
   if (value < 0) value = 0;
+  // All mutation lands in the calling thread's own shard; other shards'
+  // cachelines are never touched.  kShards divides detail::kShardCount, so
+  // a thread's slot maps to a stable shard here too.
+  Shard& shard = shards_[detail::shard_slot() & (kShards - 1)];
   const int index = bucket_index(value);
-  buckets_[index].fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  // min_/max_ start at the LLONG_MAX/LLONG_MIN sentinels, so the first
+  shard.buckets[index].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  // min/max start at the LLONG_MAX/LLONG_MIN sentinels, so the first
   // sample tightens them via the same CAS loop as every other sample —
   // no special case, hence no seeding race between concurrent recorders.
-  long long seen = min_.load(std::memory_order_relaxed);
-  while (value < seen &&
-         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  long long seen = shard.min.load(std::memory_order_relaxed);
+  while (value < seen && !shard.min.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
   }
-  seen = max_.load(std::memory_order_relaxed);
-  while (value > seen &&
-         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  seen = shard.max.load(std::memory_order_relaxed);
+  while (value > seen && !shard.max.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
   }
+}
+
+long long Histogram::count() const noexcept {
+  long long total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+long long Histogram::sum() const noexcept {
+  long long total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 long long Histogram::min() const noexcept {
-  const long long v = min_.load(std::memory_order_relaxed);
-  return v == std::numeric_limits<long long>::max() ? 0 : v;  // still empty
+  long long merged = std::numeric_limits<long long>::max();
+  for (const Shard& shard : shards_) {
+    merged = std::min(merged, shard.min.load(std::memory_order_relaxed));
+  }
+  return merged == std::numeric_limits<long long>::max() ? 0 : merged;  // empty
 }
 
 long long Histogram::max() const noexcept {
-  const long long v = max_.load(std::memory_order_relaxed);
-  return v == std::numeric_limits<long long>::min() ? 0 : v;  // still empty
+  long long merged = std::numeric_limits<long long>::min();
+  for (const Shard& shard : shards_) {
+    merged = std::max(merged, shard.max.load(std::memory_order_relaxed));
+  }
+  return merged == std::numeric_limits<long long>::min() ? 0 : merged;  // empty
 }
 
 double Histogram::mean() const noexcept {
@@ -210,7 +236,9 @@ long long Histogram::percentile(double p) const noexcept {
   const auto rank = static_cast<long long>(std::ceil(p * static_cast<double>(n)));
   long long seen = 0;
   for (int i = 0; i < kBucketCount; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
+    for (const Shard& shard : shards_) {
+      seen += shard.buckets[i].load(std::memory_order_relaxed);
+    }
     if (seen >= rank) {
       // Clamp to the exact extremes so p=0/p=1 are honest.  A racing
       // first record() may have tightened only one extreme; skip the
@@ -225,11 +253,15 @@ long long Histogram::percentile(double p) const noexcept {
 }
 
 void Histogram::reset() noexcept {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  min_.store(std::numeric_limits<long long>::max(), std::memory_order_relaxed);
-  max_.store(std::numeric_limits<long long>::min(), std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) bucket.store(0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<long long>::max(),
+                    std::memory_order_relaxed);
+    shard.max.store(std::numeric_limits<long long>::min(),
+                    std::memory_order_relaxed);
+  }
 }
 
 // --------------------------------------------------------------- PhaseNode --

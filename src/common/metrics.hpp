@@ -13,10 +13,15 @@
 ///    Defining `MRLC_METRICS_DISABLED` at compile time replaces that check
 ///    with `constexpr false`, so the mutation bodies (and, with them, the
 ///    instrument lookups) are dead-code-eliminated entirely.
-/// 2. **Thread safety without locks on the hot path.**  Instruments are
-///    registered once under a mutex and then mutated with relaxed atomics
-///    only; `common/parallel.hpp` fan-outs may hammer the same counter from
-///    every hardware thread.
+/// 2. **Thread safety without locks — or shared cachelines — on the hot
+///    path.**  Instruments are registered once under a mutex and then
+///    mutated with relaxed atomics only.  Counters and histograms are
+///    additionally *sharded*: each thread mutates its own cacheline-aligned
+///    slot (assigned round-robin on first use), so `common/parallel.hpp`
+///    fan-outs hammering the same counter from every hardware thread no
+///    longer bounce one cacheline between cores.  Readers merge the shards
+///    on access; see `docs/metrics.md` for what a mid-flight snapshot
+///    guarantees.
 /// 3. **Stable addresses.**  `metrics::counter("x")` returns a reference
 ///    that remains valid for the life of the process, so call sites cache
 ///    it in a function-local static and pay the registry lookup once.
@@ -60,30 +65,71 @@ inline bool enabled() noexcept {
 void set_enabled(bool on) noexcept;
 #endif
 
-/// \brief Monotonically increasing integer instrument.
+namespace detail {
+
+/// Number of per-thread slots in a sharded instrument (power of two).
+/// Threads are assigned slots round-robin on first use, so up to
+/// kShardCount concurrent writers proceed with zero cacheline sharing;
+/// beyond that, slots are reused (still correct, just contended).
+inline constexpr unsigned kShardCount = 16;
+
+/// \return this thread's shard slot in [0, kShardCount), stable for the
+/// thread's lifetime.  Persistent pool workers therefore keep their slot
+/// across dispatches.
+inline unsigned shard_slot() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShardCount - 1);
+  return slot;
+}
+
+/// One cacheline-aligned accumulator cell, padded so adjacent shards never
+/// share a line.
+struct alignas(64) ShardCell {
+  std::atomic<long long> value{0};
+};
+
+}  // namespace detail
+
+/// \brief Monotonically increasing integer instrument, sharded per thread.
 ///
-/// `add` is a relaxed atomic fetch-add guarded by the enable flag; safe to
-/// call concurrently from any thread.
+/// `add` is a relaxed fetch-add on the calling thread's own shard, guarded
+/// by the enable flag; safe to call concurrently from any thread and free
+/// of cross-thread cacheline bouncing for up to `detail::kShardCount`
+/// concurrent writers.  `value()` merges the shards: the result counts
+/// every `add` that happened-before the read exactly once and never
+/// double-counts (each add touches exactly one shard once); concurrent
+/// adds may or may not be included.
 class Counter {
  public:
-  /// \brief Adds `delta` (no-op while metrics are disabled).
+  /// \brief Adds `delta` to the calling thread's shard (no-op while
+  /// metrics are disabled).
   /// \param delta  amount to add; negative deltas are allowed for callers
   ///        that reconcile overcounts, but the conventional use is >= 0.
   void add(long long delta = 1) noexcept {
     if (!enabled()) return;
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    shards_[detail::shard_slot()].value.fetch_add(delta,
+                                                  std::memory_order_relaxed);
   }
 
-  /// \return the current accumulated value.
+  /// \return the current accumulated value (sum over all shards).
   long long value() const noexcept {
-    return value_.load(std::memory_order_relaxed);
+    long long total = 0;
+    for (const detail::ShardCell& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
   }
 
-  /// \brief Resets the accumulated value to zero (registry `reset()` helper).
-  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  /// \brief Resets every shard to zero (registry `reset()` helper).
+  void reset() noexcept {
+    for (detail::ShardCell& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
 
  private:
-  std::atomic<long long> value_{0};
+  detail::ShardCell shards_[detail::kShardCount];
 };
 
 /// \brief Last-write-wins floating-point instrument (e.g. a ratio or the
@@ -109,31 +155,38 @@ class Gauge {
 };
 
 /// \brief Lock-free histogram of non-negative integer samples with bounded
-/// relative error, in the style of HdrHistogram.
+/// relative error, in the style of HdrHistogram, sharded per thread.
 ///
 /// Values below `kSubBuckets` land in exact unit buckets; larger values are
 /// bucketed logarithmically with `kSubBuckets` linear sub-buckets per
 /// power of two, so any reconstructed value (and therefore any percentile)
 /// is within a relative error of `1 / kSubBuckets` (6.25%) of the true
-/// sample.  All mutation is relaxed atomics; `percentile()` may race with
-/// concurrent `record()` calls and then reports a slightly stale view,
-/// which is fine for monitoring.
+/// sample.
+///
+/// Each recording thread owns one of `kShards` shards (its round-robin
+/// slot, see `detail::shard_slot`), so hot loops recording from every
+/// worker touch disjoint cachelines; readers merge the shards.  Snapshot
+/// semantics under concurrent recording: a `record()` that happened-before
+/// the read is reflected in full (its bucket, count, sum, min and max all
+/// included — the sample is never lost or double-counted); a concurrent
+/// `record()` may be reflected partially (e.g. counted but not yet summed),
+/// so mid-flight `mean()`/`percentile()` are approximate.  After the
+/// recording threads quiesce, every accessor is exact.
 class Histogram {
  public:
   static constexpr int kSubBucketBits = 4;                  ///< log2 resolution
   static constexpr long long kSubBuckets = 1 << kSubBucketBits;
   static constexpr int kBucketCount = 64 * kSubBuckets;     ///< covers all int64
+  static constexpr unsigned kShards = 8;  ///< per-thread slots (power of two)
 
-  /// \brief Records one sample (negative samples clamp to 0; no-op while
-  /// metrics are disabled).
+  /// \brief Records one sample into the calling thread's shard (negative
+  /// samples clamp to 0; no-op while metrics are disabled).
   void record(long long value) noexcept;
 
-  /// \return number of samples recorded.
-  long long count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
-  }
+  /// \return number of samples recorded (merged over shards).
+  long long count() const noexcept;
   /// \return sum of all samples (exact, unlike the bucketed distribution).
-  long long sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  long long sum() const noexcept;
   /// \return smallest sample recorded, or 0 when empty.
   long long min() const noexcept;
   /// \return largest sample recorded, or 0 when empty.
@@ -141,27 +194,32 @@ class Histogram {
   /// \return exact mean of the samples, or 0.0 when empty.
   double mean() const noexcept;
 
-  /// \brief Approximate quantile from the bucketed distribution.
+  /// \brief Approximate quantile from the merged bucketed distribution.
   /// \param p  quantile in [0, 1] (0.5 = median).
   /// \return a value within 1/kSubBuckets relative error of the true
   ///         p-quantile, or 0 when the histogram is empty.
   long long percentile(double p) const noexcept;
 
-  /// \brief Clears all samples.
+  /// \brief Clears all samples in every shard.
   void reset() noexcept;
 
  private:
+  /// One thread's slice of the distribution, cacheline-aligned so shards
+  /// never false-share.  min/max hold open-interval sentinels while empty
+  /// so every record() can use the same CAS loop (no racy first-sample
+  /// special case); the merged accessors mask the sentinels back to 0.
+  struct alignas(64) Shard {
+    std::atomic<long long> buckets[kBucketCount] = {};
+    std::atomic<long long> count{0};
+    std::atomic<long long> sum{0};
+    std::atomic<long long> min{std::numeric_limits<long long>::max()};
+    std::atomic<long long> max{std::numeric_limits<long long>::min()};
+  };
+
   static int bucket_index(long long value) noexcept;
   static long long bucket_representative(int index) noexcept;
 
-  // min_/max_ hold open-interval sentinels while empty so every record()
-  // can use the same CAS loop (no racy first-sample special case); the
-  // min()/max() accessors mask the sentinels back to 0 when count() == 0.
-  std::atomic<long long> buckets_[kBucketCount] = {};
-  std::atomic<long long> count_{0};
-  std::atomic<long long> sum_{0};
-  std::atomic<long long> min_{std::numeric_limits<long long>::max()};
-  std::atomic<long long> max_{std::numeric_limits<long long>::min()};
+  Shard shards_[kShards];
 };
 
 /// \brief One node of the scoped-phase timing tree (see `common/trace.hpp`).

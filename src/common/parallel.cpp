@@ -1,0 +1,19 @@
+#include "common/parallel.hpp"
+
+namespace mrlc {
+
+ThreadPool& default_pool() {
+  // Leaked (like the metrics registry) so worker shutdown never races
+  // static destructors in other translation units; the threads park on a
+  // condition variable and cost nothing while idle.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+void set_default_thread_count(unsigned threads) {
+  default_pool().resize(threads);
+}
+
+unsigned default_thread_count() { return default_pool().thread_count(); }
+
+}  // namespace mrlc

@@ -7,6 +7,7 @@
 
 #include "baselines/greedy_mrlc.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/trace.hpp"
 #include "graph/dsu.hpp"
 #include "wsn/metrics.hpp"
@@ -15,11 +16,20 @@ namespace mrlc::core {
 
 namespace {
 
+/// A suspended subtree of the search: everything needed to resume the DFS
+/// at `index` with the partial tree `chosen` already committed.
+struct FrontierState {
+  std::size_t index;
+  double cost;
+  graph::DisjointSetUnion dsu;
+  std::vector<graph::EdgeId> chosen;
+};
+
 struct Searcher {
   const wsn::Network& net;
-  const std::vector<graph::EdgeId> sorted;  // edges by ascending cost
-  const std::vector<int> degree_cap;        // per-vertex integer degree cap
-  const BranchBoundOptions& options;
+  const std::vector<graph::EdgeId>& sorted;  // edges by ascending cost
+  const std::vector<int>& degree_cap;        // per-vertex integer degree cap
+  std::uint64_t budget;                      // max nodes this searcher explores
 
   std::uint64_t explored = 0;
   std::uint64_t pruned = 0;
@@ -30,12 +40,18 @@ struct Searcher {
   std::vector<graph::EdgeId> current;
   std::vector<int> degree;
 
-  Searcher(const wsn::Network& network, std::vector<graph::EdgeId> edges,
-           std::vector<int> caps, const BranchBoundOptions& opts)
+  // Split mode: when set, nodes at index >= split_index are suspended onto
+  // the frontier (uncounted — the resuming searcher counts them) instead of
+  // being expanded.
+  std::vector<FrontierState>* frontier = nullptr;
+  std::size_t split_index = 0;
+
+  Searcher(const wsn::Network& network, const std::vector<graph::EdgeId>& edges,
+           const std::vector<int>& caps, std::uint64_t node_budget)
       : net(network),
-        sorted(std::move(edges)),
-        degree_cap(std::move(caps)),
-        options(opts),
+        sorted(edges),
+        degree_cap(caps),
+        budget(node_budget),
         degree(static_cast<std::size_t>(network.node_count()), 0) {}
 
   /// Kruskal over edges[index..] on the contracted components: an exact
@@ -56,7 +72,11 @@ struct Searcher {
 
   void recurse(std::size_t index, double cost, const graph::DisjointSetUnion& dsu) {
     if (budget_exceeded) return;
-    if (++explored > options.max_nodes_explored) {
+    if (frontier != nullptr && index >= split_index) {
+      frontier->push_back({index, cost, dsu, current});
+      return;
+    }
+    if (++explored > budget) {
       budget_exceeded = true;
       return;
     }
@@ -97,6 +117,19 @@ struct Searcher {
   }
 };
 
+/// Depth at which the serial pass suspends subtrees onto the frontier.
+/// Two branches per level gives at most 2^6 = 64 subproblems — enough to
+/// keep a pool busy, small enough that the serial prefix is negligible.
+constexpr std::size_t kSplitDepth = 6;
+
+/// Frontier states are searched in waves of this constant size: every
+/// searcher in a wave starts from the incumbent as of the wave boundary and
+/// the results are merged in frontier order.  Because the wave width does
+/// not depend on the pool width, the nodes expanded, prunes, incumbent
+/// updates, and the winning tree are identical for every thread count (the
+/// price is incumbents propagating one wave late compared to a serial DFS).
+constexpr std::size_t kWave = 8;
+
 }  // namespace
 
 std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
@@ -121,41 +154,101 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
     return net.topology().edge(a).weight < net.topology().edge(b).weight;
   });
 
-  Searcher searcher(net, std::move(sorted), std::move(caps), options);
+  // Phase 1 (serial): run the DFS but suspend every subtree rooted at
+  // kSplitDepth onto a frontier.  Shallow terminals and prunes are handled
+  // here directly.
+  Searcher root(net, sorted, caps, options.max_nodes_explored);
 
   // Warm start: the degree-capped greedy tree, when it meets the bound,
   // seeds a finite incumbent and massively improves pruning.
   try {
     const baselines::GreedyMrlcResult greedy = baselines::greedy_mrlc(net, lifetime_bound);
     if (greedy.meets_bound) {
-      searcher.best_cost = wsn::tree_cost(net, greedy.tree) + 1e-12;
-      searcher.best_edges = greedy.tree.edge_ids();
+      root.best_cost = wsn::tree_cost(net, greedy.tree) + 1e-12;
+      root.best_edges = greedy.tree.edge_ids();
     }
   } catch (const InfeasibleError&) {
     // greedy stuck; search without a warm start
   }
 
-  searcher.recurse(0, 0.0, graph::DisjointSetUnion(n));
+  std::vector<FrontierState> frontier;
+  root.frontier = &frontier;
+  root.split_index = kSplitDepth;
+  root.recurse(0, 0.0, graph::DisjointSetUnion(n));
+  root.frontier = nullptr;
+
+  std::uint64_t explored_total = root.explored;
+  std::uint64_t pruned_total = root.pruned;
+  std::uint64_t incumbent_total = root.incumbent_updates;
+  bool budget_exceeded = root.budget_exceeded;
+  double best_cost = root.best_cost;
+  std::vector<graph::EdgeId> best_edges = root.best_edges;
+
+  // Phase 2: resume the suspended subtrees in constant-size waves on the
+  // thread pool.  Each wave's searchers share the incumbent and the node
+  // budget remaining as of the wave boundary; results merge serially in
+  // frontier order (see kWave above for why this is deterministic).
+  for (std::size_t start = 0; start < frontier.size() && !budget_exceeded;
+       start += kWave) {
+    const std::size_t end = std::min(start + kWave, frontier.size());
+    const std::uint64_t remaining =
+        options.max_nodes_explored > explored_total
+            ? options.max_nodes_explored - explored_total
+            : 0;
+    if (remaining == 0) {
+      budget_exceeded = true;
+      break;
+    }
+    const int wave_size = static_cast<int>(end - start);
+    std::vector<Searcher> wave;
+    wave.reserve(static_cast<std::size_t>(wave_size));
+    for (int i = 0; i < wave_size; ++i) {
+      wave.emplace_back(net, sorted, caps, remaining);
+      wave.back().best_cost = best_cost;
+    }
+    default_pool().for_each(wave_size, [&](int i) {
+      Searcher& s = wave[static_cast<std::size_t>(i)];
+      const FrontierState& state = frontier[start + static_cast<std::size_t>(i)];
+      s.current = state.chosen;
+      for (graph::EdgeId id : state.chosen) {
+        const graph::Edge& e = net.topology().edge(id);
+        ++s.degree[static_cast<std::size_t>(e.u)];
+        ++s.degree[static_cast<std::size_t>(e.v)];
+      }
+      s.recurse(state.index, state.cost, state.dsu);
+    });
+    for (const Searcher& s : wave) {
+      explored_total += s.explored;
+      pruned_total += s.pruned;
+      incumbent_total += s.incumbent_updates;
+      if (s.budget_exceeded) budget_exceeded = true;
+      if (s.best_cost < best_cost) {
+        best_cost = s.best_cost;
+        best_edges = s.best_edges;
+      }
+    }
+    if (explored_total > options.max_nodes_explored) budget_exceeded = true;
+  }
 
   static metrics::Counter& expanded =
       metrics::counter("branch_bound.nodes_expanded");
   static metrics::Counter& pruned = metrics::counter("branch_bound.nodes_pruned");
   static metrics::Counter& incumbents =
       metrics::counter("branch_bound.incumbent_updates");
-  expanded.add(static_cast<long long>(searcher.explored));
-  pruned.add(static_cast<long long>(searcher.pruned));
-  incumbents.add(static_cast<long long>(searcher.incumbent_updates));
+  expanded.add(static_cast<long long>(explored_total));
+  pruned.add(static_cast<long long>(pruned_total));
+  incumbents.add(static_cast<long long>(incumbent_total));
 
-  MRLC_REQUIRE(!searcher.budget_exceeded,
+  MRLC_REQUIRE(!budget_exceeded,
                "branch-and-bound exceeded its node budget on this instance");
-  if (searcher.best_edges.empty()) return std::nullopt;
+  if (best_edges.empty()) return std::nullopt;
 
   BranchBoundResult out;
-  out.tree = wsn::AggregationTree::from_edges(net, searcher.best_edges);
+  out.tree = wsn::AggregationTree::from_edges(net, best_edges);
   out.cost = wsn::tree_cost(net, out.tree);
   out.reliability = wsn::tree_reliability(net, out.tree);
   out.lifetime = wsn::network_lifetime(net, out.tree);
-  out.nodes_explored = searcher.explored;
+  out.nodes_explored = explored_total;
   MRLC_ENSURE(out.lifetime >= lifetime_bound * (1.0 - 1e-9),
               "branch-and-bound produced a tree violating the bound");
   return out;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/trace.hpp"
 #include "graph/maxflow.hpp"
 #include "graph/traversal.hpp"
@@ -127,13 +128,40 @@ std::vector<std::vector<graph::VertexId>> find_violated_subtours(
   // Stage 2: exact Padberg–Wolsey sweep.  Fix r = 0; any proper nonempty S
   // either avoids r (forced_in = u, forced_out = r) or contains it
   // (forced_in = r, forced_out = u).
+  //
+  // The candidate (u, u_inside) pairs are independent max-flow problems, so
+  // they are evaluated in constant-size batches on the thread pool and the
+  // results merged serially in candidate order.  The early-exit ("enough
+  // cuts, stop sweeping") is only checked at batch boundaries; because the
+  // batch size is a constant — not a function of the pool width — the set of
+  // candidates evaluated, the cuts returned, and the
+  // `separation.maxflow_calls` counter are identical for every thread count.
   const graph::VertexId r = 0;
+  struct Candidate {
+    graph::VertexId u;
+    bool u_inside;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(static_cast<std::size_t>(2 * (n - 1)));
   for (graph::VertexId u = 1; u < n; ++u) {
-    for (const bool u_inside : {true, false}) {
-      const SeparationCut cut =
-          u_inside ? min_subtour_cut(g, edge_values, u, r)
-                   : min_subtour_cut(g, edge_values, r, u);
-      if (cut.f_value < 2.0 - tolerance) consider(cut.subset);
+    candidates.push_back({u, true});
+    candidates.push_back({u, false});
+  }
+
+  constexpr std::size_t kBatch = 8;  // thread-count independent by design
+  std::vector<SeparationCut> slots(kBatch);
+  for (std::size_t start = 0; start < candidates.size(); start += kBatch) {
+    const std::size_t end = std::min(start + kBatch, candidates.size());
+    const int batch_size = static_cast<int>(end - start);
+    default_pool().for_each(batch_size, [&](int i) {
+      const Candidate& c = candidates[start + static_cast<std::size_t>(i)];
+      slots[static_cast<std::size_t>(i)] =
+          c.u_inside ? min_subtour_cut(g, edge_values, c.u, r)
+                     : min_subtour_cut(g, edge_values, r, c.u);
+    });
+    for (int i = 0; i < batch_size; ++i) {
+      SeparationCut& cut = slots[static_cast<std::size_t>(i)];
+      if (cut.f_value < 2.0 - tolerance) consider(std::move(cut.subset));
     }
     // A couple of cuts per round is enough to make progress; adding every
     // violated set found by the sweep bloats the LP with near-duplicates.

@@ -234,5 +234,106 @@ TEST_F(MetricsTest, ParallelForPhasesDoNotCorruptCursor) {
   EXPECT_NE(json.find("\"count\": 64"), std::string::npos) << json;
 }
 
+// ------------------------------------------------- sharded-slot behavior --
+//
+// Counters and histograms spread writers over per-thread cacheline-aligned
+// shards and merge on read (docs/metrics.md "Shard-merge semantics").  The
+// tests below pin down the merge contract: nothing lost, nothing double
+// counted, and a mid-flight snapshot always covers every finished sample.
+
+TEST_F(MetricsTest, ShardedCounterMergesMixedSignDeltasExactly) {
+  metrics::Counter& c = metrics::counter("test.counter_sharded_mixed");
+  constexpr int kThreads = 12;  // deliberately more threads than shards
+  constexpr int kPerThread = 5'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(3);
+        c.add(-1);  // reconciliation-style negative delta
+      }
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  EXPECT_EQ(c.value(), static_cast<long long>(kThreads) * kPerThread * 2);
+}
+
+TEST_F(MetricsTest, ConcurrentHistogramEqualsSerialHistogramOfSameSamples) {
+  metrics::Histogram& concurrent = metrics::histogram("test.hist_shard_conc");
+  metrics::Histogram& serial = metrics::histogram("test.hist_shard_serial");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4'000;
+  // Same multiset of samples either way: thread t records f(t, i), the
+  // serial loop records every f(t, i) on one thread.
+  const auto sample = [](int t, int i) {
+    return static_cast<long long>((i * 37 + t * 101) % 5000);
+  };
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&concurrent, t, &sample] {
+      for (int i = 0; i < kPerThread; ++i) concurrent.record(sample(t, i));
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) serial.record(sample(t, i));
+  }
+
+  EXPECT_EQ(concurrent.count(), serial.count());
+  EXPECT_EQ(concurrent.sum(), serial.sum());
+  EXPECT_EQ(concurrent.min(), serial.min());
+  EXPECT_EQ(concurrent.max(), serial.max());
+  EXPECT_DOUBLE_EQ(concurrent.mean(), serial.mean());
+  for (const double p : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(concurrent.percentile(p), serial.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST_F(MetricsTest, SnapshotDuringRecordingNeverLosesAFinishedSample) {
+  metrics::Histogram& h = metrics::histogram("test.hist_snapshot_race");
+  metrics::Counter& c = metrics::counter("test.counter_snapshot_race");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  constexpr long long kTotal = static_cast<long long>(kThreads) * kPerThread;
+  // Recorders publish how many samples they have *finished* recording; the
+  // observer first acquires that figure, then snapshots.  Every published
+  // sample happened-before the snapshot, so the merged reads must cover at
+  // least that many — and can never exceed the grand total.
+  std::atomic<long long> published{0};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(i & 1023);
+        c.add();
+        published.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+
+  long long last_hist = 0;
+  long long last_counter = 0;
+  while (published.load(std::memory_order_acquire) < kTotal) {
+    const long long floor = published.load(std::memory_order_acquire);
+    const long long hist_count = h.count();
+    const long long counter_value = c.value();
+    ASSERT_GE(hist_count, floor) << "snapshot lost a finished record()";
+    ASSERT_GE(counter_value, floor) << "snapshot lost a finished add()";
+    ASSERT_LE(hist_count, kTotal) << "snapshot double-counted a record()";
+    ASSERT_LE(counter_value, kTotal) << "snapshot double-counted an add()";
+    // Merged snapshots are monotone while recording only moves forward.
+    ASSERT_GE(hist_count, last_hist);
+    ASSERT_GE(counter_value, last_counter);
+    last_hist = hist_count;
+    last_counter = counter_value;
+  }
+  for (std::thread& thread : recorders) thread.join();
+  long long expected_sum = 0;
+  for (int i = 0; i < kPerThread; ++i) expected_sum += i & 1023;
+  EXPECT_EQ(h.count(), kTotal);
+  EXPECT_EQ(h.sum(), expected_sum * kThreads);
+  EXPECT_EQ(c.value(), kTotal);
+}
+
 }  // namespace
 }  // namespace mrlc

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "baselines/greedy_mrlc.hpp"
 #include "baselines/mst_baseline.hpp"
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "core/exact.hpp"
 #include "core/feasibility.hpp"
@@ -245,6 +249,87 @@ TEST_P(GreedySweep, GreedyWithinCapsIsValid) {
 INSTANTIATE_TEST_SUITE_P(Cases, GreedySweep,
                          ::testing::Values(IraCase{8, 0.6, 3}, IraCase{10, 0.5, 4},
                                            IraCase{12, 0.4, 5}, IraCase{16, 0.7, 6}));
+
+// Property: a sharded counter is lossless for any writer count, including
+// more writers than shards (slots are reused round-robin) — N threads each
+// adding M times always merges to exactly N * M.
+struct ShardLoad {
+  int threads;
+  int increments;
+};
+
+class ShardedCounterSweep : public ::testing::TestWithParam<ShardLoad> {};
+
+TEST_P(ShardedCounterSweep, NThreadsTimesMIncrementsMergeExactly) {
+  const auto [threads, increments] = GetParam();
+  metrics::set_enabled(true);
+  metrics::Counter& c = metrics::counter(
+      "test.property_sharded_" + std::to_string(threads) + "_" +
+      std::to_string(increments));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&c, increments = increments] {
+      for (int i = 0; i < increments; ++i) c.add();
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  EXPECT_EQ(c.value(), static_cast<long long>(threads) * increments);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ShardedCounterSweep,
+                         ::testing::Values(ShardLoad{1, 10'000},
+                                           ShardLoad{2, 25'000},
+                                           ShardLoad{8, 10'000},
+                                           ShardLoad{17, 3'000},   // > kShardCount
+                                           ShardLoad{32, 1'000}));
+
+// Property: for any sample distribution, a histogram filled concurrently is
+// indistinguishable (count, sum, extrema, quantiles) from one filled
+// serially with the same multiset — shard merging introduces no error on
+// top of the documented bucket resolution.
+class ShardedHistogramSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardedHistogramSweep, ConcurrentFillMatchesSerialFill) {
+  const int distribution = GetParam();
+  metrics::set_enabled(true);
+  const auto sample = [distribution](int t, int i) -> long long {
+    switch (distribution) {
+      case 0: return i % 7;                                  // tiny exact values
+      case 1: return (i * 37 + t * 101) % 5000;              // mid-range mix
+      case 2: return (1LL << (i % 40)) + t;                  // log-spread
+      default: return (i % 11 == 0) ? 1'000'000'000LL : i % 3;  // heavy tail
+    }
+  };
+  metrics::Histogram& concurrent = metrics::histogram(
+      "test.property_hist_conc_" + std::to_string(distribution));
+  metrics::Histogram& serial = metrics::histogram(
+      "test.property_hist_serial_" + std::to_string(distribution));
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 3'000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&concurrent, t, &sample] {
+      for (int i = 0; i < kPerThread; ++i) concurrent.record(sample(t, i));
+    });
+  }
+  for (std::thread& thread : pool) thread.join();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) serial.record(sample(t, i));
+  }
+  EXPECT_EQ(concurrent.count(), serial.count());
+  EXPECT_EQ(concurrent.sum(), serial.sum());
+  EXPECT_EQ(concurrent.min(), serial.min());
+  EXPECT_EQ(concurrent.max(), serial.max());
+  for (const double p : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(concurrent.percentile(p), serial.percentile(p)) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, ShardedHistogramSweep,
+                         ::testing::Values(0, 1, 2, 3));
 
 }  // namespace
 }  // namespace mrlc

@@ -219,6 +219,10 @@ INSTANTIATE_TEST_SUITE_P(Qualities, DepletionQualitySweep,
 TEST(ParallelStress, ConcurrentIraSolvesAreIndependent) {
   // The solver objects are const-callable and share no mutable state:
   // 32 concurrent solves must reproduce the serial results bit-for-bit.
+  // Size the pool explicitly — CI machines may report 1 hardware thread,
+  // and the point is genuine concurrency (this also runs under TSan).
+  const unsigned before = default_thread_count();
+  set_default_thread_count(4);
   Rng rng(31337);
   std::vector<wsn::Network> nets;
   for (int i = 0; i < 32; ++i) nets.push_back(small_random_network(10, 0.6, rng));
@@ -234,7 +238,7 @@ TEST(ParallelStress, ConcurrentIraSolvesAreIndependent) {
     serial[i] = solver.solve(nets[i], bound_of(nets[i])).cost;
   }
   std::vector<double> parallel(nets.size());
-  parallel_for(static_cast<int>(nets.size()), [&](int i) {
+  default_pool().for_each(static_cast<int>(nets.size()), [&](int i) {
     parallel[static_cast<std::size_t>(i)] =
         solver
             .solve(nets[static_cast<std::size_t>(i)],
@@ -242,6 +246,7 @@ TEST(ParallelStress, ConcurrentIraSolvesAreIndependent) {
             .cost;
   });
   EXPECT_EQ(parallel, serial);
+  set_default_thread_count(before);
 }
 
 }  // namespace

@@ -18,6 +18,10 @@
 #include <string>
 #include <vector>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 namespace {
 
 std::string tmp_path(const std::string& name) {
@@ -150,10 +154,14 @@ struct JsonParser {
   }
 };
 
-/// Generates a 16-node network once and reuses it across tests.
+/// Generates a 16-node network once and reuses it across tests.  The path
+/// is per-process: gtest_discover_tests runs every TEST as its own process,
+/// potentially in parallel, and concurrent regenerations of one shared
+/// file race (one process truncates while another reads).
 const std::string& network_path() {
   static const std::string path = [] {
-    const std::string p = tmp_path("tools_cli_net.txt");
+    const std::string p =
+        tmp_path("tools_cli_net_" + std::to_string(::getpid()) + ".txt");
     const int rc = run_command(std::string(MRLC_TOOL_GEN) +
                                " dfl --nodes 16 --seed 7 > " + p);
     EXPECT_EQ(rc, 0) << "mrlc_gen failed";

@@ -10,12 +10,16 @@
 ///
 /// Usage:
 ///   mrlc_bench [--out PATH] [--repeats N] [--workload NAME] [--list]
-///              [--no-timings]
+///              [--no-timings] [--threads N]
 ///
 /// All workloads are seeded, so every counter in the output is
 /// bit-reproducible; only the wall-clock figures vary run to run.
 /// `--no-timings` zeroes them, making the whole file deterministic (used
-/// by the CI golden check).
+/// by the CI golden check).  `--threads` sizes the solver thread pool
+/// (default 1 so baselines stay comparable across machines; counters are
+/// identical for every thread count, only wall time changes) and is
+/// recorded in the output's `config` block so bench_compare.py refuses to
+/// compare wall times across different pool widths.
 
 #include <algorithm>
 #include <chrono>
@@ -35,6 +39,7 @@
 
 #include "baselines/mst_baseline.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
 #include "core/branch_bound.hpp"
@@ -181,7 +186,7 @@ std::string indent_block(const std::string& json, const std::string& pad) {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: mrlc_bench [--out PATH] [--repeats N] [--workload NAME]\n"
-               "                  [--list] [--no-timings]\n";
+               "                  [--list] [--no-timings] [--threads N]\n";
   std::exit(2);
 }
 
@@ -193,6 +198,9 @@ int main(int argc, char** argv) {
   std::string only;
   bool list_only = false;
   bool with_timings = true;
+  // Default 1 (not hardware concurrency): bench baselines checked into the
+  // repo must mean the same thing on every machine.
+  unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -206,10 +214,13 @@ int main(int argc, char** argv) {
       if (repeats < 1) usage();
     } else if (arg == "--workload" && i + 1 < argc) {
       only = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else {
       usage();
     }
   }
+  mrlc::set_default_thread_count(threads);
 
   const std::vector<Workload> workloads = make_workloads();
   if (list_only) {
@@ -276,7 +287,8 @@ int main(int argc, char** argv) {
       << ", \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << "},\n";
   out << "  \"config\": {\"repeats\": " << repeats << ", \"timings\": "
-      << (with_timings ? "true" : "false") << "},\n";
+      << (with_timings ? "true" : "false")
+      << ", \"threads\": " << mrlc::default_thread_count() << "},\n";
   out << "  \"workloads\": [\n" << body.str() << "\n  ]\n";
   out << "}\n";
   std::cerr << "wrote " << out_path << '\n';

@@ -34,6 +34,7 @@
 
 #include "baselines/aaml.hpp"
 #include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "baselines/greedy_mrlc.hpp"
 #include "baselines/mst_baseline.hpp"
 #include "core/feasibility.hpp"
@@ -66,7 +67,11 @@ namespace {
                "                    [--churn-sigma S] [--seed S]  < net\n"
                "global flags:\n"
                "  --metrics-json PATH   write solver metrics (counters, phase\n"
-               "                        timings) as JSON after the run\n";
+               "                        timings) as JSON after the run\n"
+               "  --threads N           worker threads for the parallel solver\n"
+               "                        core (0 = hardware concurrency); the\n"
+               "                        tree and counters are identical for\n"
+               "                        every N\n";
   std::exit(2);
 }
 
@@ -360,6 +365,16 @@ int main(int argc, char** argv) {
       flags[key] = argv[++i];
     } else {
       usage();
+    }
+  }
+
+  if (flags.count("threads")) {
+    try {
+      mrlc::set_default_thread_count(
+          static_cast<unsigned>(std::stoul(flags["threads"])));
+    } catch (const std::exception&) {
+      std::cerr << "mrlc_solve: --threads expects a non-negative integer\n";
+      return 2;
     }
   }
 
