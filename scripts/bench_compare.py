@@ -6,10 +6,14 @@ Usage:
 
 Workloads are matched by name.  For each match the mean wall time and the
 total phase times are compared; anything more than ``threshold`` slower
-than the baseline is reported as a regression.  Counter drift (seeded
-workloads should be bit-identical), workloads missing from the current
-run, and workloads without a baseline are reported as warnings, since
-they usually mean the algorithm or the workload set changed on purpose.
+than the baseline is reported as a regression.  The two *algorithmic work*
+counters — ``simplex.pivots`` and ``separation.maxflow_calls`` — get their
+own per-workload delta columns (the headline numbers for warm-start /
+separation changes) and are excluded from the generic drift warnings.
+Any other counter drift (seeded workloads should be bit-identical),
+workloads missing from the current run, and workloads without a baseline
+are reported as warnings, since they usually mean the algorithm or the
+workload set changed on purpose.
 
 Runs made with different thread-pool widths (``config.threads``, default 1
 for files predating the field) are not wall-time comparable: timings are
@@ -54,6 +58,24 @@ def thread_count(doc):
     return doc.get("config", {}).get("threads", 1)
 
 
+# Counters that measure how much work the solver did, reported as
+# first-class columns rather than drift warnings.  A drop here is the
+# point of a warm-start or separation change; an increase is visible in
+# the same place a reviewer looks for the wall-time story.
+WORK_COUNTERS = ("simplex.pivots", "separation.maxflow_calls")
+
+
+def work_delta(base_counters, cur_counters, key):
+    b = base_counters.get(key, 0)
+    c = cur_counters.get(key, 0)
+    short = key.split(".")[-1]
+    if b == c:
+        return f"{short} {c} (=)"
+    if not b:
+        return f"{short} {b} -> {c}"
+    return f"{short} {b} -> {c} ({relative_change(b, c):+.1%})"
+
+
 def compare(baseline, current, threshold):
     base_workloads = by_name(baseline)
     cur_workloads = by_name(current)
@@ -75,6 +97,8 @@ def compare(baseline, current, threshold):
             warnings.append(f"{name}: new workload (no baseline)")
             continue
         base, cur = base_workloads[name], cur_workloads[name]
+        base_counters = base.get("metrics", {}).get("counters", {})
+        cur_counters = cur.get("metrics", {}).get("counters", {})
 
         if compare_times:
             base_ms = base.get("wall_ms", {}).get("mean", 0.0)
@@ -90,9 +114,15 @@ def compare(baseline, current, threshold):
         else:
             print(f"ok  {name}: wall time not compared (thread counts differ)")
 
-        base_counters = base.get("metrics", {}).get("counters", {})
-        cur_counters = cur.get("metrics", {}).get("counters", {})
+        if any(key in base_counters or key in cur_counters
+               for key in WORK_COUNTERS):
+            deltas = ", ".join(work_delta(base_counters, cur_counters, key)
+                               for key in WORK_COUNTERS)
+            print(f"     {name}: {deltas}")
+
         for key in sorted(base_counters.keys() | cur_counters.keys()):
+            if key in WORK_COUNTERS:
+                continue  # reported as a first-class column above
             b, c = base_counters.get(key), cur_counters.get(key)
             if b != c:
                 warnings.append(f"{name}: counter {key} drifted {b} -> {c}")

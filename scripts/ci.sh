@@ -85,6 +85,21 @@ if [[ $run_release -eq 1 ]]; then
     python3 "$repo/scripts/bench_compare.py" \
       "$repo/BENCH_solver.json" "$repo/build-release/BENCH_solver.json" \
       || echo "bench: regressions reported above (informational only)"
+    # Hard gate (unlike the timing report): the warm-started LP must never
+    # abandon its basis on a stock workload.  A nonzero fallback count
+    # means a numerical-robustness regression even though results stay
+    # correct via the cold path.
+    echo "=== bench: warm-start fallback gate ==="
+    python3 - "$repo/build-release/BENCH_solver.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1], encoding="utf-8"))
+bad = [(w["name"], w["metrics"]["counters"].get("simplex.cold_fallbacks", 0))
+       for w in doc.get("workloads", [])
+       if w["metrics"]["counters"].get("simplex.cold_fallbacks", 0)]
+if bad:
+    sys.exit(f"ci: simplex.cold_fallbacks nonzero on stock workloads: {bad}")
+print("ci: simplex.cold_fallbacks == 0 on every stock workload")
+PY
   else
     echo "bench: skipped (no bench binary or no committed baseline)"
   fi

@@ -17,9 +17,11 @@ bool lp_lifetime_feasible(const wsn::Network& net, double bound,
   const std::vector<bool> all(static_cast<std::size_t>(net.node_count()), true);
   MrlcLpFormulation formulation(net.topology(),
                                 lifetime_degree_caps(net, all, bound));
-  const lp::SimplexSolver solver(options.simplex);
-  const CutLpResult result =
-      solve_with_subtour_cuts(formulation, solver, options.max_cut_rounds);
+  CutLoopOptions cut_options;
+  cut_options.simplex = options.simplex;
+  cut_options.max_rounds = options.max_cut_rounds;
+  cut_options.warm_start = options.warm_start;
+  const CutLpResult result = solve_with_subtour_cuts(formulation, cut_options);
   MRLC_ENSURE(result.status != lp::SolveStatus::kIterationLimit,
               "LP feasibility probe did not converge");
   return result.status == lp::SolveStatus::kOptimal;

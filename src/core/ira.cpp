@@ -80,7 +80,18 @@ IraResult IterativeRelaxation::solve(const wsn::Network& net,
   int constrained_count = n;
 
   IraStats stats;
-  const lp::SimplexSolver solver(options_.simplex);
+  // One cut pool per solve: violated sets survive across outer iterations
+  // (which rebuild the LP and would otherwise forget every subtour row) and
+  // are rechecked before any new max-flow sweeps.
+  SubtourCutPool cut_pool;
+  CutLoopOptions cut_options;
+  cut_options.simplex = options_.simplex;
+  cut_options.max_rounds = options_.max_cut_rounds;
+  cut_options.warm_start = options_.warm_start;
+  // The pool is deliberately not gated on warm_start: separation then sees
+  // identical fractional points in both modes, so warm vs cold differ only
+  // in pivot paths — the invariant the warm/cold property tests pin down.
+  cut_options.pool = &cut_pool;
 
   while (constrained_count > 0) {
     ++stats.outer_iterations;
@@ -88,7 +99,7 @@ IraResult IterativeRelaxation::solve(const wsn::Network& net,
     MrlcLpFormulation formulation(
         working, lifetime_degree_caps(net, constrained, strict));
     const CutLpResult lp_result =
-        solve_with_subtour_cuts(formulation, solver, options_.max_cut_rounds);
+        solve_with_subtour_cuts(formulation, cut_options);
     stats.lp_solves += lp_result.lp_solves;
     stats.simplex_iterations += lp_result.simplex_iterations;
     stats.cuts_added += lp_result.cuts_added;

@@ -56,6 +56,13 @@ struct IraOptions {
   /// cuts), remove the vertex with the largest lifetime slack instead of
   /// failing.  The result still gets a final lifetime check.
   bool allow_slack_fallback = true;
+  /// Reoptimize cut rounds from the previous optimal basis (dual simplex,
+  /// `lp::LpInstance`) instead of cold two-phase rebuilds, and share a
+  /// subtour cut pool across the outer iterations.  Identical trees and
+  /// costs either way (warm starting changes pivot paths, never the
+  /// optimum); `false` reproduces the historical cold trajectories exactly
+  /// and exists for A/B verification.
+  bool warm_start = true;
   lp::SimplexOptions simplex;
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/trace.hpp"
 #include "core/separation.hpp"
+#include "lp/instance.hpp"
 
 namespace mrlc::core {
 
@@ -76,24 +77,38 @@ std::vector<double> MrlcLpFormulation::edge_values(
 }
 
 CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
-                                    const lp::SimplexSolver& solver, int max_rounds,
-                                    SeparationMode separation_mode) {
-  MRLC_REQUIRE(max_rounds >= 1, "need at least one round");
+                                    const CutLoopOptions& options) {
+  MRLC_REQUIRE(options.max_rounds >= 1, "need at least one round");
   trace::ScopedPhase phase("cut_lp");
   CutLpResult out;
-  for (int round = 0; round < max_rounds; ++round) {
-    const lp::Solution sol = solver.solve(formulation.model());
+  lp::LpInstance instance(formulation.model(), options.simplex);
+  auto finish = [&]() {
+    out.warm_solves = static_cast<int>(instance.warm_solves());
+    out.cold_fallbacks = static_cast<int>(instance.cold_fallbacks());
+    return out;
+  };
+  for (int round = 0; round < options.max_rounds; ++round) {
+    lp::Solution sol;
+    if (options.warm_start && instance.has_basis()) {
+      instance.sync_new_rows();
+      sol = instance.resolve();
+    } else {
+      // Round 0, warm starting disabled, or the basis was invalidated: the
+      // cold path reads the full model, so nothing can be out of sync.
+      sol = instance.solve();
+    }
     ++out.lp_solves;
     out.simplex_iterations += sol.iterations;
     out.status = sol.status;
-    if (sol.status != lp::SolveStatus::kOptimal) return out;
+    if (sol.status != lp::SolveStatus::kOptimal) return finish();
 
     out.objective = sol.objective;
     out.edge_values = formulation.edge_values(sol.values);
 
-    const auto violated = find_violated_subtours(
-        formulation.working_graph(), out.edge_values, 1e-6, separation_mode);
-    if (violated.empty()) return out;
+    const auto violated =
+        find_violated_subtours(formulation.working_graph(), out.edge_values,
+                               1e-6, options.separation_mode, options.pool);
+    if (violated.empty()) return finish();
     for (const auto& subset : violated) {
       formulation.add_subtour_row(subset);
       ++out.cuts_added;
@@ -102,7 +117,17 @@ CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
   // Separation did not converge within the round budget — report as an
   // iteration limit so the caller can distinguish it from infeasibility.
   out.status = lp::SolveStatus::kIterationLimit;
-  return out;
+  return finish();
+}
+
+CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
+                                    const lp::SimplexSolver& solver, int max_rounds,
+                                    SeparationMode separation_mode) {
+  CutLoopOptions options;
+  options.simplex = solver.options();
+  options.max_rounds = max_rounds;
+  options.separation_mode = separation_mode;
+  return solve_with_subtour_cuts(formulation, options);
 }
 
 std::vector<std::optional<double>> lifetime_degree_caps(

@@ -91,18 +91,43 @@ struct CutLpResult {
   int cuts_added = 0;
   int lp_solves = 0;
   int simplex_iterations = 0;  ///< total pivots across all solves
+  int warm_solves = 0;         ///< solves served by the dual-simplex restart
+  int cold_fallbacks = 0;      ///< warm attempts abandoned for a cold solve
+};
+
+/// Knobs of the cutting-plane loop.
+struct CutLoopOptions {
+  lp::SimplexOptions simplex;
+  /// Cutting-plane round budget.
+  int max_rounds = 200;
+  /// kHeuristicOnly skips the exact max-flow sweep — cheaper rounds but
+  /// possibly-subtour-violating results (ablation knob).
+  SeparationMode separation_mode = SeparationMode::kExact;
+  /// Reoptimize after cut rounds with `lp::LpInstance::resolve` (dual
+  /// simplex from the previous optimal basis) instead of a cold two-phase
+  /// rebuild.  Identical results either way — warm starting changes the
+  /// pivot path, never the optimum — so `false` exists for A/B tests and
+  /// as a belt-and-braces escape hatch.
+  bool warm_start = true;
+  /// Optional cross-call cut memory (see `SubtourCutPool`); pass the same
+  /// pool across the outer iterations of one IRA solve so sets discovered
+  /// under earlier degree caps are rechecked for free later.
+  SubtourCutPool* pool = nullptr;
 };
 
 /// \brief Alternates simplex solves with subtour separation until the
 /// extreme point satisfies every subtour constraint (or infeasibility is
-/// proven).
+/// proven).  Round 0 solves cold; subsequent rounds append the violated
+/// rows to the persistent `lp::LpInstance` and warm-start from the previous
+/// basis (unless `warm_start` is off).
 /// \param formulation  the LP; violated subtour rows are appended to it.
-/// \param solver  the simplex instance (options fixed by the caller).
-/// \param max_rounds  cutting-plane round budget.
-/// \param separation_mode  kHeuristicOnly skips the exact max-flow sweep —
-///        cheaper rounds but possibly-subtour-violating results (ablation
-///        knob).
+/// \param options  simplex options, round budget, separation/warm knobs.
 /// \return status, objective, per-edge solution, and solve statistics.
+CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
+                                    const CutLoopOptions& options);
+
+/// Legacy convenience overload: `solver` supplies the simplex options; the
+/// loop itself runs through a fresh warm-started `lp::LpInstance`.
 CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
                                     const lp::SimplexSolver& solver,
                                     int max_rounds = 200,

@@ -47,7 +47,14 @@ RetxIraResult retx_aware_ira(const wsn::Network& net, double lifetime_bound,
   int constrained_count = n;
 
   IraStats stats;
-  const lp::SimplexSolver solver(options.simplex);
+  // Shared across outer iterations, exactly as in the plain IRA: pooled
+  // subtour sets outlive the per-iteration LP rebuilds.
+  SubtourCutPool cut_pool;
+  CutLoopOptions cut_options;
+  cut_options.simplex = options.simplex;
+  cut_options.max_rounds = options.max_cut_rounds;
+  cut_options.warm_start = options.warm_start;
+  cut_options.pool = &cut_pool;
 
   // Per-node energy budget in joules per round.
   std::vector<double> budget(static_cast<std::size_t>(n));
@@ -70,7 +77,7 @@ RetxIraResult retx_aware_ira(const wsn::Network& net, double lifetime_bound,
           return conservative_rate(net, v, e);
         });
     const CutLpResult lp_result =
-        solve_with_subtour_cuts(formulation, solver, options.max_cut_rounds);
+        solve_with_subtour_cuts(formulation, cut_options);
     stats.lp_solves += lp_result.lp_solves;
     stats.simplex_iterations += lp_result.simplex_iterations;
     stats.cuts_added += lp_result.cuts_added;

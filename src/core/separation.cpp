@@ -1,7 +1,6 @@
 #include "core/separation.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
@@ -26,6 +25,105 @@ double subset_internal_weight(const graph::Graph& g,
   return total;
 }
 
+void SubtourCutPool::remember(const std::vector<graph::VertexId>& subset) {
+  std::vector<graph::VertexId> sorted = subset;
+  std::sort(sorted.begin(), sorted.end());
+  if (!seen_.insert(sorted).second) return;
+  for (graph::VertexId v : sorted) {
+    if (static_cast<std::size_t>(v) >= appearances_.size()) {
+      appearances_.resize(static_cast<std::size_t>(v) + 1, 0);
+    }
+    ++appearances_[static_cast<std::size_t>(v)];
+  }
+  sets_.push_back(std::move(sorted));
+}
+
+std::vector<graph::VertexId> SubtourCutPool::hot_vertices(int vertex_count) const {
+  std::vector<graph::VertexId> order(static_cast<std::size_t>(vertex_count));
+  for (graph::VertexId v = 0; v < vertex_count; ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+  }
+  auto count_of = [&](graph::VertexId v) -> long long {
+    return static_cast<std::size_t>(v) < appearances_.size()
+               ? appearances_[static_cast<std::size_t>(v)]
+               : 0;
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](graph::VertexId a, graph::VertexId b) {
+                     return count_of(a) > count_of(b);
+                   });
+  return order;
+}
+
+namespace {
+
+constexpr double kForce = 1e12;
+
+/// The Padberg–Wolsey auxiliary network for one fractional point, built
+/// once and reused for a whole sweep of forced-in vertices: every vertex
+/// gets a zero-capacity source arc up front, and per candidate exactly that
+/// arc is raised to `kForce`, the flow is run, and the capacities are
+/// restored — no per-candidate construction.
+class SubtourSweepNetwork {
+ public:
+  SubtourSweepNetwork(const graph::Graph& g, const std::vector<double>& edge_values)
+      : n_(g.vertex_count()), source_(n_), sink_(n_ + 1), flow_(n_ + 2) {
+    // Fractional degree d_v = x(δ(v)); node weight w_v = d_v - 2.
+    std::vector<double> degree(static_cast<std::size_t>(n_), 0.0);
+    for (graph::EdgeId id : g.alive_edge_ids()) {
+      const graph::Edge& e = g.edge(id);
+      degree[static_cast<std::size_t>(e.u)] += edge_values[static_cast<std::size_t>(id)];
+      degree[static_cast<std::size_t>(e.v)] += edge_values[static_cast<std::size_t>(id)];
+    }
+    force_arc_.assign(static_cast<std::size_t>(n_), -1);
+    for (graph::VertexId v = 0; v < n_; ++v) {
+      const double w = degree[static_cast<std::size_t>(v)] - 2.0;
+      if (w > 0.0) {
+        flow_.add_arc(source_, v, w);
+        positive_weight_total_ += w;
+      } else if (w < 0.0) {
+        flow_.add_arc(v, sink_, -w);
+      }
+      force_arc_[static_cast<std::size_t>(v)] = flow_.add_arc(source_, v, 0.0);
+    }
+    for (graph::EdgeId id : g.alive_edge_ids()) {
+      const graph::Edge& e = g.edge(id);
+      const double x = edge_values[static_cast<std::size_t>(id)];
+      if (x > 0.0) flow_.add_undirected(e.u, e.v, x);
+    }
+  }
+
+  /// min f(S) over all S containing `forced_in` (one max-flow).
+  SeparationCut min_cut_containing(graph::VertexId forced_in) {
+    static metrics::Counter& maxflow_calls =
+        metrics::counter("separation.maxflow_calls");
+    maxflow_calls.add();
+    flow_.set_arc_capacity(source_, force_arc_[static_cast<std::size_t>(forced_in)],
+                           kForce);
+    const double cut = flow_.max_flow(source_, sink_);
+    SeparationCut out;
+    out.f_value = cut - positive_weight_total_;
+    for (int v : flow_.min_cut_source_side(source_)) {
+      if (v < n_) out.subset.push_back(v);
+    }
+    std::sort(out.subset.begin(), out.subset.end());
+    flow_.set_arc_capacity(source_, force_arc_[static_cast<std::size_t>(forced_in)],
+                           0.0);
+    flow_.reset();
+    return out;
+  }
+
+ private:
+  int n_;
+  int source_;
+  int sink_;
+  graph::MaxFlow flow_;
+  std::vector<int> force_arc_;
+  double positive_weight_total_ = 0.0;
+};
+
+}  // namespace
+
 SeparationCut min_subtour_cut(const graph::Graph& g,
                               const std::vector<double>& edge_values,
                               graph::VertexId forced_in, graph::VertexId forced_out) {
@@ -46,7 +144,6 @@ SeparationCut min_subtour_cut(const graph::Graph& g,
   const int source = n;
   const int sink = n + 1;
   graph::MaxFlow flow(n + 2);
-  constexpr double kForce = 1e12;
   double positive_weight_total = 0.0;
   for (graph::VertexId v = 0; v < n; ++v) {
     const double w = degree[static_cast<std::size_t>(v)] - 2.0;
@@ -79,13 +176,25 @@ SeparationCut min_subtour_cut(const graph::Graph& g,
   return out;
 }
 
+SeparationCut min_subtour_cut_containing(const graph::Graph& g,
+                                         const std::vector<double>& edge_values,
+                                         graph::VertexId forced_in) {
+  MRLC_REQUIRE(static_cast<int>(edge_values.size()) == g.edge_count(),
+               "one value per edge");
+  MRLC_REQUIRE(forced_in >= 0 && forced_in < g.vertex_count(),
+               "forced vertex out of range");
+  SubtourSweepNetwork network(g, edge_values);
+  return network.min_cut_containing(forced_in);
+}
+
 std::vector<std::vector<graph::VertexId>> find_violated_subtours(
     const graph::Graph& g, const std::vector<double>& edge_values, double tolerance,
-    SeparationMode mode) {
+    SeparationMode mode, SubtourCutPool* pool) {
   trace::ScopedPhase phase("separation");
   static metrics::Counter& calls = metrics::counter("separation.calls");
   static metrics::Counter& violated_sets =
       metrics::counter("separation.violated_sets");
+  static metrics::Counter& pool_hits = metrics::counter("separation.pool_hits");
   calls.add();
   const int n = g.vertex_count();
   std::vector<std::vector<graph::VertexId>> result;
@@ -93,14 +202,26 @@ std::vector<std::vector<graph::VertexId>> find_violated_subtours(
 
   std::set<std::vector<graph::VertexId>> seen;
   auto consider = [&](std::vector<graph::VertexId> subset) {
-    if (subset.size() < 2 || static_cast<int>(subset.size()) >= n) return;
+    if (subset.size() < 2 || static_cast<int>(subset.size()) >= n) return false;
     const double internal = subset_internal_weight(g, edge_values, subset);
-    if (internal <= static_cast<double>(subset.size()) - 1.0 + tolerance) return;
+    if (internal <= static_cast<double>(subset.size()) - 1.0 + tolerance) {
+      return false;
+    }
     std::sort(subset.begin(), subset.end());
     if (seen.insert(subset).second) {
       violated_sets.add();
       result.push_back(subset);
+      return true;
     }
+    return false;
+  };
+  // Every set handed back also enters the pool so later calls can recheck
+  // it without a flow.
+  auto finish = [&]() {
+    if (pool) {
+      for (const auto& subset : result) pool->remember(subset);
+    }
+    return result;
   };
 
   // Stage 1: connected components of the fractional support.
@@ -121,43 +242,97 @@ std::vector<std::vector<graph::VertexId>> find_violated_subtours(
       }
       for (auto& subset : members) consider(std::move(subset));
     }
-    if (!result.empty()) return result;
+    if (!result.empty()) return finish();
   }
-  if (mode == SeparationMode::kHeuristicOnly) return result;
 
-  // Stage 2: exact Padberg–Wolsey sweep.  Fix r = 0; any proper nonempty S
-  // either avoids r (forced_in = u, forced_out = r) or contains it
-  // (forced_in = r, forced_out = u).
-  //
-  // The candidate (u, u_inside) pairs are independent max-flow problems, so
-  // they are evaluated in constant-size batches on the thread pool and the
-  // results merged serially in candidate order.  The early-exit ("enough
-  // cuts, stop sweeping") is only checked at batch boundaries; because the
-  // batch size is a constant — not a function of the pool width — the set of
-  // candidates evaluated, the cuts returned, and the
-  // `separation.maxflow_calls` counter are identical for every thread count.
-  const graph::VertexId r = 0;
+  // Stage 1.5: recheck pooled sets — an O(|E|) scan per set against zero
+  // max-flows.  Sets that separated an earlier fractional point of the
+  // same instance frequently separate the next one too.
+  if (pool) {
+    for (const auto& subset : pool->sets()) {
+      if (consider(subset)) {
+        pool_hits.add();
+        if (result.size() >= 4) break;
+      }
+    }
+    if (!result.empty()) return finish();
+  }
+  if (mode == SeparationMode::kHeuristicOnly) return finish();
+
+  // Stage 2: exact Padberg–Wolsey sweep.  With f(S) = 2(|S| - x(E(S))), a
+  // point on the span hyperplane x(E(V)) = n - 1 has f(V) = 2 exactly, so
+  // min_{S ∋ u} f(S) < 2 iff some proper S ∋ u is violated — one max-flow
+  // per vertex, half the classic two-orientation sweep.  Off the span
+  // hyperplane (x(E(V)) > n - 1: possible for arbitrary caller-supplied
+  // points) S = V could mask proper violations, so fall back to the classic
+  // sweep with a forced-out vertex.
+  double total_weight = 0.0;
+  for (graph::EdgeId id : g.alive_edge_ids()) {
+    total_weight += edge_values[static_cast<std::size_t>(id)];
+  }
+  const bool on_span_hyperplane =
+      total_weight <= static_cast<double>(n - 1) + tolerance;
+
   struct Candidate {
     graph::VertexId u;
-    bool u_inside;
+    bool u_inside;  ///< classic sweep only: u forced in (else forced out)
   };
   std::vector<Candidate> candidates;
-  candidates.reserve(static_cast<std::size_t>(2 * (n - 1)));
-  for (graph::VertexId u = 1; u < n; ++u) {
-    candidates.push_back({u, true});
-    candidates.push_back({u, false});
+  if (on_span_hyperplane) {
+    // Sweep order: historically hot vertices first (identity order for an
+    // empty/absent pool) so the early exit below triggers sooner.  The
+    // order is a deterministic function of the pool contents, which are in
+    // turn deterministic — thread counts never change the candidate set.
+    const std::vector<graph::VertexId> order =
+        pool ? pool->hot_vertices(n) : std::vector<graph::VertexId>{};
+    candidates.reserve(static_cast<std::size_t>(n));
+    for (graph::VertexId i = 0; i < n; ++i) {
+      candidates.push_back({pool ? order[static_cast<std::size_t>(i)] : i, true});
+    }
+  } else {
+    // Classic sweep: fix r = 0; any proper nonempty S either avoids r
+    // (forced_in = u, forced_out = r) or contains it (forced_in = r,
+    // forced_out = u).
+    candidates.reserve(static_cast<std::size_t>(2 * (n - 1)));
+    for (graph::VertexId u = 1; u < n; ++u) {
+      candidates.push_back({u, true});
+      candidates.push_back({u, false});
+    }
   }
 
+  // The candidates are independent max-flow problems, evaluated in
+  // constant-size batches on the thread pool and merged serially in
+  // candidate order.  The early-exit ("enough cuts, stop sweeping") is only
+  // checked at batch boundaries; because the batch size is a constant — not
+  // a function of the pool width — the set of candidates evaluated, the
+  // cuts returned, and the `separation.maxflow_calls` counter are identical
+  // for every thread count.
   constexpr std::size_t kBatch = 8;  // thread-count independent by design
+  const graph::VertexId r = 0;
   std::vector<SeparationCut> slots(kBatch);
+  // One reusable network per batch slot: capacities are reset between
+  // candidates instead of rebuilding the arc lists (slot i only ever runs
+  // one candidate at a time, so the parallel batch stays race-free).
+  std::vector<SubtourSweepNetwork> networks;
+  if (on_span_hyperplane) {
+    networks.reserve(std::min(kBatch, candidates.size()));
+    for (std::size_t i = 0; i < std::min(kBatch, candidates.size()); ++i) {
+      networks.emplace_back(g, edge_values);
+    }
+  }
   for (std::size_t start = 0; start < candidates.size(); start += kBatch) {
     const std::size_t end = std::min(start + kBatch, candidates.size());
     const int batch_size = static_cast<int>(end - start);
     default_pool().for_each(batch_size, [&](int i) {
       const Candidate& c = candidates[start + static_cast<std::size_t>(i)];
-      slots[static_cast<std::size_t>(i)] =
-          c.u_inside ? min_subtour_cut(g, edge_values, c.u, r)
-                     : min_subtour_cut(g, edge_values, r, c.u);
+      if (on_span_hyperplane) {
+        slots[static_cast<std::size_t>(i)] =
+            networks[static_cast<std::size_t>(i)].min_cut_containing(c.u);
+      } else {
+        slots[static_cast<std::size_t>(i)] =
+            c.u_inside ? min_subtour_cut(g, edge_values, c.u, r)
+                       : min_subtour_cut(g, edge_values, r, c.u);
+      }
     });
     for (int i = 0; i < batch_size; ++i) {
       SeparationCut& cut = slots[static_cast<std::size_t>(i)];
@@ -167,7 +342,7 @@ std::vector<std::vector<graph::VertexId>> find_violated_subtours(
     // violated set found by the sweep bloats the LP with near-duplicates.
     if (result.size() >= 4) break;
   }
-  return result;
+  return finish();
 }
 
 }  // namespace mrlc::core

@@ -20,6 +20,7 @@
 ///    source/sink, edge capacities x_e); sweeping u over V \ {r} in both
 ///    orientations covers every nonempty proper S.
 
+#include <set>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -34,6 +35,37 @@ namespace mrlc::core {
 /// outside the subtour polytope (measured in bench/micro_ablations.cpp).
 enum class SeparationMode { kExact, kHeuristicOnly };
 
+/// Memory of previously violated vertex sets, shared across separation
+/// calls (cut rounds, and outer IRA iterations, which rebuild the LP and
+/// thereby discard the rows themselves).  Before paying for a max-flow
+/// sweep the oracle rechecks pooled sets with a cheap O(|E|) evaluation —
+/// sets that cut off one fractional point often cut off the next (counted
+/// in `separation.pool_hits`) — and uses pool statistics to order the
+/// sweep so that historically "hot" vertices are probed first, which makes
+/// the early exit fire sooner.  Vertex ids must stay stable for the pool's
+/// lifetime (IRA only removes edges, never vertices).
+class SubtourCutPool {
+ public:
+  /// Records a violated set (any order; stored sorted, deduplicated).
+  void remember(const std::vector<graph::VertexId>& subset);
+
+  /// Pooled sets in first-remembered order (each sorted).
+  const std::vector<std::vector<graph::VertexId>>& sets() const noexcept {
+    return sets_;
+  }
+  std::size_t size() const noexcept { return sets_.size(); }
+
+  /// Sweep-order hint: all of 0..vertex_count-1, sorted by how often each
+  /// vertex appeared in remembered sets (descending; ties by id, so an
+  /// empty pool yields the identity order).
+  std::vector<graph::VertexId> hot_vertices(int vertex_count) const;
+
+ private:
+  std::set<std::vector<graph::VertexId>> seen_;
+  std::vector<std::vector<graph::VertexId>> sets_;
+  std::vector<long long> appearances_;  ///< per vertex id, grown on demand
+};
+
 /// \brief Finds vertex sets whose subtour rows are violated by the given
 /// fractional point.
 /// \param g  the working graph (dead edges allowed).
@@ -44,9 +76,14 @@ enum class SeparationMode { kExact, kHeuristicOnly };
 /// \return at most a handful of the most useful violated sets per call
 ///         (deduplicated, each sorted); empty means x satisfies every
 ///         subtour constraint within `tolerance` (only under kExact).
+/// \param pool  optional cross-call memory: pooled sets are rechecked
+///        before any max-flow runs, the sweep order follows the pool's hot
+///        vertices, and newly found sets are remembered.  Pass nullptr for
+///        the stateless oracle.
 std::vector<std::vector<graph::VertexId>> find_violated_subtours(
     const graph::Graph& g, const std::vector<double>& edge_values,
-    double tolerance = 1e-6, SeparationMode mode = SeparationMode::kExact);
+    double tolerance = 1e-6, SeparationMode mode = SeparationMode::kExact,
+    SubtourCutPool* pool = nullptr);
 
 /// One Padberg–Wolsey minimizer result: the minimizing subset and its
 /// objective value f(S) (violated iff f < 2).
@@ -65,6 +102,20 @@ struct SeparationCut {
 SeparationCut min_subtour_cut(const graph::Graph& g,
                               const std::vector<double>& edge_values,
                               graph::VertexId forced_in, graph::VertexId forced_out);
+
+/// \brief Exact minimizer of f(S) over *all* S containing `forced_in`
+/// (no excluded vertex; S = V is a candidate).  Because
+/// f(S) = 2(|S| - x(E(S))), a point on the span hyperplane
+/// x(E(V)) = |V| - 1 has f(V) = 2 exactly, so whenever any proper subset
+/// violates its subtour row the minimum here drops below 2 and the
+/// minimizer is proper — one max-flow per swept vertex instead of the two
+/// per (vertex, orientation) pair of the classic sweep.  Exactness of a
+/// "nothing below 2" verdict requires x(E(V)) >= |V| - 1 (callers inside
+/// the cut loop always have the span row; `find_violated_subtours` checks
+/// and falls back to the two-orientation sweep otherwise).
+SeparationCut min_subtour_cut_containing(const graph::Graph& g,
+                                         const std::vector<double>& edge_values,
+                                         graph::VertexId forced_in);
 
 /// \brief x(E(S)): total edge value internal to a vertex subset.
 /// \param g  the graph; \param edge_values  x_e per edge id;

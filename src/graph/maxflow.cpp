@@ -117,4 +117,27 @@ void MaxFlow::reset() {
   }
 }
 
+void MaxFlow::set_arc_capacity(int from, int arc_index, double capacity) {
+  MRLC_REQUIRE(from >= 0 && from < node_count_, "arc source out of range");
+  auto& list = adj_[static_cast<std::size_t>(from)];
+  MRLC_REQUIRE(arc_index >= 0 && arc_index < static_cast<int>(list.size()),
+               "arc index out of range");
+  MRLC_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
+  Arc& a = list[static_cast<std::size_t>(arc_index)];
+  a.capacity = capacity;
+  a.original = capacity;
+}
+
+void MaxFlow::reset_network(int node_count) {
+  MRLC_REQUIRE(node_count >= 0, "node count must be non-negative");
+  if (node_count <= node_count_) {
+    adj_.resize(static_cast<std::size_t>(node_count));
+    for (auto& list : adj_) list.clear();  // keeps each list's allocation
+  } else {
+    for (auto& list : adj_) list.clear();
+    adj_.resize(static_cast<std::size_t>(node_count));
+  }
+  node_count_ = node_count;
+}
+
 }  // namespace mrlc::graph

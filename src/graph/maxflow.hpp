@@ -34,6 +34,19 @@ class MaxFlow {
   /// Restores all residual capacities to the original values.
   void reset();
 
+  /// Reusable-network mode: replaces the capacity (and the value `reset`
+  /// restores) of the `arc_index`-th arc added from `from`, without
+  /// touching the accumulated flow elsewhere.  Call before `max_flow`,
+  /// typically bracketed by `reset`; together they let one network serve a
+  /// whole sweep of single-arc variations (e.g. the Padberg–Wolsey
+  /// forced-vertex arcs) without rebuilding.
+  void set_arc_capacity(int from, int arc_index, double capacity);
+
+  /// Drops every arc (keeping node allocations where possible) and resizes
+  /// to `node_count` nodes, so the instance can host a fresh network
+  /// without reallocating adjacency lists.
+  void reset_network(int node_count);
+
  private:
   struct Arc {
     int to;

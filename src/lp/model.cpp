@@ -34,6 +34,18 @@ void Model::add_term(RowId row, VarId var, double coefficient) {
   rows_[static_cast<std::size_t>(row)].terms.push_back(Term{var, coefficient});
 }
 
+void Model::set_objective_coefficient(VarId v, double coefficient) {
+  MRLC_REQUIRE(v >= 0 && v < variable_count(), "variable id out of range");
+  MRLC_REQUIRE(std::isfinite(coefficient), "coefficient must be finite");
+  vars_[static_cast<std::size_t>(v)].objective = coefficient;
+}
+
+void Model::set_rhs(RowId r, double rhs) {
+  MRLC_REQUIRE(r >= 0 && r < constraint_count(), "row id out of range");
+  MRLC_REQUIRE(std::isfinite(rhs), "constraint rhs must be finite");
+  rows_[static_cast<std::size_t>(r)].rhs = rhs;
+}
+
 double Model::evaluate_row(RowId r, const std::vector<double>& x) const {
   MRLC_REQUIRE(static_cast<int>(x.size()) == variable_count(),
                "candidate point has wrong dimension");

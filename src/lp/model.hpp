@@ -51,6 +51,14 @@ class Model {
 
   void add_term(RowId row, VarId var, double coefficient);
 
+  /// Replaces the objective coefficient of `v`.  An attached `LpInstance`
+  /// must be told via `LpInstance::update_objective` to stay in sync.
+  void set_objective_coefficient(VarId v, double coefficient);
+
+  /// Replaces the right-hand side of row `r`.  An attached `LpInstance`
+  /// must be told via `LpInstance::update_rhs` to stay in sync.
+  void set_rhs(RowId r, double rhs);
+
   int variable_count() const noexcept { return static_cast<int>(vars_.size()); }
   int constraint_count() const noexcept { return static_cast<int>(rows_.size()); }
 

@@ -1,379 +1,15 @@
 #include "lp/simplex.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-
-#include "common/metrics.hpp"
-#include "common/trace.hpp"
+#include "lp/instance.hpp"
 
 namespace mrlc::lp {
 
-namespace {
-
-/// Dense tableau state for one solve.  Columns are laid out as
-/// [shifted structural variables | slack/surplus | artificials]; the
-/// right-hand side is stored separately.
-class Tableau {
- public:
-  Tableau(const Model& model, const SimplexOptions& options)
-      : model_(model), options_(options) {
-    build();
-  }
-
-  long long degenerate_pivots() const noexcept { return degenerate_pivots_; }
-
-  Solution run() {
-    Solution out;
-    // ---- Phase 1: minimize the sum of artificials. ----------------------
-    if (artificial_count_ > 0) {
-      load_costs_phase1();
-      const SolveStatus s1 = optimize(&out.iterations);
-      if (s1 == SolveStatus::kIterationLimit) {
-        out.status = s1;
-        return out;
-      }
-      // Phase 1 is bounded below by zero, so kUnbounded cannot happen.
-      if (phase_objective() > 1e-6) {
-        out.status = SolveStatus::kInfeasible;
-        return out;
-      }
-      drive_out_artificials();
-    }
-    // ---- Phase 2: the real objective over structural + slack columns. ---
-    load_costs_phase2();
-    const SolveStatus s2 = optimize(&out.iterations);
-    out.status = s2;
-    if (s2 != SolveStatus::kOptimal) return out;
-
-    extract(out);
-    return out;
-  }
-
- private:
-  // One row of the constraint matrix after normalization to
-  //   sum a_j y_j  (relation)  b   with  b >= 0.
-  struct NormalizedRow {
-    std::vector<double> coeffs;  // dense over shifted structural variables
-    Relation relation = Relation::kLessEqual;
-    double rhs = 0.0;
-  };
-
-  void build() {
-    const int n = model_.variable_count();
-    shifted_count_ = n;
-
-    // Shift x = l + y so every structural variable has lower bound 0.
-    shift_.resize(static_cast<std::size_t>(n));
-    for (VarId v = 0; v < n; ++v) {
-      shift_[static_cast<std::size_t>(v)] = model_.lower_bound(v);
-    }
-
-    std::vector<NormalizedRow> rows;
-    auto add_row = [&](std::vector<double> coeffs, Relation rel, double rhs) {
-      if (rhs < 0.0) {
-        for (double& c : coeffs) c = -c;
-        rhs = -rhs;
-        rel = rel == Relation::kLessEqual    ? Relation::kGreaterEqual
-              : rel == Relation::kGreaterEqual ? Relation::kLessEqual
-                                               : Relation::kEqual;
-      }
-      rows.push_back(NormalizedRow{std::move(coeffs), rel, rhs});
-    };
-
-    for (RowId r = 0; r < model_.constraint_count(); ++r) {
-      std::vector<double> coeffs(static_cast<std::size_t>(n), 0.0);
-      double rhs = model_.rhs(r);
-      for (const Term& t : model_.terms(r)) {
-        coeffs[static_cast<std::size_t>(t.var)] += t.coefficient;
-        rhs -= t.coefficient * shift_[static_cast<std::size_t>(t.var)];
-      }
-      add_row(std::move(coeffs), model_.relation(r), rhs);
-    }
-    // Finite upper bounds become explicit rows  y_v <= u_v - l_v.
-    for (VarId v = 0; v < n; ++v) {
-      const double u = model_.upper_bound(v);
-      if (std::isfinite(u)) {
-        std::vector<double> coeffs(static_cast<std::size_t>(n), 0.0);
-        coeffs[static_cast<std::size_t>(v)] = 1.0;
-        add_row(std::move(coeffs), Relation::kLessEqual,
-                u - shift_[static_cast<std::size_t>(v)]);
-      }
-    }
-
-    row_count_ = static_cast<int>(rows.size());
-    // Column layout: structural | slack/surplus | artificial.
-    slack_count_ = 0;
-    artificial_count_ = 0;
-    for (const auto& row : rows) {
-      if (row.relation != Relation::kEqual) ++slack_count_;
-      if (row.relation != Relation::kLessEqual) ++artificial_count_;
-    }
-    column_count_ = shifted_count_ + slack_count_ + artificial_count_;
-
-    matrix_.assign(static_cast<std::size_t>(row_count_) *
-                       static_cast<std::size_t>(column_count_),
-                   0.0);
-    rhs_.assign(static_cast<std::size_t>(row_count_), 0.0);
-    basis_.assign(static_cast<std::size_t>(row_count_), -1);
-    artificial_start_ = shifted_count_ + slack_count_;
-
-    int next_slack = shifted_count_;
-    int next_artificial = artificial_start_;
-    for (int i = 0; i < row_count_; ++i) {
-      const NormalizedRow& row = rows[static_cast<std::size_t>(i)];
-      for (int j = 0; j < shifted_count_; ++j) {
-        at(i, j) = row.coeffs[static_cast<std::size_t>(j)];
-      }
-      rhs_[static_cast<std::size_t>(i)] = row.rhs;
-      switch (row.relation) {
-        case Relation::kLessEqual:
-          at(i, next_slack) = 1.0;
-          basis_[static_cast<std::size_t>(i)] = next_slack++;
-          break;
-        case Relation::kGreaterEqual:
-          at(i, next_slack) = -1.0;
-          ++next_slack;
-          at(i, next_artificial) = 1.0;
-          basis_[static_cast<std::size_t>(i)] = next_artificial++;
-          break;
-        case Relation::kEqual:
-          at(i, next_artificial) = 1.0;
-          basis_[static_cast<std::size_t>(i)] = next_artificial++;
-          break;
-      }
-    }
-  }
-
-  double& at(int row, int col) {
-    return matrix_[static_cast<std::size_t>(row) * static_cast<std::size_t>(column_count_) +
-                   static_cast<std::size_t>(col)];
-  }
-  double at(int row, int col) const {
-    return matrix_[static_cast<std::size_t>(row) * static_cast<std::size_t>(column_count_) +
-                   static_cast<std::size_t>(col)];
-  }
-
-  /// (Re)computes the reduced-cost row  z_j = c_j - c_B' (B^{-1} A)_j  and
-  /// the objective value for the given raw column costs.
-  void load_costs(const std::vector<double>& costs) {
-    costs_ = costs;
-    reduced_.assign(static_cast<std::size_t>(column_count_), 0.0);
-    objective_ = 0.0;
-    for (int j = 0; j < column_count_; ++j) {
-      reduced_[static_cast<std::size_t>(j)] = costs_[static_cast<std::size_t>(j)];
-    }
-    for (int i = 0; i < row_count_; ++i) {
-      const double cb = costs_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
-      if (cb == 0.0) continue;
-      for (int j = 0; j < column_count_; ++j) {
-        reduced_[static_cast<std::size_t>(j)] -= cb * at(i, j);
-      }
-      objective_ += cb * rhs_[static_cast<std::size_t>(i)];
-    }
-  }
-
-  void load_costs_phase1() {
-    std::vector<double> costs(static_cast<std::size_t>(column_count_), 0.0);
-    for (int j = artificial_start_; j < column_count_; ++j) {
-      costs[static_cast<std::size_t>(j)] = 1.0;
-    }
-    phase1_ = true;
-    load_costs(costs);
-  }
-
-  void load_costs_phase2() {
-    std::vector<double> costs(static_cast<std::size_t>(column_count_), 0.0);
-    for (VarId v = 0; v < model_.variable_count(); ++v) {
-      costs[static_cast<std::size_t>(v)] = model_.objective_coefficient(v);
-    }
-    phase1_ = false;
-    load_costs(costs);
-  }
-
-  double phase_objective() const { return objective_; }
-
-  /// In phase 2 an artificial column must never re-enter the basis.
-  bool column_allowed(int j) const { return phase1_ || j < artificial_start_; }
-
-  SolveStatus optimize(int* iteration_counter) {
-    int since_progress = 0;
-    double last_objective = objective_;
-    for (int iter = 0; iter < options_.max_iterations; ++iter) {
-      ++*iteration_counter;
-      const bool bland = since_progress > options_.bland_after;
-
-      // --- pricing ---
-      int entering = -1;
-      double best = -options_.cost_tolerance;
-      for (int j = 0; j < column_count_; ++j) {
-        if (!column_allowed(j)) continue;
-        const double rc = reduced_[static_cast<std::size_t>(j)];
-        if (rc < best) {
-          entering = j;
-          if (bland) break;  // Bland: first improving column
-          best = rc;
-        } else if (bland && rc < -options_.cost_tolerance) {
-          entering = j;
-          break;
-        }
-      }
-      if (entering == -1) return SolveStatus::kOptimal;
-
-      // --- ratio test ---
-      int leaving = -1;
-      double best_ratio = std::numeric_limits<double>::infinity();
-      for (int i = 0; i < row_count_; ++i) {
-        const double a = at(i, entering);
-        if (a <= options_.pivot_tolerance) continue;
-        const double ratio = rhs_[static_cast<std::size_t>(i)] / a;
-        if (ratio < best_ratio - 1e-12 ||
-            (ratio < best_ratio + 1e-12 && leaving != -1 &&
-             basis_[static_cast<std::size_t>(i)] <
-                 basis_[static_cast<std::size_t>(leaving)])) {
-          best_ratio = ratio;
-          leaving = i;
-        }
-      }
-      if (leaving == -1) return SolveStatus::kUnbounded;
-
-      if (best_ratio <= 1e-12) ++degenerate_pivots_;
-      pivot(leaving, entering);
-
-      if (objective_ < last_objective - 1e-12) {
-        last_objective = objective_;
-        since_progress = 0;
-      } else {
-        ++since_progress;
-      }
-    }
-    return SolveStatus::kIterationLimit;
-  }
-
-  void pivot(int leaving_row, int entering_col) {
-    const double p = at(leaving_row, entering_col);
-    // Normalize the pivot row.
-    const double inv = 1.0 / p;
-    for (int j = 0; j < column_count_; ++j) at(leaving_row, j) *= inv;
-    rhs_[static_cast<std::size_t>(leaving_row)] *= inv;
-    at(leaving_row, entering_col) = 1.0;  // kill rounding noise
-
-    for (int i = 0; i < row_count_; ++i) {
-      if (i == leaving_row) continue;
-      const double factor = at(i, entering_col);
-      if (std::abs(factor) <= 1e-14) continue;
-      for (int j = 0; j < column_count_; ++j) {
-        at(i, j) -= factor * at(leaving_row, j);
-      }
-      at(i, entering_col) = 0.0;
-      rhs_[static_cast<std::size_t>(i)] -= factor * rhs_[static_cast<std::size_t>(leaving_row)];
-      if (rhs_[static_cast<std::size_t>(i)] < 0.0 &&
-          rhs_[static_cast<std::size_t>(i)] > -1e-10) {
-        rhs_[static_cast<std::size_t>(i)] = 0.0;  // clamp degeneracy noise
-      }
-    }
-    // Update the reduced-cost row the same way.
-    const double rc = reduced_[static_cast<std::size_t>(entering_col)];
-    if (std::abs(rc) > 0.0) {
-      for (int j = 0; j < column_count_; ++j) {
-        reduced_[static_cast<std::size_t>(j)] -= rc * at(leaving_row, j);
-      }
-      reduced_[static_cast<std::size_t>(entering_col)] = 0.0;
-      objective_ += rc * rhs_[static_cast<std::size_t>(leaving_row)];
-    }
-    basis_[static_cast<std::size_t>(leaving_row)] = entering_col;
-  }
-
-  /// After phase 1, pivots basic artificials out (or detects their rows as
-  /// redundant, in which case the row stays with a zero-valued artificial —
-  /// phase 2 forbids it from moving, which keeps the row inert).
-  void drive_out_artificials() {
-    for (int i = 0; i < row_count_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (b < artificial_start_) continue;
-      // Basic artificial at value ~0 (phase 1 succeeded).  Pivot on any
-      // usable non-artificial column in this row.
-      for (int j = 0; j < artificial_start_; ++j) {
-        if (std::abs(at(i, j)) > 1e-7) {
-          pivot(i, j);
-          break;
-        }
-      }
-    }
-  }
-
-  void extract(Solution& out) const {
-    const int n = model_.variable_count();
-    out.values.assign(static_cast<std::size_t>(n), 0.0);
-    out.is_basic.assign(static_cast<std::size_t>(n), false);
-    for (VarId v = 0; v < n; ++v) {
-      out.values[static_cast<std::size_t>(v)] = shift_[static_cast<std::size_t>(v)];
-    }
-    for (int i = 0; i < row_count_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (b < shifted_count_) {
-        out.values[static_cast<std::size_t>(b)] =
-            shift_[static_cast<std::size_t>(b)] + rhs_[static_cast<std::size_t>(i)];
-        out.is_basic[static_cast<std::size_t>(b)] = true;
-      }
-    }
-    out.objective = model_.evaluate_objective(out.values);
-  }
-
-  const Model& model_;
-  const SimplexOptions& options_;
-
-  int shifted_count_ = 0;
-  int slack_count_ = 0;
-  int artificial_count_ = 0;
-  int artificial_start_ = 0;
-  int row_count_ = 0;
-  int column_count_ = 0;
-  bool phase1_ = false;
-  long long degenerate_pivots_ = 0;  ///< pivots with a ~zero ratio (no progress)
-
-  std::vector<double> shift_;
-  std::vector<double> matrix_;
-  std::vector<double> rhs_;
-  std::vector<int> basis_;
-  std::vector<double> costs_;
-  std::vector<double> reduced_;
-  double objective_ = 0.0;
-};
-
-}  // namespace
-
 Solution SimplexSolver::solve(const Model& model) const {
-  if (model.variable_count() == 0) {
-    // Empty model: feasible iff every row is satisfied by the empty point.
-    Solution out;
-    bool ok = true;
-    for (RowId r = 0; r < model.constraint_count(); ++r) {
-      const double rhs = model.rhs(r);
-      switch (model.relation(r)) {
-        case Relation::kLessEqual: ok = ok && rhs >= -1e-9; break;
-        case Relation::kGreaterEqual: ok = ok && rhs <= 1e-9; break;
-        case Relation::kEqual: ok = ok && std::abs(rhs) <= 1e-9; break;
-      }
-    }
-    out.status = ok ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
-    return out;
-  }
-  trace::ScopedPhase phase("simplex");
-  Tableau tableau(model, options_);
-  Solution solution = tableau.run();
-
-  static metrics::Counter& solves = metrics::counter("simplex.solves");
-  static metrics::Counter& pivots = metrics::counter("simplex.pivots");
-  static metrics::Counter& degenerate =
-      metrics::counter("simplex.degenerate_pivots");
-  static metrics::Histogram& per_solve =
-      metrics::histogram("simplex.pivots_per_solve");
-  solves.add();
-  pivots.add(solution.iterations);
-  degenerate.add(tableau.degenerate_pivots());
-  per_solve.record(solution.iterations);
-  return solution;
+  // Stateless facade over the persistent solver: build a throwaway
+  // instance and run its cold two-phase path (which also records the
+  // simplex.* metrics).
+  LpInstance instance(model, options_);
+  return instance.solve();
 }
 
 }  // namespace mrlc::lp

@@ -36,6 +36,9 @@ struct Solution {
   std::vector<double> values;
   std::vector<bool> is_basic;
   int iterations = 0;
+  /// True when this solve reoptimized from a previous basis (dual simplex
+  /// warm start, `LpInstance::resolve`) instead of a cold two-phase run.
+  bool warm_started = false;
 };
 
 /// Solver options.
@@ -45,6 +48,12 @@ struct SimplexOptions {
   int max_iterations = 200000;        ///< hard cap across both phases
   int bland_after = 5000;             ///< switch to Bland's rule after this many
                                       ///< pivots without objective progress
+  /// Anti-cycling: also switch to Bland's rule after this many *consecutive*
+  /// degenerate (zero-ratio) pivots.  Degenerate spanning-tree polytopes can
+  /// stall long before `bland_after` fires on total non-progress; a streak
+  /// this long is the signature of an incipient cycle.  Each switchover is
+  /// counted in `simplex.bland_activations`.
+  int bland_degenerate_streak = 40;
 };
 
 class SimplexSolver {
@@ -53,7 +62,14 @@ class SimplexSolver {
 
   /// Solves `model` (minimization).  Never throws on infeasible/unbounded
   /// inputs — that is reported via `Solution::status`.
+  ///
+  /// Stateless facade: each call performs a cold two-phase solve.  Callers
+  /// that re-solve the same LP after row additions (cutting planes) should
+  /// hold an `lp::LpInstance` (instance.hpp) and use its warm-started
+  /// `resolve` path instead.
   Solution solve(const Model& model) const;
+
+  const SimplexOptions& options() const noexcept { return options_; }
 
  private:
   SimplexOptions options_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "lp/instance.hpp"
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
 
@@ -245,6 +246,226 @@ TEST(Simplex, MatchesVertexEnumerationOnRandom2D) {
     ++solved;
   }
   EXPECT_EQ(solved, 200);
+}
+
+// ------------------------------------------------- warm-started instance --
+
+TEST(LpInstance, WarmResolveAfterCutMatchesColdSolve) {
+  Model m;
+  const VarId x = m.add_variable(-1.0, 0.0, 3.0, "x");
+  const VarId y = m.add_variable(-3.0, 0.0, 3.0, "y");
+  m.add_row(Relation::kLessEqual, 4.0, {{x, 1.0}, {y, 1.0}});
+
+  LpInstance instance(m);
+  const Solution first = instance.solve();
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(first.warm_started);
+  EXPECT_NEAR(first.objective, -10.0, kTol);  // (1, 3)
+  ASSERT_TRUE(instance.has_basis());
+
+  // A "cut" the previous optimum violates: x + 2y <= 5.
+  m.add_row(Relation::kLessEqual, 5.0, {{x, 1.0}, {y, 2.0}});
+  EXPECT_EQ(instance.sync_new_rows(), 1);
+  const Solution warm = instance.resolve();
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(instance.cold_fallbacks(), 0);
+  EXPECT_EQ(instance.warm_solves(), 1);
+  EXPECT_NEAR(warm.objective, -7.5, kTol);  // (0, 2.5)
+
+  // A fresh cold solve of the grown model agrees to the last bit of tol.
+  LpInstance cold(m);
+  const Solution reference = cold.solve();
+  ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, reference.objective, kTol);
+  ASSERT_EQ(warm.values.size(), reference.values.size());
+  for (std::size_t i = 0; i < warm.values.size(); ++i) {
+    EXPECT_NEAR(warm.values[i], reference.values[i], kTol);
+  }
+}
+
+TEST(LpInstance, ResolveWithoutBasisFallsBackToCold) {
+  Model m;
+  const VarId x = m.add_variable(-1.0, 0.0, 2.0);
+  m.add_row(Relation::kLessEqual, 1.5, {{x, 1.0}});
+  LpInstance instance(m);
+  // resolve() before any solve: no basis to reoptimize, must behave as a
+  // cold solve (and not count as a fallback — nothing was abandoned).
+  const Solution s = instance.resolve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(s.warm_started);
+  EXPECT_NEAR(s.objective, -1.5, kTol);
+  EXPECT_EQ(instance.cold_fallbacks(), 0);
+}
+
+TEST(LpInstance, EqualityRowInvalidatesBasis) {
+  Model m;
+  const VarId x = m.add_variable(-1.0, 0.0, 4.0);
+  const VarId y = m.add_variable(-1.0, 0.0, 4.0);
+  m.add_row(Relation::kLessEqual, 6.0, {{x, 1.0}, {y, 1.0}});
+  LpInstance instance(m);
+  ASSERT_EQ(instance.solve().status, SolveStatus::kOptimal);
+  ASSERT_TRUE(instance.has_basis());
+
+  // Equality rows need an artificial column, so the incremental path
+  // refuses them and the next solve is cold.
+  m.add_row(Relation::kEqual, 3.0, {{x, 1.0}});
+  instance.sync_new_rows();
+  EXPECT_FALSE(instance.has_basis());
+  const Solution s = instance.resolve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(s.warm_started);
+  EXPECT_NEAR(s.values[static_cast<std::size_t>(x)], 3.0, kTol);
+  EXPECT_NEAR(s.objective, -6.0, kTol);  // x = 3, y = 3
+}
+
+TEST(LpInstance, UpdateRhsReoptimizesWithoutRebuild) {
+  Model m;
+  const VarId x = m.add_variable(-1.0, 0.0, 10.0);
+  const VarId y = m.add_variable(-2.0, 0.0, 10.0);
+  const RowId budget = m.add_row(Relation::kLessEqual, 4.0, {{x, 1.0}, {y, 1.0}});
+  m.add_row(Relation::kLessEqual, 3.0, {{y, 1.0}});
+  LpInstance instance(m);
+  ASSERT_EQ(instance.solve().status, SolveStatus::kOptimal);
+
+  // Tighten, then loosen, the budget row; each time the warm result must
+  // match a cold solve of the edited model.
+  for (const double rhs : {2.0, 7.0}) {
+    m.set_rhs(budget, rhs);
+    instance.update_rhs(budget);
+    const Solution warm = instance.resolve();
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+    LpInstance cold(m);
+    const Solution reference = cold.solve();
+    ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(warm.objective, reference.objective, kTol) << "rhs " << rhs;
+    for (std::size_t i = 0; i < warm.values.size(); ++i) {
+      EXPECT_NEAR(warm.values[i], reference.values[i], kTol) << "rhs " << rhs;
+    }
+  }
+}
+
+TEST(LpInstance, UpdateObjectiveReoptimizesWithoutRebuild) {
+  Model m;
+  const VarId x = m.add_variable(-1.0, 0.0, 5.0);
+  const VarId y = m.add_variable(-1.0, 0.0, 5.0);
+  m.add_row(Relation::kLessEqual, 6.0, {{x, 1.0}, {y, 1.0}});
+  LpInstance instance(m);
+  ASSERT_EQ(instance.solve().status, SolveStatus::kOptimal);
+
+  // Flip the preference between x and y back and forth.
+  for (const double cost : {-4.0, -0.25, -2.0}) {
+    m.set_objective_coefficient(y, cost);
+    instance.update_objective(y);
+    const Solution warm = instance.resolve();
+    ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+    LpInstance cold(m);
+    const Solution reference = cold.solve();
+    ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(warm.objective, reference.objective, kTol) << "cost " << cost;
+    for (std::size_t i = 0; i < warm.values.size(); ++i) {
+      EXPECT_NEAR(warm.values[i], reference.values[i], kTol) << "cost " << cost;
+    }
+  }
+}
+
+TEST(LpInstance, InfeasibleCutIsCertifiedByColdFallback) {
+  Model m;
+  const VarId x = m.add_variable(1.0, 0.0, 10.0);
+  m.add_row(Relation::kGreaterEqual, 2.0, {{x, 1.0}});
+  LpInstance instance(m);
+  ASSERT_EQ(instance.solve().status, SolveStatus::kOptimal);
+
+  // Contradictory cut: x <= 1 while x >= 2 stands.
+  m.add_row(Relation::kLessEqual, 1.0, {{x, 1.0}});
+  instance.sync_new_rows();
+  const Solution s = instance.resolve();
+  // The dual simplex surfaces the infeasibility, and the verdict is
+  // re-certified by a cold two-phase run rather than trusted directly.
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(instance.cold_fallbacks(), 1);
+}
+
+TEST(LpInstance, WarmEqualsColdOnRandomCutSequences) {
+  Rng rng(20260806);
+  int optimal_pairs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const int vars = static_cast<int>(rng.uniform_int(2, 6));
+    Model m;
+    for (int v = 0; v < vars; ++v) {
+      m.add_variable(rng.uniform(-3.0, 1.0), 0.0, rng.uniform(0.5, 4.0));
+    }
+    // Start with a couple of generous rows so the first solve is optimal.
+    for (int r = 0; r < 2; ++r) {
+      std::vector<Term> terms;
+      for (VarId v = 0; v < vars; ++v) {
+        terms.push_back({v, rng.uniform(0.0, 2.0)});
+      }
+      m.add_row(Relation::kLessEqual, rng.uniform(2.0, 8.0), terms);
+    }
+    LpInstance warm(m);
+    ASSERT_EQ(warm.solve().status, SolveStatus::kOptimal) << "trial " << trial;
+
+    // Append 4 random cut rows one at a time; after each, the warm result
+    // must agree with a from-scratch cold solve (same status; on optimal,
+    // same objective and point).
+    for (int cut = 0; cut < 4; ++cut) {
+      std::vector<Term> terms;
+      for (VarId v = 0; v < vars; ++v) {
+        terms.push_back({v, rng.uniform(-0.5, 2.0)});
+      }
+      m.add_row(Relation::kLessEqual, rng.uniform(-0.5, 3.0), terms);
+      warm.sync_new_rows();
+      const Solution ws = warm.resolve();
+      LpInstance cold_instance(m);
+      const Solution cs = cold_instance.solve();
+      ASSERT_EQ(ws.status, cs.status) << "trial " << trial << " cut " << cut;
+      if (cs.status != SolveStatus::kOptimal) break;
+      EXPECT_NEAR(ws.objective, cs.objective, 1e-6)
+          << "trial " << trial << " cut " << cut;
+      for (std::size_t i = 0; i < ws.values.size(); ++i) {
+        EXPECT_NEAR(ws.values[i], cs.values[i], 1e-6)
+            << "trial " << trial << " cut " << cut << " var " << i;
+      }
+      ++optimal_pairs;
+    }
+  }
+  EXPECT_GE(optimal_pairs, 50);
+}
+
+// ------------------------------------------------------- anti-cycling --
+
+/// Beale's classic cycling example: under Dantzig pricing with the
+/// lowest-index tie-break, the tableau revisits its initial basis every six
+/// pivots without ever improving the objective.
+Model beale_model() {
+  Model m;
+  const VarId x1 = m.add_variable(-0.75);
+  const VarId x2 = m.add_variable(150.0);
+  const VarId x3 = m.add_variable(-0.02);
+  const VarId x4 = m.add_variable(6.0);
+  m.add_row(Relation::kLessEqual, 0.0,
+            {{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}});
+  m.add_row(Relation::kLessEqual, 0.0,
+            {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}});
+  m.add_row(Relation::kLessEqual, 1.0, {{x3, 1.0}});
+  return m;
+}
+
+TEST(Simplex, BealeCyclingTableauTerminatesViaDegenerateStreakBland) {
+  const Model m = beale_model();
+  SimplexOptions options;
+  options.bland_after = 1000000;  // keep the stall-based trigger out of play
+  options.max_iterations = 5000;
+  options.bland_degenerate_streak = 10;
+  LpInstance instance(m, options);
+  const Solution s = instance.solve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);  // x = (0.04, 0, 1, 0)
+  EXPECT_NEAR(s.values[0], 0.04, 1e-9);
+  EXPECT_NEAR(s.values[2], 1.0, 1e-9);
+  EXPECT_GE(instance.bland_activations(), 1);
+  EXPECT_LT(s.iterations, 100);  // escaped the cycle quickly, no stall
 }
 
 }  // namespace

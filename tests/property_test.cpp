@@ -170,6 +170,83 @@ INSTANTIATE_TEST_SUITE_P(Cases, IraExactSweep,
                          ::testing::Values(IraCase{6, 0.7, 2}, IraCase{7, 0.6, 3},
                                            IraCase{7, 0.9, 4}, IraCase{8, 0.5, 3}));
 
+// ------------------------------------------- warm vs cold LP identity --
+
+// Property: warm-started LP reoptimization is an implementation detail.
+// IRA with warm_start on and off must return the same tree and the same
+// per-solve counters on every instance — everything except the pivot count
+// (simplex_iterations), which is exactly what warm starting shrinks.
+class WarmColdSweep : public ::testing::TestWithParam<IraCase> {};
+
+TEST_P(WarmColdSweep, WarmAndColdProduceIdenticalTreesAndCounters) {
+  const auto [n, p, children] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 50423 + children));
+  core::IraOptions warm_options;
+  warm_options.bound_mode = core::BoundMode::kDirect;
+  warm_options.warm_start = true;
+  core::IraOptions cold_options = warm_options;
+  cold_options.warm_start = false;
+  const core::IterativeRelaxation warm_solver(warm_options);
+  const core::IterativeRelaxation cold_solver(cold_options);
+
+  long long warm_pivots = 0;
+  long long cold_pivots = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    const wsn::Network net = small_random_network(n, p, rng, 0.5, 1.0);
+    const double bound =
+        net.energy_model().node_lifetime(3000.0, children) * 0.99;
+    core::IraResult warm_res;
+    core::IraResult cold_res;
+    bool warm_threw = false;
+    bool cold_threw = false;
+    try {
+      warm_res = warm_solver.solve(net, bound);
+    } catch (const InfeasibleError&) {
+      warm_threw = true;
+    }
+    try {
+      cold_res = cold_solver.solve(net, bound);
+    } catch (const InfeasibleError&) {
+      cold_threw = true;
+    }
+    ASSERT_EQ(warm_threw, cold_threw) << "trial " << trial;
+    if (warm_threw) continue;
+
+    // Bit-identical trees and metrics derived from them.
+    EXPECT_EQ(warm_res.tree.parents(), cold_res.tree.parents())
+        << "trial " << trial;
+    EXPECT_EQ(warm_res.cost, cold_res.cost) << "trial " << trial;
+    EXPECT_EQ(warm_res.reliability, cold_res.reliability) << "trial " << trial;
+    EXPECT_EQ(warm_res.lifetime, cold_res.lifetime) << "trial " << trial;
+
+    // Every counter but the pivot count agrees: the cut pool feeds
+    // separation identically in both modes, so the sequence of fractional
+    // points, cuts, and removals is the same.
+    EXPECT_EQ(warm_res.stats.outer_iterations, cold_res.stats.outer_iterations)
+        << "trial " << trial;
+    EXPECT_EQ(warm_res.stats.lp_solves, cold_res.stats.lp_solves)
+        << "trial " << trial;
+    EXPECT_EQ(warm_res.stats.cuts_added, cold_res.stats.cuts_added)
+        << "trial " << trial;
+    EXPECT_EQ(warm_res.stats.edges_removed, cold_res.stats.edges_removed)
+        << "trial " << trial;
+    EXPECT_EQ(warm_res.stats.constraints_removed,
+              cold_res.stats.constraints_removed)
+        << "trial " << trial;
+    EXPECT_EQ(warm_res.stats.used_fallback, cold_res.stats.used_fallback)
+        << "trial " << trial;
+    warm_pivots += warm_res.stats.simplex_iterations;
+    cold_pivots += cold_res.stats.simplex_iterations;
+  }
+  // In aggregate the warm path never pivots more (equal only if no cut
+  // rounds happened anywhere in the sweep).
+  EXPECT_LE(warm_pivots, cold_pivots);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, WarmColdSweep,
+                         ::testing::Values(IraCase{8, 0.6, 3}, IraCase{10, 0.5, 4},
+                                           IraCase{12, 0.4, 4}, IraCase{14, 0.5, 5}));
+
 // ------------------------------------------- subtour LP integrality ----
 
 class SubtourIntegralitySweep : public ::testing::TestWithParam<GraphShape> {};

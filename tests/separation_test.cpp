@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "core/lp_formulation.hpp"
 #include "core/separation.hpp"
@@ -296,6 +297,101 @@ TEST(WeightedRows, WeightedCapIsNotDroppedAsRedundant) {
   MrlcLpFormulation weighted(g, caps,
                              [](graph::VertexId, graph::EdgeId) { return 10.0; });
   EXPECT_EQ(weighted.model().constraint_count(), 2);  // span + the cap
+}
+
+}  // namespace
+}  // namespace mrlc::core
+
+// --------------------------------------------------------- cut pool ----
+
+namespace mrlc::core {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(SubtourCutPool, RemembersSortedDeduplicatedSets) {
+  SubtourCutPool pool;
+  pool.remember({2, 0, 1});
+  pool.remember({1, 2, 0});  // same set, different order: deduplicated
+  pool.remember({3, 4});
+  ASSERT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.sets()[0], (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(pool.sets()[1], (std::vector<VertexId>{3, 4}));
+}
+
+TEST(SubtourCutPool, HotVerticesOrderedByAppearanceCount) {
+  SubtourCutPool pool;
+  pool.remember({0, 1, 2});
+  pool.remember({1, 2, 3});
+  pool.remember({2, 4, 5});
+  // Counts: v2 = 3, v1 = 2, rest = 1 or 0; ties break by ascending id.
+  const std::vector<VertexId> hot = pool.hot_vertices(7);
+  ASSERT_EQ(hot.size(), 7u);
+  EXPECT_EQ(hot[0], 2);
+  EXPECT_EQ(hot[1], 1);
+  EXPECT_EQ(hot[2], 0);  // tied at 1 appearance with 3, 4, 5 — lowest id first
+  EXPECT_EQ(hot[3], 3);
+  EXPECT_EQ(hot[4], 4);
+  EXPECT_EQ(hot[5], 5);
+  EXPECT_EQ(hot[6], 6);  // never seen, still listed (count 0)
+}
+
+TEST(SubtourCutPool, SecondSeparationCallIsServedFromPoolWithoutFlows) {
+  metrics::set_enabled(true);
+  // Triangle {0,1,2} violated, pendant keeps the support connected so the
+  // component heuristic (stage 1) finds nothing and stage 2 must run.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const std::vector<double> x{0.8, 0.8, 0.8, 1.0};
+
+  metrics::Counter& flows = metrics::counter("separation.maxflow_calls");
+  metrics::Counter& hits = metrics::counter("separation.pool_hits");
+
+  SubtourCutPool pool;
+  const long long flows0 = flows.value();
+  const auto first = find_violated_subtours(g, x, 1e-6, SeparationMode::kExact,
+                                            &pool);
+  ASSERT_FALSE(first.empty());
+  EXPECT_GT(flows.value(), flows0);  // the first call needed real max-flows
+  EXPECT_GE(pool.size(), 1u);
+
+  // Same fractional point again (as after an outer-iteration LP rebuild):
+  // the pooled set still separates it, so no flow runs at all.
+  const long long flows1 = flows.value();
+  const long long hits1 = hits.value();
+  const auto second = find_violated_subtours(g, x, 1e-6, SeparationMode::kExact,
+                                             &pool);
+  ASSERT_FALSE(second.empty());
+  EXPECT_EQ(flows.value(), flows1);
+  EXPECT_GT(hits.value(), hits1);
+  EXPECT_EQ(second[0], first[0]);
+}
+
+TEST(SubtourCutPool, PooledOracleFindsSameSetsAsStateless) {
+  // The pool is an accelerator, not a filter: on a fresh pool the pooled
+  // oracle returns exactly what the stateless oracle returns.
+  Rng rng(991);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(4, 9));
+    Graph g(n);
+    for (VertexId a = 0; a < n; ++a) {
+      for (VertexId b = a + 1; b < n; ++b) {
+        if (rng.uniform(0.0, 1.0) < 0.6) g.add_edge(a, b, 1.0);
+      }
+    }
+    std::vector<double> x(static_cast<std::size_t>(g.edge_count()));
+    for (double& v : x) v = rng.uniform(0.0, 1.0);
+    const auto stateless = find_violated_subtours(g, x);
+    SubtourCutPool pool;
+    const auto pooled =
+        find_violated_subtours(g, x, 1e-6, SeparationMode::kExact, &pool);
+    EXPECT_EQ(stateless, pooled) << "trial " << trial;
+    EXPECT_EQ(pool.size(), pooled.size()) << "trial " << trial;
+  }
 }
 
 }  // namespace

@@ -248,4 +248,45 @@ TEST(ToolsCli, BenchDeterministicModeIsReproducible) {
       0);
 }
 
+TEST(ToolsCli, BenchCountersIdenticalAcrossThreadCounts) {
+  // The PR 4/5 determinism invariant, end to end: every counter in the
+  // bench output — pivots, cuts, max-flow calls, pool hits — is a pure
+  // function of the workload, never of the pool width.  Only the recorded
+  // `config.threads` field may differ.
+  const std::string serial = tmp_path("tools_cli_bench_t1.json");
+  const std::string wide = tmp_path("tools_cli_bench_t8.json");
+  const std::string base_cmd = std::string(MRLC_TOOL_BENCH) +
+                               " --repeats 1 --no-timings --workload "
+                               "ira_dfl_n16 --out ";
+  ASSERT_EQ(run_command(base_cmd + serial + " --threads 1 2> /dev/null"), 0);
+  ASSERT_EQ(run_command(base_cmd + wide + " --threads 8 2> /dev/null"), 0);
+
+  const auto strip_config_threads = [](std::string text) {
+    std::istringstream in(text);
+    std::string out;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"config\"") == std::string::npos) {
+        out += line;
+        out += '\n';
+      }
+    }
+    return out;
+  };
+  EXPECT_EQ(strip_config_threads(read_file(serial)),
+            strip_config_threads(read_file(wide)));
+
+  // The warm-start counters made it into the snapshot, and no solve on a
+  // stock workload ever abandoned its warm basis.
+  const std::string wide_json = read_file(wide);
+  JsonParser parser(wide_json);
+  ASSERT_TRUE(parser.parse()) << wide_json;
+  EXPECT_GT(std::stoll(
+                parser.scalars["workloads[0].metrics.counters.simplex.warm_solves"]),
+            0);
+  EXPECT_EQ(std::stoll(parser.scalars
+                           ["workloads[0].metrics.counters.simplex.cold_fallbacks"]),
+            0);
+}
+
 }  // namespace

@@ -107,6 +107,30 @@ std::vector<Workload> make_workloads() {
                    core::IterativeRelaxation(options).solve(net, mst_bound(net));
                  }});
 
+  out.push_back({"ira_random_n48_p04",
+                 "IRA on G(48, 0.4) instances — the warm-start stress case "
+                 "(many cut rounds over a large LP)",
+                 [](int repeat) {
+                   const wsn::Network net = random_net(
+                       48, 0.4, 5000 + static_cast<std::uint64_t>(repeat));
+                   core::IraOptions options;
+                   options.bound_mode = core::BoundMode::kDirect;
+                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                 }});
+
+  out.push_back({"ira_dfl_n32",
+                 "IRA on a 32-node DFL perimeter (7.2 m square, same tripod "
+                 "spacing) — longer-range fractional cycles than n16",
+                 [](int) {
+                   scenario::DflConfig config;
+                   config.side_m = 7.2;  // 32 tripods at the default 0.9 m
+                   const wsn::Network net =
+                       scenario::make_dfl_system(config).network;
+                   core::IraOptions options;
+                   options.bound_mode = core::BoundMode::kDirect;
+                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                 }});
+
   out.push_back({"bb_random_n14", "exact branch-and-bound on G(14, 0.5)",
                  [](int repeat) {
                    const wsn::Network net = random_net(
