@@ -43,8 +43,18 @@ def load(path):
     return doc
 
 
-def by_name(doc):
-    return {w["name"]: w for w in doc.get("workloads", [])}
+def by_name(doc, label, warnings):
+    """Workloads keyed by name; entries without a usable name are skipped
+    with a warning instead of crashing the whole comparison."""
+    out = {}
+    for index, workload in enumerate(doc.get("workloads", [])):
+        name = workload.get("name") if isinstance(workload, dict) else None
+        if not isinstance(name, str) or not name:
+            warnings.append(
+                f"{label}: workload #{index} has no name field; skipped")
+            continue
+        out[name] = workload
+    return out
 
 
 def relative_change(base, cur):
@@ -76,11 +86,16 @@ def work_delta(base_counters, cur_counters, key):
     return f"{short} {b} -> {c} ({relative_change(b, c):+.1%})"
 
 
+def work_budget(doc):
+    """Anytime work budget the run used; 0 (default) means unlimited."""
+    return doc.get("config", {}).get("budget", 0)
+
+
 def compare(baseline, current, threshold):
-    base_workloads = by_name(baseline)
-    cur_workloads = by_name(current)
     regressions = []
     warnings = []
+    base_workloads = by_name(baseline, "baseline", warnings)
+    cur_workloads = by_name(current, "current", warnings)
 
     compare_times = thread_count(baseline) == thread_count(current)
     if not compare_times:
@@ -88,6 +103,10 @@ def compare(baseline, current, threshold):
             f"thread counts differ (baseline {thread_count(baseline)}, "
             f"current {thread_count(current)}): wall times skipped, "
             f"counters still compared")
+    if work_budget(baseline) != work_budget(current):
+        warnings.append(
+            f"work budgets differ (baseline {work_budget(baseline)}, "
+            f"current {work_budget(current)}): counter drift is expected")
 
     for name in sorted(base_workloads.keys() | cur_workloads.keys()):
         if name not in cur_workloads:
@@ -123,9 +142,21 @@ def compare(baseline, current, threshold):
         for key in sorted(base_counters.keys() | cur_counters.keys()):
             if key in WORK_COUNTERS:
                 continue  # reported as a first-class column above
-            b, c = base_counters.get(key), cur_counters.get(key)
-            if b != c:
-                warnings.append(f"{name}: counter {key} drifted {b} -> {c}")
+            # One-sided keys (a counter registered by only one of the two
+            # builds) are phrased as additions/removals, not as a
+            # "None -> 5" drift.
+            if key not in base_counters:
+                warnings.append(
+                    f"{name}: counter {key} only in current "
+                    f"({cur_counters[key]})")
+            elif key not in cur_counters:
+                warnings.append(
+                    f"{name}: counter {key} only in baseline "
+                    f"({base_counters[key]})")
+            elif base_counters[key] != cur_counters[key]:
+                warnings.append(
+                    f"{name}: counter {key} drifted "
+                    f"{base_counters[key]} -> {cur_counters[key]}")
 
     return regressions, warnings
 

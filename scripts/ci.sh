@@ -10,7 +10,12 @@
 #      with ASan, so it gets its own build tree and only runs the tests
 #      that exercise real multi-threading;
 #   4. docs: Doxygen with WARN_AS_ERROR (skipped when doxygen is absent);
-#   5. bench: mrlc_bench sweep, compared against the committed
+#   5. fault smoke: the stock DFL workload with every registered fault
+#      point forced (release build) — a recoverable fault must exit 0
+#      with a byte-identical tree, an unrecoverable one must exit with
+#      the typed internal-error code; the corrupt-input corpus is fed to
+#      the ASan mrlc_solve expecting the parse/validation exit code;
+#   6. bench: mrlc_bench sweep, compared against the committed
 #      BENCH_solver.json baseline.  Timing deltas are a *report*, not a
 #      gate — shared CI machines are too noisy to fail on wall clock.
 #
@@ -70,9 +75,68 @@ run_suite() {
   )
 }
 
+# Fault-injection smoke: every registered fault point forced over the
+# stock 16-node DFL workload.  The contract (docs/algorithms.md §14):
+# a recoverable fault exits 0 with a tree byte-identical to the clean
+# run; the unrecoverable one exits with the typed internal-error code.
+# A differing tree with exit 0 is the one outcome that must never ship.
+fault_smoke() {
+  local bindir="$1" label="$2"
+  local gen="$bindir/tools/mrlc_gen" solve="$bindir/tools/mrlc_solve"
+  echo "=== [$label] fault-injection smoke ==="
+  local net="$bindir/fault_smoke.net" clean="$bindir/fault_smoke_clean.txt"
+  "$gen" dfl --nodes 16 --seed 7 > "$net"
+  "$solve" ira --lifetime 100 < "$net" > "$clean"
+  local f out rc
+  for f in lp.force_cold lp.drop_basis cutpool.corrupt separation.flow_fail; do
+    out="$bindir/fault_smoke_${f//./_}.txt"
+    if ! MRLC_FAULTS="$f" "$solve" ira --lifetime 100 < "$net" > "$out"; then
+      echo "ci: fault $f: expected a recovered exit-0 run" >&2
+      exit 1
+    fi
+    if ! cmp -s "$clean" "$out"; then
+      echo "ci: fault $f: recovered run returned a different tree" >&2
+      exit 1
+    fi
+  done
+  set +e
+  MRLC_FAULTS=parallel.task_fail "$solve" ira --lifetime 100 < "$net" \
+    > /dev/null 2>&1
+  rc=$?
+  set -e
+  if [[ $rc -ne 5 ]]; then
+    echo "ci: parallel.task_fail: expected the internal-error exit 5, got $rc" >&2
+    exit 1
+  fi
+  echo "ci[$label]: every forced fault recovered identically or exited typed"
+}
+
+# The malformed-input corpus through the sanitized parser: each file must
+# die with the documented parse/validation exit code — no crash, no tree,
+# and (under ASan) no silent memory error on the way out.
+corrupt_corpus() {
+  local solve="$1" label="$2"
+  echo "=== [$label] corrupt-input corpus ==="
+  local f rc
+  for f in "$repo"/tests/data/corrupt/*.net; do
+    set +e
+    "$solve" mst < "$f" > /dev/null 2>&1
+    rc=$?
+    set -e
+    if [[ $rc -ne 4 ]]; then
+      echo "ci: $(basename "$f"): expected the parse/validation exit 4, got $rc" >&2
+      exit 1
+    fi
+  done
+  echo "ci[$label]: every corrupt input rejected with exit 4"
+}
+
 [[ $run_release -eq 1 ]] && run_suite release
 [[ $run_asan -eq 1 ]] && run_suite asan
 [[ $run_tsan -eq 1 ]] && run_tsan_suite
+
+[[ $run_release -eq 1 ]] && fault_smoke "$repo/build-release" release
+[[ $run_asan -eq 1 ]] && corrupt_corpus "$repo/build-asan/tools/mrlc_solve" asan
 
 echo "=== docs ==="
 bash "$repo/scripts/docs.sh"

@@ -24,6 +24,17 @@ class InfeasibleError : public std::runtime_error {
   explicit InfeasibleError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Exception thrown inside the solver when a `Budget` (common/budget.hpp)
+/// runs out before the algorithm converges.  Internal control flow only:
+/// the anytime layer (`core::solve_anytime`) catches it and returns the
+/// best incumbent with a typed status, so budget exhaustion never escapes
+/// the public anytime API as an exception.
+class BudgetExhaustedError : public std::runtime_error {
+ public:
+  explicit BudgetExhaustedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void throw_requires(std::string_view cond, std::string_view msg,

@@ -1,0 +1,148 @@
+#include "common/faultpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/metrics.hpp"
+
+namespace mrlc::fault {
+
+namespace {
+
+struct Point {
+  const char* name;
+  std::atomic<bool> armed{false};
+  /// 0 = fire on every arrival; K > 0 = fire on the Kth arrival only.
+  std::atomic<long long> fire_at{0};
+  std::atomic<long long> arrivals{0};
+};
+
+/// The registry is a fixed array: fault points are code locations, not
+/// runtime data, and a fixed array keeps `fire` lock-free.
+Point& points(int i) {
+  static Point registry[5] = {
+      {"lp.force_cold"},      {"lp.drop_basis"},        {"parallel.task_fail"},
+      {"cutpool.corrupt"},    {"separation.flow_fail"},
+  };
+  return registry[i];
+}
+constexpr int kPointCount = 5;
+
+std::atomic<int> armed_count{0};
+std::atomic<long long> injected_total{0};
+std::atomic<long long> recovered_total{0};
+std::mutex configure_mutex;
+
+Point* find(const std::string& name) {
+  for (int i = 0; i < kPointCount; ++i) {
+    if (name == points(i).name) return &points(i);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>& registered() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (int i = 0; i < kPointCount; ++i) out.emplace_back(points(i).name);
+    return out;
+  }();
+  return names;
+}
+
+void configure(const std::string& spec) {
+  std::lock_guard<std::mutex> lock(configure_mutex);
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t comma = spec.find(',', at);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(at, comma - at);
+    at = comma + 1;
+    if (entry.empty()) continue;
+
+    long long fire_at = 0;
+    const std::size_t colon = entry.find(':');
+    if (colon != std::string::npos) {
+      const std::string count = entry.substr(colon + 1);
+      entry.erase(colon);
+      try {
+        std::size_t used = 0;
+        fire_at = std::stoll(count, &used);
+        if (used != count.size() || fire_at < 1) throw std::invalid_argument("");
+      } catch (const std::exception&) {
+        throw std::invalid_argument("fault spec '" + entry + ":" + count +
+                                    "': count must be a positive integer");
+      }
+    }
+    Point* point = find(entry);
+    if (point == nullptr) {
+      std::string known;
+      for (const std::string& name : registered()) {
+        known += known.empty() ? name : ", " + name;
+      }
+      throw std::invalid_argument("unknown fault point '" + entry +
+                                  "' (registered: " + known + ")");
+    }
+    point->fire_at.store(fire_at, std::memory_order_relaxed);
+    point->arrivals.store(0, std::memory_order_relaxed);
+    if (!point->armed.exchange(true, std::memory_order_relaxed)) {
+      armed_count.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("MRLC_FAULTS");
+  if (spec != nullptr && spec[0] != '\0') configure(spec);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(configure_mutex);
+  for (int i = 0; i < kPointCount; ++i) {
+    Point& point = points(i);
+    if (point.armed.exchange(false, std::memory_order_relaxed)) {
+      armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+    point.fire_at.store(0, std::memory_order_relaxed);
+    point.arrivals.store(0, std::memory_order_relaxed);
+  }
+  injected_total.store(0, std::memory_order_relaxed);
+  recovered_total.store(0, std::memory_order_relaxed);
+}
+
+bool fire(const char* name) {
+  if (armed_count.load(std::memory_order_relaxed) == 0) return false;
+  Point* point = find(name);
+  if (point == nullptr || !point->armed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  const long long arrival =
+      point->arrivals.fetch_add(1, std::memory_order_relaxed) + 1;
+  const long long fire_at = point->fire_at.load(std::memory_order_relaxed);
+  if (fire_at != 0 && arrival != fire_at) return false;
+  injected_total.fetch_add(1, std::memory_order_relaxed);
+  // Registered lazily (inside the fired path) so fault-free runs never add
+  // the key to the metrics registry — keeps bench output byte-identical.
+  static metrics::Counter& injected = metrics::counter("faults.injected");
+  injected.add();
+  return true;
+}
+
+void note_recovered(const char*) {
+  recovered_total.fetch_add(1, std::memory_order_relaxed);
+  static metrics::Counter& recovered = metrics::counter("faults.recovered");
+  recovered.add();
+}
+
+long long injected_count() {
+  return injected_total.load(std::memory_order_relaxed);
+}
+
+long long recovered_count() {
+  return recovered_total.load(std::memory_order_relaxed);
+}
+
+}  // namespace mrlc::fault

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file faultpoint.hpp
+/// \brief Deterministic fault-injection harness.
+///
+/// A *fault point* is a named location in the solver where a specific
+/// internal failure can be forced on demand: an LP warm start abandoned, a
+/// basis dropped, a thread-pool task throwing, a cut-pool recheck handed a
+/// corrupted set, a separation max-flow failing.  Each registered point is
+/// paired with an *audited recovery path* (or a typed error) so the test
+/// battery and the CI smoke stage can prove the blast radius of every
+/// failure mode: a forced fault either recovers to the exact same tree and
+/// cost as a clean run, or exits with a typed non-zero status — never a
+/// silently wrong answer.
+///
+/// Arming.  Faults are armed via the `MRLC_FAULTS` environment variable or
+/// `mrlc_solve --inject`, both taking a comma-separated spec:
+///
+///     MRLC_FAULTS=lp.force_cold                 # fire on every arrival
+///     MRLC_FAULTS=cutpool.corrupt:3             # fire on the 3rd arrival only
+///     MRLC_FAULTS=lp.drop_basis,separation.flow_fail
+///
+/// Unarmed points cost one relaxed atomic load per arrival (a process-wide
+/// armed count), so shipping the hooks in release builds is free.  The
+/// one-shot `:K` form counts arrivals with an atomic, which is only
+/// deterministic at serial fault points; the always-on form (used by the
+/// CI smoke stage) is deterministic everywhere.
+///
+/// Registered points and their designed outcomes:
+///
+/// | fault point           | forced failure                      | outcome        |
+/// |-----------------------|-------------------------------------|----------------|
+/// | `lp.force_cold`       | warm resolve abandons its basis     | recover (cold) |
+/// | `lp.drop_basis`       | retained basis silently invalidated | recover (cold) |
+/// | `parallel.task_fail`  | a pool task throws mid-batch        | typed error    |
+/// | `cutpool.corrupt`     | pooled subtour set corrupted        | recover (skip) |
+/// | `separation.flow_fail`| batch max-flow fails                | recover (retry)|
+///
+/// Counters: `faults.injected` increments on every fired fault,
+/// `faults.recovered` on every audited recovery (so injected == recovered
+/// on a run that exits 0).
+
+#include <string>
+#include <vector>
+
+namespace mrlc::fault {
+
+/// Names of every registered fault point, for `--inject` validation, docs,
+/// and the CI sweep.
+const std::vector<std::string>& registered();
+
+/// Arms the faults in `spec` (comma-separated `name` or `name:K` entries;
+/// see file comment).  Cumulative with earlier calls.
+/// \throws std::invalid_argument on an unknown name or malformed count.
+void configure(const std::string& spec);
+
+/// Arms from the `MRLC_FAULTS` environment variable (no-op when unset).
+/// \throws std::invalid_argument as `configure`.
+void configure_from_env();
+
+/// Disarms every fault and resets arrival counters (tests).
+void reset();
+
+/// \brief The hook: returns true when the named fault should fire at this
+/// arrival.  Fires count into `faults.injected`.  Unarmed cost: one
+/// relaxed atomic load.  `name` must be a registered point (enforced at
+/// configure time, not here — hot path).
+bool fire(const char* name);
+
+/// Records that a fired fault was absorbed by its audited recovery path
+/// (counts into `faults.recovered`).
+void note_recovered(const char* name);
+
+/// Fires since process start / last reset (test assertions).
+long long injected_count();
+long long recovered_count();
+
+}  // namespace mrlc::fault

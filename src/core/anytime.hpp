@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file anytime.hpp
+/// \brief Deadline-aware anytime front end over the IRA solver.
+///
+/// `IterativeRelaxation::solve` is all-or-nothing: it either converges or
+/// throws.  Production callers with a latency budget need the opposite
+/// contract — *always* return the best tree found so far, say how good it
+/// is, and never turn "ran out of time" into an exception.  This layer
+/// provides that:
+///
+/// 1. **Incumbent first.**  Before any LP work, a cheap feasible tree is
+///    seeded from the degree-capped greedy baseline and the plain MST
+///    (whichever meets the bound at lower cost), so even a budget of zero
+///    work units yields a usable answer.
+/// 2. **Cooperative interruption.**  The shared `Budget` token is threaded
+///    through every pivot, max-flow, and outer iteration; exhaustion
+///    surfaces as `BudgetExhaustedError` at a deterministic checkpoint and
+///    is caught here.
+/// 3. **Certified gap.**  The first outer iteration's LP optimum (captured
+///    via `IraProgress`, valid because the run is forced into kDirect mode
+///    where the LP relaxes the problem at LC itself) is a lower bound on
+///    OPT(LC); link costs -ln q are nonnegative, so 0 is a valid fallback
+///    bound and the reported gap is always finite.
+///
+/// Budget exhaustion, infeasibility, and cancellation all come back as a
+/// typed `AnytimeStatus` — the only exceptions that escape are genuine
+/// precondition violations and internal logic errors.
+
+#include <string>
+
+#include "common/budget.hpp"
+#include "core/ira.hpp"
+
+namespace mrlc::core {
+
+enum class AnytimeStatus {
+  /// The IRA run converged; `tree` is its output and the gap is certified.
+  kOptimal,
+  /// The budget ran out; `tree` is the best incumbent with a finite
+  /// certified gap.  Check `meets_bound` (false only when no seeded or
+  /// discovered tree satisfied LC, e.g. greedy needed cap relaxations).
+  kFeasibleBudgetExhausted,
+  /// No aggregation tree with lifetime >= LC exists; no tree is returned.
+  kInfeasible,
+  /// `Budget::cancel()` was observed; otherwise like budget exhaustion.
+  kCancelled,
+};
+
+/// \return stable lower-case identifier ("optimal", "feasible_budget_
+/// exhausted", "infeasible", "cancelled") for logs and CLI output.
+const char* to_string(AnytimeStatus status) noexcept;
+
+struct AnytimeResult {
+  AnytimeStatus status = AnytimeStatus::kInfeasible;
+  /// Best tree found (incumbent or IRA output); meaningless when
+  /// `status == kInfeasible`.
+  wsn::AggregationTree tree;
+  double cost = 0.0;
+  double reliability = 0.0;
+  double lifetime = 0.0;
+  bool meets_bound = false;
+  /// Certified lower bound on OPT(LC): the first completed LP round's
+  /// optimum when one completed, else 0 (valid since edge costs are >= 0).
+  double dual_bound = 0.0;
+  /// cost - dual_bound, clamped at >= 0; finite whenever a tree is
+  /// returned.  0 does NOT imply proven optimality (the dual bound is a
+  /// relaxation), but small gaps certify near-optimality.
+  double gap = 0.0;
+  /// True when `tree` is the greedy/MST incumbent rather than IRA output.
+  bool from_incumbent = false;
+  /// IRA statistics for whatever portion of the solve ran.
+  IraStats stats;
+  /// One-line human-readable outcome (why the run stopped).
+  std::string message;
+};
+
+struct AnytimeOptions {
+  /// Inner IRA configuration.  `bound_mode` is forced to kDirect — the
+  /// strict mode's first LP runs at L' > LC, whose optimum does not bound
+  /// OPT(LC), so it cannot certify an anytime gap.  `budget`/`progress`
+  /// are managed by the anytime layer.
+  IraOptions ira;
+  /// Cooperative budget (not owned); null runs to completion.
+  Budget* budget = nullptr;
+};
+
+/// \brief Solves MRLC with anytime semantics (see file comment).
+/// \param net  validated, connected network instance.
+/// \param lifetime_bound  required network lifetime LC, in rounds (> 0).
+/// \param options  inner IRA knobs plus the budget token.
+/// \return typed status, best tree + metrics, certified dual bound/gap.
+/// \throws std::invalid_argument / std::logic_error for broken
+///         preconditions or internal invariants only — never for budget
+///         exhaustion or infeasible instances.
+AnytimeResult solve_anytime(const wsn::Network& net, double lifetime_bound,
+                            const AnytimeOptions& options = {});
+
+}  // namespace mrlc::core

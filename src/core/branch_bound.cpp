@@ -184,11 +184,21 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
   double best_cost = root.best_cost;
   std::vector<graph::EdgeId> best_edges = root.best_edges;
 
+  // Cooperative-budget charges happen only at serial points (end of the
+  // serial phase 1, then each wave merge), so exhaustion interrupts the
+  // search at the same wave boundary for every thread count.
+  bool interrupted = false;
+  if (options.budget != nullptr &&
+      !options.budget->charge(static_cast<std::int64_t>(root.explored))) {
+    interrupted = true;
+  }
+
   // Phase 2: resume the suspended subtrees in constant-size waves on the
   // thread pool.  Each wave's searchers share the incumbent and the node
   // budget remaining as of the wave boundary; results merge serially in
   // frontier order (see kWave above for why this is deterministic).
-  for (std::size_t start = 0; start < frontier.size() && !budget_exceeded;
+  for (std::size_t start = 0;
+       start < frontier.size() && !budget_exceeded && !interrupted;
        start += kWave) {
     const std::size_t end = std::min(start + kWave, frontier.size());
     const std::uint64_t remaining =
@@ -217,8 +227,10 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
       }
       s.recurse(state.index, state.cost, state.dsu);
     });
+    std::uint64_t wave_explored = 0;
     for (const Searcher& s : wave) {
       explored_total += s.explored;
+      wave_explored += s.explored;
       pruned_total += s.pruned;
       incumbent_total += s.incumbent_updates;
       if (s.budget_exceeded) budget_exceeded = true;
@@ -228,6 +240,10 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
       }
     }
     if (explored_total > options.max_nodes_explored) budget_exceeded = true;
+    if (options.budget != nullptr &&
+        !options.budget->charge(static_cast<std::int64_t>(wave_explored))) {
+      interrupted = true;
+    }
   }
 
   static metrics::Counter& expanded =
@@ -239,8 +255,15 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
   pruned.add(static_cast<long long>(pruned_total));
   incumbents.add(static_cast<long long>(incumbent_total));
 
-  MRLC_REQUIRE(!budget_exceeded,
-               "branch-and-bound exceeded its node budget on this instance");
+  if (interrupted && best_edges.empty()) {
+    throw BudgetExhaustedError(
+        "budget exhausted before branch-and-bound found any tree meeting the "
+        "lifetime bound");
+  }
+  if (!interrupted) {
+    MRLC_REQUIRE(!budget_exceeded,
+                 "branch-and-bound exceeded its node budget on this instance");
+  }
   if (best_edges.empty()) return std::nullopt;
 
   BranchBoundResult out;
@@ -249,6 +272,7 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
   out.reliability = wsn::tree_reliability(net, out.tree);
   out.lifetime = wsn::network_lifetime(net, out.tree);
   out.nodes_explored = explored_total;
+  out.complete = !interrupted;
   MRLC_ENSURE(out.lifetime >= lifetime_bound * (1.0 - 1e-9),
               "branch-and-bound produced a tree violating the bound");
   return out;

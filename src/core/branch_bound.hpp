@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/budget.hpp"
 #include "core/exact.hpp"
 #include "wsn/network.hpp"
 
@@ -32,6 +33,12 @@ namespace mrlc::core {
 
 struct BranchBoundOptions {
   std::uint64_t max_nodes_explored = 50'000'000;
+  /// Optional cooperative budget (not owned): charged with each wave's
+  /// explored-node total at the serial wave merge, so the interruption
+  /// point is identical for every thread count.  On exhaustion the search
+  /// returns the incumbent with `complete = false` (or throws
+  /// `BudgetExhaustedError` when no feasible tree was found yet).
+  Budget* budget = nullptr;
 };
 
 struct BranchBoundResult {
@@ -40,15 +47,22 @@ struct BranchBoundResult {
   double reliability = 0.0;
   double lifetime = 0.0;
   std::uint64_t nodes_explored = 0;
+  /// True when the search ran to completion (the tree is provably optimal);
+  /// false when a cooperative budget interrupted it and `tree` is only the
+  /// best incumbent found so far.
+  bool complete = true;
 };
 
 /// \brief Minimum-cost aggregation tree with lifetime >= `lifetime_bound`.
 /// \param net  the network instance (must be connected to have a solution).
 /// \param lifetime_bound  required network lifetime LC, in rounds.
 /// \param options  search budget knobs.
-/// \return the provably optimal tree, or nullopt when no spanning tree
-///         satisfies the bound.
+/// \return the provably optimal tree (check `complete` when a cooperative
+///         budget is attached), or nullopt when no spanning tree satisfies
+///         the bound.
 /// \throws std::invalid_argument when the search exceeds the node budget.
+/// \throws BudgetExhaustedError when a cooperative budget runs out before
+///         any feasible tree is found.
 std::optional<BranchBoundResult> branch_bound_mrlc(
     const wsn::Network& net, double lifetime_bound,
     const BranchBoundOptions& options = {});

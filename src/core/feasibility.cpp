@@ -14,6 +14,7 @@ namespace mrlc::core {
 bool lp_lifetime_feasible(const wsn::Network& net, double bound,
                           const IraOptions& options) {
   MRLC_REQUIRE(bound > 0.0, "lifetime bound must be positive");
+  net.validate();
   const std::vector<bool> all(static_cast<std::size_t>(net.node_count()), true);
   MrlcLpFormulation formulation(net.topology(),
                                 lifetime_degree_caps(net, all, bound));

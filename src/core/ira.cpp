@@ -92,8 +92,15 @@ IraResult IterativeRelaxation::solve(const wsn::Network& net,
   // identical fractional points in both modes, so warm vs cold differ only
   // in pivot paths — the invariant the warm/cold property tests pin down.
   cut_options.pool = &cut_pool;
+  cut_options.budget = options_.budget;
 
   while (constrained_count > 0) {
+    // Deterministic checkpoint: a budget that ran out during the previous
+    // iteration's pruning stops here before the next (expensive) LP tier.
+    if (options_.budget != nullptr && options_.budget->exhausted()) {
+      throw BudgetExhaustedError(
+          "budget exhausted between IRA outer iterations");
+    }
     ++stats.outer_iterations;
 
     MrlcLpFormulation formulation(
@@ -104,11 +111,28 @@ IraResult IterativeRelaxation::solve(const wsn::Network& net,
     stats.simplex_iterations += lp_result.simplex_iterations;
     stats.cuts_added += lp_result.cuts_added;
 
+    // Publish the dual bound as soon as the first outer iteration has any
+    // completed cut-round optimum — every completed round solves a
+    // relaxation of the full problem (see IraProgress for the mode caveat),
+    // so this is valid even when the same solve is interrupted just after.
+    if (options_.progress != nullptr && stats.outer_iterations == 1 &&
+        lp_result.has_objective) {
+      options_.progress->first_lp_objective = lp_result.objective;
+      options_.progress->first_lp_valid = true;
+    }
+
     if (lp_result.status == lp::SolveStatus::kInfeasible) {
       std::ostringstream os;
       os << "no data aggregation tree with lifetime >= " << lifetime_bound
          << " exists (LP(G, L', W) infeasible with L' = " << strict << ")";
       throw InfeasibleError(os.str());
+    }
+    if (lp_result.status == lp::SolveStatus::kInterrupted) {
+      std::ostringstream os;
+      os << "budget exhausted inside the cutting-plane loop (outer iteration "
+         << stats.outer_iterations << ", after " << stats.lp_solves
+         << " LP solves)";
+      throw BudgetExhaustedError(os.str());
     }
     MRLC_ENSURE(lp_result.status == lp::SolveStatus::kOptimal,
                 "LP solve failed to converge");

@@ -45,6 +45,17 @@ enum class BoundMode {
   kDirect,
 };
 
+/// Live progress an IRA solve publishes as it runs, so that a caller that
+/// interrupts the solve (budget exhaustion) still has something certified
+/// to report.  In `kDirect` mode the first outer iteration's LP optimum is
+/// a relaxation of the full problem at bound LC, hence a valid lower bound
+/// on OPT(LC); in `kPaperStrict` mode the LP runs at L' > LC and the value
+/// bounds OPT(L') instead — the anytime layer only trusts it under kDirect.
+struct IraProgress {
+  double first_lp_objective = 0.0;
+  bool first_lp_valid = false;
+};
+
 struct IraOptions {
   BoundMode bound_mode = BoundMode::kPaperStrict;
   /// x_e values at or below this are treated as zero when pruning edges.
@@ -64,6 +75,16 @@ struct IraOptions {
   /// and exists for A/B verification.
   bool warm_start = true;
   lp::SimplexOptions simplex;
+  /// Optional cooperative budget (not owned), threaded through every LP
+  /// pivot and separation max-flow.  When it runs out, `solve` throws
+  /// `BudgetExhaustedError` at the next deterministic checkpoint — use the
+  /// anytime layer (`core::solve_anytime`) for a non-throwing incumbent +
+  /// bound interface.  Null means unlimited and leaves the solve
+  /// bit-identical to a budget-free run.
+  Budget* budget = nullptr;
+  /// Optional progress sink (not owned): written as milestones complete so
+  /// an interrupted solve still yields a certified dual bound.
+  IraProgress* progress = nullptr;
 };
 
 struct IraStats {

@@ -1,7 +1,10 @@
 #include "core/lp_formulation.hpp"
 
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "common/faultpoint.hpp"
 #include "common/trace.hpp"
 #include "core/separation.hpp"
 #include "lp/instance.hpp"
@@ -81,21 +84,79 @@ CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
   MRLC_REQUIRE(options.max_rounds >= 1, "need at least one round");
   trace::ScopedPhase phase("cut_lp");
   CutLpResult out;
-  lp::LpInstance instance(formulation.model(), options.simplex);
+  lp::SimplexOptions simplex = options.simplex;
+  if (options.budget != nullptr) simplex.budget = options.budget;
+  std::optional<lp::LpInstance> instance;
+  instance.emplace(formulation.model(), simplex);
   auto finish = [&]() {
-    out.warm_solves = static_cast<int>(instance.warm_solves());
-    out.cold_fallbacks = static_cast<int>(instance.cold_fallbacks());
+    out.warm_solves = static_cast<int>(instance->warm_solves());
+    out.cold_fallbacks = static_cast<int>(instance->cold_fallbacks());
     return out;
   };
+
+  // The solve trajectory so far: for every LP solved, the model row count
+  // it saw and whether it went through the warm path.  This is the recovery
+  // script for the basis fault points: the MRLC degree/cut LPs are heavily
+  // degenerate, so a cold re-solve over the full model may legally land on
+  // a *different* optimal vertex and steer the remaining cut rounds toward
+  // a different (equally optimal) tree.  Replaying the recorded trajectory
+  // on a fresh instance instead reconstructs the exact basis that was
+  // lost, so a recovered run is guaranteed to finish with the same tree as
+  // a clean one.
+  struct Step {
+    int rows;   ///< model rows visible to this solve
+    bool warm;  ///< went through sync_new_rows + resolve
+  };
+  std::vector<Step> trajectory;
+  const auto replay_trajectory = [&]() {
+    instance.emplace(formulation.model(), trajectory.front().rows, simplex);
+    lp::SolveStatus status = lp::SolveStatus::kOptimal;
+    for (const Step& step : trajectory) {
+      instance->sync_new_rows(step.rows);
+      const lp::Solution s = (step.warm && instance->has_basis())
+                                 ? instance->resolve()
+                                 : instance->solve();
+      status = s.status;
+      if (status != lp::SolveStatus::kOptimal) break;
+    }
+    return status;
+  };
+
   for (int round = 0; round < options.max_rounds; ++round) {
+    // Deterministic checkpoint: a budget that ran out inside the previous
+    // round's separation sweep stops the loop here, before the next solve.
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      out.status = lp::SolveStatus::kInterrupted;
+      return finish();
+    }
     lp::Solution sol;
-    if (options.warm_start && instance.has_basis()) {
-      instance.sync_new_rows();
-      sol = instance.resolve();
+    if (options.warm_start && instance->has_basis()) {
+      // Fault points: the retained basis is lost between rounds
+      // (`lp.drop_basis`), or the warm reoptimization must be abandoned
+      // before its first pivot (`lp.force_cold`).  Both recover by
+      // deterministic replay (see `trajectory` above); the recovery is
+      // audited only after the replay actually restored an optimal basis.
+      const bool dropped = fault::fire("lp.drop_basis");
+      const bool forced = fault::fire("lp.force_cold");
+      if (dropped || forced) {
+        const lp::SolveStatus replayed = replay_trajectory();
+        if (replayed != lp::SolveStatus::kOptimal) {
+          // Only a budget interrupt can stop a replay of previously optimal
+          // solves; surface it like any other interrupted round.
+          out.status = replayed;
+          return finish();
+        }
+        if (dropped) fault::note_recovered("lp.drop_basis");
+        if (forced) fault::note_recovered("lp.force_cold");
+      }
+      instance->sync_new_rows();
+      sol = instance->resolve();
+      trajectory.push_back({formulation.model().constraint_count(), true});
     } else {
       // Round 0, warm starting disabled, or the basis was invalidated: the
       // cold path reads the full model, so nothing can be out of sync.
-      sol = instance.solve();
+      sol = instance->solve();
+      trajectory.push_back({formulation.model().constraint_count(), false});
     }
     ++out.lp_solves;
     out.simplex_iterations += sol.iterations;
@@ -103,12 +164,21 @@ CutLpResult solve_with_subtour_cuts(MrlcLpFormulation& formulation,
     if (sol.status != lp::SolveStatus::kOptimal) return finish();
 
     out.objective = sol.objective;
+    out.has_objective = true;
     out.edge_values = formulation.edge_values(sol.values);
 
-    const auto violated =
-        find_violated_subtours(formulation.working_graph(), out.edge_values,
-                               1e-6, options.separation_mode, options.pool);
-    if (violated.empty()) return finish();
+    const auto violated = find_violated_subtours(
+        formulation.working_graph(), out.edge_values, 1e-6,
+        options.separation_mode, options.pool, options.budget);
+    if (violated.empty()) {
+      // An empty sweep normally certifies "no violated subtour"; under an
+      // exhausted budget it may merely mean the sweep was cut short, so the
+      // optimum cannot be trusted as fully separated.
+      if (options.budget != nullptr && options.budget->exhausted()) {
+        out.status = lp::SolveStatus::kInterrupted;
+      }
+      return finish();
+    }
     for (const auto& subset : violated) {
       formulation.add_subtour_row(subset);
       ++out.cuts_added;

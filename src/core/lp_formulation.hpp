@@ -86,6 +86,12 @@ class MrlcLpFormulation {
 struct CutLpResult {
   lp::SolveStatus status = lp::SolveStatus::kInfeasible;
   double objective = 0.0;
+  /// True once at least one cut round reached a simplex optimum; then
+  /// `objective` holds the optimum of the *last completed* round.  Every
+  /// completed round solves a relaxation of the fully-cut LP, so on
+  /// interruption that value is still a valid lower bound on it — this is
+  /// what the anytime layer reports as the dual bound.
+  bool has_objective = false;
   /// Per edge-id value of x (size = edge_count of the working graph).
   std::vector<double> edge_values;
   int cuts_added = 0;
@@ -113,6 +119,11 @@ struct CutLoopOptions {
   /// pool across the outer iterations of one IRA solve so sets discovered
   /// under earlier degree caps are rechecked for free later.
   SubtourCutPool* pool = nullptr;
+  /// Optional cooperative budget (not owned).  Threaded into the simplex
+  /// (one unit per pivot) and the separation sweep (one unit per max-flow);
+  /// when it runs out the loop stops at the next deterministic checkpoint
+  /// and reports `kInterrupted`.  Overrides `simplex.budget`.
+  Budget* budget = nullptr;
 };
 
 /// \brief Alternates simplex solves with subtour separation until the

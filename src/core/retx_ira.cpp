@@ -55,6 +55,7 @@ RetxIraResult retx_aware_ira(const wsn::Network& net, double lifetime_bound,
   cut_options.max_rounds = options.max_cut_rounds;
   cut_options.warm_start = options.warm_start;
   cut_options.pool = &cut_pool;
+  cut_options.budget = options.budget;
 
   // Per-node energy budget in joules per round.
   std::vector<double> budget(static_cast<std::size_t>(n));
@@ -63,6 +64,10 @@ RetxIraResult retx_aware_ira(const wsn::Network& net, double lifetime_bound,
   }
 
   while (constrained_count > 0) {
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      throw BudgetExhaustedError(
+          "budget exhausted between retx-IRA outer iterations");
+    }
     ++stats.outer_iterations;
 
     std::vector<std::optional<double>> caps(static_cast<std::size_t>(n));
@@ -87,6 +92,12 @@ RetxIraResult retx_aware_ira(const wsn::Network& net, double lifetime_bound,
       os << "no aggregation tree meets the retransmission-aware lifetime "
          << lifetime_bound << " under the conservative energy rows";
       throw InfeasibleError(os.str());
+    }
+    if (lp_result.status == lp::SolveStatus::kInterrupted) {
+      std::ostringstream os;
+      os << "budget exhausted inside the retx-aware cutting-plane loop "
+         << "(outer iteration " << stats.outer_iterations << ")";
+      throw BudgetExhaustedError(os.str());
     }
     MRLC_ENSURE(lp_result.status == lp::SolveStatus::kOptimal,
                 "retx-aware LP failed to converge");

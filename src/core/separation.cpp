@@ -1,7 +1,9 @@
 #include "core/separation.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "common/faultpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/trace.hpp"
@@ -187,9 +189,27 @@ SeparationCut min_subtour_cut_containing(const graph::Graph& g,
   return network.min_cut_containing(forced_in);
 }
 
+namespace {
+
+/// Always-on validation of a set coming out of the cut pool: sorted,
+/// strictly increasing (no duplicates), every vertex in range, |S| >= 2.
+/// The pool stores sets in exactly this form, so a failure means the
+/// memory was corrupted after `remember` — the caller falls back to the
+/// pristine source rather than feeding a bad row to the LP.
+bool pooled_set_ok(const std::vector<graph::VertexId>& subset, int n) {
+  if (subset.size() < 2) return false;
+  for (std::size_t i = 0; i < subset.size(); ++i) {
+    if (subset[i] < 0 || subset[i] >= n) return false;
+    if (i > 0 && subset[i] <= subset[i - 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 std::vector<std::vector<graph::VertexId>> find_violated_subtours(
     const graph::Graph& g, const std::vector<double>& edge_values, double tolerance,
-    SeparationMode mode, SubtourCutPool* pool) {
+    SeparationMode mode, SubtourCutPool* pool, Budget* budget) {
   trace::ScopedPhase phase("separation");
   static metrics::Counter& calls = metrics::counter("separation.calls");
   static metrics::Counter& violated_sets =
@@ -250,7 +270,21 @@ std::vector<std::vector<graph::VertexId>> find_violated_subtours(
   // same instance frequently separate the next one too.
   if (pool) {
     for (const auto& subset : pool->sets()) {
-      if (consider(subset)) {
+      std::vector<graph::VertexId> candidate = subset;
+      // Fault point: the pooled memory hands back a corrupted set (as a
+      // buggy cross-iteration cache would).
+      if (fault::fire("cutpool.corrupt") && !candidate.empty()) {
+        candidate.push_back(candidate.front());  // duplicate => invalid
+      }
+      if (!pooled_set_ok(candidate, n)) {
+        // Audited recovery: re-read the pristine pooled set; if even the
+        // source fails validation, skip it — a dropped recheck only costs
+        // a max-flow later, never a wrong row.
+        candidate = subset;
+        if (!pooled_set_ok(candidate, n)) continue;
+        fault::note_recovered("cutpool.corrupt");
+      }
+      if (consider(std::move(candidate))) {
         pool_hits.add();
         if (result.size() >= 4) break;
       }
@@ -320,10 +354,31 @@ std::vector<std::vector<graph::VertexId>> find_violated_subtours(
       networks.emplace_back(g, edge_values);
     }
   }
+  std::vector<char> failed(kBatch, 0);
   for (std::size_t start = 0; start < candidates.size(); start += kBatch) {
+    // Deterministic budget checkpoint: batch boundaries are a serial
+    // function of the candidate list, never of thread scheduling.  Cutting
+    // the sweep short returns whatever was found so far; the caller treats
+    // an empty result under an exhausted budget as "not certified".
+    if (budget != nullptr && budget->exhausted()) break;
     const std::size_t end = std::min(start + kBatch, candidates.size());
     const int batch_size = static_cast<int>(end - start);
+    std::fill(failed.begin(), failed.end(), 0);
     default_pool().for_each(batch_size, [&](int i) {
+      // Fault point: a worker task dies outright.  No recovery here — the
+      // pool rethrows from the smallest failing index, and the error
+      // surfaces as a typed internal failure (exit code 5 in mrlc_solve).
+      if (fault::fire("parallel.task_fail")) {
+        throw std::runtime_error(
+            "injected: thread-pool task failure (fault parallel.task_fail)");
+      }
+      // Fault point: one max-flow evaluation fails (fired before the solve
+      // so the retry below keeps separation.maxflow_calls at one per
+      // candidate).  The slot is marked and recomputed serially at merge.
+      if (fault::fire("separation.flow_fail")) {
+        failed[static_cast<std::size_t>(i)] = 1;
+        return;
+      }
       const Candidate& c = candidates[start + static_cast<std::size_t>(i)];
       if (on_span_hyperplane) {
         slots[static_cast<std::size_t>(i)] =
@@ -334,8 +389,25 @@ std::vector<std::vector<graph::VertexId>> find_violated_subtours(
                        : min_subtour_cut(g, edge_values, r, c.u);
       }
     });
+    // One budget unit per candidate, charged at this serial merge point so
+    // exhaustion happens at the same sweep position for every thread count.
+    if (budget != nullptr) budget->charge(batch_size);
     for (int i = 0; i < batch_size; ++i) {
       SeparationCut& cut = slots[static_cast<std::size_t>(i)];
+      if (failed[static_cast<std::size_t>(i)] != 0) {
+        // Audited recovery: rebuild the auxiliary network from the graph
+        // and re-run the candidate serially.  The retried flow is exact,
+        // so a recovered sweep returns the same cuts as a clean one.
+        const Candidate& c = candidates[start + static_cast<std::size_t>(i)];
+        if (on_span_hyperplane) {
+          SubtourSweepNetwork retry(g, edge_values);
+          cut = retry.min_cut_containing(c.u);
+        } else {
+          cut = c.u_inside ? min_subtour_cut(g, edge_values, c.u, r)
+                           : min_subtour_cut(g, edge_values, r, c.u);
+        }
+        fault::note_recovered("separation.flow_fail");
+      }
       if (cut.f_value < 2.0 - tolerance) consider(std::move(cut.subset));
     }
     // A couple of cuts per round is enough to make progress; adding every

@@ -23,6 +23,7 @@
 #include <set>
 #include <vector>
 
+#include "common/budget.hpp"
 #include "graph/graph.hpp"
 
 namespace mrlc::core {
@@ -80,10 +81,15 @@ class SubtourCutPool {
 ///        before any max-flow runs, the sweep order follows the pool's hot
 ///        vertices, and newly found sets are remembered.  Pass nullptr for
 ///        the stateless oracle.
+/// \param budget  optional cooperative budget (not owned): one unit per
+///        max-flow, charged at the serial batch merge so the charge points
+///        are thread-count independent.  An exhausted budget stops the
+///        sweep at the next batch boundary and returns whatever was found
+///        so far — an empty result then does NOT certify separation.
 std::vector<std::vector<graph::VertexId>> find_violated_subtours(
     const graph::Graph& g, const std::vector<double>& edge_values,
     double tolerance = 1e-6, SeparationMode mode = SeparationMode::kExact,
-    SubtourCutPool* pool = nullptr);
+    SubtourCutPool* pool = nullptr, Budget* budget = nullptr);
 
 /// One Padberg–Wolsey minimizer result: the minimizing subset and its
 /// objective value f(S) (violated iff f < 2).

@@ -41,7 +41,6 @@ DataPlaneResult run_dataplane(wsn::Network net, wsn::AggregationTree tree,
   std::vector<int> pending_improve(static_cast<std::size_t>(links), -1);
 
   DataPlaneResult out;
-  out.rounds = options.rounds;
   std::vector<double> consumed(static_cast<std::size_t>(n), 0.0);
   std::uint64_t delivered_total = 0;
   std::uint64_t data_tx_total = 0;
@@ -57,7 +56,13 @@ DataPlaneResult run_dataplane(wsn::Network net, wsn::AggregationTree tree,
     };
   }
 
+  int completed_rounds = 0;
   for (int round = 0; round < options.rounds; ++round) {
+    // Cooperative budget: one unit per round, charged at this serial point.
+    // The loop body is deterministic given the round index, so an early
+    // stop truncates the run at the same round for every configuration.
+    if (options.budget != nullptr && !options.budget->charge(1)) break;
+    ++completed_rounds;
     // 1. True link qualities drift; the channel processes follow.
     const std::vector<LinkEvent> oracle_events = churn.step(net, churn_rng);
     channels.sync(net);
@@ -141,7 +146,10 @@ DataPlaneResult run_dataplane(wsn::Network net, wsn::AggregationTree tree,
     }
   }
 
-  const auto denom = static_cast<double>(options.rounds);
+  out.rounds = completed_rounds;
+  // Normalize per-round statistics by the rounds actually simulated (the
+  // max guards the all-budget-spent-up-front case against dividing by 0).
+  const auto denom = static_cast<double>(std::max(1, completed_rounds));
   out.delivery_ratio =
       n > 1 ? static_cast<double>(delivered_total) /
                   (denom * static_cast<double>(n - 1))

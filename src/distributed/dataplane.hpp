@@ -27,6 +27,7 @@
 
 #include <cstdint>
 
+#include "common/budget.hpp"
 #include "distributed/churn.hpp"
 #include "distributed/link_estimator.hpp"
 #include "distributed/maintainer.hpp"
@@ -48,6 +49,11 @@ struct DataPlaneOptions {
   /// beacon sample; 0 disables probing (improvements then go unnoticed).
   double probe_probability = 0.1;
   std::uint64_t seed = 0xDA7A91A7EULL;
+  /// Optional cooperative budget (not owned): one unit per simulated round,
+  /// charged at the (serial) top of the round loop.  When it runs out the
+  /// simulation stops early and every per-round average is normalized by
+  /// the rounds actually completed (`DataPlaneResult::rounds`).
+  Budget* budget = nullptr;
 
   void validate() const {
     MRLC_REQUIRE(rounds >= 1, "need at least one round");
@@ -57,6 +63,8 @@ struct DataPlaneOptions {
 };
 
 struct DataPlaneResult {
+  /// Rounds actually simulated: `options.rounds` unless a budget stopped
+  /// the run early.
   int rounds = 0;
   // Data plane:
   double delivery_ratio = 0.0;       ///< delivered non-sink readings / expected

@@ -24,6 +24,18 @@ constexpr double kEliminationTol = 1e-14;
 LpInstance::LpInstance(const Model& model, SimplexOptions options)
     : model_(model), options_(options) {}
 
+LpInstance::LpInstance(const Model& model, int visible_rows,
+                       SimplexOptions options)
+    : model_(model), options_(options), visible_rows_(visible_rows) {
+  MRLC_REQUIRE(visible_rows >= 0 && visible_rows <= model.constraint_count(),
+               "visible row horizon out of range");
+}
+
+int LpInstance::visible_row_count() const {
+  const int total = model_.constraint_count();
+  return visible_rows_ < 0 ? total : std::min(visible_rows_, total);
+}
+
 // ---------------------------------------------------------------- build --
 
 void LpInstance::build() {
@@ -61,7 +73,8 @@ void LpInstance::build() {
     rows.push_back(NormalizedRow{std::move(coeffs), rel, rhs, sign, model_row});
   };
 
-  for (RowId r = 0; r < model_.constraint_count(); ++r) {
+  const int visible = visible_row_count();
+  for (RowId r = 0; r < visible; ++r) {
     std::vector<double> coeffs(static_cast<std::size_t>(n), 0.0);
     double rhs = model_.rhs(r);
     for (const Term& t : model_.terms(r)) {
@@ -139,7 +152,7 @@ void LpInstance::build() {
         break;
     }
   }
-  model_rows_ingested_ = model_.constraint_count();
+  model_rows_ingested_ = visible;
 }
 
 void LpInstance::ensure_column_capacity(int columns) {
@@ -211,6 +224,11 @@ SolveStatus LpInstance::optimize(int* iteration_counter) {
   bool prev_bland = false;
   double last_objective = objective_;
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Budget checkpoint: one unit per pivot, charged serially (this loop is
+    // single-threaded) so the interruption point is thread-count invariant.
+    if (options_.budget != nullptr && !options_.budget->charge(1)) {
+      return SolveStatus::kInterrupted;
+    }
     ++*iteration_counter;
     if (!streak_bland && options_.bland_degenerate_streak > 0 &&
         degenerate_streak > options_.bland_degenerate_streak) {
@@ -283,6 +301,9 @@ SolveStatus LpInstance::dual_optimize(int* iteration_counter) {
   bool streak_bland = false;
   bool prev_bland = false;
   for (int iter = 0; iter < cap; ++iter) {
+    if (options_.budget != nullptr && !options_.budget->charge(1)) {
+      return SolveStatus::kInterrupted;
+    }
     ++*iteration_counter;
     if (!streak_bland && options_.bland_degenerate_streak > 0 &&
         degenerate_streak > options_.bland_degenerate_streak) {
@@ -521,7 +542,20 @@ bool LpInstance::ingest_row(RowId row) {
 }
 
 int LpInstance::sync_new_rows() {
-  const int total = model_.constraint_count();
+  visible_rows_ = -1;
+  return sync_visible();
+}
+
+int LpInstance::sync_new_rows(int up_to_rows) {
+  MRLC_REQUIRE(up_to_rows >= model_rows_ingested_ &&
+                   up_to_rows <= model_.constraint_count(),
+               "row horizon must not retreat below ingested rows");
+  visible_rows_ = up_to_rows;
+  return sync_visible();
+}
+
+int LpInstance::sync_visible() {
+  const int total = visible_row_count();
   const int fresh = total - model_rows_ingested_;
   if (fresh <= 0) return 0;
   if (!have_basis_) {
@@ -606,7 +640,8 @@ Solution LpInstance::solve() {
     // Empty model: feasible iff every row is satisfied by the empty point.
     Solution out;
     bool ok = true;
-    for (RowId r = 0; r < model_.constraint_count(); ++r) {
+    const int visible = visible_row_count();
+    for (RowId r = 0; r < visible; ++r) {
       const double rhs = model_.rhs(r);
       switch (model_.relation(r)) {
         case Relation::kLessEqual: ok = ok && rhs >= -1e-9; break;
@@ -616,7 +651,7 @@ Solution LpInstance::solve() {
     }
     out.status = ok ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
     have_basis_ = false;
-    model_rows_ingested_ = model_.constraint_count();
+    model_rows_ingested_ = visible;
     return out;
   }
   trace::ScopedPhase phase("simplex");
@@ -636,7 +671,7 @@ Solution LpInstance::cold_solve_locked() {
   if (artificial_count_ > 0) {
     load_costs_phase1();
     const SolveStatus s1 = optimize(&out.iterations);
-    if (s1 == SolveStatus::kIterationLimit) {
+    if (s1 == SolveStatus::kIterationLimit || s1 == SolveStatus::kInterrupted) {
       out.status = s1;
       return out;
     }
@@ -660,7 +695,7 @@ Solution LpInstance::cold_solve_locked() {
 
 Solution LpInstance::resolve() {
   if (model_.variable_count() == 0 || !have_basis_ ||
-      model_rows_ingested_ != model_.constraint_count()) {
+      model_rows_ingested_ != visible_row_count()) {
     return solve();
   }
   trace::ScopedPhase phase("simplex");
@@ -672,8 +707,25 @@ Solution LpInstance::resolve() {
 
   bool trouble = false;
   const SolveStatus dual = dual_optimize(&out.iterations);
+  if (dual == SolveStatus::kInterrupted) {
+    // Budget ran out mid-reoptimization: the tableau is mid-pivot-sequence
+    // (a valid basis, but neither primal feasible nor certified), so the
+    // retained state is abandoned rather than trusted or re-solved.
+    out.status = SolveStatus::kInterrupted;
+    have_basis_ = false;
+    record_solve(out, /*warm=*/false, /*fallback=*/false, degenerate_before,
+                 bland_before);
+    return out;
+  }
   if (dual == SolveStatus::kOptimal) {
     const SolveStatus primal = optimize(&out.iterations);
+    if (primal == SolveStatus::kInterrupted) {
+      out.status = SolveStatus::kInterrupted;
+      have_basis_ = false;
+      record_solve(out, /*warm=*/false, /*fallback=*/false, degenerate_before,
+                   bland_before);
+      return out;
+    }
     if (primal == SolveStatus::kUnbounded) {
       // A genuinely unbounded direction is certified by the tableau itself;
       // a cold re-solve could only rediscover it.

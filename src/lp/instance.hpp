@@ -48,6 +48,15 @@ class LpInstance {
   /// instance; variables must not be added after attachment.
   explicit LpInstance(const Model& model, SimplexOptions options = {});
 
+  /// Bounded attachment for trajectory replay (fault recovery): the cold
+  /// build only reads the first `visible_rows` model rows, and later rows
+  /// become visible through the bounded `sync_new_rows(int)` overload.
+  /// Replaying a recorded solve/sync trajectory on such an instance
+  /// reconstructs the exact basis the original instance held — including
+  /// on degenerate LPs with multiple optimal vertices, where a plain cold
+  /// re-solve over the full model may land elsewhere.
+  LpInstance(const Model& model, int visible_rows, SimplexOptions options);
+
   /// Cold two-phase solve: rebuilds the tableau from the model (including
   /// every row appended so far) and runs Phase 1 + Phase 2 from scratch.
   /// On success the final basis is retained for later `resolve` calls.
@@ -64,7 +73,12 @@ class LpInstance {
   /// Non-equality rows are added incrementally in the current basis;
   /// equality rows (which need an artificial column) invalidate the basis
   /// so the next solve is cold.  \return number of rows ingested.
+  /// The parameterless form lifts any replay horizon and ingests every
+  /// model row; the bounded form raises the horizon to exactly
+  /// `up_to_rows` (which must not retreat below the rows already
+  /// ingested) — the replay primitive.
   int sync_new_rows();
+  int sync_new_rows(int up_to_rows);
 
   /// Propagates `model.rhs(row)` after a `Model::set_rhs` edit.  The basis
   /// is kept; call `resolve()` to restore feasibility/optimality.
@@ -86,6 +100,8 @@ class LpInstance {
  private:
   Solution cold_solve_locked();
   bool ingest_row(RowId row);
+  int sync_visible();
+  int visible_row_count() const;
 
   void build();
   void ensure_column_capacity(int columns);
@@ -131,6 +147,7 @@ class LpInstance {
   bool phase1_ = false;
   bool have_basis_ = false;
   int model_rows_ingested_ = 0;     ///< model rows reflected in the tableau
+  int visible_rows_ = -1;           ///< replay horizon; -1 = whole model
 
   long long degenerate_pivots_ = 0;   ///< cumulative, all solves
   long long bland_activations_ = 0;   ///< cumulative Bland switchovers

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "common/budget.hpp"
 #include "lp/model.hpp"
 
 namespace mrlc::lp {
@@ -25,6 +26,11 @@ enum class SolveStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  /// The attached `Budget` (SimplexOptions::budget) ran out mid-solve.
+  /// Distinct from kIterationLimit (the solver's own pivot cap) so the
+  /// anytime layer can report "budget exhausted" rather than "numerical
+  /// trouble".  The basis is abandoned; callers must not read `values`.
+  kInterrupted,
 };
 
 /// Result of a solve.  `values` / `is_basic` are indexed by the model's
@@ -54,6 +60,12 @@ struct SimplexOptions {
   /// this long is the signature of an incipient cycle.  Each switchover is
   /// counted in `simplex.bland_activations`.
   int bland_degenerate_streak = 40;
+  /// Optional cooperative budget, charged one unit per pivot (the pivot
+  /// loops are serial, so the charge points are deterministic).  When it
+  /// runs out mid-solve the status is `kInterrupted`.  Not owned; null
+  /// means unlimited and leaves the solver's behavior bit-identical to a
+  /// budget-free build.
+  Budget* budget = nullptr;
 };
 
 class SimplexSolver {

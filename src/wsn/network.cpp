@@ -32,7 +32,11 @@ void Network::set_link_prr(EdgeId link, double prr) {
 
 void Network::set_initial_energy(VertexId v, double joules) {
   MRLC_REQUIRE(v >= 0 && v < node_count(), "node out of range");
-  MRLC_REQUIRE(joules > 0.0, "initial energy must be positive");
+  // isfinite first: "joules > 0" alone would wave +inf through (NaN already
+  // fails every comparison) and an infinite battery breaks every lifetime
+  // bound downstream.
+  MRLC_REQUIRE(std::isfinite(joules) && joules > 0.0,
+               "initial energy must be positive and finite");
   initial_energy_[static_cast<std::size_t>(v)] = joules;
 }
 
@@ -67,7 +71,8 @@ int Network::alive_node_count() const {
 
 void Network::validate() const {
   for (double e : initial_energy_) {
-    MRLC_REQUIRE(e > 0.0, "all nodes need positive initial energy");
+    MRLC_REQUIRE(std::isfinite(e) && e > 0.0,
+                 "all nodes need positive finite initial energy");
   }
   for (double q : prr_) {
     MRLC_REQUIRE(q > 0.0 && q <= 1.0, "all PRRs must lie in (0, 1]");

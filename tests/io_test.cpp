@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/rng.hpp"
@@ -120,6 +123,54 @@ TEST(NetworkIo, MalformedInputsRejectedWithLineNumbers) {
           << "message '" << e.what() << "' lacks '" << c.needle << "'";
     }
   }
+}
+
+TEST(NetworkIo, NonFiniteValuesRejected) {
+  // The text parser cannot even produce non-finite doubles (num_get rejects
+  // "inf"/"nan" tokens and overflows), but the programmatic setters are an
+  // API of their own and must hold the same line.
+  Network net(3, 0);
+  net.add_link(0, 1, 0.9);
+  net.add_link(1, 2, 0.8);
+  EXPECT_THROW(net.set_initial_energy(0, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(net.set_initial_energy(0, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(net.set_initial_energy(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(net.set_initial_energy(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 2, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW(net.add_link(0, 2, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(net.set_link_prr(0, 0.0), std::invalid_argument);
+  // The network is untouched by the rejected writes.
+  EXPECT_DOUBLE_EQ(net.link_prr(0), 0.9);
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(NetworkIo, CorruptCorpusEveryFileRejected) {
+  // Every file in tests/data/corrupt/ must fail with a typed parse error —
+  // never an unhandled crash, never a silently constructed network.
+  namespace fs = std::filesystem;
+  int seen = 0;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(MRLC_CORRUPT_DIR)) {
+    if (entry.path().extension() != ".net") continue;
+    ++seen;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.is_open()) << entry.path();
+    std::ostringstream text;
+    text << in.rdbuf();
+    EXPECT_THROW(network_from_string(text.str()), std::invalid_argument)
+        << entry.path();
+    try {
+      network_from_string(text.str());
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("parse error"), std::string::npos)
+          << entry.path() << ": " << e.what();
+    }
+  }
+  EXPECT_GE(seen, 10) << "corrupt corpus went missing from " << MRLC_CORRUPT_DIR;
 }
 
 TEST(NetworkIo, LineNumbersAreReported) {

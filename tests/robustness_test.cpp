@@ -1,0 +1,277 @@
+/// \file robustness_test.cpp
+/// \brief The PR's acceptance battery: Budget token semantics, anytime
+/// statuses (optimal / budget-exhausted / infeasible / cancelled), the
+/// 25%-budget anytime gate with thread-count determinism, and the fault
+/// injection harness (every recoverable fault recovers to the identical
+/// tree; `parallel.task_fail` surfaces as a typed error).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "baselines/mst_baseline.hpp"
+#include "common/budget.hpp"
+#include "common/faultpoint.hpp"
+#include "common/parallel.hpp"
+#include "core/anytime.hpp"
+#include "core/ira.hpp"
+#include "helpers.hpp"
+#include "scenario/dfl.hpp"
+#include "wsn/io.hpp"
+
+namespace mrlc {
+namespace {
+
+// --------------------------------------------------------------- Budget --
+
+TEST(Budget, WorkLimitExhaustsAtTheLimit) {
+  Budget budget;
+  budget.set_work_limit(3);
+  EXPECT_TRUE(budget.charge());   // used 1
+  EXPECT_TRUE(budget.charge());   // used 2
+  EXPECT_TRUE(budget.charge());   // used 3 == limit: still within budget
+  EXPECT_FALSE(budget.charge());  // used 4 > limit
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.used(), 4);
+  // Sticky: headroom never comes back.
+  EXPECT_FALSE(budget.charge());
+}
+
+TEST(Budget, ZeroLimitExhaustsOnFirstCharge) {
+  Budget budget;
+  budget.set_work_limit(0);
+  EXPECT_FALSE(budget.exhausted()) << "exhaustion is observed at a charge";
+  EXPECT_FALSE(budget.charge());
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(Budget, BulkChargeCountsEveryUnit) {
+  Budget budget;
+  budget.set_work_limit(100);
+  EXPECT_TRUE(budget.charge(100));
+  EXPECT_FALSE(budget.charge(1));
+  EXPECT_EQ(budget.used(), 101);
+}
+
+TEST(Budget, CancelIsStickyAndCrossesCharges) {
+  Budget budget;
+  EXPECT_TRUE(budget.charge());
+  budget.cancel();
+  EXPECT_TRUE(budget.cancelled());
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_FALSE(budget.charge());
+}
+
+TEST(Budget, ExpiredDeadlineIsObservedAtTheStride) {
+  // The steady clock is only polled once per 64 charged units; an already
+  // expired deadline therefore shows up at the first stride boundary, not
+  // on the first charge.
+  Budget budget;
+  budget.set_deadline_ms(0);
+  EXPECT_TRUE(budget.charge());  // used 1: no poll yet
+  bool headroom = true;
+  for (int i = 0; i < 63; ++i) headroom = budget.charge();
+  EXPECT_FALSE(headroom) << "used 64 crossed the stride, clock must be seen";
+  EXPECT_TRUE(budget.exhausted());
+}
+
+TEST(Budget, UnlimitedNeverExhausts) {
+  Budget budget;
+  EXPECT_TRUE(budget.charge(1'000'000));
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_FALSE(budget.has_deadline());
+}
+
+// -------------------------------------------------------------- anytime --
+
+TEST(Anytime, UnlimitedRunMatchesPlainIra) {
+  const testing::ToyNetwork toy;
+  const double bound = baselines::mst_baseline(toy.net).lifetime;
+
+  core::IraOptions direct;
+  direct.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult plain =
+      core::IterativeRelaxation(direct).solve(toy.net, bound);
+
+  const core::AnytimeResult anytime = core::solve_anytime(toy.net, bound);
+  EXPECT_EQ(anytime.status, core::AnytimeStatus::kOptimal);
+  EXPECT_FALSE(anytime.from_incumbent);
+  EXPECT_DOUBLE_EQ(anytime.cost, plain.cost);
+  EXPECT_EQ(wsn::tree_to_string(anytime.tree), wsn::tree_to_string(plain.tree));
+  EXPECT_TRUE(anytime.meets_bound);
+  // The certified gap is finite and consistent with the bound.
+  EXPECT_GE(anytime.dual_bound, 0.0);
+  EXPECT_GE(anytime.gap, 0.0);
+  EXPECT_NEAR(anytime.gap, anytime.cost - anytime.dual_bound, 1e-9);
+}
+
+TEST(Anytime, ZeroBudgetReturnsTheSeedIncumbent) {
+  const testing::ToyNetwork toy;
+  const double bound = baselines::mst_baseline(toy.net).lifetime;
+  Budget budget;
+  budget.set_work_limit(0);
+  core::AnytimeOptions options;
+  options.budget = &budget;
+
+  const core::AnytimeResult result = core::solve_anytime(toy.net, bound, options);
+  EXPECT_EQ(result.status, core::AnytimeStatus::kFeasibleBudgetExhausted);
+  EXPECT_TRUE(result.from_incumbent);
+  EXPECT_TRUE(result.meets_bound) << "the MST achieves its own lifetime";
+  EXPECT_EQ(result.tree.node_count(), toy.net.node_count());
+  EXPECT_GE(result.gap, 0.0);
+  EXPECT_FALSE(result.message.empty());
+}
+
+TEST(Anytime, CancellationComesBackAsItsOwnStatus) {
+  const testing::ToyNetwork toy;
+  const double bound = baselines::mst_baseline(toy.net).lifetime;
+  Budget budget;
+  budget.cancel();
+  core::AnytimeOptions options;
+  options.budget = &budget;
+
+  const core::AnytimeResult result = core::solve_anytime(toy.net, bound, options);
+  EXPECT_EQ(result.status, core::AnytimeStatus::kCancelled);
+  EXPECT_TRUE(result.from_incumbent);
+  EXPECT_EQ(result.tree.node_count(), toy.net.node_count());
+}
+
+/// The headline acceptance gate: on a stock bench workload, a budget of
+/// 25% of the full run's work must yield a typed budget-exhausted result
+/// carrying an LC-feasible tree and a finite certified gap — and the whole
+/// outcome (tree, gap, units charged) must be bit-identical across thread
+/// counts.
+TEST(Anytime, QuarterBudgetYieldsFeasibleTreeDeterministically) {
+  const wsn::Network net = scenario::make_dfl_system().network;
+  const double bound = baselines::mst_baseline(net).lifetime;
+
+  // Full run, with a budget attached only to meter the total work.
+  Budget meter;
+  core::AnytimeOptions metered;
+  metered.budget = &meter;
+  const core::AnytimeResult full = core::solve_anytime(net, bound, metered);
+  ASSERT_EQ(full.status, core::AnytimeStatus::kOptimal);
+  ASSERT_GT(meter.used(), 0);
+
+  const auto run_quarter = [&](unsigned threads) {
+    const unsigned before = default_thread_count();
+    set_default_thread_count(threads);
+    Budget budget;
+    budget.set_work_limit(meter.used() / 4);
+    core::AnytimeOptions options;
+    options.budget = &budget;
+    const core::AnytimeResult result = core::solve_anytime(net, bound, options);
+    set_default_thread_count(before);
+    return std::make_pair(result, budget.used());
+  };
+
+  const auto [serial, serial_used] = run_quarter(1);
+  EXPECT_EQ(serial.status, core::AnytimeStatus::kFeasibleBudgetExhausted);
+  EXPECT_TRUE(serial.meets_bound);
+  EXPECT_EQ(serial.tree.node_count(), net.node_count());
+  EXPECT_GE(serial.dual_bound, 0.0);
+  EXPECT_GE(serial.gap, 0.0);
+  EXPECT_LE(serial.cost, full.cost + full.gap + 1.0)
+      << "incumbent cost must stay in a sane range";
+
+  const auto [wide, wide_used] = run_quarter(8);
+  EXPECT_EQ(wide.status, serial.status);
+  EXPECT_EQ(wide_used, serial_used)
+      << "budget charges must hit serial checkpoints only";
+  EXPECT_EQ(wsn::tree_to_string(wide.tree), wsn::tree_to_string(serial.tree));
+  EXPECT_DOUBLE_EQ(wide.cost, serial.cost);
+  EXPECT_DOUBLE_EQ(wide.gap, serial.gap);
+}
+
+// --------------------------------------------------------------- faults --
+
+/// Every fault test disarms the process-wide registry on both sides so a
+/// failing assertion cannot leak an armed fault into later tests.
+class FaultHarness : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::reset(); }
+  void TearDown() override { fault::reset(); }
+};
+
+TEST_F(FaultHarness, ConfigureRejectsUnknownNamesListingTheRegistry) {
+  try {
+    fault::configure("no.such_fault");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no.such_fault"), std::string::npos) << what;
+    EXPECT_NE(what.find("lp.force_cold"), std::string::npos)
+        << "message must list the registered points: " << what;
+  }
+  EXPECT_THROW(fault::configure("lp.force_cold:zero"), std::invalid_argument);
+  EXPECT_THROW(fault::configure("lp.force_cold:0"), std::invalid_argument);
+  EXPECT_EQ(fault::registered().size(), 5u);
+}
+
+TEST_F(FaultHarness, OneShotFormFiresOnTheKthArrivalOnly) {
+  fault::configure("lp.force_cold:2");
+  EXPECT_FALSE(fault::fire("lp.force_cold"));
+  EXPECT_TRUE(fault::fire("lp.force_cold"));
+  EXPECT_FALSE(fault::fire("lp.force_cold"));
+  EXPECT_EQ(fault::injected_count(), 1);
+}
+
+TEST_F(FaultHarness, UnarmedPointsNeverFire) {
+  EXPECT_FALSE(fault::fire("lp.force_cold"));
+  EXPECT_EQ(fault::injected_count(), 0);
+}
+
+/// The recoverable faults, each forced on *every* arrival over a full IRA
+/// solve on the 16-node DFL instance: the returned tree and cost must be
+/// identical to a clean run, and every injection must be matched by an
+/// audited recovery.
+TEST_F(FaultHarness, RecoverableFaultsReturnTheIdenticalTree) {
+  const wsn::Network net = scenario::make_dfl_system().network;
+  const double bound = baselines::mst_baseline(net).lifetime;
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  const core::IraResult clean =
+      core::IterativeRelaxation(options).solve(net, bound);
+  const std::string clean_tree = wsn::tree_to_string(clean.tree);
+
+  const struct {
+    const char* name;
+    bool must_fire;  ///< cutpool.corrupt needs pool hits this workload lacks
+  } kFaults[] = {
+      {"lp.force_cold", true},
+      {"lp.drop_basis", true},
+      {"separation.flow_fail", true},
+      {"cutpool.corrupt", false},
+  };
+  for (const auto& f : kFaults) {
+    fault::reset();
+    fault::configure(f.name);
+    const core::IraResult faulted =
+        core::IterativeRelaxation(options).solve(net, bound);
+    EXPECT_EQ(wsn::tree_to_string(faulted.tree), clean_tree) << f.name;
+    EXPECT_DOUBLE_EQ(faulted.cost, clean.cost) << f.name;
+    if (f.must_fire) EXPECT_GT(fault::injected_count(), 0) << f.name;
+    EXPECT_EQ(fault::injected_count(), fault::recovered_count())
+        << f.name << ": every injection needs an audited recovery";
+  }
+}
+
+TEST_F(FaultHarness, PoolTaskFailureSurfacesAsTypedError) {
+  const wsn::Network net = scenario::make_dfl_system().network;
+  const double bound = baselines::mst_baseline(net).lifetime;
+  fault::configure("parallel.task_fail");
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  try {
+    core::IterativeRelaxation(options).solve(net, bound);
+    FAIL() << "expected the injected task failure to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_GT(fault::injected_count(), 0);
+}
+
+}  // namespace
+}  // namespace mrlc

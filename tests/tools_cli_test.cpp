@@ -248,6 +248,112 @@ TEST(ToolsCli, BenchDeterministicModeIsReproducible) {
       0);
 }
 
+// ------------------------------------------------------ exit-code contract --
+//
+// mrlc_solve documents: 0 solved, 2 feasible-budget-exhausted (incumbent
+// printed), 3 infeasible, 4 bad usage / malformed input, 5 internal error.
+
+TEST(ToolsCli, UsageAndBadFlagsExitFour) {
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " no-such-mode < " + network_path() +
+                        " > /dev/null 2> /dev/null"),
+            4);
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime < " + network_path() +
+                        " > /dev/null 2> /dev/null"),
+            4)
+      << "flag with missing value";
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 100 --threads banana < " +
+                        network_path() + " > /dev/null 2> /dev/null"),
+            4);
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 100 --inject no.such_fault < " +
+                        network_path() + " > /dev/null 2> /dev/null"),
+            4);
+  EXPECT_EQ(run_command("MRLC_FAULTS=no.such_fault " +
+                        std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 100 < " + network_path() +
+                        " > /dev/null 2> /dev/null"),
+            4);
+}
+
+TEST(ToolsCli, CorruptCorpusExitsFour) {
+  // Every file in the malformed-input corpus must die with the documented
+  // parse/validation exit code — not a crash, not a tree.
+  const char* kCorpus[] = {"energy_negative.net", "prr_zero.net",
+                           "prr_above_one.net",   "truncated.net",
+                           "bad_keyword.net",     "sink_out_of_range.net"};
+  for (const char* name : kCorpus) {
+    const std::string path = std::string(MRLC_CORRUPT_DIR) + "/" + name;
+    EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) + " mst < " + path +
+                          " > /dev/null 2> /dev/null"),
+              4)
+        << name;
+  }
+}
+
+TEST(ToolsCli, InfeasibleBoundExitsThree) {
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 1000000000 < " + network_path() +
+                        " > /dev/null 2> /dev/null"),
+            3);
+}
+
+TEST(ToolsCli, BudgetExhaustionExitsTwoWithDeterministicIncumbent) {
+  // A tiny work budget forces the anytime path: exit 2, a valid incumbent
+  // tree on stdout, and — the determinism contract — byte-identical output
+  // for every thread count.
+  const std::string serial = tmp_path("tools_cli_budget_t1.txt");
+  const std::string wide = tmp_path("tools_cli_budget_t8.txt");
+  const std::string base_cmd = std::string(MRLC_TOOL_SOLVE) +
+                               " ira --lifetime 100 --budget 5 < " +
+                               network_path();
+  EXPECT_EQ(run_command(base_cmd + " --threads 1 > " + serial +
+                        " 2> /dev/null"),
+            2);
+  EXPECT_EQ(run_command(base_cmd + " --threads 8 > " + wide +
+                        " 2> /dev/null"),
+            2);
+  const std::string tree = read_file(serial);
+  EXPECT_NE(tree.find("mrlc-tree"), std::string::npos);
+  EXPECT_EQ(tree, read_file(wide));
+}
+
+TEST(ToolsCli, UnlimitedBudgetStillExitsZero) {
+  // A generous budget must not change the happy path's exit code.
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 100 --budget 100000000 < " +
+                        network_path() + " > /dev/null 2> /dev/null"),
+            0);
+}
+
+TEST(ToolsCli, InjectedRecoverableFaultsReproduceTheCleanTree) {
+  const std::string clean = tmp_path("tools_cli_fault_clean.txt");
+  ASSERT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 100 < " + network_path() + " > " +
+                        clean + " 2> /dev/null"),
+            0);
+  const std::string clean_tree = read_file(clean);
+  for (const char* name : {"lp.force_cold", "lp.drop_basis",
+                           "cutpool.corrupt", "separation.flow_fail"}) {
+    const std::string out = tmp_path(std::string("tools_cli_fault_") + name);
+    EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                          " ira --lifetime 100 --inject " + name + " < " +
+                          network_path() + " > " + out + " 2> /dev/null"),
+              0)
+        << name;
+    EXPECT_EQ(read_file(out), clean_tree) << name;
+  }
+}
+
+TEST(ToolsCli, InjectedTaskFailureExitsFive) {
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 100 --inject parallel.task_fail < " +
+                        network_path() + " > /dev/null 2> /dev/null"),
+            5);
+}
+
 TEST(ToolsCli, BenchCountersIdenticalAcrossThreadCounts) {
   // The PR 4/5 determinism invariant, end to end: every counter in the
   // bench output — pivots, cuts, max-flow calls, pool hits — is a pure

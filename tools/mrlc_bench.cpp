@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <functional>
@@ -38,10 +39,12 @@
 #endif
 
 #include "baselines/mst_baseline.hpp"
+#include "common/budget.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
+#include "core/anytime.hpp"
 #include "core/branch_bound.hpp"
 #include "core/ira.hpp"
 #include "distributed/dataplane.hpp"
@@ -76,59 +79,67 @@ wsn::Network random_net(int nodes, double p, std::uint64_t seed) {
   return scenario::make_random_network(config, rng);
 }
 
-std::vector<Workload> make_workloads() {
+/// One IRA repeat, optionally under an anytime work budget (--budget).
+/// With `budget_units == 0` this is byte-for-byte the historical direct
+/// IRA path (no Budget object exists, no anytime layer runs), so stock
+/// bench documents are unchanged.
+void run_ira(const wsn::Network& net, std::int64_t budget_units) {
+  if (budget_units > 0) {
+    Budget budget;
+    budget.set_work_limit(budget_units);
+    core::AnytimeOptions options;
+    options.budget = &budget;
+    core::solve_anytime(net, mst_bound(net), options);
+    return;
+  }
+  core::IraOptions options;
+  options.bound_mode = core::BoundMode::kDirect;
+  core::IterativeRelaxation(options).solve(net, mst_bound(net));
+}
+
+std::vector<Workload> make_workloads(std::int64_t budget_units) {
   std::vector<Workload> out;
 
   out.push_back({"ira_dfl_n16", "IRA on the 16-node DFL testbed instance",
-                 [](int) {
+                 [budget_units](int) {
                    const wsn::Network net = scenario::make_dfl_system().network;
-                   core::IraOptions options;
-                   options.bound_mode = core::BoundMode::kDirect;
-                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                   run_ira(net, budget_units);
                  }});
 
   out.push_back({"ira_random_n16_p07",
                  "IRA on G(16, 0.7) instances, one fresh draw per repeat",
-                 [](int repeat) {
+                 [budget_units](int repeat) {
                    const wsn::Network net = random_net(
                        16, 0.7, 1000 + static_cast<std::uint64_t>(repeat));
-                   core::IraOptions options;
-                   options.bound_mode = core::BoundMode::kDirect;
-                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                   run_ira(net, budget_units);
                  }});
 
   out.push_back({"ira_random_n24_p04",
                  "IRA on sparser G(24, 0.4) instances (more cut rounds)",
-                 [](int repeat) {
+                 [budget_units](int repeat) {
                    const wsn::Network net = random_net(
                        24, 0.4, 2000 + static_cast<std::uint64_t>(repeat));
-                   core::IraOptions options;
-                   options.bound_mode = core::BoundMode::kDirect;
-                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                   run_ira(net, budget_units);
                  }});
 
   out.push_back({"ira_random_n48_p04",
                  "IRA on G(48, 0.4) instances — the warm-start stress case "
                  "(many cut rounds over a large LP)",
-                 [](int repeat) {
+                 [budget_units](int repeat) {
                    const wsn::Network net = random_net(
                        48, 0.4, 5000 + static_cast<std::uint64_t>(repeat));
-                   core::IraOptions options;
-                   options.bound_mode = core::BoundMode::kDirect;
-                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                   run_ira(net, budget_units);
                  }});
 
   out.push_back({"ira_dfl_n32",
                  "IRA on a 32-node DFL perimeter (7.2 m square, same tripod "
                  "spacing) — longer-range fractional cycles than n16",
-                 [](int) {
+                 [budget_units](int) {
                    scenario::DflConfig config;
                    config.side_m = 7.2;  // 32 tripods at the default 0.9 m
                    const wsn::Network net =
                        scenario::make_dfl_system(config).network;
-                   core::IraOptions options;
-                   options.bound_mode = core::BoundMode::kDirect;
-                   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+                   run_ira(net, budget_units);
                  }});
 
   out.push_back({"bb_random_n14", "exact branch-and-bound on G(14, 0.5)",
@@ -210,7 +221,11 @@ std::string indent_block(const std::string& json, const std::string& pad) {
 
 [[noreturn]] void usage() {
   std::cerr << "usage: mrlc_bench [--out PATH] [--repeats N] [--workload NAME]\n"
-               "                  [--list] [--no-timings] [--threads N]\n";
+               "                  [--list] [--no-timings] [--threads N]\n"
+               "                  [--budget UNITS]\n"
+               "  --budget UNITS  run the IRA workloads through the anytime\n"
+               "                  solver with a fresh work budget per repeat\n"
+               "                  (0 = unlimited, the classic direct path)\n";
   std::exit(2);
 }
 
@@ -225,6 +240,7 @@ int main(int argc, char** argv) {
   // Default 1 (not hardware concurrency): bench baselines checked into the
   // repo must mean the same thing on every machine.
   unsigned threads = 1;
+  std::int64_t budget_units = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -240,13 +256,16 @@ int main(int argc, char** argv) {
       only = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--budget" && i + 1 < argc) {
+      budget_units = std::stoll(argv[++i]);
+      if (budget_units < 0) usage();
     } else {
       usage();
     }
   }
   mrlc::set_default_thread_count(threads);
 
-  const std::vector<Workload> workloads = make_workloads();
+  const std::vector<Workload> workloads = make_workloads(budget_units);
   if (list_only) {
     for (const Workload& w : workloads) {
       std::cout << w.name << "  " << w.description << '\n';
@@ -312,7 +331,8 @@ int main(int argc, char** argv) {
       << std::thread::hardware_concurrency() << "},\n";
   out << "  \"config\": {\"repeats\": " << repeats << ", \"timings\": "
       << (with_timings ? "true" : "false")
-      << ", \"threads\": " << mrlc::default_thread_count() << "},\n";
+      << ", \"threads\": " << mrlc::default_thread_count()
+      << ", \"budget\": " << budget_units << "},\n";
   out << "  \"workloads\": [\n" << body.str() << "\n  ]\n";
   out << "}\n";
   std::cerr << "wrote " << out_path << '\n';

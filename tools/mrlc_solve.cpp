@@ -33,10 +33,13 @@
 #include <string>
 
 #include "baselines/aaml.hpp"
+#include "common/budget.hpp"
+#include "common/faultpoint.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "baselines/greedy_mrlc.hpp"
 #include "baselines/mst_baseline.hpp"
+#include "core/anytime.hpp"
 #include "core/feasibility.hpp"
 #include "core/solver.hpp"
 #include "core/ira.hpp"
@@ -71,8 +74,21 @@ namespace {
                "  --threads N           worker threads for the parallel solver\n"
                "                        core (0 = hardware concurrency); the\n"
                "                        tree and counters are identical for\n"
-               "                        every N\n";
-  std::exit(2);
+               "                        every N\n"
+               "  --deadline-ms N       wall-clock budget; ira/auto then run\n"
+               "                        anytime: on exhaustion the best\n"
+               "                        incumbent tree and a certified gap\n"
+               "                        are returned with exit code 2\n"
+               "  --budget N            deterministic work budget (simplex\n"
+               "                        pivots + separation max-flows); same\n"
+               "                        anytime semantics, bit-reproducible\n"
+               "  --inject SPEC         arm fault points: name[:K][,...]\n"
+               "                        (K = fire on the Kth arrival only;\n"
+               "                        also via env MRLC_FAULTS)\n"
+               "exit codes:\n"
+               "  0 solved   2 feasible, budget exhausted (incumbent printed)\n"
+               "  3 infeasible   4 bad usage or malformed input   5 internal\n";
+  std::exit(4);
 }
 
 const char* status_name(mrlc::dist::RepairStatus status) {
@@ -96,7 +112,7 @@ int replay_faults(mrlc::wsn::Network& net, const std::string& input,
   if (schedule.empty()) {
     std::cerr << "mrlc_solve: input has no fault-schedule block "
                  "(generate one with mrlc_gen --faults)\n";
-    return 2;
+    return 4;
   }
 
   core::IraOptions ira_options;
@@ -199,6 +215,15 @@ int run_dataplane_cmd(const mrlc::wsn::Network& net, const std::string& input,
     options.churn.cost_noise_sigma = std::stod(flags["churn-sigma"]);
   }
   if (flags.count("seed")) options.seed = std::stoull(flags["seed"]);
+  mrlc::Budget budget;
+  if (flags.count("budget")) {
+    budget.set_work_limit(std::stoll(flags["budget"]));
+    options.budget = &budget;  // one unit per simulated round
+  }
+  if (flags.count("deadline-ms")) {
+    budget.set_deadline_ms(std::stoll(flags["deadline-ms"]));
+    options.budget = &budget;
+  }
   options.validate();
   options.arq.validate();
   options.channel.validate();
@@ -267,6 +292,22 @@ void emit_metrics(const std::string& path) {
   mrlc::metrics::write_json(out);
 }
 
+/// Builds the budget token from `--budget` / `--deadline-ms`; returns true
+/// when either flag was present (the token is then armed).
+bool configure_budget(std::map<std::string, std::string>& flags,
+                      mrlc::Budget& budget) {
+  bool armed = false;
+  if (flags.count("budget")) {
+    budget.set_work_limit(std::stoll(flags["budget"]));
+    armed = true;
+  }
+  if (flags.count("deadline-ms")) {
+    budget.set_deadline_ms(std::stoll(flags["deadline-ms"]));
+    armed = true;
+  }
+  return armed;
+}
+
 int run(const std::string& mode, std::map<std::string, std::string>& flags) {
   using namespace mrlc;
   try {
@@ -293,6 +334,32 @@ int run(const std::string& mode, std::map<std::string, std::string>& flags) {
                 << "LP-certified upper bound:        " << bracket.upper
                 << " rounds (" << bracket.probes << " LP probes)\n";
       return 0;
+    }
+
+    // With a budget or deadline the LP-tier modes run through the anytime
+    // layer: typed status, best incumbent on exhaustion, certified gap —
+    // and exit code 2 instead of an exception when the budget runs out.
+    Budget budget;
+    const bool has_budget = configure_budget(flags, budget);
+    if (has_budget && (mode == "ira" || mode == "auto")) {
+      if (!flags.count("lifetime")) usage();
+      if (flags.count("strict")) {
+        std::cerr << "mrlc_solve: note: anytime solving always uses the "
+                     "direct relaxation; --strict is ignored\n";
+      }
+      core::AnytimeOptions options;
+      options.budget = &budget;
+      const core::AnytimeResult res =
+          core::solve_anytime(net, std::stod(flags["lifetime"]), options);
+      std::cerr << "anytime: " << core::to_string(res.status) << ": "
+                << res.message << '\n';
+      if (res.status == core::AnytimeStatus::kInfeasible) return 3;
+      std::cerr << "dual bound " << res.dual_bound << " nats, certified gap "
+                << res.gap << " nats, budget used " << budget.used()
+                << " work units\n";
+      report(net, res.tree, mode);
+      wsn::write_tree(std::cout, res.tree);
+      return res.status == core::AnytimeStatus::kOptimal ? 0 : 2;
     }
 
     wsn::AggregationTree tree;
@@ -340,9 +407,18 @@ int run(const std::string& mode, std::map<std::string, std::string>& flags) {
   } catch (const InfeasibleError& e) {
     std::cerr << "infeasible: " << e.what() << '\n';
     return 3;
+  } catch (const BudgetExhaustedError& e) {
+    // Only reachable from paths that bypass the anytime layer (e.g. a
+    // budget on the dataplane's inner IRA); still a typed, documented exit.
+    std::cerr << "budget exhausted: " << e.what() << '\n';
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    // Malformed input files, bad flag values, broken preconditions.
+    std::cerr << "mrlc_solve: invalid input: " << e.what() << '\n';
+    return 4;
   } catch (const std::exception& e) {
-    std::cerr << "mrlc_solve: " << e.what() << '\n';
-    return 1;
+    std::cerr << "mrlc_solve: internal error: " << e.what() << '\n';
+    return 5;
   }
   return 0;
 }
@@ -350,6 +426,13 @@ int run(const std::string& mode, std::map<std::string, std::string>& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Fault points arm before anything else so even the parser is covered.
+  try {
+    mrlc::fault::configure_from_env();
+  } catch (const std::exception& e) {
+    std::cerr << "mrlc_solve: MRLC_FAULTS: " << e.what() << '\n';
+    return 4;
+  }
   if (argc < 2) usage();
   const std::string mode = argv[1];
 
@@ -368,17 +451,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (flags.count("inject")) {
+    try {
+      mrlc::fault::configure(flags["inject"]);
+    } catch (const std::exception& e) {
+      std::cerr << "mrlc_solve: --inject: " << e.what() << '\n';
+      return 4;
+    }
+  }
+
   if (flags.count("threads")) {
     try {
       mrlc::set_default_thread_count(
           static_cast<unsigned>(std::stoul(flags["threads"])));
     } catch (const std::exception&) {
       std::cerr << "mrlc_solve: --threads expects a non-negative integer\n";
-      return 2;
+      return 4;
     }
   }
 
+  // Eagerly register the solver-status instruments so every mrlc_solve
+  // metrics document carries them (zero-valued when unused); library code
+  // registers the same keys lazily to keep bench output byte-stable.
+  mrlc::metrics::counter("solver.budget_hits");
+  mrlc::metrics::counter("faults.injected");
+  mrlc::metrics::counter("faults.recovered");
+  mrlc::metrics::gauge("solver.status");
+
   const int exit_code = run(mode, flags);
+  if (mrlc::fault::injected_count() > 0 || mrlc::fault::recovered_count() > 0) {
+    std::cerr << "faults: " << mrlc::fault::injected_count() << " injected, "
+              << mrlc::fault::recovered_count() << " recovered\n";
+  }
+  // The exit code doubles as the machine-readable solver status.
+  mrlc::metrics::gauge("solver.status").set(exit_code);
   // Metrics are emitted even when the solve failed: the partial counters
   // (LP solves before an infeasibility, say) are exactly what one wants
   // when diagnosing the failure.
