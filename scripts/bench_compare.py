@@ -10,6 +10,13 @@ than the baseline is reported as a regression.  The two *algorithmic work*
 counters — ``simplex.pivots`` and ``separation.maxflow_calls`` — get their
 own per-workload delta columns (the headline numbers for warm-start /
 separation changes) and are excluded from the generic drift warnings.
+Service workloads (anything that bumped ``service.requests``) additionally
+get first-class queries/sec and p99 request-latency columns, derived from
+the completed-request counter over the measured wall time and from the
+``service.request_us`` histogram; a shed rate that grew versus the
+baseline is reported as a warning, never a failure (shedding is the
+service doing its job under overload, but a regression in admission
+capacity is worth a look).
 Any other counter drift (seeded workloads should be bit-identical),
 workloads missing from the current run, and workloads without a baseline
 are reported as warnings, since they usually mean the algorithm or the
@@ -91,6 +98,47 @@ def work_budget(doc):
     return doc.get("config", {}).get("budget", 0)
 
 
+def is_service_workload(workload):
+    counters = workload.get("metrics", {}).get("counters", {})
+    return "service.requests" in counters
+
+
+def service_qps(workload):
+    """Completed requests per second over the workload's total wall time,
+    or None when timings were disabled (wall time is zeroed)."""
+    counters = workload.get("metrics", {}).get("counters", {})
+    total_ms = workload.get("wall_ms", {}).get("total", 0.0)
+    if total_ms <= 0.0:
+        return None
+    return counters.get("service.completed", 0) * 1000.0 / total_ms
+
+
+def service_p99_us(workload):
+    """p99 of the end-to-end request latency histogram, or None when the
+    run had timings off (the histogram is never registered then)."""
+    hist = workload.get("metrics", {}).get("histograms", {})
+    entry = hist.get("service.request_us")
+    if not isinstance(entry, dict) or not entry.get("count"):
+        return None
+    return entry.get("p99", 0)
+
+
+def service_shed_rate(workload):
+    counters = workload.get("metrics", {}).get("counters", {})
+    requests = counters.get("service.requests", 0)
+    if not requests:
+        return 0.0
+    return counters.get("service.shed_overload", 0) / requests
+
+
+def fmt_qps(value):
+    return "n/a" if value is None else f"{value:.1f}/s"
+
+
+def fmt_p99(value):
+    return "n/a" if value is None else f"{value} us"
+
+
 def compare(baseline, current, threshold):
     regressions = []
     warnings = []
@@ -138,6 +186,20 @@ def compare(baseline, current, threshold):
             deltas = ", ".join(work_delta(base_counters, cur_counters, key)
                                for key in WORK_COUNTERS)
             print(f"     {name}: {deltas}")
+
+        if is_service_workload(base) or is_service_workload(cur):
+            base_rate = service_shed_rate(base)
+            cur_rate = service_shed_rate(cur)
+            print(f"     {name}: qps {fmt_qps(service_qps(base))} -> "
+                  f"{fmt_qps(service_qps(cur))}, "
+                  f"p99 {fmt_p99(service_p99_us(base))} -> "
+                  f"{fmt_p99(service_p99_us(cur))}, "
+                  f"shed {base_rate:.1%} -> {cur_rate:.1%}")
+            if cur_rate > base_rate + 1e-12:
+                warnings.append(
+                    f"{name}: shed rate grew {base_rate:.1%} -> "
+                    f"{cur_rate:.1%} (overload shedding is graceful but "
+                    f"admission capacity regressed)")
 
         for key in sorted(base_counters.keys() | cur_counters.keys()):
             if key in WORK_COUNTERS:

@@ -15,7 +15,12 @@
 #      with a byte-identical tree, an unrecoverable one must exit with
 #      the typed internal-error code; the corrupt-input corpus is fed to
 #      the ASan mrlc_solve expecting the parse/validation exit code;
-#   6. bench: mrlc_bench sweep, compared against the committed
+#   6. service smoke: a real mrlc_serve daemon on a Unix socket, driven
+#      with mrlc_client (release build) — trees must be byte-identical to
+#      the one-shot solver, an injected worker crash and a corrupt payload
+#      must come back as *typed* replies with the daemon still serving,
+#      and SIGTERM must drain cleanly (exit 0, final metrics flushed);
+#   7. bench: mrlc_bench sweep, compared against the committed
 #      BENCH_solver.json baseline.  Timing deltas are a *report*, not a
 #      gate — shared CI machines are too noisy to fail on wall clock.
 #
@@ -111,6 +116,114 @@ fault_smoke() {
   echo "ci[$label]: every forced fault recovered identically or exited typed"
 }
 
+# Service smoke: one daemon, one socket, the whole robustness contract.
+# The service must answer with the *same bytes* as the one-shot anytime
+# solver (`mrlc_solve ira --budget <huge>` — the direct-bound path the
+# service runs), turn an injected worker crash and a corrupt payload into
+# typed replies without dying, serve a repeated topology from the warm
+# cache byte-identically, and drain on SIGTERM with exit 0 and a final
+# metrics flush.
+service_smoke() {
+  local bindir="$1" label="$2"
+  local gen="$bindir/tools/mrlc_gen" solve="$bindir/tools/mrlc_solve"
+  local serve="$bindir/tools/mrlc_serve" client="$bindir/tools/mrlc_client"
+  echo "=== [$label] solver-service smoke ==="
+  local dir="$bindir/service_smoke"
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  local sock="$dir/mrlc.sock"
+
+  "$gen" dfl --nodes 16 --seed 7 > "$dir/a.net"
+  "$gen" random --nodes 14 --seed 11 > "$dir/b.net"
+  # One-shot reference: the service always solves through the anytime
+  # layer (direct bound), so the parity target is `ira` with a budget.
+  "$solve" ira --lifetime 100 --budget 1000000000 < "$dir/a.net" \
+    > "$dir/oneshot.tree"
+
+  # Fault arrival 2 is the second solved request: request 1 below is the
+  # parity check, request 2 the designated crash victim.
+  "$serve" --socket "$sock" --no-timings --inject service.worker_crash:2 \
+    --metrics-json "$dir/metrics.json" > "$dir/serve.log" 2>&1 &
+  local serve_pid=$!
+  local i
+  for i in $(seq 1 100); do
+    [[ -S "$sock" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -S "$sock" ]]; then
+    echo "ci: mrlc_serve never bound $sock" >&2
+    exit 1
+  fi
+
+  # 1. Byte parity with the one-shot solver.
+  "$client" --socket "$sock" --lifetime 100 --budget 1000000000 \
+    < "$dir/a.net" > "$dir/service.tree" 2> "$dir/client_parity.err"
+  if ! cmp -s "$dir/oneshot.tree" "$dir/service.tree"; then
+    echo "ci: service tree differs from one-shot mrlc_solve" >&2
+    exit 1
+  fi
+
+  # 2. Injected worker crash -> typed `cancelled` reply (client exit 7),
+  #    daemon keeps serving.
+  local rc
+  set +e
+  "$client" --socket "$sock" --lifetime 100 --budget 1000000000 \
+    < "$dir/b.net" > /dev/null 2> "$dir/client_crash.err"
+  rc=$?
+  set -e
+  if [[ $rc -ne 7 ]]; then
+    echo "ci: injected worker crash: expected the typed-cancelled exit 7, got $rc" >&2
+    exit 1
+  fi
+
+  # 3. Corrupt payload -> typed `invalid_request` reply (client exit 4),
+  #    daemon keeps serving.
+  local corrupt
+  corrupt="$(ls "$repo"/tests/data/corrupt/*.net | head -1)"
+  set +e
+  "$client" --socket "$sock" --lifetime 100 < "$corrupt" \
+    > /dev/null 2> "$dir/client_corrupt.err"
+  rc=$?
+  set -e
+  if [[ $rc -ne 4 ]]; then
+    echo "ci: corrupt payload: expected the typed-invalid exit 4, got $rc" >&2
+    exit 1
+  fi
+  if ! kill -0 "$serve_pid" 2>/dev/null; then
+    echo "ci: mrlc_serve died on a malformed request" >&2
+    exit 1
+  fi
+
+  # 4. Repeat of request 1 -> served from the warm result cache, still
+  #    byte-identical.
+  "$client" --socket "$sock" --lifetime 100 --budget 1000000000 \
+    < "$dir/a.net" > "$dir/service_repeat.tree" 2> "$dir/client_repeat.err"
+  if ! cmp -s "$dir/oneshot.tree" "$dir/service_repeat.tree"; then
+    echo "ci: cached service reply differs from the first solve" >&2
+    exit 1
+  fi
+
+  # 5. SIGTERM -> drain, exit 0, final metrics flushed.
+  kill -TERM "$serve_pid"
+  set +e
+  wait "$serve_pid"
+  rc=$?
+  set -e
+  if [[ $rc -ne 0 ]]; then
+    echo "ci: mrlc_serve SIGTERM drain: expected exit 0, got $rc" >&2
+    exit 1
+  fi
+  if ! grep -q "mrlc_serve: drained" "$dir/serve.log"; then
+    echo "ci: mrlc_serve never reported a completed drain" >&2
+    exit 1
+  fi
+  if ! grep -q '"service.completed"' "$dir/metrics.json"; then
+    echo "ci: mrlc_serve drain did not flush the final metrics" >&2
+    exit 1
+  fi
+  echo "ci[$label]: service parity, typed faults, warm cache, and drain all clean"
+}
+
 # The malformed-input corpus through the sanitized parser: each file must
 # die with the documented parse/validation exit code — no crash, no tree,
 # and (under ASan) no silent memory error on the way out.
@@ -136,6 +249,7 @@ corrupt_corpus() {
 [[ $run_tsan -eq 1 ]] && run_tsan_suite
 
 [[ $run_release -eq 1 ]] && fault_smoke "$repo/build-release" release
+[[ $run_release -eq 1 ]] && service_smoke "$repo/build-release" release
 [[ $run_asan -eq 1 ]] && corrupt_corpus "$repo/build-asan/tools/mrlc_solve" asan
 
 echo "=== docs ==="

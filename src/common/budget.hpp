@@ -43,16 +43,24 @@ class Budget {
   Budget(const Budget&) = delete;
   Budget& operator=(const Budget&) = delete;
 
-  /// Caps the total chargeable work at `units` (>= 0; 0 exhausts on the
-  /// first charge).  Unset by default (unlimited).
+  /// Caps the total chargeable work at `units` (>= 0).  Zero is a *hard*
+  /// zero: the token reports `exhausted()` immediately, before any charge,
+  /// so callers that check at their entry checkpoint (the IRA outer loop,
+  /// the cut loop) never start the work — the anytime layer then returns
+  /// the seeded incumbent with zero units used.  Unset by default
+  /// (unlimited).
   void set_work_limit(std::int64_t units) {
     work_limit_ = units < 0 ? -1 : units;
+    if (work_limit_ == 0) exhausted_.store(true, std::memory_order_relaxed);
   }
 
-  /// Sets the deadline to `ms` milliseconds from now (>= 0).
+  /// Sets the deadline to `ms` milliseconds from now.  Like the hard-zero
+  /// work limit, `ms <= 0` means "already expired": the token is exhausted
+  /// before any work runs instead of after the first clock-poll stride.
   void set_deadline_ms(std::int64_t ms) {
     deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
     has_deadline_ = true;
+    if (ms <= 0) exhausted_.store(true, std::memory_order_relaxed);
   }
 
   /// Requests cooperative cancellation; safe from any thread.

@@ -22,13 +22,14 @@ struct Point {
 /// The registry is a fixed array: fault points are code locations, not
 /// runtime data, and a fixed array keeps `fire` lock-free.
 Point& points(int i) {
-  static Point registry[5] = {
+  static Point registry[8] = {
       {"lp.force_cold"},      {"lp.drop_basis"},        {"parallel.task_fail"},
-      {"cutpool.corrupt"},    {"separation.flow_fail"},
+      {"cutpool.corrupt"},    {"separation.flow_fail"}, {"service.worker_crash"},
+      {"service.cache_poison"}, {"service.slow_request"},
   };
   return registry[i];
 }
-constexpr int kPointCount = 5;
+constexpr int kPointCount = 8;
 
 std::atomic<int> armed_count{0};
 std::atomic<long long> injected_total{0};

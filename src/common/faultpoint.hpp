@@ -28,13 +28,24 @@
 ///
 /// Registered points and their designed outcomes:
 ///
-/// | fault point           | forced failure                      | outcome        |
-/// |-----------------------|-------------------------------------|----------------|
-/// | `lp.force_cold`       | warm resolve abandons its basis     | recover (cold) |
-/// | `lp.drop_basis`       | retained basis silently invalidated | recover (cold) |
-/// | `parallel.task_fail`  | a pool task throws mid-batch        | typed error    |
-/// | `cutpool.corrupt`     | pooled subtour set corrupted        | recover (skip) |
-/// | `separation.flow_fail`| batch max-flow fails                | recover (retry)|
+/// | fault point            | forced failure                      | outcome         |
+/// |------------------------|-------------------------------------|-----------------|
+/// | `lp.force_cold`        | warm resolve abandons its basis     | recover (cold)  |
+/// | `lp.drop_basis`        | retained basis silently invalidated | recover (cold)  |
+/// | `parallel.task_fail`   | a pool task throws mid-batch        | typed error     |
+/// | `cutpool.corrupt`      | pooled subtour set corrupted        | recover (skip)  |
+/// | `separation.flow_fail` | batch max-flow fails                | recover (retry) |
+/// | `service.worker_crash` | a service worker dies mid-solve     | typed CANCELLED |
+/// | `service.cache_poison` | a warm cache entry is poisoned      | recover (drop)  |
+/// | `service.slow_request` | a request stalls for tens of ms     | recover (none)  |
+///
+/// The three `service.*` points live in the solver daemon
+/// (`src/service/server.cpp`): a crashed worker turns into a typed
+/// `cancelled` reply (the request dies, the daemon does not), a poisoned
+/// cache entry is dropped and its topology quarantined (never retried),
+/// and a slow request simply burns wall clock so deadline/overload paths
+/// can be exercised on demand.  The full inventory and recovery contract
+/// is tabulated in docs/algorithms.md §14.
 ///
 /// Counters: `faults.injected` increments on every fired fault,
 /// `faults.recovered` on every audited recovery (so injected == recovered

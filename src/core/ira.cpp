@@ -91,7 +91,10 @@ IraResult IterativeRelaxation::solve(const wsn::Network& net,
   // The pool is deliberately not gated on warm_start: separation then sees
   // identical fractional points in both modes, so warm vs cold differ only
   // in pivot paths — the invariant the warm/cold property tests pin down.
-  cut_options.pool = &cut_pool;
+  // A caller-owned shared pool (the service warm cache) replaces the
+  // per-solve one wholesale, so remembered sets outlive this solve.
+  cut_options.pool =
+      options_.shared_pool != nullptr ? options_.shared_pool : &cut_pool;
   cut_options.budget = options_.budget;
 
   while (constrained_count > 0) {
@@ -110,6 +113,7 @@ IraResult IterativeRelaxation::solve(const wsn::Network& net,
     stats.lp_solves += lp_result.lp_solves;
     stats.simplex_iterations += lp_result.simplex_iterations;
     stats.cuts_added += lp_result.cuts_added;
+    stats.cold_fallbacks += lp_result.cold_fallbacks;
 
     // Publish the dual bound as soon as the first outer iteration has any
     // completed cut-round optimum — every completed round solves a

@@ -28,6 +28,8 @@
 
 namespace mrlc::core {
 
+class SubtourCutPool;  // core/separation.hpp
+
 /// Which internal bound the LP's degree rows encode.
 enum class BoundMode {
   /// The paper's Line 3: L' = I_min*LC / (I_min - 2*Rx*LC), about two
@@ -75,6 +77,19 @@ struct IraOptions {
   /// and exists for A/B verification.
   bool warm_start = true;
   lp::SimplexOptions simplex;
+  /// Optional caller-owned subtour cut pool shared *across* solves.  By
+  /// default each solve keeps a private pool that lives for its outer
+  /// iterations only; the solver service passes one pool per cached
+  /// topology here so sets separated for one request seed the next
+  /// (different LC, same network).  Pooled sets only ever shortcut the
+  /// separation *search* — every remembered set is re-verified against the
+  /// current fractional point before a row is added — so a warm solve is
+  /// exactly as correct as a cold one, but on degenerate LPs it may settle
+  /// on a different (equally valid) optimal vertex and hence a different
+  /// tree than a pool-free run.  Callers that need byte-reproducibility
+  /// against one-shot runs must leave this null (the service result cache
+  /// covers exact repeats).
+  SubtourCutPool* shared_pool = nullptr;
   /// Optional cooperative budget (not owned), threaded through every LP
   /// pivot and separation max-flow.  When it runs out, `solve` throws
   /// `BudgetExhaustedError` at the next deterministic checkpoint — use the
@@ -94,6 +109,10 @@ struct IraStats {
   int cuts_added = 0;
   int edges_removed = 0;
   int constraints_removed = 0;
+  /// Warm-start attempts that abandoned their basis for a cold rebuild —
+  /// a numerical-trouble signal (the service cache quarantines entries
+  /// whose solve reported any).
+  long long cold_fallbacks = 0;
   bool used_fallback = false;
 };
 

@@ -38,6 +38,24 @@ void SubtourCutPool::remember(const std::vector<graph::VertexId>& subset) {
     ++appearances_[static_cast<std::size_t>(v)];
   }
   sets_.push_back(std::move(sorted));
+  evict_to_capacity();
+}
+
+void SubtourCutPool::set_capacity(std::size_t max_sets) {
+  capacity_ = max_sets;
+  evict_to_capacity();
+}
+
+void SubtourCutPool::evict_to_capacity() {
+  if (capacity_ == 0) return;
+  while (sets_.size() > capacity_) {
+    const std::vector<graph::VertexId>& oldest = sets_.front();
+    for (graph::VertexId v : oldest) {
+      --appearances_[static_cast<std::size_t>(v)];
+    }
+    seen_.erase(oldest);
+    sets_.erase(sets_.begin());
+  }
 }
 
 std::vector<graph::VertexId> SubtourCutPool::hot_vertices(int vertex_count) const {

@@ -48,7 +48,17 @@ enum class SeparationMode { kExact, kHeuristicOnly };
 class SubtourCutPool {
  public:
   /// Records a violated set (any order; stored sorted, deduplicated).
+  /// When a capacity is set and the pool is full, the oldest remembered
+  /// set is evicted first (FIFO) so long-lived pools — the solver
+  /// service keeps one per cached topology — stay bounded in both memory
+  /// and per-recheck cost.
   void remember(const std::vector<graph::VertexId>& subset);
+
+  /// Bounds the pool at `max_sets` remembered sets (0 = unbounded, the
+  /// default).  Shrinking below the current size evicts oldest-first
+  /// immediately.
+  void set_capacity(std::size_t max_sets);
+  std::size_t capacity() const noexcept { return capacity_; }
 
   /// Pooled sets in first-remembered order (each sorted).
   const std::vector<std::vector<graph::VertexId>>& sets() const noexcept {
@@ -62,9 +72,12 @@ class SubtourCutPool {
   std::vector<graph::VertexId> hot_vertices(int vertex_count) const;
 
  private:
+  void evict_to_capacity();
+
   std::set<std::vector<graph::VertexId>> seen_;
   std::vector<std::vector<graph::VertexId>> sets_;
   std::vector<long long> appearances_;  ///< per vertex id, grown on demand
+  std::size_t capacity_ = 0;            ///< 0 = unbounded
 };
 
 /// \brief Finds vertex sets whose subtour rows are violated by the given

@@ -1,0 +1,117 @@
+#include "service/cache.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mrlc::service {
+
+std::uint64_t topology_hash(const std::string& canonical_network_text) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : canonical_network_text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string WarmCache::result_key(const std::string& variant, double lifetime,
+                                  std::int64_t budget) {
+  std::ostringstream os;
+  os.precision(17);
+  os << variant << '|' << lifetime << '|' << budget;
+  return os.str();
+}
+
+WarmCache::WarmCache(std::size_t capacity, std::size_t pool_sets)
+    : capacity_(capacity), pool_sets_(pool_sets) {}
+
+void WarmCache::touch(std::uint64_t topo, Entry& entry) {
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(topo);
+  entry.lru_pos = lru_.begin();
+}
+
+WarmCache::Entry* WarmCache::ensure_entry(std::uint64_t topo) {
+  const auto it = entries_.find(topo);
+  if (it != entries_.end()) {
+    touch(topo, it->second);
+    return &it->second;
+  }
+  // Evict from the cold end, skipping leased entries (a leased pool is
+  // borrowed by an in-flight solve; evicting it would dangle the pointer).
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    auto victim = lru_.end();
+    bool evicted = false;
+    while (victim != lru_.begin()) {
+      --victim;
+      const auto vit = entries_.find(*victim);
+      MRLC_ENSURE(vit != entries_.end(), "LRU list out of sync with entries");
+      if (!vit->second.leased) {
+        lru_.erase(victim);
+        entries_.erase(vit);
+        ++stats_.evictions;
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) return nullptr;  // everything leased; refuse to grow
+  }
+  lru_.push_front(topo);
+  Entry& entry = entries_[topo];
+  entry.lru_pos = lru_.begin();
+  entry.pool.set_capacity(pool_sets_);
+  return &entry;
+}
+
+const CachedResult* WarmCache::find_result(std::uint64_t topo,
+                                           const std::string& key) {
+  const auto it = entries_.find(topo);
+  if (it != entries_.end()) {
+    const auto rit = it->second.results.find(key);
+    if (rit != it->second.results.end()) {
+      ++stats_.result_hits;
+      touch(topo, it->second);
+      return &rit->second;
+    }
+  }
+  ++stats_.result_misses;
+  return nullptr;
+}
+
+void WarmCache::store_result(std::uint64_t topo, const std::string& key,
+                             CachedResult result) {
+  if (capacity_ == 0 || is_quarantined(topo)) return;
+  Entry* entry = ensure_entry(topo);
+  if (entry == nullptr) return;
+  entry->results[key] = std::move(result);
+}
+
+core::SubtourCutPool* WarmCache::lease(std::uint64_t topo) {
+  if (capacity_ == 0 || is_quarantined(topo)) return nullptr;
+  Entry* entry = ensure_entry(topo);
+  if (entry == nullptr || entry->leased) return nullptr;
+  entry->leased = true;
+  ++stats_.pool_leases;
+  return &entry->pool;
+}
+
+void WarmCache::release(std::uint64_t topo) {
+  const auto it = entries_.find(topo);
+  if (it == entries_.end()) return;  // quarantined while leased
+  MRLC_ENSURE(it->second.leased, "release without a matching lease");
+  it->second.leased = false;
+}
+
+void WarmCache::quarantine(std::uint64_t topo) {
+  if (!quarantined_.insert(topo).second) return;  // already quarantined
+  ++stats_.poisoned;
+  const auto it = entries_.find(topo);
+  if (it != entries_.end()) {
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+}
+
+}  // namespace mrlc::service

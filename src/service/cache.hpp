@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file cache.hpp
+/// \brief Warm-solve cache for the solver service, keyed by topology hash.
+///
+/// The service sees streams of requests against a handful of networks
+/// (different lifetime thresholds, repeated queries), so two kinds of reuse
+/// pay off:
+///
+/// 1. **Result cache.**  A converged (`ok`) solve for a given
+///    (topology, variant, lifetime, budget) tuple is deterministic, so the
+///    exact reply — tree bytes included — can be served again without
+///    touching the solver.  Byte-for-byte identical replies, `cache hit`
+///    marker set.
+/// 2. **Subtour cut-pool warmth.**  Violated vertex sets separated for one
+///    lifetime threshold usually cut off fractional points for nearby
+///    thresholds on the same topology, so each cache entry keeps a bounded
+///    `core::SubtourCutPool` that requests *lease* for the duration of one
+///    solve (exclusive — see `lease`).  Pool warmth accelerates the
+///    separation search but, on degenerate LPs, may land on a different
+///    equally-optimal tree than a cold solve (see `IraOptions::shared_pool`);
+///    callers that need one-shot byte parity solve pool-free.
+///
+/// Eviction is LRU over topology hashes, bounded by `capacity`.  Entries
+/// can be **quarantined**: when a solve against a leased pool reports
+/// warm-start cold fallbacks (numerical trouble) — or the
+/// `service.cache_poison` fault injects exactly that — the entry is
+/// dropped and its hash blacklisted, so subsequent requests for that
+/// topology run pool-free rather than against state under suspicion.
+///
+/// Thread model: NOT thread-safe.  The service mutates the cache only at
+/// serial checkpoints (batch prep and finalize, admission order), which is
+/// also what keeps hit/miss/eviction counters bit-deterministic across
+/// worker thread counts.
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/separation.hpp"
+
+namespace mrlc::service {
+
+/// \brief FNV-1a 64-bit hash of the canonical network text.  Stable across
+/// runs and platforms (unlike std::hash), so logs and tests can name
+/// topologies by hash.
+std::uint64_t topology_hash(const std::string& canonical_network_text);
+
+/// A cached converged solve: everything needed to replay the reply.
+struct CachedResult {
+  std::string tree_text;
+  double cost = 0.0;
+  double reliability = 0.0;
+  double lifetime = 0.0;
+  double gap = 0.0;
+  std::int64_t budget_used = 0;
+};
+
+/// Monotonic cache counters (mirrored into the metrics registry by the
+/// service; kept here so the cache stays metrics-agnostic and testable).
+struct CacheStats {
+  long long result_hits = 0;
+  long long result_misses = 0;
+  long long pool_leases = 0;   ///< solves that ran with a warm pool
+  long long evictions = 0;     ///< LRU evictions (capacity pressure)
+  long long poisoned = 0;      ///< quarantined entries
+};
+
+class WarmCache {
+ public:
+  /// \param capacity  max live topology entries (0 disables caching).
+  /// \param pool_sets  `SubtourCutPool::set_capacity` applied to every
+  ///        entry pool (0 = unbounded; the service default keeps them
+  ///        bounded so long-lived daemons cannot grow per-topology state).
+  explicit WarmCache(std::size_t capacity, std::size_t pool_sets = 0);
+
+  /// \brief Looks up a cached converged result.
+  /// \param topo  topology hash of the canonical network text.
+  /// \param key  result key (variant + lifetime + budget, see
+  ///        `result_key`).
+  /// \return the cached result, or nullptr (counts a hit/miss either way;
+  ///         a hit refreshes LRU recency).
+  const CachedResult* find_result(std::uint64_t topo, const std::string& key);
+
+  /// \brief Stores a converged result (creates/refreshes the entry; may
+  /// LRU-evict another).  No-op when the topology is quarantined or
+  /// capacity is 0.
+  void store_result(std::uint64_t topo, const std::string& key,
+                    CachedResult result);
+
+  /// \brief Leases the entry pool for `topo` for one solve (exclusive).
+  /// Creates the entry if absent (may LRU-evict).  Returns nullptr — and
+  /// the solve must run pool-free — when the topology is quarantined, the
+  /// pool is already leased out (two same-topology requests in one batch),
+  /// or capacity is 0.  Every successful lease must be paired with
+  /// `release` or `quarantine` at the serial finalize checkpoint.
+  core::SubtourCutPool* lease(std::uint64_t topo);
+
+  /// Returns a lease taken with `lease` (entry keeps its warmed pool).
+  void release(std::uint64_t topo);
+
+  /// \brief Drops the entry (pool and results) and blacklists the hash:
+  /// future `lease`/`store_result` calls for it are refused.  Implicitly
+  /// releases an outstanding lease.  Safe to call for never-seen hashes.
+  void quarantine(std::uint64_t topo);
+
+  bool is_quarantined(std::uint64_t topo) const {
+    return quarantined_.count(topo) != 0;
+  }
+
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+  const CacheStats& stats() const noexcept { return stats_; }
+
+  /// \brief Canonical result-cache key for a request.  Deadlines are
+  /// deliberately excluded: only converged (`ok`) results are ever stored,
+  /// and a converged answer is independent of the wall clock that raced it.
+  static std::string result_key(const std::string& variant, double lifetime,
+                                std::int64_t budget);
+
+ private:
+  struct Entry {
+    core::SubtourCutPool pool;
+    std::unordered_map<std::string, CachedResult> results;
+    std::list<std::uint64_t>::iterator lru_pos;
+    bool leased = false;
+  };
+
+  /// Moves `topo` to the most-recently-used position.
+  void touch(std::uint64_t topo, Entry& entry);
+  /// Creates (or refreshes) the entry for `topo`, LRU-evicting as needed.
+  Entry* ensure_entry(std::uint64_t topo);
+
+  std::size_t capacity_;
+  std::size_t pool_sets_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::list<std::uint64_t> lru_;  ///< front = most recent
+  std::unordered_set<std::uint64_t> quarantined_;
+  CacheStats stats_;
+};
+
+}  // namespace mrlc::service

@@ -1,0 +1,87 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace mrlc::service {
+
+Client Client::connect_unix(const std::string& socket_path,
+                            ClientOptions options) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw WireError("socket path too long for sockaddr_un");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw WireError(std::string("socket() failed: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw WireError("connect('" + socket_path +
+                    "') failed: " + std::strerror(err));
+  }
+  return Client(fd, fd, options);
+}
+
+Client::Client(int read_fd, int write_fd, ClientOptions options, bool owns_fds)
+    : read_fd_(read_fd),
+      write_fd_(write_fd),
+      owns_fds_(owns_fds),
+      options_(options),
+      jitter_(options.backoff_seed) {}
+
+Client::~Client() {
+  if (!owns_fds_) return;
+  if (read_fd_ >= 0) ::close(read_fd_);
+  if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : read_fd_(other.read_fd_),
+      write_fd_(other.write_fd_),
+      owns_fds_(other.owns_fds_),
+      options_(other.options_),
+      jitter_(other.jitter_),
+      retries_used_(other.retries_used_) {
+  other.read_fd_ = -1;
+  other.write_fd_ = -1;
+}
+
+WireResponse Client::call(const WireRequest& request) {
+  const std::string payload = encode_request(request);
+  for (int attempt = 0;; ++attempt) {
+    write_frame_fd(write_fd_, payload);
+    std::string reply_payload;
+    if (!read_frame_fd(read_fd_, reply_payload, options_.timeout_ms)) {
+      throw WireError("daemon closed the connection before replying");
+    }
+    WireResponse reply = decode_response(reply_payload);
+    if (reply.status != ResponseStatus::kRejectedOverload ||
+        attempt >= options_.max_retries) {
+      return reply;
+    }
+    ++retries_used_;
+    // Jittered exponential backoff: base * 2^attempt, scaled by a uniform
+    // factor in [0.5, 1.5) so a burst of shed clients desynchronizes
+    // instead of re-stampeding the queue in lockstep.
+    const double factor = 0.5 + jitter_.uniform();
+    const double sleep_ms =
+        static_cast<double>(options_.backoff_base_ms) *
+        static_cast<double>(1LL << std::min(attempt, 20)) * factor;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+}
+
+}  // namespace mrlc::service

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file client.hpp
+/// \brief Blocking client for the MRLC solver service.
+///
+/// Wraps one connection to a running `mrlc_serve` daemon (Unix-domain
+/// socket, or an arbitrary fd pair for tests/pipes) and provides a
+/// call-style API with the two behaviours a well-mannered service client
+/// needs:
+///
+/// * **Timeouts.**  Every call is bounded by `timeout_ms`, enforced with
+///   poll(2) across partial reads — a wedged daemon surfaces as a typed
+///   `WireError`, never a hang.
+/// * **Backoff on shed.**  `rejected_overload` replies are retried up to
+///   `max_retries` times with jittered exponential backoff (deterministic
+///   given `backoff_seed`, so tests can pin the schedule).  All other
+///   statuses — including `rejected_draining`, which this instance will
+///   never stop returning — are handed straight back to the caller.
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "service/wire.hpp"
+
+namespace mrlc::service {
+
+struct ClientOptions {
+  int timeout_ms = 30000;     ///< per-attempt reply timeout (< 0 = forever)
+  int max_retries = 4;        ///< extra attempts after an overload shed
+  int backoff_base_ms = 25;   ///< first retry sleeps ~ this, doubling after
+  std::uint64_t backoff_seed = 0x5EEDBACC0FFULL;  ///< jitter stream seed
+};
+
+class Client {
+ public:
+  /// \brief Connects to a daemon's Unix-domain socket.
+  /// \throws WireError when the socket cannot be reached.
+  static Client connect_unix(const std::string& socket_path,
+                             ClientOptions options = {});
+
+  /// Adopts an already-connected fd pair (e.g. pipes to a `--stdio`
+  /// daemon).  `read_fd`/`write_fd` may be equal (sockets).
+  Client(int read_fd, int write_fd, ClientOptions options = {},
+         bool owns_fds = true);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// \brief Sends one request and waits for its reply, retrying overload
+  /// sheds with jittered exponential backoff.
+  /// \return the final reply (any status except a retried-away overload).
+  /// \throws WireError on transport failure, malformed replies, timeout,
+  ///         or when retries are exhausted while still shedding (the
+  ///         overload reply is returned, not thrown — callers decide).
+  WireResponse call(const WireRequest& request);
+
+  /// Overload sheds absorbed by retries so far (diagnostics).
+  long long retries_used() const noexcept { return retries_used_; }
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+  bool owns_fds_ = true;
+  ClientOptions options_;
+  Rng jitter_;
+  long long retries_used_ = 0;
+};
+
+}  // namespace mrlc::service

@@ -1,0 +1,405 @@
+#include "service/wire.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace mrlc::service {
+
+namespace {
+
+/// Formats doubles the same way the io/v1 formats do: max_digits10 so the
+/// value round-trips exactly through text.
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+double parse_double(const std::string& token, const char* key) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size()) throw WireError("");
+    return v;
+  } catch (const std::exception&) {
+    throw WireError(std::string("bad numeric value for '") + key + "'");
+  }
+}
+
+std::int64_t parse_int(const std::string& token, const char* key) {
+  try {
+    std::size_t pos = 0;
+    const long long v = std::stoll(token, &pos);
+    if (pos != token.size()) throw WireError("");
+    return static_cast<std::int64_t>(v);
+  } catch (const std::exception&) {
+    throw WireError(std::string("bad integer value for '") + key + "'");
+  }
+}
+
+/// Line-oriented payload cursor.  Splits `key value` lines and hands out
+/// trailing byte blocks for `network <n>` / `tree <n>` sections.
+class PayloadCursor {
+ public:
+  explicit PayloadCursor(const std::string& payload) : payload_(payload) {}
+
+  /// Reads the next line (without newline); false at end of payload.
+  bool next_line(std::string& line) {
+    if (pos_ >= payload_.size()) return false;
+    const std::size_t nl = payload_.find('\n', pos_);
+    if (nl == std::string::npos) {
+      throw WireError("payload line missing trailing newline");
+    }
+    line = payload_.substr(pos_, nl - pos_);
+    pos_ = nl + 1;
+    return true;
+  }
+
+  /// Takes exactly `n` raw bytes following the current position.
+  std::string take_bytes(std::size_t n, const char* what) {
+    if (payload_.size() - pos_ < n) {
+      throw WireError(std::string("truncated ") + what + " byte block");
+    }
+    std::string out = payload_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  bool at_end() const noexcept { return pos_ >= payload_.size(); }
+
+ private:
+  const std::string& payload_;
+  std::size_t pos_ = 0;
+};
+
+/// Splits "key value" (value may contain spaces; key may not).
+void split_kv(const std::string& line, std::string& key, std::string& value) {
+  const std::size_t sp = line.find(' ');
+  if (sp == std::string::npos) {
+    key = line;
+    value.clear();
+  } else {
+    key = line.substr(0, sp);
+    value = line.substr(sp + 1);
+  }
+}
+
+void require_token(const std::string& value, const char* key) {
+  if (value.empty() || value.find_first_of(" \t\n") != std::string::npos) {
+    throw WireError(std::string("field '") + key +
+                    "' must be a non-empty whitespace-free token");
+  }
+}
+
+}  // namespace
+
+const char* to_string(ResponseStatus status) noexcept {
+  switch (status) {
+    case ResponseStatus::kOk: return "ok";
+    case ResponseStatus::kBudgetExhausted: return "budget_exhausted";
+    case ResponseStatus::kCancelled: return "cancelled";
+    case ResponseStatus::kInfeasible: return "infeasible";
+    case ResponseStatus::kRejectedOverload: return "rejected_overload";
+    case ResponseStatus::kRejectedDraining: return "rejected_draining";
+    case ResponseStatus::kInvalidRequest: return "invalid_request";
+    case ResponseStatus::kInternalError: return "internal_error";
+  }
+  return "internal_error";
+}
+
+ResponseStatus status_from_string(const std::string& token) {
+  static const std::map<std::string, ResponseStatus> table = {
+      {"ok", ResponseStatus::kOk},
+      {"budget_exhausted", ResponseStatus::kBudgetExhausted},
+      {"cancelled", ResponseStatus::kCancelled},
+      {"infeasible", ResponseStatus::kInfeasible},
+      {"rejected_overload", ResponseStatus::kRejectedOverload},
+      {"rejected_draining", ResponseStatus::kRejectedDraining},
+      {"invalid_request", ResponseStatus::kInvalidRequest},
+      {"internal_error", ResponseStatus::kInternalError},
+  };
+  const auto it = table.find(token);
+  if (it == table.end()) {
+    throw WireError("unknown response status token '" + token + "'");
+  }
+  return it->second;
+}
+
+std::string encode_request(const WireRequest& request) {
+  require_token(request.id, "id");
+  require_token(request.variant, "variant");
+  std::ostringstream os;
+  os << "mrlc-request v1\n";
+  os << "id " << request.id << "\n";
+  os << "variant " << request.variant << "\n";
+  os << "lifetime " << format_double(request.lifetime) << "\n";
+  if (request.budget >= 0) os << "budget " << request.budget << "\n";
+  if (request.deadline_ms >= 0) {
+    os << "deadline-ms " << request.deadline_ms << "\n";
+  }
+  os << "network " << request.network_text.size() << "\n";
+  os << request.network_text;
+  return os.str();
+}
+
+WireRequest decode_request(const std::string& payload) {
+  PayloadCursor cursor(payload);
+  std::string line;
+  if (!cursor.next_line(line) || line != "mrlc-request v1") {
+    throw WireError("expected 'mrlc-request v1' header line");
+  }
+  WireRequest request;
+  request.variant.clear();
+  bool saw_id = false, saw_variant = false, saw_lifetime = false;
+  bool saw_budget = false, saw_deadline = false, saw_network = false;
+  while (cursor.next_line(line)) {
+    std::string key, value;
+    split_kv(line, key, value);
+    auto once = [&](bool& flag) {
+      if (flag) throw WireError("duplicate field '" + key + "'");
+      flag = true;
+    };
+    if (key == "id") {
+      once(saw_id);
+      require_token(value, "id");
+      request.id = value;
+    } else if (key == "variant") {
+      once(saw_variant);
+      require_token(value, "variant");
+      request.variant = value;
+    } else if (key == "lifetime") {
+      once(saw_lifetime);
+      request.lifetime = parse_double(value, "lifetime");
+    } else if (key == "budget") {
+      once(saw_budget);
+      request.budget = parse_int(value, "budget");
+      if (request.budget < 0) throw WireError("'budget' must be >= 0");
+    } else if (key == "deadline-ms") {
+      once(saw_deadline);
+      request.deadline_ms = parse_int(value, "deadline-ms");
+      if (request.deadline_ms < 0) throw WireError("'deadline-ms' must be >= 0");
+    } else if (key == "network") {
+      once(saw_network);
+      const std::int64_t n = parse_int(value, "network");
+      if (n < 0) throw WireError("'network' byte count must be >= 0");
+      request.network_text =
+          cursor.take_bytes(static_cast<std::size_t>(n), "network");
+      break;  // the network block is always last
+    } else {
+      throw WireError("unknown request field '" + key + "'");
+    }
+  }
+  if (!cursor.at_end()) throw WireError("trailing bytes after network block");
+  if (!saw_id) throw WireError("missing required field 'id'");
+  if (!saw_variant) throw WireError("missing required field 'variant'");
+  if (!saw_lifetime) throw WireError("missing required field 'lifetime'");
+  if (!saw_network) throw WireError("missing required field 'network'");
+  return request;
+}
+
+std::string encode_response(const WireResponse& response) {
+  require_token(response.id, "id");
+  std::ostringstream os;
+  os << "mrlc-response v1\n";
+  os << "id " << response.id << "\n";
+  os << "status " << to_string(response.status) << "\n";
+  if (!response.detail.empty()) {
+    if (response.detail.find('\n') != std::string::npos) {
+      throw WireError("'detail' must be a single line");
+    }
+    os << "detail " << response.detail << "\n";
+  }
+  if (response.has_solution) {
+    os << "cost " << format_double(response.cost) << "\n";
+    os << "reliability " << format_double(response.reliability) << "\n";
+    os << "lifetime " << format_double(response.lifetime) << "\n";
+    os << "gap " << format_double(response.gap) << "\n";
+  }
+  os << "budget-used " << response.budget_used << "\n";
+  os << "cache " << response.cache << "\n";
+  os << "queue-ms " << format_double(response.queue_ms) << "\n";
+  os << "solve-ms " << format_double(response.solve_ms) << "\n";
+  if (!response.tree_text.empty()) {
+    os << "tree " << response.tree_text.size() << "\n";
+    os << response.tree_text;
+  }
+  return os.str();
+}
+
+WireResponse decode_response(const std::string& payload) {
+  PayloadCursor cursor(payload);
+  std::string line;
+  if (!cursor.next_line(line) || line != "mrlc-response v1") {
+    throw WireError("expected 'mrlc-response v1' header line");
+  }
+  WireResponse response;
+  bool saw_id = false, saw_status = false;
+  while (cursor.next_line(line)) {
+    std::string key, value;
+    split_kv(line, key, value);
+    if (key == "id") {
+      saw_id = true;
+      require_token(value, "id");
+      response.id = value;
+    } else if (key == "status") {
+      saw_status = true;
+      response.status = status_from_string(value);
+    } else if (key == "detail") {
+      response.detail = value;
+    } else if (key == "cost") {
+      response.cost = parse_double(value, "cost");
+      response.has_solution = true;
+    } else if (key == "reliability") {
+      response.reliability = parse_double(value, "reliability");
+    } else if (key == "lifetime") {
+      response.lifetime = parse_double(value, "lifetime");
+    } else if (key == "gap") {
+      response.gap = parse_double(value, "gap");
+    } else if (key == "budget-used") {
+      response.budget_used = parse_int(value, "budget-used");
+    } else if (key == "cache") {
+      require_token(value, "cache");
+      response.cache = value;
+    } else if (key == "queue-ms") {
+      response.queue_ms = parse_double(value, "queue-ms");
+    } else if (key == "solve-ms") {
+      response.solve_ms = parse_double(value, "solve-ms");
+    } else if (key == "tree") {
+      const std::int64_t n = parse_int(value, "tree");
+      if (n < 0) throw WireError("'tree' byte count must be >= 0");
+      response.tree_text =
+          cursor.take_bytes(static_cast<std::size_t>(n), "tree");
+      break;  // the tree block is always last
+    } else {
+      throw WireError("unknown response field '" + key + "'");
+    }
+  }
+  if (!cursor.at_end()) throw WireError("trailing bytes after tree block");
+  if (!saw_id) throw WireError("missing required field 'id'");
+  if (!saw_status) throw WireError("missing required field 'status'");
+  return response;
+}
+
+std::string frame(const std::string& payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    throw WireError("payload exceeds the frame size cap");
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((n >> shift) & 0xFF));
+  }
+  out += payload;
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  // Compact lazily: drop consumed prefix once it dominates the buffer so a
+  // long-lived connection does not grow without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+bool FrameReader::next(std::string& payload) {
+  if (poisoned_) throw WireError("frame stream previously poisoned");
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return false;
+  const char* head = buffer_.data() + consumed_;
+  if (std::memcmp(head, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    poisoned_ = true;
+    throw WireError("bad frame magic (expected MRF1)");
+  }
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<std::uint32_t>(static_cast<unsigned char>(head[4 + i]))
+         << (8 * i);
+  }
+  if (n > kMaxPayloadBytes) {
+    poisoned_ = true;
+    throw WireError("frame length exceeds the payload cap");
+  }
+  if (avail < kFrameHeaderBytes + n) return false;
+  payload.assign(head + kFrameHeaderBytes, n);
+  consumed_ += kFrameHeaderBytes + n;
+  return true;
+}
+
+namespace {
+
+/// Reads exactly `n` bytes from `fd` with an optional poll(2) timeout.
+/// \return bytes read before EOF (== n on success).
+std::size_t read_exact(int fd, char* out, std::size_t n, int timeout_ms) {
+  std::size_t got = 0;
+  while (got < n) {
+    if (timeout_ms >= 0) {
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc == 0) throw WireError("timed out waiting for frame bytes");
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw WireError(std::string("poll failed: ") + std::strerror(errno));
+      }
+    }
+    const ssize_t rc = ::read(fd, out + got, n - got);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("read failed: ") + std::strerror(errno));
+    }
+    if (rc == 0) break;  // EOF
+    got += static_cast<std::size_t>(rc);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool read_frame_fd(int fd, std::string& payload, int timeout_ms) {
+  char header[kFrameHeaderBytes];
+  const std::size_t got = read_exact(fd, header, sizeof(header), timeout_ms);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof(header)) throw WireError("EOF inside frame header");
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    throw WireError("bad frame magic (expected MRF1)");
+  }
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) {
+    n |= static_cast<std::uint32_t>(static_cast<unsigned char>(header[4 + i]))
+         << (8 * i);
+  }
+  if (n > kMaxPayloadBytes) {
+    throw WireError("frame length exceeds the payload cap");
+  }
+  payload.resize(n);
+  if (n > 0 && read_exact(fd, payload.data(), n, timeout_ms) < n) {
+    throw WireError("EOF inside frame payload");
+  }
+  return true;
+}
+
+void write_frame_fd(int fd, const std::string& payload) {
+  const std::string framed = frame(payload);
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t rc = ::write(fd, framed.data() + sent, framed.size() - sent);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw WireError(std::string("write failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(rc);
+  }
+}
+
+}  // namespace mrlc::service

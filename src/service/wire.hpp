@@ -1,0 +1,164 @@
+#pragma once
+
+/// \file wire.hpp
+/// \brief Framed wire protocol for the MRLC solver service
+/// (mrlc-request-v1 / mrlc-response-v1).
+///
+/// Transport framing is deliberately dumb: a 4-byte magic `MRF1`, a 32-bit
+/// little-endian payload length, then that many payload bytes.  Everything
+/// interesting lives in the payload, which is line-oriented text in the
+/// same spirit as the mrlc-network-v1 file format — human-readable,
+/// versioned by its first line, and append-only for forward compatibility.
+/// The framing layer rejects bad magic and oversized lengths *before*
+/// allocating, so a corrupt or adversarial peer cannot make the daemon
+/// balloon memory, and a malformed payload surfaces as a typed `WireError`
+/// the server converts into an `invalid_request` reply — never a crash.
+///
+/// Request payload (`mrlc-request v1`):
+///
+///     mrlc-request v1
+///     id <opaque token, no whitespace>
+///     variant mrlc            # problem-variant field, reserved (see docs)
+///     lifetime <LC, rounds>
+///     budget <work units>     # optional; absent = unlimited
+///     deadline-ms <ms>        # optional; absent = none
+///     network <nbytes>
+///     <nbytes of mrlc-network-v1 text>
+///
+/// Response payload (`mrlc-response v1`): id, typed `status`, optional
+/// one-line `detail`, solution scalars, cache/queue diagnostics, and the
+/// tree as a trailing `tree <nbytes>` byte block (present only when a tree
+/// was produced).  docs/file_formats.md is the normative reference.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mrlc::service {
+
+/// Malformed frame or payload.  The message is safe to echo back to the
+/// peer in an `invalid_request` reply (it never contains payload bytes).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Frame header: magic + u32 LE payload length.
+inline constexpr char kFrameMagic[4] = {'M', 'R', 'F', '1'};
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// Hard payload cap; a length field above this is rejected before any
+/// allocation happens (a 64 MiB network is ~2 orders of magnitude beyond
+/// the largest instance the solver targets).
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u * 1024u * 1024u;
+
+/// Typed response status, mirrored 1:1 onto the wire as lower-case tokens
+/// (`to_string` / `status_from_string`).
+enum class ResponseStatus {
+  kOk,                ///< solved to convergence (anytime kOptimal)
+  kBudgetExhausted,   ///< best incumbent returned, budget/deadline ran out
+  kCancelled,         ///< watchdog or peer cancelled the request
+  kInfeasible,        ///< no tree meets the lifetime bound
+  kRejectedOverload,  ///< shed at admission: queue full (retryable)
+  kRejectedDraining,  ///< shed at admission: daemon is draining (retryable
+                      ///< against a replacement instance, not this one)
+  kInvalidRequest,    ///< malformed frame/payload/network, or bad variant
+  kInternalError,     ///< unexpected exception; the daemon itself survived
+};
+
+/// \return the stable lower-case wire token for `status`.
+const char* to_string(ResponseStatus status) noexcept;
+
+/// \brief Parses a wire status token.
+/// \throws WireError on an unknown token.
+ResponseStatus status_from_string(const std::string& token);
+
+/// One solve request as carried on the wire.
+struct WireRequest {
+  std::string id;                ///< opaque caller token, echoed in replies
+  std::string variant = "mrlc";  ///< reserved; only "mrlc" is accepted today
+  double lifetime = 0.0;         ///< LC, rounds (> 0)
+  std::int64_t budget = -1;      ///< work-unit cap; < 0 = unlimited
+  std::int64_t deadline_ms = -1; ///< wall-clock deadline; < 0 = none
+  std::string network_text;      ///< mrlc-network-v1 bytes (parsed server-side)
+};
+
+/// One reply as carried on the wire.  Scalar fields are meaningful only
+/// when `has_solution` (the encoder omits them otherwise); `queue_ms` /
+/// `solve_ms` are zero when the service runs with timings off so replies
+/// stay byte-deterministic.
+struct WireResponse {
+  std::string id;
+  ResponseStatus status = ResponseStatus::kInternalError;
+  std::string detail;            ///< one-line human-readable outcome
+  bool has_solution = false;
+  double cost = 0.0;
+  double reliability = 0.0;
+  double lifetime = 0.0;
+  double gap = 0.0;
+  std::int64_t budget_used = 0;
+  std::string cache = "none";    ///< "hit" | "miss" | "none"
+  double queue_ms = 0.0;
+  double solve_ms = 0.0;
+  std::string tree_text;         ///< mrlc-tree-v1 bytes; empty when no tree
+};
+
+/// \brief Serializes a request into an (unframed) mrlc-request-v1 payload.
+/// \throws WireError when fields cannot round-trip (whitespace in `id`, …).
+std::string encode_request(const WireRequest& request);
+
+/// \brief Parses an mrlc-request-v1 payload.
+/// \throws WireError on any malformation (wrong header, unknown key,
+///         duplicate key, bad number, short network block, …).
+WireRequest decode_request(const std::string& payload);
+
+/// \brief Serializes a response into an (unframed) mrlc-response-v1 payload.
+std::string encode_response(const WireResponse& response);
+
+/// \brief Parses an mrlc-response-v1 payload (client side).
+/// \throws WireError on any malformation.
+WireResponse decode_response(const std::string& payload);
+
+/// \brief Wraps a payload in a frame (magic + u32 LE length + bytes).
+/// \throws WireError when the payload exceeds `kMaxPayloadBytes`.
+std::string frame(const std::string& payload);
+
+/// Incremental frame extractor for non-blocking transports.  Feed raw
+/// bytes as they arrive; `next` yields complete payloads in order.  A bad
+/// magic or oversized length throws `WireError` and poisons the reader
+/// (the connection cannot be resynchronized and should be dropped).
+class FrameReader {
+ public:
+  /// Appends raw transport bytes to the internal buffer.
+  void feed(const char* data, std::size_t n);
+
+  /// \brief Extracts the next complete payload, if one is buffered.
+  /// \param payload  set to the payload bytes on success.
+  /// \return true when a payload was extracted; false = need more bytes.
+  /// \throws WireError on bad magic / oversized length (reader poisoned).
+  bool next(std::string& payload);
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  bool poisoned_ = false;
+};
+
+/// \brief Blocking frame read from a file descriptor.
+/// \param fd  readable descriptor (socket or pipe).
+/// \param payload  set to the payload bytes on success.
+/// \param timeout_ms  per-call cap (< 0 = block forever) enforced with
+///        poll(2) across partial reads.
+/// \return true on success; false on clean EOF before any frame byte.
+/// \throws WireError on malformed frames, truncated frames (EOF mid-frame),
+///         timeouts, or read errors.
+bool read_frame_fd(int fd, std::string& payload, int timeout_ms = -1);
+
+/// \brief Blocking framed write of `payload` to a file descriptor.
+/// \throws WireError on oversized payloads or write errors (EPIPE included
+///         — callers that tolerate a vanished peer catch it).
+void write_frame_fd(int fd, const std::string& payload);
+
+}  // namespace mrlc::service

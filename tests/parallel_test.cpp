@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "baselines/mst_baseline.hpp"
+#include "common/budget.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "core/branch_bound.hpp"
@@ -172,6 +173,33 @@ TEST(DefaultPool, SetDefaultThreadCountResizesTheSharedPool) {
   parallel_for(128, [&](int) { count.fetch_add(1); });
   EXPECT_EQ(count.load(), 128);
   set_default_thread_count(before);
+}
+
+TEST(ThreadPool, BudgetCancelRacingActiveChargesIsStickyAndClean) {
+  // The service watchdog flips `Budget::cancel()` from outside the worker
+  // that is charging at its serial checkpoints.  Under TSan (this file is
+  // in the tsan smoke set) this pins the contract: the race is clean, the
+  // cancellation is observed promptly, and exhaustion is sticky.
+  ThreadPool pool(8);
+  constexpr long long kSafetyBound = 200'000'000;
+  for (int round = 0; round < 50; ++round) {
+    Budget budget;
+    budget.set_work_limit(kSafetyBound * 2);  // never the stop reason
+    std::atomic<long long> charged{0};
+    pool.for_each(8, [&](int i) {
+      if (i == 0) {
+        long long n = 0;
+        while (budget.charge() && n < kSafetyBound) ++n;
+        charged.store(n);
+      } else {
+        budget.cancel();
+      }
+    });
+    EXPECT_TRUE(budget.cancelled());
+    EXPECT_TRUE(budget.exhausted());
+    EXPECT_FALSE(budget.charge());  // sticky after the race settles
+    EXPECT_LT(charged.load(), kSafetyBound) << "cancellation was lost";
+  }
 }
 
 // --------------------------------------------- in-process determinism -----

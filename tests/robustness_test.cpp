@@ -38,10 +38,13 @@ TEST(Budget, WorkLimitExhaustsAtTheLimit) {
   EXPECT_FALSE(budget.charge());
 }
 
-TEST(Budget, ZeroLimitExhaustsOnFirstCharge) {
+TEST(Budget, ZeroLimitIsHardZero) {
+  // A zero work limit means "no work at all": the token is exhausted
+  // before any charge, so entry checkpoints (IRA outer loop, cut loop)
+  // bail out with zero units used instead of letting one pivot through.
   Budget budget;
   budget.set_work_limit(0);
-  EXPECT_FALSE(budget.exhausted()) << "exhaustion is observed at a charge";
+  EXPECT_TRUE(budget.exhausted()) << "hard zero: exhausted before any charge";
   EXPECT_FALSE(budget.charge());
   EXPECT_TRUE(budget.exhausted());
 }
@@ -63,17 +66,25 @@ TEST(Budget, CancelIsStickyAndCrossesCharges) {
   EXPECT_FALSE(budget.charge());
 }
 
-TEST(Budget, ExpiredDeadlineIsObservedAtTheStride) {
-  // The steady clock is only polled once per 64 charged units; an already
-  // expired deadline therefore shows up at the first stride boundary, not
-  // on the first charge.
+TEST(Budget, ZeroDeadlineIsHardZero) {
+  // `--deadline-ms 0` means "already expired", not "poll the clock after
+  // the first 64-unit stride": the token is exhausted before any charge.
   Budget budget;
   budget.set_deadline_ms(0);
-  EXPECT_TRUE(budget.charge());  // used 1: no poll yet
+  EXPECT_TRUE(budget.exhausted()) << "hard zero: expired before any charge";
+  EXPECT_FALSE(budget.charge());
+}
+
+TEST(Budget, GenerousDeadlineLeavesHeadroom) {
+  // A far-future deadline never trips inside a short charge run (the clock
+  // is polled at stride boundaries, so cross several of them).
+  Budget budget;
+  budget.set_deadline_ms(60'000);
   bool headroom = true;
-  for (int i = 0; i < 63; ++i) headroom = budget.charge();
-  EXPECT_FALSE(headroom) << "used 64 crossed the stride, clock must be seen";
-  EXPECT_TRUE(budget.exhausted());
+  for (int i = 0; i < 256; ++i) headroom = budget.charge();
+  EXPECT_TRUE(headroom);
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_TRUE(budget.has_deadline());
 }
 
 TEST(Budget, UnlimitedNeverExhausts) {
@@ -117,6 +128,7 @@ TEST(Anytime, ZeroBudgetReturnsTheSeedIncumbent) {
   const core::AnytimeResult result = core::solve_anytime(toy.net, bound, options);
   EXPECT_EQ(result.status, core::AnytimeStatus::kFeasibleBudgetExhausted);
   EXPECT_TRUE(result.from_incumbent);
+  EXPECT_EQ(budget.used(), 0) << "hard-zero budget must not run any LP work";
   EXPECT_TRUE(result.meets_bound) << "the MST achieves its own lifetime";
   EXPECT_EQ(result.tree.node_count(), toy.net.node_count());
   EXPECT_GE(result.gap, 0.0);
@@ -206,7 +218,7 @@ TEST_F(FaultHarness, ConfigureRejectsUnknownNamesListingTheRegistry) {
   }
   EXPECT_THROW(fault::configure("lp.force_cold:zero"), std::invalid_argument);
   EXPECT_THROW(fault::configure("lp.force_cold:0"), std::invalid_argument);
-  EXPECT_EQ(fault::registered().size(), 5u);
+  EXPECT_EQ(fault::registered().size(), 8u);
 }
 
 TEST_F(FaultHarness, OneShotFormFiresOnTheKthArrivalOnly) {

@@ -328,6 +328,36 @@ TEST(ToolsCli, UnlimitedBudgetStillExitsZero) {
             0);
 }
 
+TEST(ToolsCli, ZeroBudgetIsHardZeroNotUnlimited) {
+  // Regression: `--budget 0` once slipped one LP solve through before the
+  // first charge noticed.  Zero must mean zero — the seeded incumbent
+  // comes back (exit 2) with literally no work charged.
+  const std::string out = tmp_path("tools_cli_budget0_tree.txt");
+  const std::string err = tmp_path("tools_cli_budget0_err.txt");
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 100 --budget 0 < " + network_path() +
+                        " > " + out + " 2> " + err),
+            2);
+  EXPECT_NE(read_file(out).find("mrlc-tree"), std::string::npos);
+  EXPECT_NE(read_file(err).find("budget used 0 work units"),
+            std::string::npos);
+}
+
+TEST(ToolsCli, ZeroDeadlineIsHardZeroNotUnlimited) {
+  // Same contract for `--deadline-ms 0`: already expired, so the anytime
+  // layer returns the incumbent before the first clock-poll stride runs
+  // 64 units of LP work.
+  const std::string out = tmp_path("tools_cli_deadline0_tree.txt");
+  const std::string err = tmp_path("tools_cli_deadline0_err.txt");
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 100 --deadline-ms 0 < " +
+                        network_path() + " > " + out + " 2> " + err),
+            2);
+  EXPECT_NE(read_file(out).find("mrlc-tree"), std::string::npos);
+  EXPECT_NE(read_file(err).find("budget used 0 work units"),
+            std::string::npos);
+}
+
 TEST(ToolsCli, InjectedRecoverableFaultsReproduceTheCleanTree) {
   const std::string clean = tmp_path("tools_cli_fault_clean.txt");
   ASSERT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +

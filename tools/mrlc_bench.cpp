@@ -2,7 +2,8 @@
 /// \brief Machine-readable solver benchmark sweep.
 ///
 /// Runs a fixed set of named workloads (IRA on the DFL testbed and on
-/// random G(n, p) instances, branch-and-bound, the ARQ data plane), times
+/// random G(n, p) instances, branch-and-bound, the ARQ data plane, and a
+/// solver-service request mix with deterministic shed/cache behaviour), times
 /// each repeat with a steady-clock stopwatch, and snapshots the metrics
 /// registry per workload.  Output is one JSON document (schema
 /// "mrlc-bench-v1", documented in docs/metrics.md) suitable for diffing
@@ -50,6 +51,8 @@
 #include "distributed/dataplane.hpp"
 #include "scenario/dfl.hpp"
 #include "scenario/random_net.hpp"
+#include "service/server.hpp"
+#include "wsn/io.hpp"
 #include "wsn/metrics.hpp"
 
 namespace {
@@ -97,7 +100,52 @@ void run_ira(const wsn::Network& net, std::int64_t budget_units) {
   core::IterativeRelaxation(options).solve(net, mst_bound(net));
 }
 
-std::vector<Workload> make_workloads(std::int64_t budget_units) {
+/// Solver-service throughput workload: 32 requests over 4 topologies with
+/// repeats (warm-cache hits), enqueued against a deliberately undersized
+/// queue before the dispatcher starts, so exactly 8 are shed inline and the
+/// remaining 24 run in a fixed batch pattern.  Everything that matters —
+/// shed count, cache hits/misses, per-status counters — lands in the
+/// `service.*` metrics snapshot; bench_compare.py derives queries/sec and
+/// reads the p99 latency histogram from there.  The qps gauge and the
+/// latency histograms are wall-clock figures and only exist when timings
+/// are on, keeping `--no-timings` output bit-reproducible.
+void run_service_mixed(int repeat, bool with_timings) {
+  service::ServiceOptions options;
+  options.queue_capacity = 24;  // 32 submissions -> 8 deterministic sheds
+  options.batch_size = 4;      // pin batch composition across --threads
+  options.cache_capacity = 8;
+  options.record_timings = with_timings;
+  options.auto_start = false;  // enqueue the whole workload, then start
+  service::SolverService service(options);
+
+  std::vector<std::string> texts;
+  std::vector<double> bounds;
+  for (int t = 0; t < 4; ++t) {
+    const wsn::Network net = random_net(
+        16, 0.6, 6000 + static_cast<std::uint64_t>(4 * repeat + t));
+    texts.push_back(wsn::network_to_string(net));
+    bounds.push_back(mst_bound(net));
+  }
+  for (int i = 0; i < 32; ++i) {
+    service::WireRequest request;
+    request.id = "bench-" + std::to_string(i);
+    request.lifetime = bounds[static_cast<std::size_t>(i % 4)];
+    request.network_text = texts[static_cast<std::size_t>(i % 4)];
+    service.submit(std::move(request),
+                   [](const service::WireResponse&) {});
+  }
+
+  const trace::Stopwatch watch;
+  service.start();
+  service.drain();
+  if (with_timings) {
+    const double secs = std::max(watch.elapsed_ms() / 1000.0, 1e-9);
+    metrics::gauge("service.bench_qps").set(24.0 / secs);
+  }
+}
+
+std::vector<Workload> make_workloads(std::int64_t budget_units,
+                                     bool with_timings) {
   std::vector<Workload> out;
 
   out.push_back({"ira_dfl_n16", "IRA on the 16-node DFL testbed instance",
@@ -162,6 +210,13 @@ std::vector<Workload> make_workloads(std::int64_t budget_units) {
                    options.rounds = 200;
                    options.seed = 4000 + static_cast<std::uint64_t>(repeat);
                    dist::run_dataplane(net, ira.tree, bound, options);
+                 }});
+
+  out.push_back({"service_mixed_n16",
+                 "solver service: 32 requests over 4 G(16, 0.6) topologies "
+                 "with repeats (warm cache), deterministic shed, batch 4",
+                 [with_timings](int repeat) {
+                   run_service_mixed(repeat, with_timings);
                  }});
 
   return out;
@@ -265,7 +320,8 @@ int main(int argc, char** argv) {
   }
   mrlc::set_default_thread_count(threads);
 
-  const std::vector<Workload> workloads = make_workloads(budget_units);
+  const std::vector<Workload> workloads =
+      make_workloads(budget_units, with_timings);
   if (list_only) {
     for (const Workload& w : workloads) {
       std::cout << w.name << "  " << w.description << '\n';

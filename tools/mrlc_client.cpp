@@ -1,0 +1,131 @@
+/// \file mrlc_client.cpp
+/// \brief One-shot client for a running mrlc_serve daemon.
+///
+/// Reads an mrlc-network-v1 instance from stdin (exactly like mrlc_solve),
+/// ships it as a framed mrlc-request-v1 over the daemon's Unix-domain
+/// socket, and prints the returned tree on stdout.  Overload sheds are
+/// retried with jittered exponential backoff (service::Client); every
+/// other reply maps onto a typed exit code so shell pipelines can branch
+/// on the outcome without parsing anything.
+
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "service/client.hpp"
+#include "service/wire.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage:\n"
+         "  mrlc_client --socket PATH --lifetime ROUNDS [options] < net > tree\n"
+         "options:\n"
+         "  --budget N       deterministic work budget forwarded to the solve\n"
+         "  --deadline-ms N  wall-clock deadline forwarded to the solve\n"
+         "  --id TOKEN       request id echoed in the reply (default req-1)\n"
+         "  --repeat N       send the identical request N times (exercises\n"
+         "                   the daemon's result cache); the last reply wins\n"
+         "  --timeout-ms N   per-attempt reply timeout (default 30000)\n"
+         "  --retries N      extra attempts after rejected_overload (default 4)\n"
+         "  --backoff-ms N   base backoff before doubling (default 25)\n"
+         "  --seed S         backoff jitter seed (pin for reproducible tests)\n"
+         "exit codes:\n"
+         "  0 solved   2 feasible, budget/deadline exhausted (incumbent\n"
+         "  printed)   3 infeasible   4 invalid request or bad usage\n"
+         "  5 internal/transport error   6 shed (overload after retries, or\n"
+         "  daemon draining)   7 cancelled by the daemon watchdog\n";
+  std::exit(4);
+}
+
+int exit_code_for(mrlc::service::ResponseStatus status) {
+  using mrlc::service::ResponseStatus;
+  switch (status) {
+    case ResponseStatus::kOk: return 0;
+    case ResponseStatus::kBudgetExhausted: return 2;
+    case ResponseStatus::kInfeasible: return 3;
+    case ResponseStatus::kInvalidRequest: return 4;
+    case ResponseStatus::kInternalError: return 5;
+    case ResponseStatus::kRejectedOverload: return 6;
+    case ResponseStatus::kRejectedDraining: return 6;
+    case ResponseStatus::kCancelled: return 7;
+  }
+  return 5;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage();
+    key = key.substr(2);
+    if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    } else {
+      usage();
+    }
+  }
+  if (!flags.count("socket") || !flags.count("lifetime")) usage();
+
+  using namespace mrlc::service;
+  try {
+    WireRequest request;
+    request.id = flags.count("id") ? flags["id"] : "req-1";
+    request.lifetime = std::stod(flags["lifetime"]);
+    if (flags.count("budget")) request.budget = std::stoll(flags["budget"]);
+    if (flags.count("deadline-ms")) {
+      request.deadline_ms = std::stoll(flags["deadline-ms"]);
+    }
+    std::stringstream stdin_buffer;
+    stdin_buffer << std::cin.rdbuf();
+    request.network_text = stdin_buffer.str();
+
+    ClientOptions options;
+    if (flags.count("timeout-ms")) {
+      options.timeout_ms = std::stoi(flags["timeout-ms"]);
+    }
+    if (flags.count("retries")) {
+      options.max_retries = std::stoi(flags["retries"]);
+    }
+    if (flags.count("backoff-ms")) {
+      options.backoff_base_ms = std::stoi(flags["backoff-ms"]);
+    }
+    if (flags.count("seed")) {
+      options.backoff_seed = std::stoull(flags["seed"]);
+    }
+
+    Client client = Client::connect_unix(flags["socket"], options);
+    const int repeat = flags.count("repeat") ? std::stoi(flags["repeat"]) : 1;
+    if (repeat < 1) usage();
+    WireResponse reply;
+    for (int i = 0; i < repeat; ++i) reply = client.call(request);
+
+    std::cerr << "mrlc_client: " << to_string(reply.status);
+    if (!reply.detail.empty()) std::cerr << ": " << reply.detail;
+    std::cerr << '\n';
+    if (reply.has_solution) {
+      std::cerr << "mrlc_client: cost " << reply.cost << ", reliability "
+                << reply.reliability << ", lifetime " << reply.lifetime
+                << ", gap " << reply.gap << ", budget used "
+                << reply.budget_used << ", cache " << reply.cache << '\n';
+    }
+    if (client.retries_used() > 0) {
+      std::cerr << "mrlc_client: absorbed " << client.retries_used()
+                << " overload shed(s) via backoff\n";
+    }
+    if (!reply.tree_text.empty()) std::cout << reply.tree_text;
+    return exit_code_for(reply.status);
+  } catch (const WireError& e) {
+    std::cerr << "mrlc_client: transport error: " << e.what() << '\n';
+    return 5;
+  } catch (const std::invalid_argument&) {
+    usage();
+  } catch (const std::exception& e) {
+    std::cerr << "mrlc_client: internal error: " << e.what() << '\n';
+    return 5;
+  }
+}

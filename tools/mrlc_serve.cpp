@@ -1,0 +1,348 @@
+/// \file mrlc_serve.cpp
+/// \brief Long-running MRLC solver daemon.
+///
+/// Serves framed mrlc-request-v1 payloads (see docs/file_formats.md) over
+/// a Unix-domain socket or a stdin/stdout pipe, scheduling solves on the
+/// persistent worker pool through `service::SolverService`.  The daemon is
+/// built to stay up: malformed frames drop only their connection, corrupt
+/// payloads get typed `invalid_request` replies, injected worker faults
+/// become typed `cancelled` replies, and overload sheds with
+/// `rejected_overload` instead of queueing without bound.
+///
+/// Shutdown is cooperative: SIGTERM/SIGINT (or stdin EOF in --stdio mode)
+/// stops admissions, finishes every queued request, flushes replies and —
+/// when `--metrics-json` is set — the final metrics document, then exits 0.
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/faultpoint.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "service/server.hpp"
+#include "service/wire.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage:\n"
+         "  mrlc_serve --socket PATH [options]   # Unix-domain socket daemon\n"
+         "  mrlc_serve --stdio       [options]   # framed requests on stdin,\n"
+         "                                       # replies on stdout\n"
+         "options:\n"
+         "  --queue-capacity N       admission queue bound (default 64);\n"
+         "                           overflow sheds with rejected_overload\n"
+         "  --batch-size N           requests dispatched per batch (default:\n"
+         "                           worker pool width; pin for determinism)\n"
+         "  --cache-capacity N       warm-cache topologies (default 16; 0\n"
+         "                           disables caching)\n"
+         "  --cache-pool-sets N      cut-pool bound per cached topology\n"
+         "                           (default 256)\n"
+         "  --default-deadline-ms N  deadline for requests that carry none\n"
+         "  --no-timings             zero wall-clock reply fields and skip\n"
+         "                           latency histograms (byte-deterministic\n"
+         "                           replies)\n"
+         "  --threads N              worker threads (0 = hardware)\n"
+         "  --inject SPEC            arm fault points: name[:K][,...]\n"
+         "  --metrics-json PATH      write final metrics at drain\n"
+         "exit codes:  0 clean drain   4 bad usage   5 internal error\n";
+  std::exit(4);
+}
+
+/// Self-pipe written by the signal handler; the event loops poll it.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_shutdown_signal(int) {
+  const char byte = 1;
+  // write(2) is async-signal-safe; a full pipe just means a signal is
+  // already pending, so the failure is ignorable.
+  [[maybe_unused]] ssize_t rc = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void install_signal_handlers() {
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "mrlc_serve: pipe() failed: " << std::strerror(errno) << '\n';
+    std::exit(5);
+  }
+  struct sigaction sa{};
+  sa.sa_handler = on_shutdown_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished peer must not kill the daemon
+}
+
+void emit_metrics(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "mrlc_serve: cannot open metrics file " << path << '\n';
+    return;
+  }
+  mrlc::metrics::write_json(out);
+}
+
+/// One accepted socket connection: incremental frame parsing on the event
+/// loop thread, reply writes from the dispatcher thread under `write_mutex`
+/// (kept alive by shared_ptr until the last in-flight reply lands).
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  int fd;
+  mrlc::service::FrameReader reader;
+  std::mutex write_mutex;
+  bool dead = false;  ///< peer gone; drop replies instead of writing
+};
+
+void send_reply(const std::shared_ptr<Connection>& conn,
+                const mrlc::service::WireResponse& response) {
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  if (conn->dead) return;
+  try {
+    mrlc::service::write_frame_fd(conn->fd,
+                                  mrlc::service::encode_response(response));
+  } catch (const mrlc::service::WireError&) {
+    conn->dead = true;  // peer vanished mid-reply; the request still counted
+  }
+}
+
+int serve_socket(const std::string& path, mrlc::service::SolverService& service) {
+  ::unlink(path.c_str());
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::cerr << "mrlc_serve: socket path too long\n";
+    return 4;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "mrlc_serve: socket() failed: " << std::strerror(errno) << '\n';
+    return 5;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listener, 64) != 0) {
+    std::cerr << "mrlc_serve: bind/listen('" << path
+              << "') failed: " << std::strerror(errno) << '\n';
+    ::close(listener);
+    return 5;
+  }
+  // Readiness marker: scripts wait for this exact line before connecting.
+  std::cerr << "mrlc_serve: ready on " << path << '\n';
+
+  std::unordered_map<int, std::shared_ptr<Connection>> connections;
+  char buf[64 * 1024];
+  for (;;) {
+    std::vector<pollfd> fds;
+    fds.push_back({g_signal_pipe[0], POLLIN, 0});
+    fds.push_back({listener, POLLIN, 0});
+    for (const auto& [fd, conn] : connections) fds.push_back({fd, POLLIN, 0});
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "mrlc_serve: poll failed: " << std::strerror(errno) << '\n';
+      break;
+    }
+    if (fds[0].revents & POLLIN) break;  // shutdown signal
+    if (fds[1].revents & POLLIN) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd >= 0) connections.emplace(fd, std::make_shared<Connection>(fd));
+    }
+    std::vector<int> closed;
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      const auto it = connections.find(fds[i].fd);
+      if (it == connections.end()) continue;
+      const std::shared_ptr<Connection> conn = it->second;
+      const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+        closed.push_back(conn->fd);
+        continue;
+      }
+      try {
+        conn->reader.feed(buf, static_cast<std::size_t>(n));
+        std::string payload;
+        while (conn->reader.next(payload)) {
+          service.submit_payload(payload,
+                                 [conn](const mrlc::service::WireResponse& r) {
+                                   send_reply(conn, r);
+                                 });
+        }
+      } catch (const mrlc::service::WireError& e) {
+        // Unresynchronizable framing (bad magic / absurd length): tell the
+        // peer once and drop only this connection — the daemon lives on.
+        mrlc::service::WireResponse bad;
+        bad.id = "-";
+        bad.status = mrlc::service::ResponseStatus::kInvalidRequest;
+        bad.detail = e.what();
+        send_reply(conn, bad);
+        closed.push_back(conn->fd);
+      }
+    }
+    for (const int fd : closed) {
+      const auto it = connections.find(fd);
+      if (it != connections.end()) {
+        std::lock_guard<std::mutex> lock(it->second->write_mutex);
+        it->second->dead = true;
+      }
+      connections.erase(fd);
+    }
+  }
+
+  ::close(listener);
+  ::unlink(path.c_str());
+  std::cerr << "mrlc_serve: draining\n";
+  service.drain();  // in-flight replies still reach live connections
+  return 0;
+}
+
+int serve_stdio(mrlc::service::SolverService& service) {
+  std::cerr << "mrlc_serve: ready on stdio\n";
+  const auto conn = std::make_shared<Connection>(-1);
+  conn->fd = STDOUT_FILENO;
+  char buf[64 * 1024];
+  for (;;) {
+    struct pollfd fds[2] = {{g_signal_pipe[0], POLLIN, 0},
+                            {STDIN_FILENO, POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "mrlc_serve: poll failed: " << std::strerror(errno) << '\n';
+      break;
+    }
+    if (fds[0].revents & POLLIN) break;  // shutdown signal
+    if (!(fds[1].revents & (POLLIN | POLLHUP))) continue;
+    const ssize_t n = ::read(STDIN_FILENO, buf, sizeof(buf));
+    if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+    if (n <= 0) break;  // EOF: the peer is done submitting
+    try {
+      conn->reader.feed(buf, static_cast<std::size_t>(n));
+      std::string payload;
+      while (conn->reader.next(payload)) {
+        service.submit_payload(payload,
+                               [conn](const mrlc::service::WireResponse& r) {
+                                 send_reply(conn, r);
+                               });
+      }
+    } catch (const mrlc::service::WireError& e) {
+      mrlc::service::WireResponse bad;
+      bad.id = "-";
+      bad.status = mrlc::service::ResponseStatus::kInvalidRequest;
+      bad.detail = e.what();
+      send_reply(conn, bad);
+      break;  // framing on a pipe cannot resync
+    }
+  }
+  std::cerr << "mrlc_serve: draining\n";
+  service.drain();
+  conn->fd = -1;  // stdout is not ours to close
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    mrlc::fault::configure_from_env();
+  } catch (const std::exception& e) {
+    std::cerr << "mrlc_serve: MRLC_FAULTS: " << e.what() << '\n';
+    return 4;
+  }
+
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) usage();
+    key = key.substr(2);
+    if (key == "stdio" || key == "no-timings") {
+      flags[key] = "1";
+    } else if (i + 1 < argc) {
+      flags[key] = argv[++i];
+    } else {
+      usage();
+    }
+  }
+  const bool stdio = flags.count("stdio") != 0;
+  const bool socket_mode = flags.count("socket") != 0;
+  if (stdio == socket_mode) usage();  // exactly one transport
+
+  if (flags.count("inject")) {
+    try {
+      mrlc::fault::configure(flags["inject"]);
+    } catch (const std::exception& e) {
+      std::cerr << "mrlc_serve: --inject: " << e.what() << '\n';
+      return 4;
+    }
+  }
+  if (flags.count("threads")) {
+    try {
+      mrlc::set_default_thread_count(
+          static_cast<unsigned>(std::stoul(flags["threads"])));
+    } catch (const std::exception&) {
+      std::cerr << "mrlc_serve: --threads expects a non-negative integer\n";
+      return 4;
+    }
+  }
+
+  mrlc::service::ServiceOptions options;
+  try {
+    if (flags.count("queue-capacity")) {
+      options.queue_capacity = std::stoul(flags["queue-capacity"]);
+    }
+    if (flags.count("batch-size")) {
+      options.batch_size = std::stoi(flags["batch-size"]);
+    }
+    if (flags.count("cache-capacity")) {
+      options.cache_capacity = std::stoul(flags["cache-capacity"]);
+    }
+    if (flags.count("cache-pool-sets")) {
+      options.cache_pool_sets = std::stoul(flags["cache-pool-sets"]);
+    }
+    if (flags.count("default-deadline-ms")) {
+      options.default_deadline_ms = std::stoll(flags["default-deadline-ms"]);
+    }
+  } catch (const std::exception&) {
+    usage();
+  }
+  options.record_timings = flags.count("no-timings") == 0;
+
+  install_signal_handlers();
+
+  // Eager registration so the final metrics document carries the fault
+  // instruments even at zero (mirrors mrlc_solve).
+  mrlc::metrics::counter("faults.injected");
+  mrlc::metrics::counter("faults.recovered");
+
+  int exit_code = 5;
+  try {
+    mrlc::service::SolverService service(options);
+    exit_code = stdio ? serve_stdio(service)
+                      : serve_socket(flags["socket"], service);
+    // drain() already ran inside the serve loop; fall through to flush.
+  } catch (const std::exception& e) {
+    std::cerr << "mrlc_serve: internal error: " << e.what() << '\n';
+    exit_code = 5;
+  }
+  if (mrlc::fault::injected_count() > 0 || mrlc::fault::recovered_count() > 0) {
+    std::cerr << "faults: " << mrlc::fault::injected_count() << " injected, "
+              << mrlc::fault::recovered_count() << " recovered\n";
+  }
+  if (flags.count("metrics-json")) emit_metrics(flags["metrics-json"]);
+  std::cerr << "mrlc_serve: drained\n";
+  return exit_code;
+}
