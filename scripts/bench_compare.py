@@ -6,10 +6,12 @@ Usage:
 
 Workloads are matched by name.  For each match the mean wall time and the
 total phase times are compared; anything more than ``threshold`` slower
-than the baseline is reported as a regression.  The two *algorithmic work*
-counters — ``simplex.pivots`` and ``separation.maxflow_calls`` — get their
-own per-workload delta columns (the headline numbers for warm-start /
-separation changes) and are excluded from the generic drift warnings.
+than the baseline is reported as a regression.  The *algorithmic work*
+counters — ``simplex.pivots``, ``separation.maxflow_calls``, and the
+sparse-LP pair ``simplex.sparse_nnz`` / ``simplex.sparse_refactorizations``
+— get their own per-workload delta columns (the headline numbers for
+warm-start / pricing / separation changes) and are excluded from the
+generic drift warnings.
 Service workloads (anything that bumped ``service.requests``) additionally
 get first-class queries/sec and p99 request-latency columns, derived from
 the completed-request counter over the measured wall time and from the
@@ -78,8 +80,11 @@ def thread_count(doc):
 # Counters that measure how much work the solver did, reported as
 # first-class columns rather than drift warnings.  A drop here is the
 # point of a warm-start or separation change; an increase is visible in
-# the same place a reviewer looks for the wall-time story.
-WORK_COUNTERS = ("simplex.pivots", "separation.maxflow_calls")
+# the same place a reviewer looks for the wall-time story.  The sparse-LP
+# pair (accumulated constraint nonzeros and basis refactorizations) tells
+# the revised-simplex story the same way pivots tell the pricing story.
+WORK_COUNTERS = ("simplex.pivots", "separation.maxflow_calls",
+                 "simplex.sparse_nnz", "simplex.sparse_refactorizations")
 
 
 def work_delta(base_counters, cur_counters, key):
@@ -124,11 +129,18 @@ def service_p99_us(workload):
 
 
 def service_shed_rate(workload):
+    """Shed fraction of admitted requests, or None when the run admitted
+    nothing at all (a rate over zero requests is meaningless, not 0%)."""
     counters = workload.get("metrics", {}).get("counters", {})
     requests = counters.get("service.requests", 0)
     if not requests:
-        return 0.0
+        return None
     return counters.get("service.shed_overload", 0) / requests
+
+
+def service_shed_count(workload):
+    counters = workload.get("metrics", {}).get("counters", {})
+    return counters.get("service.shed_overload", 0)
 
 
 def fmt_qps(value):
@@ -137,6 +149,10 @@ def fmt_qps(value):
 
 def fmt_p99(value):
     return "n/a" if value is None else f"{value} us"
+
+
+def fmt_rate(value):
+    return "n/a" if value is None else f"{value:.1%}"
 
 
 def compare(baseline, current, threshold):
@@ -194,12 +210,18 @@ def compare(baseline, current, threshold):
                   f"{fmt_qps(service_qps(cur))}, "
                   f"p99 {fmt_p99(service_p99_us(base))} -> "
                   f"{fmt_p99(service_p99_us(cur))}, "
-                  f"shed {base_rate:.1%} -> {cur_rate:.1%}")
-            if cur_rate > base_rate + 1e-12:
+                  f"shed {fmt_rate(base_rate)} -> {fmt_rate(cur_rate)}")
+            # Warn only on a real admission-capacity regression: both runs
+            # must have admitted traffic (the rate is undefined otherwise)
+            # and the current run must actually have shed something — two
+            # shed-nothing runs at different qps are not a regression.
+            if (base_rate is not None and cur_rate is not None
+                    and service_shed_count(cur) > 0
+                    and cur_rate > base_rate + 1e-12):
                 warnings.append(
-                    f"{name}: shed rate grew {base_rate:.1%} -> "
-                    f"{cur_rate:.1%} (overload shedding is graceful but "
-                    f"admission capacity regressed)")
+                    f"{name}: shed rate grew {fmt_rate(base_rate)} -> "
+                    f"{fmt_rate(cur_rate)} (overload shedding is graceful "
+                    f"but admission capacity regressed)")
 
         for key in sorted(base_counters.keys() | cur_counters.keys()):
             if key in WORK_COUNTERS:

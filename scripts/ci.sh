@@ -15,6 +15,9 @@
 #      with a byte-identical tree, an unrecoverable one must exit with
 #      the typed internal-error code; the corrupt-input corpus is fed to
 #      the ASan mrlc_solve expecting the parse/validation exit code;
+#   5b. engine parity gate: stock instances solved with --engine sparse
+#      and --engine dense must print byte-identical trees, and an
+#      --lp-crosscheck run (dense shadow oracle) must pass;
 #   6. service smoke: a real mrlc_serve daemon on a Unix socket, driven
 #      with mrlc_client (release build) — trees must be byte-identical to
 #      the one-shot solver, an injected worker crash and a corrupt payload
@@ -114,6 +117,40 @@ fault_smoke() {
     exit 1
   fi
   echo "ci[$label]: every forced fault recovered identically or exited typed"
+}
+
+# LP engine parity gate: on stock instances the sparse revised simplex
+# (the default engine) and the retained dense tableau must produce
+# byte-identical trees, and a --lp-crosscheck run — the dense shadow
+# oracle auditing every solve and resolve in-process — must pass end to
+# end.  Objective parity is implied: the printed cost is part of the
+# compared bytes.
+engine_parity_smoke() {
+  local bindir="$1" label="$2"
+  local gen="$bindir/tools/mrlc_gen" solve="$bindir/tools/mrlc_solve"
+  echo "=== [$label] LP engine parity gate ==="
+  local dir="$bindir/engine_parity"
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  "$gen" dfl --seed 7 > "$dir/dfl.net"
+  "$gen" random --nodes 24 --seed 11 --p 0.4 > "$dir/rand.net"
+  local net
+  for net in dfl rand; do
+    "$solve" ira --lifetime 100 --engine sparse < "$dir/$net.net" \
+      > "$dir/${net}_sparse.txt"
+    "$solve" ira --lifetime 100 --engine dense < "$dir/$net.net" \
+      > "$dir/${net}_dense.txt"
+    if ! cmp -s "$dir/${net}_sparse.txt" "$dir/${net}_dense.txt"; then
+      echo "ci: engine parity: sparse and dense trees differ on $net" >&2
+      exit 1
+    fi
+    if ! "$solve" ira --lifetime 100 --lp-crosscheck < "$dir/$net.net" \
+        > /dev/null; then
+      echo "ci: engine parity: --lp-crosscheck audit failed on $net" >&2
+      exit 1
+    fi
+  done
+  echo "ci[$label]: sparse/dense trees byte-identical, cross-check audit clean"
 }
 
 # Service smoke: one daemon, one socket, the whole robustness contract.
@@ -249,6 +286,7 @@ corrupt_corpus() {
 [[ $run_tsan -eq 1 ]] && run_tsan_suite
 
 [[ $run_release -eq 1 ]] && fault_smoke "$repo/build-release" release
+[[ $run_release -eq 1 ]] && engine_parity_smoke "$repo/build-release" release
 [[ $run_release -eq 1 ]] && service_smoke "$repo/build-release" release
 [[ $run_asan -eq 1 ]] && corrupt_corpus "$repo/build-asan/tools/mrlc_solve" asan
 

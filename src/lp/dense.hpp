@@ -1,0 +1,187 @@
+#pragma once
+
+/// \file dense.hpp
+/// \brief Dense two-phase tableau engine — the historical LP core, kept as
+/// the cross-check oracle.
+///
+/// This is the pre-sparse implementation of `lp::LpInstance`, moved here
+/// verbatim (pivot-for-pivot) when the sparse revised simplex (sparse.hpp)
+/// became the default engine.  It remains reachable two ways: explicitly
+/// via `SimplexOptions::engine = Engine::kDense`, and implicitly as the
+/// shadow oracle behind `SimplexOptions::cross_check`, where every sparse
+/// solve is re-run on this tableau and the objectives are asserted equal.
+///
+/// `DenseLpCore` keeps the factorized basis (the tableau in
+/// current-basis form, i.e. B⁻¹A alongside B⁻¹b and the reduced-cost row)
+/// alive across calls and supports three incremental edits:
+///
+///  * `sync_new_rows` / row addition: a row appended to the attached `Model`
+///    is expressed in the current basis (one elimination pass), given a
+///    fresh slack column as its basic variable, and typically leaves the
+///    basis primal-infeasible (the cut it encodes was violated) but *dual*
+///    feasible — exactly the precondition of the dual simplex;
+///  * `update_rhs`: a changed right-hand side is propagated through B⁻¹
+///    (read off the row's original unit column, which the tableau still
+///    carries) without refactorization;
+///  * `update_objective`: a changed cost updates the reduced-cost row in
+///    O(columns) (plus a primal reoptimization if optimality is lost).
+///
+/// `resolve` then reoptimizes from the previous optimal basis: a dual
+/// simplex phase restores primal feasibility in a handful of pivots, and a
+/// primal cleanup phase re-certifies optimality.  Any numerical trouble
+/// (pivot-budget overrun, a residual infeasibility, an apparent infeasible
+/// row) abandons the warm state and falls back to the cold two-phase path —
+/// counted in `simplex.cold_fallbacks`, never a wrong answer.
+///
+/// The cold path (`solve`) is pivot-for-pivot identical to the historical
+/// `SimplexSolver` implementation, so forcing `warm_start = false` in the
+/// callers reproduces the pre-warm-start trajectories exactly.
+
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace mrlc::lp {
+
+class DenseLpCore {
+ public:
+  /// Attaches to `model`.  The model is the single source of truth: rows
+  /// appended to it are ingested with `sync_new_rows`, and the cold
+  /// (re)build path reads the full model, so instance and model can never
+  /// disagree about the LP being solved.  `model` must outlive the
+  /// instance; variables must not be added after attachment.
+  explicit DenseLpCore(const Model& model, SimplexOptions options = {});
+
+  /// Bounded attachment for trajectory replay (fault recovery): the cold
+  /// build only reads the first `visible_rows` model rows, and later rows
+  /// become visible through the bounded `sync_new_rows(int)` overload.
+  /// Replaying a recorded solve/sync trajectory on such an instance
+  /// reconstructs the exact basis the original instance held — including
+  /// on degenerate LPs with multiple optimal vertices, where a plain cold
+  /// re-solve over the full model may land elsewhere.
+  DenseLpCore(const Model& model, int visible_rows, SimplexOptions options);
+
+  /// Cold two-phase solve: rebuilds the tableau from the model (including
+  /// every row appended so far) and runs Phase 1 + Phase 2 from scratch.
+  /// On success the final basis is retained for later `resolve` calls.
+  Solution solve();
+
+  /// Warm reoptimization from the previous optimal basis: dual simplex
+  /// until primal feasible, then primal simplex until optimal.  Falls back
+  /// to `solve()` when no basis is available or on numerical trouble (see
+  /// file comment); the fallback is observable via `cold_fallbacks()` and
+  /// `Solution::warm_started == false`.
+  Solution resolve();
+
+  /// Ingests rows appended to the model since the last sync (or build).
+  /// Non-equality rows are added incrementally in the current basis;
+  /// equality rows (which need an artificial column) invalidate the basis
+  /// so the next solve is cold.  \return number of rows ingested.
+  /// The parameterless form lifts any replay horizon and ingests every
+  /// model row; the bounded form raises the horizon to exactly
+  /// `up_to_rows` (which must not retreat below the rows already
+  /// ingested) — the replay primitive.
+  int sync_new_rows();
+  int sync_new_rows(int up_to_rows);
+
+  /// Propagates `model.rhs(row)` after a `Model::set_rhs` edit.  The basis
+  /// is kept; call `resolve()` to restore feasibility/optimality.
+  void update_rhs(RowId row);
+
+  /// Propagates `model.objective_coefficient(v)` after a
+  /// `Model::set_objective_coefficient` edit.  The basis is kept; call
+  /// `resolve()` to restore optimality.
+  void update_objective(VarId v);
+
+  /// True when a retained optimal basis makes the next `resolve` warm.
+  bool has_basis() const noexcept { return have_basis_; }
+
+  /// \brief Bit-exact image of the retained basis (tableau basis columns
+  /// and their B⁻¹b values) for the fault-replay tests.
+  /// \return empty snapshot when no basis is retained.
+  BasisSnapshot basis_snapshot() const;
+
+  long long cold_fallbacks() const noexcept { return cold_fallbacks_; }
+  long long warm_solves() const noexcept { return warm_solves_; }
+  long long degenerate_pivots() const noexcept { return degenerate_pivots_; }
+  long long bland_activations() const noexcept { return bland_activations_; }
+
+ private:
+  Solution cold_solve_locked();
+  bool ingest_row(RowId row);
+  int sync_visible();
+  int visible_row_count() const;
+
+  void build();
+  void ensure_column_capacity(int columns);
+  int append_slack_column();
+
+  double& at(int row, int col) {
+    return matrix_[static_cast<std::size_t>(row) * static_cast<std::size_t>(stride_) +
+                   static_cast<std::size_t>(col)];
+  }
+  double at(int row, int col) const {
+    return matrix_[static_cast<std::size_t>(row) * static_cast<std::size_t>(stride_) +
+                   static_cast<std::size_t>(col)];
+  }
+
+  void load_costs(const std::vector<double>& costs);
+  void load_costs_phase1();
+  void load_costs_phase2();
+  double phase_objective() const { return objective_; }
+  bool is_artificial(int j) const {
+    return j >= artificial_start_ && j < artificial_end_;
+  }
+  bool column_allowed(int j) const { return phase1_ || !is_artificial(j); }
+
+  SolveStatus optimize(int* iteration_counter);
+  SolveStatus dual_optimize(int* iteration_counter);
+  void pivot(int leaving_row, int entering_col);
+  void drive_out_artificials();
+  void extract(Solution& out) const;
+  void record_solve(const Solution& out, bool warm, bool fallback,
+                    long long degenerate_before, long long bland_before);
+
+  const Model& model_;
+  SimplexOptions options_;
+
+  int shifted_count_ = 0;
+  int slack_count_ = 0;
+  int artificial_count_ = 0;
+  int artificial_start_ = 0;
+  int artificial_end_ = 0;
+  int row_count_ = 0;
+  int column_count_ = 0;
+  int stride_ = 0;                  ///< column capacity of each matrix row
+  bool phase1_ = false;
+  bool have_basis_ = false;
+  int model_rows_ingested_ = 0;     ///< model rows reflected in the tableau
+  int visible_rows_ = -1;           ///< replay horizon; -1 = whole model
+
+  long long degenerate_pivots_ = 0;   ///< cumulative, all solves
+  long long bland_activations_ = 0;   ///< cumulative Bland switchovers
+  long long cold_fallbacks_ = 0;
+  long long warm_solves_ = 0;
+
+  std::vector<double> shift_;
+  std::vector<double> matrix_;
+  std::vector<double> rhs_;
+  std::vector<int> basis_;
+  std::vector<double> costs_;
+  std::vector<double> reduced_;
+  /// Per tableau row: the column that held its +1 unit entry at build time
+  /// (slack for <=, artificial for >= and =) — i.e. the column whose
+  /// current contents are B⁻¹·e_row, used to propagate rhs edits.
+  std::vector<int> unit_col_;
+  /// Per tableau row: +1/-1 sign applied during rhs>=0 normalization.
+  std::vector<double> row_sign_;
+  /// Per tableau row: normalized rhs as built/ingested (pre-B⁻¹), diffed
+  /// against the model by `update_rhs` to derive the delta to propagate.
+  std::vector<double> norm_rhs_;
+  /// Model row -> tableau row (rows can interleave with bound rows).
+  std::vector<int> tableau_row_of_model_row_;
+  double objective_ = 0.0;
+};
+
+}  // namespace mrlc::lp

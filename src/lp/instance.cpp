@@ -1,774 +1,166 @@
 #include "lp/instance.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <limits>
 
-#include "common/metrics.hpp"
-#include "common/trace.hpp"
+#include "common/check.hpp"
 
 namespace mrlc::lp {
 
 namespace {
 
-/// Primal feasibility tolerance: rhs entries above this (in absolute value)
-/// count as infeasible and wake the dual simplex.
-constexpr double kFeasibilityTol = 1e-9;
-/// Residual rhs violation that disqualifies a warm result (fallback).
-constexpr double kWarmAcceptTol = 1e-6;
-/// Coefficients below this are treated as exact zeros during elimination.
-constexpr double kEliminationTol = 1e-14;
+/// Relative objective disagreement between the engines that fails the
+/// cross-check audit.
+constexpr double kAuditObjectiveTol = 1e-6;
+/// Row violation of the sparse solution that fails the cross-check audit.
+constexpr double kAuditFeasibilityTol = 1e-6;
+
+Engine resolve_engine(const SimplexOptions& options) {
+  return options.engine == Engine::kDefault ? default_engine()
+                                            : options.engine;
+}
 
 }  // namespace
 
 LpInstance::LpInstance(const Model& model, SimplexOptions options)
-    : model_(model), options_(options) {}
+    : options_(options), engine_(resolve_engine(options)), model_(&model) {
+  options_.cross_check = options_.cross_check || default_cross_check();
+  if (engine_ == Engine::kDense) {
+    dense_ = std::make_unique<DenseLpCore>(model, options_);
+    return;
+  }
+  sparse_ = std::make_unique<SparseLpCore>(model, options_);
+  if (options_.cross_check) {
+    SimplexOptions shadow = options_;
+    shadow.engine = Engine::kDense;
+    shadow.record_metrics = false;  // don't double-count simplex.* metrics
+    shadow.budget = nullptr;        // the audit must not drain the budget
+    oracle_ = std::make_unique<DenseLpCore>(model, shadow);
+  }
+}
 
 LpInstance::LpInstance(const Model& model, int visible_rows,
                        SimplexOptions options)
-    : model_(model), options_(options), visible_rows_(visible_rows) {
-  MRLC_REQUIRE(visible_rows >= 0 && visible_rows <= model.constraint_count(),
-               "visible row horizon out of range");
-}
-
-int LpInstance::visible_row_count() const {
-  const int total = model_.constraint_count();
-  return visible_rows_ < 0 ? total : std::min(visible_rows_, total);
-}
-
-// ---------------------------------------------------------------- build --
-
-void LpInstance::build() {
-  const int n = model_.variable_count();
-  shifted_count_ = n;
-
-  // Shift x = l + y so every structural variable has lower bound 0.
-  shift_.assign(static_cast<std::size_t>(n), 0.0);
-  for (VarId v = 0; v < n; ++v) {
-    shift_[static_cast<std::size_t>(v)] = model_.lower_bound(v);
-  }
-
-  // One row of the constraint matrix after normalization to
-  //   sum a_j y_j  (relation)  b   with  b >= 0.
-  struct NormalizedRow {
-    std::vector<double> coeffs;  // dense over shifted structural variables
-    Relation relation = Relation::kLessEqual;
-    double rhs = 0.0;
-    double sign = 1.0;           // -1 when the row was negated for b >= 0
-    RowId model_row = -1;        // -1 for synthesized bound rows
-  };
-
-  std::vector<NormalizedRow> rows;
-  auto add_row = [&](std::vector<double> coeffs, Relation rel, double rhs,
-                     RowId model_row) {
-    double sign = 1.0;
-    if (rhs < 0.0) {
-      for (double& c : coeffs) c = -c;
-      rhs = -rhs;
-      sign = -1.0;
-      rel = rel == Relation::kLessEqual    ? Relation::kGreaterEqual
-            : rel == Relation::kGreaterEqual ? Relation::kLessEqual
-                                             : Relation::kEqual;
-    }
-    rows.push_back(NormalizedRow{std::move(coeffs), rel, rhs, sign, model_row});
-  };
-
-  const int visible = visible_row_count();
-  for (RowId r = 0; r < visible; ++r) {
-    std::vector<double> coeffs(static_cast<std::size_t>(n), 0.0);
-    double rhs = model_.rhs(r);
-    for (const Term& t : model_.terms(r)) {
-      coeffs[static_cast<std::size_t>(t.var)] += t.coefficient;
-      rhs -= t.coefficient * shift_[static_cast<std::size_t>(t.var)];
-    }
-    add_row(std::move(coeffs), model_.relation(r), rhs, r);
-  }
-  // Finite upper bounds become explicit rows  y_v <= u_v - l_v.
-  for (VarId v = 0; v < n; ++v) {
-    const double u = model_.upper_bound(v);
-    if (std::isfinite(u)) {
-      std::vector<double> coeffs(static_cast<std::size_t>(n), 0.0);
-      coeffs[static_cast<std::size_t>(v)] = 1.0;
-      add_row(std::move(coeffs), Relation::kLessEqual,
-              u - shift_[static_cast<std::size_t>(v)], -1);
-    }
-  }
-
-  row_count_ = static_cast<int>(rows.size());
-  // Column layout: structural | slack/surplus | artificial.  Later warm row
-  // additions append their slack columns past `artificial_end_`.
-  slack_count_ = 0;
-  artificial_count_ = 0;
-  for (const auto& row : rows) {
-    if (row.relation != Relation::kEqual) ++slack_count_;
-    if (row.relation != Relation::kLessEqual) ++artificial_count_;
-  }
-  column_count_ = shifted_count_ + slack_count_ + artificial_count_;
-  stride_ = column_count_ + 32;  // headroom for warm-added cut slacks
-
-  matrix_.assign(static_cast<std::size_t>(row_count_) *
-                     static_cast<std::size_t>(stride_),
-                 0.0);
-  rhs_.assign(static_cast<std::size_t>(row_count_), 0.0);
-  basis_.assign(static_cast<std::size_t>(row_count_), -1);
-  unit_col_.assign(static_cast<std::size_t>(row_count_), -1);
-  row_sign_.assign(static_cast<std::size_t>(row_count_), 1.0);
-  norm_rhs_.assign(static_cast<std::size_t>(row_count_), 0.0);
-  tableau_row_of_model_row_.assign(
-      static_cast<std::size_t>(model_.constraint_count()), -1);
-  artificial_start_ = shifted_count_ + slack_count_;
-  artificial_end_ = artificial_start_ + artificial_count_;
-
-  int next_slack = shifted_count_;
-  int next_artificial = artificial_start_;
-  for (int i = 0; i < row_count_; ++i) {
-    const NormalizedRow& row = rows[static_cast<std::size_t>(i)];
-    for (int j = 0; j < shifted_count_; ++j) {
-      at(i, j) = row.coeffs[static_cast<std::size_t>(j)];
-    }
-    rhs_[static_cast<std::size_t>(i)] = row.rhs;
-    norm_rhs_[static_cast<std::size_t>(i)] = row.rhs;
-    row_sign_[static_cast<std::size_t>(i)] = row.sign;
-    if (row.model_row != -1) {
-      tableau_row_of_model_row_[static_cast<std::size_t>(row.model_row)] = i;
-    }
-    switch (row.relation) {
-      case Relation::kLessEqual:
-        at(i, next_slack) = 1.0;
-        unit_col_[static_cast<std::size_t>(i)] = next_slack;
-        basis_[static_cast<std::size_t>(i)] = next_slack++;
-        break;
-      case Relation::kGreaterEqual:
-        at(i, next_slack) = -1.0;
-        ++next_slack;
-        at(i, next_artificial) = 1.0;
-        unit_col_[static_cast<std::size_t>(i)] = next_artificial;
-        basis_[static_cast<std::size_t>(i)] = next_artificial++;
-        break;
-      case Relation::kEqual:
-        at(i, next_artificial) = 1.0;
-        unit_col_[static_cast<std::size_t>(i)] = next_artificial;
-        basis_[static_cast<std::size_t>(i)] = next_artificial++;
-        break;
-    }
-  }
-  model_rows_ingested_ = visible;
-}
-
-void LpInstance::ensure_column_capacity(int columns) {
-  if (columns <= stride_) return;
-  const int new_stride = std::max(columns, stride_ + stride_ / 2 + 8);
-  std::vector<double> grown(static_cast<std::size_t>(row_count_) *
-                                static_cast<std::size_t>(new_stride),
-                            0.0);
-  for (int i = 0; i < row_count_; ++i) {
-    std::copy_n(matrix_.begin() + static_cast<std::ptrdiff_t>(i) * stride_,
-                column_count_,
-                grown.begin() + static_cast<std::ptrdiff_t>(i) * new_stride);
-  }
-  matrix_ = std::move(grown);
-  stride_ = new_stride;
-}
-
-int LpInstance::append_slack_column() {
-  ensure_column_capacity(column_count_ + 1);
-  const int col = column_count_++;
-  costs_.push_back(0.0);
-  reduced_.push_back(0.0);
-  return col;
-}
-
-// ---------------------------------------------------------------- costs --
-
-void LpInstance::load_costs(const std::vector<double>& costs) {
-  costs_ = costs;
-  reduced_.assign(static_cast<std::size_t>(column_count_), 0.0);
-  objective_ = 0.0;
-  for (int j = 0; j < column_count_; ++j) {
-    reduced_[static_cast<std::size_t>(j)] = costs_[static_cast<std::size_t>(j)];
-  }
-  for (int i = 0; i < row_count_; ++i) {
-    const double cb = costs_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
-    if (cb == 0.0) continue;
-    for (int j = 0; j < column_count_; ++j) {
-      reduced_[static_cast<std::size_t>(j)] -= cb * at(i, j);
-    }
-    objective_ += cb * rhs_[static_cast<std::size_t>(i)];
-  }
-}
-
-void LpInstance::load_costs_phase1() {
-  std::vector<double> costs(static_cast<std::size_t>(column_count_), 0.0);
-  for (int j = artificial_start_; j < artificial_end_; ++j) {
-    costs[static_cast<std::size_t>(j)] = 1.0;
-  }
-  phase1_ = true;
-  load_costs(costs);
-}
-
-void LpInstance::load_costs_phase2() {
-  std::vector<double> costs(static_cast<std::size_t>(column_count_), 0.0);
-  for (VarId v = 0; v < model_.variable_count(); ++v) {
-    costs[static_cast<std::size_t>(v)] = model_.objective_coefficient(v);
-  }
-  phase1_ = false;
-  load_costs(costs);
-}
-
-// --------------------------------------------------------------- primal --
-
-SolveStatus LpInstance::optimize(int* iteration_counter) {
-  int since_progress = 0;
-  int degenerate_streak = 0;
-  bool streak_bland = false;
-  bool prev_bland = false;
-  double last_objective = objective_;
-  for (int iter = 0; iter < options_.max_iterations; ++iter) {
-    // Budget checkpoint: one unit per pivot, charged serially (this loop is
-    // single-threaded) so the interruption point is thread-count invariant.
-    if (options_.budget != nullptr && !options_.budget->charge(1)) {
-      return SolveStatus::kInterrupted;
-    }
-    ++*iteration_counter;
-    if (!streak_bland && options_.bland_degenerate_streak > 0 &&
-        degenerate_streak > options_.bland_degenerate_streak) {
-      streak_bland = true;
-    }
-    const bool bland = since_progress > options_.bland_after || streak_bland;
-    if (bland && !prev_bland) ++bland_activations_;
-    prev_bland = bland;
-
-    // --- pricing ---
-    int entering = -1;
-    double best = -options_.cost_tolerance;
-    for (int j = 0; j < column_count_; ++j) {
-      if (!column_allowed(j)) continue;
-      const double rc = reduced_[static_cast<std::size_t>(j)];
-      if (rc < best) {
-        entering = j;
-        if (bland) break;  // Bland: first improving column
-        best = rc;
-      } else if (bland && rc < -options_.cost_tolerance) {
-        entering = j;
-        break;
-      }
-    }
-    if (entering == -1) return SolveStatus::kOptimal;
-
-    // --- ratio test ---
-    int leaving = -1;
-    double best_ratio = std::numeric_limits<double>::infinity();
-    for (int i = 0; i < row_count_; ++i) {
-      const double a = at(i, entering);
-      if (a <= options_.pivot_tolerance) continue;
-      const double ratio = rhs_[static_cast<std::size_t>(i)] / a;
-      if (ratio < best_ratio - 1e-12 ||
-          (ratio < best_ratio + 1e-12 && leaving != -1 &&
-           basis_[static_cast<std::size_t>(i)] <
-               basis_[static_cast<std::size_t>(leaving)])) {
-        best_ratio = ratio;
-        leaving = i;
-      }
-    }
-    if (leaving == -1) return SolveStatus::kUnbounded;
-
-    if (best_ratio <= 1e-12) {
-      ++degenerate_pivots_;
-      ++degenerate_streak;
-    } else {
-      degenerate_streak = 0;
-      streak_bland = false;
-    }
-    pivot(leaving, entering);
-
-    if (objective_ < last_objective - 1e-12) {
-      last_objective = objective_;
-      since_progress = 0;
-    } else {
-      ++since_progress;
-    }
-  }
-  return SolveStatus::kIterationLimit;
-}
-
-// ----------------------------------------------------------------- dual --
-
-SolveStatus LpInstance::dual_optimize(int* iteration_counter) {
-  // The warm path is only worthwhile when it beats a cold rebuild by a wide
-  // margin, so the pivot budget is tight; overruns fall back (counted).
-  const int cap = std::min(options_.max_iterations, 100 + 4 * row_count_);
-  int degenerate_streak = 0;
-  bool streak_bland = false;
-  bool prev_bland = false;
-  for (int iter = 0; iter < cap; ++iter) {
-    if (options_.budget != nullptr && !options_.budget->charge(1)) {
-      return SolveStatus::kInterrupted;
-    }
-    ++*iteration_counter;
-    if (!streak_bland && options_.bland_degenerate_streak > 0 &&
-        degenerate_streak > options_.bland_degenerate_streak) {
-      streak_bland = true;
-    }
-    if (streak_bland && !prev_bland) ++bland_activations_;
-    prev_bland = streak_bland;
-
-    // --- leaving row: most negative rhs (Bland: smallest basis index) ---
-    int leaving = -1;
-    double most_negative = 0.0;
-    for (int i = 0; i < row_count_; ++i) {
-      const double b = rhs_[static_cast<std::size_t>(i)];
-      if (b >= -kFeasibilityTol) continue;
-      if (leaving == -1) {
-        leaving = i;
-        most_negative = b;
-        continue;
-      }
-      if (streak_bland) {
-        if (basis_[static_cast<std::size_t>(i)] <
-            basis_[static_cast<std::size_t>(leaving)]) {
-          leaving = i;
-          most_negative = b;
-        }
-      } else if (b < most_negative - 1e-12 ||
-                 (b < most_negative + 1e-12 &&
-                  basis_[static_cast<std::size_t>(i)] <
-                      basis_[static_cast<std::size_t>(leaving)])) {
-        leaving = i;
-        most_negative = b;
-      }
-    }
-    if (leaving == -1) return SolveStatus::kOptimal;  // primal feasible again
-
-    // --- dual ratio test: min reduced_j / -a_rj over a_rj < 0 ------------
-    // Ties break toward the smallest column index (ascending scan), which
-    // doubles as the entering half of Bland's rule.
-    int entering = -1;
-    double best_ratio = std::numeric_limits<double>::infinity();
-    for (int j = 0; j < column_count_; ++j) {
-      if (!column_allowed(j)) continue;  // phase 2: artificials stay out
-      const double a = at(leaving, j);
-      if (a >= -options_.pivot_tolerance) continue;
-      const double rc = std::max(reduced_[static_cast<std::size_t>(j)], 0.0);
-      const double ratio = rc / (-a);
-      if (ratio < best_ratio - 1e-12) {
-        best_ratio = ratio;
-        entering = j;
-      }
-    }
-    if (entering == -1) {
-      // The row proves infeasibility (negative rhs, no negative entry) —
-      // modulo rounding, which is why callers re-certify with a cold solve.
-      return SolveStatus::kInfeasible;
-    }
-
-    if (best_ratio <= 1e-12) {
-      ++degenerate_pivots_;
-      ++degenerate_streak;
-    } else {
-      degenerate_streak = 0;
-      streak_bland = false;
-    }
-    pivot(leaving, entering);
-  }
-  return SolveStatus::kIterationLimit;
-}
-
-// ---------------------------------------------------------------- pivot --
-
-void LpInstance::pivot(int leaving_row, int entering_col) {
-  const double p = at(leaving_row, entering_col);
-  // Normalize the pivot row.
-  const double inv = 1.0 / p;
-  for (int j = 0; j < column_count_; ++j) at(leaving_row, j) *= inv;
-  rhs_[static_cast<std::size_t>(leaving_row)] *= inv;
-  at(leaving_row, entering_col) = 1.0;  // kill rounding noise
-
-  for (int i = 0; i < row_count_; ++i) {
-    if (i == leaving_row) continue;
-    const double factor = at(i, entering_col);
-    if (std::abs(factor) <= kEliminationTol) continue;
-    for (int j = 0; j < column_count_; ++j) {
-      at(i, j) -= factor * at(leaving_row, j);
-    }
-    at(i, entering_col) = 0.0;
-    rhs_[static_cast<std::size_t>(i)] -= factor * rhs_[static_cast<std::size_t>(leaving_row)];
-    if (rhs_[static_cast<std::size_t>(i)] < 0.0 &&
-        rhs_[static_cast<std::size_t>(i)] > -1e-10) {
-      rhs_[static_cast<std::size_t>(i)] = 0.0;  // clamp degeneracy noise
-    }
-  }
-  // Update the reduced-cost row the same way.
-  const double rc = reduced_[static_cast<std::size_t>(entering_col)];
-  if (std::abs(rc) > 0.0) {
-    for (int j = 0; j < column_count_; ++j) {
-      reduced_[static_cast<std::size_t>(j)] -= rc * at(leaving_row, j);
-    }
-    reduced_[static_cast<std::size_t>(entering_col)] = 0.0;
-    objective_ += rc * rhs_[static_cast<std::size_t>(leaving_row)];
-  }
-  basis_[static_cast<std::size_t>(leaving_row)] = entering_col;
-}
-
-/// After phase 1, pivots basic artificials out (or detects their rows as
-/// redundant, in which case the row stays with a zero-valued artificial —
-/// phase 2 forbids it from moving, which keeps the row inert).
-void LpInstance::drive_out_artificials() {
-  for (int i = 0; i < row_count_; ++i) {
-    const int b = basis_[static_cast<std::size_t>(i)];
-    if (!is_artificial(b)) continue;
-    // Basic artificial at value ~0 (phase 1 succeeded).  Pivot on any
-    // usable non-artificial column in this row.
-    for (int j = 0; j < artificial_start_; ++j) {
-      if (std::abs(at(i, j)) > 1e-7) {
-        pivot(i, j);
-        break;
-      }
-    }
-  }
-}
-
-// -------------------------------------------------------------- extract --
-
-void LpInstance::extract(Solution& out) const {
-  const int n = model_.variable_count();
-  out.values.assign(static_cast<std::size_t>(n), 0.0);
-  out.is_basic.assign(static_cast<std::size_t>(n), false);
-  for (VarId v = 0; v < n; ++v) {
-    out.values[static_cast<std::size_t>(v)] = shift_[static_cast<std::size_t>(v)];
-  }
-  for (int i = 0; i < row_count_; ++i) {
-    const int b = basis_[static_cast<std::size_t>(i)];
-    if (b < shifted_count_) {
-      out.values[static_cast<std::size_t>(b)] =
-          shift_[static_cast<std::size_t>(b)] + rhs_[static_cast<std::size_t>(i)];
-      out.is_basic[static_cast<std::size_t>(b)] = true;
-    }
-  }
-  out.objective = model_.evaluate_objective(out.values);
-}
-
-// -------------------------------------------------------------- metrics --
-
-void LpInstance::record_solve(const Solution& out, bool warm, bool fallback,
-                              long long degenerate_before,
-                              long long bland_before) {
-  static metrics::Counter& solves = metrics::counter("simplex.solves");
-  static metrics::Counter& pivots = metrics::counter("simplex.pivots");
-  static metrics::Counter& degenerate =
-      metrics::counter("simplex.degenerate_pivots");
-  static metrics::Histogram& per_solve =
-      metrics::histogram("simplex.pivots_per_solve");
-  static metrics::Counter& warm_solves = metrics::counter("simplex.warm_solves");
-  static metrics::Counter& warm_pivots = metrics::counter("simplex.warm_pivots");
-  static metrics::Counter& fallbacks = metrics::counter("simplex.cold_fallbacks");
-  static metrics::Counter& bland = metrics::counter("simplex.bland_activations");
-  solves.add();
-  pivots.add(out.iterations);
-  degenerate.add(degenerate_pivots_ - degenerate_before);
-  per_solve.record(out.iterations);
-  if (warm) {
-    warm_solves.add();
-    warm_pivots.add(out.iterations);
-  }
-  if (fallback) fallbacks.add();
-  if (bland_activations_ > bland_before) {
-    bland.add(bland_activations_ - bland_before);
-  }
-}
-
-// ---------------------------------------------------------------- edits --
-
-bool LpInstance::ingest_row(RowId row) {
-  const Relation relation = model_.relation(row);
-  if (relation == Relation::kEqual) {
-    // Equality rows need an artificial basic column, i.e. a Phase-1 pass;
-    // invalidate the basis so the next solve is cold.
-    return false;
-  }
-  const double sign = relation == Relation::kGreaterEqual ? -1.0 : 1.0;
-
-  // Normalize to <= with the structural shift applied (no b >= 0
-  // normalization: the dual simplex tolerates negative rhs, that is its
-  // whole point).
-  std::vector<double> row_buf(static_cast<std::size_t>(stride_), 0.0);
-  double rhs = model_.rhs(row);
-  for (const Term& t : model_.terms(row)) {
-    row_buf[static_cast<std::size_t>(t.var)] += t.coefficient;
-    rhs -= t.coefficient * shift_[static_cast<std::size_t>(t.var)];
-  }
-  if (sign < 0.0) {
-    for (int j = 0; j < shifted_count_; ++j) {
-      row_buf[static_cast<std::size_t>(j)] = -row_buf[static_cast<std::size_t>(j)];
-    }
-    rhs = -rhs;
-  }
-  const double normalized_rhs = rhs;
-
-  const int slack = append_slack_column();
-  if (static_cast<int>(row_buf.size()) < stride_) {
-    row_buf.resize(static_cast<std::size_t>(stride_), 0.0);
-  }
-  row_buf[static_cast<std::size_t>(slack)] = 1.0;
-
-  // Express the row in the current basis: eliminate every basic column.
-  // Existing rows have zeros in each other's basic columns, so one pass in
-  // row order suffices.
-  for (int i = 0; i < row_count_; ++i) {
-    const int b = basis_[static_cast<std::size_t>(i)];
-    const double factor = row_buf[static_cast<std::size_t>(b)];
-    if (std::abs(factor) <= kEliminationTol) continue;
-    for (int j = 0; j < column_count_; ++j) {
-      row_buf[static_cast<std::size_t>(j)] -= factor * at(i, j);
-    }
-    row_buf[static_cast<std::size_t>(b)] = 0.0;  // kill rounding noise
-    rhs -= factor * rhs_[static_cast<std::size_t>(i)];
-  }
-
-  // Append as a new tableau row with the fresh slack basic.  The slack has
-  // zero cost, so the reduced-cost row and the objective are unchanged.
-  matrix_.resize(static_cast<std::size_t>(row_count_ + 1) *
-                     static_cast<std::size_t>(stride_),
-                 0.0);
-  std::copy_n(row_buf.begin(), column_count_,
-              matrix_.begin() + static_cast<std::ptrdiff_t>(row_count_) * stride_);
-  rhs_.push_back(rhs);
-  basis_.push_back(slack);
-  unit_col_.push_back(slack);
-  row_sign_.push_back(sign);
-  norm_rhs_.push_back(normalized_rhs);
-  tableau_row_of_model_row_[static_cast<std::size_t>(row)] = row_count_;
-  ++row_count_;
-  return true;
-}
-
-int LpInstance::sync_new_rows() {
-  visible_rows_ = -1;
-  return sync_visible();
-}
-
-int LpInstance::sync_new_rows(int up_to_rows) {
-  MRLC_REQUIRE(up_to_rows >= model_rows_ingested_ &&
-                   up_to_rows <= model_.constraint_count(),
-               "row horizon must not retreat below ingested rows");
-  visible_rows_ = up_to_rows;
-  return sync_visible();
-}
-
-int LpInstance::sync_visible() {
-  const int total = visible_row_count();
-  const int fresh = total - model_rows_ingested_;
-  if (fresh <= 0) return 0;
-  if (!have_basis_) {
-    // No factorized basis to patch; the next cold solve reads the model.
-    model_rows_ingested_ = total;
-    return fresh;
-  }
-  // The mapping vector must cover every model row before ingestion.
-  if (static_cast<int>(tableau_row_of_model_row_.size()) < total) {
-    tableau_row_of_model_row_.resize(static_cast<std::size_t>(total), -1);
-  }
-  for (RowId r = model_rows_ingested_; r < total; ++r) {
-    if (!ingest_row(r)) {
-      have_basis_ = false;
-      break;
-    }
-  }
-  model_rows_ingested_ = total;
-  return fresh;
-}
-
-void LpInstance::update_rhs(RowId row) {
-  MRLC_REQUIRE(row >= 0 && row < model_.constraint_count(), "row out of range");
-  if (!have_basis_) return;  // next cold solve reads the model
-  MRLC_REQUIRE(row < model_rows_ingested_, "sync_new_rows before update_rhs");
-  const int tr = tableau_row_of_model_row_[static_cast<std::size_t>(row)];
-  MRLC_ENSURE(tr != -1, "ingested model row must have a tableau row");
-
-  // Recompute the normalized rhs, diff against the stored value, and push
-  // the delta through B^{-1}:  rhs_ = B^{-1} b, so
-  //   new rhs_ = rhs_ + (b_new - b_old) * B^{-1} e_tr,
-  // where B^{-1} e_tr is exactly the current contents of the row's original
-  // unit column (slack/artificial) that the tableau still carries.
-  double rhs = model_.rhs(row);
-  for (const Term& t : model_.terms(row)) {
-    rhs -= t.coefficient * shift_[static_cast<std::size_t>(t.var)];
-  }
-  rhs *= row_sign_[static_cast<std::size_t>(tr)];
-
-  const double delta = rhs - norm_rhs_[static_cast<std::size_t>(tr)];
-  if (delta == 0.0) return;
-  norm_rhs_[static_cast<std::size_t>(tr)] = rhs;
-  const int unit = unit_col_[static_cast<std::size_t>(tr)];
-  for (int i = 0; i < row_count_; ++i) {
-    rhs_[static_cast<std::size_t>(i)] += delta * at(i, unit);
-  }
-  // Objective tracks c_B' B^{-1} b:  delta * c_B' B^{-1} e_tr, where
-  // c_B' B^{-1} e_tr = cost(unit) - reduced(unit).
-  objective_ += delta * (costs_[static_cast<std::size_t>(unit)] -
-                         reduced_[static_cast<std::size_t>(unit)]);
-}
-
-void LpInstance::update_objective(VarId v) {
-  MRLC_REQUIRE(v >= 0 && v < model_.variable_count(), "variable out of range");
-  if (!have_basis_) return;  // next cold solve reads the model
-  const double target = model_.objective_coefficient(v);
-  const double delta = target - costs_[static_cast<std::size_t>(v)];
-  if (delta == 0.0) return;
-  costs_[static_cast<std::size_t>(v)] = target;
-  int basic_row = -1;
-  for (int i = 0; i < row_count_; ++i) {
-    if (basis_[static_cast<std::size_t>(i)] == v) {
-      basic_row = i;
-      break;
-    }
-  }
-  if (basic_row == -1) {
-    reduced_[static_cast<std::size_t>(v)] += delta;
+    : options_(options), engine_(resolve_engine(options)), model_(&model) {
+  options_.cross_check = options_.cross_check || default_cross_check();
+  if (engine_ == Engine::kDense) {
+    dense_ = std::make_unique<DenseLpCore>(model, visible_rows, options_);
     return;
   }
-  for (int j = 0; j < column_count_; ++j) {
-    reduced_[static_cast<std::size_t>(j)] -= delta * at(basic_row, j);
+  sparse_ = std::make_unique<SparseLpCore>(model, visible_rows, options_);
+  if (options_.cross_check) {
+    SimplexOptions shadow = options_;
+    shadow.engine = Engine::kDense;
+    shadow.record_metrics = false;
+    shadow.budget = nullptr;
+    oracle_ = std::make_unique<DenseLpCore>(model, visible_rows, shadow);
   }
-  reduced_[static_cast<std::size_t>(v)] = 0.0;
-  objective_ += delta * rhs_[static_cast<std::size_t>(basic_row)];
 }
 
-// --------------------------------------------------------------- solves --
+LpInstance::~LpInstance() = default;
+LpInstance::LpInstance(LpInstance&&) noexcept = default;
+LpInstance& LpInstance::operator=(LpInstance&&) noexcept = default;
+
+void LpInstance::audit(const Solution& ours, bool warm_call) {
+  if (oracle_ == nullptr) return;
+  const Solution theirs = warm_call ? oracle_->resolve() : oracle_->solve();
+  // A budget interruption only exists on the audited side (the oracle runs
+  // unbudgeted); there is nothing to compare.
+  if (ours.status == SolveStatus::kInterrupted) return;
+  MRLC_ENSURE(ours.status == theirs.status,
+              "cross-check: sparse and dense engines disagree on status");
+  if (ours.status != SolveStatus::kOptimal) return;
+  const double scale = 1.0 + std::abs(theirs.objective);
+  MRLC_ENSURE(
+      std::abs(ours.objective - theirs.objective) <= kAuditObjectiveTol * scale,
+      "cross-check: sparse and dense optimal objectives disagree");
+  // Basis feasibility of the sparse point, judged by the model itself.
+  for (RowId r = 0; r < model_->constraint_count(); ++r) {
+    const double lhs = model_->evaluate_row(r, ours.values);
+    const double rhs = model_->rhs(r);
+    bool ok = true;
+    switch (model_->relation(r)) {
+      case Relation::kLessEqual: ok = lhs <= rhs + kAuditFeasibilityTol; break;
+      case Relation::kGreaterEqual:
+        ok = lhs >= rhs - kAuditFeasibilityTol;
+        break;
+      case Relation::kEqual:
+        ok = std::abs(lhs - rhs) <= kAuditFeasibilityTol;
+        break;
+    }
+    MRLC_ENSURE(ok, "cross-check: sparse solution violates a model row");
+  }
+}
 
 Solution LpInstance::solve() {
-  if (model_.variable_count() == 0) {
-    // Empty model: feasible iff every row is satisfied by the empty point.
-    Solution out;
-    bool ok = true;
-    const int visible = visible_row_count();
-    for (RowId r = 0; r < visible; ++r) {
-      const double rhs = model_.rhs(r);
-      switch (model_.relation(r)) {
-        case Relation::kLessEqual: ok = ok && rhs >= -1e-9; break;
-        case Relation::kGreaterEqual: ok = ok && rhs <= 1e-9; break;
-        case Relation::kEqual: ok = ok && std::abs(rhs) <= 1e-9; break;
-      }
-    }
-    out.status = ok ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
-    have_basis_ = false;
-    model_rows_ingested_ = visible;
-    return out;
-  }
-  trace::ScopedPhase phase("simplex");
-  const long long degenerate_before = degenerate_pivots_;
-  const long long bland_before = bland_activations_;
-  Solution out = cold_solve_locked();
-  record_solve(out, /*warm=*/false, /*fallback=*/false, degenerate_before,
-               bland_before);
-  return out;
-}
-
-Solution LpInstance::cold_solve_locked() {
-  build();
-  have_basis_ = false;
-  Solution out;
-  // ---- Phase 1: minimize the sum of artificials. ----------------------
-  if (artificial_count_ > 0) {
-    load_costs_phase1();
-    const SolveStatus s1 = optimize(&out.iterations);
-    if (s1 == SolveStatus::kIterationLimit || s1 == SolveStatus::kInterrupted) {
-      out.status = s1;
-      return out;
-    }
-    // Phase 1 is bounded below by zero, so kUnbounded cannot happen.
-    if (phase_objective() > 1e-6) {
-      out.status = SolveStatus::kInfeasible;
-      return out;
-    }
-    drive_out_artificials();
-  }
-  // ---- Phase 2: the real objective over structural + slack columns. ---
-  load_costs_phase2();
-  const SolveStatus s2 = optimize(&out.iterations);
-  out.status = s2;
-  if (s2 != SolveStatus::kOptimal) return out;
-
-  extract(out);
-  have_basis_ = true;
+  if (dense_ != nullptr) return dense_->solve();
+  Solution out = sparse_->solve();
+  audit(out, /*warm_call=*/false);
   return out;
 }
 
 Solution LpInstance::resolve() {
-  if (model_.variable_count() == 0 || !have_basis_ ||
-      model_rows_ingested_ != visible_row_count()) {
-    return solve();
-  }
-  trace::ScopedPhase phase("simplex");
-  const long long degenerate_before = degenerate_pivots_;
-  const long long bland_before = bland_activations_;
-  Solution out;
-  out.warm_started = true;
-  phase1_ = false;
+  if (dense_ != nullptr) return dense_->resolve();
+  Solution out = sparse_->resolve();
+  audit(out, /*warm_call=*/true);
+  return out;
+}
 
-  bool trouble = false;
-  const SolveStatus dual = dual_optimize(&out.iterations);
-  if (dual == SolveStatus::kInterrupted) {
-    // Budget ran out mid-reoptimization: the tableau is mid-pivot-sequence
-    // (a valid basis, but neither primal feasible nor certified), so the
-    // retained state is abandoned rather than trusted or re-solved.
-    out.status = SolveStatus::kInterrupted;
-    have_basis_ = false;
-    record_solve(out, /*warm=*/false, /*fallback=*/false, degenerate_before,
-                 bland_before);
-    return out;
-  }
-  if (dual == SolveStatus::kOptimal) {
-    const SolveStatus primal = optimize(&out.iterations);
-    if (primal == SolveStatus::kInterrupted) {
-      out.status = SolveStatus::kInterrupted;
-      have_basis_ = false;
-      record_solve(out, /*warm=*/false, /*fallback=*/false, degenerate_before,
-                   bland_before);
-      return out;
-    }
-    if (primal == SolveStatus::kUnbounded) {
-      // A genuinely unbounded direction is certified by the tableau itself;
-      // a cold re-solve could only rediscover it.
-      out.status = SolveStatus::kUnbounded;
-      have_basis_ = false;
-      ++warm_solves_;
-      record_solve(out, /*warm=*/true, /*fallback=*/false, degenerate_before,
-                   bland_before);
-      return out;
-    }
-    if (primal == SolveStatus::kOptimal) {
-      bool feasible = true;
-      for (int i = 0; i < row_count_; ++i) {
-        if (rhs_[static_cast<std::size_t>(i)] < -kWarmAcceptTol) {
-          feasible = false;
-          break;
-        }
-      }
-      if (feasible) {
-        out.status = SolveStatus::kOptimal;
-        extract(out);
-        ++warm_solves_;
-        record_solve(out, /*warm=*/true, /*fallback=*/false, degenerate_before,
-                     bland_before);
-        return out;
-      }
-    }
-    trouble = true;
-  } else {
-    // kIterationLimit: pivot budget blown.  kInfeasible: an infeasible row
-    // surfaced — plausible (cuts can expose genuine infeasibility) but the
-    // verdict matters too much to trust floating-point residuals, so the
-    // cold path re-certifies it either way.
-    trouble = true;
-  }
-  MRLC_ENSURE(trouble, "unreachable: all warm outcomes handled above");
+int LpInstance::sync_new_rows() {
+  if (oracle_ != nullptr) oracle_->sync_new_rows();
+  if (dense_ != nullptr) return dense_->sync_new_rows();
+  return sparse_->sync_new_rows();
+}
 
-  ++cold_fallbacks_;
-  Solution cold = cold_solve_locked();
-  cold.iterations += out.iterations;  // the wasted warm pivots still count
-  record_solve(cold, /*warm=*/false, /*fallback=*/true, degenerate_before,
-               bland_before);
-  return cold;
+int LpInstance::sync_new_rows(int up_to_rows) {
+  if (oracle_ != nullptr) oracle_->sync_new_rows(up_to_rows);
+  if (dense_ != nullptr) return dense_->sync_new_rows(up_to_rows);
+  return sparse_->sync_new_rows(up_to_rows);
+}
+
+void LpInstance::update_rhs(RowId row) {
+  if (oracle_ != nullptr) oracle_->update_rhs(row);
+  if (dense_ != nullptr) {
+    dense_->update_rhs(row);
+    return;
+  }
+  sparse_->update_rhs(row);
+}
+
+void LpInstance::update_objective(VarId v) {
+  if (oracle_ != nullptr) oracle_->update_objective(v);
+  if (dense_ != nullptr) {
+    dense_->update_objective(v);
+    return;
+  }
+  sparse_->update_objective(v);
+}
+
+bool LpInstance::has_basis() const noexcept {
+  return dense_ != nullptr ? dense_->has_basis() : sparse_->has_basis();
+}
+
+BasisSnapshot LpInstance::basis_snapshot() const {
+  return dense_ != nullptr ? dense_->basis_snapshot()
+                           : sparse_->basis_snapshot();
+}
+
+long long LpInstance::cold_fallbacks() const noexcept {
+  return dense_ != nullptr ? dense_->cold_fallbacks()
+                           : sparse_->cold_fallbacks();
+}
+
+long long LpInstance::warm_solves() const noexcept {
+  return dense_ != nullptr ? dense_->warm_solves() : sparse_->warm_solves();
+}
+
+long long LpInstance::degenerate_pivots() const noexcept {
+  return dense_ != nullptr ? dense_->degenerate_pivots()
+                           : sparse_->degenerate_pivots();
+}
+
+long long LpInstance::bland_activations() const noexcept {
+  return dense_ != nullptr ? dense_->bland_activations()
+                           : sparse_->bland_activations();
 }
 
 }  // namespace mrlc::lp

@@ -1,41 +1,42 @@
 #pragma once
 
 /// \file instance.hpp
-/// \brief Persistent, warm-startable LP instance.
+/// \brief `LpInstance` — the persistent warm-startable LP solver facade.
 ///
-/// `SimplexSolver::solve` rebuilds a dense two-phase tableau from scratch on
-/// every call — fine for one-shot LPs, wasteful inside a cutting-plane loop
-/// where each round appends a handful of rows to an LP that was just solved
-/// to optimality.  `LpInstance` keeps the factorized basis (the tableau in
-/// current-basis form, i.e. B⁻¹A alongside B⁻¹b and the reduced-cost row)
-/// alive across calls and supports three incremental edits:
+/// `LpInstance` is the type every caller holds (the subtour cut loop, the
+/// anytime tier, the service daemon's warm cache).  Since the sparse
+/// rebuild it is a thin facade that routes to one of two engines, selected
+/// by `SimplexOptions::engine` (with `Engine::kDefault` resolving to the
+/// process-wide `lp::default_engine()` at construction time):
 ///
-///  * `sync_new_rows` / row addition: a row appended to the attached `Model`
-///    is expressed in the current basis (one elimination pass), given a
-///    fresh slack column as its basic variable, and typically leaves the
-///    basis primal-infeasible (the cut it encodes was violated) but *dual*
-///    feasible — exactly the precondition of the dual simplex;
-///  * `update_rhs`: a changed right-hand side is propagated through B⁻¹
-///    (read off the row's original unit column, which the tableau still
-///    carries) without refactorization;
-///  * `update_objective`: a changed cost updates the reduced-cost row in
-///    O(columns) (plus a primal reoptimization if optimality is lost).
+///  * `SparseLpCore` (sparse.hpp) — the default: bounded-variable revised
+///    simplex over CSR storage with a product-form factorized basis, devex
+///    pricing and periodic refactorization;
+///  * `DenseLpCore` (dense.hpp) — the historical dense tableau, retained
+///    pivot-for-pivot as the cross-check oracle.
 ///
-/// `resolve` then reoptimizes from the previous optimal basis: a dual
-/// simplex phase restores primal feasibility in a handful of pivots, and a
-/// primal cleanup phase re-certifies optimality.  Any numerical trouble
-/// (pivot-budget overrun, a residual infeasibility, an apparent infeasible
-/// row) abandons the warm state and falls back to the cold two-phase path —
-/// counted in `simplex.cold_fallbacks`, never a wrong answer.
+/// With `SimplexOptions::cross_check` set (and the sparse engine active),
+/// every mutation and solve is mirrored onto a shadow `DenseLpCore` (with
+/// metrics recording off and no budget, so the audit never perturbs the
+/// run), and the two engines' verdicts are compared after each solve:
+/// statuses must agree, optimal objectives must match to a relative 1e-6,
+/// and the sparse solution must satisfy every visible model row.  Any
+/// disagreement throws — this is the testing/CI guard-rail that keeps the
+/// fast engine honest against the simple one.
 ///
-/// The cold path (`solve`) is pivot-for-pivot identical to the historical
-/// `SimplexSolver` implementation, so forcing `warm_start = false` in the
-/// callers reproduces the pre-warm-start trajectories exactly.
+/// The warm-start contract (PR 5) is engine-independent and documented on
+/// the members below: `sync_new_rows` / `resolve` for cutting planes,
+/// `update_rhs` / `update_objective` for coefficient edits, the
+/// bounded-visibility replay constructor for fault recovery, and the
+/// audited cold-fallback path (`simplex.cold_fallbacks`) that turns any
+/// numerical doubt into a from-scratch solve, never a wrong answer.
 
-#include <vector>
+#include <memory>
 
+#include "lp/dense.hpp"
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
+#include "lp/sparse.hpp"
 
 namespace mrlc::lp {
 
@@ -44,8 +45,10 @@ class LpInstance {
   /// Attaches to `model`.  The model is the single source of truth: rows
   /// appended to it are ingested with `sync_new_rows`, and the cold
   /// (re)build path reads the full model, so instance and model can never
-  /// disagree about the LP being solved.  `model` must outlive the
-  /// instance; variables must not be added after attachment.
+  /// disagree about the LP being solved.
+  /// \param model    LP to solve; must outlive the instance, and variables
+  ///                 must not be added after attachment.
+  /// \param options  solver knobs; `options.engine` picks the engine.
   explicit LpInstance(const Model& model, SimplexOptions options = {});
 
   /// Bounded attachment for trajectory replay (fault recovery): the cold
@@ -55,123 +58,84 @@ class LpInstance {
   /// reconstructs the exact basis the original instance held — including
   /// on degenerate LPs with multiple optimal vertices, where a plain cold
   /// re-solve over the full model may land elsewhere.
+  /// \param model         LP to solve (must outlive the instance).
+  /// \param visible_rows  replay horizon, `0 <= visible_rows <= rows`.
+  /// \param options       solver knobs.
   LpInstance(const Model& model, int visible_rows, SimplexOptions options);
 
-  /// Cold two-phase solve: rebuilds the tableau from the model (including
-  /// every row appended so far) and runs Phase 1 + Phase 2 from scratch.
-  /// On success the final basis is retained for later `resolve` calls.
+  ~LpInstance();
+  LpInstance(LpInstance&&) noexcept;
+  LpInstance& operator=(LpInstance&&) noexcept;
+
+  /// Cold solve: rebuilds the engine state from the model (including every
+  /// row appended so far) and solves from scratch.  On success the final
+  /// basis is retained for later `resolve` calls.
+  /// \return the solution (status, objective, values, iterations).
   Solution solve();
 
   /// Warm reoptimization from the previous optimal basis: dual simplex
-  /// until primal feasible, then primal simplex until optimal.  Falls back
-  /// to `solve()` when no basis is available or on numerical trouble (see
-  /// file comment); the fallback is observable via `cold_fallbacks()` and
-  /// `Solution::warm_started == false`.
+  /// until primal feasible, then primal cleanup.  Falls back to `solve()`
+  /// when no basis is available or on numerical trouble; the fallback is
+  /// observable via `cold_fallbacks()` and `Solution::warm_started ==
+  /// false`.
+  /// \return the solution.
   Solution resolve();
 
   /// Ingests rows appended to the model since the last sync (or build).
   /// Non-equality rows are added incrementally in the current basis;
-  /// equality rows (which need an artificial column) invalidate the basis
-  /// so the next solve is cold.  \return number of rows ingested.
-  /// The parameterless form lifts any replay horizon and ingests every
-  /// model row; the bounded form raises the horizon to exactly
-  /// `up_to_rows` (which must not retreat below the rows already
-  /// ingested) — the replay primitive.
+  /// equality rows invalidate the basis so the next solve is cold.
+  /// \return number of model rows ingested by this call.
   int sync_new_rows();
+  /// Bounded overload — the replay primitive: raises the visibility
+  /// horizon to exactly `up_to_rows`.
+  /// \param up_to_rows  new horizon; must not retreat below the rows
+  ///                    already ingested nor exceed the model.
+  /// \return number of model rows ingested by this call.
   int sync_new_rows(int up_to_rows);
 
   /// Propagates `model.rhs(row)` after a `Model::set_rhs` edit.  The basis
   /// is kept; call `resolve()` to restore feasibility/optimality.
+  /// \param row  model row id (must already be ingested).
   void update_rhs(RowId row);
 
   /// Propagates `model.objective_coefficient(v)` after a
   /// `Model::set_objective_coefficient` edit.  The basis is kept; call
   /// `resolve()` to restore optimality.
+  /// \param v  model variable id.
   void update_objective(VarId v);
 
-  /// True when a retained optimal basis makes the next `resolve` warm.
-  bool has_basis() const noexcept { return have_basis_; }
+  /// \return true when a retained optimal basis makes the next `resolve`
+  /// warm.
+  bool has_basis() const noexcept;
 
-  long long cold_fallbacks() const noexcept { return cold_fallbacks_; }
-  long long warm_solves() const noexcept { return warm_solves_; }
-  long long degenerate_pivots() const noexcept { return degenerate_pivots_; }
-  long long bland_activations() const noexcept { return bland_activations_; }
+  /// \brief Bit-exact image of the active engine's retained basis, for the
+  /// fault-replay tests (two instances that executed the same trajectory
+  /// must compare `==`).
+  /// \return empty snapshot when no basis is retained.
+  BasisSnapshot basis_snapshot() const;
+
+  /// \return the concrete engine this instance resolved to at construction.
+  Engine engine() const noexcept { return engine_; }
+
+  /// \return warm resolves abandoned for the audited cold path, cumulative.
+  long long cold_fallbacks() const noexcept;
+  /// \return successful warm resolves, cumulative.
+  long long warm_solves() const noexcept;
+  /// \return zero-step pivots taken, cumulative across solves.
+  long long degenerate_pivots() const noexcept;
+  /// \return Bland's-rule switchovers, cumulative across solves.
+  long long bland_activations() const noexcept;
 
  private:
-  Solution cold_solve_locked();
-  bool ingest_row(RowId row);
-  int sync_visible();
-  int visible_row_count() const;
+  void audit(const Solution& ours, bool warm_call);
 
-  void build();
-  void ensure_column_capacity(int columns);
-  int append_slack_column();
-
-  double& at(int row, int col) {
-    return matrix_[static_cast<std::size_t>(row) * static_cast<std::size_t>(stride_) +
-                   static_cast<std::size_t>(col)];
-  }
-  double at(int row, int col) const {
-    return matrix_[static_cast<std::size_t>(row) * static_cast<std::size_t>(stride_) +
-                   static_cast<std::size_t>(col)];
-  }
-
-  void load_costs(const std::vector<double>& costs);
-  void load_costs_phase1();
-  void load_costs_phase2();
-  double phase_objective() const { return objective_; }
-  bool is_artificial(int j) const {
-    return j >= artificial_start_ && j < artificial_end_;
-  }
-  bool column_allowed(int j) const { return phase1_ || !is_artificial(j); }
-
-  SolveStatus optimize(int* iteration_counter);
-  SolveStatus dual_optimize(int* iteration_counter);
-  void pivot(int leaving_row, int entering_col);
-  void drive_out_artificials();
-  void extract(Solution& out) const;
-  void record_solve(const Solution& out, bool warm, bool fallback,
-                    long long degenerate_before, long long bland_before);
-
-  const Model& model_;
   SimplexOptions options_;
-
-  int shifted_count_ = 0;
-  int slack_count_ = 0;
-  int artificial_count_ = 0;
-  int artificial_start_ = 0;
-  int artificial_end_ = 0;
-  int row_count_ = 0;
-  int column_count_ = 0;
-  int stride_ = 0;                  ///< column capacity of each matrix row
-  bool phase1_ = false;
-  bool have_basis_ = false;
-  int model_rows_ingested_ = 0;     ///< model rows reflected in the tableau
-  int visible_rows_ = -1;           ///< replay horizon; -1 = whole model
-
-  long long degenerate_pivots_ = 0;   ///< cumulative, all solves
-  long long bland_activations_ = 0;   ///< cumulative Bland switchovers
-  long long cold_fallbacks_ = 0;
-  long long warm_solves_ = 0;
-
-  std::vector<double> shift_;
-  std::vector<double> matrix_;
-  std::vector<double> rhs_;
-  std::vector<int> basis_;
-  std::vector<double> costs_;
-  std::vector<double> reduced_;
-  /// Per tableau row: the column that held its +1 unit entry at build time
-  /// (slack for <=, artificial for >= and =) — i.e. the column whose
-  /// current contents are B⁻¹·e_row, used to propagate rhs edits.
-  std::vector<int> unit_col_;
-  /// Per tableau row: +1/-1 sign applied during rhs>=0 normalization.
-  std::vector<double> row_sign_;
-  /// Per tableau row: normalized rhs as built/ingested (pre-B⁻¹), diffed
-  /// against the model by `update_rhs` to derive the delta to propagate.
-  std::vector<double> norm_rhs_;
-  /// Model row -> tableau row (rows can interleave with bound rows).
-  std::vector<int> tableau_row_of_model_row_;
-  double objective_ = 0.0;
+  Engine engine_;
+  const Model* model_;
+  std::unique_ptr<SparseLpCore> sparse_;
+  std::unique_ptr<DenseLpCore> dense_;
+  /// Shadow oracle (cross_check mode): mirrors every mutation and solve.
+  std::unique_ptr<DenseLpCore> oracle_;
 };
 
 }  // namespace mrlc::lp

@@ -1,13 +1,41 @@
 #include "lp/simplex.hpp"
 
+#include <atomic>
+
+#include "common/check.hpp"
 #include "lp/instance.hpp"
 
 namespace mrlc::lp {
 
+namespace {
+
+std::atomic<Engine> g_default_engine{Engine::kSparse};
+std::atomic<bool> g_default_cross_check{false};
+
+}  // namespace
+
+Engine default_engine() noexcept {
+  return g_default_engine.load(std::memory_order_relaxed);
+}
+
+void set_default_engine(Engine engine) {
+  MRLC_REQUIRE(engine != Engine::kDefault,
+               "the default engine must be a concrete engine");
+  g_default_engine.store(engine, std::memory_order_relaxed);
+}
+
+bool default_cross_check() noexcept {
+  return g_default_cross_check.load(std::memory_order_relaxed);
+}
+
+void set_default_cross_check(bool enabled) noexcept {
+  g_default_cross_check.store(enabled, std::memory_order_relaxed);
+}
+
 Solution SimplexSolver::solve(const Model& model) const {
   // Stateless facade over the persistent solver: build a throwaway
-  // instance and run its cold two-phase path (which also records the
-  // simplex.* metrics).
+  // instance and run its cold path (which also records the simplex.*
+  // metrics).
   LpInstance instance(model, options_);
   return instance.solve();
 }

@@ -1,0 +1,1092 @@
+#include "lp/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace mrlc::lp {
+
+namespace {
+
+/// Primal feasibility tolerance: a basic variable this far outside its
+/// bounds counts as infeasible (wakes Phase 1 / the dual simplex).
+constexpr double kFeasibilityTol = 1e-9;
+/// Residual bound violation that disqualifies a warm result (fallback).
+constexpr double kWarmAcceptTol = 1e-6;
+/// Total Phase-1 infeasibility below this is "feasible".
+constexpr double kPhase1Tol = 1e-7;
+/// Eta entries below this are dropped (treated as exact zeros).
+constexpr double kDropTol = 1e-14;
+/// Reinversion pivots smaller than this mean a singular basis.
+constexpr double kSingularTol = 1e-11;
+/// Devex weights above this trigger a reference-framework reset.
+constexpr double kDevexResetThreshold = 1e7;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+SparseLpCore::SparseLpCore(const Model& model, SimplexOptions options)
+    : model_(model), options_(options) {}
+
+SparseLpCore::SparseLpCore(const Model& model, int visible_rows,
+                           SimplexOptions options)
+    : model_(model), options_(options) {
+  MRLC_REQUIRE(visible_rows >= 0 && visible_rows <= model.constraint_count(),
+               "visible row horizon out of range");
+  visible_rows_ = visible_rows;
+}
+
+int SparseLpCore::visible_row_count() const {
+  return visible_rows_ < 0 ? model_.constraint_count() : visible_rows_;
+}
+
+// -------------------------------------------------------------- storage --
+
+void SparseLpCore::append_row_storage(RowId row) {
+  const int r = static_cast<int>(row_ptr_.size()) - 1;
+  const Relation relation = model_.relation(row);
+  for (const Term& t : model_.terms(row)) {
+    row_cols_.push_back(t.var);
+    row_vals_.push_back(t.coefficient);
+    cols_[static_cast<std::size_t>(t.var)].push_back({r, t.coefficient});
+  }
+  row_ptr_.push_back(static_cast<int>(row_cols_.size()));
+  row_rhs_.push_back(model_.rhs(row));
+  row_relation_.push_back(relation);
+
+  // Logical column: slack (+1, [0,inf)) for <=, surplus (-1, [0,inf)) for
+  // >=, and a fixed [0,0] slack for equality rows (no artificials: Phase 1
+  // minimizes bound violations directly, so a fixed logical suffices).
+  const int lcol = static_cast<int>(lower_.size());
+  const double coeff = relation == Relation::kGreaterEqual ? -1.0 : 1.0;
+  cols_.push_back({{r, coeff}});
+  lower_.push_back(0.0);
+  upper_.push_back(relation == Relation::kEqual ? 0.0 : kInf);
+  cost_.push_back(0.0);
+  x_.push_back(0.0);
+  state_.push_back(VarState::kAtLower);
+  reduced_.push_back(0.0);
+  weight_.push_back(1.0);
+  logical_of_row_.push_back(lcol);
+}
+
+void SparseLpCore::build() {
+  const int n = model_.variable_count();
+  structural_count_ = n;
+  row_ptr_.assign(1, 0);
+  row_cols_.clear();
+  row_vals_.clear();
+  row_rhs_.clear();
+  row_relation_.clear();
+  cols_.assign(static_cast<std::size_t>(n), {});
+  lower_.resize(static_cast<std::size_t>(n));
+  upper_.resize(static_cast<std::size_t>(n));
+  cost_.resize(static_cast<std::size_t>(n));
+  x_.resize(static_cast<std::size_t>(n));
+  state_.resize(static_cast<std::size_t>(n));
+  reduced_.assign(static_cast<std::size_t>(n), 0.0);
+  weight_.assign(static_cast<std::size_t>(n), 1.0);
+  logical_of_row_.clear();
+  for (VarId v = 0; v < n; ++v) {
+    const double lo = model_.lower_bound(v);
+    const double hi = model_.upper_bound(v);
+    MRLC_REQUIRE(lo > -kInf, "variables need a finite lower bound");
+    lower_[static_cast<std::size_t>(v)] = lo;
+    upper_[static_cast<std::size_t>(v)] = hi;
+    cost_[static_cast<std::size_t>(v)] = model_.objective_coefficient(v);
+    x_[static_cast<std::size_t>(v)] = lo;
+    state_[static_cast<std::size_t>(v)] = VarState::kAtLower;
+  }
+
+  const int visible = visible_row_count();
+  basic_.clear();
+  for (RowId r = 0; r < visible; ++r) {
+    append_row_storage(r);
+    const int lcol = logical_of_row_.back();
+    state_[static_cast<std::size_t>(lcol)] = VarState::kBasic;
+    basic_.push_back(lcol);
+  }
+  model_rows_ingested_ = visible;
+
+  etas_.clear();
+  eta_rows_.clear();
+  eta_vals_.clear();
+  pivots_since_refactor_ = 0;
+  factor_stale_ = true;
+  values_stale_ = false;
+  values_valid_ = false;
+  costs_stale_ = false;
+  objective_ = 0.0;
+}
+
+void SparseLpCore::load_phase2_costs() {
+  const std::size_t total = cost_.size();
+  for (VarId v = 0; v < structural_count_; ++v) {
+    cost_[static_cast<std::size_t>(v)] = model_.objective_coefficient(v);
+  }
+  for (std::size_t j = static_cast<std::size_t>(structural_count_); j < total;
+       ++j) {
+    cost_[j] = 0.0;
+  }
+}
+
+// -------------------------------------------------------- factorization --
+
+void SparseLpCore::ftran(std::vector<double>& v) const {
+  for (const Eta& e : etas_) {
+    const double piv = v[static_cast<std::size_t>(e.pivot_row)];
+    if (piv == 0.0) continue;
+    const double t = piv / e.pivot_val;
+    v[static_cast<std::size_t>(e.pivot_row)] = t;
+    for (int k = e.entry_start; k < e.entry_end; ++k) {
+      v[static_cast<std::size_t>(eta_rows_[static_cast<std::size_t>(k)])] -=
+          eta_vals_[static_cast<std::size_t>(k)] * t;
+    }
+  }
+}
+
+void SparseLpCore::btran(std::vector<double>& v) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double s = v[static_cast<std::size_t>(it->pivot_row)];
+    for (int k = it->entry_start; k < it->entry_end; ++k) {
+      s -= eta_vals_[static_cast<std::size_t>(k)] *
+           v[static_cast<std::size_t>(eta_rows_[static_cast<std::size_t>(k)])];
+    }
+    v[static_cast<std::size_t>(it->pivot_row)] = s / it->pivot_val;
+  }
+}
+
+void SparseLpCore::scatter_column(int col, std::vector<double>& v) const {
+  const int rows = static_cast<int>(basic_.size());
+  v.assign(static_cast<std::size_t>(rows), 0.0);
+  for (const ColEntry& e : cols_[static_cast<std::size_t>(col)]) {
+    v[static_cast<std::size_t>(e.row)] += e.val;
+  }
+}
+
+double SparseLpCore::row_dot(int col, const std::vector<double>& rho) const {
+  double s = 0.0;
+  for (const ColEntry& e : cols_[static_cast<std::size_t>(col)]) {
+    s += e.val * rho[static_cast<std::size_t>(e.row)];
+  }
+  return s;
+}
+
+void SparseLpCore::append_eta(int pivot_row, const std::vector<double>& alpha) {
+  Eta e;
+  e.pivot_row = pivot_row;
+  e.pivot_val = alpha[static_cast<std::size_t>(pivot_row)];
+  e.entry_start = static_cast<int>(eta_rows_.size());
+  const int rows = static_cast<int>(alpha.size());
+  for (int i = 0; i < rows; ++i) {
+    if (i == pivot_row) continue;
+    const double a = alpha[static_cast<std::size_t>(i)];
+    if (std::abs(a) <= kDropTol) continue;
+    eta_rows_.push_back(i);
+    eta_vals_.push_back(a);
+  }
+  e.entry_end = static_cast<int>(eta_rows_.size());
+  etas_.push_back(e);
+}
+
+bool SparseLpCore::reinvert() {
+  const int rows = static_cast<int>(basic_.size());
+  etas_.clear();
+  eta_rows_.clear();
+  eta_vals_.clear();
+  // Gauss–Jordan product-form reinversion: place the basic columns one by
+  // one, each time pivoting on the largest remaining entry (ties to the
+  // smallest row) — deterministic, so replayed trajectories refactor
+  // identically.
+  std::vector<char> pivoted(static_cast<std::size_t>(rows), 0);
+  std::vector<int> placed(basic_);
+  for (int k = 0; k < rows; ++k) {
+    scatter_column(basic_[static_cast<std::size_t>(k)], work_);
+    ftran(work_);
+    int r = -1;
+    double best = kSingularTol;
+    for (int i = 0; i < rows; ++i) {
+      if (pivoted[static_cast<std::size_t>(i)]) continue;
+      const double a = std::abs(work_[static_cast<std::size_t>(i)]);
+      if (a > best) {
+        best = a;
+        r = i;
+      }
+    }
+    if (r == -1) return false;  // singular basis
+    append_eta(r, work_);
+    pivoted[static_cast<std::size_t>(r)] = 1;
+    placed[static_cast<std::size_t>(r)] = basic_[static_cast<std::size_t>(k)];
+  }
+  basic_.swap(placed);
+  ++refactorizations_;
+  pivots_since_refactor_ = 0;
+  factor_stale_ = false;
+  return true;
+}
+
+void SparseLpCore::compute_basic_values() {
+  const int rows = static_cast<int>(basic_.size());
+  const int cols = static_cast<int>(lower_.size());
+  const bool audit = values_valid_ && !values_stale_;
+  work_.assign(static_cast<std::size_t>(rows), 0.0);
+  for (int i = 0; i < rows; ++i) {
+    work_[static_cast<std::size_t>(i)] = row_rhs_[static_cast<std::size_t>(i)];
+  }
+  for (int j = 0; j < cols; ++j) {
+    if (state_[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
+    const double xv = x_[static_cast<std::size_t>(j)];
+    if (xv == 0.0) continue;
+    for (const ColEntry& e : cols_[static_cast<std::size_t>(j)]) {
+      work_[static_cast<std::size_t>(e.row)] -= e.val * xv;
+    }
+  }
+  ftran(work_);
+  if (audit) {
+    double drift = 0.0;
+    for (int i = 0; i < rows; ++i) {
+      drift = std::max(
+          drift, std::abs(work_[static_cast<std::size_t>(i)] -
+                          x_[static_cast<std::size_t>(
+                              basic_[static_cast<std::size_t>(i)])]));
+    }
+    if (drift > options_.drift_tolerance) ++drift_events_;
+  }
+  for (int i = 0; i < rows; ++i) {
+    x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] =
+        work_[static_cast<std::size_t>(i)];
+  }
+  values_valid_ = true;
+  values_stale_ = false;
+}
+
+void SparseLpCore::recompute_reduced_costs() {
+  const int rows = static_cast<int>(basic_.size());
+  const int cols = static_cast<int>(lower_.size());
+  rho_.assign(static_cast<std::size_t>(rows), 0.0);
+  for (int i = 0; i < rows; ++i) {
+    rho_[static_cast<std::size_t>(i)] =
+        cost_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])];
+  }
+  btran(rho_);
+  for (int j = 0; j < cols; ++j) {
+    reduced_[static_cast<std::size_t>(j)] =
+        state_[static_cast<std::size_t>(j)] == VarState::kBasic
+            ? 0.0
+            : cost_[static_cast<std::size_t>(j)] - row_dot(j, rho_);
+  }
+}
+
+void SparseLpCore::recompute_steepest_edge_weights() {
+  // Exact gamma_j = 1 + ||B^-1 A_j||^2 for every nonbasic column: one ftran
+  // per column, so this only runs at refactorization time (the devex-style
+  // incremental updates approximate it in between).
+  const int cols = static_cast<int>(lower_.size());
+  for (int j = 0; j < cols; ++j) {
+    if (state_[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
+    scatter_column(j, work_);
+    ftran(work_);
+    double norm = 0.0;
+    for (const double a : work_) norm += a * a;
+    weight_[static_cast<std::size_t>(j)] = 1.0 + norm;
+  }
+}
+
+bool SparseLpCore::refactor_if_needed(bool force) {
+  if (!force && !factor_stale_ &&
+      pivots_since_refactor_ < std::max(1, options_.refactor_interval)) {
+    return true;
+  }
+  if (!reinvert()) return false;
+  compute_basic_values();
+  recompute_reduced_costs();
+  if (options_.pricing == Pricing::kSteepestEdge) {
+    recompute_steepest_edge_weights();
+  }
+  return true;
+}
+
+// ------------------------------------------------------------- primal ---
+
+SolveStatus SparseLpCore::primal_optimize(int* iteration_counter, bool phase1) {
+  const int rows = static_cast<int>(basic_.size());
+  const int cols = static_cast<int>(lower_.size());
+  int since_progress = 0;
+  int degenerate_streak = 0;
+  bool streak_bland = false;
+  bool prev_bland = false;
+  double last_objective = objective_;
+  double last_infeas = kInf;
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Budget checkpoint: one unit per pivot, charged serially (this loop is
+    // single-threaded) so the interruption point is thread-count invariant.
+    if (options_.budget != nullptr && !options_.budget->charge(1)) {
+      return SolveStatus::kInterrupted;
+    }
+    ++*iteration_counter;
+    if (!refactor_if_needed(false)) return SolveStatus::kIterationLimit;
+
+    if (phase1) {
+      // Composite Phase 1: minimize the total bound violation of the basic
+      // variables.  The violation gradient g (+/-1 per infeasible row) is
+      // recomputed every iteration — its support changes whenever a basic
+      // variable crosses a bound, so incremental reduced costs don't apply.
+      double infeas = 0.0;
+      rho_.assign(static_cast<std::size_t>(rows), 0.0);
+      for (int i = 0; i < rows; ++i) {
+        const int b = basic_[static_cast<std::size_t>(i)];
+        const double v = x_[static_cast<std::size_t>(b)];
+        if (v < lower_[static_cast<std::size_t>(b)] - kFeasibilityTol) {
+          infeas += lower_[static_cast<std::size_t>(b)] - v;
+          rho_[static_cast<std::size_t>(i)] = -1.0;
+        } else if (v > upper_[static_cast<std::size_t>(b)] + kFeasibilityTol) {
+          infeas += v - upper_[static_cast<std::size_t>(b)];
+          rho_[static_cast<std::size_t>(i)] = 1.0;
+        }
+      }
+      if (infeas <= kPhase1Tol) return SolveStatus::kOptimal;  // feasible
+      if (infeas < last_infeas - 1e-12) {
+        last_infeas = infeas;
+        since_progress = 0;
+      } else {
+        ++since_progress;
+      }
+      btran(rho_);
+      for (int j = 0; j < cols; ++j) {
+        reduced_[static_cast<std::size_t>(j)] =
+            state_[static_cast<std::size_t>(j)] == VarState::kBasic
+                ? 0.0
+                : -row_dot(j, rho_);
+      }
+    }
+
+    if (!streak_bland && options_.bland_degenerate_streak > 0 &&
+        degenerate_streak > options_.bland_degenerate_streak) {
+      streak_bland = true;
+    }
+    const bool bland = since_progress > options_.bland_after || streak_bland;
+    if (bland && !prev_bland) ++bland_activations_;
+    prev_bland = bland;
+
+    // --- pricing ---
+    int entering = -1;
+    int dir = 0;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      entering = -1;
+      dir = 0;
+      double best_score = 0.0;
+      for (int j = 0; j < cols; ++j) {
+        const VarState st = state_[static_cast<std::size_t>(j)];
+        if (st == VarState::kBasic) continue;
+        if (lower_[static_cast<std::size_t>(j)] ==
+            upper_[static_cast<std::size_t>(j)]) {
+          continue;  // fixed columns never move
+        }
+        const double d = reduced_[static_cast<std::size_t>(j)];
+        int candidate_dir;
+        if (st == VarState::kAtLower && d < -options_.cost_tolerance) {
+          candidate_dir = 1;
+        } else if (st == VarState::kAtUpper && d > options_.cost_tolerance) {
+          candidate_dir = -1;
+        } else {
+          continue;
+        }
+        if (bland) {  // Bland: first eligible column
+          entering = j;
+          dir = candidate_dir;
+          break;
+        }
+        double score = d * d;
+        if (options_.pricing != Pricing::kDantzig) {
+          score /= weight_[static_cast<std::size_t>(j)];
+        }
+        if (score > best_score + 1e-12) {
+          best_score = score;
+          entering = j;
+          dir = candidate_dir;
+        } else if (phase1 && entering != -1 && score > best_score - 1e-12 &&
+                   cost_[static_cast<std::size_t>(j)] <
+                       cost_[static_cast<std::size_t>(entering)]) {
+          // Phase-1 ties (common: every edge variable of a violated span
+          // row prices identically) break toward the cheapest Phase-2
+          // cost, so feasibility is reached on a near-greedy edge set.
+          entering = j;
+          dir = candidate_dir;
+        }
+      }
+      if (entering == -1 || bland || options_.pricing == Pricing::kDantzig) {
+        break;
+      }
+      if (weight_[static_cast<std::size_t>(entering)] <= kDevexResetThreshold) {
+        break;
+      }
+      // Devex reference-framework reset: the weights have grown past the
+      // trust threshold; restart them at the current basis and re-price.
+      weight_.assign(weight_.size(), 1.0);
+      ++devex_resets_;
+    }
+    if (entering == -1) {
+      return phase1 ? SolveStatus::kInfeasible : SolveStatus::kOptimal;
+    }
+
+    // --- entering column and bounded ratio test ---
+    scatter_column(entering, work_);
+    ftran(work_);
+    double t_best = upper_[static_cast<std::size_t>(entering)] -
+                    lower_[static_cast<std::size_t>(entering)];
+    int limit_row = -1;
+    VarState leave_state = VarState::kAtLower;
+    for (int i = 0; i < rows; ++i) {
+      const double a = work_[static_cast<std::size_t>(i)];
+      if (std::abs(a) <= options_.pivot_tolerance) continue;
+      const int b = basic_[static_cast<std::size_t>(i)];
+      const double v = x_[static_cast<std::size_t>(b)];
+      const double lo = lower_[static_cast<std::size_t>(b)];
+      const double hi = upper_[static_cast<std::size_t>(b)];
+      const double delta = -dir * a;  // d x_b / d t
+      double t = kInf;
+      VarState ls = VarState::kAtLower;
+      if (phase1 && v < lo - kFeasibilityTol) {
+        // Infeasible below: blocks only where it *reaches* the lower bound
+        // (the gradient changes there); moving further down never blocks.
+        if (delta > 0.0) {
+          t = (lo - v) / delta;
+          ls = VarState::kAtLower;
+        }
+      } else if (phase1 && v > hi + kFeasibilityTol) {
+        if (delta < 0.0) {
+          t = (v - hi) / (-delta);
+          ls = VarState::kAtUpper;
+        }
+      } else if (delta < 0.0) {
+        if (lo > -kInf) {
+          t = std::max(0.0, v - lo) / (-delta);
+          ls = VarState::kAtLower;
+        }
+      } else {
+        if (hi < kInf) {
+          t = std::max(0.0, hi - v) / delta;
+          ls = VarState::kAtUpper;
+        }
+      }
+      if (t == kInf) continue;
+      // Same tie-break as the dense engine's ratio test: the smallest basic
+      // column id wins near-ties (doubles as the leaving half of Bland).
+      if (t < t_best - 1e-12 ||
+          (t < t_best + 1e-12 && limit_row != -1 &&
+           b < basic_[static_cast<std::size_t>(limit_row)])) {
+        t_best = t;
+        limit_row = i;
+        leave_state = ls;
+      }
+    }
+    if (t_best == kInf) {
+      return phase1 ? SolveStatus::kIterationLimit : SolveStatus::kUnbounded;
+    }
+
+    const double d_entering = reduced_[static_cast<std::size_t>(entering)];
+    if (limit_row == -1) {
+      // Bound flip: the entering variable hits its opposite bound before
+      // any basic variable blocks.  No basis change, no eta — the whole
+      // point of implicit bounds.
+      const double t = t_best;
+      for (int i = 0; i < rows; ++i) {
+        const double a = work_[static_cast<std::size_t>(i)];
+        if (a == 0.0) continue;
+        x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] -=
+            dir * t * a;
+      }
+      if (dir > 0) {
+        x_[static_cast<std::size_t>(entering)] =
+            upper_[static_cast<std::size_t>(entering)];
+        state_[static_cast<std::size_t>(entering)] = VarState::kAtUpper;
+      } else {
+        x_[static_cast<std::size_t>(entering)] =
+            lower_[static_cast<std::size_t>(entering)];
+        state_[static_cast<std::size_t>(entering)] = VarState::kAtLower;
+      }
+      ++bound_flips_;
+      objective_ += d_entering * dir * t;
+      degenerate_streak = 0;
+      streak_bland = false;
+      if (!phase1 && objective_ < last_objective - 1e-12) {
+        last_objective = objective_;
+        since_progress = 0;
+      } else if (!phase1) {
+        ++since_progress;
+      }
+      continue;
+    }
+
+    const double t = std::max(0.0, t_best);
+    if (t <= 1e-12) {
+      ++degenerate_pivots_;
+      ++degenerate_streak;
+    } else {
+      degenerate_streak = 0;
+      streak_bland = false;
+    }
+
+    if (!phase1) {
+      // Incremental dual update from the pivot row r of B^-1 A:
+      //   theta = d_q / alpha_rq,  d_j -= theta * alpha_rj,
+      // plus the devex weight update from the same row.
+      const double arq = work_[static_cast<std::size_t>(limit_row)];
+      rho_.assign(static_cast<std::size_t>(rows), 0.0);
+      rho_[static_cast<std::size_t>(limit_row)] = 1.0;
+      btran(rho_);
+      const double theta = d_entering / arq;
+      const double wq = weight_[static_cast<std::size_t>(entering)];
+      const int leaving = basic_[static_cast<std::size_t>(limit_row)];
+      for (int j = 0; j < cols; ++j) {
+        if (state_[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
+        if (j == entering) continue;
+        const double arj = row_dot(j, rho_);
+        if (std::abs(arj) <= kDropTol) continue;
+        reduced_[static_cast<std::size_t>(j)] -= theta * arj;
+        if (options_.pricing != Pricing::kDantzig) {
+          const double ratio = arj / arq;
+          const double candidate = ratio * ratio * wq;
+          if (candidate > weight_[static_cast<std::size_t>(j)]) {
+            weight_[static_cast<std::size_t>(j)] = candidate;
+          }
+        }
+      }
+      reduced_[static_cast<std::size_t>(leaving)] = -theta;
+      reduced_[static_cast<std::size_t>(entering)] = 0.0;
+      weight_[static_cast<std::size_t>(leaving)] =
+          std::max(1.0, wq / (arq * arq));
+      objective_ += d_entering * dir * t;
+    }
+
+    apply_pivot(limit_row, entering, dir, t, work_, leave_state);
+
+    if (!phase1) {
+      if (objective_ < last_objective - 1e-12) {
+        last_objective = objective_;
+        since_progress = 0;
+      } else {
+        ++since_progress;
+      }
+    }
+  }
+  return SolveStatus::kIterationLimit;
+}
+
+void SparseLpCore::apply_pivot(int r, int entering, int direction, double step,
+                               const std::vector<double>& alpha,
+                               VarState leave_state) {
+  const int rows = static_cast<int>(basic_.size());
+  const int leaving = basic_[static_cast<std::size_t>(r)];
+  const double enter_from =
+      state_[static_cast<std::size_t>(entering)] == VarState::kAtUpper
+          ? upper_[static_cast<std::size_t>(entering)]
+          : lower_[static_cast<std::size_t>(entering)];
+  for (int i = 0; i < rows; ++i) {
+    const double a = alpha[static_cast<std::size_t>(i)];
+    if (a == 0.0) continue;
+    x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] -=
+        direction * step * a;
+  }
+  x_[static_cast<std::size_t>(entering)] = enter_from + direction * step;
+  // Place the leaving variable exactly on its bound (kills rounding noise
+  // the way the dense engine clamps its pivot row).
+  x_[static_cast<std::size_t>(leaving)] =
+      leave_state == VarState::kAtUpper
+          ? upper_[static_cast<std::size_t>(leaving)]
+          : lower_[static_cast<std::size_t>(leaving)];
+  state_[static_cast<std::size_t>(entering)] = VarState::kBasic;
+  state_[static_cast<std::size_t>(leaving)] = leave_state;
+  basic_[static_cast<std::size_t>(r)] = entering;
+  append_eta(r, alpha);
+  ++pivots_since_refactor_;
+}
+
+// --------------------------------------------------------------- dual ---
+
+SolveStatus SparseLpCore::dual_optimize(int* iteration_counter) {
+  const int rows = static_cast<int>(basic_.size());
+  const int cols = static_cast<int>(lower_.size());
+  // Same tight warm-path pivot budget as the dense engine; overruns fall
+  // back (counted).
+  const int cap = std::min(options_.max_iterations, 100 + 4 * rows);
+  int degenerate_streak = 0;
+  bool streak_bland = false;
+  bool prev_bland = false;
+  row_scratch_.assign(static_cast<std::size_t>(cols), 0.0);
+  for (int iter = 0; iter < cap; ++iter) {
+    if (options_.budget != nullptr && !options_.budget->charge(1)) {
+      return SolveStatus::kInterrupted;
+    }
+    ++*iteration_counter;
+    if (!refactor_if_needed(false)) return SolveStatus::kIterationLimit;
+    if (!streak_bland && options_.bland_degenerate_streak > 0 &&
+        degenerate_streak > options_.bland_degenerate_streak) {
+      streak_bland = true;
+    }
+    if (streak_bland && !prev_bland) ++bland_activations_;
+    prev_bland = streak_bland;
+
+    // --- leaving row: largest bound violation (Bland: smallest basic id) --
+    int r = -1;
+    double worst = 0.0;
+    bool below = false;
+    for (int i = 0; i < rows; ++i) {
+      const int b = basic_[static_cast<std::size_t>(i)];
+      const double v = x_[static_cast<std::size_t>(b)];
+      double viol = 0.0;
+      bool this_below = false;
+      if (v < lower_[static_cast<std::size_t>(b)] - kFeasibilityTol) {
+        viol = lower_[static_cast<std::size_t>(b)] - v;
+        this_below = true;
+      } else if (v > upper_[static_cast<std::size_t>(b)] + kFeasibilityTol) {
+        viol = v - upper_[static_cast<std::size_t>(b)];
+      } else {
+        continue;
+      }
+      if (r == -1) {
+        r = i;
+        worst = viol;
+        below = this_below;
+        continue;
+      }
+      if (streak_bland) {
+        if (b < basic_[static_cast<std::size_t>(r)]) {
+          r = i;
+          worst = viol;
+          below = this_below;
+        }
+      } else if (viol > worst + 1e-12 ||
+                 (viol > worst - 1e-12 &&
+                  b < basic_[static_cast<std::size_t>(r)])) {
+        r = i;
+        worst = viol;
+        below = this_below;
+      }
+    }
+    if (r == -1) return SolveStatus::kOptimal;  // primal feasible again
+
+    rho_.assign(static_cast<std::size_t>(rows), 0.0);
+    rho_[static_cast<std::size_t>(r)] = 1.0;
+    btran(rho_);
+
+    // --- dual ratio test over the sign-eligible nonbasic columns ---------
+    // Ties break toward the smallest column index (ascending scan), the
+    // entering half of Bland's rule — same as the dense engine.
+    int entering = -1;
+    int dir = 0;
+    double best_ratio = kInf;
+    for (int j = 0; j < cols; ++j) {
+      const VarState st = state_[static_cast<std::size_t>(j)];
+      row_scratch_[static_cast<std::size_t>(j)] = 0.0;
+      if (st == VarState::kBasic) continue;
+      const double arj = row_dot(j, rho_);
+      row_scratch_[static_cast<std::size_t>(j)] = arj;
+      if (lower_[static_cast<std::size_t>(j)] ==
+          upper_[static_cast<std::size_t>(j)]) {
+        continue;  // fixed columns never enter
+      }
+      if (std::abs(arj) <= options_.pivot_tolerance) continue;
+      // x_B(r) changes by -dir_j * arj per unit step of x_j; it must move
+      // toward its violated bound.
+      int candidate_dir;
+      double rc;
+      if (st == VarState::kAtLower) {
+        candidate_dir = 1;
+        rc = std::max(reduced_[static_cast<std::size_t>(j)], 0.0);
+      } else {
+        candidate_dir = -1;
+        rc = std::max(-reduced_[static_cast<std::size_t>(j)], 0.0);
+      }
+      const double move = -candidate_dir * arj;
+      if (below ? move <= 0.0 : move >= 0.0) continue;
+      const double ratio = rc / std::abs(arj);
+      if (ratio < best_ratio - 1e-12) {
+        best_ratio = ratio;
+        entering = j;
+        dir = candidate_dir;
+      }
+    }
+    if (entering == -1) {
+      // The row proves infeasibility (a violated basic no eligible column
+      // can fix) — modulo rounding, which is why callers re-certify with a
+      // cold solve.
+      return SolveStatus::kInfeasible;
+    }
+
+    if (best_ratio <= 1e-12) {
+      ++degenerate_pivots_;
+      ++degenerate_streak;
+    } else {
+      degenerate_streak = 0;
+      streak_bland = false;
+    }
+
+    scatter_column(entering, work_);
+    ftran(work_);
+    const double arq = work_[static_cast<std::size_t>(r)];
+    const int leaving = basic_[static_cast<std::size_t>(r)];
+    const double v = x_[static_cast<std::size_t>(leaving)];
+    const double target = below ? lower_[static_cast<std::size_t>(leaving)]
+                                : upper_[static_cast<std::size_t>(leaving)];
+    const double t = std::max(0.0, (target - v) / (-dir * arq));
+
+    // Dual update from the cached pivot row.
+    const double theta = reduced_[static_cast<std::size_t>(entering)] / arq;
+    if (theta != 0.0) {
+      for (int j = 0; j < cols; ++j) {
+        if (state_[static_cast<std::size_t>(j)] == VarState::kBasic) continue;
+        if (j == entering) continue;
+        const double arj = row_scratch_[static_cast<std::size_t>(j)];
+        if (std::abs(arj) <= kDropTol) continue;
+        reduced_[static_cast<std::size_t>(j)] -= theta * arj;
+      }
+    }
+    reduced_[static_cast<std::size_t>(leaving)] = -theta;
+    reduced_[static_cast<std::size_t>(entering)] = 0.0;
+
+    apply_pivot(r, entering, dir, t, work_,
+                below ? VarState::kAtLower : VarState::kAtUpper);
+  }
+  return SolveStatus::kIterationLimit;
+}
+
+// -------------------------------------------------------------- extract --
+
+void SparseLpCore::extract(Solution& out) const {
+  const int n = structural_count_;
+  out.values.assign(static_cast<std::size_t>(n), 0.0);
+  out.is_basic.assign(static_cast<std::size_t>(n), false);
+  for (VarId v = 0; v < n; ++v) {
+    double xv = x_[static_cast<std::size_t>(v)];
+    // Clamp rounding noise onto the box (nonbasic values are already exact).
+    const double lo = lower_[static_cast<std::size_t>(v)];
+    const double hi = upper_[static_cast<std::size_t>(v)];
+    if (xv < lo && xv > lo - 1e-9) xv = lo;
+    if (xv > hi && xv < hi + 1e-9) xv = hi;
+    out.values[static_cast<std::size_t>(v)] = xv;
+    out.is_basic[static_cast<std::size_t>(v)] =
+        state_[static_cast<std::size_t>(v)] == VarState::kBasic;
+  }
+  out.objective = model_.evaluate_objective(out.values);
+}
+
+BasisSnapshot SparseLpCore::basis_snapshot() const {
+  BasisSnapshot out;
+  if (!have_basis_) return out;
+  out.basic = basic_;
+  out.basic_values.reserve(basic_.size());
+  for (const int b : basic_) {
+    out.basic_values.push_back(x_[static_cast<std::size_t>(b)]);
+  }
+  out.nonbasic_at_upper.reserve(state_.size());
+  for (const VarState st : state_) {
+    out.nonbasic_at_upper.push_back(st == VarState::kAtUpper ? 1 : 0);
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- metrics --
+
+SparseLpCore::Marks SparseLpCore::mark() const {
+  return {degenerate_pivots_, bland_activations_, refactorizations_,
+          devex_resets_,      bound_flips_,       drift_events_};
+}
+
+void SparseLpCore::record_solve(const Solution& out, bool warm, bool fallback,
+                                const Marks& before) {
+  if (!options_.record_metrics) return;
+  static metrics::Counter& solves = metrics::counter("simplex.solves");
+  static metrics::Counter& pivots = metrics::counter("simplex.pivots");
+  static metrics::Counter& degenerate =
+      metrics::counter("simplex.degenerate_pivots");
+  static metrics::Histogram& per_solve =
+      metrics::histogram("simplex.pivots_per_solve");
+  static metrics::Counter& warm_solves = metrics::counter("simplex.warm_solves");
+  static metrics::Counter& warm_pivots = metrics::counter("simplex.warm_pivots");
+  static metrics::Counter& fallbacks = metrics::counter("simplex.cold_fallbacks");
+  static metrics::Counter& bland = metrics::counter("simplex.bland_activations");
+  static metrics::Counter& nnz = metrics::counter("simplex.sparse_nnz");
+  static metrics::Counter& refact =
+      metrics::counter("simplex.sparse_refactorizations");
+  static metrics::Counter& resets =
+      metrics::counter("simplex.sparse_devex_resets");
+  static metrics::Counter& flips =
+      metrics::counter("simplex.sparse_bound_flips");
+  static metrics::Counter& drift =
+      metrics::counter("simplex.sparse_drift_events");
+  solves.add();
+  pivots.add(out.iterations);
+  degenerate.add(degenerate_pivots_ - before.degenerate);
+  per_solve.record(out.iterations);
+  if (warm) {
+    warm_solves.add();
+    warm_pivots.add(out.iterations);
+  }
+  if (fallback) fallbacks.add();
+  if (bland_activations_ > before.bland) {
+    bland.add(bland_activations_ - before.bland);
+  }
+  nnz.add(static_cast<long long>(row_cols_.size()));
+  refact.add(refactorizations_ - before.refact);
+  resets.add(devex_resets_ - before.resets);
+  flips.add(bound_flips_ - before.flips);
+  drift.add(drift_events_ - before.drift);
+}
+
+// ---------------------------------------------------------------- edits --
+
+bool SparseLpCore::ingest_row(RowId row) {
+  if (model_.relation(row) == Relation::kEqual) {
+    // An equality row's logical is fixed at zero, so it can't absorb the
+    // row's current violation as a basic variable; invalidate the basis so
+    // the next solve is cold (same contract as the dense engine).
+    return false;
+  }
+  append_row_storage(row);
+  // The fresh logical column enters the basis at whatever value closes the
+  // row over the current solution:  a'x + c*s = b  =>  s = (b - a'x)/c.
+  // A violated cut leaves it negative (primal infeasible, dual feasible) —
+  // exactly the dual simplex precondition.  The new row's dual value is 0,
+  // so every existing reduced cost is unchanged.
+  double ax = 0.0;
+  for (const Term& t : model_.terms(row)) {
+    ax += t.coefficient * x_[static_cast<std::size_t>(t.var)];
+  }
+  const double coeff =
+      model_.relation(row) == Relation::kGreaterEqual ? -1.0 : 1.0;
+  const int lcol = logical_of_row_.back();
+  x_[static_cast<std::size_t>(lcol)] = (model_.rhs(row) - ax) / coeff;
+  state_[static_cast<std::size_t>(lcol)] = VarState::kBasic;
+  basic_.push_back(lcol);
+  factor_stale_ = true;
+  return true;
+}
+
+int SparseLpCore::sync_new_rows() {
+  visible_rows_ = -1;
+  return sync_visible();
+}
+
+int SparseLpCore::sync_new_rows(int up_to_rows) {
+  MRLC_REQUIRE(up_to_rows >= model_rows_ingested_ &&
+                   up_to_rows <= model_.constraint_count(),
+               "row horizon must not retreat below ingested rows");
+  visible_rows_ = up_to_rows;
+  return sync_visible();
+}
+
+int SparseLpCore::sync_visible() {
+  const int total = visible_row_count();
+  const int fresh = total - model_rows_ingested_;
+  if (fresh <= 0) return 0;
+  if (!have_basis_) {
+    // No retained basis to patch; the next cold solve reads the model.
+    model_rows_ingested_ = total;
+    return fresh;
+  }
+  for (RowId r = model_rows_ingested_; r < total; ++r) {
+    if (!ingest_row(r)) {
+      have_basis_ = false;
+      break;
+    }
+  }
+  model_rows_ingested_ = total;
+  return fresh;
+}
+
+void SparseLpCore::update_rhs(RowId row) {
+  MRLC_REQUIRE(row >= 0 && row < model_.constraint_count(), "row out of range");
+  if (!have_basis_) return;  // next cold solve reads the model
+  MRLC_REQUIRE(row < model_rows_ingested_, "sync_new_rows before update_rhs");
+  // Model rows map 1:1 onto internal rows (no bound rows interleave), so
+  // the edit is a single store; the basic values are recomputed through
+  // the factorization on the next resolve.
+  row_rhs_[static_cast<std::size_t>(row)] = model_.rhs(row);
+  values_stale_ = true;
+}
+
+void SparseLpCore::update_objective(VarId v) {
+  MRLC_REQUIRE(v >= 0 && v < model_.variable_count(), "variable out of range");
+  if (!have_basis_) return;  // next cold solve reads the model
+  costs_stale_ = true;
+}
+
+// --------------------------------------------------------------- solves --
+
+Solution SparseLpCore::solve() {
+  if (model_.variable_count() == 0) {
+    // Empty model: feasible iff every row is satisfied by the empty point.
+    Solution out;
+    bool ok = true;
+    const int visible = visible_row_count();
+    for (RowId r = 0; r < visible; ++r) {
+      const double rhs = model_.rhs(r);
+      switch (model_.relation(r)) {
+        case Relation::kLessEqual: ok = ok && rhs >= -1e-9; break;
+        case Relation::kGreaterEqual: ok = ok && rhs <= 1e-9; break;
+        case Relation::kEqual: ok = ok && std::abs(rhs) <= 1e-9; break;
+      }
+    }
+    out.status = ok ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
+    have_basis_ = false;
+    model_rows_ingested_ = visible;
+    return out;
+  }
+  trace::ScopedPhase phase("simplex");
+  const Marks before = mark();
+  Solution out = cold_solve_locked();
+  record_solve(out, /*warm=*/false, /*fallback=*/false, before);
+  return out;
+}
+
+Solution SparseLpCore::cold_solve_locked() {
+  build();
+  have_basis_ = false;
+  Solution out;
+  if (!refactor_if_needed(/*force=*/true)) {
+    // The all-logical start basis is diag(+/-1); a singular reinversion here
+    // means corrupted storage, not bad luck.
+    out.status = SolveStatus::kIterationLimit;
+    return out;
+  }
+  // ---- Phase 1: minimize the total bound violation, if any. ------------
+  bool feasible = true;
+  const int rows = static_cast<int>(basic_.size());
+  for (int i = 0; i < rows; ++i) {
+    const int b = basic_[static_cast<std::size_t>(i)];
+    const double v = x_[static_cast<std::size_t>(b)];
+    if (v < lower_[static_cast<std::size_t>(b)] - kFeasibilityTol ||
+        v > upper_[static_cast<std::size_t>(b)] + kFeasibilityTol) {
+      feasible = false;
+      break;
+    }
+  }
+  if (!feasible) {
+    const SolveStatus s1 = primal_optimize(&out.iterations, /*phase1=*/true);
+    if (s1 != SolveStatus::kOptimal) {
+      out.status = s1;
+      return out;
+    }
+  }
+  // ---- Phase 2: the real objective, devex weights restarted. -----------
+  recompute_reduced_costs();
+  weight_.assign(weight_.size(), 1.0);
+  if (options_.pricing == Pricing::kSteepestEdge) {
+    recompute_steepest_edge_weights();
+  }
+  objective_ = 0.0;
+  for (std::size_t j = 0; j < cost_.size(); ++j) {
+    objective_ += cost_[j] * x_[j];
+  }
+  const SolveStatus s2 = primal_optimize(&out.iterations, /*phase1=*/false);
+  out.status = s2;
+  if (s2 != SolveStatus::kOptimal) return out;
+
+  extract(out);
+  have_basis_ = true;
+  return out;
+}
+
+Solution SparseLpCore::resolve() {
+  if (model_.variable_count() == 0 || !have_basis_ ||
+      model_rows_ingested_ != visible_row_count()) {
+    return solve();
+  }
+  trace::ScopedPhase phase("simplex");
+  const Marks before = mark();
+  Solution out;
+  out.warm_started = true;
+
+  bool trouble = false;
+  if (costs_stale_) {
+    load_phase2_costs();
+    costs_stale_ = false;
+    // Reduced costs refresh below (with the forced refactor) or here.
+    if (!factor_stale_) recompute_reduced_costs();
+  }
+  if (factor_stale_) {
+    // New rows since the last factorization (their logicals joined basic_
+    // outside the eta file): fold them in before pivoting.
+    if (!refactor_if_needed(/*force=*/true)) trouble = true;
+  } else if (values_stale_) {
+    compute_basic_values();
+  }
+
+  SolveStatus dual = SolveStatus::kIterationLimit;
+  if (!trouble) {
+    dual = dual_optimize(&out.iterations);
+    if (dual == SolveStatus::kInterrupted) {
+      // Budget ran out mid-reoptimization: the basis is mid-pivot-sequence
+      // (valid, but neither primal feasible nor certified), so the retained
+      // state is abandoned rather than trusted or re-solved.
+      out.status = SolveStatus::kInterrupted;
+      have_basis_ = false;
+      record_solve(out, /*warm=*/false, /*fallback=*/false, before);
+      return out;
+    }
+    if (dual == SolveStatus::kOptimal) {
+      objective_ = 0.0;
+      for (std::size_t j = 0; j < cost_.size(); ++j) {
+        objective_ += cost_[j] * x_[j];
+      }
+      const SolveStatus primal =
+          primal_optimize(&out.iterations, /*phase1=*/false);
+      if (primal == SolveStatus::kInterrupted) {
+        out.status = SolveStatus::kInterrupted;
+        have_basis_ = false;
+        record_solve(out, /*warm=*/false, /*fallback=*/false, before);
+        return out;
+      }
+      if (primal == SolveStatus::kUnbounded) {
+        // A genuinely unbounded direction is certified by the basis itself;
+        // a cold re-solve could only rediscover it.
+        out.status = SolveStatus::kUnbounded;
+        have_basis_ = false;
+        ++warm_solves_;
+        record_solve(out, /*warm=*/true, /*fallback=*/false, before);
+        return out;
+      }
+      if (primal == SolveStatus::kOptimal) {
+        bool ok = true;
+        const int rows = static_cast<int>(basic_.size());
+        for (int i = 0; i < rows; ++i) {
+          const int b = basic_[static_cast<std::size_t>(i)];
+          const double v = x_[static_cast<std::size_t>(b)];
+          if (v < lower_[static_cast<std::size_t>(b)] - kWarmAcceptTol ||
+              v > upper_[static_cast<std::size_t>(b)] + kWarmAcceptTol) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          out.status = SolveStatus::kOptimal;
+          extract(out);
+          ++warm_solves_;
+          record_solve(out, /*warm=*/true, /*fallback=*/false, before);
+          return out;
+        }
+      }
+      trouble = true;
+    } else {
+      // kInfeasible or kIterationLimit.  An infeasible verdict matters too
+      // much to trust floating-point residuals; the cold path re-certifies
+      // it either way.
+      trouble = true;
+    }
+  }
+  MRLC_ENSURE(trouble, "unreachable: all warm outcomes handled above");
+
+  ++cold_fallbacks_;
+  Solution cold = cold_solve_locked();
+  cold.iterations += out.iterations;  // the wasted warm pivots still count
+  record_solve(cold, /*warm=*/false, /*fallback=*/true, before);
+  return cold;
+}
+
+}  // namespace mrlc::lp

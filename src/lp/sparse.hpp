@@ -1,0 +1,233 @@
+#pragma once
+
+/// \file sparse.hpp
+/// \brief Sparse bounded-variable revised simplex — the default LP engine.
+///
+/// The MRLC constraint matrix is overwhelmingly sparse: a spanning-tree row
+/// touches every edge variable once, a degree row touches deg(v) of them, a
+/// subtour row |E(S)|.  The dense tableau (dense.hpp) stores all of it —
+/// plus one *explicit row* per finite upper bound, so every `x_e <= 1` box
+/// constraint costs a full tableau row and the working set grows like
+/// O((rows + vars)^2).  `SparseLpCore` replaces that with:
+///
+///  * **CSR row storage** (`row_ptr_` / `row_cols_` / `row_vals_`): the
+///    constraint matrix exactly as ingested, append-only, used for residual
+///    checks, drift audits and the `simplex.sparse_nnz` instrument — plus a
+///    column-major adjacency view (`cols_`) that the pricing and ftran
+///    loops walk;
+///  * **bounded-variable handling**: every variable carries `[lower, upper]`
+///    directly; nonbasic variables sit at a *bound* (not necessarily zero)
+///    and the ratio test performs *bound flips* (`simplex.sparse_bound_flips`)
+///    when the entering variable hits its opposite bound before any basic
+///    variable blocks — no bound rows, no shift bookkeeping;
+///  * **a product-form factorized basis** (eta file): `ftran`/`btran` apply
+///    the eta transformations instead of materializing B⁻¹A, with a
+///    deterministic Gauss–Jordan reinversion every
+///    `SimplexOptions::refactor_interval` pivots
+///    (`simplex.sparse_refactorizations`) that also recomputes the basic
+///    values and audits their incremental drift against
+///    `SimplexOptions::drift_tolerance` (`simplex.sparse_drift_events`);
+///  * **devex pricing** (default) with an exact steepest-edge option and a
+///    Dantzig baseline — see `lp::Pricing`.
+///
+/// The warm-start surface is contract-identical to `DenseLpCore` (PR 5):
+/// `sync_new_rows` appends a violated cut with its slack basic and leaves a
+/// dual-feasible, primal-infeasible basis for `resolve`'s dual simplex;
+/// equality rows invalidate the basis; `update_rhs` / `update_objective`
+/// keep the basis and mark the derived state stale; any numerical trouble
+/// falls back to the audited cold path (`simplex.cold_fallbacks`), never a
+/// wrong answer.  The bounded-visibility constructor supports the fault
+/// recovery trajectory replay, and `basis_snapshot()` exposes the basis
+/// bit-exactly so the replay tests can assert reconstruction.
+
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace mrlc::lp {
+
+class SparseLpCore {
+ public:
+  /// Attaches to `model`; same single-source-of-truth contract as the dense
+  /// engine.
+  /// \param model    LP to solve; must outlive the instance, and variables
+  ///                 must not be added after attachment.
+  /// \param options  solver knobs; `engine` is ignored (the facade already
+  ///                 routed here).
+  explicit SparseLpCore(const Model& model, SimplexOptions options = {});
+
+  /// Bounded attachment for trajectory replay (fault recovery): the cold
+  /// build reads only the first `visible_rows` model rows; later rows enter
+  /// through `sync_new_rows(int)`.
+  /// \param model         LP to solve (must outlive the instance).
+  /// \param visible_rows  replay horizon, `0 <= visible_rows <= rows`.
+  /// \param options       solver knobs.
+  SparseLpCore(const Model& model, int visible_rows, SimplexOptions options);
+
+  /// Cold solve: rebuilds the sparse storage from the model, starts from
+  /// the all-logical basis, runs a composite Phase 1 (minimize total bound
+  /// violation) and a Phase 2 with the configured pricing.
+  /// \return solution; on `kOptimal` the basis is retained for `resolve`.
+  Solution solve();
+
+  /// Warm reoptimization: dual simplex until primal feasible, then primal
+  /// cleanup, from the retained basis.  Falls back to `solve()` when no
+  /// basis is available or on numerical trouble (counted in
+  /// `cold_fallbacks()`).
+  /// \return solution; `warm_started` marks a successful warm path.
+  Solution resolve();
+
+  /// Ingests model rows appended since the last sync.  Non-equality rows
+  /// join incrementally with their logical column basic; equality rows
+  /// invalidate the basis (cold next solve).
+  /// \return number of model rows ingested by this call.
+  int sync_new_rows();
+  /// Bounded overload: raises the replay horizon to exactly `up_to_rows`.
+  /// \param up_to_rows  new horizon; must not retreat below the rows
+  ///                    already ingested nor exceed the model.
+  /// \return number of model rows ingested by this call.
+  int sync_new_rows(int up_to_rows);
+
+  /// Propagates `model.rhs(row)` after a `Model::set_rhs` edit; the basis
+  /// is kept and the basic values are recomputed on the next `resolve`.
+  /// \param row  model row id (must already be ingested).
+  void update_rhs(RowId row);
+
+  /// Propagates `model.objective_coefficient(v)` after a cost edit; the
+  /// basis is kept and the reduced costs are recomputed on the next
+  /// `resolve`.
+  /// \param v  model variable id.
+  void update_objective(VarId v);
+
+  /// \return true when a retained basis makes the next `resolve` warm.
+  bool has_basis() const noexcept { return have_basis_; }
+
+  /// \brief Bit-exact image of the retained basis for the fault-replay
+  /// tests: basic column per row, primal value per basic column, and the
+  /// at-upper flag per column.
+  /// \return empty snapshot when no basis is retained.
+  BasisSnapshot basis_snapshot() const;
+
+  /// \return warm resolves abandoned for the audited cold path, cumulative.
+  long long cold_fallbacks() const noexcept { return cold_fallbacks_; }
+  /// \return successful warm resolves, cumulative.
+  long long warm_solves() const noexcept { return warm_solves_; }
+  /// \return zero-step pivots taken, cumulative across solves.
+  long long degenerate_pivots() const noexcept { return degenerate_pivots_; }
+  /// \return Bland's-rule switchovers, cumulative across solves.
+  long long bland_activations() const noexcept { return bland_activations_; }
+
+ private:
+  /// Variable status: basic, or nonbasic resting at one of its bounds.
+  enum class VarState : signed char { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
+
+  struct ColEntry {
+    int row;
+    double val;
+  };
+
+  /// One product-form eta: column `B⁻¹a` with pivot row `pivot_row`; the
+  /// off-pivot nonzeros live in `[entry_start, entry_end)` of the shared
+  /// pools.
+  struct Eta {
+    int pivot_row;
+    double pivot_val;
+    int entry_start;
+    int entry_end;
+  };
+
+  // --- storage / build ---
+  void build();
+  void append_row_storage(RowId row);   ///< CSR/CSC + logical column
+  int visible_row_count() const;
+  bool ingest_row(RowId row);           ///< warm append; false = equality
+  int sync_visible();
+
+  // --- factorization ---
+  bool reinvert();                      ///< rebuild eta file; false = singular
+  void ftran(std::vector<double>& v) const;
+  void btran(std::vector<double>& v) const;
+  void compute_basic_values();          ///< x_B = B⁻¹(b − N x_N), audited
+  bool refactor_if_needed(bool force);  ///< false = singular basis
+  void recompute_reduced_costs();
+  void recompute_steepest_edge_weights();
+
+  // --- iteration pieces ---
+  void load_phase2_costs();
+  void scatter_column(int col, std::vector<double>& v) const;
+  double row_dot(int col, const std::vector<double>& rho) const;
+  void append_eta(int pivot_row, const std::vector<double>& alpha);
+  void apply_pivot(int r, int entering, int direction, double step,
+                   const std::vector<double>& alpha, VarState leave_state);
+
+  SolveStatus primal_optimize(int* iteration_counter, bool phase1);
+  SolveStatus dual_optimize(int* iteration_counter);
+
+  Solution cold_solve_locked();
+  void extract(Solution& out) const;
+  /// Cumulative counters captured before a solve so `record_solve` can emit
+  /// per-solve deltas.
+  struct Marks {
+    long long degenerate, bland, refact, resets, flips, drift;
+  };
+  Marks mark() const;
+  void record_solve(const Solution& out, bool warm, bool fallback,
+                    const Marks& before);
+
+  const Model& model_;
+  SimplexOptions options_;
+
+  // --- constraint matrix (CSR + column adjacency), append-only ---
+  std::vector<int> row_ptr_;            ///< size rows+1
+  std::vector<int> row_cols_;           ///< structural column ids, flat
+  std::vector<double> row_vals_;
+  std::vector<double> row_rhs_;
+  std::vector<Relation> row_relation_;
+  std::vector<std::vector<ColEntry>> cols_;  ///< per column: (row, coeff)
+
+  // --- columns: structurals then one logical per row ---
+  int structural_count_ = 0;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> cost_;            ///< phase-2 objective per column
+  std::vector<double> x_;               ///< primal value per column
+  std::vector<VarState> state_;
+  std::vector<double> reduced_;         ///< reduced cost per column
+  std::vector<double> weight_;          ///< devex/steepest-edge weight
+  std::vector<int> logical_of_row_;
+
+  // --- basis ---
+  std::vector<int> basic_;              ///< basis row -> column id
+  std::vector<Eta> etas_;
+  std::vector<int> eta_rows_;           ///< shared off-pivot entry pool
+  std::vector<double> eta_vals_;
+  int pivots_since_refactor_ = 0;
+  bool factor_stale_ = true;            ///< eta file doesn't cover basic_
+  bool values_stale_ = false;           ///< x_B needs recomputation
+  bool values_valid_ = false;           ///< x_ has ever been computed
+  bool costs_stale_ = false;            ///< cost_ needs reload from model
+
+  bool have_basis_ = false;
+  int model_rows_ingested_ = 0;
+  int visible_rows_ = -1;               ///< replay horizon; -1 = whole model
+  double objective_ = 0.0;              ///< incremental, progress test only
+
+  long long degenerate_pivots_ = 0;
+  long long bland_activations_ = 0;
+  long long cold_fallbacks_ = 0;
+  long long warm_solves_ = 0;
+  // Sparse-engine instruments, cumulative (deltas recorded per solve).
+  long long refactorizations_ = 0;
+  long long devex_resets_ = 0;
+  long long bound_flips_ = 0;
+  long long drift_events_ = 0;
+
+  // Scratch (reused across iterations): `work_`/`rho_` sized to rows,
+  // `row_scratch_` to columns (caches one pivot row of B⁻¹A).
+  mutable std::vector<double> work_;
+  mutable std::vector<double> rho_;
+  mutable std::vector<double> row_scratch_;
+};
+
+}  // namespace mrlc::lp

@@ -455,6 +455,7 @@ Model beale_model() {
 TEST(Simplex, BealeCyclingTableauTerminatesViaDegenerateStreakBland) {
   const Model m = beale_model();
   SimplexOptions options;
+  options.engine = Engine::kDense;  // the cycle is a Dantzig-tableau artifact
   options.bland_after = 1000000;  // keep the stall-based trigger out of play
   options.max_iterations = 5000;
   options.bland_degenerate_streak = 10;
@@ -466,6 +467,182 @@ TEST(Simplex, BealeCyclingTableauTerminatesViaDegenerateStreakBland) {
   EXPECT_NEAR(s.values[2], 1.0, 1e-9);
   EXPECT_GE(instance.bland_activations(), 1);
   EXPECT_LT(s.iterations, 100);  // escaped the cycle quickly, no stall
+}
+
+TEST(Simplex, BealeCyclingLpSolvesOnEverySparsePricingRule) {
+  // The sparse engine must also survive Beale's LP — under every pricing
+  // rule (Dantzig included, where the classic cycle lives) the
+  // degenerate-streak Bland switchover guarantees termination.
+  for (const Pricing pricing :
+       {Pricing::kDevex, Pricing::kSteepestEdge, Pricing::kDantzig}) {
+    const Model m = beale_model();
+    SimplexOptions options;
+    options.engine = Engine::kSparse;
+    options.pricing = pricing;
+    options.bland_after = 1000000;
+    options.max_iterations = 5000;
+    options.bland_degenerate_streak = 10;
+    LpInstance instance(m, options);
+    const Solution s = instance.solve();
+    ASSERT_EQ(s.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(s.objective, -0.05, 1e-9);  // x = (0.04, 0, 1, 0)
+    EXPECT_NEAR(s.values[0], 0.04, 1e-9);
+    EXPECT_NEAR(s.values[2], 1.0, 1e-9);
+    EXPECT_LT(s.iterations, 100);
+  }
+}
+
+// --------------------------------------------------------- engine parity --
+
+/// Structural "is an extreme point" check shared by the parity sweep: every
+/// nonbasic variable must sit exactly on one of its bounds.  (The basic
+/// count is engine-dependent — the dense tableau materializes bound rows —
+/// so only the nonbasic-at-bound half of the invariant is portable.)
+void ExpectBasicSolution(const Model& m, const Solution& s,
+                         const char* label, int trial) {
+  ASSERT_EQ(static_cast<int>(s.is_basic.size()), m.variable_count());
+  for (VarId v = 0; v < m.variable_count(); ++v) {
+    if (s.is_basic[static_cast<std::size_t>(v)]) continue;
+    const double x = s.values[static_cast<std::size_t>(v)];
+    const bool at_lower = std::abs(x - m.lower_bound(v)) <= kTol;
+    const bool at_upper = m.upper_bound(v) < kInfinity &&
+                          std::abs(x - m.upper_bound(v)) <= kTol;
+    EXPECT_TRUE(at_lower || at_upper)
+        << label << " trial " << trial << ": nonbasic variable " << v
+        << " off its bounds at " << x;
+  }
+}
+
+/// The tentpole's acceptance sweep: on 72 seeded instances — generic random
+/// LPs, deliberately degenerate duplicated/zero-rhs rows, and Beale-style
+/// cycling tableaus — the sparse engine and the dense oracle must agree on
+/// status and optimal objective, both on the cold path and after warm
+/// (sync + dual-simplex resolve) cut rounds, and both engines must return
+/// extreme points that the model itself certifies feasible.
+TEST(EngineParity, SparseMatchesDenseOracleOnSeededInstances) {
+  Rng rng(20260809);
+  int optimal = 0;
+  constexpr int kTrials = 72;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Model m;
+    if (trial % 9 == 7) {
+      // A Beale-style degenerate cycling tableau, objective rescaled per
+      // trial so each instance exercises its own pivot sequence.
+      const double scale = 1.0 + 0.25 * static_cast<double>(trial % 5);
+      m = beale_model();
+      for (VarId v = 0; v < m.variable_count(); ++v) {
+        m.set_objective_coefficient(v, m.objective_coefficient(v) * scale);
+      }
+    } else {
+      const int vars = static_cast<int>(rng.uniform_int(2, 7));
+      for (int v = 0; v < vars; ++v) {
+        m.add_variable(rng.uniform(-3.0, 2.0), 0.0, rng.uniform(0.5, 4.0));
+      }
+      const int rows = static_cast<int>(rng.uniform_int(2, 5));
+      for (int r = 0; r < rows; ++r) {
+        std::vector<Term> terms;
+        for (VarId v = 0; v < vars; ++v) {
+          terms.push_back({v, rng.uniform(-0.5, 2.0)});
+        }
+        m.add_row(Relation::kLessEqual, rng.uniform(1.0, 8.0), terms);
+        if (trial % 5 == 3) {
+          // Degenerate block: the same row duplicated, plus a zero-rhs row
+          // that pins its variables' optimal basis to a degenerate vertex.
+          m.add_row(Relation::kLessEqual, rng.uniform(1.0, 8.0), terms);
+          m.add_row(Relation::kLessEqual, 0.0,
+                    {{static_cast<VarId>(r % vars), 1.0},
+                     {static_cast<VarId>((r + 1) % vars), -1.0}});
+        }
+      }
+    }
+
+    SimplexOptions sparse_opts;
+    sparse_opts.engine = Engine::kSparse;
+    SimplexOptions dense_opts;
+    dense_opts.engine = Engine::kDense;
+    LpInstance sparse(m, sparse_opts);
+    LpInstance dense(m, dense_opts);
+    const Solution ss = sparse.solve();
+    const Solution ds = dense.solve();
+    ASSERT_EQ(ss.status, ds.status) << "trial " << trial;
+    if (ss.status == SolveStatus::kOptimal) {
+      const double scale = 1.0 + std::abs(ds.objective);
+      EXPECT_NEAR(ss.objective, ds.objective, 1e-6 * scale)
+          << "trial " << trial;
+      EXPECT_TRUE(m.is_feasible(ss.values, 1e-6)) << "sparse, trial " << trial;
+      EXPECT_TRUE(m.is_feasible(ds.values, 1e-6)) << "dense, trial " << trial;
+      ExpectBasicSolution(m, ss, "sparse", trial);
+      ExpectBasicSolution(m, ds, "dense", trial);
+      ++optimal;
+    } else {
+      continue;  // nothing to warm-start from
+    }
+
+    // Warm/cold parity across engines: two cut rows appended one at a time;
+    // after each, the sparse warm resolve, the dense warm resolve, and a
+    // from-scratch cold solve must all land on the same optimum.
+    for (int cut = 0; cut < 2; ++cut) {
+      std::vector<Term> terms;
+      for (VarId v = 0; v < m.variable_count(); ++v) {
+        terms.push_back({v, rng.uniform(-0.5, 2.0)});
+      }
+      m.add_row(Relation::kLessEqual, rng.uniform(-0.5, 3.0), terms);
+      sparse.sync_new_rows();
+      dense.sync_new_rows();
+      const Solution ws = sparse.resolve();
+      const Solution wd = dense.resolve();
+      ASSERT_EQ(ws.status, wd.status) << "trial " << trial << " cut " << cut;
+      LpInstance cold(m, sparse_opts);
+      const Solution cs = cold.solve();
+      ASSERT_EQ(ws.status, cs.status) << "trial " << trial << " cut " << cut;
+      if (ws.status != SolveStatus::kOptimal) break;
+      const double scale = 1.0 + std::abs(cs.objective);
+      EXPECT_NEAR(ws.objective, cs.objective, 1e-6 * scale)
+          << "sparse warm vs cold, trial " << trial << " cut " << cut;
+      EXPECT_NEAR(wd.objective, cs.objective, 1e-6 * scale)
+          << "dense warm vs sparse cold, trial " << trial << " cut " << cut;
+      EXPECT_TRUE(m.is_feasible(ws.values, 1e-6))
+          << "sparse warm, trial " << trial << " cut " << cut;
+    }
+  }
+  EXPECT_GE(optimal, 50) << "the sweep must mostly exercise the optimal path";
+}
+
+/// The cross-check oracle itself, on the same kind of workload: with
+/// `cross_check` set the audit runs inside every solve/resolve and throws
+/// on any disagreement, so a clean pass here means the shadow-oracle wiring
+/// (mutation mirroring included) holds across warm rounds.
+TEST(EngineParity, CrossCheckOracleAuditsCutRoundsCleanly) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 12; ++trial) {
+    Model m;
+    const int vars = static_cast<int>(rng.uniform_int(2, 6));
+    for (int v = 0; v < vars; ++v) {
+      m.add_variable(rng.uniform(-3.0, 1.0), 0.0, rng.uniform(0.5, 4.0));
+    }
+    for (int r = 0; r < 2; ++r) {
+      std::vector<Term> terms;
+      for (VarId v = 0; v < vars; ++v) {
+        terms.push_back({v, rng.uniform(0.0, 2.0)});
+      }
+      m.add_row(Relation::kLessEqual, rng.uniform(2.0, 8.0), terms);
+    }
+    SimplexOptions options;
+    options.engine = Engine::kSparse;
+    options.cross_check = true;
+    LpInstance audited(m, options);
+    ASSERT_EQ(audited.solve().status, SolveStatus::kOptimal) << trial;
+    for (int cut = 0; cut < 3; ++cut) {
+      std::vector<Term> terms;
+      for (VarId v = 0; v < vars; ++v) {
+        terms.push_back({v, rng.uniform(-0.5, 2.0)});
+      }
+      m.add_row(Relation::kLessEqual, rng.uniform(-0.5, 3.0), terms);
+      audited.sync_new_rows();
+      const Solution s = audited.resolve();  // throws if the engines diverge
+      if (s.status != SolveStatus::kOptimal) break;
+    }
+  }
 }
 
 }  // namespace

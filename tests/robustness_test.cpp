@@ -14,9 +14,11 @@
 #include "common/budget.hpp"
 #include "common/faultpoint.hpp"
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "core/anytime.hpp"
 #include "core/ira.hpp"
 #include "helpers.hpp"
+#include "lp/instance.hpp"
 #include "scenario/dfl.hpp"
 #include "wsn/io.hpp"
 
@@ -235,38 +237,116 @@ TEST_F(FaultHarness, UnarmedPointsNeverFire) {
 }
 
 /// The recoverable faults, each forced on *every* arrival over a full IRA
-/// solve on the 16-node DFL instance: the returned tree and cost must be
-/// identical to a clean run, and every injection must be matched by an
-/// audited recovery.
+/// solve on the 16-node DFL instance, and the whole battery run once per
+/// LP engine: the returned tree and cost must be identical to that
+/// engine's clean run, and every injection must be matched by an audited
+/// recovery.
 TEST_F(FaultHarness, RecoverableFaultsReturnTheIdenticalTree) {
   const wsn::Network net = scenario::make_dfl_system().network;
   const double bound = baselines::mst_baseline(net).lifetime;
   core::IraOptions options;
   options.bound_mode = core::BoundMode::kDirect;
-  const core::IraResult clean =
-      core::IterativeRelaxation(options).solve(net, bound);
-  const std::string clean_tree = wsn::tree_to_string(clean.tree);
 
-  const struct {
-    const char* name;
-    bool must_fire;  ///< cutpool.corrupt needs pool hits this workload lacks
-  } kFaults[] = {
-      {"lp.force_cold", true},
-      {"lp.drop_basis", true},
-      {"separation.flow_fail", true},
-      {"cutpool.corrupt", false},
-  };
-  for (const auto& f : kFaults) {
-    fault::reset();
-    fault::configure(f.name);
-    const core::IraResult faulted =
+  const lp::Engine saved = lp::default_engine();
+  for (const lp::Engine engine : {lp::Engine::kSparse, lp::Engine::kDense}) {
+    lp::set_default_engine(engine);
+    const char* engine_name =
+        engine == lp::Engine::kSparse ? "sparse" : "dense";
+    const core::IraResult clean =
         core::IterativeRelaxation(options).solve(net, bound);
-    EXPECT_EQ(wsn::tree_to_string(faulted.tree), clean_tree) << f.name;
-    EXPECT_DOUBLE_EQ(faulted.cost, clean.cost) << f.name;
-    if (f.must_fire) EXPECT_GT(fault::injected_count(), 0) << f.name;
-    EXPECT_EQ(fault::injected_count(), fault::recovered_count())
-        << f.name << ": every injection needs an audited recovery";
+    const std::string clean_tree = wsn::tree_to_string(clean.tree);
+
+    const struct {
+      const char* name;
+      bool must_fire;  ///< cutpool.corrupt needs pool hits this workload lacks
+    } kFaults[] = {
+        {"lp.force_cold", true},
+        {"lp.drop_basis", true},
+        {"separation.flow_fail", true},
+        {"cutpool.corrupt", false},
+    };
+    for (const auto& f : kFaults) {
+      fault::reset();
+      fault::configure(f.name);
+      const core::IraResult faulted =
+          core::IterativeRelaxation(options).solve(net, bound);
+      EXPECT_EQ(wsn::tree_to_string(faulted.tree), clean_tree)
+          << engine_name << ": " << f.name;
+      EXPECT_DOUBLE_EQ(faulted.cost, clean.cost)
+          << engine_name << ": " << f.name;
+      if (f.must_fire) {
+        EXPECT_GT(fault::injected_count(), 0) << engine_name << ": " << f.name;
+      }
+      EXPECT_EQ(fault::injected_count(), fault::recovered_count())
+          << engine_name << ": " << f.name
+          << ": every injection needs an audited recovery";
+    }
   }
+  lp::set_default_engine(saved);
+}
+
+/// `lp.drop_basis` recovery at the LP layer, bit-for-bit: the cut loop
+/// recovers from a dropped basis by replaying its solve trajectory on a
+/// fresh bounded-visibility instance (core/lp_formulation.cpp).  For the
+/// sparse engine the replayed instance must reconstruct the *identical*
+/// factorized basis — same basic set, same primal values to the last bit,
+/// same nonbasic bound sides — so the remaining cut rounds cannot diverge.
+TEST_F(FaultHarness, DropBasisReplayReconstructsTheSparseBasisBitIdentically) {
+  Rng rng(987654);
+  const int vars = 6;
+  lp::Model m;
+  for (int v = 0; v < vars; ++v) {
+    m.add_variable(rng.uniform(-3.0, 1.0), 0.0, rng.uniform(0.5, 4.0));
+  }
+  for (int r = 0; r < 2; ++r) {
+    std::vector<lp::Term> terms;
+    for (lp::VarId v = 0; v < vars; ++v) {
+      terms.push_back({v, rng.uniform(0.0, 2.0)});
+    }
+    m.add_row(lp::Relation::kLessEqual, rng.uniform(3.0, 8.0), terms);
+  }
+
+  lp::SimplexOptions options;
+  options.engine = lp::Engine::kSparse;
+  lp::LpInstance live(m, options);
+  struct Step {
+    int rows;
+    bool warm;
+  };
+  std::vector<Step> trajectory;
+  ASSERT_EQ(live.solve().status, lp::SolveStatus::kOptimal);
+  trajectory.push_back({m.constraint_count(), false});
+  for (int cut = 0; cut < 4; ++cut) {
+    std::vector<lp::Term> terms;
+    for (lp::VarId v = 0; v < vars; ++v) {
+      terms.push_back({v, rng.uniform(-0.5, 2.0)});
+    }
+    m.add_row(lp::Relation::kLessEqual, rng.uniform(0.5, 3.0), terms);
+    live.sync_new_rows();
+    ASSERT_EQ(live.resolve().status, lp::SolveStatus::kOptimal) << cut;
+    trajectory.push_back({m.constraint_count(), true});
+  }
+  ASSERT_TRUE(live.has_basis());
+  const lp::BasisSnapshot lost = live.basis_snapshot();
+
+  // The fault arrives: the retained basis is silently invalidated.  Recover
+  // exactly the way the cut loop does — replay the recorded trajectory on a
+  // fresh instance that starts with only the first solve's rows visible.
+  fault::configure("lp.drop_basis");
+  ASSERT_TRUE(fault::fire("lp.drop_basis"));
+  lp::LpInstance replayed(m, trajectory.front().rows, options);
+  for (const Step& step : trajectory) {
+    replayed.sync_new_rows(step.rows);
+    const lp::Solution s = (step.warm && replayed.has_basis())
+                               ? replayed.resolve()
+                               : replayed.solve();
+    ASSERT_EQ(s.status, lp::SolveStatus::kOptimal);
+  }
+  fault::note_recovered("lp.drop_basis");
+
+  EXPECT_TRUE(replayed.basis_snapshot() == lost)
+      << "replay must reconstruct the dropped sparse basis bit-identically";
+  EXPECT_EQ(fault::injected_count(), fault::recovered_count());
 }
 
 TEST_F(FaultHarness, PoolTaskFailureSurfacesAsTypedError) {

@@ -49,6 +49,7 @@
 #include "core/branch_bound.hpp"
 #include "core/ira.hpp"
 #include "distributed/dataplane.hpp"
+#include "lp/simplex.hpp"
 #include "scenario/dfl.hpp"
 #include "scenario/random_net.hpp"
 #include "service/server.hpp"
@@ -179,6 +180,15 @@ std::vector<Workload> make_workloads(std::int64_t budget_units,
                    run_ira(net, budget_units);
                  }});
 
+  out.push_back({"ira_random_n128_p015",
+                 "IRA on G(128, 0.15) — the sparse-LP scale case (hundreds "
+                 "of edge variables; dense tableau for A/B via --engine)",
+                 [budget_units](int repeat) {
+                   const wsn::Network net = random_net(
+                       128, 0.15, 7000 + static_cast<std::uint64_t>(repeat));
+                   run_ira(net, budget_units);
+                 }});
+
   out.push_back({"ira_dfl_n32",
                  "IRA on a 32-node DFL perimeter (7.2 m square, same tripod "
                  "spacing) — longer-range fractional cycles than n16",
@@ -277,10 +287,13 @@ std::string indent_block(const std::string& json, const std::string& pad) {
 [[noreturn]] void usage() {
   std::cerr << "usage: mrlc_bench [--out PATH] [--repeats N] [--workload NAME]\n"
                "                  [--list] [--no-timings] [--threads N]\n"
-               "                  [--budget UNITS]\n"
+               "                  [--budget UNITS] [--engine sparse|dense]\n"
                "  --budget UNITS  run the IRA workloads through the anytime\n"
                "                  solver with a fresh work budget per repeat\n"
-               "                  (0 = unlimited, the classic direct path)\n";
+               "                  (0 = unlimited, the classic direct path)\n"
+               "  --engine NAME   LP engine for every workload (default\n"
+               "                  sparse; dense is the historical tableau,\n"
+               "                  kept for A/B comparison)\n";
   std::exit(2);
 }
 
@@ -296,6 +309,7 @@ int main(int argc, char** argv) {
   // repo must mean the same thing on every machine.
   unsigned threads = 1;
   std::int64_t budget_units = 0;
+  std::string engine = "sparse";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -314,11 +328,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--budget" && i + 1 < argc) {
       budget_units = std::stoll(argv[++i]);
       if (budget_units < 0) usage();
+    } else if (arg == "--engine" && i + 1 < argc) {
+      engine = argv[++i];
+      if (engine != "sparse" && engine != "dense") usage();
     } else {
       usage();
     }
   }
   mrlc::set_default_thread_count(threads);
+  mrlc::lp::set_default_engine(engine == "dense" ? mrlc::lp::Engine::kDense
+                                                 : mrlc::lp::Engine::kSparse);
 
   const std::vector<Workload> workloads =
       make_workloads(budget_units, with_timings);
@@ -388,7 +407,8 @@ int main(int argc, char** argv) {
   out << "  \"config\": {\"repeats\": " << repeats << ", \"timings\": "
       << (with_timings ? "true" : "false")
       << ", \"threads\": " << mrlc::default_thread_count()
-      << ", \"budget\": " << budget_units << "},\n";
+      << ", \"budget\": " << budget_units
+      << ", \"engine\": " << json_escape(engine) << "},\n";
   out << "  \"workloads\": [\n" << body.str() << "\n  ]\n";
   out << "}\n";
   std::cerr << "wrote " << out_path << '\n';

@@ -45,6 +45,7 @@
 #include "core/ira.hpp"
 #include "distributed/dataplane.hpp"
 #include "distributed/failure.hpp"
+#include "lp/simplex.hpp"
 #include "distributed/simulator.hpp"
 #include "radio/arq.hpp"
 #include "wsn/io.hpp"
@@ -72,6 +73,10 @@ namespace {
                "  --metrics-json PATH   write solver metrics (counters, phase\n"
                "                        timings) as JSON after the run\n"
                "  --threads N           worker threads for the parallel solver\n"
+               "  --engine sparse|dense LP engine (default sparse; dense is\n"
+               "                        the historical tableau oracle)\n"
+               "  --lp-crosscheck       audit every sparse LP solve against\n"
+               "                        the dense oracle (testing; ~2x cost)\n"
                "                        core (0 = hardware concurrency); the\n"
                "                        tree and counters are identical for\n"
                "                        every N\n"
@@ -442,7 +447,7 @@ int main(int argc, char** argv) {
     if (key.rfind("--", 0) != 0) usage();
     key = key.substr(2);
     if (key == "strict" || key == "lex" || key == "certify" || key == "relax" ||
-        key == "lossy") {
+        key == "lossy" || key == "lp-crosscheck") {
       flags[key] = "1";
     } else if (i + 1 < argc) {
       flags[key] = argv[++i];
@@ -468,6 +473,21 @@ int main(int argc, char** argv) {
       std::cerr << "mrlc_solve: --threads expects a non-negative integer\n";
       return 4;
     }
+  }
+
+  if (flags.count("engine")) {
+    const std::string& engine = flags["engine"];
+    if (engine == "sparse") {
+      mrlc::lp::set_default_engine(mrlc::lp::Engine::kSparse);
+    } else if (engine == "dense") {
+      mrlc::lp::set_default_engine(mrlc::lp::Engine::kDense);
+    } else {
+      std::cerr << "mrlc_solve: --engine expects sparse or dense\n";
+      return 4;
+    }
+  }
+  if (flags.count("lp-crosscheck")) {
+    mrlc::lp::set_default_cross_check(true);
   }
 
   // Eagerly register the solver-status instruments so every mrlc_solve
