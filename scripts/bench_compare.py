@@ -29,6 +29,12 @@ for files predating the field) are not wall-time comparable: timings are
 skipped with a warning and only the counters — which the solver guarantees
 are identical for every thread count — are diffed.
 
+Runs are also grouped by problem variant (``config.variant``, default
+``mrlc`` for files predating the field): the flag re-points every ira_*
+workload at a different solver, so runs with different variants share
+neither timings nor counters.  Both comparisons are skipped with a
+warning; only workload presence is still checked.
+
 Exit codes:
     0  no wall-time regressions (warnings alone do not fail)
     1  at least one wall-time regression
@@ -103,6 +109,12 @@ def work_budget(doc):
     return doc.get("config", {}).get("budget", 0)
 
 
+def run_variant(doc):
+    """Problem variant the ira_* workloads solved; files from before the
+    field are mrlc runs by definition."""
+    return doc.get("config", {}).get("variant", "mrlc")
+
+
 def is_service_workload(workload):
     counters = workload.get("metrics", {}).get("counters", {})
     return "service.requests" in counters
@@ -167,6 +179,15 @@ def compare(baseline, current, threshold):
             f"thread counts differ (baseline {thread_count(baseline)}, "
             f"current {thread_count(current)}): wall times skipped, "
             f"counters still compared")
+    compare_counters = run_variant(baseline) == run_variant(current)
+    if not compare_counters:
+        compare_times = False
+        warnings.append(
+            f"variant groups differ (baseline {run_variant(baseline)}, "
+            f"current {run_variant(current)}): different solvers ran, so "
+            f"wall times and counters are both skipped")
+    else:
+        print(f"variant group: {run_variant(baseline)}")
     if work_budget(baseline) != work_budget(current):
         warnings.append(
             f"work budgets differ (baseline {work_budget(baseline)}, "
@@ -195,10 +216,12 @@ def compare(baseline, current, threshold):
                 print(f"ok  {name}: {base_ms:.3f} ms -> {cur_ms:.3f} ms "
                       f"({change:+.1%})")
         else:
-            print(f"ok  {name}: wall time not compared (thread counts differ)")
+            reason = ("variant groups differ" if not compare_counters
+                      else "thread counts differ")
+            print(f"ok  {name}: wall time not compared ({reason})")
 
-        if any(key in base_counters or key in cur_counters
-               for key in WORK_COUNTERS):
+        if compare_counters and any(key in base_counters or key in cur_counters
+                                    for key in WORK_COUNTERS):
             deltas = ", ".join(work_delta(base_counters, cur_counters, key)
                                for key in WORK_COUNTERS)
             print(f"     {name}: {deltas}")
@@ -224,6 +247,8 @@ def compare(baseline, current, threshold):
                     f"but admission capacity regressed)")
 
         for key in sorted(base_counters.keys() | cur_counters.keys()):
+            if not compare_counters:
+                break  # different variants solved different problems
             if key in WORK_COUNTERS:
                 continue  # reported as a first-class column above
             # One-sided keys (a counter registered by only one of the two

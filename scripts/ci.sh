@@ -18,6 +18,10 @@
 #   5b. engine parity gate: stock instances solved with --engine sparse
 #      and --engine dense must print byte-identical trees, and an
 #      --lp-crosscheck run (dense shadow oracle) must pass;
+#   5c. variant parity gate: `mrlc_solve ira` and `mrlc_solve ira
+#      --variant mrlc` must print byte-identical trees (the problem-variant
+#      interface may not perturb the historical solver), and the
+#      brute-force optimality suite must pass for every variant;
 #   6. service smoke: a real mrlc_serve daemon on a Unix socket, driven
 #      with mrlc_client (release build) — trees must be byte-identical to
 #      the one-shot solver, an injected worker crash and a corrupt payload
@@ -151,6 +155,42 @@ engine_parity_smoke() {
     fi
   done
   echo "ci[$label]: sparse/dense trees byte-identical, cross-check audit clean"
+}
+
+# Variant parity gate: routing the historical MRLC solver through the
+# problem-variant interface must be invisible — `ira` and `ira --variant
+# mrlc` print byte-identical stdout on stock instances (strict and direct
+# bound modes both).  The brute-force sweep then re-proves each variant
+# optimal for its own objective against spanning-tree enumeration.
+variant_parity_smoke() {
+  local bindir="$1" label="$2"
+  local gen="$bindir/tools/mrlc_gen" solve="$bindir/tools/mrlc_solve"
+  echo "=== [$label] variant parity gate ==="
+  local dir="$bindir/variant_parity"
+  rm -rf "$dir"
+  mkdir -p "$dir"
+  "$gen" dfl --seed 7 > "$dir/dfl.net"
+  "$gen" random --nodes 24 --seed 11 --p 0.4 > "$dir/rand.net"
+  local net extra
+  for net in dfl rand; do
+    for extra in "" "--strict"; do
+      "$solve" ira --lifetime 100 $extra < "$dir/$net.net" \
+        > "$dir/${net}_legacy.txt"
+      "$solve" ira --variant mrlc --lifetime 100 $extra < "$dir/$net.net" \
+        > "$dir/${net}_routed.txt"
+      if ! cmp -s "$dir/${net}_legacy.txt" "$dir/${net}_routed.txt"; then
+        echo "ci: variant parity: --variant mrlc differs on $net ${extra:-(direct)}" >&2
+        exit 1
+      fi
+    done
+  done
+  if ! "$bindir/tests/test_variant" \
+      --gtest_filter='*BruteForce*' > "$dir/bruteforce.log" 2>&1; then
+    cat "$dir/bruteforce.log" >&2
+    echo "ci: variant parity: brute-force optimality suite failed" >&2
+    exit 1
+  fi
+  echo "ci[$label]: --variant mrlc byte-identical, brute-force optimality clean"
 }
 
 # Service smoke: one daemon, one socket, the whole robustness contract.
@@ -287,6 +327,7 @@ corrupt_corpus() {
 
 [[ $run_release -eq 1 ]] && fault_smoke "$repo/build-release" release
 [[ $run_release -eq 1 ]] && engine_parity_smoke "$repo/build-release" release
+[[ $run_release -eq 1 ]] && variant_parity_smoke "$repo/build-release" release
 [[ $run_release -eq 1 ]] && service_smoke "$repo/build-release" release
 [[ $run_asan -eq 1 ]] && corrupt_corpus "$repo/build-asan/tools/mrlc_solve" asan
 

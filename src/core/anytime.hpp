@@ -31,6 +31,7 @@
 
 #include "common/budget.hpp"
 #include "core/ira.hpp"
+#include "core/variant.hpp"
 
 namespace mrlc::core {
 
@@ -53,17 +54,24 @@ const char* to_string(AnytimeStatus status) noexcept;
 
 struct AnytimeResult {
   AnytimeStatus status = AnytimeStatus::kInfeasible;
+  /// The problem variant this result answers (echoes the option).
+  VariantId variant = VariantId::kMrlc;
   /// Best tree found (incumbent or IRA output); meaningless when
   /// `status == kInfeasible`.
   wsn::AggregationTree tree;
   double cost = 0.0;
   double reliability = 0.0;
   double lifetime = 0.0;
+  /// The solved variant's objective of `tree` (== `cost` for mrlc).
+  double objective = 0.0;
   bool meets_bound = false;
-  /// Certified lower bound on OPT(LC): the first completed LP round's
+  /// Certified bound on the variant optimum, in objective units.  For the
+  /// minimizing variants: a lower bound — the first completed LP round's
   /// optimum when one completed, else 0 (valid since edge costs are >= 0).
+  /// For max_lifetime: an *upper* bound — the LP-certified top rung when
+  /// the scan completed, else the ladder maximum I_max/Tx.
   double dual_bound = 0.0;
-  /// cost - dual_bound, clamped at >= 0; finite whenever a tree is
+  /// |objective - dual_bound| clamped at >= 0; finite whenever a tree is
   /// returned.  0 does NOT imply proven optimality (the dual bound is a
   /// relaxation), but small gaps certify near-optimality.
   double gap = 0.0;
@@ -83,6 +91,12 @@ struct AnytimeOptions {
   IraOptions ira;
   /// Cooperative budget (not owned); null runs to completion.
   Budget* budget = nullptr;
+  /// Which problem to solve.  kMrlc keeps the historical code path
+  /// bit-identically; the other variants route through `solve_variant`
+  /// with variant-appropriate incumbents (MST under the variant's costs,
+  /// degree-capped greedy for etx, lexicographic AAML for max_lifetime)
+  /// and report the certified gap in the variant's objective units.
+  VariantId variant = VariantId::kMrlc;
 };
 
 /// \brief Solves MRLC with anytime semantics (see file comment).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "baselines/greedy_mrlc.hpp"
@@ -10,11 +11,28 @@
 #include "common/parallel.hpp"
 #include "common/trace.hpp"
 #include "graph/dsu.hpp"
+#include "graph/mst.hpp"
 #include "wsn/metrics.hpp"
 
 namespace mrlc::core {
 
 namespace {
+
+/// Slack added to the (weighted) row checks.  Unit rows compare exact
+/// small integers, where the slack is inert; weighted energy rows need it
+/// to absorb the add/subtract drift of backtracking.
+constexpr double kRowTol = 1e-12;
+
+/// One search instance: the variant's edge costs (indexed by edge id) plus
+/// its per-vertex rows (cap = +inf when unconstrained, `row_weight` null
+/// for the paper's unit degree rows) and an optional incumbent seed.
+struct BbProblem {
+  std::vector<double> edge_cost;
+  std::vector<double> cap;
+  MrlcLpFormulation::RowWeight row_weight;
+  double warm_cost = std::numeric_limits<double>::infinity();
+  std::vector<graph::EdgeId> warm_edges;
+};
 
 /// A suspended subtree of the search: everything needed to resume the DFS
 /// at `index` with the partial tree `chosen` already committed.
@@ -27,8 +45,8 @@ struct FrontierState {
 
 struct Searcher {
   const wsn::Network& net;
+  const BbProblem& problem;
   const std::vector<graph::EdgeId>& sorted;  // edges by ascending cost
-  const std::vector<int>& degree_cap;        // per-vertex integer degree cap
   std::uint64_t budget;                      // max nodes this searcher explores
 
   std::uint64_t explored = 0;
@@ -38,7 +56,7 @@ struct Searcher {
   double best_cost = std::numeric_limits<double>::infinity();
   std::vector<graph::EdgeId> best_edges;
   std::vector<graph::EdgeId> current;
-  std::vector<int> degree;
+  std::vector<double> load;  // per-vertex committed row load
 
   // Split mode: when set, nodes at index >= split_index are suspended onto
   // the frontier (uncounted — the resuming searcher counts them) instead of
@@ -46,24 +64,34 @@ struct Searcher {
   std::vector<FrontierState>* frontier = nullptr;
   std::size_t split_index = 0;
 
-  Searcher(const wsn::Network& network, const std::vector<graph::EdgeId>& edges,
-           const std::vector<int>& caps, std::uint64_t node_budget)
+  Searcher(const wsn::Network& network, const BbProblem& bb_problem,
+           const std::vector<graph::EdgeId>& edges, std::uint64_t node_budget)
       : net(network),
+        problem(bb_problem),
         sorted(edges),
-        degree_cap(caps),
         budget(node_budget),
-        degree(static_cast<std::size_t>(network.node_count()), 0) {}
+        load(static_cast<std::size_t>(network.node_count()), 0.0) {}
+
+  double edge_load(graph::VertexId v, graph::EdgeId e) const {
+    return problem.row_weight ? problem.row_weight(v, e) : 1.0;
+  }
+
+  void commit(graph::EdgeId id) {
+    const graph::Edge& e = net.topology().edge(id);
+    load[static_cast<std::size_t>(e.u)] += edge_load(e.u, id);
+    load[static_cast<std::size_t>(e.v)] += edge_load(e.v, id);
+  }
 
   /// Kruskal over edges[index..] on the contracted components: an exact
   /// lower bound on the cost still needed to connect everything (ignores
-  /// degree caps, so it never over-prunes).
+  /// the degree rows, so it never over-prunes).
   double completion_lower_bound(std::size_t index, graph::DisjointSetUnion dsu) {
     double bound = 0.0;
     int remaining = dsu.set_count() - 1;
     for (std::size_t i = index; i < sorted.size() && remaining > 0; ++i) {
       const graph::Edge& e = net.topology().edge(sorted[i]);
       if (dsu.unite(e.u, e.v)) {
-        bound += e.weight;
+        bound += problem.edge_cost[static_cast<std::size_t>(sorted[i])];
         --remaining;
       }
     }
@@ -98,18 +126,22 @@ struct Searcher {
     const graph::Edge& e = net.topology().edge(id);
 
     // Branch 1: take the edge (cheapest-first gives strong incumbents).
+    const double wu = edge_load(e.u, id);
+    const double wv = edge_load(e.v, id);
     graph::DisjointSetUnion with_edge = dsu;
     if (with_edge.unite(e.u, e.v) &&
-        degree[static_cast<std::size_t>(e.u)] + 1 <=
-            degree_cap[static_cast<std::size_t>(e.u)] &&
-        degree[static_cast<std::size_t>(e.v)] + 1 <=
-            degree_cap[static_cast<std::size_t>(e.v)]) {
+        load[static_cast<std::size_t>(e.u)] + wu <=
+            problem.cap[static_cast<std::size_t>(e.u)] + kRowTol &&
+        load[static_cast<std::size_t>(e.v)] + wv <=
+            problem.cap[static_cast<std::size_t>(e.v)] + kRowTol) {
       current.push_back(id);
-      ++degree[static_cast<std::size_t>(e.u)];
-      ++degree[static_cast<std::size_t>(e.v)];
-      recurse(index + 1, cost + e.weight, with_edge);
-      --degree[static_cast<std::size_t>(e.u)];
-      --degree[static_cast<std::size_t>(e.v)];
+      load[static_cast<std::size_t>(e.u)] += wu;
+      load[static_cast<std::size_t>(e.v)] += wv;
+      recurse(index + 1,
+              cost + problem.edge_cost[static_cast<std::size_t>(id)],
+              with_edge);
+      load[static_cast<std::size_t>(e.u)] -= wu;
+      load[static_cast<std::size_t>(e.v)] -= wv;
       current.pop_back();
     }
     // Branch 2: skip the edge.
@@ -130,45 +162,29 @@ constexpr std::size_t kSplitDepth = 6;
 /// price is incumbents propagating one wave late compared to a serial DFS).
 constexpr std::size_t kWave = 8;
 
-}  // namespace
+struct SearchOutcome {
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<graph::EdgeId> best_edges;
+  std::uint64_t explored = 0;
+  bool budget_exceeded = false;
+  bool interrupted = false;
+};
 
-std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
-                                                   double lifetime_bound,
-                                                   const BranchBoundOptions& options) {
-  trace::ScopedPhase phase("branch_bound");
-  net.validate();
-  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
-
-  const int n = net.node_count();
-  std::vector<int> caps(static_cast<std::size_t>(n));
-  for (wsn::VertexId v = 0; v < n; ++v) {
-    const double children = net.max_children_real(v, lifetime_bound);
-    const double degree = v == net.sink() ? children : children + 1.0;
-    const int cap = static_cast<int>(std::floor(degree + 1e-9));
-    if (cap < 1) return std::nullopt;  // v cannot even attach to the tree
-    caps[static_cast<std::size_t>(v)] = cap;
-  }
-
+/// The shared split/wave search: serial prefix to kSplitDepth, then
+/// deterministic waves on the thread pool (see kWave).
+SearchOutcome run_search(const wsn::Network& net, const BbProblem& problem,
+                         const BranchBoundOptions& options) {
   std::vector<graph::EdgeId> sorted = net.topology().alive_edge_ids();
   std::sort(sorted.begin(), sorted.end(), [&](graph::EdgeId a, graph::EdgeId b) {
-    return net.topology().edge(a).weight < net.topology().edge(b).weight;
+    return problem.edge_cost[static_cast<std::size_t>(a)] <
+           problem.edge_cost[static_cast<std::size_t>(b)];
   });
 
-  // Phase 1 (serial): run the DFS but suspend every subtree rooted at
-  // kSplitDepth onto a frontier.  Shallow terminals and prunes are handled
-  // here directly.
-  Searcher root(net, sorted, caps, options.max_nodes_explored);
-
-  // Warm start: the degree-capped greedy tree, when it meets the bound,
-  // seeds a finite incumbent and massively improves pruning.
-  try {
-    const baselines::GreedyMrlcResult greedy = baselines::greedy_mrlc(net, lifetime_bound);
-    if (greedy.meets_bound) {
-      root.best_cost = wsn::tree_cost(net, greedy.tree) + 1e-12;
-      root.best_edges = greedy.tree.edge_ids();
-    }
-  } catch (const InfeasibleError&) {
-    // greedy stuck; search without a warm start
+  const int n = net.node_count();
+  Searcher root(net, problem, sorted, options.max_nodes_explored);
+  if (!problem.warm_edges.empty()) {
+    root.best_cost = problem.warm_cost + 1e-12;
+    root.best_edges = problem.warm_edges;
   }
 
   std::vector<FrontierState> frontier;
@@ -193,10 +209,6 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
     interrupted = true;
   }
 
-  // Phase 2: resume the suspended subtrees in constant-size waves on the
-  // thread pool.  Each wave's searchers share the incumbent and the node
-  // budget remaining as of the wave boundary; results merge serially in
-  // frontier order (see kWave above for why this is deterministic).
   for (std::size_t start = 0;
        start < frontier.size() && !budget_exceeded && !interrupted;
        start += kWave) {
@@ -213,7 +225,7 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
     std::vector<Searcher> wave;
     wave.reserve(static_cast<std::size_t>(wave_size));
     for (int i = 0; i < wave_size; ++i) {
-      wave.emplace_back(net, sorted, caps, remaining);
+      wave.emplace_back(net, problem, sorted, remaining);
       wave.back().best_cost = best_cost;
     }
     default_pool().for_each(wave_size, [&](int i) {
@@ -221,9 +233,7 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
       const FrontierState& state = frontier[start + static_cast<std::size_t>(i)];
       s.current = state.chosen;
       for (graph::EdgeId id : state.chosen) {
-        const graph::Edge& e = net.topology().edge(id);
-        ++s.degree[static_cast<std::size_t>(e.u)];
-        ++s.degree[static_cast<std::size_t>(e.v)];
+        s.commit(id);
       }
       s.recurse(state.index, state.cost, state.dsu);
     });
@@ -264,17 +274,205 @@ std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
     MRLC_REQUIRE(!budget_exceeded,
                  "branch-and-bound exceeded its node budget on this instance");
   }
-  if (best_edges.empty()) return std::nullopt;
 
+  SearchOutcome out;
+  out.best_cost = best_cost;
+  out.best_edges = std::move(best_edges);
+  out.explored = explored_total;
+  out.budget_exceeded = budget_exceeded;
+  out.interrupted = interrupted;
+  return out;
+}
+
+BranchBoundResult finish_result(const wsn::Network& net,
+                                const SearchOutcome& outcome) {
   BranchBoundResult out;
-  out.tree = wsn::AggregationTree::from_edges(net, best_edges);
+  out.tree = wsn::AggregationTree::from_edges(net, outcome.best_edges);
   out.cost = wsn::tree_cost(net, out.tree);
   out.reliability = wsn::tree_reliability(net, out.tree);
   out.lifetime = wsn::network_lifetime(net, out.tree);
-  out.nodes_explored = explored_total;
-  out.complete = !interrupted;
+  out.objective = out.cost;
+  out.nodes_explored = outcome.explored;
+  out.complete = !outcome.interrupted;
+  return out;
+}
+
+/// The variant's edge costs over the full topology, indexed by edge id.
+std::vector<double> variant_edge_costs(const ProblemVariant& variant,
+                                       const wsn::Network& net) {
+  std::vector<double> cost(
+      static_cast<std::size_t>(net.topology().edge_count()), 0.0);
+  for (graph::EdgeId id : net.topology().alive_edge_ids()) {
+    cost[static_cast<std::size_t>(id)] = variant.edge_cost(net, id);
+  }
+  return cost;
+}
+
+/// MST under the variant's edge costs, as an incumbent seed when it
+/// satisfies the variant's rows (it is the unconstrained cost optimum, so
+/// when it fits, the search only has to certify it).
+void seed_variant_mst(const wsn::Network& net, BbProblem& problem) {
+  graph::Graph reweighted = net.topology();
+  for (graph::EdgeId id : reweighted.alive_edge_ids()) {
+    reweighted.set_weight(id,
+                          problem.edge_cost[static_cast<std::size_t>(id)]);
+  }
+  const auto mst = graph::prim_mst(reweighted, net.sink());
+  if (!mst.has_value()) return;
+  std::vector<double> load(static_cast<std::size_t>(net.node_count()), 0.0);
+  double cost = 0.0;
+  for (graph::EdgeId id : mst->edges) {
+    const graph::Edge& e = net.topology().edge(id);
+    load[static_cast<std::size_t>(e.u)] +=
+        problem.row_weight ? problem.row_weight(e.u, id) : 1.0;
+    load[static_cast<std::size_t>(e.v)] +=
+        problem.row_weight ? problem.row_weight(e.v, id) : 1.0;
+    cost += problem.edge_cost[static_cast<std::size_t>(id)];
+  }
+  for (graph::VertexId v = 0; v < net.node_count(); ++v) {
+    if (load[static_cast<std::size_t>(v)] >
+        problem.cap[static_cast<std::size_t>(v)] + kRowTol) {
+      return;  // the MST violates a row; search without a seed
+    }
+  }
+  problem.warm_cost = cost;
+  problem.warm_edges = mst->edges;
+}
+
+}  // namespace
+
+std::optional<BranchBoundResult> branch_bound_mrlc(const wsn::Network& net,
+                                                   double lifetime_bound,
+                                                   const BranchBoundOptions& options) {
+  trace::ScopedPhase phase("branch_bound");
+  net.validate();
+  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
+
+  const int n = net.node_count();
+  BbProblem problem;
+  problem.cap.resize(static_cast<std::size_t>(n));
+  for (wsn::VertexId v = 0; v < n; ++v) {
+    const double children = net.max_children_real(v, lifetime_bound);
+    const double degree = v == net.sink() ? children : children + 1.0;
+    const int cap = static_cast<int>(std::floor(degree + 1e-9));
+    if (cap < 1) return std::nullopt;  // v cannot even attach to the tree
+    problem.cap[static_cast<std::size_t>(v)] = static_cast<double>(cap);
+  }
+  problem.edge_cost.resize(
+      static_cast<std::size_t>(net.topology().edge_count()), 0.0);
+  for (graph::EdgeId id : net.topology().alive_edge_ids()) {
+    problem.edge_cost[static_cast<std::size_t>(id)] =
+        net.topology().edge(id).weight;
+  }
+
+  // Warm start: the degree-capped greedy tree, when it meets the bound,
+  // seeds a finite incumbent and massively improves pruning.
+  try {
+    const baselines::GreedyMrlcResult greedy = baselines::greedy_mrlc(net, lifetime_bound);
+    if (greedy.meets_bound) {
+      problem.warm_cost = wsn::tree_cost(net, greedy.tree);
+      problem.warm_edges = greedy.tree.edge_ids();
+    }
+  } catch (const InfeasibleError&) {
+    // greedy stuck; search without a warm start
+  }
+
+  const SearchOutcome outcome = run_search(net, problem, options);
+  if (outcome.best_edges.empty()) return std::nullopt;
+
+  BranchBoundResult out = finish_result(net, outcome);
   MRLC_ENSURE(out.lifetime >= lifetime_bound * (1.0 - 1e-9),
               "branch-and-bound produced a tree violating the bound");
+  return out;
+}
+
+namespace {
+
+/// max_lifetime: exact binary search over the discrete lifetime ladder —
+/// a rung is reachable iff the (exact) mrlc search at that bound finds any
+/// tree, so unlike the LP-probed scan this answer is the true maximum.
+std::optional<BranchBoundResult> branch_bound_max_lifetime(
+    const wsn::Network& net, double floor_bound,
+    const BranchBoundOptions& options) {
+  const std::vector<double> ladder = lifetime_candidates(net);
+  std::uint64_t explored = 0;
+  bool complete = true;
+  std::optional<BranchBoundResult> best;
+  // Invariants: rungs >= hi are unreachable; `best` holds the result at
+  // the highest rung known reachable (if any).
+  std::size_t lo = 0;
+  std::size_t hi = ladder.size();
+  auto probe = [&](std::size_t i) {
+    std::optional<BranchBoundResult> res =
+        branch_bound_mrlc(net, ladder[i], options);
+    if (res.has_value()) {
+      explored += res->nodes_explored;
+      complete = complete && res->complete;
+    }
+    return res;
+  };
+  std::optional<BranchBoundResult> at_lo = probe(0);
+  if (!at_lo.has_value()) return std::nullopt;  // disconnected
+  best = std::move(at_lo);
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::optional<BranchBoundResult> res = probe(mid);
+    if (res.has_value()) {
+      lo = mid;
+      best = std::move(res);
+    } else {
+      hi = mid;
+    }
+  }
+  best->objective = best->lifetime;
+  best->nodes_explored = explored;
+  best->complete = complete;
+  if (best->lifetime < floor_bound * (1.0 - 1e-12)) return std::nullopt;
+  return best;
+}
+
+}  // namespace
+
+std::optional<BranchBoundResult> branch_bound_variant(
+    VariantId id, const wsn::Network& net, double bound,
+    const BranchBoundOptions& options) {
+  if (id == VariantId::kMrlc) {
+    return branch_bound_mrlc(net, bound, options);
+  }
+  if (id == VariantId::kMaxLifetime) {
+    return branch_bound_max_lifetime(net, bound, options);
+  }
+
+  trace::ScopedPhase phase("branch_bound");
+  net.validate();
+  MRLC_REQUIRE(bound > 0.0, "lifetime bound must be positive");
+  const ProblemVariant& variant = problem_variant(id);
+
+  const int n = net.node_count();
+  BbProblem problem;
+  problem.edge_cost = variant_edge_costs(variant, net);
+  DegreeBounds rows = variant.bounds(
+      net, std::vector<bool>(static_cast<std::size_t>(n), true),
+      variant.internal_bound(net, bound));
+  problem.cap.resize(static_cast<std::size_t>(n),
+                     std::numeric_limits<double>::infinity());
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (rows.caps[static_cast<std::size_t>(v)].has_value()) {
+      problem.cap[static_cast<std::size_t>(v)] =
+          *rows.caps[static_cast<std::size_t>(v)];
+    }
+  }
+  problem.row_weight = std::move(rows.row_weight);
+  seed_variant_mst(net, problem);
+
+  const SearchOutcome outcome = run_search(net, problem, options);
+  if (outcome.best_edges.empty()) return std::nullopt;
+
+  BranchBoundResult out = finish_result(net, outcome);
+  out.objective = variant.tree_objective(net, out.tree);
+  MRLC_ENSURE(id == VariantId::kMinEnergy ||
+                  variant.tree_feasible(net, out.tree, bound * (1.0 - 1e-9)),
+              "branch-and-bound produced a tree violating the variant bound");
   return out;
 }
 

@@ -27,6 +27,7 @@
 
 #include "common/budget.hpp"
 #include "core/exact.hpp"
+#include "core/variant.hpp"
 #include "wsn/network.hpp"
 
 namespace mrlc::core {
@@ -46,6 +47,8 @@ struct BranchBoundResult {
   double cost = 0.0;
   double reliability = 0.0;
   double lifetime = 0.0;
+  /// The solved variant's objective of the tree (== `cost` for mrlc).
+  double objective = 0.0;
   std::uint64_t nodes_explored = 0;
   /// True when the search ran to completion (the tree is provably optimal);
   /// false when a cooperative budget interrupted it and `tree` is only the
@@ -65,6 +68,24 @@ struct BranchBoundResult {
 ///         any feasible tree is found.
 std::optional<BranchBoundResult> branch_bound_mrlc(
     const wsn::Network& net, double lifetime_bound,
+    const BranchBoundOptions& options = {});
+
+/// \brief Exact solve of any problem variant by the same search.
+///
+/// * `mrlc` delegates to `branch_bound_mrlc` (bit-identical).
+/// * `etx` / `min_energy` search under the variant's edge costs with the
+///   variant's (weighted) degree rows enforced on partial solutions; the
+///   returned tree is provably optimal over the trees satisfying those
+///   rows (for etx that is the *conservative* feasible set — the same set
+///   the LP relaxation certifies against).
+/// * `max_lifetime` binary-searches the discrete lifetime ladder with an
+///   exact feasibility search per rung, so unlike the LP-probed
+///   `solve_variant` scan its answer is the true maximum lifetime.
+/// \return the optimal tree or nullopt when no spanning tree satisfies the
+///         variant's rows at `bound` (never nullopt for min_energy on a
+///         connected topology).
+std::optional<BranchBoundResult> branch_bound_variant(
+    VariantId id, const wsn::Network& net, double bound,
     const BranchBoundOptions& options = {});
 
 }  // namespace mrlc::core

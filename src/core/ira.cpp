@@ -1,14 +1,8 @@
 #include "core/ira.hpp"
 
-#include <algorithm>
-#include <limits>
 #include <sstream>
 
-#include "common/metrics.hpp"
-#include "common/trace.hpp"
-#include "core/lp_formulation.hpp"
-#include "graph/mst.hpp"
-#include "wsn/metrics.hpp"
+#include "core/variant.hpp"
 
 namespace mrlc::core {
 
@@ -28,197 +22,17 @@ double IterativeRelaxation::strict_bound(const wsn::Network& net,
   return i_min * lifetime_bound / denom;
 }
 
-namespace {
-
-/// Lifetime of v if EVERY remaining support edge incident to it became a
-/// tree edge — the paper's E*(L(v)) of Line 8.  Non-sink vertices spend one
-/// incident edge on their parent.
-double worst_case_lifetime(const wsn::Network& net, const graph::Graph& working,
-                           graph::VertexId v) {
-  const int support_degree = working.degree(v);
-  const int children =
-      v == net.sink() ? support_degree : std::max(0, support_degree - 1);
-  return net.energy_model().node_lifetime(net.initial_energy(v), children);
-}
-
-/// Mode-dependent Line-8 test: may v's lifetime row be dropped?
-///
-/// * Paper-strict mode: drop when even taking every support edge keeps the
-///   lifetime at LC — sound because the LP ran with the stricter L'.
-/// * Direct mode: the Singh–Lau rule — drop when the support degree is
-///   within 2 of the LC degree cap.  Theorem 2's token argument guarantees
-///   such a vertex exists at a fractional extreme point, and it bounds the
-///   final violation by two children per node.
-bool constraint_removable(const wsn::Network& net, const graph::Graph& working,
-                          graph::VertexId v, double lifetime_bound,
-                          BoundMode mode) {
-  if (mode == BoundMode::kPaperStrict) {
-    return worst_case_lifetime(net, working, v) >= lifetime_bound;
-  }
-  const double children_cap = net.max_children_real(v, lifetime_bound);
-  const double degree_cap =
-      v == net.sink() ? children_cap : children_cap + 1.0;
-  return static_cast<double>(working.degree(v)) <= degree_cap + 2.0 + 1e-9;
-}
-
-}  // namespace
-
+// Algorithm 1 now runs on the shared problem-variant engine: the mrlc
+// variant supplies the historical objective, caps, and Line-8 rules, so
+// trees, costs, and every counter are bit-identical to the pre-interface
+// solver (gated by the ci.sh variant-parity stage).
 IraResult IterativeRelaxation::solve(const wsn::Network& net,
                                      double lifetime_bound) const {
-  trace::ScopedPhase phase("ira");
-  static metrics::Counter& solves = metrics::counter("ira.solves");
-  solves.add();
-  net.validate();
-  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
-  const double strict = options_.bound_mode == BoundMode::kPaperStrict
-                            ? strict_bound(net, lifetime_bound)
-                            : lifetime_bound;
-  const int n = net.node_count();
-
-  graph::Graph working = net.topology();  // IRA mutates a working copy
-  std::vector<bool> constrained(static_cast<std::size_t>(n), true);
-  int constrained_count = n;
-
-  IraStats stats;
-  // One cut pool per solve: violated sets survive across outer iterations
-  // (which rebuild the LP and would otherwise forget every subtour row) and
-  // are rechecked before any new max-flow sweeps.
-  SubtourCutPool cut_pool;
-  CutLoopOptions cut_options;
-  cut_options.simplex = options_.simplex;
-  cut_options.max_rounds = options_.max_cut_rounds;
-  cut_options.warm_start = options_.warm_start;
-  // The pool is deliberately not gated on warm_start: separation then sees
-  // identical fractional points in both modes, so warm vs cold differ only
-  // in pivot paths — the invariant the warm/cold property tests pin down.
-  // A caller-owned shared pool (the service warm cache) replaces the
-  // per-solve one wholesale, so remembered sets outlive this solve.
-  cut_options.pool =
-      options_.shared_pool != nullptr ? options_.shared_pool : &cut_pool;
-  cut_options.budget = options_.budget;
-
-  while (constrained_count > 0) {
-    // Deterministic checkpoint: a budget that ran out during the previous
-    // iteration's pruning stops here before the next (expensive) LP tier.
-    if (options_.budget != nullptr && options_.budget->exhausted()) {
-      throw BudgetExhaustedError(
-          "budget exhausted between IRA outer iterations");
-    }
-    ++stats.outer_iterations;
-
-    MrlcLpFormulation formulation(
-        working, lifetime_degree_caps(net, constrained, strict));
-    const CutLpResult lp_result =
-        solve_with_subtour_cuts(formulation, cut_options);
-    stats.lp_solves += lp_result.lp_solves;
-    stats.simplex_iterations += lp_result.simplex_iterations;
-    stats.cuts_added += lp_result.cuts_added;
-    stats.cold_fallbacks += lp_result.cold_fallbacks;
-
-    // Publish the dual bound as soon as the first outer iteration has any
-    // completed cut-round optimum — every completed round solves a
-    // relaxation of the full problem (see IraProgress for the mode caveat),
-    // so this is valid even when the same solve is interrupted just after.
-    if (options_.progress != nullptr && stats.outer_iterations == 1 &&
-        lp_result.has_objective) {
-      options_.progress->first_lp_objective = lp_result.objective;
-      options_.progress->first_lp_valid = true;
-    }
-
-    if (lp_result.status == lp::SolveStatus::kInfeasible) {
-      std::ostringstream os;
-      os << "no data aggregation tree with lifetime >= " << lifetime_bound
-         << " exists (LP(G, L', W) infeasible with L' = " << strict << ")";
-      throw InfeasibleError(os.str());
-    }
-    if (lp_result.status == lp::SolveStatus::kInterrupted) {
-      std::ostringstream os;
-      os << "budget exhausted inside the cutting-plane loop (outer iteration "
-         << stats.outer_iterations << ", after " << stats.lp_solves
-         << " LP solves)";
-      throw BudgetExhaustedError(os.str());
-    }
-    MRLC_ENSURE(lp_result.status == lp::SolveStatus::kOptimal,
-                "LP solve failed to converge");
-
-    // Line 6: drop edges outside the support of the extreme point.
-    for (graph::EdgeId id : working.alive_edge_ids()) {
-      if (lp_result.edge_values[static_cast<std::size_t>(id)] <=
-          options_.zero_tolerance) {
-        working.remove_edge(id);
-        ++stats.edges_removed;
-      }
-    }
-
-    // Line 8: relax every vertex whose constraint can no longer bind.
-    int removed_this_round = 0;
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (!constrained[static_cast<std::size_t>(v)]) continue;
-      if (constraint_removable(net, working, v, lifetime_bound,
-                               options_.bound_mode)) {
-        constrained[static_cast<std::size_t>(v)] = false;
-        --constrained_count;
-        ++removed_this_round;
-        ++stats.constraints_removed;
-      }
-    }
-
-    if (removed_this_round == 0) {
-      // Theorem 2 rules this out at exact extreme points; floating-point
-      // cuts can produce it.  Either fall back (remove the slackest vertex)
-      // or give up loudly.
-      MRLC_ENSURE(options_.allow_slack_fallback,
-                  "no removable lifetime constraint found (numerical "
-                  "degeneracy) and the slack fallback is disabled");
-      stats.used_fallback = true;
-      graph::VertexId best = -1;
-      double best_slack = -std::numeric_limits<double>::infinity();
-      for (graph::VertexId v = 0; v < n; ++v) {
-        if (!constrained[static_cast<std::size_t>(v)]) continue;
-        const double slack = worst_case_lifetime(net, working, v) - lifetime_bound;
-        if (slack > best_slack) {
-          best_slack = slack;
-          best = v;
-        }
-      }
-      MRLC_ENSURE(best != -1, "constrained set empty despite counter");
-      constrained[static_cast<std::size_t>(best)] = false;
-      --constrained_count;
-      ++stats.constraints_removed;
-    }
-  }
-
-  static metrics::Counter& iterations = metrics::counter("ira.outer_iterations");
-  static metrics::Counter& lp_solves = metrics::counter("ira.lp_solves");
-  static metrics::Counter& cuts = metrics::counter("ira.cuts_added");
-  static metrics::Counter& edges = metrics::counter("ira.edges_removed");
-  static metrics::Counter& relaxed = metrics::counter("ira.constraints_relaxed");
-  static metrics::Counter& fallbacks = metrics::counter("ira.slack_fallbacks");
-  static metrics::Histogram& iter_hist =
-      metrics::histogram("ira.iterations_per_solve");
-  iterations.add(stats.outer_iterations);
-  lp_solves.add(stats.lp_solves);
-  cuts.add(stats.cuts_added);
-  edges.add(stats.edges_removed);
-  relaxed.add(stats.constraints_removed);
-  if (stats.used_fallback) fallbacks.add();
-  iter_hist.record(stats.outer_iterations);
-
-  // W = ∅: LP(G, L', ∅) is the Subtour LP, whose extreme points are
-  // integral (Lemma 1) — equivalently, the MST of the surviving edges.
-  const auto mst = graph::prim_mst(working, net.sink());
-  if (!mst.has_value()) {
-    throw InfeasibleError(
-        "edge pruning disconnected the working graph (should not happen: the "
-        "LP keeps x(E(V)) = n-1 over the support)");
-  }
-
-  IraResult out{wsn::AggregationTree::from_edges(net, mst->edges),
-                0.0, 0.0, 0.0, strict, false, stats};
-  out.cost = wsn::tree_cost(net, out.tree);
-  out.reliability = wsn::tree_reliability(net, out.tree);
-  out.lifetime = wsn::network_lifetime(net, out.tree);
-  out.meets_bound = out.lifetime >= lifetime_bound * (1.0 - 1e-12);
+  VariantResult res = run_variant_ira(mrlc_variant(options_.bound_mode), net,
+                                      lifetime_bound, options_);
+  IraResult out{std::move(res.tree), res.cost,          res.reliability,
+                res.lifetime,        res.internal_bound, res.meets_bound,
+                res.stats};
   return out;
 }
 

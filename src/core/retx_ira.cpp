@@ -1,165 +1,25 @@
 #include "core/retx_ira.hpp"
 
-#include <algorithm>
-#include <limits>
-#include <sstream>
-#include <vector>
-
-#include "core/lp_formulation.hpp"
-#include "graph/mst.hpp"
-#include "wsn/metrics.hpp"
+#include "core/variant.hpp"
 
 namespace mrlc::core {
 
-namespace {
-
-/// Conservative per-(vertex, edge) energy rate: the sink only ever
-/// receives (exact), a non-sink node is charged the sender role Tx/q on
-/// every incident edge (upper bound, since Rx < Tx).
-double conservative_rate(const wsn::Network& net, graph::VertexId v,
-                         graph::EdgeId e) {
-  const double per_packet = v == net.sink() ? net.energy_model().rx_joules
-                                            : net.energy_model().tx_joules;
-  return per_packet / net.link_prr(e);
-}
-
-/// Worst-case conservative rate of v if every remaining support edge at v
-/// became a tree edge.
-double worst_case_rate(const wsn::Network& net, const graph::Graph& working,
-                       graph::VertexId v) {
-  double rate = 0.0;
-  for (graph::EdgeId e : working.incident(v)) {
-    rate += conservative_rate(net, v, e);
-  }
-  return rate;
-}
-
-}  // namespace
-
+// The historical retx-aware solve is the mrlc objective (-ln q) under the
+// etx variant's conservative energy rows; it runs on the shared variant
+// engine through the retx-mrlc adapter, which keeps the historical
+// diagnostics and opts out of the `ira.*` metrics (so pre-interface metric
+// documents stay unchanged).
 RetxIraResult retx_aware_ira(const wsn::Network& net, double lifetime_bound,
                              const IraOptions& options) {
-  net.validate();
-  MRLC_REQUIRE(lifetime_bound > 0.0, "lifetime bound must be positive");
-
-  const int n = net.node_count();
-  graph::Graph working = net.topology();
-  std::vector<bool> constrained(static_cast<std::size_t>(n), true);
-  int constrained_count = n;
-
-  IraStats stats;
-  // Shared across outer iterations, exactly as in the plain IRA: pooled
-  // subtour sets outlive the per-iteration LP rebuilds.
-  SubtourCutPool cut_pool;
-  CutLoopOptions cut_options;
-  cut_options.simplex = options.simplex;
-  cut_options.max_rounds = options.max_cut_rounds;
-  cut_options.warm_start = options.warm_start;
-  cut_options.pool = &cut_pool;
-  cut_options.budget = options.budget;
-
-  // Per-node energy budget in joules per round.
-  std::vector<double> budget(static_cast<std::size_t>(n));
-  for (graph::VertexId v = 0; v < n; ++v) {
-    budget[static_cast<std::size_t>(v)] = net.initial_energy(v) / lifetime_bound;
-  }
-
-  while (constrained_count > 0) {
-    if (options.budget != nullptr && options.budget->exhausted()) {
-      throw BudgetExhaustedError(
-          "budget exhausted between retx-IRA outer iterations");
-    }
-    ++stats.outer_iterations;
-
-    std::vector<std::optional<double>> caps(static_cast<std::size_t>(n));
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (constrained[static_cast<std::size_t>(v)]) {
-        caps[static_cast<std::size_t>(v)] = budget[static_cast<std::size_t>(v)];
-      }
-    }
-    MrlcLpFormulation formulation(
-        working, std::move(caps),
-        [&](graph::VertexId v, graph::EdgeId e) {
-          return conservative_rate(net, v, e);
-        });
-    const CutLpResult lp_result =
-        solve_with_subtour_cuts(formulation, cut_options);
-    stats.lp_solves += lp_result.lp_solves;
-    stats.simplex_iterations += lp_result.simplex_iterations;
-    stats.cuts_added += lp_result.cuts_added;
-
-    if (lp_result.status == lp::SolveStatus::kInfeasible) {
-      std::ostringstream os;
-      os << "no aggregation tree meets the retransmission-aware lifetime "
-         << lifetime_bound << " under the conservative energy rows";
-      throw InfeasibleError(os.str());
-    }
-    if (lp_result.status == lp::SolveStatus::kInterrupted) {
-      std::ostringstream os;
-      os << "budget exhausted inside the retx-aware cutting-plane loop "
-         << "(outer iteration " << stats.outer_iterations << ")";
-      throw BudgetExhaustedError(os.str());
-    }
-    MRLC_ENSURE(lp_result.status == lp::SolveStatus::kOptimal,
-                "retx-aware LP failed to converge");
-
-    for (graph::EdgeId id : working.alive_edge_ids()) {
-      if (lp_result.edge_values[static_cast<std::size_t>(id)] <=
-          options.zero_tolerance) {
-        working.remove_edge(id);
-        ++stats.edges_removed;
-      }
-    }
-
-    int removed_this_round = 0;
-    for (graph::VertexId v = 0; v < n; ++v) {
-      if (!constrained[static_cast<std::size_t>(v)]) continue;
-      // Conservative Line-8 analogue: remove only when even the full
-      // support fits the budget outright.  (The +2 token slack of the
-      // plain algorithm does not port to weighted rows, so no slack is
-      // taken here; the logged fallback provides progress instead.)
-      if (worst_case_rate(net, working, v) <=
-          budget[static_cast<std::size_t>(v)] + 1e-15) {
-        constrained[static_cast<std::size_t>(v)] = false;
-        --constrained_count;
-        ++removed_this_round;
-        ++stats.constraints_removed;
-      }
-    }
-    if (removed_this_round == 0) {
-      MRLC_ENSURE(options.allow_slack_fallback,
-                  "no removable retx-lifetime constraint and the fallback is "
-                  "disabled");
-      stats.used_fallback = true;
-      graph::VertexId best = -1;
-      double best_slack = -std::numeric_limits<double>::infinity();
-      for (graph::VertexId v = 0; v < n; ++v) {
-        if (!constrained[static_cast<std::size_t>(v)]) continue;
-        const double slack = budget[static_cast<std::size_t>(v)] -
-                             worst_case_rate(net, working, v);
-        if (slack > best_slack) {
-          best_slack = slack;
-          best = v;
-        }
-      }
-      MRLC_ENSURE(best != -1, "constrained set empty despite counter");
-      constrained[static_cast<std::size_t>(best)] = false;
-      --constrained_count;
-      ++stats.constraints_removed;
-    }
-  }
-
-  const auto mst = graph::prim_mst(working, net.sink());
-  if (!mst.has_value()) {
-    throw InfeasibleError("edge pruning disconnected the retx-aware support");
-  }
-
+  VariantResult res =
+      run_variant_ira(retx_mrlc_variant(), net, lifetime_bound, options);
   RetxIraResult out;
-  out.tree = wsn::AggregationTree::from_edges(net, mst->edges);
-  out.cost = wsn::tree_cost(net, out.tree);
-  out.reliability = wsn::tree_reliability(net, out.tree);
-  out.lifetime_retx = wsn::network_lifetime_retx(net, out.tree);
-  out.meets_bound = out.lifetime_retx >= lifetime_bound * (1.0 - 1e-12);
-  out.stats = stats;
+  out.tree = std::move(res.tree);
+  out.cost = res.cost;
+  out.reliability = res.reliability;
+  out.lifetime_retx = res.bound_metric;
+  out.meets_bound = res.meets_bound;
+  out.stats = res.stats;
   return out;
 }
 

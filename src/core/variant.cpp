@@ -1,0 +1,855 @@
+#include "core/variant.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "baselines/aaml.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "core/feasibility.hpp"
+#include "graph/mst.hpp"
+#include "wsn/metrics.hpp"
+
+namespace mrlc::core {
+
+const char* to_string(VariantId id) noexcept {
+  switch (id) {
+    case VariantId::kMrlc:
+      return "mrlc";
+    case VariantId::kEtx:
+      return "etx";
+    case VariantId::kMinEnergy:
+      return "min_energy";
+    case VariantId::kMaxLifetime:
+      return "max_lifetime";
+  }
+  return "unknown";
+}
+
+std::optional<VariantId> variant_from_string(std::string_view name) noexcept {
+  if (name == "mrlc") return VariantId::kMrlc;
+  if (name == "etx") return VariantId::kEtx;
+  if (name == "min_energy") return VariantId::kMinEnergy;
+  if (name == "max_lifetime") return VariantId::kMaxLifetime;
+  return std::nullopt;
+}
+
+const std::vector<VariantId>& all_variants() {
+  static const std::vector<VariantId> kAll = {
+      VariantId::kMrlc, VariantId::kEtx, VariantId::kMinEnergy,
+      VariantId::kMaxLifetime};
+  return kAll;
+}
+
+double conservative_energy_rate(const wsn::Network& net, graph::VertexId v,
+                                graph::EdgeId e) {
+  const double per_packet = v == net.sink() ? net.energy_model().rx_joules
+                                            : net.energy_model().tx_joules;
+  return per_packet / net.link_prr(e);
+}
+
+namespace {
+
+/// Lifetime of v if EVERY remaining support edge incident to it became a
+/// tree edge — the paper's E*(L(v)) of Line 8.  Non-sink vertices spend one
+/// incident edge on their parent.
+double worst_case_lifetime(const wsn::Network& net, const graph::Graph& working,
+                           graph::VertexId v) {
+  const int support_degree = working.degree(v);
+  const int children =
+      v == net.sink() ? support_degree : std::max(0, support_degree - 1);
+  return net.energy_model().node_lifetime(net.initial_energy(v), children);
+}
+
+/// Worst-case conservative rate of v over its remaining support edges.
+double worst_case_rate(const wsn::Network& net, const graph::Graph& working,
+                       graph::VertexId v) {
+  double rate = 0.0;
+  for (graph::EdgeId e : working.incident(v)) {
+    rate += conservative_energy_rate(net, v, e);
+  }
+  return rate;
+}
+
+/// Per-node energy budget in joules per round at lifetime `bound`.
+double energy_budget(const wsn::Network& net, graph::VertexId v, double bound) {
+  return net.initial_energy(v) / bound;
+}
+
+class MrlcVariant final : public ProblemVariant {
+ public:
+  explicit MrlcVariant(BoundMode mode) : mode_(mode) {}
+
+  VariantId id() const noexcept override { return VariantId::kMrlc; }
+
+  const char* certificate() const noexcept override {
+    return "cost <= OPT(L') with lifetime >= LC (paper-strict), or "
+           "cost <= OPT(LC) with <= 2 extra children per node (direct)";
+  }
+
+  double edge_cost(const wsn::Network& net, graph::EdgeId e) const override {
+    return net.link_cost(e);
+  }
+
+  double tree_objective(const wsn::Network& net,
+                        const wsn::AggregationTree& tree) const override {
+    return wsn::tree_cost(net, tree);
+  }
+
+  double internal_bound(const wsn::Network& net,
+                        double requested) const override {
+    return mode_ == BoundMode::kPaperStrict
+               ? IterativeRelaxation::strict_bound(net, requested)
+               : requested;
+  }
+
+  DegreeBounds bounds(const wsn::Network& net,
+                      const std::vector<bool>& constrained,
+                      double internal_bound) const override {
+    return {lifetime_degree_caps(net, constrained, internal_bound), nullptr};
+  }
+
+  /// Mode-dependent Line-8 test: may v's lifetime row be dropped?
+  ///
+  /// * Paper-strict mode: drop when even taking every support edge keeps
+  ///   the lifetime at LC — sound because the LP ran with the stricter L'.
+  /// * Direct mode: the Singh–Lau rule — drop when the support degree is
+  ///   within 2 of the LC degree cap.  Theorem 2's token argument
+  ///   guarantees such a vertex exists at a fractional extreme point, and
+  ///   it bounds the final violation by two children per node.
+  bool row_removable(const wsn::Network& net, const graph::Graph& working,
+                     graph::VertexId v, double requested) const override {
+    if (mode_ == BoundMode::kPaperStrict) {
+      return worst_case_lifetime(net, working, v) >= requested;
+    }
+    const double children_cap = net.max_children_real(v, requested);
+    const double degree_cap =
+        v == net.sink() ? children_cap : children_cap + 1.0;
+    return static_cast<double>(working.degree(v)) <= degree_cap + 2.0 + 1e-9;
+  }
+
+  double removal_slack(const wsn::Network& net, const graph::Graph& working,
+                       graph::VertexId v, double requested) const override {
+    return worst_case_lifetime(net, working, v) - requested;
+  }
+
+  double bound_metric(const wsn::Network& net,
+                      const wsn::AggregationTree& tree) const override {
+    return wsn::network_lifetime(net, tree);
+  }
+
+  std::string infeasible_message(double requested,
+                                 double internal) const override {
+    std::ostringstream os;
+    os << "no data aggregation tree with lifetime >= " << requested
+       << " exists (LP(G, L', W) infeasible with L' = " << internal << ")";
+    return os.str();
+  }
+
+  std::string interrupted_message(int outer_iterations,
+                                  int lp_solves) const override {
+    std::ostringstream os;
+    os << "budget exhausted inside the cutting-plane loop (outer iteration "
+       << outer_iterations << ", after " << lp_solves << " LP solves)";
+    return os.str();
+  }
+
+  const char* checkpoint_message() const noexcept override {
+    return "budget exhausted between IRA outer iterations";
+  }
+
+  const char* disconnected_message() const noexcept override {
+    return "edge pruning disconnected the working graph (should not happen: "
+           "the LP keeps x(E(V)) = n-1 over the support)";
+  }
+
+  const char* fallback_disabled_message() const noexcept override {
+    return "no removable lifetime constraint found (numerical degeneracy) "
+           "and the slack fallback is disabled";
+  }
+
+  const char* lp_failed_message() const noexcept override {
+    return "LP solve failed to converge";
+  }
+
+ private:
+  BoundMode mode_;
+};
+
+/// Shared row logic of the two energy-budget variants (etx and the
+/// retx-mrlc adapter): weighted conservative energy rows at budget
+/// I(v)/LC, removal only when even the full support fits outright (the +2
+/// token slack of the plain algorithm does not port to weighted rows).
+class EnergyRowsBase : public ProblemVariant {
+ public:
+  DegreeBounds bounds(const wsn::Network& net,
+                      const std::vector<bool>& constrained,
+                      double internal_bound) const override {
+    const int n = net.node_count();
+    std::vector<std::optional<double>> caps(static_cast<std::size_t>(n));
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (constrained[static_cast<std::size_t>(v)]) {
+        caps[static_cast<std::size_t>(v)] =
+            energy_budget(net, v, internal_bound);
+      }
+    }
+    return {std::move(caps), [&net](graph::VertexId v, graph::EdgeId e) {
+              return conservative_energy_rate(net, v, e);
+            }};
+  }
+
+  bool row_removable(const wsn::Network& net, const graph::Graph& working,
+                     graph::VertexId v, double requested) const override {
+    return worst_case_rate(net, working, v) <=
+           energy_budget(net, v, requested) + 1e-15;
+  }
+
+  double removal_slack(const wsn::Network& net, const graph::Graph& working,
+                       graph::VertexId v, double requested) const override {
+    return energy_budget(net, v, requested) - worst_case_rate(net, working, v);
+  }
+
+  double bound_metric(const wsn::Network& net,
+                      const wsn::AggregationTree& tree) const override {
+    return wsn::network_lifetime_retx(net, tree);
+  }
+};
+
+class EtxVariant final : public EnergyRowsBase {
+ public:
+  VariantId id() const noexcept override { return VariantId::kEtx; }
+
+  const char* certificate() const noexcept override {
+    return "expected transmissions <= OPT over trees satisfying the "
+           "conservative energy-per-delivered-packet rows at LC";
+  }
+
+  double edge_cost(const wsn::Network& net, graph::EdgeId e) const override {
+    return 1.0 / net.link_prr(e);
+  }
+
+  double tree_objective(const wsn::Network& net,
+                        const wsn::AggregationTree& tree) const override {
+    double etx = 0.0;
+    for (graph::EdgeId e : tree.edge_ids()) {
+      etx += 1.0 / net.link_prr(e);
+    }
+    return etx;
+  }
+
+  std::string infeasible_message(double requested,
+                                 double /*internal*/) const override {
+    std::ostringstream os;
+    os << "no aggregation tree meets the retransmission-aware lifetime "
+       << requested << " under the conservative energy rows";
+    return os.str();
+  }
+
+  std::string interrupted_message(int outer_iterations,
+                                  int lp_solves) const override {
+    std::ostringstream os;
+    os << "budget exhausted inside the etx cutting-plane loop (outer "
+          "iteration "
+       << outer_iterations << ", after " << lp_solves << " LP solves)";
+    return os.str();
+  }
+
+  const char* checkpoint_message() const noexcept override {
+    return "budget exhausted between etx-IRA outer iterations";
+  }
+
+  const char* disconnected_message() const noexcept override {
+    return "edge pruning disconnected the etx support";
+  }
+
+  const char* fallback_disabled_message() const noexcept override {
+    return "no removable etx energy constraint and the fallback is disabled";
+  }
+
+  const char* lp_failed_message() const noexcept override {
+    return "etx LP failed to converge";
+  }
+};
+
+/// The historical `retx_aware_ira`: mrlc objective under the etx rows.
+class RetxMrlcVariant final : public EnergyRowsBase {
+ public:
+  /// Identifies as mrlc so the engine keeps the native -ln q edge weights
+  /// (no reweighting pass — objective bits stay identical).
+  VariantId id() const noexcept override { return VariantId::kMrlc; }
+
+  bool emit_ira_metrics() const noexcept override { return false; }
+
+  const char* certificate() const noexcept override {
+    return "cost <= OPT over trees satisfying the conservative "
+           "retransmission-aware energy rows at LC";
+  }
+
+  double edge_cost(const wsn::Network& net, graph::EdgeId e) const override {
+    return net.link_cost(e);
+  }
+
+  double tree_objective(const wsn::Network& net,
+                        const wsn::AggregationTree& tree) const override {
+    return wsn::tree_cost(net, tree);
+  }
+
+  std::string infeasible_message(double requested,
+                                 double /*internal*/) const override {
+    std::ostringstream os;
+    os << "no aggregation tree meets the retransmission-aware lifetime "
+       << requested << " under the conservative energy rows";
+    return os.str();
+  }
+
+  std::string interrupted_message(int outer_iterations,
+                                  int /*lp_solves*/) const override {
+    std::ostringstream os;
+    os << "budget exhausted inside the retx-aware cutting-plane loop "
+       << "(outer iteration " << outer_iterations << ")";
+    return os.str();
+  }
+
+  const char* checkpoint_message() const noexcept override {
+    return "budget exhausted between retx-IRA outer iterations";
+  }
+
+  const char* disconnected_message() const noexcept override {
+    return "edge pruning disconnected the retx-aware support";
+  }
+
+  const char* fallback_disabled_message() const noexcept override {
+    return "no removable retx-lifetime constraint and the fallback is "
+           "disabled";
+  }
+
+  const char* lp_failed_message() const noexcept override {
+    return "retx-aware LP failed to converge";
+  }
+};
+
+class MinEnergyVariant final : public ProblemVariant {
+ public:
+  VariantId id() const noexcept override { return VariantId::kMinEnergy; }
+
+  const char* certificate() const noexcept override {
+    return "exact optimum: one certified Subtour-LP round (integral extreme "
+           "points, Lemma 1) == the MST under expected-energy weights";
+  }
+
+  double edge_cost(const wsn::Network& net, graph::EdgeId e) const override {
+    const auto& energy = net.energy_model();
+    return (energy.tx_joules + energy.rx_joules) / net.link_prr(e);
+  }
+
+  double tree_objective(const wsn::Network& net,
+                        const wsn::AggregationTree& tree) const override {
+    double joules = 0.0;
+    for (graph::EdgeId e : tree.edge_ids()) {
+      joules += edge_cost(net, e);
+    }
+    return joules;
+  }
+
+  bool constrained_at_start() const noexcept override { return false; }
+
+  DegreeBounds bounds(const wsn::Network& net,
+                      const std::vector<bool>& /*constrained*/,
+                      double /*internal_bound*/) const override {
+    return {std::vector<std::optional<double>>(
+                static_cast<std::size_t>(net.node_count())),
+            nullptr};
+  }
+
+  bool row_removable(const wsn::Network&, const graph::Graph&, graph::VertexId,
+                     double) const override {
+    return true;  // no rows exist; never reached
+  }
+
+  double removal_slack(const wsn::Network&, const graph::Graph&,
+                       graph::VertexId, double) const override {
+    return 0.0;  // no rows exist; never reached
+  }
+
+  double bound_metric(const wsn::Network& net,
+                      const wsn::AggregationTree& tree) const override {
+    return wsn::network_lifetime(net, tree);
+  }
+
+  std::string infeasible_message(double /*requested*/,
+                                 double /*internal*/) const override {
+    return "min-energy Subtour LP infeasible (disconnected topology)";
+  }
+
+  std::string interrupted_message(int outer_iterations,
+                                  int lp_solves) const override {
+    std::ostringstream os;
+    os << "budget exhausted inside the min-energy cutting-plane loop (outer "
+          "iteration "
+       << outer_iterations << ", after " << lp_solves << " LP solves)";
+    return os.str();
+  }
+
+  const char* checkpoint_message() const noexcept override {
+    return "budget exhausted before the min-energy LP round";
+  }
+
+  const char* disconnected_message() const noexcept override {
+    return "edge pruning disconnected the min-energy support";
+  }
+
+  const char* fallback_disabled_message() const noexcept override {
+    return "min-energy variant has no removable rows";  // unreachable
+  }
+
+  const char* lp_failed_message() const noexcept override {
+    return "min-energy LP failed to converge";
+  }
+};
+
+class MaxLifetimeVariant final : public ProblemVariant {
+ public:
+  VariantId id() const noexcept override { return VariantId::kMaxLifetime; }
+
+  bool maximizing() const noexcept override { return true; }
+
+  const char* certificate() const noexcept override {
+    return "achieved lifetime <= LP-certified upper bound over the discrete "
+           "candidate ladder I(v)/(Tx + Rx*k); equal when the scan closes";
+  }
+
+  /// Tie-break objective among equal-lifetime trees: the paper's cost.
+  double edge_cost(const wsn::Network& net, graph::EdgeId e) const override {
+    return net.link_cost(e);
+  }
+
+  double tree_objective(const wsn::Network& net,
+                        const wsn::AggregationTree& tree) const override {
+    return wsn::network_lifetime(net, tree);
+  }
+
+  DegreeBounds bounds(const wsn::Network& net,
+                      const std::vector<bool>& constrained,
+                      double internal_bound) const override {
+    return {lifetime_degree_caps(net, constrained, internal_bound), nullptr};
+  }
+
+  bool row_removable(const wsn::Network& net, const graph::Graph& working,
+                     graph::VertexId v, double requested) const override {
+    const double children_cap = net.max_children_real(v, requested);
+    const double degree_cap =
+        v == net.sink() ? children_cap : children_cap + 1.0;
+    return static_cast<double>(working.degree(v)) <= degree_cap + 2.0 + 1e-9;
+  }
+
+  double removal_slack(const wsn::Network& net, const graph::Graph& working,
+                       graph::VertexId v, double requested) const override {
+    return worst_case_lifetime(net, working, v) - requested;
+  }
+
+  double bound_metric(const wsn::Network& net,
+                      const wsn::AggregationTree& tree) const override {
+    return wsn::network_lifetime(net, tree);
+  }
+
+  std::string infeasible_message(double requested,
+                                 double internal) const override {
+    std::ostringstream os;
+    os << "maximum achievable lifetime is LP-certified below the requested "
+          "floor "
+       << requested << " (upper bound " << internal << ")";
+    return os.str();
+  }
+
+  std::string interrupted_message(int outer_iterations,
+                                  int lp_solves) const override {
+    std::ostringstream os;
+    os << "budget exhausted inside the max-lifetime scan (outer iteration "
+       << outer_iterations << ", after " << lp_solves << " LP solves)";
+    return os.str();
+  }
+
+  const char* checkpoint_message() const noexcept override {
+    return "budget exhausted between max-lifetime candidate probes";
+  }
+
+  const char* disconnected_message() const noexcept override {
+    return "edge pruning disconnected the max-lifetime support";
+  }
+
+  const char* fallback_disabled_message() const noexcept override {
+    return "no removable lifetime constraint in the max-lifetime probe and "
+           "the fallback is disabled";
+  }
+
+  const char* lp_failed_message() const noexcept override {
+    return "max-lifetime probe LP failed to converge";
+  }
+};
+
+const MrlcVariant kMrlcStrict{BoundMode::kPaperStrict};
+const MrlcVariant kMrlcDirect{BoundMode::kDirect};
+const EtxVariant kEtx;
+const RetxMrlcVariant kRetxMrlc;
+const MinEnergyVariant kMinEnergy;
+const MaxLifetimeVariant kMaxLifetime;
+
+}  // namespace
+
+const ProblemVariant& problem_variant(VariantId id) {
+  switch (id) {
+    case VariantId::kMrlc:
+      return kMrlcDirect;
+    case VariantId::kEtx:
+      return kEtx;
+    case VariantId::kMinEnergy:
+      return kMinEnergy;
+    case VariantId::kMaxLifetime:
+      return kMaxLifetime;
+  }
+  MRLC_REQUIRE(false, "unknown problem variant");
+  return kMrlcDirect;  // unreachable
+}
+
+const ProblemVariant& mrlc_variant(BoundMode mode) {
+  return mode == BoundMode::kPaperStrict ? kMrlcStrict : kMrlcDirect;
+}
+
+const ProblemVariant& retx_mrlc_variant() { return kRetxMrlc; }
+
+namespace {
+
+/// Bumps the lazily-registered per-variant solve counter and the variant
+/// gauge (mrlc_solve eagerly registers all names so every metric document
+/// carries the full set).
+void record_variant_solve(const ProblemVariant& variant) {
+  metrics::counter(std::string("ira.variant_solves.") + variant.name()).add();
+  metrics::gauge("solver.variant").set(static_cast<double>(variant.id()));
+}
+
+}  // namespace
+
+VariantResult run_variant_ira(const ProblemVariant& variant,
+                              const wsn::Network& net, double requested_bound,
+                              const IraOptions& options) {
+  const bool metered = variant.emit_ira_metrics();
+  std::optional<trace::ScopedPhase> phase;
+  if (metered) {
+    phase.emplace("ira");
+    static metrics::Counter& solves = metrics::counter("ira.solves");
+    solves.add();
+    record_variant_solve(variant);
+  }
+  net.validate();
+  MRLC_REQUIRE(requested_bound > 0.0, "lifetime bound must be positive");
+  const double internal = variant.internal_bound(net, requested_bound);
+  const int n = net.node_count();
+
+  graph::Graph working = net.topology();  // the engine mutates a working copy
+  // mrlc keeps the native -ln q edge weights (bit-identical objective);
+  // every other variant re-weights the working copy so both the LP
+  // objective and the final MST tier minimize the variant's edge cost.
+  if (variant.id() != VariantId::kMrlc) {
+    for (graph::EdgeId id : working.alive_edge_ids()) {
+      working.set_weight(id, variant.edge_cost(net, id));
+    }
+  }
+  const bool start_constrained = variant.constrained_at_start();
+  std::vector<bool> constrained(static_cast<std::size_t>(n),
+                                start_constrained);
+  int constrained_count = start_constrained ? n : 0;
+
+  IraStats stats;
+  // One cut pool per solve: violated sets survive across outer iterations
+  // (which rebuild the LP and would otherwise forget every subtour row) and
+  // are rechecked before any new max-flow sweeps.
+  SubtourCutPool cut_pool;
+  CutLoopOptions cut_options;
+  cut_options.simplex = options.simplex;
+  cut_options.max_rounds = options.max_cut_rounds;
+  cut_options.warm_start = options.warm_start;
+  // The pool is deliberately not gated on warm_start: separation then sees
+  // identical fractional points in both modes, so warm vs cold differ only
+  // in pivot paths — the invariant the warm/cold property tests pin down.
+  // A caller-owned shared pool (the service warm cache) replaces the
+  // per-solve one wholesale, so remembered sets outlive this solve.
+  cut_options.pool =
+      options.shared_pool != nullptr ? options.shared_pool : &cut_pool;
+  cut_options.budget = options.budget;
+
+  // An unconstrained variant (min_energy) still owes one certified LP
+  // round; `first` lets it through with W = ∅.
+  bool first = true;
+  while (first || constrained_count > 0) {
+    first = false;
+    // Deterministic checkpoint: a budget that ran out during the previous
+    // iteration's pruning stops here before the next (expensive) LP tier.
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      throw BudgetExhaustedError(variant.checkpoint_message());
+    }
+    ++stats.outer_iterations;
+
+    DegreeBounds rows = variant.bounds(net, constrained, internal);
+    MrlcLpFormulation formulation(working, std::move(rows.caps),
+                                  std::move(rows.row_weight));
+    const CutLpResult lp_result =
+        solve_with_subtour_cuts(formulation, cut_options);
+    stats.lp_solves += lp_result.lp_solves;
+    stats.simplex_iterations += lp_result.simplex_iterations;
+    stats.cuts_added += lp_result.cuts_added;
+    stats.cold_fallbacks += lp_result.cold_fallbacks;
+
+    // Publish the dual bound as soon as the first outer iteration has any
+    // completed cut-round optimum — every completed round solves a
+    // relaxation of the full problem (see IraProgress for the mode caveat),
+    // so this is valid even when the same solve is interrupted just after.
+    if (options.progress != nullptr && stats.outer_iterations == 1 &&
+        lp_result.has_objective) {
+      options.progress->first_lp_objective = lp_result.objective;
+      options.progress->first_lp_valid = true;
+    }
+
+    if (lp_result.status == lp::SolveStatus::kInfeasible) {
+      throw InfeasibleError(
+          variant.infeasible_message(requested_bound, internal));
+    }
+    if (lp_result.status == lp::SolveStatus::kInterrupted) {
+      throw BudgetExhaustedError(variant.interrupted_message(
+          stats.outer_iterations, stats.lp_solves));
+    }
+    MRLC_ENSURE(lp_result.status == lp::SolveStatus::kOptimal,
+                variant.lp_failed_message());
+
+    // Line 6: drop edges outside the support of the extreme point.
+    for (graph::EdgeId id : working.alive_edge_ids()) {
+      if (lp_result.edge_values[static_cast<std::size_t>(id)] <=
+          options.zero_tolerance) {
+        working.remove_edge(id);
+        ++stats.edges_removed;
+      }
+    }
+    if (constrained_count == 0) break;  // W = ∅ from the start (min_energy)
+
+    // Line 8: relax every vertex whose constraint can no longer bind.
+    int removed_this_round = 0;
+    for (graph::VertexId v = 0; v < n; ++v) {
+      if (!constrained[static_cast<std::size_t>(v)]) continue;
+      if (variant.row_removable(net, working, v, requested_bound)) {
+        constrained[static_cast<std::size_t>(v)] = false;
+        --constrained_count;
+        ++removed_this_round;
+        ++stats.constraints_removed;
+      }
+    }
+
+    if (removed_this_round == 0) {
+      // Theorem 2 rules this out at exact extreme points; floating-point
+      // cuts can produce it.  Either fall back (remove the slackest vertex)
+      // or give up loudly.
+      MRLC_ENSURE(options.allow_slack_fallback,
+                  variant.fallback_disabled_message());
+      stats.used_fallback = true;
+      graph::VertexId best = -1;
+      double best_slack = -std::numeric_limits<double>::infinity();
+      for (graph::VertexId v = 0; v < n; ++v) {
+        if (!constrained[static_cast<std::size_t>(v)]) continue;
+        const double slack =
+            variant.removal_slack(net, working, v, requested_bound);
+        if (slack > best_slack) {
+          best_slack = slack;
+          best = v;
+        }
+      }
+      MRLC_ENSURE(best != -1, "constrained set empty despite counter");
+      constrained[static_cast<std::size_t>(best)] = false;
+      --constrained_count;
+      ++stats.constraints_removed;
+    }
+  }
+
+  if (metered) {
+    static metrics::Counter& iterations =
+        metrics::counter("ira.outer_iterations");
+    static metrics::Counter& lp_solves = metrics::counter("ira.lp_solves");
+    static metrics::Counter& cuts = metrics::counter("ira.cuts_added");
+    static metrics::Counter& edges = metrics::counter("ira.edges_removed");
+    static metrics::Counter& relaxed =
+        metrics::counter("ira.constraints_relaxed");
+    static metrics::Counter& fallbacks =
+        metrics::counter("ira.slack_fallbacks");
+    static metrics::Histogram& iter_hist =
+        metrics::histogram("ira.iterations_per_solve");
+    iterations.add(stats.outer_iterations);
+    lp_solves.add(stats.lp_solves);
+    cuts.add(stats.cuts_added);
+    edges.add(stats.edges_removed);
+    relaxed.add(stats.constraints_removed);
+    if (stats.used_fallback) fallbacks.add();
+    iter_hist.record(stats.outer_iterations);
+  }
+
+  // W = ∅: LP(G, L', ∅) is the Subtour LP, whose extreme points are
+  // integral (Lemma 1) — equivalently, the MST of the surviving edges.
+  const auto mst = graph::prim_mst(working, net.sink());
+  if (!mst.has_value()) {
+    throw InfeasibleError(variant.disconnected_message());
+  }
+
+  VariantResult out;
+  out.variant = variant.id();
+  out.tree = wsn::AggregationTree::from_edges(net, mst->edges);
+  out.objective = variant.tree_objective(net, out.tree);
+  out.cost = wsn::tree_cost(net, out.tree);
+  out.reliability = wsn::tree_reliability(net, out.tree);
+  out.lifetime = wsn::network_lifetime(net, out.tree);
+  out.bound_metric = variant.bound_metric(net, out.tree);
+  out.internal_bound = internal;
+  out.meets_bound = variant.tree_feasible(net, out.tree, requested_bound);
+  out.stats = stats;
+  return out;
+}
+
+std::vector<double> lifetime_candidates(const wsn::Network& net) {
+  const int n = net.node_count();
+  std::vector<double> ladder;
+  ladder.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (graph::VertexId v = 0; v < n; ++v) {
+    for (int k = 0; k < n; ++k) {
+      ladder.push_back(
+          net.energy_model().node_lifetime(net.initial_energy(v), k));
+    }
+  }
+  std::sort(ladder.begin(), ladder.end());
+  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
+  return ladder;
+}
+
+namespace {
+
+/// max_lifetime: the lifetime of any tree is I(v)/(Tx + Rx*k) for its
+/// bottleneck node v with k children, so the achievable values form a small
+/// discrete ladder.  The scan finds the top rung any tree can stand on:
+/// LP feasibility probes certify the upper bound (infeasible at c => no
+/// tree reaches c), direct-mode IRA solves construct trees, and the
+/// lexicographic-AAML tree backstops candidates the near-integral LP
+/// constructs but IRA's bounded violation misses.
+VariantResult solve_max_lifetime(const wsn::Network& net, double floor_bound,
+                                 const IraOptions& options) {
+  const ProblemVariant& variant = problem_variant(VariantId::kMaxLifetime);
+  trace::ScopedPhase phase("ira");
+  static metrics::Counter& solves = metrics::counter("ira.solves");
+  solves.add();
+  record_variant_solve(variant);
+  net.validate();
+  MRLC_REQUIRE(floor_bound > 0.0, "lifetime bound must be positive");
+
+  const std::vector<double> ladder = lifetime_candidates(net);
+
+  IraOptions probe_options = options;
+  probe_options.bound_mode = BoundMode::kDirect;
+  probe_options.progress = nullptr;
+
+  // Binary search the top LP-feasible rung: lp_lifetime_feasible is
+  // monotone (caps only grow as the bound shrinks), so everything above
+  // `hi` is certified unreachable.
+  IraStats stats;
+  auto checkpoint = [&]() {
+    if (options.budget != nullptr && options.budget->exhausted()) {
+      throw BudgetExhaustedError(variant.checkpoint_message());
+    }
+  };
+  std::size_t lo = 0;              // invariant: ladder[lo] is LP-feasible
+  std::size_t hi = ladder.size();  // invariant: rungs >= hi are infeasible
+  checkpoint();
+  if (!lp_lifetime_feasible(net, ladder.front(), probe_options)) {
+    throw InfeasibleError(variant.infeasible_message(floor_bound, 0.0));
+  }
+  while (lo + 1 < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    checkpoint();
+    ++stats.outer_iterations;
+    if (lp_lifetime_feasible(net, ladder[mid], probe_options)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double certified_upper = ladder[lo];
+
+  // Constructive side: walk the feasible rungs downward with IRA, keeping
+  // the lexicographic-AAML tree as the deployable backstop.
+  baselines::AamlOptions aaml_options;
+  aaml_options.mode = baselines::AamlSearchMode::kLexicographic;
+  aaml_options.initial = baselines::AamlInitialTree::kBfs;
+  const baselines::AamlResult aaml = baselines::aaml(net, aaml_options);
+
+  std::optional<wsn::AggregationTree> best_tree;
+  double best_lifetime = -1.0;
+  for (std::size_t i = lo + 1; i-- > 0;) {
+    const double candidate = ladder[i];
+    if (candidate <= aaml.lifetime) break;  // the backstop already wins
+    checkpoint();
+    try {
+      const IraResult res =
+          IterativeRelaxation(probe_options).solve(net, candidate);
+      stats.outer_iterations += res.stats.outer_iterations;
+      stats.lp_solves += res.stats.lp_solves;
+      stats.simplex_iterations += res.stats.simplex_iterations;
+      stats.cuts_added += res.stats.cuts_added;
+      stats.edges_removed += res.stats.edges_removed;
+      stats.constraints_removed += res.stats.constraints_removed;
+      stats.cold_fallbacks += res.stats.cold_fallbacks;
+      stats.used_fallback = stats.used_fallback || res.stats.used_fallback;
+      if (res.lifetime > best_lifetime) {
+        best_lifetime = res.lifetime;
+        best_tree = res.tree;
+      }
+      if (res.meets_bound) break;  // top reachable rung found
+    } catch (const InfeasibleError&) {
+      // LP-feasible but no integral tree survived the relaxation at this
+      // rung; step down.
+    }
+  }
+  if (!best_tree.has_value() || aaml.lifetime > best_lifetime) {
+    best_tree = aaml.tree;
+    best_lifetime = aaml.lifetime;
+  }
+
+  VariantResult out;
+  out.variant = VariantId::kMaxLifetime;
+  out.tree = *best_tree;
+  out.objective = wsn::network_lifetime(net, out.tree);
+  out.cost = wsn::tree_cost(net, out.tree);
+  out.reliability = wsn::tree_reliability(net, out.tree);
+  out.lifetime = out.objective;
+  out.bound_metric = out.objective;
+  out.internal_bound = certified_upper;
+  out.meets_bound = out.objective >= floor_bound * (1.0 - 1e-12);
+  out.stats = stats;
+  if (!out.meets_bound) {
+    throw InfeasibleError(
+        variant.infeasible_message(floor_bound, certified_upper));
+  }
+  return out;
+}
+
+}  // namespace
+
+VariantResult solve_variant(VariantId id, const wsn::Network& net,
+                            double bound, const IraOptions& options) {
+  switch (id) {
+    case VariantId::kMrlc:
+      return run_variant_ira(mrlc_variant(options.bound_mode), net, bound,
+                             options);
+    case VariantId::kEtx:
+    case VariantId::kMinEnergy:
+      return run_variant_ira(problem_variant(id), net, bound, options);
+    case VariantId::kMaxLifetime:
+      return solve_max_lifetime(net, bound, options);
+  }
+  MRLC_REQUIRE(false, "unknown problem variant");
+  return {};  // unreachable
+}
+
+}  // namespace mrlc::core

@@ -405,7 +405,12 @@ SolveStatus SparseLpCore::primal_optimize(int* iteration_counter, bool phase1) {
         if (options_.pricing != Pricing::kDantzig) {
           score /= weight_[static_cast<std::size_t>(j)];
         }
-        if (score > best_score + 1e-12) {
+        // The first eligible column is accepted unconditionally: the 1e-12
+        // margin only arbitrates *between* candidates.  Gating entry on it
+        // would silently declare optimality whenever every eligible column
+        // prices below 1e-6 in |d| — which tiny-coefficient objectives
+        // (min_energy's joule scale, ~3e-4 per edge) hit routinely.
+        if (entering == -1 || score > best_score + 1e-12) {
           best_score = score;
           entering = j;
           dir = candidate_dir;

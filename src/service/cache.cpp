@@ -39,8 +39,9 @@ WarmCache::Entry* WarmCache::ensure_entry(std::uint64_t topo) {
     touch(topo, it->second);
     return &it->second;
   }
-  // Evict from the cold end, skipping leased entries (a leased pool is
-  // borrowed by an in-flight solve; evicting it would dangle the pointer).
+  // Evict from the cold end, skipping entries with any leased pool (a
+  // leased pool is borrowed by an in-flight solve; evicting it would
+  // dangle the pointer).
   while (entries_.size() >= capacity_ && !lru_.empty()) {
     auto victim = lru_.end();
     bool evicted = false;
@@ -48,7 +49,7 @@ WarmCache::Entry* WarmCache::ensure_entry(std::uint64_t topo) {
       --victim;
       const auto vit = entries_.find(*victim);
       MRLC_ENSURE(vit != entries_.end(), "LRU list out of sync with entries");
-      if (!vit->second.leased) {
+      if (!vit->second.any_leased()) {
         lru_.erase(victim);
         entries_.erase(vit);
         ++stats_.evictions;
@@ -61,7 +62,6 @@ WarmCache::Entry* WarmCache::ensure_entry(std::uint64_t topo) {
   lru_.push_front(topo);
   Entry& entry = entries_[topo];
   entry.lru_pos = lru_.begin();
-  entry.pool.set_capacity(pool_sets_);
   return &entry;
 }
 
@@ -88,20 +88,27 @@ void WarmCache::store_result(std::uint64_t topo, const std::string& key,
   entry->results[key] = std::move(result);
 }
 
-core::SubtourCutPool* WarmCache::lease(std::uint64_t topo) {
+core::SubtourCutPool* WarmCache::lease(std::uint64_t topo,
+                                       const std::string& variant) {
   if (capacity_ == 0 || is_quarantined(topo)) return nullptr;
   Entry* entry = ensure_entry(topo);
-  if (entry == nullptr || entry->leased) return nullptr;
-  entry->leased = true;
+  if (entry == nullptr) return nullptr;
+  const auto [it, created] = entry->pools.try_emplace(variant);
+  PoolSlot& slot = it->second;
+  if (created) slot.pool.set_capacity(pool_sets_);
+  if (slot.leased) return nullptr;
+  slot.leased = true;
   ++stats_.pool_leases;
-  return &entry->pool;
+  return &slot.pool;
 }
 
-void WarmCache::release(std::uint64_t topo) {
+void WarmCache::release(std::uint64_t topo, const std::string& variant) {
   const auto it = entries_.find(topo);
   if (it == entries_.end()) return;  // quarantined while leased
-  MRLC_ENSURE(it->second.leased, "release without a matching lease");
-  it->second.leased = false;
+  const auto pit = it->second.pools.find(variant);
+  MRLC_ENSURE(pit != it->second.pools.end() && pit->second.leased,
+              "release without a matching lease");
+  pit->second.leased = false;
 }
 
 void WarmCache::quarantine(std::uint64_t topo) {

@@ -15,11 +15,17 @@
 /// 2. **Subtour cut-pool warmth.**  Violated vertex sets separated for one
 ///    lifetime threshold usually cut off fractional points for nearby
 ///    thresholds on the same topology, so each cache entry keeps a bounded
-///    `core::SubtourCutPool` that requests *lease* for the duration of one
-///    solve (exclusive — see `lease`).  Pool warmth accelerates the
-///    separation search but, on degenerate LPs, may land on a different
-///    equally-optimal tree than a cold solve (see `IraOptions::shared_pool`);
-///    callers that need one-shot byte parity solve pool-free.
+///    `core::SubtourCutPool` *per problem variant* that requests *lease*
+///    for the duration of one solve (exclusive — see `lease`).  Pools are
+///    keyed by variant because each variant's LP visits different
+///    fractional points: cuts separated under one objective are sound but
+///    cold for another, and replaying them would make a solve's separation
+///    trajectory (and, on degenerate LPs, its tie-broken tree) depend on
+///    which *other* variants previously ran on the topology.  Pool warmth
+///    accelerates the separation search but, on degenerate LPs, may land
+///    on a different equally-optimal tree than a cold solve (see
+///    `IraOptions::shared_pool`); callers that need one-shot byte parity
+///    solve pool-free.
 ///
 /// Eviction is LRU over topology hashes, bounded by `capacity`.  Entries
 /// can be **quarantined**: when a solve against a leased pool reports
@@ -90,16 +96,18 @@ class WarmCache {
   void store_result(std::uint64_t topo, const std::string& key,
                     CachedResult result);
 
-  /// \brief Leases the entry pool for `topo` for one solve (exclusive).
-  /// Creates the entry if absent (may LRU-evict).  Returns nullptr — and
-  /// the solve must run pool-free — when the topology is quarantined, the
-  /// pool is already leased out (two same-topology requests in one batch),
-  /// or capacity is 0.  Every successful lease must be paired with
-  /// `release` or `quarantine` at the serial finalize checkpoint.
-  core::SubtourCutPool* lease(std::uint64_t topo);
+  /// \brief Leases the entry's pool for (`topo`, `variant`) for one solve
+  /// (exclusive).  Creates the entry/pool if absent (may LRU-evict).
+  /// Returns nullptr — and the solve must run pool-free — when the
+  /// topology is quarantined, that variant's pool is already leased out
+  /// (two same-topology same-variant requests in one batch), or capacity
+  /// is 0.  Distinct variants on one topology lease distinct pools and may
+  /// be in flight concurrently.  Every successful lease must be paired
+  /// with `release` or `quarantine` at the serial finalize checkpoint.
+  core::SubtourCutPool* lease(std::uint64_t topo, const std::string& variant);
 
   /// Returns a lease taken with `lease` (entry keeps its warmed pool).
-  void release(std::uint64_t topo);
+  void release(std::uint64_t topo, const std::string& variant);
 
   /// \brief Drops the entry (pool and results) and blacklists the hash:
   /// future `lease`/`store_result` calls for it are refused.  Implicitly
@@ -120,11 +128,23 @@ class WarmCache {
                                 std::int64_t budget);
 
  private:
-  struct Entry {
+  struct PoolSlot {
     core::SubtourCutPool pool;
+    bool leased = false;
+  };
+  struct Entry {
+    /// One cut pool per variant name (created on first lease): warmth never
+    /// crosses variants — see the file comment.
+    std::unordered_map<std::string, PoolSlot> pools;
     std::unordered_map<std::string, CachedResult> results;
     std::list<std::uint64_t>::iterator lru_pos;
-    bool leased = false;
+
+    bool any_leased() const noexcept {
+      for (const auto& [name, slot] : pools) {
+        if (slot.leased) return true;
+      }
+      return false;
+    }
   };
 
   /// Moves `topo` to the most-recently-used position.

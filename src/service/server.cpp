@@ -62,6 +62,7 @@ struct SolverService::WorkItem {
   WireRequest request;
   ReplyFn reply;
   std::chrono::steady_clock::time_point submitted;
+  core::VariantId variant = core::VariantId::kMrlc;  ///< parsed at prep
   std::uint64_t topo = 0;
   core::SubtourCutPool* pool = nullptr;  ///< leased; null = pool-free solve
   bool leased = false;
@@ -206,14 +207,16 @@ void SolverService::process_batch(std::vector<Pending>& batch) {
       item->queue_ms = ms_between(item->submitted, prep_time);
     }
     const WireRequest& req = item->request;
-    if (req.variant != "mrlc") {
+    const std::optional<core::VariantId> variant =
+        core::variant_from_string(req.variant);
+    if (!variant.has_value()) {
       item->skip_solve = true;
       item->status = ResponseStatus::kInvalidRequest;
-      item->detail =
-          "unsupported problem variant '" + req.variant + "' (reserved)";
+      item->detail = "unsupported problem variant '" + req.variant + "'";
       items.push_back(std::move(item));
       continue;
     }
+    item->variant = *variant;
     item->topo = topology_hash(req.network_text);
     const std::string key =
         WarmCache::result_key(req.variant, req.lifetime, req.budget);
@@ -234,7 +237,7 @@ void SolverService::process_batch(std::vector<Pending>& batch) {
       continue;
     }
     c.cache_misses.add();
-    item->pool = cache_.lease(item->topo);
+    item->pool = cache_.lease(item->topo, req.variant);
     item->leased = item->pool != nullptr;
     if (req.budget >= 0) item->budget.set_work_limit(req.budget);
     const std::int64_t deadline = req.deadline_ms >= 0
@@ -273,6 +276,7 @@ void SolverService::process_batch(std::vector<Pending>& batch) {
       core::AnytimeOptions options;
       options.ira.shared_pool = item.pool;
       options.budget = &item.budget;
+      options.variant = item.variant;
       core::AnytimeResult result =
           core::solve_anytime(net, item.request.lifetime, options);
       switch (result.status) {
@@ -326,7 +330,7 @@ void SolverService::process_batch(std::vector<Pending>& batch) {
         cache_.quarantine(item.topo);
         if (injected_poison) fault::note_recovered("service.cache_poison");
       } else {
-        cache_.release(item.topo);
+        cache_.release(item.topo, item.request.variant);
       }
     }
     if (!item.served_from_cache && item.status == ResponseStatus::kOk &&

@@ -18,7 +18,8 @@
 ///
 ///     mrlc-request v1
 ///     id <opaque token, no whitespace>
-///     variant mrlc            # problem-variant field, reserved (see docs)
+///     variant mrlc            # problem variant: mrlc | etx | min_energy
+///                             #   | max_lifetime (docs/file_formats.md)
 ///     lifetime <LC, rounds>
 ///     budget <work units>     # optional; absent = unlimited
 ///     deadline-ms <ms>        # optional; absent = none
@@ -75,7 +76,7 @@ ResponseStatus status_from_string(const std::string& token);
 /// One solve request as carried on the wire.
 struct WireRequest {
   std::string id;                ///< opaque caller token, echoed in replies
-  std::string variant = "mrlc";  ///< reserved; only "mrlc" is accepted today
+  std::string variant = "mrlc";  ///< problem variant (core::VariantId token)
   double lifetime = 0.0;         ///< LC, rounds (> 0)
   std::int64_t budget = -1;      ///< work-unit cap; < 0 = unlimited
   std::int64_t deadline_ms = -1; ///< wall-clock deadline; < 0 = none

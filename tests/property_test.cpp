@@ -19,6 +19,7 @@
 #include "core/ira.hpp"
 #include "core/lp_formulation.hpp"
 #include "core/separation.hpp"
+#include "core/variant.hpp"
 #include "graph/enumeration.hpp"
 #include "graph/mst.hpp"
 #include "helpers.hpp"
@@ -407,6 +408,39 @@ TEST_P(ShardedHistogramSweep, ConcurrentFillMatchesSerialFill) {
 
 INSTANTIATE_TEST_SUITE_P(Distributions, ShardedHistogramSweep,
                          ::testing::Values(0, 1, 2, 3));
+
+// --------------------------------------------- variant edge-cost laws --
+
+class VariantCostSweep : public ::testing::TestWithParam<core::VariantId> {};
+
+// Every variant's edge cost is a penalty on lossiness: finite,
+// non-negative, and monotone non-increasing in the link's PRR (the
+// contract pinned in core/variant.hpp — the cut loop and branch-and-bound
+// both assume costs never reward a worse channel).
+TEST_P(VariantCostSweep, CostsAreFiniteNonNegativeAndMonotoneInPrr) {
+  const core::VariantId id = GetParam();
+  const core::ProblemVariant& variant = core::problem_variant(id);
+  Rng rng(4242 + static_cast<std::uint64_t>(id));
+  for (int trial = 0; trial < 8; ++trial) {
+    wsn::Network net = small_random_network(9, 0.6, rng, 0.3, 0.95);
+    for (const graph::EdgeId e : net.topology().alive_edge_ids()) {
+      const double before = variant.edge_cost(net, e);
+      EXPECT_TRUE(std::isfinite(before)) << core::to_string(id);
+      EXPECT_GE(before, 0.0) << core::to_string(id);
+      // Strictly improving the channel strictly lowers the cost (every
+      // variant's cost is strictly decreasing in q on (0, 1]).
+      net.set_link_prr(e, net.link_prr(e) + 0.04);
+      const double after = variant.edge_cost(net, e);
+      EXPECT_LT(after, before) << core::to_string(id) << " edge " << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, VariantCostSweep, ::testing::ValuesIn(core::all_variants()),
+    [](const ::testing::TestParamInfo<core::VariantId>& info) {
+      return std::string(core::to_string(info.param));
+    });
 
 }  // namespace
 }  // namespace mrlc

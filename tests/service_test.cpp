@@ -198,24 +198,64 @@ TEST(WarmCache, LruEvictsTheColdestTopology) {
 
 TEST(WarmCache, PoolLeaseIsExclusiveUntilReleased) {
   WarmCache cache(4);
-  core::SubtourCutPool* pool = cache.lease(7);
+  core::SubtourCutPool* pool = cache.lease(7, "mrlc");
   ASSERT_NE(pool, nullptr);
-  EXPECT_EQ(cache.lease(7), nullptr);  // second lease refused
-  cache.release(7);
-  EXPECT_EQ(cache.lease(7), pool);  // same warmed pool comes back
-  cache.release(7);
+  EXPECT_EQ(cache.lease(7, "mrlc"), nullptr);  // second lease refused
+  cache.release(7, "mrlc");
+  EXPECT_EQ(cache.lease(7, "mrlc"), pool);  // same warmed pool comes back
+  cache.release(7, "mrlc");
   EXPECT_EQ(cache.stats().pool_leases, 2);
+}
+
+TEST(WarmCache, PoolsAreKeyedPerVariant) {
+  // Regression: the pool lease used to be keyed by topology alone, so an
+  // etx solve could replay subtour cuts separated under the mrlc
+  // objective (cross-variant warmth made a solve's separation trajectory
+  // depend on which *other* variants previously ran on the topology).
+  WarmCache cache(4);
+  core::SubtourCutPool* mrlc_pool = cache.lease(7, "mrlc");
+  ASSERT_NE(mrlc_pool, nullptr);
+  core::SubtourCutPool* etx_pool = cache.lease(7, "etx");
+  ASSERT_NE(etx_pool, nullptr);        // not blocked by the mrlc lease
+  EXPECT_NE(etx_pool, mrlc_pool);      // and a distinct pool object
+  EXPECT_EQ(cache.lease(7, "etx"), nullptr);  // per-variant exclusivity
+  cache.release(7, "mrlc");
+  cache.release(7, "etx");
+  EXPECT_EQ(cache.lease(7, "mrlc"), mrlc_pool);  // each variant keeps its
+  EXPECT_EQ(cache.lease(7, "etx"), etx_pool);    // own warmed pool
+  cache.release(7, "mrlc");
+  cache.release(7, "etx");
+  EXPECT_EQ(cache.stats().pool_leases, 4);
+}
+
+TEST(WarmCache, ReleaseOfWrongVariantLeaseIsALogicError) {
+  WarmCache cache(4);
+  ASSERT_NE(cache.lease(7, "mrlc"), nullptr);
+  EXPECT_THROW(cache.release(7, "etx"), std::logic_error);
+  cache.release(7, "mrlc");
 }
 
 TEST(WarmCache, LeasedEntriesSurviveEvictionPressure) {
   WarmCache cache(1);
-  core::SubtourCutPool* pool = cache.lease(1);
+  core::SubtourCutPool* pool = cache.lease(1, "mrlc");
   ASSERT_NE(pool, nullptr);
   // Capacity is full with a leased entry: new topologies are refused
   // rather than dangling the borrowed pool.
-  EXPECT_EQ(cache.lease(2), nullptr);
-  cache.release(1);
-  EXPECT_NE(cache.lease(2), nullptr);  // now 1 is evictable
+  EXPECT_EQ(cache.lease(2, "mrlc"), nullptr);
+  cache.release(1, "mrlc");
+  EXPECT_NE(cache.lease(2, "mrlc"), nullptr);  // now 1 is evictable
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(WarmCache, AnyLeasedVariantPoolBlocksEviction) {
+  WarmCache cache(1);
+  ASSERT_NE(cache.lease(1, "mrlc"), nullptr);
+  ASSERT_NE(cache.lease(1, "etx"), nullptr);
+  cache.release(1, "mrlc");
+  // The etx pool is still borrowed: topology 1 must not be evicted.
+  EXPECT_EQ(cache.lease(2, "mrlc"), nullptr);
+  cache.release(1, "etx");
+  EXPECT_NE(cache.lease(2, "mrlc"), nullptr);
   EXPECT_EQ(cache.stats().evictions, 1);
 }
 
@@ -223,13 +263,13 @@ TEST(WarmCache, QuarantineDropsEntryAndBlacklistsHash) {
   WarmCache cache(4);
   const std::string key = WarmCache::result_key("mrlc", 1.0, -1);
   cache.store_result(9, key, CachedResult{});
-  core::SubtourCutPool* pool = cache.lease(9);
+  core::SubtourCutPool* pool = cache.lease(9, "mrlc");
   ASSERT_NE(pool, nullptr);
   cache.quarantine(9);
   EXPECT_TRUE(cache.is_quarantined(9));
   EXPECT_EQ(cache.stats().poisoned, 1);
   EXPECT_EQ(cache.find_result(9, key), nullptr);   // results gone
-  EXPECT_EQ(cache.lease(9), nullptr);              // no new leases
+  EXPECT_EQ(cache.lease(9, "mrlc"), nullptr);      // no new leases
   cache.store_result(9, key, CachedResult{});      // refused
   EXPECT_EQ(cache.find_result(9, key), nullptr);
   cache.quarantine(9);                             // idempotent
@@ -238,7 +278,7 @@ TEST(WarmCache, QuarantineDropsEntryAndBlacklistsHash) {
 
 TEST(WarmCache, ZeroCapacityDisablesEverything) {
   WarmCache cache(0);
-  EXPECT_EQ(cache.lease(1), nullptr);
+  EXPECT_EQ(cache.lease(1, "mrlc"), nullptr);
   cache.store_result(1, "k", CachedResult{});
   EXPECT_EQ(cache.find_result(1, "k"), nullptr);
   EXPECT_EQ(cache.entry_count(), 0u);
@@ -342,6 +382,72 @@ TEST_F(ServiceFixture, RepeatRequestIsServedFromCacheByteIdentical) {
   EXPECT_EQ(second.cache, "hit");
   EXPECT_EQ(first.tree_text, second.tree_text);
   EXPECT_DOUBLE_EQ(first.cost, second.cost);
+  EXPECT_EQ(service.cache_stats().result_hits, 1);
+}
+
+TEST_F(ServiceFixture, EveryVariantRoundTripsWithDirectSolveParity) {
+  const wsn::Network net = make_network(21);
+  const double mrlc_lc = feasible_lifetime(net);
+
+  ServiceOptions options;
+  options.auto_start = false;
+  options.batch_size = 1;
+  SolverService service(options);
+  ReplyLog log;
+  for (const core::VariantId id : core::all_variants()) {
+    // A loose bound keeps every variant feasible; mrlc uses its usual MST
+    // lifetime so this stays aligned with the other service tests.
+    const double lc = id == core::VariantId::kMrlc ? mrlc_lc : 1.0;
+    WireRequest request = make_request(net, core::to_string(id), lc);
+    request.variant = core::to_string(id);
+    service.submit(std::move(request), log.sink());
+  }
+  service.start();
+  service.drain();
+
+  for (const core::VariantId id : core::all_variants()) {
+    const WireResponse reply = log.by_id(core::to_string(id));
+    EXPECT_EQ(reply.status, ResponseStatus::kOk) << core::to_string(id);
+    EXPECT_EQ(reply.cache, "miss") << core::to_string(id);
+    ASSERT_TRUE(reply.has_solution) << core::to_string(id);
+
+    // Same parity contract as the mrlc byte-for-byte test: first contact
+    // leases an empty pool, so each variant's reply must match a pool-free
+    // direct anytime solve of that variant exactly.
+    core::AnytimeOptions direct_options;
+    direct_options.variant = id;
+    const double lc = id == core::VariantId::kMrlc ? mrlc_lc : 1.0;
+    const core::AnytimeResult direct =
+        core::solve_anytime(net, lc, direct_options);
+    EXPECT_EQ(reply.tree_text, wsn::tree_to_string(direct.tree))
+        << core::to_string(id);
+    EXPECT_DOUBLE_EQ(reply.cost, direct.cost) << core::to_string(id);
+  }
+}
+
+TEST_F(ServiceFixture, ResultCacheNeverCrossServesVariants) {
+  const wsn::Network net = make_network(22);
+
+  ServiceOptions options;
+  options.auto_start = false;
+  options.batch_size = 1;  // one batch per request: each sees prior stores
+  SolverService service(options);
+  ReplyLog log;
+  // Identical network, lifetime, and budget — only the variant differs, so
+  // any key that forgets the variant would serve mrlc's tree to etx.
+  WireRequest first = make_request(net, "mrlc-first", 1.0);
+  WireRequest cross = make_request(net, "etx-cross", 1.0);
+  cross.variant = "etx";
+  WireRequest repeat = make_request(net, "mrlc-repeat", 1.0);
+  service.submit(std::move(first), log.sink());
+  service.submit(std::move(cross), log.sink());
+  service.submit(std::move(repeat), log.sink());
+  service.start();
+  service.drain();
+
+  EXPECT_EQ(log.by_id("mrlc-first").cache, "miss");
+  EXPECT_EQ(log.by_id("etx-cross").cache, "miss");
+  EXPECT_EQ(log.by_id("mrlc-repeat").cache, "hit");
   EXPECT_EQ(service.cache_stats().result_hits, 1);
 }
 

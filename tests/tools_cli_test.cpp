@@ -425,4 +425,96 @@ TEST(ToolsCli, BenchCountersIdenticalAcrossThreadCounts) {
             0);
 }
 
+// --------------------------------------------------------- variant flags --
+
+TEST(ToolsCli, SolveIraAndVariantMrlcAreByteIdenticalOnStdout) {
+  // The tentpole parity contract, end to end through the CLI: the historic
+  // `ira` mode and the variant front door with --variant mrlc must emit the
+  // same tree bytes (stderr narrates differently; stdout may not).
+  const std::string legacy = tmp_path("tools_cli_variant_legacy.txt");
+  const std::string routed = tmp_path("tools_cli_variant_routed.txt");
+  ASSERT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --lifetime 100 < " + network_path() + " > " +
+                        legacy + " 2> /dev/null"),
+            0);
+  ASSERT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --variant mrlc --lifetime 100 < " +
+                        network_path() + " > " + routed + " 2> /dev/null"),
+            0);
+  EXPECT_EQ(read_file(legacy), read_file(routed));
+}
+
+TEST(ToolsCli, SolveAcceptsEveryVariantAndRejectsUnknownOnes) {
+  for (const char* name : {"etx", "min_energy", "max_lifetime"}) {
+    EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                          " ira --variant " + name + " --lifetime 1 < " +
+                          network_path() + " > /dev/null 2> /dev/null"),
+              0)
+        << name;
+  }
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) +
+                        " ira --variant bogus --lifetime 100 < " +
+                        network_path() + " > /dev/null 2> /dev/null"),
+            4);
+}
+
+TEST(ToolsCli, EveryVariantEmitsItsOwnSolveCounterAndGauge) {
+  // mrlc_solve eagerly registers the whole ira.variant_solves.* family, so
+  // every metrics document carries every key (the golden test pins that);
+  // here each run must additionally have bumped *its own* counter and set
+  // the solver.variant gauge to its ordinal.
+  const char* kVariants[] = {"mrlc", "etx", "min_energy", "max_lifetime"};
+  for (int ordinal = 0; ordinal < 4; ++ordinal) {
+    const std::string name = kVariants[ordinal];
+    const std::string metrics_path =
+        tmp_path("tools_cli_variant_metrics_" + name + ".json");
+    ASSERT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) + " ira --variant " +
+                          name + " --lifetime 1 --metrics-json " +
+                          metrics_path + " < " + network_path() +
+                          " > /dev/null 2> /dev/null"),
+              0)
+        << name;
+    const std::string json = read_file(metrics_path);
+    JsonParser parser(json);
+    ASSERT_TRUE(parser.parse()) << name;
+    EXPECT_EQ(
+        std::stoll(parser.scalars["counters.ira.variant_solves." + name]), 1)
+        << name;
+    for (const char* other : kVariants) {
+      if (name == other) continue;
+      EXPECT_EQ(std::stoll(
+                    parser.scalars[std::string("counters.ira.variant_solves.") +
+                                   other]),
+                0)
+          << name << " bled into " << other;
+    }
+    EXPECT_EQ(std::stoll(parser.scalars["gauges.solver.variant"]), ordinal)
+        << name;
+  }
+}
+
+TEST(ToolsCli, GenExpectedCostAnnotationIsDeterministicAndStaysParseable) {
+  const std::string first = tmp_path("tools_cli_annot1.txt");
+  const std::string second = tmp_path("tools_cli_annot2.txt");
+  const std::string gen_cmd =
+      std::string(MRLC_TOOL_GEN) +
+      " random --nodes 12 --seed 3 --annotate-cost 100 --variant etx > ";
+  ASSERT_EQ(run_command(gen_cmd + first + " 2> /dev/null"), 0);
+  ASSERT_EQ(run_command(gen_cmd + second + " 2> /dev/null"), 0);
+  // Generator and solver are pinned together: same seed, same annotation.
+  EXPECT_EQ(read_file(first), read_file(second));
+  EXPECT_NE(read_file(first).find("# expected-cost variant=etx lifetime=100 "
+                                  "objective="),
+            std::string::npos);
+  // The annotation is a comment, so the file still solves downstream.
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_SOLVE) + " mst < " + first +
+                        " > /dev/null 2> /dev/null"),
+            0);
+  // --variant is meaningless without --annotate-cost: usage error.
+  EXPECT_EQ(run_command(std::string(MRLC_TOOL_GEN) +
+                        " random --nodes 12 --seed 3 --variant etx "
+                        "> /dev/null 2> /dev/null"),
+            2);
+}
+
 }  // namespace

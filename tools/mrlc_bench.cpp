@@ -40,6 +40,7 @@
 #endif
 
 #include "baselines/mst_baseline.hpp"
+#include "core/variant.hpp"
 #include "common/budget.hpp"
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
@@ -83,6 +84,31 @@ wsn::Network random_net(int nodes, double p, std::uint64_t seed) {
   return scenario::make_random_network(config, rng);
 }
 
+/// A lifetime bound the etx variant can always meet: the bound at which
+/// the MST satisfies the *conservative* energy rows the variant's LP
+/// enforces (every incident edge charged its worst role), so the LP is
+/// integrally feasible by construction and the bench never trips the
+/// infeasibility path.
+double etx_bound(const wsn::Network& net) {
+  const baselines::MstResult mst = baselines::mst_baseline(net);
+  std::vector<double> rate(static_cast<std::size_t>(net.node_count()), 0.0);
+  for (const graph::EdgeId e : mst.tree.edge_ids()) {
+    const graph::Edge& edge = net.topology().edge(e);
+    rate[static_cast<std::size_t>(edge.u)] +=
+        core::conservative_energy_rate(net, edge.u, e);
+    rate[static_cast<std::size_t>(edge.v)] +=
+        core::conservative_energy_rate(net, edge.v, e);
+  }
+  double bound = std::numeric_limits<double>::infinity();
+  for (wsn::VertexId v = 0; v < net.node_count(); ++v) {
+    if (rate[static_cast<std::size_t>(v)] > 0.0) {
+      bound = std::min(bound, net.initial_energy(v) /
+                                  rate[static_cast<std::size_t>(v)]);
+    }
+  }
+  return bound;
+}
+
 /// One IRA repeat, optionally under an anytime work budget (--budget).
 /// With `budget_units == 0` this is byte-for-byte the historical direct
 /// IRA path (no Budget object exists, no anytime layer runs), so stock
@@ -99,6 +125,29 @@ void run_ira(const wsn::Network& net, std::int64_t budget_units) {
   core::IraOptions options;
   options.bound_mode = core::BoundMode::kDirect;
   core::IterativeRelaxation(options).solve(net, mst_bound(net));
+}
+
+/// The --variant hook for the ira_* workloads: mrlc keeps the historical
+/// path above untouched; other variants solve the same instances through
+/// the variant front door (etx swaps in its conservative-feasible bound).
+void run_ira_variant(const wsn::Network& net, core::VariantId variant,
+                     std::int64_t budget_units) {
+  if (variant == core::VariantId::kMrlc) {
+    run_ira(net, budget_units);
+    return;
+  }
+  const double bound =
+      variant == core::VariantId::kEtx ? etx_bound(net) : mst_bound(net);
+  if (budget_units > 0) {
+    Budget budget;
+    budget.set_work_limit(budget_units);
+    core::AnytimeOptions options;
+    options.budget = &budget;
+    options.variant = variant;
+    core::solve_anytime(net, bound, options);
+    return;
+  }
+  core::solve_variant(variant, net, bound);
 }
 
 /// Solver-service throughput workload: 32 requests over 4 topologies with
@@ -146,58 +195,59 @@ void run_service_mixed(int repeat, bool with_timings) {
 }
 
 std::vector<Workload> make_workloads(std::int64_t budget_units,
-                                     bool with_timings) {
+                                     bool with_timings,
+                                     core::VariantId variant) {
   std::vector<Workload> out;
 
   out.push_back({"ira_dfl_n16", "IRA on the 16-node DFL testbed instance",
-                 [budget_units](int) {
+                 [budget_units, variant](int) {
                    const wsn::Network net = scenario::make_dfl_system().network;
-                   run_ira(net, budget_units);
+                   run_ira_variant(net, variant, budget_units);
                  }});
 
   out.push_back({"ira_random_n16_p07",
                  "IRA on G(16, 0.7) instances, one fresh draw per repeat",
-                 [budget_units](int repeat) {
+                 [budget_units, variant](int repeat) {
                    const wsn::Network net = random_net(
                        16, 0.7, 1000 + static_cast<std::uint64_t>(repeat));
-                   run_ira(net, budget_units);
+                   run_ira_variant(net, variant, budget_units);
                  }});
 
   out.push_back({"ira_random_n24_p04",
                  "IRA on sparser G(24, 0.4) instances (more cut rounds)",
-                 [budget_units](int repeat) {
+                 [budget_units, variant](int repeat) {
                    const wsn::Network net = random_net(
                        24, 0.4, 2000 + static_cast<std::uint64_t>(repeat));
-                   run_ira(net, budget_units);
+                   run_ira_variant(net, variant, budget_units);
                  }});
 
   out.push_back({"ira_random_n48_p04",
                  "IRA on G(48, 0.4) instances — the warm-start stress case "
                  "(many cut rounds over a large LP)",
-                 [budget_units](int repeat) {
+                 [budget_units, variant](int repeat) {
                    const wsn::Network net = random_net(
                        48, 0.4, 5000 + static_cast<std::uint64_t>(repeat));
-                   run_ira(net, budget_units);
+                   run_ira_variant(net, variant, budget_units);
                  }});
 
   out.push_back({"ira_random_n128_p015",
                  "IRA on G(128, 0.15) — the sparse-LP scale case (hundreds "
                  "of edge variables; dense tableau for A/B via --engine)",
-                 [budget_units](int repeat) {
+                 [budget_units, variant](int repeat) {
                    const wsn::Network net = random_net(
                        128, 0.15, 7000 + static_cast<std::uint64_t>(repeat));
-                   run_ira(net, budget_units);
+                   run_ira_variant(net, variant, budget_units);
                  }});
 
   out.push_back({"ira_dfl_n32",
                  "IRA on a 32-node DFL perimeter (7.2 m square, same tripod "
                  "spacing) — longer-range fractional cycles than n16",
-                 [budget_units](int) {
+                 [budget_units, variant](int) {
                    scenario::DflConfig config;
                    config.side_m = 7.2;  // 32 tripods at the default 0.9 m
                    const wsn::Network net =
                        scenario::make_dfl_system(config).network;
-                   run_ira(net, budget_units);
+                   run_ira_variant(net, variant, budget_units);
                  }});
 
   out.push_back({"bb_random_n14", "exact branch-and-bound on G(14, 0.5)",
@@ -205,6 +255,26 @@ std::vector<Workload> make_workloads(std::int64_t budget_units,
                    const wsn::Network net = random_net(
                        14, 0.5, 3000 + static_cast<std::uint64_t>(repeat));
                    core::branch_bound_mrlc(net, mst_bound(net), {});
+                 }});
+
+  out.push_back({"etx_random_n48",
+                 "etx variant (min expected ARQ transmissions under "
+                 "conservative energy rows) on G(48, 0.4) instances",
+                 [](int repeat) {
+                   const wsn::Network net = random_net(
+                       48, 0.4, 8000 + static_cast<std::uint64_t>(repeat));
+                   core::solve_variant(core::VariantId::kEtx, net,
+                                       etx_bound(net));
+                 }});
+
+  out.push_back({"minenergy_n32",
+                 "min-energy aggregation tree (one certified Subtour-LP "
+                 "round) on G(32, 0.4) instances",
+                 [](int repeat) {
+                   const wsn::Network net = random_net(
+                       32, 0.4, 9000 + static_cast<std::uint64_t>(repeat));
+                   core::solve_variant(core::VariantId::kMinEnergy, net,
+                                       mst_bound(net));
                  }});
 
   out.push_back({"dataplane_n16",
@@ -288,12 +358,18 @@ std::string indent_block(const std::string& json, const std::string& pad) {
   std::cerr << "usage: mrlc_bench [--out PATH] [--repeats N] [--workload NAME]\n"
                "                  [--list] [--no-timings] [--threads N]\n"
                "                  [--budget UNITS] [--engine sparse|dense]\n"
+               "                  [--variant NAME]\n"
                "  --budget UNITS  run the IRA workloads through the anytime\n"
                "                  solver with a fresh work budget per repeat\n"
                "                  (0 = unlimited, the classic direct path)\n"
                "  --engine NAME   LP engine for every workload (default\n"
                "                  sparse; dense is the historical tableau,\n"
-               "                  kept for A/B comparison)\n";
+               "                  kept for A/B comparison)\n"
+               "  --variant NAME  problem variant for the ira_* workloads\n"
+               "                  (mrlc | etx | min_energy | max_lifetime;\n"
+               "                  default mrlc = the historical path);\n"
+               "                  recorded in config.variant so\n"
+               "                  bench_compare.py groups runs by variant\n";
   std::exit(2);
 }
 
@@ -310,6 +386,7 @@ int main(int argc, char** argv) {
   unsigned threads = 1;
   std::int64_t budget_units = 0;
   std::string engine = "sparse";
+  std::string variant_name = "mrlc";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -331,6 +408,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--engine" && i + 1 < argc) {
       engine = argv[++i];
       if (engine != "sparse" && engine != "dense") usage();
+    } else if (arg == "--variant" && i + 1 < argc) {
+      variant_name = argv[++i];
+      if (!mrlc::core::variant_from_string(variant_name).has_value()) usage();
     } else {
       usage();
     }
@@ -338,9 +418,11 @@ int main(int argc, char** argv) {
   mrlc::set_default_thread_count(threads);
   mrlc::lp::set_default_engine(engine == "dense" ? mrlc::lp::Engine::kDense
                                                  : mrlc::lp::Engine::kSparse);
+  const mrlc::core::VariantId variant =
+      *mrlc::core::variant_from_string(variant_name);
 
   const std::vector<Workload> workloads =
-      make_workloads(budget_units, with_timings);
+      make_workloads(budget_units, with_timings, variant);
   if (list_only) {
     for (const Workload& w : workloads) {
       std::cout << w.name << "  " << w.description << '\n';
@@ -408,7 +490,8 @@ int main(int argc, char** argv) {
       << (with_timings ? "true" : "false")
       << ", \"threads\": " << mrlc::default_thread_count()
       << ", \"budget\": " << budget_units
-      << ", \"engine\": " << json_escape(engine) << "},\n";
+      << ", \"engine\": " << json_escape(engine)
+      << ", \"variant\": " << json_escape(variant_name) << "},\n";
   out << "  \"workloads\": [\n" << body.str() << "\n  ]\n";
   out << "}\n";
   std::cerr << "wrote " << out_path << '\n';

@@ -23,6 +23,8 @@ namespace {
       << "usage:\n"
          "  mrlc_client --socket PATH --lifetime ROUNDS [options] < net > tree\n"
          "options:\n"
+         "  --variant NAME   problem variant (mrlc | etx | min_energy |\n"
+         "                   max_lifetime; default mrlc)\n"
          "  --budget N       deterministic work budget forwarded to the solve\n"
          "  --deadline-ms N  wall-clock deadline forwarded to the solve\n"
          "  --id TOKEN       request id echoed in the reply (default req-1)\n"
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   try {
     WireRequest request;
     request.id = flags.count("id") ? flags["id"] : "req-1";
+    if (flags.count("variant")) request.variant = flags["variant"];
     request.lifetime = std::stod(flags["lifetime"]);
     if (flags.count("budget")) request.budget = std::stoll(flags["budget"]);
     if (flags.count("deadline-ms")) {

@@ -16,13 +16,20 @@
 /// [--channel bernoulli|gilbert-elliott] [--burst B] to append an
 /// `arq`/`channel` data-plane config block; `mrlc_solve dataplane` picks it
 /// up as its defaults.
+///
+/// Either mode also takes [--annotate-cost LIFETIME] [--variant NAME] to
+/// solve the freshly generated instance and prepend an `# expected-cost`
+/// comment carrying the optimal objective under that problem variant —
+/// golden tests diff the annotation to pin generator + solver together.
 
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "common/rng.hpp"
+#include "core/variant.hpp"
 #include "distributed/failure.hpp"
 #include "radio/arq.hpp"
 #include "scenario/dfl.hpp"
@@ -40,8 +47,12 @@ namespace {
                "both modes: [--faults K] [--horizon ROUNDS] [--fault-seed S]\n"
                "            [--arq ATTEMPTS] [--ack-fraction F]\n"
                "            [--channel bernoulli|gilbert-elliott] [--burst B]\n"
+               "            [--annotate-cost LIFETIME] [--variant NAME]\n"
                "writes an mrlc-network v1 file (plus optional fault-schedule\n"
-               "and arq/channel config blocks) to stdout\n";
+               "and arq/channel config blocks) to stdout; --annotate-cost\n"
+               "solves the instance under --variant (mrlc | etx | min_energy\n"
+               "| max_lifetime; default mrlc) at the given lifetime bound and\n"
+               "prepends an `# expected-cost` comment with the objective\n";
   std::exit(2);
 }
 
@@ -113,6 +124,33 @@ void emit_dataplane_config(const std::map<std::string, std::string>& flags) {
   mrlc::radio::write_dataplane_config(std::cout, config);
 }
 
+/// Solves the generated instance under `--variant` at the `--annotate-cost`
+/// lifetime bound and prints the expected-cost annotation comment.  Readers
+/// skip `#` lines, so annotated files stay valid mrlc-network-v1 input; the
+/// line itself is stable enough to diff in golden tests:
+///
+///     # expected-cost variant=etx lifetime=500 objective=6.1237311043
+void emit_expected_cost(const std::map<std::string, std::string>& flags,
+                        const mrlc::wsn::Network& net) {
+  const auto bound_it = flags.find("annotate-cost");
+  if (bound_it == flags.end()) {
+    if (flags.count("variant")) usage();  // --variant needs --annotate-cost
+    return;
+  }
+  const auto variant_it = flags.find("variant");
+  const std::string name =
+      variant_it == flags.end() ? "mrlc" : variant_it->second;
+  const auto id = mrlc::core::variant_from_string(name);
+  if (!id.has_value()) usage();
+  const double bound = std::stod(bound_it->second);
+  const mrlc::core::VariantResult result =
+      mrlc::core::solve_variant(*id, net, bound);
+  std::cout << "# expected-cost variant=" << mrlc::core::to_string(*id)
+            << " lifetime=" << bound << " objective=" << std::setprecision(10)
+            << std::fixed << result.objective
+            << std::defaultfloat << std::setprecision(6) << '\n';
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -130,6 +168,7 @@ int main(int argc, char** argv) {
       const scenario::DflSystem sys = scenario::make_dfl_system(config);
       std::cout << "# DFL testbed, seed " << config.seed << ", tx level "
                 << config.tx_power_level << ", side " << config.side_m << " m\n";
+      emit_expected_cost(flags, sys.network);
       wsn::write_network(std::cout, sys.network);
       emit_fault_schedule(flags, sys.network, config.seed);
       emit_dataplane_config(flags);
@@ -147,6 +186,7 @@ int main(int argc, char** argv) {
       const wsn::Network net = scenario::make_random_network(config, rng);
       std::cout << "# G(n, p) instance, n " << config.node_count << ", p "
                 << config.link_probability << '\n';
+      emit_expected_cost(flags, net);
       wsn::write_network(std::cout, net);
       emit_fault_schedule(flags, net, seed);
       emit_dataplane_config(flags);

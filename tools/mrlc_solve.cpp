@@ -56,7 +56,9 @@ namespace {
 [[noreturn]] void usage() {
   std::cerr << "usage:\n"
                "  mrlc_solve auto   --lifetime ROUNDS [--certify] < net > tree\n"
-               "  mrlc_solve ira    --lifetime ROUNDS [--strict]  < net > tree\n"
+               "  mrlc_solve ira    --lifetime ROUNDS [--strict]\n"
+               "                    [--variant mrlc|etx|min_energy|max_lifetime]\n"
+               "                    < net > tree\n"
                "  mrlc_solve greedy --lifetime ROUNDS             < net > tree\n"
                "  mrlc_solve mst                                  < net > tree\n"
                "  mrlc_solve aaml   [--lex]                       < net > tree\n"
@@ -70,6 +72,12 @@ namespace {
                "                    [--ack-fraction F] [--probe P]\n"
                "                    [--churn-sigma S] [--seed S]  < net\n"
                "global flags:\n"
+               "  --variant NAME        problem variant for ira/auto (default\n"
+               "                        mrlc; etx minimizes expected ARQ\n"
+               "                        transmissions under energy budgets,\n"
+               "                        min_energy the expected radio energy,\n"
+               "                        max_lifetime maximizes the lifetime\n"
+               "                        with --lifetime as a floor)\n"
                "  --metrics-json PATH   write solver metrics (counters, phase\n"
                "                        timings) as JSON after the run\n"
                "  --threads N           worker threads for the parallel solver\n"
@@ -341,6 +349,57 @@ int run(const std::string& mode, std::map<std::string, std::string>& flags) {
       return 0;
     }
 
+    // An explicit --variant routes ira/auto through the problem-variant
+    // front door.  The flag-absent path below is the historical one,
+    // byte-for-byte; `--variant mrlc` must agree with it on stdout (the
+    // parity gate in scripts/ci.sh compares the two).
+    if (flags.count("variant") && (mode == "ira" || mode == "auto")) {
+      const std::optional<core::VariantId> variant =
+          core::variant_from_string(flags["variant"]);
+      if (!variant.has_value()) {
+        std::cerr << "mrlc_solve: unknown variant '" << flags["variant"]
+                  << "' (expected mrlc, etx, min_energy or max_lifetime)\n";
+        return 4;
+      }
+      if (!flags.count("lifetime")) usage();
+      const double bound = std::stod(flags["lifetime"]);
+      Budget budget;
+      if (configure_budget(flags, budget)) {
+        core::AnytimeOptions options;
+        options.budget = &budget;
+        options.variant = *variant;
+        const core::AnytimeResult res = core::solve_anytime(net, bound, options);
+        std::cerr << "anytime[" << core::to_string(*variant)
+                  << "]: " << core::to_string(res.status) << ": "
+                  << res.message << '\n';
+        if (res.status == core::AnytimeStatus::kInfeasible) return 3;
+        std::cerr << "objective " << res.objective << ", dual bound "
+                  << res.dual_bound << ", certified gap " << res.gap
+                  << ", budget used " << budget.used() << " work units\n";
+        report(net, res.tree, mode);
+        wsn::write_tree(std::cout, res.tree);
+        return res.status == core::AnytimeStatus::kOptimal ? 0 : 2;
+      }
+      core::IraOptions options;
+      options.bound_mode = flags.count("strict") ? core::BoundMode::kPaperStrict
+                                                 : core::BoundMode::kDirect;
+      const core::VariantResult res =
+          core::solve_variant(*variant, net, bound, options);
+      std::cerr << "variant " << core::to_string(res.variant) << ": objective "
+                << res.objective << ", bound metric " << res.bound_metric
+                << " (bound " << bound << ": "
+                << (res.meets_bound ? "met" : "VIOLATED") << ")\n";
+      if (*variant == core::VariantId::kMaxLifetime) {
+        std::cerr << "LP-certified lifetime upper bound: " << res.internal_bound
+                  << " rounds\n";
+      }
+      std::cerr << "certificate: "
+                << core::problem_variant(*variant).certificate() << '\n';
+      report(net, res.tree, mode);
+      wsn::write_tree(std::cout, res.tree);
+      return 0;
+    }
+
     // With a budget or deadline the LP-tier modes run through the anytime
     // layer: typed status, best incumbent on exhaustion, certified gap —
     // and exit code 2 instead of an exception when the budget runs out.
@@ -497,6 +556,11 @@ int main(int argc, char** argv) {
   mrlc::metrics::counter("faults.injected");
   mrlc::metrics::counter("faults.recovered");
   mrlc::metrics::gauge("solver.status");
+  for (const mrlc::core::VariantId id : mrlc::core::all_variants()) {
+    mrlc::metrics::counter(std::string("ira.variant_solves.") +
+                           mrlc::core::to_string(id));
+  }
+  mrlc::metrics::gauge("solver.variant");
 
   const int exit_code = run(mode, flags);
   if (mrlc::fault::injected_count() > 0 || mrlc::fault::recovered_count() > 0) {
