@@ -4,26 +4,48 @@
 /// \brief Shared helpers for the figure-reproduction binaries.
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "common/table.hpp"
+#include "core/variant.hpp"
 
 namespace mrlc::bench {
 
 /// Shared CLI convention for the figure binaries: pass `--csv` to emit
-/// machine-readable tables (for plotting) instead of aligned text.
+/// machine-readable tables (for plotting) instead of aligned text, and
+/// `--variant NAME` to route the solver rows through a problem variant
+/// (`mrlc`, the default, is byte-identical to the historical path).
 struct BenchArgs {
   bool csv = false;
+  core::VariantId variant = core::VariantId::kMrlc;
 };
 
 inline BenchArgs parse_bench_args(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--csv") == 0) args.csv = true;
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strcmp(argv[i], "--variant") == 0 && i + 1 < argc) {
+      const auto parsed = core::variant_from_string(argv[++i]);
+      if (!parsed.has_value()) {
+        std::cerr << "unknown variant " << argv[i]
+                  << " (expected mrlc | etx | min_energy | max_lifetime)\n";
+        std::exit(2);
+      }
+      args.variant = *parsed;
+    }
   }
   return args;
+}
+
+/// Row label for the variant-routed solver column, e.g. "IRA" for mrlc
+/// and "IRA[etx]" otherwise.
+inline std::string variant_label(core::VariantId variant) {
+  if (variant == core::VariantId::kMrlc) return "IRA";
+  return std::string("IRA[") + core::to_string(variant) + "]";
 }
 
 inline void emit(const Table& table, const BenchArgs& args) {

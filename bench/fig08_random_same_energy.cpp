@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 8", "random graphs, same initial energy (3000 J)");
 
   const scenario::RandomNetworkConfig config;  // paper defaults
-  const std::vector<bench::SweepRow> rows = bench::run_sweep(config, 100, 8);
+  const std::vector<bench::SweepRow> rows =
+      bench::run_sweep(config, 100, 8, bench_args.variant);
   bench::print_sweep(rows, bench_args);
 
   std::cout << "\nexpected shape: AAML several times costlier and unstable; "

@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   scenario::RandomNetworkConfig config;
   config.energy_min_j = 1500.0;
   config.energy_max_j = 5000.0;
-  const std::vector<bench::SweepRow> rows = bench::run_sweep(config, 100, 9);
+  const std::vector<bench::SweepRow> rows =
+      bench::run_sweep(config, 100, 9, bench_args.variant);
   bench::print_sweep(rows, bench_args);
 
   std::cout << "\nexpected shape: IRA-MST gap narrows vs Fig. 8; AAML unstable "

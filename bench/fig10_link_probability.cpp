@@ -17,15 +17,17 @@ int main(int argc, char** argv) {
   using namespace mrlc;
   bench::print_header("Fig. 10", "average cost vs link connection probability");
 
-  Table table({"link_probability", "AAML_mean_cost_mb", "IRA_mean_cost_mb",
+  const std::string solver = bench::variant_label(bench_args.variant);
+  Table table({"link_probability", "AAML_mean_cost_mb", solver + "_mean_cost_mb",
                "MST_mean_cost_mb", "instances"});
   for (const double p : {0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
     scenario::RandomNetworkConfig config;
     config.link_probability = p;
     RunningStats aaml_cost, ira_cost, mst_cost;
     const int instances = 100;
-    const std::vector<bench::SweepRow> rows = bench::run_sweep(
-        config, instances, static_cast<std::uint64_t>(p * 1000));
+    const std::vector<bench::SweepRow> rows =
+        bench::run_sweep(config, instances, static_cast<std::uint64_t>(p * 1000),
+                         bench_args.variant);
     for (const bench::SweepRow& row : rows) {
       aaml_cost.add(bench::to_millibits(row.aaml_cost));
       ira_cost.add(bench::to_millibits(row.ira_cost));

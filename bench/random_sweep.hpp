@@ -31,21 +31,40 @@ struct SweepRow {
   double lifetime_constraint = 0.0;
 };
 
-/// Runs one instance: AAML fixes the lifetime constraint, IRA (direct
-/// mode, as in the paper's evaluation) and MST compete on cost.
-inline SweepRow run_instance(const wsn::Network& net) {
+/// Runs one instance: AAML fixes the lifetime constraint, the selected
+/// solver variant and MST compete on cost.  `kMrlc` takes the historical
+/// direct-IRA path byte-for-byte (no variant layer runs); the other
+/// variants route through `core::solve_variant` at the same bound —
+/// `max_lifetime` treats it as a floor, and a variant whose feasibility
+/// region is stricter than MRLC's (etx/min_energy charge conservative
+/// energy rows) may report the instance infeasible, which the row records
+/// as a violated bound with zeroed solver columns.
+inline SweepRow run_instance(const wsn::Network& net,
+                             core::VariantId variant = core::VariantId::kMrlc) {
   SweepRow row;
   const baselines::AamlResult aaml = baselines::aaml(net);
-  core::IraOptions options;
-  options.bound_mode = core::BoundMode::kDirect;
-  const core::IraResult ira =
-      core::IterativeRelaxation(options).solve(net, aaml.lifetime);
+  if (variant == core::VariantId::kMrlc) {
+    core::IraOptions options;
+    options.bound_mode = core::BoundMode::kDirect;
+    const core::IraResult ira =
+        core::IterativeRelaxation(options).solve(net, aaml.lifetime);
+    row.ira_cost = ira.cost;
+    row.ira_reliability = ira.reliability;
+    row.ira_meets = ira.meets_bound;
+  } else {
+    try {
+      const core::VariantResult res =
+          core::solve_variant(variant, net, aaml.lifetime);
+      row.ira_cost = res.cost;
+      row.ira_reliability = res.reliability;
+      row.ira_meets = res.meets_bound;
+    } catch (const InfeasibleError&) {
+      row.ira_meets = false;  // conservative rows can exclude every tree
+    }
+  }
   const baselines::MstResult mst = baselines::mst_baseline(net);
   row.aaml_cost = aaml.cost;
   row.aaml_reliability = aaml.reliability;
-  row.ira_cost = ira.cost;
-  row.ira_reliability = ira.reliability;
-  row.ira_meets = ira.meets_bound;
   row.mst_cost = mst.cost;
   row.mst_reliability = mst.reliability;
   row.lifetime_constraint = aaml.lifetime;
@@ -55,7 +74,8 @@ inline SweepRow run_instance(const wsn::Network& net) {
 /// Runs `count` independent instances on the default pool (one RNG stream
 /// each, so the rows are identical for every thread count).
 inline std::vector<SweepRow> run_sweep(const scenario::RandomNetworkConfig& config,
-                                       int count, std::uint64_t base_seed) {
+                                       int count, std::uint64_t base_seed,
+                                       core::VariantId variant = core::VariantId::kMrlc) {
   std::vector<SweepRow> rows(static_cast<std::size_t>(count));
   Rng base(base_seed);
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
@@ -63,7 +83,7 @@ inline std::vector<SweepRow> run_sweep(const scenario::RandomNetworkConfig& conf
   default_pool().for_each(count, [&](int i) {
     Rng rng(seeds[static_cast<std::size_t>(i)]);
     rows[static_cast<std::size_t>(i)] =
-        run_instance(scenario::make_random_network(config, rng));
+        run_instance(scenario::make_random_network(config, rng), variant);
   });
   return rows;
 }
@@ -72,8 +92,9 @@ inline std::vector<SweepRow> run_sweep(const scenario::RandomNetworkConfig& conf
 /// algorithm over 100 instances) followed by summary statistics.
 inline void print_sweep(const std::vector<SweepRow>& rows,
                         const BenchArgs& args = {}) {
-  Table table({"instance", "AAML_cost_mb", "IRA_cost_mb", "MST_cost_mb",
-               "AAML_rel", "IRA_rel", "MST_rel", "IRA_meets_LC"});
+  const std::string solver = variant_label(args.variant);
+  Table table({"instance", "AAML_cost_mb", solver + "_cost_mb", "MST_cost_mb",
+               "AAML_rel", solver + "_rel", "MST_rel", solver + "_meets_LC"});
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const SweepRow& r = rows[i];
     table.begin_row()
@@ -109,12 +130,12 @@ inline void print_sweep(const std::vector<SweepRow>& rows,
         .add(s.min, 1).add(s.median, 1).add(s.max, 1);
   };
   srow("AAML", a);
-  srow("IRA@L_AAML", i);
+  srow((solver + "@L_AAML").c_str(), i);
   srow("MST (lower bound)", m);
-  srow("IRA - MST gap", g);
+  srow((solver + " - MST gap").c_str(), g);
   emit(summary, args);
-  std::cout << "IRA met the lifetime constraint on " << meets << "/" << rows.size()
-            << " instances\n";
+  std::cout << solver << " met the lifetime constraint on " << meets << "/"
+            << rows.size() << " instances\n";
 }
 
 }  // namespace mrlc::bench

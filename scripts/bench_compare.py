@@ -120,6 +120,24 @@ def is_service_workload(workload):
     return "service.requests" in counters
 
 
+def is_dataplane_workload(workload):
+    # The counter key can appear with a zero delta in workloads that ran
+    # after a data-plane one in the same process; only a nonzero count
+    # marks an actual event-engine run.
+    counters = workload.get("metrics", {}).get("counters", {})
+    return counters.get("dataplane.events_processed", 0) > 0
+
+
+def dataplane_events_per_sec(workload):
+    """Simulation events retired per second of wall time, or None when
+    timings were disabled (wall time is zeroed)."""
+    counters = workload.get("metrics", {}).get("counters", {})
+    total_ms = workload.get("wall_ms", {}).get("total", 0.0)
+    if total_ms <= 0.0:
+        return None
+    return counters.get("dataplane.events_processed", 0) * 1000.0 / total_ms
+
+
 def service_qps(workload):
     """Completed requests per second over the workload's total wall time,
     or None when timings were disabled (wall time is zeroed)."""
@@ -225,6 +243,11 @@ def compare(baseline, current, threshold):
             deltas = ", ".join(work_delta(base_counters, cur_counters, key)
                                for key in WORK_COUNTERS)
             print(f"     {name}: {deltas}")
+
+        if is_dataplane_workload(base) or is_dataplane_workload(cur):
+            print(f"     {name}: events/sec "
+                  f"{fmt_qps(dataplane_events_per_sec(base))} -> "
+                  f"{fmt_qps(dataplane_events_per_sec(cur))}")
 
         if is_service_workload(base) or is_service_workload(cur):
             base_rate = service_shed_rate(base)

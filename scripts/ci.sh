@@ -55,7 +55,7 @@ esac
 
 # The concurrency-heavy binaries; everything else is single-threaded and
 # already covered by the release + ASan full suites.
-tsan_smoke_targets=(test_parallel test_metrics test_separation test_stress)
+tsan_smoke_targets=(test_parallel test_metrics test_separation test_stress test_des)
 
 run_tsan_suite() {
   (

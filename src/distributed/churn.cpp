@@ -21,6 +21,31 @@ ChurnProcess::ChurnProcess(const wsn::Network& net, ChurnOptions options)
     anchor_cost_.push_back(net.link_cost(id));
     reported_prr_.push_back(net.link_prr(id));
   }
+  min_cost_ = wsn::Network::prr_to_cost(options_.max_prr);
+  max_cost_ = wsn::Network::prr_to_cost(options_.min_prr);
+}
+
+std::optional<LinkEvent> ChurnProcess::step_link(wsn::Network& net,
+                                                 wsn::EdgeId id, Rng& rng) {
+  const double old_prr = net.link_prr(id);
+  const double cost = net.link_cost(id);
+  const double anchor = anchor_cost_[static_cast<std::size_t>(id)];
+  const double next_cost =
+      std::clamp(cost + options_.mean_reversion * (anchor - cost) +
+                     rng.normal(0.0, options_.cost_noise_sigma),
+                 min_cost_, max_cost_);
+  const double next_prr = wsn::Network::cost_to_prr(next_cost);
+  net.set_link_prr(id, next_prr);
+
+  double& reported = reported_prr_[static_cast<std::size_t>(id)];
+  const double relative_change = std::abs(next_prr - reported) / reported;
+  if (relative_change < options_.event_threshold) return std::nullopt;
+  const LinkEvent event{
+      id,
+      next_prr < reported ? LinkEvent::Kind::kDegraded : LinkEvent::Kind::kImproved,
+      old_prr, next_prr};
+  reported = next_prr;
+  return event;
 }
 
 std::vector<LinkEvent> ChurnProcess::step(wsn::Network& net, Rng& rng) {
@@ -29,27 +54,8 @@ std::vector<LinkEvent> ChurnProcess::step(wsn::Network& net, Rng& rng) {
   ++steps_;
 
   std::vector<LinkEvent> events;
-  const double min_cost = wsn::Network::prr_to_cost(options_.max_prr);
-  const double max_cost = wsn::Network::prr_to_cost(options_.min_prr);
   for (wsn::EdgeId id = 0; id < net.link_count(); ++id) {
-    const double old_prr = net.link_prr(id);
-    const double cost = net.link_cost(id);
-    const double anchor = anchor_cost_[static_cast<std::size_t>(id)];
-    const double next_cost =
-        std::clamp(cost + options_.mean_reversion * (anchor - cost) +
-                       rng.normal(0.0, options_.cost_noise_sigma),
-                   min_cost, max_cost);
-    const double next_prr = wsn::Network::cost_to_prr(next_cost);
-    net.set_link_prr(id, next_prr);
-
-    double& reported = reported_prr_[static_cast<std::size_t>(id)];
-    const double relative_change = std::abs(next_prr - reported) / reported;
-    if (relative_change < options_.event_threshold) continue;
-    events.push_back(LinkEvent{
-        id,
-        next_prr < reported ? LinkEvent::Kind::kDegraded : LinkEvent::Kind::kImproved,
-        old_prr, next_prr});
-    reported = next_prr;
+    if (auto event = step_link(net, id, rng)) events.push_back(*event);
   }
   return events;
 }

@@ -22,6 +22,7 @@
 ///           ? maintainer.on_link_degraded(net, event.link)
 ///           : maintainer.on_link_improved(net, event.link);
 
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -63,6 +64,13 @@ class ChurnProcess {
   /// \return the links whose change crossed the event threshold.
   std::vector<LinkEvent> step(wsn::Network& net, Rng& rng);
 
+  /// \brief Advances a single link one step — the per-link half of `step`,
+  /// exposed for engines that drive each link from its own forked RNG
+  /// stream (the discrete-event data plane).  Touches only per-link state,
+  /// so concurrent calls on *distinct* links are safe.
+  /// \return the event when the change crossed the threshold.
+  std::optional<LinkEvent> step_link(wsn::Network& net, wsn::EdgeId id, Rng& rng);
+
   const ChurnOptions& options() const noexcept { return options_; }
   int steps_taken() const noexcept { return steps_; }
 
@@ -70,6 +78,8 @@ class ChurnProcess {
   ChurnOptions options_;
   std::vector<double> anchor_cost_;    ///< deployment-time cost per link
   std::vector<double> reported_prr_;   ///< PRR at the last reported event
+  double min_cost_ = 0.0;              ///< prr_to_cost(max_prr)
+  double max_cost_ = 0.0;              ///< prr_to_cost(min_prr)
   int steps_ = 0;
 };
 

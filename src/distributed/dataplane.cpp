@@ -1,14 +1,59 @@
 #include "distributed/dataplane.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
-#include "common/metrics.hpp"
+#include "common/parallel.hpp"
 #include "common/trace.hpp"
-#include "wsn/metrics.hpp"
+#include "distributed/des_engine.hpp"
+#include "distributed/logical_process.hpp"
 
 namespace mrlc::dist {
+
+namespace {
+
+/// The legacy serial round loop, kept as the parity oracle for the
+/// discrete-event engine.  It drives the *same* per-entity handlers and
+/// serial-checkpoint methods as `run_des`, in plain ascending-id loops
+/// with no queue, no pool, and no shards — so any divergence between the
+/// two engines is a bug in the event machinery, not in the physics.
+void run_legacy(engine::SimState& s) {
+  const bool oracle = s.options->repair == RepairMode::kOracle;
+  const bool estimator = s.estimator_mode();
+  while (!s.stopped && s.completed_rounds < s.options->rounds) {
+    const int planned = s.plan_window();
+    if (planned == 0) break;
+    const int start = s.window_start;
+    std::vector<LinkEvent>* churn_fired =
+        oracle || estimator ? &s.fired_churn[0] : nullptr;
+    std::vector<LinkEvent>* est_fired = estimator ? &s.fired_est[0] : nullptr;
+    for (int k = 0; k < planned; ++k) {
+      // 1. True link qualities drift; each link's channel follows.
+      for (wsn::EdgeId e = 0; e < s.links; ++e) s.churn_link(e, churn_fired);
+      // 2. Oracle repairs land before the round's convergecast, exactly
+      // as in the event engine's split round.
+      if (oracle) s.apply_oracle_events();
+      // 3. One ARQ transaction per non-root member.
+      for (wsn::VertexId v = 0; v < s.n; ++v) s.transact_node(v, k, est_fired);
+      // 4. Probe beacons sample idle links so improvements are noticed.
+      if (s.probing()) {
+        for (wsn::EdgeId e = 0; e < s.links; ++e) {
+          if (s.on_tree[static_cast<std::size_t>(e)]) continue;
+          if (!s.net.topology().is_alive(e)) continue;
+          s.probe_link(e, est_fired);
+        }
+      }
+      if (estimator) s.apply_pending_marks(start + k);
+    }
+    s.commit_window(planned);
+    // 5. Estimator events repair on the believed view, after the
+    // window's readings/energy are committed against the tree they ran on.
+    if (estimator) s.apply_estimator_events(start);
+    s.end_window(planned);
+  }
+  s.finalize();
+}
+
+}  // namespace
 
 DataPlaneResult run_dataplane(wsn::Network net, wsn::AggregationTree tree,
                               double lifetime_bound,
@@ -16,199 +61,18 @@ DataPlaneResult run_dataplane(wsn::Network net, wsn::AggregationTree tree,
   trace::ScopedPhase phase("dataplane");
   options.validate();
   options.arq.validate();
-  const int n = net.node_count();
-  const int links = net.link_count();
-
-  Rng master(options.seed);
-  Rng churn_rng = master.fork(1);
-  Rng channel_rng = master.fork(2);
-  Rng probe_rng = master.fork(3);
-
-  ChurnProcess churn(net, options.churn);
-  radio::ChannelSet channels(net, options.channel, channel_rng);
-
-  // What the nodes believe: starts as the site survey (the true deployment
-  // qualities) and is updated only by estimator events.  All repair
-  // decisions in kEstimator mode are made on this view.
-  wsn::Network believed = net;
-  LinkEstimatorBank estimator(net, options.estimator);
-  DistributedMaintainer maintainer(believed, std::move(tree), lifetime_bound,
-                                   options.maintainer);
-
-  // Earliest unmatched true-change round per link and direction, for the
-  // detection-lag and false-positive accounting in kEstimator mode.
-  std::vector<int> pending_degrade(static_cast<std::size_t>(links), -1);
-  std::vector<int> pending_improve(static_cast<std::size_t>(links), -1);
-
-  DataPlaneResult out;
-  std::vector<double> consumed(static_cast<std::size_t>(n), 0.0);
-  std::uint64_t delivered_total = 0;
-  std::uint64_t data_tx_total = 0;
-  std::uint64_t ack_tx_total = 0;
-  std::uint64_t slots_total = 0;
-  int complete_rounds = 0;
-  double lag_sum = 0.0;
-
-  radio::ArqObserver observer;
-  if (options.repair == RepairMode::kEstimator) {
-    observer = [&](wsn::EdgeId link, bool acked, int) {
-      estimator.observe(link, acked);
-    };
+  const int shard_count =
+      options.engine == DataPlaneEngine::kDes
+          ? std::max(1, static_cast<int>(default_thread_count()))
+          : 1;
+  engine::SimState s(std::move(net), std::move(tree), lifetime_bound, options,
+                     shard_count);
+  if (options.engine == DataPlaneEngine::kDes) {
+    engine::run_des(s);
+  } else {
+    run_legacy(s);
   }
-
-  int completed_rounds = 0;
-  for (int round = 0; round < options.rounds; ++round) {
-    // Cooperative budget: one unit per round, charged at this serial point.
-    // The loop body is deterministic given the round index, so an early
-    // stop truncates the run at the same round for every configuration.
-    if (options.budget != nullptr && !options.budget->charge(1)) break;
-    ++completed_rounds;
-    // 1. True link qualities drift; the channel processes follow.
-    const std::vector<LinkEvent> oracle_events = churn.step(net, churn_rng);
-    channels.sync(net);
-    for (const LinkEvent& event : oracle_events) {
-      if (options.repair == RepairMode::kOracle) {
-        const bool changed =
-            event.kind == LinkEvent::Kind::kDegraded
-                ? maintainer.on_link_degraded(net, event.link)
-                : maintainer.on_link_improved(net, event.link);
-        (event.kind == LinkEvent::Kind::kDegraded ? out.degraded_events
-                                                  : out.improved_events)++;
-        if (changed) ++out.repairs_applied;
-      } else if (options.repair == RepairMode::kEstimator) {
-        std::vector<int>& pending = event.kind == LinkEvent::Kind::kDegraded
-                                        ? pending_degrade
-                                        : pending_improve;
-        if (pending[static_cast<std::size_t>(event.link)] < 0) {
-          pending[static_cast<std::size_t>(event.link)] = round;
-        }
-      }
-    }
-
-    // 2. One convergecast round under ARQ on the current tree; in
-    // estimator mode every transaction outcome is an estimator sample.
-    const radio::ArqRoundResult res =
-        radio::simulate_arq_round(net, maintainer.tree(), options.arq, channels,
-                                  channel_rng, &consumed, observer);
-    delivered_total += static_cast<std::uint64_t>(res.readings_delivered - 1);
-    data_tx_total += res.data_transmissions;
-    ack_tx_total += res.ack_transmissions;
-    slots_total += res.slots_elapsed;
-    out.duplicates_suppressed +=
-        static_cast<long long>(res.duplicates_suppressed);
-    out.packets_dropped += static_cast<long long>(res.packets_dropped);
-    if (res.round_complete) ++complete_rounds;
-
-    if (options.repair != RepairMode::kEstimator) continue;
-
-    // 3. Probe beacons sample idle links so improvements are noticed too.
-    // Probes are short control frames; their energy is negligible next to
-    // the data plane (same argument as the paper's idle-listening cut).
-    if (options.probe_probability > 0.0) {
-      const wsn::AggregationTree& current = maintainer.tree();
-      std::vector<char> on_tree(static_cast<std::size_t>(links), 0);
-      for (wsn::VertexId v = 0; v < n; ++v) {
-        if (v == current.root() || !current.contains(v)) continue;
-        on_tree[static_cast<std::size_t>(current.parent_edge(v))] = 1;
-      }
-      for (wsn::EdgeId id : net.topology().alive_edge_ids()) {
-        if (on_tree[static_cast<std::size_t>(id)]) continue;
-        if (!probe_rng.bernoulli(options.probe_probability)) continue;
-        estimator.observe(id, channels.transmit(id, probe_rng));
-      }
-    }
-
-    // 4. Estimator events drive the repairs, on the believed view.
-    for (const LinkEvent& event : estimator.poll()) {
-      believed.set_link_prr(event.link, event.new_prr);
-      const bool changed =
-          event.kind == LinkEvent::Kind::kDegraded
-              ? maintainer.on_link_degraded(believed, event.link)
-              : maintainer.on_link_improved(believed, event.link);
-      (event.kind == LinkEvent::Kind::kDegraded ? out.degraded_events
-                                                : out.improved_events)++;
-      if (changed) ++out.repairs_applied;
-
-      std::vector<int>& pending = event.kind == LinkEvent::Kind::kDegraded
-                                      ? pending_degrade
-                                      : pending_improve;
-      int& since = pending[static_cast<std::size_t>(event.link)];
-      if (since >= 0) {
-        ++out.detections;
-        static metrics::Histogram& lag_hist =
-            metrics::histogram("dataplane.detection_lag_rounds");
-        lag_hist.record(round - since);
-        lag_sum += static_cast<double>(round - since);
-        since = -1;
-      } else {
-        ++out.false_positive_events;
-      }
-    }
-  }
-
-  out.rounds = completed_rounds;
-  // Normalize per-round statistics by the rounds actually simulated (the
-  // max guards the all-budget-spent-up-front case against dividing by 0).
-  const auto denom = static_cast<double>(std::max(1, completed_rounds));
-  out.delivery_ratio =
-      n > 1 ? static_cast<double>(delivered_total) /
-                  (denom * static_cast<double>(n - 1))
-            : 1.0;
-  out.round_success_ratio = static_cast<double>(complete_rounds) / denom;
-  out.avg_data_tx_per_round = static_cast<double>(data_tx_total) / denom;
-  out.avg_ack_tx_per_round = static_cast<double>(ack_tx_total) / denom;
-  out.avg_slots_per_round = static_cast<double>(slots_total) / denom;
-
-  double joules_total = 0.0;
-  out.measured_lifetime_rounds = std::numeric_limits<double>::infinity();
-  for (wsn::VertexId v = 0; v < n; ++v) {
-    const double joules = consumed[static_cast<std::size_t>(v)];
-    joules_total += joules;
-    const double rate = joules / denom;
-    if (rate <= 0.0) continue;
-    out.measured_lifetime_rounds =
-        std::min(out.measured_lifetime_rounds, net.initial_energy(v) / rate);
-  }
-  out.joules_per_reading = delivered_total > 0
-                               ? joules_total / static_cast<double>(delivered_total)
-                               : std::numeric_limits<double>::infinity();
-
-  if (options.repair == RepairMode::kEstimator) {
-    out.mean_detection_lag_rounds =
-        out.detections > 0 ? lag_sum / static_cast<double>(out.detections)
-                           : std::numeric_limits<double>::quiet_NaN();
-    for (int round_mark : pending_degrade) {
-      if (round_mark >= 0) ++out.missed_events;
-    }
-    for (int round_mark : pending_improve) {
-      if (round_mark >= 0) ++out.missed_events;
-    }
-    double mae = 0.0;
-    for (wsn::EdgeId id = 0; id < links; ++id) {
-      mae += std::abs(estimator.estimate(id) - net.link_prr(id));
-    }
-    out.estimate_mae = links > 0 ? mae / static_cast<double>(links) : 0.0;
-  }
-
-  out.final_reliability = wsn::tree_reliability(net, maintainer.tree());
-  out.final_lifetime = wsn::network_lifetime(net, maintainer.tree());
-  out.bound_met =
-      wsn::meets_lifetime(net, maintainer.tree(), maintainer.lifetime_bound());
-
-  static metrics::Counter& rounds_total = metrics::counter("dataplane.rounds");
-  static metrics::Counter& degraded = metrics::counter("dataplane.degraded_events");
-  static metrics::Counter& improved = metrics::counter("dataplane.improved_events");
-  static metrics::Counter& repairs = metrics::counter("dataplane.repairs_applied");
-  static metrics::Counter& detections = metrics::counter("dataplane.detections");
-  static metrics::Counter& false_positives =
-      metrics::counter("dataplane.false_positives");
-  rounds_total.add(out.rounds);
-  degraded.add(out.degraded_events);
-  improved.add(out.improved_events);
-  repairs.add(out.repairs_applied);
-  detections.add(out.detections);
-  false_positives.add(out.false_positive_events);
-  return out;
+  return s.out;
 }
 
 }  // namespace mrlc::dist

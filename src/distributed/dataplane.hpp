@@ -26,6 +26,7 @@
 /// extrapolated from the per-node ARQ energy accounting.
 
 #include <cstdint>
+#include <string>
 
 #include "common/budget.hpp"
 #include "distributed/churn.hpp"
@@ -36,6 +37,14 @@
 namespace mrlc::dist {
 
 enum class RepairMode { kNone, kOracle, kEstimator };
+
+/// Which engine advances the simulation.  Both are bit-identical given
+/// the same options (the parity tests gate this): `kLegacy` is the
+/// serial round loop kept as the oracle, `kDes` the parallel
+/// discrete-event engine (per-node logical processes on statically
+/// sharded event queues, advanced in bounded windows with a
+/// barrier-computed safe time — see docs/algorithms.md §18).
+enum class DataPlaneEngine { kLegacy, kDes };
 
 struct DataPlaneOptions {
   int rounds = 400;
@@ -50,15 +59,32 @@ struct DataPlaneOptions {
   double probe_probability = 0.1;
   std::uint64_t seed = 0xDA7A91A7EULL;
   /// Optional cooperative budget (not owned): one unit per simulated round,
-  /// charged at the (serial) top of the round loop.  When it runs out the
-  /// simulation stops early and every per-round average is normalized by
-  /// the rounds actually completed (`DataPlaneResult::rounds`).
+  /// charged serially at each window boundary (the legacy engine uses the
+  /// same window grouping, so both engines consume the budget
+  /// identically).  When it runs out the simulation stops early and every
+  /// per-round average is normalized by the rounds actually completed
+  /// (`DataPlaneResult::rounds`).
   Budget* budget = nullptr;
+  /// Engine selector; results are bit-identical either way.
+  DataPlaneEngine engine = DataPlaneEngine::kDes;
+  /// Rounds per conservative window in `kNone` mode (repair modes force a
+  /// width of 1: a repair committed in round r changes the tree round r+1
+  /// reads, which bounds the lookahead to one round).  Wider windows
+  /// amortize the barrier; results do not depend on the width.
+  int window_rounds = 8;
+  /// Emit a metrics snapshot to `metrics_flush_path` every N committed
+  /// windows (0 = off), so long-running simulations are observable in
+  /// flight.
+  int metrics_flush_every = 0;
+  std::string metrics_flush_path;
 
   void validate() const {
     MRLC_REQUIRE(rounds >= 1, "need at least one round");
     MRLC_REQUIRE(probe_probability >= 0.0 && probe_probability <= 1.0,
                  "probe probability must lie in [0, 1]");
+    MRLC_REQUIRE(window_rounds >= 1, "need at least one round per window");
+    MRLC_REQUIRE(metrics_flush_every >= 0,
+                 "metrics flush cadence must be >= 0");
   }
 };
 

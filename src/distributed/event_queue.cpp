@@ -1,0 +1,38 @@
+#include "distributed/event_queue.hpp"
+
+#include <utility>
+
+namespace mrlc::dist {
+
+void EventQueue::push(const Event& event) {
+  heap_.push_back(event);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!event_before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Event EventQueue::pop() {
+  MRLC_REQUIRE(!heap_.empty(), "pop() on an empty event queue");
+  const Event out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    const std::size_t right = left + 1;
+    std::size_t best = left;
+    if (right < n && event_before(heap_[right], heap_[left])) best = right;
+    if (!event_before(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return out;
+}
+
+}  // namespace mrlc::dist

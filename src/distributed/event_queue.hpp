@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// \brief Timestamp-ordered event queue for the discrete-event data plane.
+///
+/// Virtual time is counted in *slots*, the same unit `radio::arq` charges
+/// for attempts and backoff gaps.  A round occupies a fixed span of slots
+/// (see `des_engine.hpp`), so event timestamps encode both the round index
+/// and the intra-round phase.  Events are totally ordered by
+/// `(time, node, seq)` — the serial-checkpoint merge order the repo's
+/// determinism discipline prescribes — which makes queue behavior
+/// independent of insertion order and therefore of thread count.
+///
+/// The queue is a plain binary min-heap.  Each worker shard owns one
+/// queue, so no locking is needed; the conservative engine only ever pops
+/// events strictly below the current safe horizon.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mrlc::dist {
+
+/// Virtual time in ARQ slots.
+using SlotTime = std::uint64_t;
+
+enum class EventKind : std::uint8_t {
+  kNodeRound,    ///< fused churn+transaction(+probe) round for one node
+  kChurnWake,    ///< oracle mode: churn the node's owned links
+  kTxnWake,      ///< oracle mode: run the node's ARQ transaction
+};
+
+struct Event {
+  SlotTime time = 0;      ///< slot timestamp (round * span + phase offset)
+  std::int32_t node = 0;  ///< owning logical process
+  std::uint32_t seq = 0;  ///< per-LP sequence number (== round index)
+  EventKind kind = EventKind::kNodeRound;
+};
+
+/// `(time, node, seq)` lexicographic order; `a < b` means a fires first.
+inline bool event_before(const Event& a, const Event& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.node != b.node) return a.node < b.node;
+  return a.seq < b.seq;
+}
+
+/// Binary min-heap of `Event`s ordered by `event_before`.
+class EventQueue {
+ public:
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  void clear() noexcept { heap_.clear(); }
+
+  /// The earliest pending event; the queue must not be empty.
+  const Event& top() const {
+    MRLC_REQUIRE(!heap_.empty(), "top() on an empty event queue");
+    return heap_.front();
+  }
+
+  void push(const Event& event);
+
+  /// Removes and returns the earliest pending event.
+  Event pop();
+
+ private:
+  std::vector<Event> heap_;
+};
+
+}  // namespace mrlc::dist

@@ -25,7 +25,8 @@ double LinkEstimatorBank::compensated(double raw) const {
                     options_.max_prr);
 }
 
-void LinkEstimatorBank::observe(wsn::EdgeId link, bool success) {
+std::optional<LinkEvent> LinkEstimatorBank::observe_detached(wsn::EdgeId link,
+                                                             bool success) {
   MRLC_REQUIRE(link >= 0 && link < static_cast<int>(links_.size()),
                "link out of range");
   State& s = links_[static_cast<std::size_t>(link)];
@@ -33,7 +34,7 @@ void LinkEstimatorBank::observe(wsn::EdgeId link, bool success) {
                               options_.ewma_alpha * (success ? 1.0 : 0.0),
                           options_.min_prr, 1.0);
   ++s.samples;
-  if (s.samples < options_.min_samples) return;
+  if (s.samples < options_.min_samples) return std::nullopt;
 
   // The compensation factor cancels in the relative comparison, so the
   // hysteresis operates on the raw estimates directly.
@@ -45,23 +46,31 @@ void LinkEstimatorBank::observe(wsn::EdgeId link, bool success) {
   } else if (rise >= options_.improve_threshold) {
     event.kind = LinkEvent::Kind::kImproved;
   } else {
-    return;
+    return std::nullopt;
   }
   event.link = link;
   event.old_prr = compensated(s.reported);
   event.new_prr = compensated(s.estimate);
-  if (s.pending >= 0) {
+  s.reported = s.estimate;
+  return event;
+}
+
+void LinkEstimatorBank::observe(wsn::EdgeId link, bool success) {
+  State& s = links_[static_cast<std::size_t>(link)];
+  const int queued_index = s.pending;
+  std::optional<LinkEvent> fired = observe_detached(link, success);
+  if (!fired) return;
+  if (queued_index >= 0) {
     // A newer observation supersedes the queued event for this link.  The
     // consumer never saw the intermediate anchors, so the merged event keeps
     // the old_prr of the value it last heard.
-    LinkEvent& queued = pending_[static_cast<std::size_t>(s.pending)];
-    event.old_prr = queued.old_prr;
-    queued = event;
+    LinkEvent& queued = pending_[static_cast<std::size_t>(queued_index)];
+    fired->old_prr = queued.old_prr;
+    queued = *fired;
   } else {
     s.pending = static_cast<int>(pending_.size());
-    pending_.push_back(event);
+    pending_.push_back(*fired);
   }
-  s.reported = s.estimate;
 }
 
 std::vector<LinkEvent> LinkEstimatorBank::poll() {

@@ -34,6 +34,7 @@
 /// luck rather than a genuine quality change; `bench/extra_arq_dataplane`
 /// counts those false-positive repairs.
 
+#include <optional>
 #include <vector>
 
 #include "distributed/churn.hpp"
@@ -81,6 +82,16 @@ class LinkEstimatorBank {
   /// \param link  the observed link's edge id.
   /// \param success  true when the transaction succeeded (ACK received).
   void observe(wsn::EdgeId link, bool success);
+
+  /// \brief `observe` without the pending-event queue: the fired event (if
+  /// any) is returned to the caller instead of being staged for `poll`.
+  /// Touches only the link's own `State`, so concurrent calls on
+  /// *distinct* links are safe — the discrete-event engine collects the
+  /// returned events per shard and merges them at a serial checkpoint in
+  /// link-id order.  With at most one observation per link per round the
+  /// supersede logic of the queued path never triggers, so the two paths
+  /// update estimates and `reported` identically.
+  std::optional<LinkEvent> observe_detached(wsn::EdgeId link, bool success);
 
   /// \brief Drains the events queued since the last poll.
   /// \return at most one event per link per poll; a later observation

@@ -44,6 +44,46 @@ std::vector<wsn::VertexId> bottom_up_order(const wsn::AggregationTree& tree) {
 
 }  // namespace
 
+ArqTransactionResult simulate_arq_transaction(const ArqPolicy& policy,
+                                              double q_ack, ChannelSet& channels,
+                                              wsn::EdgeId link, double tx_joules,
+                                              double rx_joules, Rng& rng) {
+  const double ack_tx = policy.ack_fraction * tx_joules;
+  const double ack_rx = policy.ack_fraction * rx_joules;
+  ArqTransactionResult out;
+  int failures = 0;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    ++out.data_transmissions;
+    ++out.slots_elapsed;
+    out.sender_joules += tx_joules;
+    // The receiver's radio listens through every attempt — a corrupt frame
+    // costs it the same airtime as a good one.
+    out.receiver_joules += rx_joules;
+    if (channels.transmit(link, rng)) {
+      if (out.data_held) {
+        ++out.duplicates_suppressed;  // ACK was lost; receiver drops the copy
+      } else {
+        out.data_held = true;
+      }
+      ++out.ack_transmissions;
+      out.receiver_joules += ack_tx;
+      // The sender listens for the ACK whether or not it arrives.
+      out.sender_joules += ack_rx;
+      if (rng.bernoulli(q_ack)) {
+        out.acked = true;
+        break;
+      }
+      ++out.ack_losses;
+    }
+    ++failures;
+    if (attempt + 1 < policy.max_attempts) {
+      out.slots_elapsed += policy.backoff_slots(failures);
+    }
+  }
+  out.attempts = failures + (out.acked ? 1 : 0);
+  return out;
+}
+
 ArqRoundResult simulate_arq_round(const wsn::Network& net,
                                   const wsn::AggregationTree& tree,
                                   const ArqPolicy& policy, ChannelSet& channels,
@@ -56,8 +96,6 @@ ArqRoundResult simulate_arq_round(const wsn::Network& net,
                "consumed vector must have one entry per node");
   const double tx = net.energy_model().tx_joules;
   const double rx = net.energy_model().rx_joules;
-  const double ack_tx = policy.ack_fraction * tx;
-  const double ack_rx = policy.ack_fraction * rx;
 
   auto charge = [&](wsn::VertexId v, double joules) {
     if (consumed != nullptr) (*consumed)[static_cast<std::size_t>(v)] += joules;
@@ -75,43 +113,24 @@ ArqRoundResult simulate_arq_round(const wsn::Network& net,
     const wsn::VertexId parent = tree.parent(v);
     const double q_ack = policy.ack_prr(net.link_prr(link));
 
-    bool data_held = false;  // the receiver holds this round's aggregate
-    bool acked = false;
-    int failures = 0;
-    for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
-      ++out.data_transmissions;
-      ++out.slots_elapsed;
-      charge(v, tx);
-      // The parent's radio listens through every attempt — a corrupt frame
-      // costs the receiver the same airtime as a good one.
-      charge(parent, rx);
-      if (channels.transmit(link, rng)) {
-        if (data_held) {
-          ++out.duplicates_suppressed;  // ACK was lost; receiver drops the copy
-        } else {
-          data_held = true;
-          readings[static_cast<std::size_t>(parent)] +=
-              readings[static_cast<std::size_t>(v)];
-        }
-        ++out.ack_transmissions;
-        charge(parent, ack_tx);
-        // The sender listens for the ACK whether or not it arrives.
-        charge(v, ack_rx);
-        if (rng.bernoulli(q_ack)) {
-          acked = true;
-          break;
-        }
-        ++out.ack_losses;
-      }
-      ++failures;
-      if (attempt + 1 < policy.max_attempts) {
-        out.slots_elapsed += policy.backoff_slots(failures);
-      }
+    const ArqTransactionResult txn =
+        simulate_arq_transaction(policy, q_ack, channels, link, tx, rx, rng);
+    out.data_transmissions += txn.data_transmissions;
+    out.ack_transmissions += txn.ack_transmissions;
+    out.duplicates_suppressed += txn.duplicates_suppressed;
+    out.ack_losses += txn.ack_losses;
+    out.slots_elapsed += txn.slots_elapsed;
+    charge(v, txn.sender_joules);
+    charge(parent, txn.receiver_joules);
+    if (txn.data_held) {
+      readings[static_cast<std::size_t>(parent)] +=
+          readings[static_cast<std::size_t>(v)];
+    } else {
+      ++out.packets_dropped;
     }
-    if (!data_held) ++out.packets_dropped;
     ++transactions;
-    attempts_hist.record(failures + (acked ? 1 : 0));
-    if (observer) observer(link, acked, failures + (acked ? 1 : 0));
+    attempts_hist.record(txn.attempts);
+    if (observer) observer(link, txn.acked, txn.attempts);
   }
   out.readings_delivered = readings[static_cast<std::size_t>(tree.root())];
   out.readings_lost = n - out.readings_delivered;

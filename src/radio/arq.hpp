@@ -88,6 +88,37 @@ struct ArqRoundResult {
 using ArqObserver =
     std::function<void(wsn::EdgeId link, bool acked, int attempts)>;
 
+/// Outcome of one (child -> parent) stop-and-wait transaction — the unit
+/// the discrete-event data-plane engine schedules.  Energy is accumulated
+/// locally (sender = data Tx + ACK Rx, receiver = data Rx + ACK Tx) so the
+/// caller can apply it at a serial checkpoint in a canonical order instead
+/// of racing on a shared per-node accumulator.
+struct ArqTransactionResult {
+  bool data_held = false;  ///< the receiver holds the round's aggregate
+  bool acked = false;      ///< the sender saw an ACK
+  int attempts = 0;        ///< data transmissions used (1 .. max_attempts)
+  std::uint32_t data_transmissions = 0;
+  std::uint32_t ack_transmissions = 0;
+  std::uint32_t duplicates_suppressed = 0;
+  std::uint32_t ack_losses = 0;
+  std::uint64_t slots_elapsed = 0;  ///< attempts + backoff gaps
+  double sender_joules = 0.0;
+  double receiver_joules = 0.0;
+};
+
+/// Runs one stop-and-wait transaction on `link`.  `q_ack` is the ACK
+/// delivery probability (normally `policy.ack_prr(net.link_prr(link))`).
+/// Draws from `rng` exactly as the attempt loop of `simulate_arq_round`
+/// always has: one channel draw per data attempt plus one Bernoulli per
+/// delivered frame.  The caller owns metrics, readings propagation, and
+/// energy application; this function touches only the channel state of
+/// `link`, which makes it safe to run concurrently for links owned by
+/// distinct logical processes.
+ArqTransactionResult simulate_arq_transaction(const ArqPolicy& policy,
+                                              double q_ack, ChannelSet& channels,
+                                              wsn::EdgeId link, double tx_joules,
+                                              double rx_joules, Rng& rng);
+
 /// Simulates one aggregation round under stop-and-wait ARQ.  `channels`
 /// supplies the per-link loss process (and persists burst state across
 /// rounds).  When `consumed` is non-null it must have node_count entries;

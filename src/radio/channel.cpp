@@ -65,13 +65,17 @@ void ChannelSet::sync(const wsn::Network& net) {
   MRLC_REQUIRE(net.link_count() == link_count(),
                "network does not match the anchored channel set");
   for (wsn::EdgeId id = 0; id < net.link_count(); ++id) {
-    const auto i = static_cast<std::size_t>(id);
-    const double q = net.link_prr(id);
-    if (q == prr_[i]) continue;
-    prr_[i] = q;
-    if (config_.model == ChannelModel::kGilbertElliott) {
-      params_[i] = derive_gilbert_elliott(q, config_.mean_bad_burst);
-    }
+    sync_link(id, net.link_prr(id));
+  }
+}
+
+void ChannelSet::sync_link(wsn::EdgeId link, double q) {
+  MRLC_REQUIRE(link >= 0 && link < link_count(), "link out of range");
+  const auto i = static_cast<std::size_t>(link);
+  if (q == prr_[i]) return;
+  prr_[i] = q;
+  if (config_.model == ChannelModel::kGilbertElliott) {
+    params_[i] = derive_gilbert_elliott(q, config_.mean_bad_burst);
   }
 }
 

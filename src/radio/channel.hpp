@@ -79,6 +79,12 @@ class ChannelSet {
   /// be the network the set was anchored to (same link count).
   void sync(const wsn::Network& net);
 
+  /// Per-link `sync`: re-anchors one link at PRR `q` (no-op when unchanged).
+  /// Touches only that link's state, so concurrent calls on *distinct*
+  /// links are safe — the discrete-event engine lets each link's owner
+  /// re-derive its channel right after churning it.
+  void sync_link(wsn::EdgeId link, double q);
+
   const ChannelConfig& config() const noexcept { return config_; }
   int link_count() const noexcept { return static_cast<int>(prr_.size()); }
 

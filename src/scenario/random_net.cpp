@@ -30,6 +30,48 @@ wsn::Network make_random_network(const RandomNetworkConfig& config, Rng& rng) {
   throw InfeasibleError("failed to draw a connected random network");
 }
 
+wsn::Network make_grid_network(const GridNetworkConfig& config, Rng& rng) {
+  MRLC_REQUIRE(config.rows >= 1 && config.cols >= 1 &&
+                   config.rows * config.cols >= 2,
+               "grid needs at least two cells");
+  MRLC_REQUIRE(config.prr_min > 0.0 && config.prr_min <= config.prr_max &&
+                   config.prr_max <= 1.0,
+               "PRR range must lie in (0, 1] and be ordered");
+  MRLC_REQUIRE(config.energy_min_j > 0.0 &&
+                   config.energy_min_j <= config.energy_max_j,
+               "energy range must be positive and ordered");
+
+  const int n = config.rows * config.cols;
+  wsn::Network net(n, /*sink=*/0);
+  auto cell = [&](int r, int c) {
+    return static_cast<wsn::VertexId>(r * config.cols + c);
+  };
+  for (int r = 0; r < config.rows; ++r) {
+    for (int c = 0; c < config.cols; ++c) {
+      if (c + 1 < config.cols) {
+        net.add_link(cell(r, c), cell(r, c + 1),
+                     rng.uniform(config.prr_min, config.prr_max));
+      }
+      if (r + 1 < config.rows) {
+        net.add_link(cell(r, c), cell(r + 1, c),
+                     rng.uniform(config.prr_min, config.prr_max));
+      }
+    }
+  }
+  for (wsn::VertexId v = 0; v < n; ++v) {
+    net.set_initial_energy(v,
+                           rng.uniform(config.energy_min_j, config.energy_max_j));
+  }
+  return net;
+}
+
+wsn::AggregationTree bfs_spanning_tree(const wsn::Network& net) {
+  graph::BfsTree bfs = graph::bfs_tree(net.topology(), net.sink());
+  std::vector<wsn::VertexId> parents = std::move(bfs.parent_vertex);
+  parents[static_cast<std::size_t>(net.sink())] = -1;
+  return wsn::AggregationTree::from_parents(net, std::move(parents));
+}
+
 wsn::Network filter_links(const wsn::Network& net, double min_prr) {
   MRLC_REQUIRE(min_prr > 0.0 && min_prr <= 1.0, "PRR floor must lie in (0, 1]");
   wsn::Network out(net.node_count(), net.sink(), net.energy_model());

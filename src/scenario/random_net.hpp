@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "wsn/aggregation_tree.hpp"
 #include "wsn/network.hpp"
 
 namespace mrlc::scenario {
@@ -30,6 +31,30 @@ struct RandomNetworkConfig {
 /// \throws InfeasibleError if no connected draw is found within
 ///         `max_redraws` attempts (pathologically low link probability).
 wsn::Network make_random_network(const RandomNetworkConfig& config, Rng& rng);
+
+/// Rectangular 4-neighbor grid deployment for scale benchmarks.  Unlike
+/// `make_random_network` this is O(nodes): the topology is deterministic
+/// (sink at cell (0, 0), links between lattice neighbors only), always
+/// connected, and never redrawn — the only randomness is the per-link PRR
+/// and per-node energy draws.  A 400 x 250 grid gives the 100k-node
+/// instance the `dataplane_des_n100k` workload simulates.
+struct GridNetworkConfig {
+  int rows = 10;
+  int cols = 10;
+  double prr_min = 0.85;
+  double prr_max = 0.99;
+  double energy_min_j = 3000.0;
+  double energy_max_j = 3000.0;
+};
+
+/// Builds the grid; `rng` draws PRRs (row-major, horizontal link before
+/// vertical per cell) and then energies, so instances are reproducible
+/// from the seed alone.
+wsn::Network make_grid_network(const GridNetworkConfig& config, Rng& rng);
+
+/// Shortest-hop (BFS) spanning tree rooted at the sink — the O(n) initial
+/// tree for instances too large to run IRA on.
+wsn::AggregationTree bfs_spanning_tree(const wsn::Network& net);
 
 /// Copy of `net` with every link of PRR < `min_prr` removed — the paper's
 /// preprocessing for AAML ("we ignore unreliable links with the packet

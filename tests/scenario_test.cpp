@@ -194,5 +194,55 @@ TEST(RandomNet, SparseDrawsEventuallyConnect) {
   }
 }
 
+// ----------------------------------------------------------------- grid --
+
+TEST(GridNetwork, ShapeAndTree) {
+  GridNetworkConfig config;
+  config.rows = 5;
+  config.cols = 7;
+  config.prr_min = 0.9;
+  config.prr_max = 0.99;
+  Rng rng(7);
+  const wsn::Network net = make_grid_network(config, rng);
+  EXPECT_EQ(net.node_count(), 35);
+  // 4-neighbor lattice: rows*(cols-1) horizontal + (rows-1)*cols vertical.
+  EXPECT_EQ(net.link_count(), 5 * 6 + 4 * 7);
+  EXPECT_TRUE(graph::is_connected(net.topology()));
+  for (wsn::EdgeId e = 0; e < net.link_count(); ++e) {
+    EXPECT_GE(net.link_prr(e), 0.9);
+    EXPECT_LE(net.link_prr(e), 0.99);
+  }
+
+  const wsn::AggregationTree tree = bfs_spanning_tree(net);
+  EXPECT_EQ(tree.root(), net.sink());
+  EXPECT_EQ(tree.member_count(), 35);
+  // BFS parents: every node's hop count is its grid (Manhattan) distance.
+  int hops = 0;
+  wsn::VertexId v = 34;  // far corner: (4, 6)
+  while (v != tree.root()) {
+    v = tree.parent(v);
+    ++hops;
+  }
+  EXPECT_EQ(hops, 4 + 6);
+}
+
+TEST(GridNetwork, DeterministicFromSeed) {
+  GridNetworkConfig config;
+  config.rows = 3;
+  config.cols = 4;
+  config.energy_min_j = 1500.0;
+  config.energy_max_j = 5000.0;
+  Rng rng_a(99), rng_b(99);
+  const wsn::Network a = make_grid_network(config, rng_a);
+  const wsn::Network b = make_grid_network(config, rng_b);
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (wsn::EdgeId e = 0; e < a.link_count(); ++e) {
+    EXPECT_EQ(a.link_prr(e), b.link_prr(e));
+  }
+  for (wsn::VertexId v = 0; v < a.node_count(); ++v) {
+    EXPECT_EQ(a.initial_energy(v), b.initial_energy(v));
+  }
+}
+
 }  // namespace
 }  // namespace mrlc::scenario

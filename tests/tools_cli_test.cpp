@@ -212,6 +212,39 @@ TEST(ToolsCli, MetricsJsonParsesAndHasDocumentedKeys) {
   EXPECT_GT(std::stoll(parser.scalars["counters.separation.calls"]), 0);
 }
 
+TEST(ToolsCli, DataplaneMetricsJsonHasDocumentedKeys) {
+  const std::string metrics_path = tmp_path("tools_cli_dataplane_metrics.json");
+  const int rc = run_command(std::string(MRLC_TOOL_SOLVE) +
+                             " dataplane --lifetime 100 --rounds 40"
+                             " --repair estimator --metrics-json " +
+                             metrics_path + " < " + network_path() +
+                             " > /dev/null 2> /dev/null");
+  ASSERT_EQ(rc, 0);
+
+  const std::string json = read_file(metrics_path);
+  JsonParser parser(json);
+  ASSERT_TRUE(parser.parse()) << "metrics JSON failed to parse near byte "
+                              << parser.at << ":\n"
+                              << json;
+
+  std::ifstream golden(MRLC_DATAPLANE_METRICS_GOLDEN);
+  ASSERT_TRUE(golden.is_open()) << "cannot open "
+                                << MRLC_DATAPLANE_METRICS_GOLDEN;
+  std::string line;
+  while (std::getline(golden, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(std::find(parser.keys.begin(), parser.keys.end(), line),
+              parser.keys.end())
+        << "documented key missing from dataplane metrics JSON: " << line;
+  }
+
+  // A real run retires one event per node per round on the default
+  // (event-driven) engine.
+  EXPECT_GT(std::stoll(parser.scalars["counters.dataplane.events_processed"]),
+            0);
+  EXPECT_GT(std::stoll(parser.scalars["counters.des.windows"]), 0);
+}
+
 TEST(ToolsCli, MetricsDisabledByEnvironment) {
   const std::string metrics_path = tmp_path("tools_cli_metrics_off.json");
   const int rc = run_command("MRLC_METRICS=0 " + std::string(MRLC_TOOL_SOLVE) +

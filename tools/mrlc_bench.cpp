@@ -196,7 +196,8 @@ void run_service_mixed(int repeat, bool with_timings) {
 
 std::vector<Workload> make_workloads(std::int64_t budget_units,
                                      bool with_timings,
-                                     core::VariantId variant) {
+                                     core::VariantId variant,
+                                     dist::DataPlaneEngine dataplane_engine) {
   std::vector<Workload> out;
 
   out.push_back({"ira_dfl_n16", "IRA on the 16-node DFL testbed instance",
@@ -279,7 +280,7 @@ std::vector<Workload> make_workloads(std::int64_t budget_units,
 
   out.push_back({"dataplane_n16",
                  "200 ARQ convergecast rounds with estimator-driven repair",
-                 [](int repeat) {
+                 [dataplane_engine](int repeat) {
                    const wsn::Network net = scenario::make_dfl_system().network;
                    const double bound = mst_bound(net);
                    core::IraOptions ira_options;
@@ -288,8 +289,31 @@ std::vector<Workload> make_workloads(std::int64_t budget_units,
                        core::IterativeRelaxation(ira_options).solve(net, bound);
                    dist::DataPlaneOptions options;
                    options.rounds = 200;
+                   options.engine = dataplane_engine;
                    options.seed = 4000 + static_cast<std::uint64_t>(repeat);
                    dist::run_dataplane(net, ira.tree, bound, options);
+                 }});
+
+  out.push_back({"dataplane_des_n100k",
+                 "20 estimator-repair convergecast rounds on a 400x250 grid "
+                 "(100k nodes, BFS initial tree) through the selected "
+                 "data-plane engine",
+                 [dataplane_engine](int repeat) {
+                   scenario::GridNetworkConfig config;
+                   config.rows = 400;
+                   config.cols = 250;
+                   Rng rng(11000 + static_cast<std::uint64_t>(repeat));
+                   const wsn::Network net =
+                       scenario::make_grid_network(config, rng);
+                   const wsn::AggregationTree tree =
+                       scenario::bfs_spanning_tree(net);
+                   const double bound =
+                       0.5 * wsn::network_lifetime(net, tree);
+                   dist::DataPlaneOptions options;
+                   options.rounds = 20;
+                   options.engine = dataplane_engine;
+                   options.seed = 11000 + static_cast<std::uint64_t>(repeat);
+                   dist::run_dataplane(net, tree, bound, options);
                  }});
 
   out.push_back({"service_mixed_n16",
@@ -369,7 +393,11 @@ std::string indent_block(const std::string& json, const std::string& pad) {
                "                  (mrlc | etx | min_energy | max_lifetime;\n"
                "                  default mrlc = the historical path);\n"
                "                  recorded in config.variant so\n"
-               "                  bench_compare.py groups runs by variant\n";
+               "                  bench_compare.py groups runs by variant\n"
+               "  --dataplane-engine NAME\n"
+               "                  engine for the dataplane_* workloads\n"
+               "                  (des | legacy; default des — results are\n"
+               "                  bit-identical, only the wall time moves)\n";
   std::exit(2);
 }
 
@@ -387,6 +415,7 @@ int main(int argc, char** argv) {
   std::int64_t budget_units = 0;
   std::string engine = "sparse";
   std::string variant_name = "mrlc";
+  std::string dataplane_engine_name = "des";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -411,6 +440,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--variant" && i + 1 < argc) {
       variant_name = argv[++i];
       if (!mrlc::core::variant_from_string(variant_name).has_value()) usage();
+    } else if (arg == "--dataplane-engine" && i + 1 < argc) {
+      dataplane_engine_name = argv[++i];
+      if (dataplane_engine_name != "des" && dataplane_engine_name != "legacy") {
+        usage();
+      }
     } else {
       usage();
     }
@@ -420,9 +454,12 @@ int main(int argc, char** argv) {
                                                  : mrlc::lp::Engine::kSparse);
   const mrlc::core::VariantId variant =
       *mrlc::core::variant_from_string(variant_name);
+  const mrlc::dist::DataPlaneEngine dataplane_engine =
+      dataplane_engine_name == "legacy" ? mrlc::dist::DataPlaneEngine::kLegacy
+                                        : mrlc::dist::DataPlaneEngine::kDes;
 
   const std::vector<Workload> workloads =
-      make_workloads(budget_units, with_timings, variant);
+      make_workloads(budget_units, with_timings, variant, dataplane_engine);
   if (list_only) {
     for (const Workload& w : workloads) {
       std::cout << w.name << "  " << w.description << '\n';
@@ -491,7 +528,9 @@ int main(int argc, char** argv) {
       << ", \"threads\": " << mrlc::default_thread_count()
       << ", \"budget\": " << budget_units
       << ", \"engine\": " << json_escape(engine)
-      << ", \"variant\": " << json_escape(variant_name) << "},\n";
+      << ", \"variant\": " << json_escape(variant_name)
+      << ", \"dataplane_engine\": " << json_escape(dataplane_engine_name)
+      << "},\n";
   out << "  \"workloads\": [\n" << body.str() << "\n  ]\n";
   out << "}\n";
   std::cerr << "wrote " << out_path << '\n';

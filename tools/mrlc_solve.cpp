@@ -70,7 +70,11 @@ namespace {
                "                    [--channel bernoulli|gilbert-elliott]\n"
                "                    [--burst B] [--attempts N]\n"
                "                    [--ack-fraction F] [--probe P]\n"
-               "                    [--churn-sigma S] [--seed S]  < net\n"
+               "                    [--churn-sigma S] [--seed S]\n"
+               "                    [--dataplane-engine legacy|des]\n"
+               "                    [--window-rounds W]\n"
+               "                    [--metrics-flush-every N]\n"
+               "                    [--metrics-flush-path PATH] < net\n"
                "global flags:\n"
                "  --variant NAME        problem variant for ira/auto (default\n"
                "                        mrlc; etx minimizes expected ARQ\n"
@@ -228,6 +232,25 @@ int run_dataplane_cmd(const mrlc::wsn::Network& net, const std::string& input,
     options.churn.cost_noise_sigma = std::stod(flags["churn-sigma"]);
   }
   if (flags.count("seed")) options.seed = std::stoull(flags["seed"]);
+  if (flags.count("dataplane-engine")) {
+    const std::string& engine = flags["dataplane-engine"];
+    if (engine == "legacy") {
+      options.engine = dist::DataPlaneEngine::kLegacy;
+    } else if (engine == "des") {
+      options.engine = dist::DataPlaneEngine::kDes;
+    } else {
+      usage();
+    }
+  }
+  if (flags.count("window-rounds")) {
+    options.window_rounds = std::stoi(flags["window-rounds"]);
+  }
+  if (flags.count("metrics-flush-every")) {
+    options.metrics_flush_every = std::stoi(flags["metrics-flush-every"]);
+  }
+  if (flags.count("metrics-flush-path")) {
+    options.metrics_flush_path = flags["metrics-flush-path"];
+  }
   mrlc::Budget budget;
   if (flags.count("budget")) {
     budget.set_work_limit(std::stoll(flags["budget"]));
